@@ -1,0 +1,64 @@
+//! Figure 12 — effectiveness of different K and alpha.
+//!
+//! Sweeps the number of CoT demonstrations (K) and the temporal decay
+//! rate (alpha); the paper finds the best combination at K = 5, α = 0.3.
+
+use rcacopilot_bench::{banner, standard_prepared, write_results};
+use rcacopilot_core::ablation::fig12_sweep;
+use rcacopilot_core::pipeline::RcaCopilotConfig;
+
+fn main() {
+    banner("Figure 12: Effectiveness of different K and alpha");
+    let prepared = standard_prepared();
+    let ks: Vec<usize> = (1..=10).collect();
+    let alphas = [0.0, 0.1, 0.3, 0.5, 1.0];
+    let points = fig12_sweep(&prepared, &RcaCopilotConfig::default(), &ks, &alphas);
+
+    println!("Micro-F1 grid (rows = alpha, cols = K):");
+    print!("{:>7}", "alpha\\K");
+    for k in &ks {
+        print!("{k:>7}");
+    }
+    println!();
+    for &alpha in &alphas {
+        print!("{alpha:>7.1}");
+        for &k in &ks {
+            let p = points
+                .iter()
+                .find(|p| p.k == k && (p.alpha - alpha).abs() < 1e-9)
+                .expect("grid point");
+            print!("{:>7.3}", p.micro_f1);
+        }
+        println!();
+    }
+    println!("\nMacro-F1 grid (rows = alpha, cols = K):");
+    for &alpha in &alphas {
+        print!("{alpha:>7.1}");
+        for &k in &ks {
+            let p = points
+                .iter()
+                .find(|p| p.k == k && (p.alpha - alpha).abs() < 1e-9)
+                .expect("grid point");
+            print!("{:>7.3}", p.macro_f1);
+        }
+        println!();
+    }
+    let best = points
+        .iter()
+        .max_by(|a, b| a.micro_f1.partial_cmp(&b.micro_f1).unwrap())
+        .unwrap();
+    println!(
+        "\nBest combination: K = {}, alpha = {} (micro {:.3}); paper best: K = 5, alpha = 0.3.",
+        best.k, best.alpha, best.micro_f1
+    );
+    write_results(
+        "fig12_k_alpha_sweep",
+        &serde_json::json!({
+            "points": points.iter().map(|p| serde_json::json!({
+                "k": p.k, "alpha": p.alpha, "micro_f1": p.micro_f1, "macro_f1": p.macro_f1,
+            })).collect::<Vec<_>>(),
+            "best": {"k": best.k, "alpha": best.alpha},
+            "paper_best": {"k": 5, "alpha": 0.3},
+        }),
+    );
+}

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the pipeline's hot components:
+//! summarization, embedding, temporal-decay retrieval, BPE token counting,
+//! and handler execution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rcacopilot_core::retrieval::{HistoricalEntry, HistoricalIndex, RetrievalConfig};
+use rcacopilot_embed::{FastTextConfig, FastTextModel, FeatureExtractor};
+use rcacopilot_handlers::standard_handlers;
+use rcacopilot_llm::Summarizer;
+use rcacopilot_simcloud::noise::NoiseProfile;
+use rcacopilot_simcloud::{generate_dataset, CampaignConfig, Topology};
+use rcacopilot_telemetry::alert::AlertType;
+use rcacopilot_telemetry::time::SimTime;
+use rcacopilot_textkit::bpe::BpeTokenizer;
+
+fn small_dataset() -> rcacopilot_simcloud::IncidentDataset {
+    generate_dataset(&CampaignConfig {
+        seed: 9,
+        topology: Topology::new(2, 6, 3, 3),
+        noise: NoiseProfile {
+            routine_logs: 12,
+            herring_logs: 3,
+            healthy_traces: 4,
+            unrelated_failure: true,
+            bystander_anomalies: 2,
+        },
+    })
+}
+
+fn bench_summarizer(c: &mut Criterion) {
+    let ds = small_dataset();
+    let stage = rcacopilot_core::collection::CollectionStage::standard();
+    let text = stage
+        .collect(&ds.incidents()[0])
+        .expect("collects")
+        .diagnostic_text();
+    let summarizer = Summarizer::default();
+    c.bench_function("summarize_diagnostic_text", |b| {
+        b.iter(|| summarizer.summarize(std::hint::black_box(&text)))
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let examples: Vec<(String, String)> = (0..40)
+        .map(|i| {
+            (
+                format!("udp socket exhausted winsock error hub ports case {i} with filler text for realistic length"),
+                format!("Cat{}", i % 5),
+            )
+        })
+        .collect();
+    let model = FastTextModel::train(
+        &examples,
+        FastTextConfig {
+            dim: 64,
+            epochs: 5,
+            features: FeatureExtractor {
+                buckets: 1 << 13,
+                ..FeatureExtractor::default()
+            },
+            ..FastTextConfig::default()
+        },
+    );
+    c.bench_function("fasttext_embed_short_text", |b| {
+        b.iter(|| {
+            model.embed(std::hint::black_box(
+                "winsock udp socket exhausted on hub transport",
+            ))
+        })
+    });
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut index = HistoricalIndex::new();
+    for i in 0..490u64 {
+        let emb: Vec<f32> = (0..64).map(|d| ((i * 31 + d) % 97) as f32 / 97.0).collect();
+        index.add(HistoricalEntry {
+            id: i as usize,
+            category: format!("Cat{}", i % 163),
+            summary: "summary".into(),
+            at: SimTime::from_days(i % 364),
+            embedding: emb,
+        });
+    }
+    let query: Vec<f32> = (0..64).map(|d| (d % 7) as f32 / 7.0).collect();
+    let config = RetrievalConfig::default();
+    c.bench_function("retrieval_topk_diverse_490x64", |b| {
+        b.iter(|| {
+            index.top_k_diverse(
+                std::hint::black_box(&query),
+                SimTime::from_days(180),
+                &config,
+            )
+        })
+    });
+}
+
+fn bench_bpe(c: &mut Criterion) {
+    let corpus: Vec<String> = (0..50)
+        .map(|i| format!("incident diagnostic summary number {i} with exception text and counters"))
+        .collect();
+    let tok = BpeTokenizer::train(&corpus, 600);
+    let text = corpus.join(" ");
+    c.bench_function("bpe_count_tokens_3kchars", |b| {
+        b.iter(|| tok.count_tokens(std::hint::black_box(&text)))
+    });
+}
+
+fn bench_handler_execution(c: &mut Criterion) {
+    let ds = small_dataset();
+    let registry = standard_handlers();
+    let incident = ds
+        .incidents()
+        .iter()
+        .find(|i| i.alert.alert_type == AlertType::DeliveryQueueBacklog)
+        .expect("backlog incident exists");
+    let handler = registry
+        .current(AlertType::DeliveryQueueBacklog)
+        .expect("handler");
+    c.bench_function("handler_execute_delivery_backlog", |b| {
+        b.iter_batched(
+            || (incident.snapshot.clone(), incident.alert.scope),
+            |(snap, scope)| handler.execute(std::hint::black_box(&snap), scope),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_summarizer,
+        bench_embedding,
+        bench_retrieval,
+        bench_bpe,
+        bench_handler_execution
+);
+criterion_main!(benches);

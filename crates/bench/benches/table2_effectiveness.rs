@@ -1,0 +1,73 @@
+//! Table 2 — effectiveness of different methods.
+//!
+//! Reproduces the paper's headline comparison: micro/macro F1 plus
+//! training and average inference time for FastText, XGBoost, the
+//! fine-tuned LM, zero-shot prompting, generic-LM embeddings, and
+//! RCACopilot under both simulated model profiles.
+
+use rcacopilot_bench::{banner, standard_prepared, write_results};
+use rcacopilot_core::eval::{evaluate_method, Method};
+use rcacopilot_llm::ModelProfile;
+
+/// Paper Table 2 values: (method, micro, macro, train s, infer s).
+const PAPER: &[(&str, f64, f64, Option<f64>, f64)] = &[
+    ("FastText", 0.076, 0.004, Some(10.592), 0.524),
+    ("XGBoost", 0.022, 0.009, Some(11.581), 1.211),
+    ("Fine-tune GPT", 0.103, 0.144, Some(3192.0), 4.262),
+    ("GPT-4 Prompt", 0.026, 0.004, None, 3.251),
+    ("GPT-4 Embed.", 0.257, 0.122, Some(1925.0), 3.522),
+    ("RCACopilot (GPT-3.5)", 0.761, 0.505, Some(10.562), 4.221),
+    ("RCACopilot (GPT-4)", 0.766, 0.533, Some(10.562), 4.205),
+];
+
+fn main() {
+    banner("Table 2: Effectiveness of different methods");
+    println!("Generating the 653-incident campaign and running the collection stage...");
+    let prepared = standard_prepared();
+    println!(
+        "train = {} incidents, test = {} incidents ({} test categories unseen in training)",
+        prepared.train.len(),
+        prepared.test.len(),
+        prepared.unseen_test_count()
+    );
+
+    let methods = [
+        Method::FastText,
+        Method::Xgboost,
+        Method::FineTune,
+        Method::ZeroShot,
+        Method::LmEmbed,
+        Method::RcaCopilot(ModelProfile::Gpt35),
+        Method::RcaCopilot(ModelProfile::Gpt4),
+    ];
+
+    println!(
+        "\n{:<26} | {:>8} {:>8} | {:>9} {:>10} | {:>8} {:>8}",
+        "Method", "Micro", "Macro", "Train(s)", "Infer(s)", "paperMi", "paperMa"
+    );
+    println!("{}", "-".repeat(92));
+    let mut rows = Vec::new();
+    for (method, paper) in methods.iter().zip(PAPER) {
+        let report = evaluate_method(&prepared, *method, 1);
+        println!(
+            "{:<26} | {:>8.3} {:>8.3} | {:>9.3} {:>10.6} | {:>8.3} {:>8.3}",
+            report.name,
+            report.f1.micro_f1,
+            report.f1.macro_f1,
+            report.train_secs,
+            report.infer_secs_avg,
+            paper.1,
+            paper.2,
+        );
+        rows.push(serde_json::json!({
+            "method": report.name,
+            "micro_f1": report.f1.micro_f1,
+            "macro_f1": report.f1.macro_f1,
+            "train_secs": report.train_secs,
+            "infer_secs_avg": report.infer_secs_avg,
+            "paper_micro": paper.1,
+            "paper_macro": paper.2,
+        }));
+    }
+    write_results("table2_effectiveness", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,220 @@
+//! The comparison methods of the paper's Table 2.
+//!
+//! All baselines consume the incident's **raw** diagnostic text, exactly
+//! as the paper describes ("directly predicts the category with the
+//! original diagnosis information") — no entity masking, no
+//! summarization, no prompt design. Their difficulty is real: 163
+//! long-tailed classes, a handful of examples for most of them, and raw
+//! text dominated by per-incident identifiers.
+
+use rcacopilot_embed::{FastTextConfig, FastTextModel, FeatureExtractor};
+use rcacopilot_gbdt::{Gbdt, GbdtConfig, TreeConfig};
+use rcacopilot_llm::prompt::PredictionPrompt;
+use rcacopilot_llm::{CotEngine, FineTunedLm, ModelProfile};
+use rcacopilot_textkit::tfidf::TfIdfVectorizer;
+
+/// The FastText classification baseline (Table 2 row 1).
+#[derive(Debug, Clone)]
+pub struct FastTextBaseline {
+    model: FastTextModel,
+}
+
+impl FastTextBaseline {
+    /// Trains on raw `(text, label)` pairs.
+    pub fn train(examples: &[(String, String)]) -> Self {
+        let config = FastTextConfig {
+            dim: 48,
+            epochs: 5,
+            lr: 0.2,
+            seed: 17,
+            features: FeatureExtractor {
+                mask: false,
+                ..FeatureExtractor::default()
+            },
+        };
+        FastTextBaseline {
+            model: FastTextModel::train(examples, config),
+        }
+    }
+
+    /// Predicts the label of raw diagnostic text.
+    pub fn predict(&self, text: &str) -> String {
+        self.model.predict(text).0.to_string()
+    }
+}
+
+/// The XGBoost baseline (Table 2 row 2): TF-IDF features truncated to the
+/// most frequent terms, fed to gradient-boosted trees.
+#[derive(Debug, Clone)]
+pub struct XgboostBaseline {
+    vectorizer: TfIdfVectorizer,
+    features: Vec<usize>,
+    model: Gbdt,
+}
+
+impl XgboostBaseline {
+    /// Number of dense features kept.
+    pub const FEATURES: usize = 48;
+
+    /// Trains on raw `(text, label)` pairs.
+    pub fn train(examples: &[(String, String)]) -> Self {
+        let corpus: Vec<String> = examples.iter().map(|(t, _)| t.clone()).collect();
+        let labels: Vec<String> = examples.iter().map(|(_, l)| l.clone()).collect();
+        // Tree models on a few hundred samples need aggressively pruned
+        // vocabularies (rare tokens overfit instantly), so only features
+        // with at least ~12% document support survive — which is also why
+        // this baseline cannot tell long-tail categories apart.
+        let min_df = (examples.len() / 8).max(2);
+        let mut vectorizer = TfIdfVectorizer::new(min_df, false);
+        let sparse = vectorizer.fit_transform(&corpus);
+        let features = vectorizer.top_features_by_df(Self::FEATURES);
+        let rows: Vec<Vec<f32>> = sparse
+            .iter()
+            .map(|v| TfIdfVectorizer::project_dense(v, &features))
+            .collect();
+        let config = GbdtConfig {
+            rounds: 8,
+            eta: 0.4,
+            tree: TreeConfig {
+                max_depth: 3,
+                min_samples_split: 4,
+                lambda: 1.0,
+                min_gain: 1e-6,
+            },
+        };
+        XgboostBaseline {
+            model: Gbdt::train(&rows, &labels, config),
+            vectorizer,
+            features,
+        }
+    }
+
+    /// Predicts the label of raw diagnostic text.
+    pub fn predict(&self, text: &str) -> String {
+        let sparse = self.vectorizer.transform(text);
+        let row = TfIdfVectorizer::project_dense(&sparse, &self.features);
+        self.model.predict(&row).0.to_string()
+    }
+}
+
+/// The fine-tuned-LM baseline (Table 2 row 3).
+#[derive(Debug, Clone)]
+pub struct FineTuneBaseline {
+    model: FineTunedLm,
+}
+
+impl FineTuneBaseline {
+    /// "Fine-tunes" on raw `(text, label)` pairs.
+    pub fn train(examples: &[(String, String)]) -> Self {
+        FineTuneBaseline {
+            model: FineTunedLm::train(examples, 700),
+        }
+    }
+
+    /// Predicts the label of raw diagnostic text.
+    pub fn predict(&self, text: &str) -> String {
+        self.model.predict(text).0
+    }
+}
+
+/// The zero-shot "GPT-4 Prompt" baseline (Table 2 row 4): the prompt
+/// contains only the incident being predicted — no demonstrations — so
+/// the model can only free-generate a category keyword.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroShotBaseline {
+    engine: CotEngine,
+}
+
+impl ZeroShotBaseline {
+    /// Creates the baseline with the given profile.
+    pub fn new(profile: ModelProfile, seed: u64) -> Self {
+        ZeroShotBaseline {
+            engine: CotEngine::new(profile, seed),
+        }
+    }
+
+    /// Predicts from the incident's summarized diagnostics alone.
+    pub fn predict(&self, summary: &str) -> String {
+        let prompt = PredictionPrompt {
+            input: summary.to_string(),
+            options: Vec::new(),
+        };
+        self.engine.predict(&prompt).label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for i in 0..10 {
+            out.push((
+                format!(
+                    "2022-03-01T00:0{i}:00Z ERROR [NAMPR0{i}FD000{i}] Transport.exe/SmtpOut: \
+                     InformativeSocketException WinSock 11001 socket count 1500{i} (session {i:08x})"
+                ),
+                "HubPortExhaustion".to_string(),
+            ));
+            out.push((
+                format!(
+                    "2022-03-02T00:0{i}:00Z ERROR [EURPR0{i}MB000{i}] Transport.exe/DiagnosticsLog: \
+                     System.IO.IOException not enough space on the disk (session {i:08x})"
+                ),
+                "FullDisk".to_string(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn fasttext_baseline_learns_two_classes() {
+        let model = FastTextBaseline::train(&examples());
+        assert_eq!(
+            model.predict("InformativeSocketException WinSock 11001 socket count"),
+            "HubPortExhaustion"
+        );
+        assert_eq!(
+            model.predict("System.IO.IOException not enough space on the disk"),
+            "FullDisk"
+        );
+    }
+
+    #[test]
+    fn xgboost_baseline_fits_its_training_set() {
+        // A 20-document booster is too small to demand held-out
+        // generalization; what must hold is that the TF-IDF → dense →
+        // GBDT wiring separates the training classes.
+        let examples = examples();
+        let model = XgboostBaseline::train(&examples);
+        let correct = examples
+            .iter()
+            .filter(|(t, l)| model.predict(t) == *l)
+            .count();
+        assert!(
+            correct >= examples.len() * 9 / 10,
+            "train accuracy {correct}/{}",
+            examples.len()
+        );
+    }
+
+    #[test]
+    fn finetune_baseline_learns_two_classes() {
+        let model = FineTuneBaseline::train(&examples());
+        assert_eq!(
+            model.predict("WinSock socket count 15000 InformativeSocketException"),
+            "HubPortExhaustion"
+        );
+    }
+
+    #[test]
+    fn zero_shot_free_generates_labels() {
+        let zs = ZeroShotBaseline::new(ModelProfile::Gpt4, 1);
+        let label = zs.predict("System.IO.IOException: not enough space on the disk");
+        // Free generation produces a descriptive keyword, not the OCE
+        // taxonomy label — the reason this baseline scores so low.
+        assert_eq!(label, "I/O Bottleneck");
+        assert_ne!(label, "FullDisk");
+    }
+}

@@ -1,0 +1,253 @@
+//! The diagnostic information collection stage (paper §4.1).
+
+use rcacopilot_handlers::{Handler, HandlerError, HandlerRegistry, HandlerRun};
+use rcacopilot_simcloud::Incident;
+use serde::{Deserialize, Serialize};
+
+/// A known-issue entry: alert-message pattern → category + mitigation
+/// (the "Known issue?" node of the paper's Figure 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnownIssue {
+    /// Substring matched against the alert message.
+    pub pattern: String,
+    /// Root-cause category of the known issue.
+    pub category: String,
+    /// Mitigation OCEs apply directly.
+    pub mitigation: String,
+}
+
+/// The database of known issues OCEs have registered.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnownIssueDb {
+    issues: Vec<KnownIssue>,
+}
+
+impl KnownIssueDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        KnownIssueDb::default()
+    }
+
+    /// Registers a known issue.
+    pub fn register(
+        &mut self,
+        pattern: impl Into<String>,
+        category: impl Into<String>,
+        mitigation: impl Into<String>,
+    ) {
+        self.issues.push(KnownIssue {
+            pattern: pattern.into(),
+            category: category.into(),
+            mitigation: mitigation.into(),
+        });
+    }
+
+    /// Number of registered issues.
+    pub fn len(&self) -> usize {
+        self.issues.len()
+    }
+
+    /// True if no issues are registered.
+    pub fn is_empty(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Looks an alert message up; returns the first matching issue.
+    pub fn lookup(&self, alert_message: &str) -> Option<&KnownIssue> {
+        self.issues
+            .iter()
+            .find(|i| alert_message.contains(i.pattern.as_str()))
+    }
+}
+
+/// One incident after the collection stage ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectedIncident {
+    /// Rendered alert info (Table 3's "AlertInfo").
+    pub alert_info: String,
+    /// Handler execution result (sections, path, outputs, mitigations).
+    pub run: HandlerRun,
+    /// Known issue hit, if the alert matched one.
+    pub known_issue: Option<KnownIssue>,
+}
+
+impl CollectedIncident {
+    /// The raw diagnostic text (Table 3's "DiagnosticInfo", unsummarized).
+    pub fn diagnostic_text(&self) -> String {
+        self.run.diagnostic_text()
+    }
+}
+
+/// The collection stage: handler registry + known-issue database.
+#[derive(Debug, Default)]
+pub struct CollectionStage {
+    registry: HandlerRegistry,
+    known_issues: KnownIssueDb,
+}
+
+impl CollectionStage {
+    /// Creates a collection stage around a handler registry.
+    pub fn new(registry: HandlerRegistry) -> Self {
+        CollectionStage {
+            registry,
+            known_issues: KnownIssueDb::new(),
+        }
+    }
+
+    /// Creates the stage with the standard handler library.
+    pub fn standard() -> Self {
+        CollectionStage::new(rcacopilot_handlers::standard_handlers())
+    }
+
+    /// Mutable access to the known-issue database.
+    pub fn known_issues_mut(&mut self) -> &mut KnownIssueDb {
+        &mut self.known_issues
+    }
+
+    /// The handler registry.
+    pub fn registry(&self) -> &HandlerRegistry {
+        &self.registry
+    }
+
+    /// The current handler for an incident's alert type, if registered.
+    pub fn handler_for(&self, incident: &Incident) -> Option<Handler> {
+        self.registry.current(incident.alert.alert_type)
+    }
+
+    /// Runs the matching handler over the incident's snapshot, collecting
+    /// the multi-source diagnostic information.
+    ///
+    /// Returns an error if no handler is registered for the alert type or
+    /// the handler is malformed.
+    pub fn collect(&self, incident: &Incident) -> Result<CollectedIncident, CollectionError> {
+        let handler = self
+            .handler_for(incident)
+            .ok_or(CollectionError::NoHandler(incident.alert.alert_type.name()))?;
+        let run = handler
+            .execute(&incident.snapshot, incident.alert.scope)
+            .map_err(CollectionError::Handler)?;
+        Ok(CollectedIncident {
+            alert_info: incident.alert_info(),
+            known_issue: self.known_issues.lookup(&incident.alert.message).cloned(),
+            run,
+        })
+    }
+}
+
+/// Errors from the collection stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectionError {
+    /// No handler registered for the alert type.
+    NoHandler(&'static str),
+    /// The handler failed validation or execution.
+    Handler(HandlerError),
+}
+
+impl std::fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectionError::NoHandler(at) => write!(f, "no handler registered for {at}"),
+            CollectionError::Handler(e) => write!(f, "handler failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcacopilot_simcloud::noise::NoiseProfile;
+    use rcacopilot_simcloud::{generate_dataset, CampaignConfig, Topology};
+
+    fn dataset() -> rcacopilot_simcloud::IncidentDataset {
+        generate_dataset(&CampaignConfig {
+            seed: 11,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 6,
+                herring_logs: 2,
+                healthy_traces: 2,
+                unrelated_failure: true,
+                bystander_anomalies: 2,
+            },
+        })
+    }
+
+    #[test]
+    fn collection_produces_diagnostics_for_every_incident() {
+        let ds = dataset();
+        let stage = CollectionStage::standard();
+        for inc in ds.incidents().iter().take(80) {
+            let collected = stage.collect(inc).expect("handler exists");
+            assert!(
+                !collected.diagnostic_text().is_empty(),
+                "{}: empty diagnostics",
+                inc.category
+            );
+            assert!(!collected.run.path.is_empty());
+            assert!(collected.alert_info.contains("Alert type"));
+        }
+    }
+
+    #[test]
+    fn hub_port_incident_diagnostics_contain_figure6_signal() {
+        let ds = dataset();
+        let stage = CollectionStage::standard();
+        let inc = ds
+            .incidents()
+            .iter()
+            .find(|i| i.category == "HubPortExhaustion")
+            .expect("head category present");
+        let collected = stage.collect(inc).unwrap();
+        let text = collected.diagnostic_text();
+        assert!(text.contains("WinSock error: 11001"), "text: {text}");
+        assert!(text.contains("Total UDP socket count"));
+    }
+
+    #[test]
+    fn known_issue_lookup_matches_patterns() {
+        let mut db = KnownIssueDb::new();
+        db.register(
+            "front door server",
+            "HubPortExhaustion",
+            "Recycle the Transport service on the affected front door.",
+        );
+        assert_eq!(db.len(), 1);
+        let hit = db
+            .lookup("Detected failures when connecting to the front door server; outbound proxy connection requests failing.")
+            .expect("pattern matches");
+        assert_eq!(hit.category, "HubPortExhaustion");
+        assert!(db.lookup("unrelated message").is_none());
+    }
+
+    #[test]
+    fn collection_attaches_known_issue_when_registered() {
+        let ds = dataset();
+        let mut stage = CollectionStage::standard();
+        stage.known_issues_mut().register(
+            "front door server",
+            "HubPortExhaustion",
+            "Recycle transport.",
+        );
+        let inc = ds
+            .incidents()
+            .iter()
+            .find(|i| i.category == "HubPortExhaustion")
+            .unwrap();
+        let collected = stage.collect(inc).unwrap();
+        assert_eq!(
+            collected.known_issue.as_ref().map(|k| k.category.as_str()),
+            Some("HubPortExhaustion")
+        );
+    }
+
+    #[test]
+    fn missing_handler_is_reported() {
+        let stage = CollectionStage::new(HandlerRegistry::new());
+        let ds = dataset();
+        let err = stage.collect(&ds.incidents()[0]).unwrap_err();
+        assert!(matches!(err, CollectionError::NoHandler(_)));
+        assert!(err.to_string().contains("no handler"));
+    }
+}

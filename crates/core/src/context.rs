@@ -1,0 +1,165 @@
+//! Prompt-context construction — the Table 3 ablation surface.
+
+use crate::collection::CollectedIncident;
+use rcacopilot_llm::Summarizer;
+use serde::{Deserialize, Serialize};
+
+/// Which pieces of incident information go into the LLM context.
+///
+/// Paper Table 3 ablates AlertInfo / DiagnosticInfo (raw or summarized) /
+/// ActionOutput. The default is the paper's best configuration:
+/// summarized diagnostic information only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextSpec {
+    /// Include the alert type/scope/severity line.
+    pub alert_info: bool,
+    /// Include the handler-collected diagnostic information.
+    pub diagnostic_info: bool,
+    /// Summarize the diagnostic information first (only meaningful when
+    /// `diagnostic_info` is set).
+    pub summarized: bool,
+    /// Include the per-action key-value outputs.
+    pub action_output: bool,
+}
+
+impl Default for ContextSpec {
+    fn default() -> Self {
+        ContextSpec {
+            alert_info: false,
+            diagnostic_info: true,
+            summarized: true,
+            action_output: false,
+        }
+    }
+}
+
+impl ContextSpec {
+    /// All seven Table 3 rows, in the table's order.
+    pub fn table3_rows() -> Vec<(String, ContextSpec)> {
+        let spec = |a: bool, d: bool, s: bool, o: bool| ContextSpec {
+            alert_info: a,
+            diagnostic_info: d,
+            summarized: s,
+            action_output: o,
+        };
+        vec![
+            (
+                "DiagnosticInfo".to_string(),
+                spec(false, true, false, false),
+            ),
+            (
+                "DiagnosticInfo (sum.)".to_string(),
+                spec(false, true, true, false),
+            ),
+            ("AlertInfo".to_string(), spec(true, false, false, false)),
+            (
+                "AlertInfo + DiagnosticInfo".to_string(),
+                spec(true, true, false, false),
+            ),
+            (
+                "AlertInfo + ActionOutput".to_string(),
+                spec(true, false, false, true),
+            ),
+            (
+                "DiagnosticInfo + ActionOutput".to_string(),
+                spec(false, true, false, true),
+            ),
+            (
+                "AlertInfo + DiagnosticInfo + ActionOutput".to_string(),
+                spec(true, true, false, true),
+            ),
+        ]
+    }
+
+    /// Renders the context text for one collected incident.
+    pub fn render(&self, collected: &CollectedIncident, summarizer: &Summarizer) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if self.alert_info {
+            parts.push(collected.alert_info.clone());
+        }
+        if self.diagnostic_info {
+            let diag = collected.diagnostic_text();
+            if self.summarized {
+                parts.push(summarizer.summarize(&diag));
+            } else {
+                parts.push(diag);
+            }
+        }
+        if self.action_output {
+            parts.push(collected.run.action_output_text());
+        }
+        parts.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcacopilot_handlers::HandlerRun;
+    use rcacopilot_telemetry::query::QueryResult;
+
+    fn collected() -> CollectedIncident {
+        let mut section = QueryResult::titled("Disk usage on forest NAMPR00");
+        section.push_row("NAMPR00MB0001 C:", "99.6% used, 120 MB free");
+        let mut run = HandlerRun::default();
+        run.sections.push(section);
+        run.action_outputs.push((
+            "Check disk usage".into(),
+            "NAMPR00MB0001 C:=99.6% used".into(),
+        ));
+        CollectedIncident {
+            alert_info:
+                "Alert type: ProcessCrashSpike. Alert scope: forest NAMPR00. Severity: Sev2.".into(),
+            run,
+            known_issue: None,
+        }
+    }
+
+    #[test]
+    fn default_is_summarized_diagnostics_only() {
+        let spec = ContextSpec::default();
+        let text = spec.render(&collected(), &Summarizer::default());
+        assert!(text.contains("99.6%"));
+        assert!(!text.contains("Alert type"));
+        assert!(!text.contains("Check disk usage:"));
+    }
+
+    #[test]
+    fn alert_only_context_has_no_diagnostics() {
+        let spec = ContextSpec {
+            alert_info: true,
+            diagnostic_info: false,
+            summarized: false,
+            action_output: false,
+        };
+        let text = spec.render(&collected(), &Summarizer::default());
+        assert!(text.contains("Alert type: ProcessCrashSpike"));
+        assert!(!text.contains("99.6%"));
+    }
+
+    #[test]
+    fn all_contexts_concatenate_in_order() {
+        let spec = ContextSpec {
+            alert_info: true,
+            diagnostic_info: true,
+            summarized: false,
+            action_output: true,
+        };
+        let text = spec.render(&collected(), &Summarizer::default());
+        let a = text.find("Alert type").unwrap();
+        let d = text.find("Disk usage").unwrap();
+        let o = text.find("Check disk usage:").unwrap();
+        assert!(a < d && d < o);
+    }
+
+    #[test]
+    fn table3_has_seven_distinct_rows() {
+        let rows = ContextSpec::table3_rows();
+        assert_eq!(rows.len(), 7);
+        let mut specs: Vec<ContextSpec> = rows.iter().map(|(_, s)| *s).collect();
+        specs.dedup();
+        assert_eq!(specs.len(), 7);
+        // The paper's winning row is the default.
+        assert_eq!(rows[1].1, ContextSpec::default());
+    }
+}

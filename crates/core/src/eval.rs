@@ -1,0 +1,383 @@
+//! The evaluation harness behind Tables 2–3 and Figure 12.
+
+use crate::baselines::{FastTextBaseline, FineTuneBaseline, XgboostBaseline, ZeroShotBaseline};
+use crate::collection::CollectionStage;
+use crate::context::ContextSpec;
+use crate::metrics::{f1_scores, F1Report};
+use crate::pipeline::{Embedder, RcaCopilot, RcaCopilotConfig, TrainExample};
+use rcacopilot_llm::{ModelProfile, Summarizer};
+use rcacopilot_simcloud::{IncidentDataset, TrainTestSplit};
+use rcacopilot_telemetry::time::SimTime;
+use std::time::Instant;
+
+/// One incident after the (expensive) collection + summarization pass.
+#[derive(Debug, Clone)]
+pub struct PreparedIncident {
+    /// Ground-truth category.
+    pub category: String,
+    /// Occurrence time.
+    pub at: SimTime,
+    /// First occurrence of its category in the year.
+    pub first_of_category: bool,
+    /// Rendered alert info.
+    pub alert_info: String,
+    /// Raw handler-collected diagnostics.
+    pub raw_diag: String,
+    /// Summarized diagnostics (120–140-word budget).
+    pub summary: String,
+    /// Handler action outputs as text.
+    pub action_output: String,
+}
+
+/// The dataset after collection/summarization, with its split.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    /// All incidents, chronological.
+    pub incidents: Vec<PreparedIncident>,
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Testing indices.
+    pub test: Vec<usize>,
+}
+
+impl PreparedDataset {
+    /// Runs the collection stage and summarizer over the whole dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any incident lacks a handler (the standard library covers
+    /// every alert type, so this indicates a wiring bug).
+    pub fn prepare(dataset: &IncidentDataset, split: &TrainTestSplit) -> Self {
+        let stage = CollectionStage::standard();
+        let summarizer = Summarizer::default();
+        let incidents: Vec<PreparedIncident> = parallel_map(dataset.incidents(), |inc| {
+            let collected = stage
+                .collect(inc)
+                .expect("standard handlers cover all alerts");
+            let raw_diag = collected.diagnostic_text();
+            let summary = summarizer.summarize(&raw_diag);
+            PreparedIncident {
+                category: inc.category.clone(),
+                at: inc.occurred_at(),
+                first_of_category: inc.first_of_category,
+                alert_info: collected.alert_info.clone(),
+                raw_diag,
+                summary,
+                action_output: collected.run.action_output_text(),
+            }
+        });
+        PreparedDataset {
+            incidents,
+            train: split.train.clone(),
+            test: split.test.clone(),
+        }
+    }
+
+    /// Renders the Table 3 context text of incident `idx` under `spec`
+    /// (summaries are precomputed, so this is cheap).
+    pub fn context_text(&self, idx: usize, spec: &ContextSpec) -> String {
+        let inc = &self.incidents[idx];
+        let mut parts: Vec<&str> = Vec::new();
+        if spec.alert_info {
+            parts.push(&inc.alert_info);
+        }
+        if spec.diagnostic_info {
+            if spec.summarized {
+                parts.push(&inc.summary);
+            } else {
+                parts.push(&inc.raw_diag);
+            }
+        }
+        if spec.action_output {
+            parts.push(&inc.action_output);
+        }
+        parts.join("\n")
+    }
+
+    /// Builds pipeline training examples under a context spec.
+    pub fn train_examples(&self, spec: &ContextSpec) -> Vec<TrainExample> {
+        self.train
+            .iter()
+            .map(|&i| {
+                let inc = &self.incidents[i];
+                TrainExample {
+                    raw_diag: inc.raw_diag.clone(),
+                    demo_text: self.context_text(i, spec),
+                    category: inc.category.clone(),
+                    at: inc.at,
+                }
+            })
+            .collect()
+    }
+
+    /// Raw `(text, label)` pairs of the training split, for baselines.
+    pub fn raw_train_pairs(&self) -> Vec<(String, String)> {
+        self.train
+            .iter()
+            .map(|&i| {
+                (
+                    self.incidents[i].raw_diag.clone(),
+                    self.incidents[i].category.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Gold labels of the test split.
+    pub fn test_gold(&self) -> Vec<String> {
+        self.test
+            .iter()
+            .map(|&i| self.incidents[i].category.clone())
+            .collect()
+    }
+
+    /// Number of test incidents whose category never occurs in training.
+    pub fn unseen_test_count(&self) -> usize {
+        let train_cats: std::collections::BTreeSet<&str> = self
+            .train
+            .iter()
+            .map(|&i| self.incidents[i].category.as_str())
+            .collect();
+        self.test
+            .iter()
+            .filter(|&&i| !train_cats.contains(self.incidents[i].category.as_str()))
+            .count()
+    }
+}
+
+/// A Table 2 method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Full RCACopilot with the given simulated model.
+    RcaCopilot(ModelProfile),
+    /// FastText classifier on raw diagnostics.
+    FastText,
+    /// XGBoost on truncated TF-IDF of raw diagnostics.
+    Xgboost,
+    /// Fine-tuned LM (naive Bayes over BPE tokens) on raw diagnostics.
+    FineTune,
+    /// Zero-shot prompt: no demonstrations ("GPT-4 Prompt").
+    ZeroShot,
+    /// RCACopilot with the untrained generic LM embedding ("GPT-4 Embed.").
+    LmEmbed,
+}
+
+impl Method {
+    /// Display name matching the paper's Table 2 rows.
+    pub fn name(&self) -> String {
+        match self {
+            Method::RcaCopilot(p) => format!("RCACopilot ({})", p.name()),
+            Method::FastText => "FastText".to_string(),
+            Method::Xgboost => "XGBoost".to_string(),
+            Method::FineTune => "Fine-tune LM".to_string(),
+            Method::ZeroShot => "GPT-4 Prompt (zero-shot)".to_string(),
+            Method::LmEmbed => "GPT-4 Embed.".to_string(),
+        }
+    }
+}
+
+/// Outcome of evaluating one method.
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    /// Method display name.
+    pub name: String,
+    /// Scoring report on the test split.
+    pub f1: F1Report,
+    /// Wall-clock training time, seconds.
+    pub train_secs: f64,
+    /// Mean wall-clock inference time per incident, seconds.
+    pub infer_secs_avg: f64,
+    /// Predicted labels, aligned with the test split.
+    pub predictions: Vec<String>,
+}
+
+/// Evaluates one method on a prepared dataset. `seed` feeds the simulated
+/// LLM's noise stream (vary it per round for the §5.6 protocol).
+pub fn evaluate_method(prepared: &PreparedDataset, method: Method, seed: u64) -> MethodReport {
+    let gold = prepared.test_gold();
+    let started = Instant::now();
+    let (train_secs, predictions): (f64, Vec<String>) = match method {
+        Method::RcaCopilot(profile) => {
+            let spec = ContextSpec::default();
+            let config = RcaCopilotConfig {
+                profile,
+                llm_seed: seed,
+                ..RcaCopilotConfig::default()
+            };
+            let copilot = RcaCopilot::train(&prepared.train_examples(&spec), config);
+            let train_secs = started.elapsed().as_secs_f64();
+            let preds = parallel_map(&prepared.test, |&i| {
+                let inc = &prepared.incidents[i];
+                copilot
+                    .predict(&inc.raw_diag, &prepared.context_text(i, &spec), inc.at)
+                    .label
+            });
+            (train_secs, preds)
+        }
+        Method::LmEmbed => {
+            let spec = ContextSpec::default();
+            let config = RcaCopilotConfig {
+                profile: ModelProfile::Gpt4,
+                llm_seed: seed,
+                ..RcaCopilotConfig::default()
+            };
+            let copilot = RcaCopilot::train_with_embedder(
+                &prepared.train_examples(&spec),
+                Embedder::GenericLm { dim: 64 },
+                config,
+            );
+            let train_secs = started.elapsed().as_secs_f64();
+            let preds = parallel_map(&prepared.test, |&i| {
+                let inc = &prepared.incidents[i];
+                copilot
+                    .predict(&inc.raw_diag, &prepared.context_text(i, &spec), inc.at)
+                    .label
+            });
+            (train_secs, preds)
+        }
+        Method::FastText => {
+            let model = FastTextBaseline::train(&prepared.raw_train_pairs());
+            let train_secs = started.elapsed().as_secs_f64();
+            let preds = parallel_map(&prepared.test, |&i| {
+                model.predict(&prepared.incidents[i].raw_diag)
+            });
+            (train_secs, preds)
+        }
+        Method::Xgboost => {
+            let model = XgboostBaseline::train(&prepared.raw_train_pairs());
+            let train_secs = started.elapsed().as_secs_f64();
+            let preds = parallel_map(&prepared.test, |&i| {
+                model.predict(&prepared.incidents[i].raw_diag)
+            });
+            (train_secs, preds)
+        }
+        Method::FineTune => {
+            let model = FineTuneBaseline::train(&prepared.raw_train_pairs());
+            let train_secs = started.elapsed().as_secs_f64();
+            let preds = parallel_map(&prepared.test, |&i| {
+                model.predict(&prepared.incidents[i].raw_diag)
+            });
+            (train_secs, preds)
+        }
+        Method::ZeroShot => {
+            let model = ZeroShotBaseline::new(ModelProfile::Gpt4, seed);
+            let preds = parallel_map(&prepared.test, |&i| {
+                model.predict(&prepared.incidents[i].summary)
+            });
+            (0.0, preds)
+        }
+    };
+    let total = started.elapsed().as_secs_f64();
+    let infer_secs_avg = (total - train_secs).max(0.0) / prepared.test.len().max(1) as f64;
+    MethodReport {
+        name: method.name(),
+        f1: f1_scores(&gold, &predictions),
+        train_secs,
+        infer_secs_avg,
+        predictions,
+    }
+}
+
+/// Runs RCACopilot for several rounds with different LLM noise seeds —
+/// the trustworthiness protocol of §5.6.
+pub fn stability_rounds(
+    prepared: &PreparedDataset,
+    profile: ModelProfile,
+    seeds: &[u64],
+) -> Vec<F1Report> {
+    seeds
+        .iter()
+        .map(|&s| evaluate_method(prepared, Method::RcaCopilot(profile), s).f1)
+        .collect()
+}
+
+/// Parallel map preserving order, scoped threads, no unsafe.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 8 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<Vec<R>>> = (0..threads).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, piece) in results.iter_mut().zip(items.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(piece.iter().map(f).collect());
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results.into_iter().flatten().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcacopilot_simcloud::noise::NoiseProfile;
+    use rcacopilot_simcloud::{generate_dataset, CampaignConfig, Topology};
+
+    fn prepared() -> PreparedDataset {
+        let ds = generate_dataset(&CampaignConfig {
+            seed: 5,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 6,
+                herring_logs: 2,
+                healthy_traces: 2,
+                unrelated_failure: true,
+                bystander_anomalies: 2,
+            },
+        });
+        let split = ds.split(1, 0.75);
+        PreparedDataset::prepare(&ds, &split)
+    }
+
+    #[test]
+    fn preparation_fills_all_fields() {
+        let p = prepared();
+        assert_eq!(p.incidents.len(), 653);
+        assert_eq!(p.train.len() + p.test.len(), 653);
+        for inc in p.incidents.iter().take(30) {
+            assert!(!inc.raw_diag.is_empty());
+            assert!(!inc.summary.is_empty(), "{} summary empty", inc.category);
+            assert!(!inc.alert_info.is_empty());
+            assert!(!inc.action_output.is_empty());
+            // The summary is a genuine compression.
+            assert!(inc.summary.len() < inc.raw_diag.len());
+        }
+    }
+
+    #[test]
+    fn some_test_categories_are_unseen_in_training() {
+        let p = prepared();
+        let unseen = p.unseen_test_count();
+        // 163 categories, many singletons: the 25% test slice holds some.
+        assert!(unseen > 3, "unseen test incidents: {unseen}");
+        assert!(unseen < p.test.len() / 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let small = parallel_map(&items[..3], |&x| x + 1);
+        assert_eq!(small, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_shot_is_cheap_and_scores_low() {
+        let p = prepared();
+        let report = evaluate_method(&p, Method::ZeroShot, 1);
+        assert_eq!(report.predictions.len(), p.test.len());
+        assert!(
+            report.f1.micro_f1 < 0.2,
+            "zero-shot should be weak: {}",
+            report.f1.micro_f1
+        );
+    }
+}

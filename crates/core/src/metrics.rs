@@ -1,0 +1,222 @@
+//! Micro/macro F1 scoring for multi-class predictions.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-class precision/recall/F1 with support.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassScores {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Gold occurrences of the class.
+    pub support: usize,
+}
+
+/// The full scoring report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct F1Report {
+    /// Micro-averaged F1 (for single-label classification this equals
+    /// accuracy, which is how the paper's Micro column behaves).
+    pub micro_f1: f64,
+    /// Macro-averaged F1 over classes present in the gold labels.
+    pub macro_f1: f64,
+    /// Per-class breakdown (gold classes only).
+    pub per_class: BTreeMap<String, ClassScores>,
+}
+
+/// Computes micro and macro F1 for aligned gold/predicted label slices.
+///
+/// Macro averages over classes that appear in the *gold* labels; a
+/// prediction of a label outside the gold set counts as a false positive
+/// nowhere and a false negative for its gold class (standard convention
+/// when generated labels may be novel strings).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn f1_scores(gold: &[String], pred: &[String]) -> F1Report {
+    assert_eq!(gold.len(), pred.len(), "gold/pred length mismatch");
+    assert!(!gold.is_empty(), "cannot score zero predictions");
+
+    let mut tp: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut fp: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut fn_: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut support: BTreeMap<&str, usize> = BTreeMap::new();
+
+    for (g, p) in gold.iter().zip(pred) {
+        *support.entry(g.as_str()).or_insert(0) += 1;
+        if g == p {
+            *tp.entry(g.as_str()).or_insert(0) += 1;
+        } else {
+            *fn_.entry(g.as_str()).or_insert(0) += 1;
+            *fp.entry(p.as_str()).or_insert(0) += 1;
+        }
+    }
+
+    let total_tp: usize = tp.values().sum();
+    let n = gold.len();
+    // Single-label: ΣFP = ΣFN = N − ΣTP, so micro P = R = F1 = accuracy.
+    let micro_f1 = total_tp as f64 / n as f64;
+
+    let mut per_class = BTreeMap::new();
+    let mut macro_sum = 0.0;
+    for (&class, &sup) in &support {
+        let tp_c = tp.get(class).copied().unwrap_or(0) as f64;
+        let fp_c = fp.get(class).copied().unwrap_or(0) as f64;
+        let fn_c = fn_.get(class).copied().unwrap_or(0) as f64;
+        let precision = if tp_c + fp_c > 0.0 {
+            tp_c / (tp_c + fp_c)
+        } else {
+            0.0
+        };
+        let recall = if tp_c + fn_c > 0.0 {
+            tp_c / (tp_c + fn_c)
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        macro_sum += f1;
+        per_class.insert(
+            class.to_string(),
+            ClassScores {
+                precision,
+                recall,
+                f1,
+                support: sup,
+            },
+        );
+    }
+    let macro_f1 = macro_sum / per_class.len() as f64;
+
+    F1Report {
+        micro_f1,
+        macro_f1,
+        per_class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let gold = s(&["a", "b", "a", "c"]);
+        let r = f1_scores(&gold, &gold);
+        assert_eq!(r.micro_f1, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        assert_eq!(r.per_class["a"].support, 2);
+    }
+
+    #[test]
+    fn micro_equals_accuracy_for_single_label() {
+        let gold = s(&["a", "a", "a", "b"]);
+        let pred = s(&["a", "a", "b", "b"]);
+        let r = f1_scores(&gold, &pred);
+        assert!((r.micro_f1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_punishes_minority_class_failure() {
+        // 9 correct on the majority class, total miss on the minority.
+        let mut gold = vec!["maj".to_string(); 9];
+        gold.push("min".to_string());
+        let mut pred = vec!["maj".to_string(); 9];
+        pred.push("maj".to_string());
+        let r = f1_scores(&gold, &pred);
+        assert!(r.micro_f1 > 0.89);
+        // maj: P = 9/10, R = 1 → F1 ≈ 0.947; min: 0. Macro ≈ 0.474.
+        assert!((r.macro_f1 - 0.4737).abs() < 0.01, "macro {}", r.macro_f1);
+    }
+
+    #[test]
+    fn novel_predicted_labels_are_not_macro_classes() {
+        let gold = s(&["a", "b"]);
+        let pred = s(&["I/O Bottleneck", "b"]);
+        let r = f1_scores(&gold, &pred);
+        assert_eq!(r.per_class.len(), 2);
+        assert!(!r.per_class.contains_key("I/O Bottleneck"));
+        assert_eq!(r.per_class["a"].recall, 0.0);
+        assert_eq!(r.per_class["b"].f1, 1.0);
+    }
+
+    #[test]
+    fn precision_accounts_for_cross_class_false_positives() {
+        let gold = s(&["a", "b", "b"]);
+        let pred = s(&["b", "b", "b"]);
+        let r = f1_scores(&gold, &pred);
+        let b = r.per_class["b"];
+        assert!((b.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.recall, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = f1_scores(&s(&["a"]), &s(&["a", "b"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero predictions")]
+    fn empty_inputs_panic() {
+        let _ = f1_scores(&[], &[]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn labels(n: usize) -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec(
+            proptest::sample::select(vec!["a", "b", "c", "d"]).prop_map(str::to_string),
+            n..=n,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn scores_are_bounded(gold in labels(17), pred in labels(17)) {
+            let r = f1_scores(&gold, &pred);
+            prop_assert!((0.0..=1.0).contains(&r.micro_f1));
+            prop_assert!((0.0..=1.0).contains(&r.macro_f1));
+        }
+
+        #[test]
+        fn perfect_prediction_scores_one(gold in labels(12)) {
+            let r = f1_scores(&gold, &gold);
+            prop_assert_eq!(r.micro_f1, 1.0);
+            prop_assert_eq!(r.macro_f1, 1.0);
+        }
+
+        #[test]
+        fn micro_counts_exact_matches(gold in labels(20), pred in labels(20)) {
+            let exact = gold.iter().zip(&pred).filter(|(g, p)| g == p).count();
+            let r = f1_scores(&gold, &pred);
+            prop_assert!((r.micro_f1 - exact as f64 / 20.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn macro_never_exceeds_micro_plus_one(gold in labels(20), pred in labels(20)) {
+            // Not a theorem in general, but both must be consistent bounds.
+            let r = f1_scores(&gold, &pred);
+            prop_assert!(r.macro_f1 <= 1.0 && r.micro_f1 <= 1.0);
+            if r.micro_f1 == 0.0 {
+                prop_assert_eq!(r.macro_f1, 0.0);
+            }
+        }
+    }
+}

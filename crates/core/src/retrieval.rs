@@ -1,0 +1,272 @@
+//! Historical-incident retrieval with temporal-decay similarity.
+//!
+//! Paper §4.2.2:
+//!
+//! ```text
+//! Distance(a,b)   = ‖a − b‖₂
+//! Similarity(a,b) = 1/(1 + Distance(a,b)) · e^(−α·|T(a) − T(b)|)
+//! ```
+//!
+//! with the top-K neighbors drawn from *distinct* categories so the
+//! demonstrations stay diverse. `α` is measured per day; the paper's best
+//! values are `K = 5`, `α = 0.3`.
+
+use rcacopilot_telemetry::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Retrieval hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Demonstrations per prompt.
+    pub k: usize,
+    /// Temporal decay rate per day.
+    pub alpha: f64,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig { k: 5, alpha: 0.3 }
+    }
+}
+
+/// One indexed historical incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoricalEntry {
+    /// Caller-assigned id (index into the training set).
+    pub id: usize,
+    /// Root-cause category label.
+    pub category: String,
+    /// Summarized diagnostic information (prompt demonstration text).
+    pub summary: String,
+    /// When the incident occurred.
+    pub at: SimTime,
+    /// Embedding of the incident's (raw) diagnostic information.
+    pub embedding: Vec<f32>,
+}
+
+/// A retrieved neighbor with its similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor<'a> {
+    /// The matched historical entry.
+    pub entry: &'a HistoricalEntry,
+    /// Similarity per the paper's formula.
+    pub similarity: f64,
+}
+
+/// The index of historical incidents.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoricalIndex {
+    entries: Vec<HistoricalEntry>,
+}
+
+/// The paper's similarity formula.
+pub fn similarity(distance: f64, delta_days: f64, alpha: f64) -> f64 {
+    (1.0 / (1.0 + distance)) * (-alpha * delta_days.abs()).exp()
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl HistoricalIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        HistoricalIndex::default()
+    }
+
+    /// Adds a historical incident.
+    pub fn add(&mut self, entry: HistoricalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of indexed incidents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[HistoricalEntry] {
+        &self.entries
+    }
+
+    /// Retrieves the top-`k` most similar incidents **from distinct
+    /// categories** (paper §4.2.2: "we select the top K incidents from
+    /// different categories as demonstrations").
+    pub fn top_k_diverse(
+        &self,
+        query_embedding: &[f32],
+        query_time: SimTime,
+        config: &RetrievalConfig,
+    ) -> Vec<Neighbor<'_>> {
+        let mut scored: Vec<(usize, f64)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let dist = euclidean(query_embedding, &e.embedding);
+                let dt = e.at.abs_diff(query_time).as_days_f64();
+                (i, similarity(dist, dt, config.alpha))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+
+        let mut seen_categories = std::collections::BTreeSet::new();
+        let mut out = Vec::with_capacity(config.k);
+        for (i, sim) in scored {
+            let entry = &self.entries[i];
+            if seen_categories.insert(entry.category.as_str()) {
+                out.push(Neighbor {
+                    entry,
+                    similarity: sim,
+                });
+                if out.len() == config.k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, cat: &str, day: u64, emb: Vec<f32>) -> HistoricalEntry {
+        HistoricalEntry {
+            id,
+            category: cat.to_string(),
+            summary: format!("summary {id}"),
+            at: SimTime::from_days(day),
+            embedding: emb,
+        }
+    }
+
+    #[test]
+    fn similarity_formula_matches_paper() {
+        // Zero distance, zero time gap: similarity 1.
+        assert!((similarity(0.0, 0.0, 0.3) - 1.0).abs() < 1e-12);
+        // Distance 1 halves the spatial part.
+        assert!((similarity(1.0, 0.0, 0.3) - 0.5).abs() < 1e-12);
+        // Ten days at alpha 0.3 decays by e^-3.
+        let s = similarity(0.0, 10.0, 0.3);
+        assert!((s - (-3.0f64).exp()).abs() < 1e-12);
+        // Alpha 0 ignores time.
+        assert_eq!(similarity(2.0, 100.0, 0.0), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn temporal_decay_prefers_recent_incidents() {
+        let mut idx = HistoricalIndex::new();
+        // Same embedding, different times; category must differ to coexist.
+        idx.add(entry(0, "Old", 10, vec![0.0, 0.0]));
+        idx.add(entry(1, "New", 99, vec![0.0, 0.0]));
+        let cfg = RetrievalConfig { k: 2, alpha: 0.3 };
+        let hits = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(100), &cfg);
+        assert_eq!(hits[0].entry.category, "New");
+        assert!(hits[0].similarity > hits[1].similarity);
+        // With alpha = 0 the tie is broken by insertion order, not time.
+        let cfg0 = RetrievalConfig { k: 2, alpha: 0.0 };
+        let hits0 = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(100), &cfg0);
+        assert!((hits0[0].similarity - hits0[1].similarity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_takes_one_per_category() {
+        let mut idx = HistoricalIndex::new();
+        idx.add(entry(0, "A", 50, vec![0.0]));
+        idx.add(entry(1, "A", 50, vec![0.1]));
+        idx.add(entry(2, "B", 50, vec![5.0]));
+        idx.add(entry(3, "C", 50, vec![9.0]));
+        let cfg = RetrievalConfig { k: 3, alpha: 0.0 };
+        let hits = idx.top_k_diverse(&[0.0], SimTime::from_days(50), &cfg);
+        let cats: Vec<&str> = hits.iter().map(|n| n.entry.category.as_str()).collect();
+        assert_eq!(cats, vec!["A", "B", "C"]);
+        // The closer "A" entry represents its category.
+        assert_eq!(hits[0].entry.id, 0);
+    }
+
+    #[test]
+    fn k_larger_than_categories_returns_all_categories() {
+        let mut idx = HistoricalIndex::new();
+        idx.add(entry(0, "A", 1, vec![0.0]));
+        idx.add(entry(1, "B", 1, vec![1.0]));
+        let cfg = RetrievalConfig { k: 10, alpha: 0.3 };
+        let hits = idx.top_k_diverse(&[0.0], SimTime::from_days(1), &cfg);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HistoricalIndex::new();
+        let hits = idx.top_k_diverse(&[0.0], SimTime::EPOCH, &RetrievalConfig::default());
+        assert!(hits.is_empty());
+        assert!(idx.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn similarity_is_bounded_and_monotone(
+            d1 in 0.0f64..50.0, d2 in 0.0f64..50.0,
+            t1 in 0.0f64..365.0, t2 in 0.0f64..365.0,
+            alpha in 0.0f64..2.0
+        ) {
+            let s = similarity(d1, t1, alpha);
+            prop_assert!((0.0..=1.0).contains(&s));
+            // Monotone decreasing in distance at fixed time.
+            if d1 <= d2 {
+                prop_assert!(similarity(d1, t1, alpha) + 1e-12 >= similarity(d2, t1, alpha));
+            }
+            // Monotone decreasing in |Δt| at fixed distance.
+            if t1 <= t2 {
+                prop_assert!(similarity(d1, t1, alpha) + 1e-12 >= similarity(d1, t2, alpha));
+            }
+        }
+
+        #[test]
+        fn top_k_diverse_is_sorted_and_distinct(
+            k in 1usize..8,
+            days in proptest::collection::vec(0u64..364, 1..30)
+        ) {
+            let mut idx = HistoricalIndex::new();
+            for (i, &d) in days.iter().enumerate() {
+                idx.add(HistoricalEntry {
+                    id: i,
+                    category: format!("Cat{}", i % 7),
+                    summary: String::new(),
+                    at: SimTime::from_days(d),
+                    embedding: vec![(i % 5) as f32, (i % 3) as f32],
+                });
+            }
+            let hits = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(180), &RetrievalConfig { k, alpha: 0.3 });
+            prop_assert!(hits.len() <= k);
+            for w in hits.windows(2) {
+                prop_assert!(w[0].similarity + 1e-12 >= w[1].similarity);
+            }
+            let mut cats: Vec<&str> = hits.iter().map(|n| n.entry.category.as_str()).collect();
+            cats.sort_unstable();
+            let before = cats.len();
+            cats.dedup();
+            prop_assert_eq!(cats.len(), before, "duplicate categories in demos");
+        }
+    }
+}

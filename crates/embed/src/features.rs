@@ -1,0 +1,120 @@
+//! Hashed feature extraction for FastText-style models.
+
+use rcacopilot_textkit::ngram::{bucket_of, char_ngrams, word_ngrams};
+use rcacopilot_textkit::normalize::{mask_entities, normalize, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// Turns raw text into hashed feature-bucket indices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    /// Number of hash buckets (rows of the embedding table).
+    pub buckets: usize,
+    /// Minimum character n-gram length.
+    pub min_n: usize,
+    /// Maximum character n-gram length.
+    pub max_n: usize,
+    /// Maximum word n-gram order (1 = unigrams only).
+    pub word_ngrams: usize,
+    /// Whether to mask per-incident entities before tokenizing.
+    pub mask: bool,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor {
+            buckets: 1 << 15,
+            min_n: 3,
+            max_n: 5,
+            word_ngrams: 2,
+            mask: true,
+        }
+    }
+}
+
+impl FeatureExtractor {
+    /// Extracts the bucket indices of all features of `text`.
+    ///
+    /// Features: word n-grams up to `word_ngrams`, plus character n-grams
+    /// of each word (FastText's subword trick). Duplicates are kept —
+    /// frequency matters for the averaged representation.
+    pub fn extract(&self, text: &str) -> Vec<usize> {
+        let canon = if self.mask {
+            normalize(&mask_entities(text))
+        } else {
+            normalize(text)
+        };
+        let tokens = tokenize(&canon);
+        let mut out = Vec::with_capacity(tokens.len() * 6);
+        for gram in word_ngrams(&tokens, self.word_ngrams) {
+            out.push(bucket_of(&gram, self.buckets));
+        }
+        for tok in &tokens {
+            // Placeholders (<machine>, <num>, ...) carry no subword signal.
+            if tok.starts_with('<') {
+                continue;
+            }
+            for gram in char_ngrams(tok, self.min_n, self.max_n) {
+                out.push(bucket_of(&gram, self.buckets));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_is_deterministic_and_in_range() {
+        let fx = FeatureExtractor::default();
+        let a = fx.extract("UDP socket count exhausted on NAMPR03FD0001");
+        let b = fx.extract("UDP socket count exhausted on NAMPR03FD0001");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|&i| i < fx.buckets));
+    }
+
+    #[test]
+    fn masking_makes_machine_names_irrelevant() {
+        let fx = FeatureExtractor::default();
+        let a = fx.extract("probe failed on NAMPR03FD0001 with WinSock 11001");
+        let b = fx.extract("probe failed on EURPR07FD0002 with WinSock 11001");
+        assert_eq!(a, b, "masked machine names must not change features");
+        let fx_raw = FeatureExtractor {
+            mask: false,
+            ..FeatureExtractor::default()
+        };
+        let c = fx_raw.extract("probe failed on NAMPR03FD0001 with WinSock 11001");
+        let d = fx_raw.extract("probe failed on EURPR07FD0002 with WinSock 11001");
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn similar_texts_share_features() {
+        let fx = FeatureExtractor::default();
+        let a: std::collections::BTreeSet<usize> = fx
+            .extract("TenantSettingsNotFoundException in journaling")
+            .into_iter()
+            .collect();
+        let b: std::collections::BTreeSet<usize> = fx
+            .extract("TenantSettingsNotFoundException in submission")
+            .into_iter()
+            .collect();
+        let c: std::collections::BTreeSet<usize> =
+            fx.extract("UDP hub ports exhausted").into_iter().collect();
+        let ab = a.intersection(&b).count();
+        let ac = a.intersection(&c).count();
+        assert!(
+            ab > ac * 2,
+            "related texts should share more buckets ({ab} vs {ac})"
+        );
+    }
+
+    #[test]
+    fn empty_text_yields_no_features() {
+        let fx = FeatureExtractor::default();
+        assert!(fx.extract("").is_empty());
+        assert!(fx.extract("   \n\t ").is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! Nearest-neighbor indexes over dense embeddings.
+//!
+//! The retrieval stage needs Euclidean nearest neighbors (paper §4.2.2).
+//! [`BruteForceIndex`] is exact; [`IvfIndex`] adds a k-means coarse
+//! quantizer (inverted file) for larger deployments, trading a little
+//! recall for sublinear probing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Squared Euclidean distance.
+fn d2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// An exact nearest-neighbor index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BruteForceIndex {
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl BruteForceIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        BruteForceIndex::default()
+    }
+
+    /// Adds a vector under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector`'s dimension differs from previously added ones.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        if let Some(first) = self.vectors.first() {
+            assert_eq!(first.len(), vector.len(), "dimension mismatch");
+        }
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `k` nearest neighbors of `query` as `(id, euclidean distance)`,
+    /// closest first.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        let mut hits: Vec<(u64, f32)> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| (id, d2(query, v)))
+            .collect();
+        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        hits.truncate(k);
+        hits.into_iter().map(|(id, d)| (id, d.sqrt())).collect()
+    }
+}
+
+/// An inverted-file index: k-means coarse quantizer + per-cell lists.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfIndex {
+    centroids: Vec<Vec<f32>>,
+    cells: Vec<Vec<(u64, Vec<f32>)>>,
+    /// Number of cells probed per query.
+    nprobe: usize,
+}
+
+impl IvfIndex {
+    /// Builds an IVF index over `(id, vector)` pairs with `ncells` k-means
+    /// cells, probing `nprobe` cells per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or `ncells`/`nprobe` is zero.
+    pub fn build(items: &[(u64, Vec<f32>)], ncells: usize, nprobe: usize, seed: u64) -> Self {
+        assert!(!items.is_empty(), "cannot build an empty IVF index");
+        assert!(
+            ncells > 0 && nprobe > 0,
+            "ncells and nprobe must be positive"
+        );
+        let ncells = ncells.min(items.len());
+        let dim = items[0].1.len();
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // K-means++ -lite init: random distinct points.
+        let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(ncells);
+        let mut chosen = std::collections::BTreeSet::new();
+        while centroids.len() < ncells {
+            let i = rng.gen_range(0..items.len());
+            if chosen.insert(i) {
+                centroids.push(items[i].1.clone());
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; items.len()];
+        for _ in 0..12 {
+            let mut changed = false;
+            for (i, (_, v)) in items.iter().enumerate() {
+                let best = nearest_centroid(&centroids, v);
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0f32; dim]; ncells];
+            let mut counts = vec![0usize; ncells];
+            for (i, (_, v)) in items.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, x) in sums[assignment[i]].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    for (cv, s) in c.iter_mut().zip(sum) {
+                        *cv = s / *count as f32;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut cells: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); ncells];
+        for (i, (id, v)) in items.iter().enumerate() {
+            cells[assignment[i]].push((*id, v.clone()));
+        }
+        IvfIndex {
+            centroids,
+            cells,
+            nprobe: nprobe.min(ncells),
+        }
+    }
+
+    /// Total vectors indexed.
+    pub fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// True if the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate `k` nearest neighbors of `query`, closest first.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        // Rank cells by centroid distance, probe the closest `nprobe`.
+        let mut order: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, d2(c, query)))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        let mut hits: Vec<(u64, f32)> = Vec::new();
+        for &(cell, _) in order.iter().take(self.nprobe) {
+            for (id, v) in &self.cells[cell] {
+                hits.push((*id, d2(v, query)));
+            }
+        }
+        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        hits.truncate(k);
+        hits.into_iter().map(|(id, d)| (id, d.sqrt())).collect()
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = d2(c, v);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_data() -> Vec<(u64, Vec<f32>)> {
+        // Three tight clusters around (0,0), (10,0), (0,10).
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        for i in 0..30u64 {
+            let (cx, cy) = match i % 3 {
+                0 => (0.0, 0.0),
+                1 => (10.0, 0.0),
+                _ => (0.0, 10.0),
+            };
+            out.push((
+                i,
+                vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)],
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn brute_force_returns_exact_neighbors_sorted() {
+        let mut idx = BruteForceIndex::new();
+        for (id, v) in cluster_data() {
+            idx.add(id, v);
+        }
+        let hits = idx.knn(&[0.0, 0.0], 5);
+        assert_eq!(hits.len(), 5);
+        for w in hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // All five neighbors come from the (0,0) cluster (ids % 3 == 0).
+        for (id, d) in &hits {
+            assert_eq!(id % 3, 0, "wrong cluster for id {id}");
+            assert!(*d < 2.0);
+        }
+    }
+
+    #[test]
+    fn knn_handles_k_larger_than_len() {
+        let mut idx = BruteForceIndex::new();
+        idx.add(1, vec![0.0]);
+        idx.add(2, vec![1.0]);
+        let hits = idx.knn(&[0.0], 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_dimensions_panic() {
+        let mut idx = BruteForceIndex::new();
+        idx.add(1, vec![0.0, 1.0]);
+        idx.add(2, vec![0.0]);
+    }
+
+    #[test]
+    fn ivf_matches_brute_force_on_clustered_data() {
+        let data = cluster_data();
+        let ivf = IvfIndex::build(&data, 3, 2, 9);
+        assert_eq!(ivf.len(), data.len());
+        let mut bf = BruteForceIndex::new();
+        for (id, v) in &data {
+            bf.add(*id, v.clone());
+        }
+        let q = [9.8f32, 0.2];
+        let exact: Vec<u64> = bf.knn(&q, 5).into_iter().map(|(id, _)| id).collect();
+        let approx: Vec<u64> = ivf.knn(&q, 5).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(
+            exact, approx,
+            "well-separated clusters: IVF should be exact"
+        );
+    }
+
+    #[test]
+    fn ivf_distances_are_euclidean_not_squared() {
+        let data = vec![(1u64, vec![0.0f32, 0.0]), (2, vec![3.0, 4.0])];
+        let ivf = IvfIndex::build(&data, 1, 1, 0);
+        let hits = ivf.knn(&[0.0, 0.0], 2);
+        assert!((hits[1].1 - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_ivf_build_panics() {
+        let _ = IvfIndex::build(&[], 4, 1, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn brute_force_matches_naive_scan(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 2..=2), 2..25),
+            query in proptest::collection::vec(-10.0f32..10.0, 2..=2),
+            k in 1usize..6
+        ) {
+            let mut idx = BruteForceIndex::new();
+            for (i, p) in points.iter().enumerate() {
+                idx.add(i as u64, p.clone());
+            }
+            let hits = idx.knn(&query, k);
+            // Naive: sort all distances, compare the distance multiset.
+            let mut naive: Vec<f32> = points
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .zip(&query)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                        .sqrt()
+                })
+                .collect();
+            naive.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (hit, expected) in hits.iter().zip(naive.iter()) {
+                prop_assert!((hit.1 - expected).abs() < 1e-4);
+            }
+        }
+    }
+}

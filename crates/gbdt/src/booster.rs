@@ -1,0 +1,254 @@
+//! Multi-class gradient boosting over regression trees.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Boosting rounds (trees per class).
+    pub rounds: usize,
+    /// Shrinkage (learning rate) applied to each tree's output.
+    pub eta: f64,
+    /// Per-tree growth settings.
+    pub tree: TreeConfig,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            rounds: 40,
+            eta: 0.3,
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+/// A fitted multi-class booster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    config: GbdtConfig,
+    /// `trees[round][class]`.
+    trees: Vec<Vec<RegressionTree>>,
+    /// Label names, index = class id.
+    labels: Vec<String>,
+}
+
+impl Gbdt {
+    /// Trains on dense rows and string labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn train(rows: &[Vec<f32>], labels: &[String], config: GbdtConfig) -> Self {
+        assert!(!rows.is_empty(), "training set must not be empty");
+        assert_eq!(rows.len(), labels.len(), "labels length mismatch");
+
+        let mut label_ids: BTreeMap<&str, usize> = BTreeMap::new();
+        for l in labels {
+            let next = label_ids.len();
+            label_ids.entry(l.as_str()).or_insert(next);
+        }
+        let label_names: Vec<String> = {
+            let mut v = vec![String::new(); label_ids.len()];
+            for (name, id) in &label_ids {
+                v[*id] = (*name).to_string();
+            }
+            v
+        };
+        let k = label_names.len();
+        let n = rows.len();
+        let y: Vec<usize> = labels.iter().map(|l| label_ids[l.as_str()]).collect();
+
+        // margins[i][c]
+        let mut margins = vec![vec![0.0f64; k]; n];
+        let mut trees: Vec<Vec<RegressionTree>> = Vec::with_capacity(config.rounds);
+
+        for _ in 0..config.rounds {
+            let mut round_trees = Vec::with_capacity(k);
+            // Softmax probabilities per sample.
+            let probs: Vec<Vec<f64>> = margins.iter().map(|m| softmax(m)).collect();
+            for c in 0..k {
+                let grad: Vec<f64> = (0..n)
+                    .map(|i| probs[i][c] - if y[i] == c { 1.0 } else { 0.0 })
+                    .collect();
+                let hess: Vec<f64> = (0..n)
+                    .map(|i| (probs[i][c] * (1.0 - probs[i][c])).max(1e-6))
+                    .collect();
+                let tree = RegressionTree::fit(rows, &grad, &hess, &config.tree);
+                for (i, row) in rows.iter().enumerate() {
+                    margins[i][c] += config.eta * tree.predict(row);
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+        }
+
+        Gbdt {
+            config,
+            trees,
+            labels: label_names,
+        }
+    }
+
+    /// The label set, index = class id.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw per-class margins for one row.
+    pub fn margins(&self, row: &[f32]) -> Vec<f64> {
+        let mut m = vec![0.0f64; self.labels.len()];
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                m[c] += self.config.eta * tree.predict(row);
+            }
+        }
+        m
+    }
+
+    /// Class probabilities for one row.
+    pub fn predict_proba(&self, row: &[f32]) -> Vec<f64> {
+        softmax(&self.margins(row))
+    }
+
+    /// The most likely label and its probability.
+    pub fn predict(&self, row: &[f32]) -> (&str, f64) {
+        let probs = self.predict_proba(row);
+        let (best, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .expect("at least one class");
+        (&self.labels[best], *p)
+    }
+
+    /// Total number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.iter().map(Vec::len).sum()
+    }
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian-ish blobs in 2D.
+    fn blobs() -> (Vec<Vec<f32>>, Vec<String>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let (cx, cy, label) = match i % 3 {
+                0 => (0.0, 0.0, "a"),
+                1 => (5.0, 0.0, "b"),
+                _ => (0.0, 5.0, "c"),
+            };
+            // Deterministic jitter.
+            let dx = ((i * 37) % 10) as f32 / 10.0 - 0.5;
+            let dy = ((i * 53) % 10) as f32 / 10.0 - 0.5;
+            rows.push(vec![cx + dx, cy + dy]);
+            labels.push(label.to_string());
+        }
+        (rows, labels)
+    }
+
+    fn quick_config() -> GbdtConfig {
+        GbdtConfig {
+            rounds: 12,
+            eta: 0.4,
+            tree: TreeConfig {
+                max_depth: 3,
+                ..TreeConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn separable_blobs_are_classified() {
+        let (rows, labels) = blobs();
+        let model = Gbdt::train(&rows, &labels, quick_config());
+        assert_eq!(model.labels().len(), 3);
+        assert_eq!(model.predict(&[0.1, -0.1]).0, "a");
+        assert_eq!(model.predict(&[5.2, 0.3]).0, "b");
+        assert_eq!(model.predict(&[-0.2, 5.1]).0, "c");
+        let (_, p) = model.predict(&[0.0, 0.0]);
+        assert!(p > 0.7, "confidence {p}");
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (rows, labels) = blobs();
+        let model = Gbdt::train(&rows, &labels, quick_config());
+        let probs = model.predict_proba(&[2.5, 2.5]);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_accuracy_is_high_on_train_set() {
+        let (rows, labels) = blobs();
+        let model = Gbdt::train(&rows, &labels, quick_config());
+        let correct = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, l)| model.predict(r).0 == l.as_str())
+            .count();
+        assert!(correct >= 57, "train accuracy {correct}/60");
+    }
+
+    #[test]
+    fn tree_count_matches_rounds_times_classes() {
+        let (rows, labels) = blobs();
+        let model = Gbdt::train(&rows, &labels, quick_config());
+        assert_eq!(model.tree_count(), 12 * 3);
+    }
+
+    #[test]
+    fn single_class_training_predicts_that_class() {
+        let rows: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32]).collect();
+        let labels = vec!["only".to_string(); 5];
+        let model = Gbdt::train(&rows, &labels, quick_config());
+        assert_eq!(model.predict(&[3.0]).0, "only");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_panics() {
+        let _ = Gbdt::train(&[], &[], quick_config());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn probabilities_normalized_on_arbitrary_inputs(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 3..=3), 6..20),
+            query in proptest::collection::vec(-10.0f32..10.0, 3..=3)
+        ) {
+            let labels: Vec<String> = (0..rows.len()).map(|i| format!("c{}", i % 3)).collect();
+            let model = Gbdt::train(&rows, &labels, GbdtConfig {
+                rounds: 3,
+                eta: 0.3,
+                tree: crate::tree::TreeConfig::default(),
+            });
+            let probs = model.predict_proba(&query);
+            let sum: f64 = probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Gradient-boosted decision trees with a multi-class softmax objective.
+//!
+//! The paper compares RCACopilot against XGBoost (Table 2). This crate is
+//! a from-scratch reimplementation of the parts that baseline needs:
+//!
+//! - [`tree`]: single regression trees grown by exact greedy splitting on
+//!   first/second-order gradients, with XGBoost's leaf weights
+//!   `-G/(H+λ)` and gain formula.
+//! - [`booster`]: multi-class boosting — one tree per class per round fit
+//!   to softmax gradients, with shrinkage.
+//!
+//! Inputs are dense `f32` feature rows; the RCA pipeline feeds it
+//! truncated TF-IDF vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod booster;
+pub mod tree;
+
+pub use booster::{Gbdt, GbdtConfig};
+pub use tree::{RegressionTree, TreeConfig};

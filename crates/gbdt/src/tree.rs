@@ -1,0 +1,292 @@
+//! Single regression trees grown on first/second-order gradients.
+
+use serde::{Deserialize, Serialize};
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// L2 regularization on leaf weights (XGBoost's λ).
+    pub lambda: f64,
+    /// Minimum gain required to accept a split (XGBoost's γ).
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 4,
+            min_samples_split: 4,
+            lambda: 1.0,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+/// A node of the tree, stored in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Internal split: `feature < threshold` goes left.
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+    /// Leaf with an output weight.
+    Leaf { weight: f64 },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+/// Leaf objective value `-G/(H+λ)` and its score `G²/(H+λ)`.
+fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
+    -g / (h + lambda)
+}
+
+fn score(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+impl RegressionTree {
+    /// Fits a tree to gradients/hessians over dense rows.
+    ///
+    /// `rows[i]` is the feature vector of sample `i`; `grad[i]`/`hess[i]`
+    /// its first/second-order gradient statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or lengths disagree.
+    pub fn fit(rows: &[Vec<f32>], grad: &[f64], hess: &[f64], config: &TreeConfig) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on no samples");
+        assert_eq!(rows.len(), grad.len(), "grad length mismatch");
+        assert_eq!(rows.len(), hess.len(), "hess length mismatch");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..rows.len()).collect();
+        tree.build(rows, grad, hess, indices, 0, config);
+        tree
+    }
+
+    /// Recursively builds the subtree for `indices`; returns its node id.
+    fn build(
+        &mut self,
+        rows: &[Vec<f32>],
+        grad: &[f64],
+        hess: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let g: f64 = indices.iter().map(|&i| grad[i]).sum();
+        let h: f64 = indices.iter().map(|&i| hess[i]).sum();
+
+        let make_leaf = |tree: &mut RegressionTree| {
+            let id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf {
+                weight: leaf_weight(g, h, config.lambda),
+            });
+            id
+        };
+
+        if depth >= config.max_depth || indices.len() < config.min_samples_split {
+            return make_leaf(self);
+        }
+
+        // Exact greedy split search.
+        let nfeat = rows[0].len();
+        let parent_score = score(g, h, config.lambda);
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, gain)
+        let mut sorted = indices.clone();
+        for f in 0..nfeat {
+            sorted.sort_by(|&a, &b| {
+                rows[a][f]
+                    .partial_cmp(&rows[b][f])
+                    .expect("finite feature values")
+            });
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                gl += grad[i];
+                hl += hess[i];
+                let v = rows[i][f];
+                let v_next = rows[sorted[w + 1]][f];
+                if v == v_next {
+                    continue; // Cannot split between equal values.
+                }
+                let gr = g - gl;
+                let hr = h - hl;
+                let gain = 0.5
+                    * (score(gl, hl, config.lambda) + score(gr, hr, config.lambda) - parent_score);
+                if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
+                    best = Some((f, (v + v_next) / 2.0, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            return make_leaf(self);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| rows[i][feature] < threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: 0.0 }); // Placeholder.
+        let left = self.build(rows, grad, hess, left_idx, depth + 1, config);
+        let right = self.build(rows, grad, hess, right_idx, depth + 1, config);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    /// Predicts the output weight for one row.
+    pub fn predict(&self, row: &[f32]) -> f64 {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row.get(*feature).copied().unwrap_or(0.0) < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gradients for squared error toward targets: grad = pred - y with
+    /// pred = 0, hess = 1. Leaf weight then approximates the mean target.
+    fn fit_to_targets(rows: &[Vec<f32>], targets: &[f64], config: &TreeConfig) -> RegressionTree {
+        let grad: Vec<f64> = targets.iter().map(|y| -y).collect();
+        let hess = vec![1.0; targets.len()];
+        RegressionTree::fit(rows, &grad, &hess, config)
+    }
+
+    #[test]
+    fn splits_a_step_function() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let tree = fit_to_targets(&rows, &targets, &TreeConfig::default());
+        assert!(tree.predict(&[3.0]) < 2.0);
+        assert!(tree.predict(&[15.0]) > 8.0);
+        assert!(tree.leaves() >= 2);
+    }
+
+    #[test]
+    fn finds_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 decides the target.
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![(i % 2) as f32, (i % 7) as f32])
+            .collect();
+        let targets: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { -5.0 } else { 5.0 })
+            .collect();
+        let tree = fit_to_targets(&rows, &targets, &TreeConfig::default());
+        assert!(tree.predict(&[0.0, 3.0]) < -3.0);
+        assert!(tree.predict(&[1.0, 3.0]) > 3.0);
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf_mean() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let targets = vec![4.0; 10];
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = fit_to_targets(&rows, &targets, &config);
+        assert_eq!(tree.len(), 1);
+        // With λ=1 the estimate shrinks slightly below the mean.
+        let w = tree.predict(&[5.0]);
+        assert!(w > 3.0 && w <= 4.0, "w = {w}");
+    }
+
+    #[test]
+    fn constant_features_produce_no_split() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|_| vec![1.0, 1.0]).collect();
+        let targets: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let tree = fit_to_targets(&rows, &targets, &TreeConfig::default());
+        assert_eq!(tree.len(), 1, "no split possible on constant features");
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_weights() {
+        let rows = vec![vec![0.0f32]];
+        let targets = vec![10.0];
+        let small = fit_to_targets(
+            &rows,
+            &targets,
+            &TreeConfig {
+                lambda: 0.1,
+                ..TreeConfig::default()
+            },
+        );
+        let large = fit_to_targets(
+            &rows,
+            &targets,
+            &TreeConfig {
+                lambda: 10.0,
+                ..TreeConfig::default()
+            },
+        );
+        assert!(small.predict(&[0.0]) > large.predict(&[0.0]));
+    }
+
+    #[test]
+    fn out_of_range_feature_index_defaults_right_branch_safely() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let targets: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 10.0 }).collect();
+        let tree = fit_to_targets(&rows, &targets, &TreeConfig::default());
+        // Predicting with an empty row must not panic.
+        let _ = tree.predict(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        let _ = RegressionTree::fit(&[], &[], &[], &TreeConfig::default());
+    }
+}

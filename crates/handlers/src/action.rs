@@ -1,0 +1,218 @@
+//! Handler actions and the conditions that route control flow.
+
+use rcacopilot_telemetry::query::{Query, QueryResult};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a scope-switching action (paper §4.1.2, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScopeDirection {
+    /// Machine → forest: take a more holistic view.
+    Widen,
+    /// Forest → the machine with the most error-level log records in the
+    /// window: zoom in on the noisiest machine.
+    NarrowToNoisiestMachine,
+}
+
+/// One of the three action kinds a handler node can carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Adjust the data-collection scope.
+    ScopeSwitch(ScopeDirection),
+    /// Collect diagnostic information from one source.
+    Query {
+        /// The query to run at the current scope.
+        query: Query,
+        /// How far back (seconds) from the alert to look.
+        lookback_secs: u64,
+    },
+    /// Suggest a mitigation step and stop this branch.
+    Mitigate {
+        /// The suggested step, e.g. `Restart the transport service`.
+        suggestion: String,
+    },
+}
+
+/// A serializable predicate over a [`QueryResult`], used to pick the next
+/// node. Edges are evaluated in order; the first matching edge wins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// Always matches (unconditional edge / fallback).
+    Always,
+    /// Matches when the row `key` parses as a number strictly greater
+    /// than `threshold`. A missing or unparsable row does not match.
+    RowGt {
+        /// Row key to inspect.
+        key: String,
+        /// Numeric threshold.
+        threshold: f64,
+    },
+    /// Matches when the row `key` equals `value` exactly.
+    RowEq {
+        /// Row key to inspect.
+        key: String,
+        /// Expected value.
+        value: String,
+    },
+    /// Matches when the result's free text (or any row value) contains
+    /// `needle`.
+    TextContains {
+        /// Substring looked for.
+        needle: String,
+    },
+}
+
+impl Condition {
+    /// Evaluates the condition against the most recent query result.
+    ///
+    /// Non-query actions produce an empty result; only [`Condition::Always`]
+    /// matches it.
+    pub fn matches(&self, result: &QueryResult) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::RowGt { key, threshold } => result
+                .row(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > *threshold),
+            Condition::RowEq { key, value } => result.row(key) == Some(value.as_str()),
+            Condition::TextContains { needle } => {
+                result.text.contains(needle.as_str())
+                    || result
+                        .rows
+                        .iter()
+                        .any(|(k, v)| k.contains(needle.as_str()) || v.contains(needle.as_str()))
+            }
+        }
+    }
+}
+
+/// One node of a handler's decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionNode {
+    /// Node id, unique within the handler.
+    pub id: u32,
+    /// Human-readable node name (shown in the handler-construction UI and
+    /// recorded in the executed path).
+    pub name: String,
+    /// The action performed at this node.
+    pub action: Action,
+    /// Outgoing edges: `(condition, target node id)`, evaluated in order.
+    /// An empty list ends execution after this node.
+    pub edges: Vec<(Condition, u32)>,
+}
+
+impl ActionNode {
+    /// Creates a node.
+    pub fn new(id: u32, name: impl Into<String>, action: Action) -> Self {
+        ActionNode {
+            id,
+            name: name.into(),
+            action,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an outgoing edge; returns `self` for chaining.
+    pub fn edge(mut self, condition: Condition, target: u32) -> Self {
+        self.edges.push((condition, target));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        let mut r = QueryResult::titled("Queue submission statistics");
+        r.push_row("Total queued messages", "5123");
+        r.push_row("Queues over limit", "2");
+        r.push_line("NAMPR00MB0001: length 5000 (limit 2000), oldest 4000s");
+        r
+    }
+
+    #[test]
+    fn row_gt_parses_numbers() {
+        let r = result();
+        assert!(Condition::RowGt {
+            key: "Total queued messages".into(),
+            threshold: 5000.0
+        }
+        .matches(&r));
+        assert!(!Condition::RowGt {
+            key: "Total queued messages".into(),
+            threshold: 6000.0
+        }
+        .matches(&r));
+        // Missing row never matches.
+        assert!(!Condition::RowGt {
+            key: "nope".into(),
+            threshold: 0.0
+        }
+        .matches(&r));
+    }
+
+    #[test]
+    fn row_eq_and_text_contains() {
+        let r = result();
+        assert!(Condition::RowEq {
+            key: "Queues over limit".into(),
+            value: "2".into()
+        }
+        .matches(&r));
+        assert!(Condition::TextContains {
+            needle: "oldest 4000s".into()
+        }
+        .matches(&r));
+        assert!(Condition::TextContains {
+            needle: "limit".into()
+        }
+        .matches(&r));
+        assert!(!Condition::TextContains {
+            needle: "WinSock".into()
+        }
+        .matches(&r));
+    }
+
+    #[test]
+    fn always_matches_empty_result() {
+        let empty = QueryResult::default();
+        assert!(Condition::Always.matches(&empty));
+        assert!(!Condition::TextContains { needle: "x".into() }.matches(&empty));
+    }
+
+    #[test]
+    fn node_builder_chains_edges() {
+        let n = ActionNode::new(
+            0,
+            "Check queue",
+            Action::Query {
+                query: Query::QueueStats {
+                    queue: "submission".into(),
+                },
+                lookback_secs: 3600,
+            },
+        )
+        .edge(
+            Condition::RowGt {
+                key: "Queues over limit".into(),
+                threshold: 0.0,
+            },
+            1,
+        )
+        .edge(Condition::Always, 2);
+        assert_eq!(n.edges.len(), 2);
+        assert_eq!(n.edges[1].1, 2);
+    }
+
+    #[test]
+    fn actions_round_trip_serde() {
+        let a = Action::ScopeSwitch(ScopeDirection::NarrowToNoisiestMachine);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(a, serde_json::from_str(&json).unwrap());
+        let m = Action::Mitigate {
+            suggestion: "Engage networking team".into(),
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(m, serde_json::from_str(&json).unwrap());
+    }
+}

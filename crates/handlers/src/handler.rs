@@ -1,0 +1,416 @@
+//! Handler definition and the execution engine.
+
+use crate::action::{Action, ActionNode, ScopeDirection};
+use rcacopilot_telemetry::alert::AlertType;
+use rcacopilot_telemetry::log::LogLevel;
+use rcacopilot_telemetry::query::{QueryResult, Scope, TimeWindow};
+use rcacopilot_telemetry::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Hard cap on executed nodes, guarding against malformed handler cycles.
+const MAX_STEPS: usize = 64;
+
+/// A versioned incident handler for one alert type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Handler {
+    /// Alert type this handler serves.
+    pub alert_type: AlertType,
+    /// Monotonic version, managed by the registry.
+    pub version: u32,
+    /// Author note for this version.
+    pub note: String,
+    /// Decision-tree nodes; execution starts at `nodes[0]`.
+    pub nodes: Vec<ActionNode>,
+}
+
+/// Errors from handler validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandlerError {
+    /// The handler has no nodes.
+    Empty,
+    /// An edge references a node id that does not exist.
+    DanglingEdge {
+        /// Node holding the bad edge.
+        from: u32,
+        /// Missing target id.
+        to: u32,
+    },
+    /// Two nodes share the same id.
+    DuplicateId(u32),
+    /// Execution exceeded [`MAX_STEPS`] (a cycle without exit).
+    StepLimitExceeded,
+}
+
+impl std::fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandlerError::Empty => write!(f, "handler has no nodes"),
+            HandlerError::DanglingEdge { from, to } => {
+                write!(f, "node {from} has an edge to missing node {to}")
+            }
+            HandlerError::DuplicateId(id) => write!(f, "duplicate node id {id}"),
+            HandlerError::StepLimitExceeded => {
+                write!(f, "execution exceeded {MAX_STEPS} steps (cycle?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandlerError {}
+
+/// The outcome of executing a handler over an incident snapshot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HandlerRun {
+    /// Diagnostic sections collected by query actions, in execution order.
+    pub sections: Vec<QueryResult>,
+    /// Names of nodes visited, in order.
+    pub path: Vec<String>,
+    /// Compact per-node outputs ("ActionOutput" in the paper's Table 3):
+    /// node name → short digest of its result.
+    pub action_outputs: Vec<(String, String)>,
+    /// Mitigation suggestions reached.
+    pub mitigations: Vec<String>,
+    /// Scope at the end of execution (after any scope switches).
+    pub final_scope: Scope,
+}
+
+impl HandlerRun {
+    /// Renders the collected sections as the incident's diagnostic
+    /// information (the "DiagnosticInfo" context of Table 3).
+    pub fn diagnostic_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sections {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the action outputs as `key: value` lines (the
+    /// "ActionOutput" context of Table 3).
+    pub fn action_output_text(&self) -> String {
+        self.action_outputs
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Handler {
+    /// Creates a handler (version 0) from nodes.
+    pub fn new(alert_type: AlertType, nodes: Vec<ActionNode>) -> Self {
+        Handler {
+            alert_type,
+            version: 0,
+            note: String::new(),
+            nodes,
+        }
+    }
+
+    /// Validates structural invariants: nonempty, unique ids, no dangling
+    /// edges.
+    pub fn validate(&self) -> Result<(), HandlerError> {
+        if self.nodes.is_empty() {
+            return Err(HandlerError::Empty);
+        }
+        let mut ids = BTreeSet::new();
+        for n in &self.nodes {
+            if !ids.insert(n.id) {
+                return Err(HandlerError::DuplicateId(n.id));
+            }
+        }
+        for n in &self.nodes {
+            for (_, to) in &n.edges {
+                if !ids.contains(to) {
+                    return Err(HandlerError::DanglingEdge {
+                        from: n.id,
+                        to: *to,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the handler has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn node(&self, id: u32) -> Option<&ActionNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Executes the handler against `snapshot`, starting from the alert's
+    /// `scope`, collecting diagnostic sections along the visited path.
+    pub fn execute(
+        &self,
+        snapshot: &TelemetrySnapshot,
+        scope: Scope,
+    ) -> Result<HandlerRun, HandlerError> {
+        self.validate()?;
+        let mut run = HandlerRun {
+            final_scope: scope,
+            ..HandlerRun::default()
+        };
+        let mut current = Some(self.nodes[0].id);
+        let mut steps = 0;
+        while let Some(id) = current {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return Err(HandlerError::StepLimitExceeded);
+            }
+            let node = self.node(id).expect("validated node id");
+            run.path.push(node.name.clone());
+            let result = match &node.action {
+                Action::Query {
+                    query,
+                    lookback_secs,
+                } => {
+                    let window = TimeWindow::lookback(snapshot.taken_at, *lookback_secs);
+                    let r = snapshot.execute(query, run.final_scope, window);
+                    run.action_outputs.push((node.name.clone(), digest_of(&r)));
+                    run.sections.push(r.clone());
+                    r
+                }
+                Action::ScopeSwitch(direction) => {
+                    run.final_scope = switch_scope(snapshot, run.final_scope, *direction);
+                    run.action_outputs
+                        .push((node.name.clone(), run.final_scope.label()));
+                    QueryResult::default()
+                }
+                Action::Mitigate { suggestion } => {
+                    run.mitigations.push(suggestion.clone());
+                    run.action_outputs
+                        .push((node.name.clone(), suggestion.clone()));
+                    QueryResult::default()
+                }
+            };
+            current = node
+                .edges
+                .iter()
+                .find(|(cond, _)| cond.matches(&result))
+                .map(|(_, to)| *to);
+        }
+        Ok(run)
+    }
+}
+
+/// Applies a scope switch using the snapshot's evidence.
+fn switch_scope(snapshot: &TelemetrySnapshot, scope: Scope, direction: ScopeDirection) -> Scope {
+    match direction {
+        ScopeDirection::Widen => scope.widened(),
+        ScopeDirection::NarrowToNoisiestMachine => {
+            // Pick the machine with the most error-level records in scope.
+            let mut best: Option<(rcacopilot_telemetry::ids::MachineId, usize)> = None;
+            let mut counts = std::collections::BTreeMap::new();
+            for rec in snapshot.logs.records() {
+                if rec.level >= LogLevel::Error && scope.contains_machine(rec.machine) {
+                    *counts.entry(rec.machine).or_insert(0usize) += 1;
+                }
+            }
+            for (m, c) in counts {
+                if best.map_or(true, |(_, bc)| c > bc) {
+                    best = Some((m, c));
+                }
+            }
+            match best {
+                Some((m, _)) => Scope::Machine(m),
+                None => scope,
+            }
+        }
+    }
+}
+
+/// Short digest of a query result, used as the node's "action output".
+fn digest_of(result: &QueryResult) -> String {
+    if let Some((k, v)) = result.rows.first() {
+        format!("{k}={v}")
+    } else {
+        let line = result.text.lines().next().unwrap_or("");
+        let mut s: String = line.chars().take(60).collect();
+        if s.is_empty() {
+            s.push_str("(empty)");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Condition;
+    use rcacopilot_telemetry::ids::{ForestId, MachineId, MachineRole};
+    use rcacopilot_telemetry::log::LogRecord;
+    use rcacopilot_telemetry::query::Query;
+    use rcacopilot_telemetry::time::SimTime;
+
+    fn snapshot_with_errors() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(SimTime::from_hours(10));
+        for (idx, n) in [(1u32, 5usize), (2, 1)] {
+            for i in 0..n {
+                snap.logs.push(LogRecord {
+                    at: SimTime::from_hours(9)
+                        + rcacopilot_telemetry::time::SimDuration::from_mins(i as u64),
+                    machine: MachineId::new(ForestId(0), MachineRole::Mailbox, idx),
+                    process: "Transport.exe".into(),
+                    component: "X".into(),
+                    level: LogLevel::Error,
+                    message: format!("boom {i}"),
+                });
+            }
+        }
+        snap.logs.finish();
+        snap
+    }
+
+    fn simple_handler() -> Handler {
+        Handler::new(
+            AlertType::ProcessCrashSpike,
+            vec![
+                ActionNode::new(
+                    0,
+                    "Check error logs",
+                    Action::Query {
+                        query: Query::Logs {
+                            level: LogLevel::Error,
+                            contains: None,
+                            limit: 10,
+                        },
+                        lookback_secs: 7200,
+                    },
+                )
+                .edge(
+                    Condition::RowGt {
+                        key: "Matching records".into(),
+                        threshold: 0.0,
+                    },
+                    1,
+                )
+                .edge(Condition::Always, 2),
+                ActionNode::new(
+                    1,
+                    "Narrow to noisiest machine",
+                    Action::ScopeSwitch(ScopeDirection::NarrowToNoisiestMachine),
+                )
+                .edge(Condition::Always, 3),
+                ActionNode::new(
+                    2,
+                    "Suggest healthy close",
+                    Action::Mitigate {
+                        suggestion: "No errors found; monitor and auto-close.".into(),
+                    },
+                ),
+                ActionNode::new(
+                    3,
+                    "Check machine logs",
+                    Action::Query {
+                        query: Query::Logs {
+                            level: LogLevel::Error,
+                            contains: None,
+                            limit: 5,
+                        },
+                        lookback_secs: 7200,
+                    },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn execution_follows_branches_and_narrows_scope() {
+        let snap = snapshot_with_errors();
+        let run = simple_handler()
+            .execute(&snap, Scope::Forest(ForestId(0)))
+            .unwrap();
+        assert_eq!(
+            run.path,
+            vec![
+                "Check error logs",
+                "Narrow to noisiest machine",
+                "Check machine logs"
+            ]
+        );
+        // Narrowed to machine 1 (5 errors > 1 error).
+        assert_eq!(
+            run.final_scope,
+            Scope::Machine(MachineId::new(ForestId(0), MachineRole::Mailbox, 1))
+        );
+        assert_eq!(run.sections.len(), 2);
+        // Second query ran at machine scope: only machine 1 records.
+        assert_eq!(run.sections[1].row("Matching records"), Some("5"));
+        assert!(run.mitigations.is_empty());
+        assert_eq!(run.action_outputs.len(), 3);
+    }
+
+    #[test]
+    fn empty_snapshot_takes_fallback_branch_to_mitigation() {
+        let snap = TelemetrySnapshot::new(SimTime::from_hours(1));
+        let run = simple_handler()
+            .execute(&snap, Scope::Forest(ForestId(0)))
+            .unwrap();
+        assert_eq!(run.path.last().unwrap(), "Suggest healthy close");
+        assert_eq!(run.mitigations.len(), 1);
+    }
+
+    #[test]
+    fn validation_catches_structural_bugs() {
+        let mut h = simple_handler();
+        h.nodes[0].edges[0].1 = 99;
+        assert_eq!(
+            h.validate(),
+            Err(HandlerError::DanglingEdge { from: 0, to: 99 })
+        );
+        let mut h2 = simple_handler();
+        h2.nodes[1].id = 0;
+        assert_eq!(h2.validate(), Err(HandlerError::DuplicateId(0)));
+        let h3 = Handler::new(AlertType::ProcessCrashSpike, vec![]);
+        assert_eq!(h3.validate(), Err(HandlerError::Empty));
+    }
+
+    #[test]
+    fn cycles_hit_the_step_limit() {
+        let h = Handler::new(
+            AlertType::ProcessCrashSpike,
+            vec![
+                ActionNode::new(0, "A", Action::ScopeSwitch(ScopeDirection::Widen))
+                    .edge(Condition::Always, 1),
+                ActionNode::new(1, "B", Action::ScopeSwitch(ScopeDirection::Widen))
+                    .edge(Condition::Always, 0),
+            ],
+        );
+        let snap = TelemetrySnapshot::new(SimTime::EPOCH);
+        assert_eq!(
+            h.execute(&snap, Scope::Service),
+            Err(HandlerError::StepLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn diagnostic_text_concatenates_sections() {
+        let snap = snapshot_with_errors();
+        let run = simple_handler()
+            .execute(&snap, Scope::Forest(ForestId(0)))
+            .unwrap();
+        let text = run.diagnostic_text();
+        assert!(text.contains("Error log query"));
+        assert!(text.contains("boom"));
+        let ao = run.action_output_text();
+        assert!(ao.contains("Check error logs: Matching records=6"));
+    }
+
+    #[test]
+    fn handlers_round_trip_serde() {
+        let h = simple_handler();
+        let json = serde_json::to_string_pretty(&h).unwrap();
+        let back: Handler = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,32 @@
+//! The RCACopilot incident-handler engine (paper §4.1).
+//!
+//! An incident handler is a decision-tree workflow attached to one alert
+//! type. Its nodes are reusable *actions* of three kinds:
+//!
+//! - **Scope switching** — widen or narrow the data-collection scope
+//!   (forest ↔ machine), steering the "information spectrum".
+//! - **Query** — run a [`rcacopilot_telemetry::query::Query`] against the
+//!   incident's telemetry snapshot; the output (a key-value table plus
+//!   text) both becomes diagnostic information and drives control flow via
+//!   serializable [`action::Condition`]s on the result.
+//! - **Mitigation** — suggest a mitigation step ("restart service",
+//!   "engage networking team") and stop.
+//!
+//! Handlers are data, not code: they serialize to JSON and live in a
+//! versioned [`registry::HandlerRegistry`], mirroring the paper's
+//! database-backed handler store that OCEs edit through a web UI.
+//! [`library::standard_handlers`] builds the handler set for the simulated
+//! transport service's ten alert types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod handler;
+pub mod library;
+pub mod registry;
+
+pub use action::{Action, ActionNode, Condition, ScopeDirection};
+pub use handler::{Handler, HandlerError, HandlerRun};
+pub use library::standard_handlers;
+pub use registry::HandlerRegistry;

@@ -1,0 +1,481 @@
+//! The standard handler library for the simulated transport service.
+//!
+//! One handler per alert type, built the way an experienced OCE would:
+//! start from the symptom the monitor saw, branch on what the first
+//! queries reveal, and collect every source that historically mattered
+//! for root causes behind this alert type. The structure of the
+//! `DeliveryQueueBacklog` handler follows the paper's Figure 5.
+
+use crate::action::{Action, ActionNode, Condition, ScopeDirection};
+use crate::handler::Handler;
+use crate::registry::HandlerRegistry;
+use rcacopilot_telemetry::alert::AlertType;
+use rcacopilot_telemetry::log::LogLevel;
+use rcacopilot_telemetry::query::Query;
+
+/// Default lookback for handler queries (seconds): three hours.
+const LOOKBACK: u64 = 3 * 3600;
+
+fn q(id: u32, name: &str, query: Query) -> ActionNode {
+    ActionNode::new(
+        id,
+        name,
+        Action::Query {
+            query,
+            lookback_secs: LOOKBACK,
+        },
+    )
+}
+
+fn mit(id: u32, name: &str, suggestion: &str) -> ActionNode {
+    ActionNode::new(
+        id,
+        name,
+        Action::Mitigate {
+            suggestion: suggestion.to_string(),
+        },
+    )
+}
+
+fn logs(level: LogLevel, contains: Option<&str>, limit: usize) -> Query {
+    Query::Logs {
+        level,
+        contains: contains.map(str::to_string),
+        limit,
+    }
+}
+
+fn metric(name: &str) -> Query {
+    Query::MetricStats {
+        metric: name.to_string(),
+    }
+}
+
+fn probe(name: &str) -> Query {
+    Query::ProbeResults {
+        probe: name.to_string(),
+    }
+}
+
+fn row_gt(key: &str, threshold: f64) -> Condition {
+    Condition::RowGt {
+        key: key.to_string(),
+        threshold,
+    }
+}
+
+fn contains(needle: &str) -> Condition {
+    Condition::TextContains {
+        needle: needle.to_string(),
+    }
+}
+
+/// Builds the handler for "too many messages stuck in a queue" alerts
+/// (paper Figure 5).
+pub fn delivery_queue_backlog() -> Handler {
+    Handler::new(
+        AlertType::DeliveryQueueBacklog,
+        vec![
+            q(9, "Find queues over limit", Query::OverLimitQueues)
+                .edge(Condition::Always, 0),
+            q(0, "Check submission queue", Query::QueueStats { queue: "submission".into() })
+                .edge(row_gt("Queues over limit", 0.0), 1)
+                .edge(Condition::Always, 2),
+            q(1, "Inspect tenant transport configs", Query::TenantConfigs)
+                .edge(row_gt("Invalid settings", 0.0), 6)
+                .edge(Condition::Always, 3),
+            q(2, "Check mailbox delivery queue", Query::QueueStats { queue: "mailbox_delivery".into() })
+                .edge(row_gt("Queues over limit", 0.0), 7)
+                .edge(Condition::Always, 3),
+            q(3, "Collect pipeline warnings", logs(LogLevel::Warning, None, 12))
+                .edge(Condition::Always, 4),
+            q(4, "Aggregate thread stacks", Query::ThreadStacks { process: None })
+                .edge(Condition::Always, 5),
+            q(5, "Group failing traces", Query::TraceFailures { top: 5 })
+                .edge(contains("AuthService"), 8),
+            mit(6, "Mitigate: fix tenant config",
+                "Correct the invalid tenant transport setting and resume submission for the tenant."),
+            mit(7, "Mitigate: restart delivery service",
+                "Restart the mailbox delivery service and drain the delivery queue.")
+                .edge(Condition::Always, 4),
+            mit(8, "Mitigate: engage auth team",
+                "Engage the authentication service team; dispatcher tasks are cancelled waiting for tokens."),
+        ],
+    )
+}
+
+/// Builds the handler for outbound connection failures (the paper's
+/// hub-port-exhaustion example lands here).
+pub fn outbound_connection_failure() -> Handler {
+    Handler::new(
+        AlertType::OutboundConnectionFailure,
+        vec![
+            q(0, "Probe hub outbound proxy", probe(crate::library::probe_names::HUB_OUTBOUND))
+                .edge(row_gt("Failed Probes", 0.0), 1)
+                .edge(Condition::Always, 3),
+            q(1, "Count UDP sockets by process", Query::SocketsByProcess { protocol: "udp".into(), top: 5 })
+                .edge(row_gt("Total UDP socket count", 10_000.0), 2)
+                .edge(Condition::Always, 4),
+            mit(2, "Mitigate: recycle transport to release ports",
+                "Recycle the Transport service on the affected front door to release leaked UDP hub ports.")
+                .edge(Condition::Always, 4),
+            q(3, "Probe DNS resolution", probe(crate::library::probe_names::DNS))
+                .edge(row_gt("Failed Probes", 0.0), 5)
+                .edge(Condition::Always, 6),
+            q(4, "Collect SMTP error logs", logs(LogLevel::Error, None, 10)),
+            mit(5, "Mitigate: engage DNS owners",
+                "Engage the DNS zone owners; outbound resolution is returning NXDOMAIN.")
+                .edge(Condition::Always, 4),
+            q(6, "Probe SMTP TLS", probe(crate::library::probe_names::SMTP_TLS))
+                .edge(row_gt("Failed Probes", 0.0), 7)
+                .edge(Condition::Always, 4),
+            q(7, "Inspect certificates", Query::Certificates)
+                .edge(Condition::Always, 4),
+        ],
+    )
+}
+
+/// Builds the handler for process-crash-spike alerts.
+pub fn process_crash_spike() -> Handler {
+    Handler::new(
+        AlertType::ProcessCrashSpike,
+        vec![
+            q(0, "Collect process crash report", Query::ProcessCrashes)
+                .edge(Condition::Always, 1),
+            q(1, "Check disk usage", Query::DiskUsage)
+                .edge(contains("99."), 2)
+                .edge(Condition::Always, 3),
+            mit(2, "Mitigate: free disk space",
+                "Free space on the full volume (rotate logs, expand the disk); IO exceptions will clear.")
+                .edge(Condition::Always, 3),
+            q(3, "Collect error logs", logs(LogLevel::Error, None, 12))
+                .edge(contains("SerializationException"), 4)
+                .edge(Condition::Always, 5),
+            mit(4, "Mitigate: engage security team",
+                "Engage the security team: crash pattern matches an active exploit attempt.")
+                .edge(Condition::Always, 5),
+            q(5, "Aggregate thread stacks", Query::ThreadStacks { process: None })
+                .edge(Condition::Always, 6),
+            q(6, "Check provisioning and build status", Query::ProvisioningStatus),
+        ],
+    )
+}
+
+/// Builds the handler for authentication failures.
+pub fn authentication_failure() -> Handler {
+    Handler::new(
+        AlertType::AuthenticationFailure,
+        vec![
+            q(0, "Inspect certificates", Query::Certificates)
+                .edge(row_gt("Non-valid certificates", 0.0), 1)
+                .edge(Condition::Always, 2),
+            mit(
+                1,
+                "Mitigate: roll back certificate",
+                "Roll back to the previous known-good certificate and re-run validation.",
+            )
+            .edge(Condition::Always, 2),
+            q(
+                2,
+                "Probe auth endpoint",
+                probe(crate::library::probe_names::AUTH),
+            )
+            .edge(Condition::Always, 3),
+            q(
+                3,
+                "Collect auth error logs",
+                logs(LogLevel::Error, None, 10),
+            )
+            .edge(Condition::Always, 4),
+            q(4, "Check auth failure metric", metric("auth_failures")).edge(Condition::Always, 5),
+            q(5, "Group failing traces", Query::TraceFailures { top: 5 }),
+        ],
+    )
+}
+
+/// Builds the handler for connection-limit alerts.
+pub fn connection_limit_exceeded() -> Handler {
+    Handler::new(
+        AlertType::ConnectionLimitExceeded,
+        vec![
+            q(
+                0,
+                "Check concurrent connections",
+                metric("concurrent_connections"),
+            )
+            .edge(Condition::Always, 1),
+            q(1, "Inspect certificates", Query::Certificates)
+                .edge(contains("bulkmail"), 2)
+                .edge(Condition::Always, 3),
+            mit(
+                2,
+                "Mitigate: block abusive certificate domain",
+                "Block connectors using the abused certificate domain and purge the bogus tenants.",
+            )
+            .edge(Condition::Always, 3),
+            q(
+                3,
+                "Collect connection warnings",
+                logs(LogLevel::Warning, None, 12),
+            )
+            .edge(Condition::Always, 4),
+            q(
+                4,
+                "Probe inbound SMTP",
+                probe(crate::library::probe_names::SMTP_IN),
+            ),
+        ],
+    )
+}
+
+/// Builds the handler for availability-drop alerts.
+pub fn availability_drop() -> Handler {
+    Handler::new(
+        AlertType::AvailabilityDrop,
+        vec![
+            q(0, "Check availability metric", metric("availability")).edge(Condition::Always, 1),
+            q(1, "Collect process crash report", Query::ProcessCrashes).edge(Condition::Always, 2),
+            q(
+                2,
+                "Check provisioning and build status",
+                Query::ProvisioningStatus,
+            )
+            .edge(Condition::Always, 3),
+            q(3, "Collect error logs", logs(LogLevel::Error, None, 12)).edge(Condition::Always, 4),
+            q(4, "Group failing traces", Query::TraceFailures { top: 5 }),
+        ],
+    )
+}
+
+/// Builds the handler for poisoned-message alerts.
+pub fn poisoned_message() -> Handler {
+    Handler::new(
+        AlertType::PoisonedMessage,
+        vec![
+            q(
+                0,
+                "Check poison message metric",
+                metric("poison_message_count"),
+            )
+            .edge(Condition::Always, 1),
+            q(
+                1,
+                "Collect poison detections",
+                logs(LogLevel::Error, Some("Poison"), 10),
+            )
+            .edge(Condition::Always, 2),
+            q(2, "Collect process crash report", Query::ProcessCrashes).edge(Condition::Always, 3),
+            q(3, "Collect error logs", logs(LogLevel::Error, None, 12)).edge(Condition::Always, 4),
+            q(4, "Group failing traces", Query::TraceFailures { top: 5 }),
+        ],
+    )
+}
+
+/// Builds the handler for delivery-latency alerts.
+pub fn delivery_latency_high() -> Handler {
+    Handler::new(
+        AlertType::DeliveryLatencyHigh,
+        vec![
+            q(
+                0,
+                "Check delivery latency metric",
+                metric("delivery_latency_ms"),
+            )
+            .edge(Condition::Always, 1),
+            q(
+                1,
+                "Collect pipeline warnings",
+                logs(LogLevel::Warning, None, 12),
+            )
+            .edge(Condition::Always, 2),
+            q(2, "Check CPU utilization", metric("cpu_util")).edge(Condition::Always, 3),
+            q(
+                3,
+                "Aggregate thread stacks",
+                Query::ThreadStacks { process: None },
+            )
+            .edge(Condition::Always, 4),
+            q(4, "Group failing traces", Query::TraceFailures { top: 5 }),
+        ],
+    )
+}
+
+/// Builds the handler for resource-pressure alerts.
+pub fn resource_pressure() -> Handler {
+    Handler::new(
+        AlertType::ResourcePressure,
+        vec![
+            q(0, "Check memory pressure", metric("memory_pressure")).edge(Condition::Always, 1),
+            q(
+                1,
+                "Count TCP sockets by process",
+                Query::SocketsByProcess {
+                    protocol: "tcp".into(),
+                    top: 5,
+                },
+            )
+            .edge(Condition::Always, 2),
+            q(2, "Check disk usage", Query::DiskUsage).edge(Condition::Always, 3),
+            q(3, "Collect process crash report", Query::ProcessCrashes).edge(Condition::Always, 4),
+            q(
+                4,
+                "Collect resource warnings",
+                logs(LogLevel::Warning, None, 12),
+            )
+            .edge(Condition::Always, 5),
+            q(
+                5,
+                "Aggregate thread stacks",
+                Query::ThreadStacks { process: None },
+            ),
+        ],
+    )
+}
+
+/// Builds the handler for dependency-timeout alerts; includes a widening
+/// scope switch so machine-scoped alerts inspect the whole forest.
+pub fn dependency_timeout() -> Handler {
+    Handler::new(
+        AlertType::DependencyTimeout,
+        vec![
+            ActionNode::new(
+                0,
+                "Widen scope to forest",
+                Action::ScopeSwitch(ScopeDirection::Widen),
+            )
+            .edge(Condition::Always, 1),
+            q(1, "Group failing traces", Query::TraceFailures { top: 6 })
+                .edge(Condition::Always, 2),
+            q(
+                2,
+                "Collect timeout error logs",
+                logs(LogLevel::Error, None, 12),
+            )
+            .edge(Condition::Always, 3),
+            q(
+                3,
+                "Probe network reachability",
+                probe(crate::library::probe_names::REACHABILITY),
+            )
+            .edge(row_gt("Failed Probes", 0.0), 4)
+            .edge(Condition::Always, 5),
+            mit(
+                4,
+                "Mitigate: engage networking team",
+                "Engage the networking team; reachability probes are failing across the link.",
+            )
+            .edge(Condition::Always, 5),
+            q(
+                5,
+                "Check dependency latency metric",
+                metric("dependency_latency_ms"),
+            )
+            .edge(Condition::Always, 6),
+            q(
+                6,
+                "Aggregate thread stacks",
+                Query::ThreadStacks { process: None },
+            ),
+        ],
+    )
+}
+
+/// Fixed probe names the library queries (shared with the simulator's
+/// signature module; duplicated here so the handler crate stays
+/// independent of the simulator).
+pub mod probe_names {
+    /// Outbound hub proxy probe.
+    pub const HUB_OUTBOUND: &str = "DatacenterHubOutboundProxyProbe";
+    /// DNS resolution probe.
+    pub const DNS: &str = "DnsResolutionProbe";
+    /// Outbound SMTP TLS probe.
+    pub const SMTP_TLS: &str = "SmtpTlsProbe";
+    /// Authentication endpoint probe.
+    pub const AUTH: &str = "AuthEndpointProbe";
+    /// Cross-forest network reachability probe.
+    pub const REACHABILITY: &str = "NetworkReachabilityProbe";
+    /// Inbound SMTP acceptance probe.
+    pub const SMTP_IN: &str = "SmtpInboundProbe";
+}
+
+/// Builds a registry loaded with the latest standard handler for every
+/// alert type.
+pub fn standard_handlers() -> HandlerRegistry {
+    let registry = HandlerRegistry::new();
+    for handler in [
+        delivery_queue_backlog(),
+        outbound_connection_failure(),
+        process_crash_spike(),
+        authentication_failure(),
+        connection_limit_exceeded(),
+        availability_drop(),
+        poisoned_message(),
+        delivery_latency_high(),
+        resource_pressure(),
+        dependency_timeout(),
+    ] {
+        registry
+            .register(handler)
+            .expect("standard handlers are structurally valid");
+    }
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_covers_every_alert_type() {
+        let reg = standard_handlers();
+        assert_eq!(reg.enabled_count(), AlertType::ALL.len());
+        for at in AlertType::ALL {
+            let h = reg.current(at).expect("handler exists");
+            assert_eq!(h.alert_type, at);
+            h.validate().expect("handler valid");
+            assert!(h.len() >= 5, "{at} handler too small");
+        }
+    }
+
+    #[test]
+    fn every_handler_has_a_query_action_first_or_second() {
+        let reg = standard_handlers();
+        for at in AlertType::ALL {
+            let h = reg.current(at).unwrap();
+            let early_query = h
+                .nodes
+                .iter()
+                .take(2)
+                .any(|n| matches!(n.action, Action::Query { .. }));
+            assert!(early_query, "{at} handler should query early");
+        }
+    }
+
+    #[test]
+    fn handlers_include_mitigation_branches_where_designed() {
+        let h = delivery_queue_backlog();
+        let mitigations = h
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.action, Action::Mitigate { .. }))
+            .count();
+        assert_eq!(mitigations, 3);
+    }
+
+    #[test]
+    fn dependency_handler_starts_with_scope_switch() {
+        let h = dependency_timeout();
+        assert!(matches!(
+            h.nodes[0].action,
+            Action::ScopeSwitch(ScopeDirection::Widen)
+        ));
+    }
+
+    #[test]
+    fn library_handlers_serialize() {
+        let reg = standard_handlers();
+        let json = reg.to_json();
+        let back = HandlerRegistry::from_json(&json).unwrap();
+        assert_eq!(back.enabled_count(), AlertType::ALL.len());
+    }
+}

@@ -1,0 +1,246 @@
+//! The "fine-tuned LM" baseline (paper Table 2, `Fine-tune GPT`).
+//!
+//! The paper fine-tunes GPT-3.5 on raw diagnostic text and lets it emit
+//! the category directly, with no prompt design. We model a fine-tune's
+//! *head* as multinomial naive Bayes over the LM's BPE token space:
+//! it maps raw token statistics to labels, needs per-class data volume to
+//! estimate those statistics, and — like a real fine-tune — can only emit
+//! labels it saw during training (no unseen-incident branch).
+
+use rcacopilot_textkit::bpe::BpeTokenizer;
+use std::collections::BTreeMap;
+
+/// A trained fine-tuned-LM baseline.
+#[derive(Debug, Clone)]
+pub struct FineTunedLm {
+    tokenizer: BpeTokenizer,
+    labels: Vec<String>,
+    /// Per-class log prior.
+    log_prior: Vec<f64>,
+    /// Per-class token log likelihoods, Laplace-smoothed.
+    log_likelihood: Vec<BTreeMap<u32, f64>>,
+    /// Per-class smoothing floor for unseen tokens.
+    floor: Vec<f64>,
+    /// Per-token log-posterior margin below which generation degrades
+    /// into a hallucinated label (see [`FineTunedLm::predict`]).
+    hallucination_margin: f64,
+}
+
+impl FineTunedLm {
+    /// "Fine-tunes" on `(raw diagnostic text, label)` pairs. The tokenizer
+    /// is trained on the same corpus, mirroring a domain-adapted LM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty.
+    pub fn train(examples: &[(String, String)], vocab_size: usize) -> Self {
+        assert!(!examples.is_empty(), "training set must not be empty");
+        let corpus: Vec<String> = examples.iter().map(|(t, _)| t.clone()).collect();
+        let tokenizer = BpeTokenizer::train(&corpus, vocab_size);
+
+        let mut labels: Vec<String> = Vec::new();
+        let mut label_ids: BTreeMap<&str, usize> = BTreeMap::new();
+        for (_, l) in examples {
+            if !label_ids.contains_key(l.as_str()) {
+                label_ids.insert(l, labels.len());
+                labels.push(l.clone());
+            }
+        }
+        let k = labels.len();
+        let mut class_counts = vec![0usize; k];
+        let mut token_counts: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); k];
+        let mut token_totals = vec![0.0f64; k];
+        for (text, label) in examples {
+            let c = label_ids[label.as_str()];
+            class_counts[c] += 1;
+            for t in tokenizer.encode(text) {
+                *token_counts[c].entry(t).or_insert(0.0) += 1.0;
+                token_totals[c] += 1.0;
+            }
+        }
+
+        let n = examples.len() as f64;
+        let v = tokenizer.vocab_size() as f64;
+        let log_prior: Vec<f64> = class_counts
+            .iter()
+            .map(|&c| ((c as f64 + 0.5) / (n + 0.5 * k as f64)).ln())
+            .collect();
+        let mut log_likelihood = Vec::with_capacity(k);
+        let mut floor = Vec::with_capacity(k);
+        for c in 0..k {
+            let denom = token_totals[c] + v;
+            let map: BTreeMap<u32, f64> = token_counts[c]
+                .iter()
+                .map(|(&t, &cnt)| (t, ((cnt + 1.0) / denom).ln()))
+                .collect();
+            log_likelihood.push(map);
+            floor.push((1.0 / denom).ln());
+        }
+
+        FineTunedLm {
+            tokenizer,
+            labels,
+            log_prior,
+            log_likelihood,
+            floor,
+            hallucination_margin: 0.35,
+        }
+    }
+
+    /// The label set.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Sets the hallucination margin (nats); `0.0` disables hallucination.
+    pub fn with_hallucination_margin(mut self, margin: f64) -> Self {
+        self.hallucination_margin = margin;
+        self
+    }
+
+    /// Predicts a label for raw diagnostic text, returning the emitted
+    /// label string and the log-posterior margin over the runner-up.
+    ///
+    /// A fine-tuned *generative* model does not argmax over a fixed label
+    /// head — it decodes a label string token by token. When the learned
+    /// evidence is decisive the decoded string is the training label; when
+    /// the posterior is ambiguous, decoding drifts and the model emits a
+    /// plausible-looking but wrong label (the hallucination failure the
+    /// paper attributes to fine-tuned GPT). We model that by blending the
+    /// top-2 label strings whenever the margin is below
+    /// `hallucination_margin`.
+    pub fn predict(&self, text: &str) -> (String, f64) {
+        let (best, second, margin, tokens) = self.posterior_top2(text);
+        // The margin grows linearly with document length; decode quality
+        // depends on the *per-token* evidence rate.
+        let per_token = margin / tokens.max(1) as f64;
+        if per_token >= self.hallucination_margin || self.labels.len() == 1 {
+            return (self.labels[best].clone(), margin);
+        }
+        // Hallucinated decode: the head of one label fused with the tail
+        // of the rival — a fluent, confident, wrong answer.
+        let a = &self.labels[best];
+        let b = &self.labels[second];
+        let cut_a = a.len().div_ceil(2);
+        let cut_b = b.len() / 2;
+        let mut fused = String::new();
+        fused.push_str(&a[..cut_a.min(a.len())]);
+        fused.push_str(&b[cut_b.min(b.len())..]);
+        if &fused == a || &fused == b {
+            fused.push_str("Issue");
+        }
+        (fused, margin)
+    }
+
+    /// Raw argmax prediction (the label head without generative decoding).
+    pub fn predict_argmax(&self, text: &str) -> (&str, f64) {
+        let tokens = self.tokenizer.encode(text);
+        let mut scores: Vec<f64> = self.log_prior.clone();
+        for (c, score) in scores.iter_mut().enumerate() {
+            for t in &tokens {
+                *score += self.log_likelihood[c]
+                    .get(t)
+                    .copied()
+                    .unwrap_or(self.floor[c]);
+            }
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        let best = order[0];
+        let margin = if order.len() > 1 {
+            scores[best] - scores[order[1]]
+        } else {
+            f64::INFINITY
+        };
+        (&self.labels[best], margin)
+    }
+
+    /// Top-2 classes, the margin between them, and the token count.
+    fn posterior_top2(&self, text: &str) -> (usize, usize, f64, usize) {
+        let tokens = self.tokenizer.encode(text);
+        let mut scores: Vec<f64> = self.log_prior.clone();
+        for (c, score) in scores.iter_mut().enumerate() {
+            for t in &tokens {
+                *score += self.log_likelihood[c]
+                    .get(t)
+                    .copied()
+                    .unwrap_or(self.floor[c]);
+            }
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        let best = order[0];
+        let second = order.get(1).copied().unwrap_or(best);
+        let margin = if order.len() > 1 {
+            scores[best] - scores[second]
+        } else {
+            f64::INFINITY
+        };
+        (best, second, margin, tokens.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for i in 0..8 {
+            out.push((
+                format!("socket exhausted winsock error hub ports transport case{i}"),
+                "HubPortExhaustion".to_string(),
+            ));
+            out.push((
+                format!("disk full ioexception no space volume crashed case{i}"),
+                "FullDisk".to_string(),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_token_class_associations() {
+        let model = FineTunedLm::train(&examples(), 400).with_hallucination_margin(0.0);
+        assert_eq!(model.labels().len(), 2);
+        let (l, margin) = model.predict("winsock socket exhausted on hub");
+        assert_eq!(l, "HubPortExhaustion");
+        assert!(margin > 0.0);
+        let (l, _) = model.predict("ioexception disk volume full");
+        assert_eq!(l, "FullDisk");
+    }
+
+    #[test]
+    fn low_margin_predictions_hallucinate() {
+        let model = FineTunedLm::train(&examples(), 400).with_hallucination_margin(1e9);
+        // Forced hallucination: the emitted string is not a training label.
+        let (l, _) = model.predict("winsock socket exhausted on hub");
+        assert!(!model.labels().iter().any(|x| *x == l), "emitted {l}");
+        // The argmax head underneath is still sound.
+        let (raw, _) = model.predict_argmax("winsock socket exhausted on hub");
+        assert_eq!(raw, "HubPortExhaustion");
+    }
+
+    #[test]
+    fn argmax_cannot_emit_unseen_labels() {
+        let model = FineTunedLm::train(&examples(), 400);
+        // Entirely novel text still maps to a known label under argmax.
+        let (l, _) = model.predict_argmax("quantum flux capacitor misaligned");
+        assert!(model.labels().iter().any(|x| x == l));
+    }
+
+    #[test]
+    fn single_class_margin_is_infinite() {
+        let data = vec![("alpha beta".to_string(), "Only".to_string())];
+        let model = FineTunedLm::train(&data, 100);
+        let (l, margin) = model.predict("alpha");
+        assert_eq!(l, "Only");
+        assert!(margin.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_training_panics() {
+        let _ = FineTunedLm::train(&[], 100);
+    }
+}

@@ -1,0 +1,40 @@
+//! A deterministic simulated language model for incident RCA.
+//!
+//! The paper drives RCACopilot with GPT-3.5/GPT-4, which are unavailable
+//! here. This crate substitutes a *simulated* LM that exercises the same
+//! pipeline contracts — and nothing more. It is deliberately **not an
+//! oracle**: every component sees only the text the pipeline puts in its
+//! prompt, so pipeline ablations (what context is included, whether it is
+//! summarized, which demonstrations are retrieved) move accuracy exactly
+//! the way they do in the paper.
+//!
+//! - [`profile`]: capability profiles (`Gpt35`, `Gpt4`) differing in
+//!   scoring fidelity and calibration.
+//! - [`summarize`]: salience-driven extractive summarization honoring the
+//!   paper's 120–140-word budget (Figures 7–8).
+//! - [`prompt`]: the summarization and prediction prompt structures
+//!   (Figures 7 and 9) with BPE token accounting.
+//! - [`cot`]: the chain-of-thought prediction engine — scores each
+//!   demonstration option against the incident, picks the most likely
+//!   same-root-cause option or declares an unseen incident, and emits an
+//!   explanation (Figure 11).
+//! - [`labelgen`]: new-category label synthesis for unseen incidents.
+//! - [`finetune`]: the "fine-tuned LM" baseline — a multinomial
+//!   naive-Bayes head over BPE tokens trained on raw diagnostic text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cot;
+pub mod finetune;
+pub mod labelgen;
+pub mod profile;
+pub mod prompt;
+pub mod summarize;
+
+pub use cot::{CotEngine, Prediction};
+pub use finetune::FineTunedLm;
+pub use labelgen::synthesize_label;
+pub use profile::ModelProfile;
+pub use prompt::{PredictionPrompt, PromptOption, SummaryPrompt};
+pub use summarize::Summarizer;

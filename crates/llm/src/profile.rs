@@ -1,0 +1,86 @@
+//! Capability profiles of the simulated language model.
+
+use serde::{Deserialize, Serialize};
+
+/// Which model the pipeline is "calling".
+///
+/// The two built-in profiles mirror the paper's GPT-3.5-turbo and GPT-4
+/// rows: the stronger model reads the prompt more faithfully (less scoring
+/// noise) and is better calibrated about when an incident is unseen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelProfile {
+    /// The weaker chat model (GPT-3.5-turbo stand-in).
+    Gpt35,
+    /// The stronger model (GPT-4 stand-in); the paper's default.
+    Gpt4,
+    /// Explicit parameters, for experiments.
+    Custom {
+        /// Standard deviation of per-option scoring noise.
+        noise: f64,
+        /// Similarity below which the incident is declared unseen.
+        unseen_threshold: f64,
+    },
+}
+
+impl ModelProfile {
+    /// Scoring-noise standard deviation.
+    pub fn noise(&self) -> f64 {
+        match self {
+            ModelProfile::Gpt35 => 0.022,
+            ModelProfile::Gpt4 => 0.010,
+            ModelProfile::Custom { noise, .. } => *noise,
+        }
+    }
+
+    /// Context-length sensitivity multiplier: weaker models lose reading
+    /// fidelity faster as the prompt grows.
+    pub fn length_sensitivity(&self) -> f64 {
+        match self {
+            ModelProfile::Gpt35 => 2.4,
+            ModelProfile::Gpt4 => 1.0,
+            ModelProfile::Custom { .. } => 1.0,
+        }
+    }
+
+    /// Unseen-incident threshold on the best option's similarity.
+    pub fn unseen_threshold(&self) -> f64 {
+        match self {
+            ModelProfile::Gpt35 => 0.24,
+            ModelProfile::Gpt4 => 0.20,
+            ModelProfile::Custom {
+                unseen_threshold, ..
+            } => *unseen_threshold,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelProfile::Gpt35 => "GPT-3.5 (simulated)",
+            ModelProfile::Gpt4 => "GPT-4 (simulated)",
+            ModelProfile::Custom { .. } => "custom (simulated)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt4_is_less_noisy_and_better_calibrated() {
+        assert!(ModelProfile::Gpt4.noise() < ModelProfile::Gpt35.noise());
+        assert!(ModelProfile::Gpt4.unseen_threshold() < ModelProfile::Gpt35.unseen_threshold());
+    }
+
+    #[test]
+    fn custom_profile_exposes_parameters() {
+        let p = ModelProfile::Custom {
+            noise: 0.1,
+            unseen_threshold: 0.3,
+        };
+        assert_eq!(p.noise(), 0.1);
+        assert_eq!(p.unseen_threshold(), 0.3);
+        assert!(p.name().contains("custom"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Prompt structures mirroring the paper's Figures 7 and 9.
+
+use rcacopilot_textkit::bpe::BpeTokenizer;
+use serde::{Deserialize, Serialize};
+
+/// Token budget of the simulated model's context window (the paper uses
+/// GPT-4 with an 8K window).
+pub const CONTEXT_TOKENS: usize = 8192;
+
+/// The summarization prompt (paper Figure 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryPrompt {
+    /// The diagnostic information to summarize.
+    pub diagnostic_info: String,
+}
+
+impl SummaryPrompt {
+    /// Renders the full prompt text.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n\nPlease summarize the above input. Please note that the above input is \
+             incident diagnostic information. The summary results should be about 120 words, \
+             no more than 140 words, and should cover important information as much as \
+             possible. Just return the summary without any additional output.",
+            self.diagnostic_info
+        )
+    }
+}
+
+/// One lettered option of the prediction prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptOption {
+    /// Summarized diagnostic information of the historical incident.
+    pub summary: String,
+    /// Its labeled root cause category.
+    pub category: String,
+}
+
+/// The prediction prompt (paper Figure 9): the current incident plus top-K
+/// historical demonstrations from distinct categories, with option A fixed
+/// as "Unseen incident".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionPrompt {
+    /// Summarized diagnostic information of the incident being predicted.
+    pub input: String,
+    /// Demonstration options (B, C, ... in render order).
+    pub options: Vec<PromptOption>,
+}
+
+impl PredictionPrompt {
+    /// Renders the full prompt text in the Figure 9 format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "Context: The following description shows the error log information of an \
+             incident. Please select the incident information that is most likely to have \
+             the same root cause and give your explanation (just give one answer). If not, \
+             please select the first item \"Unseen incident\".\n\n",
+        );
+        out.push_str("Input: ");
+        out.push_str(&self.input);
+        out.push_str("\n\nOptions:\nA: Unseen incident.\n");
+        for (i, opt) in self.options.iter().enumerate() {
+            // Single letters cover the normal K <= 25 case; larger option
+            // lists (possible before budget truncation) get numbered
+            // labels instead of overflowing the alphabet.
+            let label = if i < 25 {
+                ((b'B' + i as u8) as char).to_string()
+            } else {
+                format!("Option{}", i + 1)
+            };
+            out.push_str(&format!(
+                "{label}: {} category: {}.\n",
+                opt.summary, opt.category
+            ));
+        }
+        out
+    }
+
+    /// Counts prompt tokens with `tokenizer` (the tiktoken substitute).
+    pub fn token_count(&self, tokenizer: &BpeTokenizer) -> usize {
+        tokenizer.count_tokens(&self.render())
+    }
+
+    /// Drops trailing options until the prompt fits `budget` tokens.
+    /// Returns the number of options removed.
+    pub fn truncate_to_budget(&mut self, tokenizer: &BpeTokenizer, budget: usize) -> usize {
+        let mut dropped = 0;
+        while self.options.len() > 1 && self.token_count(tokenizer) > budget {
+            self.options.pop();
+            dropped += 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokenizer() -> BpeTokenizer {
+        BpeTokenizer::train(
+            &[
+                "incident diagnostic summary category unseen option".to_string(),
+                "udp socket exhausted probe failed".to_string(),
+            ],
+            300,
+        )
+    }
+
+    fn prompt() -> PredictionPrompt {
+        PredictionPrompt {
+            input: "The probe has failed twice with a WinSock 11001 error.".into(),
+            options: vec![
+                PromptOption {
+                    summary: "The DatacenterHubOutboundProxyProbe has failed twice".into(),
+                    category: "HubPortExhaustion".into(),
+                },
+                PromptOption {
+                    summary: "There are 62 managed threads in process TransportDelivery".into(),
+                    category: "AuthCertIssue".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_matches_figure9_shape() {
+        let text = prompt().render();
+        assert!(text.starts_with("Context:"));
+        assert!(text.contains("give your explanation"));
+        assert!(text.contains("A: Unseen incident."));
+        assert!(text.contains("B: The DatacenterHubOutboundProxyProbe"));
+        assert!(text.contains("category: HubPortExhaustion."));
+        assert!(text.contains("C: There are 62 managed threads"));
+    }
+
+    #[test]
+    fn summary_prompt_matches_figure7_wording() {
+        let p = SummaryPrompt {
+            diagnostic_info: "probe failed".into(),
+        };
+        let text = p.render();
+        assert!(text.contains("about 120 words, no more than 140 words"));
+        assert!(text.starts_with("probe failed"));
+    }
+
+    #[test]
+    fn token_budget_truncation_drops_trailing_options() {
+        let tok = tokenizer();
+        let mut p = prompt();
+        for i in 0..30 {
+            p.options.push(PromptOption {
+                summary: format!("padding incident summary number {i} with several words"),
+                category: format!("Cat{i}"),
+            });
+        }
+        let full = p.token_count(&tok);
+        let dropped = p.truncate_to_budget(&tok, full / 2);
+        assert!(dropped > 0);
+        assert!(p.token_count(&tok) <= full / 2);
+        assert!(!p.options.is_empty());
+    }
+
+    #[test]
+    fn truncation_never_removes_last_option() {
+        let tok = tokenizer();
+        let mut p = prompt();
+        p.options.truncate(1);
+        let dropped = p.truncate_to_budget(&tok, 1);
+        assert_eq!(dropped, 0);
+        assert_eq!(p.options.len(), 1);
+    }
+}

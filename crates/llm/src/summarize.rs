@@ -1,0 +1,335 @@
+//! Salience-driven extractive summarization.
+//!
+//! The paper asks the LLM to compress diagnostic information to "about 120
+//! words, no more than 140 words" (Figure 7), producing summaries like
+//! Figure 8. This simulated summarizer is extractive: it scores every line
+//! of the diagnostic text for salience (exception names, failure words,
+//! counts, limits), keeps the most salient lines in original order within
+//! the word budget, and lightly de-formats them into sentences.
+
+use serde::{Deserialize, Serialize};
+
+/// Word budget bounds from the paper's Figure 7 prompt.
+pub const MIN_WORDS: usize = 120;
+/// Upper bound of the budget ("no more than 140 words").
+pub const MAX_WORDS: usize = 140;
+
+/// Patterns whose presence marks a line as diagnostic signal.
+const SIGNAL_PATTERNS: &[(&str, f64)] = &[
+    ("Exception", 6.0),
+    ("Error", 3.0),
+    ("error", 2.5),
+    ("Failed", 4.0),
+    ("failed", 3.0),
+    ("failure", 3.0),
+    ("exceeded", 4.0),
+    ("exhausted", 4.0),
+    ("limit", 2.5),
+    ("crash", 4.0),
+    ("Total", 3.0),
+    ("timeout", 3.5),
+    ("TIMEOUT", 3.5),
+    ("invalid", 3.0),
+    ("expired", 3.5),
+    ("BLOCKED", 4.0),
+    ("OVERRIDES-EXISTING", 5.0),
+    ("stuck", 3.0),
+    ("detected", 2.0),
+    ("over limit", 4.0),
+    ("not available", 2.5),
+    ("rejected", 2.5),
+    ("alarm", 3.5),
+    ("breached", 3.5),
+    ("saturated", 3.5),
+    ("imbalance", 3.5),
+    ("storm", 3.0),
+    ("backlog", 3.0),
+    ("99.", 5.0),
+];
+
+/// Patterns that mark routine noise; they push a line's score down.
+const NOISE_PATTERNS: &[(&str, f64)] = &[
+    ("INFO", -2.5),
+    ("DEBUG", -4.0),
+    ("completed", -2.0),
+    ("ok", -0.5),
+    ("heartbeat", -3.0),
+    ("No matching log records", -2.0),
+    ("No thread stack groups", -2.0),
+    ("No failing traces", -2.0),
+    ("No process crashes", -2.0),
+    ("no backpressure", -3.0),
+    // Zero-result rows ("Failed Probes: 0", "Queues over limit: 0") carry
+    // no diagnostic value; a careful summary omits them.
+    (": 0", -6.0),
+    ("length 0 ", -2.0),
+    // Self-resolving transient noise: real logs are full of one-off
+    // retried errors that a careful summary drops.
+    ("transient", -6.0),
+    ("retried successfully", -6.0),
+    ("briefly", -6.0),
+    ("momentarily", -6.0),
+    ("fell back", -5.0),
+    ("flushed late", -5.0),
+    ("cache miss", -5.0),
+    ("one synchronous", -5.0),
+    ("canary unavailable", -5.0),
+    ("single mailbox operation", -5.0),
+    ("expires within 30 days", -5.0),
+    // Healthy inventory rows: active provisioning and non-full disks.
+    ("state=Active", -5.0),
+    ("% used", -2.0),
+];
+
+/// The extractive summarizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summarizer {
+    /// Minimum words in the output.
+    pub min_words: usize,
+    /// Maximum words in the output.
+    pub max_words: usize,
+}
+
+impl Default for Summarizer {
+    fn default() -> Self {
+        Summarizer {
+            min_words: MIN_WORDS,
+            max_words: MAX_WORDS,
+        }
+    }
+}
+
+/// Salience of one line.
+fn line_score(line: &str) -> f64 {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let mut score = 0.0;
+    for (pat, w) in SIGNAL_PATTERNS {
+        if trimmed.contains(pat) {
+            score += w;
+        }
+    }
+    for (pat, w) in NOISE_PATTERNS {
+        if trimmed.contains(pat) {
+            score += w;
+        }
+    }
+    // CamelCase identifiers (exception/class/service names) are signal.
+    let camel = trimmed
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|tok| {
+            tok.len() >= 8
+                && tok.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && tok.chars().skip(1).any(|c| c.is_ascii_uppercase())
+                && tok.chars().any(|c| c.is_ascii_lowercase())
+        })
+        .count();
+    score += camel as f64 * 1.5;
+    // Large counts (socket tables, queue lengths) are signal.
+    if trimmed
+        .split(|c: char| !c.is_ascii_digit())
+        .any(|d| d.len() >= 4)
+    {
+        score += 1.5;
+    }
+    // Section titles give structure but little signal by themselves.
+    if trimmed.ends_with(':') {
+        score -= 0.5;
+    }
+    // Very long lines are penalized slightly so the budget spreads.
+    score - (trimmed.split_whitespace().count() as f64) * 0.04
+}
+
+fn word_count(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+impl Summarizer {
+    /// Creates a summarizer with explicit budget bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_words <= max_words`.
+    pub fn new(min_words: usize, max_words: usize) -> Self {
+        assert!(
+            min_words > 0 && min_words <= max_words,
+            "invalid word budget"
+        );
+        Summarizer {
+            min_words,
+            max_words,
+        }
+    }
+
+    /// Summarizes diagnostic text to the word budget.
+    ///
+    /// Greedy selection by salience; chosen lines are emitted in their
+    /// original order so the summary reads chronologically, like the
+    /// paper's Figure 8 example.
+    pub fn summarize(&self, text: &str) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut scored: Vec<(usize, f64)> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, line_score(l)))
+            .filter(|(_, s)| s.is_finite())
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut words = 0;
+        for (i, score) in scored {
+            // The word floor is best-effort: routine lines (score <= 0)
+            // never pad the summary, they are exactly what summarization
+            // is meant to drop.
+            if score <= 0.0 {
+                break;
+            }
+            let w = word_count(lines[i]);
+            if w == 0 {
+                continue;
+            }
+            // Once the floor is reached, stop at the first line that would
+            // overflow; below the floor, still prefer not to blow the cap
+            // unless the line is strongly salient.
+            if words + w > self.max_words {
+                if words >= self.min_words {
+                    break;
+                }
+                if score < 3.0 {
+                    continue;
+                }
+                // Strong line that overflows: truncate it to fit.
+                let remaining = self.max_words.saturating_sub(words);
+                if remaining < 4 {
+                    break;
+                }
+                chosen.push(i);
+                break;
+            }
+            chosen.push(i);
+            words += w;
+            if words >= self.max_words {
+                break;
+            }
+        }
+        chosen.sort_unstable();
+
+        let mut out = String::new();
+        let mut words_emitted = 0;
+        for i in chosen {
+            let line = lines[i].trim();
+            let budget = self.max_words - words_emitted;
+            let toks: Vec<&str> = line.split_whitespace().take(budget).collect();
+            if toks.is_empty() {
+                continue;
+            }
+            words_emitted += toks.len();
+            out.push_str(&toks.join(" "));
+            if !out.ends_with('.') {
+                out.push('.');
+            }
+            out.push(' ');
+            if words_emitted >= self.max_words {
+                break;
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagnostic_text() -> String {
+        let mut t = String::new();
+        t.push_str("DatacenterHubOutboundProxyProbe probe log result from machine NAMPR03FD0001\n");
+        t.push_str("Total Probes: 2\nFailed Probes: 2\n");
+        t.push_str("Failed probe error:\n");
+        t.push_str("InformativeSocketException: No such host is known. A WinSock error: 11001 encountered when connecting to host\n");
+        for i in 0..40 {
+            t.push_str(&format!(
+                "2022-11-21T01:{i:02}:00Z INFO [NAMPR03MB0001] Transport.exe/SmtpIn: accepted connection from partner gateway (session {i:08x})\n"
+            ));
+        }
+        t.push_str("Total UDP socket count: 15276\n");
+        t.push_str("14923: Transport.exe, 203736\n");
+        t.push_str("15: w3wp.exe, 102296\n");
+        for i in 0..30 {
+            t.push_str(&format!(
+                "2022-11-21T02:{i:02}:00Z DEBUG [NAMPR03MB0002] Transport.exe/DnsResolver: resolver cache refreshed (session {i:08x})\n"
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn summary_respects_word_budget() {
+        let s = Summarizer::default();
+        let summary = s.summarize(&diagnostic_text());
+        let words = word_count(&summary);
+        assert!(words <= MAX_WORDS, "summary has {words} words");
+        assert!(words >= 20, "summary too short: {words} words");
+    }
+
+    #[test]
+    fn summary_keeps_signal_and_drops_noise() {
+        let s = Summarizer::default();
+        let summary = s.summarize(&diagnostic_text());
+        assert!(
+            summary.contains("WinSock error: 11001"),
+            "summary: {summary}"
+        );
+        assert!(summary.contains("15276") || summary.contains("14923"));
+        assert!(
+            !summary.contains("resolver cache refreshed"),
+            "noise leaked into summary"
+        );
+        assert!(!summary.contains("accepted connection from partner"));
+    }
+
+    #[test]
+    fn summary_preserves_original_order() {
+        let s = Summarizer::default();
+        let summary = s.summarize(&diagnostic_text());
+        let probe_pos = summary.find("Failed Probes").unwrap_or(usize::MAX);
+        let socket_pos = summary.find("UDP socket").unwrap_or(0);
+        assert!(
+            probe_pos < socket_pos,
+            "probe section should precede socket table"
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_summary() {
+        let s = Summarizer::default();
+        assert_eq!(s.summarize(""), "");
+        assert_eq!(s.summarize("\n\n\n"), "");
+    }
+
+    #[test]
+    fn short_input_passes_through() {
+        let s = Summarizer::default();
+        let text = "CorruptIndexException: mailbox content index failed consistency check";
+        let summary = s.summarize(text);
+        assert!(summary.contains("CorruptIndexException"));
+    }
+
+    #[test]
+    fn summarization_is_deterministic() {
+        let s = Summarizer::default();
+        assert_eq!(
+            s.summarize(&diagnostic_text()),
+            s.summarize(&diagnostic_text())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid word budget")]
+    fn bad_budget_panics() {
+        let _ = Summarizer::new(100, 50);
+    }
+}

@@ -1,0 +1,868 @@
+//! The root-cause category catalog.
+//!
+//! The paper's dataset has 653 incidents in which "incidents with a new
+//! root cause category account for 24.96% (163 among 653)" — i.e. there
+//! are 163 distinct categories, heavily long-tailed (Figure 3), with the
+//! ten exemplar categories of Table 1 at the head.
+//!
+//! Authoring 163 completely independent fault scenarios would be busywork;
+//! instead the catalog expands ~37 fault *families* by variant parameters
+//! (which component regressed, which dependency timed out, which tenant
+//! setting is invalid, ...). Every variant is a genuine distinct category:
+//! its planted telemetry differs in the strings that survive entity
+//! masking (exception names, service names, queue names), so downstream
+//! models must actually separate them.
+
+use rcacopilot_telemetry::alert::{AlertType, Severity};
+use serde::{Deserialize, Serialize};
+
+/// Fault family: the signature template a category instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    // Head families (paper Table 1).
+    /// Invalid certificate overrides the existing one (Table 1 #1).
+    AuthCertIssue,
+    /// UDP hub ports run out on a front-door machine (Table 1 #2).
+    HubPortExhaustion,
+    /// Mailbox delivery service hangs on a full queue (Table 1 #3).
+    DeliveryHang,
+    /// Bug shipped in a component (Table 1 #4); variant = component.
+    CodeRegression,
+    /// Spammers abuse connectors via a certificate domain (Table 1 #5).
+    CertForBogusTenants,
+    /// Active exploit (Table 1 #6); variant = attack vector.
+    MaliciousAttack,
+    /// Config service fails to update settings, poisoning routing (Table 1 #7).
+    UseRouteResolution,
+    /// A disk filled up; processes throw IO exceptions (Table 1 #8).
+    FullDisk,
+    /// Invalid customer transport config stalls submission (Table 1 #9).
+    InvalidJournaling,
+    /// Auth service unreachable; dispatcher tasks cancelled (Table 1 #10).
+    DispatcherTaskCancelled,
+    // Tail families.
+    /// A dependency service times out; variant = service.
+    DependencyTimeout,
+    /// A process leaks memory; variant = process.
+    MemoryLeak,
+    /// A certificate expired; variant = endpoint.
+    ExpiredCertificate,
+    /// An operator/customer setting is invalid; variant = setting.
+    ConfigInvalid,
+    /// A secondary queue overflows; variant = queue.
+    QueueOverflow,
+    /// A network partition; variant = link.
+    NetworkPartition,
+    /// DNS record/zone misconfiguration; variant = record kind.
+    DnsMisconfig,
+    /// Thread pool starvation; variant = process.
+    ThreadPoolStarvation,
+    /// A bad patch rollout; variant = component.
+    BadPatchRollout,
+    /// Spam/abuse volume surge; variant = vector.
+    SpamFlood,
+    /// Database failover; variant = database.
+    DatabaseFailover,
+    /// Hardware fault on a machine; variant = fault kind.
+    HardwareFault,
+    /// Store worker process crash; variant = crash reason.
+    StoreWorkerCrash,
+    /// Throttling policy misfires; variant = budget kind.
+    ThrottlingMisfire,
+    /// Mail loops; variant = loop kind.
+    MessageLoop,
+    /// TLS handshake failures; variant = mismatch kind.
+    TlsHandshakeFailure,
+    /// Poisoned message crashes a parser; variant = parser.
+    PoisonMessage,
+    /// A quota is exhausted; variant = quota.
+    QuotaExceeded,
+    /// Delivery latency culprit; variant names the category directly.
+    LatencyCulprit,
+    /// Resource leak kinds; variant names the category directly.
+    ResourceLeakKind,
+    /// Message flood kinds; variant names the category directly.
+    FloodKind,
+    /// Miscellaneous auth incidents; variant names the category directly.
+    MiscAuth,
+    /// Miscellaneous connection incidents; variant names the category.
+    MiscConn,
+    /// Miscellaneous crash incidents; variant names the category.
+    MiscCrash,
+    /// Miscellaneous dependency incidents; variant names the category.
+    MiscTimeout,
+}
+
+/// Static description of one family.
+struct FamilySpec {
+    family: Family,
+    alert_type: AlertType,
+    severity: Severity,
+    machine_scoped: bool,
+    /// Variant list; empty slice means a singleton family (one category,
+    /// named after the family).
+    variants: &'static [&'static str],
+    /// True when category names are the bare variant string rather than
+    /// `Family + Variant` (used by the grab-bag families).
+    variant_is_name: bool,
+    symptom: &'static str,
+    cause: &'static str,
+}
+
+const FAMILIES: &[FamilySpec] = &[
+    FamilySpec {
+        family: Family::AuthCertIssue,
+        alert_type: AlertType::AuthenticationFailure,
+        severity: Severity::Sev1,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Tokens for requesting services were not able to be created. Several services reported users experiencing outages.",
+        cause: "A previous invalid certificate overrode the existing one due to misconfiguration.",
+    },
+    FamilySpec {
+        family: Family::HubPortExhaustion,
+        alert_type: AlertType::OutboundConnectionFailure,
+        severity: Severity::Sev2,
+        machine_scoped: true,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "A single server failed to do DNS resolution for the incoming packages.",
+        cause: "The UDP hub ports on the machine had been run out.",
+    },
+    FamilySpec {
+        family: Family::DeliveryHang,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Mailbox delivery service hang for a long time.",
+        cause: "Number of messages queued for mailbox delivery exceeded the limit.",
+    },
+    FamilySpec {
+        family: Family::CodeRegression,
+        alert_type: AlertType::AvailabilityDrop,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[
+            "SmtpAuth",
+            "Categorizer",
+            "DeliveryAgent",
+            "MimeParser",
+            "RoutingAgent",
+            "DkimSigner",
+            "ContentFilter",
+            "AddressBook",
+            "Dumpster",
+            "StoreDriver",
+            "Autodiscover",
+            "EdgeSync",
+            "PolicyEngine",
+            "BounceGenerator",
+        ],
+        variant_is_name: false,
+        symptom: "The {v} component's availability dropped.",
+        cause: "Bug in the {v} component code introduced by a recent change.",
+    },
+    FamilySpec {
+        family: Family::CertForBogusTenants,
+        alert_type: AlertType::ConnectionLimitExceeded,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "The number of concurrent server connections exceeded a limit.",
+        cause: "Spammers abused the system by creating a lot of bogus tenants with connectors using a certificate domain.",
+    },
+    FamilySpec {
+        family: Family::MaliciousAttack,
+        alert_type: AlertType::ProcessCrashSpike,
+        severity: Severity::Sev1,
+        machine_scoped: false,
+        variants: &["PowerShellBlob", "OAuthTokenReplay", "SmtpVerbAbuse", "ZipBombAttachment"],
+        variant_is_name: false,
+        symptom: "Forest-wide processes crashed over threshold.",
+        cause: "Active exploit was launched via {v}.",
+    },
+    FamilySpec {
+        family: Family::UseRouteResolution,
+        alert_type: AlertType::PoisonedMessage,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Poisoned messages sent to the forest made the system unhealthy.",
+        cause: "A configuration service was unable to update the settings leading to the crash.",
+    },
+    FamilySpec {
+        family: Family::FullDisk,
+        alert_type: AlertType::ProcessCrashSpike,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Many processes crashed and threw IO exceptions.",
+        cause: "A specific disk was full.",
+    },
+    FamilySpec {
+        family: Family::InvalidJournaling,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Messages stuck in submission queue for a long time.",
+        cause: "The customer set an invalid value for the Transport config and caused TenantSettingsNotFoundException.",
+    },
+    FamilySpec {
+        family: Family::DispatcherTaskCancelled,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[],
+        variant_is_name: false,
+        symptom: "Normal priority messages across a forest had been queued in submission queues for a long time.",
+        cause: "Network problem caused the authentication service to be unreachable.",
+    },
+    FamilySpec {
+        family: Family::DependencyTimeout,
+        alert_type: AlertType::DependencyTimeout,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[
+            "AuthService",
+            "DirectoryService",
+            "SettingsService",
+            "DnsService",
+            "LdapService",
+            "AddressBookService",
+            "QuarantineService",
+            "ThrottlingService",
+            "TelemetryService",
+            "LicensingService",
+            "ReputationService",
+            "GeoIpService",
+        ],
+        variant_is_name: false,
+        symptom: "Calls to {v} timed out across the forest.",
+        cause: "{v} became unresponsive and requests exceeded their deadlines.",
+    },
+    FamilySpec {
+        family: Family::MemoryLeak,
+        alert_type: AlertType::ResourcePressure,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[
+            "Transport",
+            "W3wp",
+            "StoreWorker",
+            "ContentFilter",
+            "EdgeTransport",
+            "Monitoring",
+            "Search",
+            "Antimalware",
+            "Journaling",
+            "PopImap",
+        ],
+        variant_is_name: false,
+        symptom: "Memory usage of the {v} process grew steadily until restarts.",
+        cause: "A memory leak in the {v} process exhausted available memory.",
+    },
+    FamilySpec {
+        family: Family::ExpiredCertificate,
+        alert_type: AlertType::AuthenticationFailure,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &[
+            "SmtpInbound",
+            "SmtpOutbound",
+            "Federation",
+            "OAuth",
+            "InternalApi",
+            "EdgeSync",
+            "Webhooks",
+            "Smime",
+        ],
+        variant_is_name: false,
+        symptom: "Connections authenticating against the {v} endpoint started failing.",
+        cause: "The {v} certificate expired and was not rotated in time.",
+    },
+    FamilySpec {
+        family: Family::ConfigInvalid,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[
+            "MaxRecipientLimit",
+            "AcceptedDomains",
+            "RemoteDomains",
+            "ConnectorAddressSpace",
+            "RetryInterval",
+            "MessageSizeLimit",
+            "SafeSenderList",
+            "DlpPolicy",
+            "RoutingGroup",
+            "SendConnectorFqdn",
+            "ReceiveConnectorBindings",
+            "ThrottlingPolicy",
+            "MalwareFilterPolicy",
+            "OutboundSpamPolicy",
+            "HybridRouting",
+            "ArchivePolicy",
+            "InboundConnectorTls",
+            "JournalRules",
+            "MxFailover",
+            "AddressRewrite",
+        ],
+        variant_is_name: false,
+        symptom: "Messages for affected tenants backed up in the submission queue.",
+        cause: "An invalid {v} setting made message processing fail for the tenant.",
+    },
+    FamilySpec {
+        family: Family::QueueOverflow,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[
+            "Journaling",
+            "Quarantine",
+            "ShadowRedundancy",
+            "Pickup",
+            "Replay",
+            "Poison",
+            "Unreachable",
+        ],
+        variant_is_name: false,
+        symptom: "The {v} queue exceeded its configured limit.",
+        cause: "Drain rate of the {v} queue fell below its arrival rate.",
+    },
+    FamilySpec {
+        family: Family::NetworkPartition,
+        alert_type: AlertType::DependencyTimeout,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["InterForestLink", "DatacenterUplink", "LoadBalancerPool", "ManagementVlan"],
+        variant_is_name: false,
+        symptom: "Cross-service calls over the {v} failed with connection resets.",
+        cause: "A network partition isolated the {v}.",
+    },
+    FamilySpec {
+        family: Family::DnsMisconfig,
+        alert_type: AlertType::OutboundConnectionFailure,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["MxRecord", "SpfRecord", "InternalZone", "ReverseDns"],
+        variant_is_name: false,
+        symptom: "Outbound SMTP connections failed to resolve destination hosts.",
+        cause: "The {v} DNS configuration was wrong after a zone update.",
+    },
+    FamilySpec {
+        family: Family::ThreadPoolStarvation,
+        alert_type: AlertType::ResourcePressure,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["TransportDelivery", "SmtpIn", "Categorizer", "StoreRpc"],
+        variant_is_name: false,
+        symptom: "The {v} thread pool ran out of worker threads.",
+        cause: "Blocking calls starved the {v} thread pool.",
+    },
+    FamilySpec {
+        family: Family::BadPatchRollout,
+        alert_type: AlertType::AvailabilityDrop,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["TransportCore", "StoreDriver", "FilteringStack", "OsSecurityPatch", "NicFirmware"],
+        variant_is_name: false,
+        symptom: "Availability dropped on machines that received the new {v} build.",
+        cause: "The {v} patch rollout shipped a defective build.",
+    },
+    FamilySpec {
+        family: Family::SpamFlood,
+        alert_type: AlertType::ConnectionLimitExceeded,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["InboundBotnet", "OutboundCompromised", "NdrBackscatter", "DirectoryHarvest"],
+        variant_is_name: false,
+        symptom: "Connection volume spiked far above normal levels.",
+        cause: "A {v} abuse campaign flooded the service.",
+    },
+    FamilySpec {
+        family: Family::DatabaseFailover,
+        alert_type: AlertType::AvailabilityDrop,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["MailboxDb01", "MailboxDb17", "RoutingDb", "ReputationDb"],
+        variant_is_name: false,
+        symptom: "Requests against {v} failed during an unplanned failover.",
+        cause: "{v} failed over to a passive copy after the active copy faulted.",
+    },
+    FamilySpec {
+        family: Family::HardwareFault,
+        alert_type: AlertType::ResourcePressure,
+        severity: Severity::Sev3,
+        machine_scoped: true,
+        variants: &["NicFlap", "DiskLatency", "CpuThrottle", "MemoryEcc"],
+        variant_is_name: false,
+        symptom: "A machine showed degraded performance consistent with hardware trouble.",
+        cause: "A {v} hardware fault degraded the machine.",
+    },
+    FamilySpec {
+        family: Family::StoreWorkerCrash,
+        alert_type: AlertType::ProcessCrashSpike,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["AccessViolation", "CorruptIndex", "LogReplayStall", "PageChecksum"],
+        variant_is_name: false,
+        symptom: "Store worker processes crashed repeatedly.",
+        cause: "Store workers hit a {v} fault.",
+    },
+    FamilySpec {
+        family: Family::ThrottlingMisfire,
+        alert_type: AlertType::DeliveryLatencyHigh,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["TenantBudget", "IpBudget", "ConnectionBudget", "RecipientRate"],
+        variant_is_name: false,
+        symptom: "Legitimate traffic was delayed by throttling.",
+        cause: "The {v} throttling policy misfired on legitimate traffic.",
+    },
+    FamilySpec {
+        family: Family::MessageLoop,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["TransportRule", "JournalNdr", "ForwardingPair"],
+        variant_is_name: false,
+        symptom: "The same messages were observed cycling through the queues.",
+        cause: "A {v} loop kept re-submitting the same messages.",
+    },
+    FamilySpec {
+        family: Family::TlsHandshakeFailure,
+        alert_type: AlertType::OutboundConnectionFailure,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["ProtocolMismatch", "CipherSuite", "SniMismatch"],
+        variant_is_name: false,
+        symptom: "Outbound TLS sessions failed during the handshake.",
+        cause: "A {v} prevented TLS session establishment.",
+    },
+    FamilySpec {
+        family: Family::PoisonMessage,
+        alert_type: AlertType::PoisonedMessage,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["MimeParser", "TnefParser", "ICalParser", "AttachmentScanner"],
+        variant_is_name: false,
+        symptom: "Specific messages repeatedly crashed the pipeline and were marked poisoned.",
+        cause: "A malformed message crashed the {v}.",
+    },
+    FamilySpec {
+        family: Family::QuotaExceeded,
+        alert_type: AlertType::DeliveryLatencyHigh,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["MailboxQuota", "TenantSendQuota", "HandleQuota", "ConnectionQuota"],
+        variant_is_name: false,
+        symptom: "Operations were rejected once the {v} was exhausted.",
+        cause: "The {v} was exceeded.",
+    },
+    FamilySpec {
+        family: Family::LatencyCulprit,
+        alert_type: AlertType::DeliveryLatencyHigh,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["SearchIndexLag", "AntivirusStall", "ClockSkew", "GeoDnsFlap", "CapacityHotspot"],
+        variant_is_name: true,
+        symptom: "End-to-end delivery latency rose above the SLO.",
+        cause: "Latency was traced to {v}.",
+    },
+    FamilySpec {
+        family: Family::ResourceLeakKind,
+        alert_type: AlertType::ResourcePressure,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["KernelSocketLeak", "CacheEviction", "AuditBacklog", "RetentionStorm", "SnapshotBackupStall"],
+        variant_is_name: true,
+        symptom: "Machines came under resource pressure.",
+        cause: "{v} consumed the resource budget.",
+    },
+    FamilySpec {
+        family: Family::FloodKind,
+        alert_type: AlertType::DeliveryQueueBacklog,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &[
+            "OversizedAttachmentFlood",
+            "MalformedMimeFlood",
+            "InboxRuleExplosion",
+            "DuplicateDeliveryStorm",
+            "DistributionListCycle",
+            "NdrStorm",
+        ],
+        variant_is_name: true,
+        symptom: "Queues filled with a surge of pathological messages.",
+        cause: "{v} flooded the pipeline.",
+    },
+    FamilySpec {
+        family: Family::MiscAuth,
+        alert_type: AlertType::AuthenticationFailure,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["ServiceAccountLockout", "IpBlocklistFalsePositive", "DkimRotationFailure"],
+        variant_is_name: true,
+        symptom: "Authentication-dependent operations started failing.",
+        cause: "{v} broke the authentication path.",
+    },
+    FamilySpec {
+        family: Family::MiscConn,
+        alert_type: AlertType::ConnectionLimitExceeded,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["FrontDoorOverload", "ProxyPoolImbalance", "CircuitBreakerStuck", "BackpressureMisconfig"],
+        variant_is_name: true,
+        symptom: "Connection handling degraded at the front door.",
+        cause: "{v} disturbed connection distribution.",
+    },
+    FamilySpec {
+        family: Family::MiscCrash,
+        alert_type: AlertType::ProcessCrashSpike,
+        severity: Severity::Sev2,
+        machine_scoped: false,
+        variants: &["RegistryCorruption", "AddressBookCorruption"],
+        variant_is_name: true,
+        symptom: "Processes crashed on startup or during routine operations.",
+        cause: "{v} made persistent state unreadable.",
+    },
+    FamilySpec {
+        family: Family::MiscTimeout,
+        alert_type: AlertType::DependencyTimeout,
+        severity: Severity::Sev3,
+        machine_scoped: false,
+        variants: &["LdapReferralStorm", "StaleRoutingTable", "TenantMigrationStall", "HungDeliveryWorker"],
+        variant_is_name: true,
+        symptom: "Internal calls slowed down and began timing out.",
+        cause: "{v} stalled the dependent calls.",
+    },
+];
+
+/// Paper Table 1 occurrence counts for the head categories, in catalog
+/// order (`AuthCertIssue` .. `DispatcherTaskCancelled`).
+const HEAD_COUNTS: [(Family, &str, u32); 10] = [
+    (Family::AuthCertIssue, "", 3),
+    (Family::HubPortExhaustion, "", 27),
+    (Family::DeliveryHang, "", 6),
+    (Family::CodeRegression, "SmtpAuth", 15),
+    (Family::CertForBogusTenants, "", 11),
+    (Family::MaliciousAttack, "PowerShellBlob", 2),
+    (Family::UseRouteResolution, "", 9),
+    (Family::FullDisk, "", 2),
+    (Family::InvalidJournaling, "", 11),
+    (Family::DispatcherTaskCancelled, "", 22),
+];
+
+/// Total incidents in the simulated year (paper §5.1).
+pub const TOTAL_INCIDENTS: u32 = 653;
+/// Distinct root-cause categories (paper Figure 3: 163 of 653 are "new").
+pub const TOTAL_CATEGORIES: usize = 163;
+
+/// One root-cause category: a family instantiated with a variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategorySpec {
+    /// Category label, e.g. `HubPortExhaustion` or `CodeRegressionCategorizer`.
+    pub name: String,
+    /// Signature template.
+    pub family: Family,
+    /// Variant parameter (empty for singleton families).
+    pub variant: String,
+    /// Alert type raised when this category strikes.
+    pub alert_type: AlertType,
+    /// Severity assigned at triage.
+    pub severity: Severity,
+    /// True when the alert scope is a single machine.
+    pub machine_scoped: bool,
+    /// Number of occurrences in the simulated year.
+    pub target_count: u32,
+    /// Human-readable symptom (Table 1 column).
+    pub symptom: String,
+    /// Human-readable cause (Table 1 column).
+    pub cause: String,
+}
+
+/// The full category catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    categories: Vec<CategorySpec>,
+}
+
+fn interpolate(template: &str, variant: &str) -> String {
+    template.replace("{v}", variant)
+}
+
+fn category_name(spec: &FamilySpec, variant: &str) -> String {
+    if variant.is_empty() {
+        format!("{:?}", spec.family)
+    } else if spec.variant_is_name {
+        variant.to_string()
+    } else {
+        format!("{:?}{variant}", spec.family)
+    }
+}
+
+/// Deterministically fits `n` positive counts summing to `total`,
+/// geometrically decaying so the distribution is long-tailed.
+fn fit_tail_counts(n: usize, total: u32) -> Vec<u32> {
+    assert!(
+        n > 0 && total as usize >= n,
+        "need at least one incident per category"
+    );
+    let ratio: f64 = 0.966;
+    let scale: f64 = 14.0;
+    let mut counts: Vec<u32> = (0..n)
+        .map(|i| (scale * ratio.powi(i as i32)).round().max(1.0) as u32)
+        .collect();
+    let mut sum: i64 = counts.iter().map(|&c| c as i64).sum();
+    // Round-robin adjustment toward the target total.
+    let mut i = 0;
+    while sum != total as i64 {
+        if sum < total as i64 {
+            counts[i % n] += 1;
+            sum += 1;
+        } else if counts[i % n] > 1 {
+            counts[i % n] -= 1;
+            sum -= 1;
+        }
+        i += 1;
+    }
+    counts
+}
+
+impl Catalog {
+    /// Builds the standard catalog: Table 1 heads with their paper counts
+    /// plus a long tail summing to [`TOTAL_INCIDENTS`] across
+    /// [`TOTAL_CATEGORIES`] categories.
+    pub fn standard() -> Self {
+        let mut categories: Vec<CategorySpec> = Vec::new();
+
+        // Heads first, with their Table 1 occurrence counts.
+        for (family, variant, count) in HEAD_COUNTS {
+            let spec = FAMILIES
+                .iter()
+                .find(|f| f.family == family)
+                .expect("head family present in FAMILIES");
+            categories.push(CategorySpec {
+                name: category_name(spec, variant),
+                family,
+                variant: variant.to_string(),
+                alert_type: spec.alert_type,
+                severity: spec.severity,
+                machine_scoped: spec.machine_scoped,
+                target_count: count,
+                symptom: interpolate(spec.symptom, variant),
+                cause: interpolate(spec.cause, variant),
+            });
+        }
+        let head_total: u32 = categories.iter().map(|c| c.target_count).sum();
+
+        // Tail categories: every family variant not already used as a head.
+        let mut tail: Vec<(usize, &'static str)> = Vec::new(); // (family idx, variant)
+        for (fi, spec) in FAMILIES.iter().enumerate() {
+            if spec.variants.is_empty() {
+                let is_head = HEAD_COUNTS.iter().any(|(f, _, _)| *f == spec.family);
+                if !is_head {
+                    tail.push((fi, ""));
+                }
+            } else {
+                for v in spec.variants {
+                    let is_head = HEAD_COUNTS
+                        .iter()
+                        .any(|(f, hv, _)| *f == spec.family && hv == v);
+                    if !is_head {
+                        tail.push((fi, v));
+                    }
+                }
+            }
+        }
+        assert!(
+            tail.len() >= TOTAL_CATEGORIES - HEAD_COUNTS.len(),
+            "family variant lists must yield at least {} tail categories, got {}",
+            TOTAL_CATEGORIES - HEAD_COUNTS.len(),
+            tail.len()
+        );
+        // Interleave families so large tail counts spread across families:
+        // stable sort by (variant index within family) keeps round-robin order.
+        let n_tail = TOTAL_CATEGORIES - HEAD_COUNTS.len();
+        let mut interleaved: Vec<(usize, &'static str)> = Vec::with_capacity(tail.len());
+        let mut round = 0usize;
+        loop {
+            let mut any = false;
+            for (fi, spec) in FAMILIES.iter().enumerate() {
+                let variants_of_family: Vec<&(usize, &'static str)> =
+                    tail.iter().filter(|(i, _)| *i == fi).collect();
+                if let Some(&&(idx, v)) = variants_of_family.get(round) {
+                    let _ = spec;
+                    interleaved.push((idx, v));
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            round += 1;
+        }
+        interleaved.truncate(n_tail);
+
+        let tail_counts = fit_tail_counts(n_tail, TOTAL_INCIDENTS - head_total);
+        for ((fi, variant), count) in interleaved.into_iter().zip(tail_counts) {
+            let spec = &FAMILIES[fi];
+            categories.push(CategorySpec {
+                name: category_name(spec, variant),
+                family: spec.family,
+                variant: variant.to_string(),
+                alert_type: spec.alert_type,
+                severity: spec.severity,
+                machine_scoped: spec.machine_scoped,
+                target_count: count,
+                symptom: interpolate(spec.symptom, variant),
+                cause: interpolate(spec.cause, variant),
+            });
+        }
+
+        Catalog { categories }
+    }
+
+    /// All categories, heads first.
+    pub fn categories(&self) -> &[CategorySpec] {
+        &self.categories
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// True if the catalog is empty (never for [`Catalog::standard`]).
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Total incidents across all categories.
+    pub fn total_incidents(&self) -> u32 {
+        self.categories.iter().map(|c| c.target_count).sum()
+    }
+
+    /// Looks a category up by name.
+    pub fn by_name(&self, name: &str) -> Option<&CategorySpec> {
+        self.categories.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn standard_catalog_matches_paper_statistics() {
+        let cat = Catalog::standard();
+        assert_eq!(cat.len(), TOTAL_CATEGORIES);
+        assert_eq!(cat.total_incidents(), TOTAL_INCIDENTS);
+        // New-category share: 163/653 = 24.96%.
+        let share = cat.len() as f64 / cat.total_incidents() as f64;
+        assert!((share - 0.2496).abs() < 0.001, "share = {share}");
+    }
+
+    #[test]
+    fn category_names_are_unique() {
+        let cat = Catalog::standard();
+        let names: BTreeSet<&str> = cat.categories().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names.len(), cat.len());
+    }
+
+    #[test]
+    fn head_categories_have_table1_counts() {
+        let cat = Catalog::standard();
+        assert_eq!(cat.by_name("HubPortExhaustion").unwrap().target_count, 27);
+        assert_eq!(
+            cat.by_name("DispatcherTaskCancelled").unwrap().target_count,
+            22
+        );
+        assert_eq!(
+            cat.by_name("CodeRegressionSmtpAuth").unwrap().target_count,
+            15
+        );
+        assert_eq!(cat.by_name("AuthCertIssue").unwrap().target_count, 3);
+        assert_eq!(cat.by_name("FullDisk").unwrap().target_count, 2);
+    }
+
+    #[test]
+    fn every_category_has_positive_count_and_text() {
+        let cat = Catalog::standard();
+        for c in cat.categories() {
+            assert!(c.target_count >= 1, "{} has zero count", c.name);
+            assert!(!c.symptom.is_empty());
+            assert!(!c.cause.is_empty());
+            assert!(
+                !c.symptom.contains("{v}"),
+                "{}: uninterpolated symptom",
+                c.name
+            );
+            assert!(!c.cause.contains("{v}"), "{}: uninterpolated cause", c.name);
+        }
+    }
+
+    #[test]
+    fn distribution_is_long_tailed() {
+        let cat = Catalog::standard();
+        let singles = cat
+            .categories()
+            .iter()
+            .filter(|c| c.target_count == 1)
+            .count();
+        // A substantial share of categories occur exactly once.
+        assert!(singles > 40, "only {singles} singleton categories");
+        let max = cat
+            .categories()
+            .iter()
+            .map(|c| c.target_count)
+            .max()
+            .unwrap();
+        assert_eq!(max, 27, "head category dominates");
+    }
+
+    #[test]
+    fn severity_and_scope_follow_table1() {
+        let cat = Catalog::standard();
+        let hub = cat.by_name("HubPortExhaustion").unwrap();
+        assert!(hub.machine_scoped);
+        assert_eq!(hub.severity, Severity::Sev2);
+        let auth = cat.by_name("AuthCertIssue").unwrap();
+        assert_eq!(auth.severity, Severity::Sev1);
+        assert!(!auth.machine_scoped);
+    }
+
+    #[test]
+    fn fit_tail_counts_hits_total_exactly() {
+        for (n, total) in [(153usize, 545u32), (10, 50), (5, 5), (3, 100)] {
+            let counts = fit_tail_counts(n, total);
+            assert_eq!(counts.len(), n);
+            assert_eq!(counts.iter().sum::<u32>(), total);
+            assert!(counts.iter().all(|&c| c >= 1));
+        }
+    }
+
+    #[test]
+    fn alert_types_cover_multiple_categories() {
+        // Incidents sharing an alert type may stem from different root
+        // causes (paper §4.1): every alert type must host >= 2 categories.
+        let cat = Catalog::standard();
+        for at in AlertType::ALL {
+            let n = cat
+                .categories()
+                .iter()
+                .filter(|c| c.alert_type == at)
+                .count();
+            assert!(n >= 2, "{at} hosts only {n} categories");
+        }
+    }
+}

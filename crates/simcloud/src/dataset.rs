@@ -1,0 +1,246 @@
+//! Dataset container, train/test split, and the statistics behind the
+//! paper's Figures 2 and 3.
+
+use crate::catalog::Catalog;
+use crate::incident::Incident;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// The incident dataset: chronologically ordered incidents plus the
+/// catalog that generated them.
+#[derive(Debug, Clone)]
+pub struct IncidentDataset {
+    incidents: Vec<Incident>,
+    catalog: Catalog,
+}
+
+/// Index-based train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Indices of training incidents.
+    pub train: Vec<usize>,
+    /// Indices of testing incidents.
+    pub test: Vec<usize>,
+}
+
+/// Aggregate statistics of a dataset (Figures 2 and 3).
+#[derive(Debug, Clone)]
+pub struct DatasetStats {
+    /// Total incidents.
+    pub total: usize,
+    /// Distinct categories.
+    pub categories: usize,
+    /// Incidents that were the first of their category ("new root cause").
+    pub new_category_incidents: usize,
+    /// Share of new-category incidents (paper: 24.96%).
+    pub new_category_share: f64,
+    /// All recurrence gaps in days (same-category successive incidents).
+    pub recurrence_gaps_days: Vec<f64>,
+    /// Per-category occurrence counts, descending (Figure 3's long tail).
+    pub category_counts: Vec<(String, usize)>,
+}
+
+impl DatasetStats {
+    /// Proportion of recurrence gaps at or below `days` (Figure 2's CDF).
+    pub fn recurrence_share_within(&self, days: f64) -> f64 {
+        if self.recurrence_gaps_days.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .recurrence_gaps_days
+            .iter()
+            .filter(|&&g| g <= days)
+            .count();
+        n as f64 / self.recurrence_gaps_days.len() as f64
+    }
+
+    /// `(interval_days, cumulative_share)` series for Figure 2.
+    pub fn recurrence_cdf(&self, intervals: &[f64]) -> Vec<(f64, f64)> {
+        intervals
+            .iter()
+            .map(|&d| (d, self.recurrence_share_within(d)))
+            .collect()
+    }
+}
+
+impl IncidentDataset {
+    /// Wraps generated incidents (must already be chronological).
+    pub fn new(incidents: Vec<Incident>, catalog: Catalog) -> Self {
+        debug_assert!(incidents
+            .windows(2)
+            .all(|w| w[0].occurred_at() <= w[1].occurred_at()));
+        IncidentDataset { incidents, catalog }
+    }
+
+    /// All incidents, chronological.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Number of incidents.
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+
+    /// The catalog the campaign ran against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Seeded random split with `train_frac` of incidents in the training
+    /// set (paper §5.1 uses 75%/25%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is outside `(0, 1)`.
+    pub fn split(&self, seed: u64, train_frac: f64) -> TrainTestSplit {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.incidents.len()).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..indices.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let n_train = ((self.incidents.len() as f64) * train_frac).round() as usize;
+        let mut train = indices[..n_train].to_vec();
+        let mut test = indices[n_train..].to_vec();
+        train.sort_unstable();
+        test.sort_unstable();
+        TrainTestSplit { train, test }
+    }
+
+    /// Computes dataset statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut last_seen: BTreeMap<&str, f64> = BTreeMap::new();
+        let mut gaps = Vec::new();
+        let mut new_count = 0;
+        for inc in &self.incidents {
+            *counts.entry(inc.category.as_str()).or_insert(0) += 1;
+            if inc.first_of_category {
+                new_count += 1;
+            }
+            let day = inc.occurred_at().days_f64();
+            if let Some(prev) = last_seen.insert(inc.category.as_str(), day) {
+                gaps.push(day - prev);
+            }
+        }
+        let mut category_counts: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        category_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total = self.incidents.len();
+        DatasetStats {
+            total,
+            categories: category_counts.len(),
+            new_category_incidents: new_count,
+            new_category_share: if total == 0 {
+                0.0
+            } else {
+                new_count as f64 / total as f64
+            },
+            recurrence_gaps_days: gaps,
+            category_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_dataset, CampaignConfig};
+    use crate::noise::NoiseProfile;
+    use crate::topology::Topology;
+
+    fn small_dataset() -> IncidentDataset {
+        generate_dataset(&CampaignConfig {
+            seed: 42,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 2,
+                herring_logs: 1,
+                healthy_traces: 1,
+                unrelated_failure: false,
+                bystander_anomalies: 1,
+            },
+        })
+    }
+
+    #[test]
+    fn stats_match_catalog_totals() {
+        let ds = small_dataset();
+        let stats = ds.stats();
+        assert_eq!(stats.total, 653);
+        assert_eq!(stats.categories, 163);
+        assert_eq!(stats.new_category_incidents, 163);
+        assert!((stats.new_category_share - 0.2496).abs() < 0.001);
+    }
+
+    #[test]
+    fn recurrence_cdf_reproduces_figure2_shape() {
+        let ds = small_dataset();
+        let stats = ds.stats();
+        // Paper: 93.80% of recurrences within 20 days. Accept a band.
+        let within20 = stats.recurrence_share_within(20.0);
+        assert!(
+            (0.88..=0.98).contains(&within20),
+            "share within 20 days = {within20}"
+        );
+        // CDF is monotone.
+        let cdf = stats.recurrence_cdf(&[1.0, 5.0, 10.0, 20.0, 40.0, 120.0]);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!(stats.recurrence_share_within(365.0) > 0.999);
+    }
+
+    #[test]
+    fn category_counts_are_long_tailed_descending() {
+        let ds = small_dataset();
+        let stats = ds.stats();
+        assert_eq!(stats.category_counts[0].1, 27);
+        for w in stats.category_counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let singles = stats
+            .category_counts
+            .iter()
+            .filter(|(_, c)| *c == 1)
+            .count();
+        assert!(singles > 40);
+    }
+
+    #[test]
+    fn split_is_disjoint_exhaustive_and_seeded() {
+        let ds = small_dataset();
+        let s1 = ds.split(1, 0.75);
+        let s2 = ds.split(1, 0.75);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.train.len() + s1.test.len(), ds.len());
+        assert_eq!(s1.train.len(), 490); // round(653 * 0.75)
+        let mut all: Vec<usize> = s1.train.iter().chain(&s1.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), ds.len());
+        let s3 = ds.split(2, 0.75);
+        assert_ne!(s1, s3, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn split_rejects_bad_fraction() {
+        let ds = small_dataset();
+        let _ = ds.split(1, 1.5);
+    }
+}

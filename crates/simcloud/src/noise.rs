@@ -1,0 +1,480 @@
+//! Background telemetry: the healthy hum of the service plus red herrings.
+//!
+//! Real diagnostic data is "noisy, incomplete and inconsistent" (paper §1).
+//! Every incident snapshot therefore gets a bed of routine log lines,
+//! normal metric samples, healthy traces, and mild red herrings (a 85%-full
+//! disk, one unrelated failed trace) on top of which the root-cause
+//! signature is planted. Raw collected text easily exceeds a thousand
+//! tokens — which is exactly why the paper adds a summarization stage.
+
+use crate::signature::metrics as metric_names;
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rcacopilot_telemetry::artifacts::{
+    DiskUsage, ProcessInfo, ProvisioningRecord, QueueStat, SocketStat,
+};
+use rcacopilot_telemetry::ids::{ForestId, MachineRole, ProcessId};
+use rcacopilot_telemetry::log::{LogLevel, LogRecord};
+use rcacopilot_telemetry::time::{SimDuration, SimTime};
+use rcacopilot_telemetry::trace::{SpanStatus, Trace, TraceSpan};
+use rcacopilot_telemetry::TelemetrySnapshot;
+
+/// Routine log templates sampled into every snapshot.
+const ROUTINE_LOGS: &[(&str, &str, LogLevel, &str)] = &[
+    (
+        "Transport.exe",
+        "SmtpIn",
+        LogLevel::Info,
+        "accepted connection from partner gateway",
+    ),
+    (
+        "Transport.exe",
+        "SmtpOut",
+        LogLevel::Info,
+        "outbound session established; STARTTLS negotiated",
+    ),
+    (
+        "EdgeTransport.exe",
+        "Categorizer",
+        LogLevel::Info,
+        "recipient resolution completed",
+    ),
+    (
+        "TransportDelivery.exe",
+        "Delivery",
+        LogLevel::Info,
+        "message delivered to mailbox store",
+    ),
+    (
+        "Transport.exe",
+        "HealthProbe",
+        LogLevel::Info,
+        "synthetic probe cycle completed",
+    ),
+    ("w3wp.exe", "Ews", LogLevel::Info, "mailbox session opened"),
+    (
+        "Transport.exe",
+        "DnsResolver",
+        LogLevel::Debug,
+        "resolver cache refreshed",
+    ),
+    (
+        "EdgeTransport.exe",
+        "Pickup",
+        LogLevel::Info,
+        "pickup directory scan found no files",
+    ),
+    (
+        "Transport.exe",
+        "Throttling",
+        LogLevel::Debug,
+        "budget recalculated for tenant cohort",
+    ),
+    (
+        "Microsoft.Transport.Store.Worker.exe",
+        "Store",
+        LogLevel::Info,
+        "database checkpoint advanced",
+    ),
+    (
+        "Transport.exe",
+        "SmtpIn",
+        LogLevel::Warning,
+        "connection idle timeout; session recycled",
+    ),
+    (
+        "EdgeTransport.exe",
+        "ShadowRedundancy",
+        LogLevel::Info,
+        "shadow copy acknowledged",
+    ),
+    (
+        "Transport.exe",
+        "CertMonitor",
+        LogLevel::Debug,
+        "certificate inventory scan clean",
+    ),
+    (
+        "Monitoring.exe",
+        "Heartbeat",
+        LogLevel::Info,
+        "health manager heartbeat ok",
+    ),
+    (
+        "Transport.exe",
+        "Routing",
+        LogLevel::Info,
+        "routing table refresh committed",
+    ),
+    (
+        "w3wp.exe",
+        "AutoDiscover",
+        LogLevel::Info,
+        "autodiscover request served",
+    ),
+    (
+        "EdgeTransport.exe",
+        "Dumpster",
+        LogLevel::Debug,
+        "dumpster trimmed below quota",
+    ),
+    (
+        "Transport.exe",
+        "Backpressure",
+        LogLevel::Debug,
+        "resource pressure normal; no backpressure applied",
+    ),
+];
+
+/// Bystander anomalies: genuine error-level lines from *unrelated*
+/// ongoing trouble elsewhere in the forest. Real incident telemetry is
+/// full of these — they overlap lexically with other categories'
+/// signatures and are what makes raw-text classification hard.
+const BYSTANDER_ANOMALIES: &[(&str, &str, LogLevel, &str)] = &[
+    ("Transport.exe", "ServiceClient", LogLevel::Error, "System.TimeoutException: request to TelemetryService exceeded deadline once; transient, retried successfully"),
+    ("w3wp.exe", "Ews", LogLevel::Error, "System.IO.IOException: transient write failure on temporary spool file; retried successfully"),
+    ("Transport.exe", "CertMonitor", LogLevel::Warning, "certificate for internal test endpoint expires within 30 days"),
+    ("Transport.exe", "SmtpOut", LogLevel::Error, "System.Net.Sockets.SocketException: connection reset by remote MTA during DATA; transient, session retried successfully"),
+    ("EdgeTransport.exe", "Categorizer", LogLevel::Error, "TransientRoutingException: next hop briefly unavailable; message re-queued"),
+    ("Microsoft.Transport.Store.Worker.exe", "Store", LogLevel::Error, "MapiExceptionTimeout: single mailbox operation timed out"),
+    ("Transport.exe", "Throttling", LogLevel::Warning, "tenant exceeded burst budget momentarily; requests briefly deferred"),
+    ("Monitoring.exe", "ProbeRunner", LogLevel::Error, "synthetic probe run skipped: dependency canary unavailable"),
+    ("EdgeTransport.exe", "QueueMonitor", LogLevel::Warning, "submission queue briefly above watermark before draining"),
+    ("Transport.exe", "DnsResolver", LogLevel::Error, "DNS server rotation: one resolver returned SERVFAIL; fell back"),
+    ("AuditService.exe", "AuditWriter", LogLevel::Warning, "audit event batch flushed late"),
+    ("Transport.exe", "AuthClient", LogLevel::Error, "token cache miss caused one synchronous token fetch"),
+];
+
+/// Benign warning templates that look scary but are routine.
+const RED_HERRING_LOGS: &[(&str, &str, LogLevel, &str)] = &[
+    (
+        "Transport.exe",
+        "SmtpOut",
+        LogLevel::Warning,
+        "transient 451 from remote host; message requeued for retry",
+    ),
+    (
+        "w3wp.exe",
+        "Ews",
+        LogLevel::Warning,
+        "slow mailbox logon exceeded 5s once",
+    ),
+    (
+        "Monitoring.exe",
+        "Heartbeat",
+        LogLevel::Warning,
+        "one heartbeat missed; next heartbeat on time",
+    ),
+    (
+        "EdgeTransport.exe",
+        "Categorizer",
+        LogLevel::Warning,
+        "recipient cache miss rate briefly elevated",
+    ),
+    (
+        "Transport.exe",
+        "DnsResolver",
+        LogLevel::Warning,
+        "single DNS query retried after UDP timeout",
+    ),
+];
+
+/// Configuration for background noise volume.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseProfile {
+    /// Routine log lines per snapshot.
+    pub routine_logs: usize,
+    /// Red-herring warning lines per snapshot.
+    pub herring_logs: usize,
+    /// Healthy traces per snapshot.
+    pub healthy_traces: usize,
+    /// Whether to add one unrelated failing trace.
+    pub unrelated_failure: bool,
+    /// Bystander anomaly lines per snapshot (error-level noise from
+    /// unrelated trouble; see [`BYSTANDER_ANOMALIES`]).
+    pub bystander_anomalies: usize,
+}
+
+impl Default for NoiseProfile {
+    fn default() -> Self {
+        NoiseProfile {
+            routine_logs: 36,
+            herring_logs: 5,
+            healthy_traces: 12,
+            unrelated_failure: true,
+            bystander_anomalies: 3,
+        }
+    }
+}
+
+/// Fills `snap` with background noise for an incident in `forest` at `at`.
+pub fn fill_background(
+    snap: &mut TelemetrySnapshot,
+    rng: &mut SmallRng,
+    topology: &Topology,
+    forest: ForestId,
+    at: SimTime,
+    profile: &NoiseProfile,
+) {
+    // Routine and red-herring logs from random machines of the forest.
+    for _ in 0..profile.routine_logs {
+        let (process, component, level, message) =
+            ROUTINE_LOGS[rng.gen_range(0..ROUTINE_LOGS.len())];
+        push_log(
+            snap, rng, topology, forest, at, process, component, level, message,
+        );
+    }
+    for _ in 0..profile.herring_logs {
+        let (process, component, level, message) =
+            RED_HERRING_LOGS[rng.gen_range(0..RED_HERRING_LOGS.len())];
+        push_log(
+            snap, rng, topology, forest, at, process, component, level, message,
+        );
+    }
+    for _ in 0..profile.bystander_anomalies {
+        let (process, component, level, message) =
+            BYSTANDER_ANOMALIES[rng.gen_range(0..BYSTANDER_ANOMALIES.len())];
+        push_log(
+            snap, rng, topology, forest, at, process, component, level, message,
+        );
+    }
+
+    // Healthy metric baselines on a handful of machines, so metric queries
+    // always return something.
+    for _ in 0..3 {
+        let role = [
+            MachineRole::Mailbox,
+            MachineRole::FrontDoor,
+            MachineRole::Hub,
+        ][rng.gen_range(0..3)];
+        let m = topology.random_machine(rng, forest, role);
+        let baselines: [(&str, f64); 9] = [
+            (metric_names::AVAILABILITY, rng.gen_range(99.5..99.99)),
+            (
+                metric_names::CONCURRENT_CONNECTIONS,
+                rng.gen_range(800.0..2500.0),
+            ),
+            (metric_names::DELIVERY_LATENCY, rng.gen_range(180.0..450.0)),
+            (metric_names::POISON_COUNT, rng.gen_range(0.0..2.0)),
+            (metric_names::AUTH_FAILURES, rng.gen_range(0.0..5.0)),
+            (metric_names::DEPENDENCY_LATENCY, rng.gen_range(20.0..120.0)),
+            (metric_names::MEMORY_PRESSURE, rng.gen_range(35.0..70.0)),
+            (metric_names::CPU_UTIL, rng.gen_range(20.0..65.0)),
+            (metric_names::UDP_SOCKETS, rng.gen_range(1200.0..3800.0)),
+        ];
+        for (name, base) in baselines {
+            for i in 0..3u64 {
+                let t = at.saturating_sub(SimDuration::from_mins(60 - i * 15));
+                snap.metrics
+                    .record(name, m, t, base * (1.0 + rng.gen_range(-0.03..0.03)));
+            }
+        }
+    }
+
+    // Healthy traces.
+    for _ in 0..profile.healthy_traces {
+        let m = topology.random_machine(rng, forest, MachineRole::Mailbox);
+        let trace_id = rng.gen::<u64>();
+        let start = at.saturating_sub(SimDuration::from_mins(rng.gen_range(1..50)));
+        snap.traces.push(Trace {
+            trace_id,
+            spans: vec![
+                TraceSpan {
+                    trace_id,
+                    span_id: 0,
+                    parent: None,
+                    service: "SmtpIn".into(),
+                    operation: "AcceptMessage".into(),
+                    machine: m,
+                    start,
+                    duration: SimDuration::from_secs(rng.gen_range(1..5)),
+                    status: SpanStatus::Ok,
+                    error: None,
+                },
+                TraceSpan {
+                    trace_id,
+                    span_id: 1,
+                    parent: Some(0),
+                    service: "Categorizer".into(),
+                    operation: "Resolve".into(),
+                    machine: m,
+                    start,
+                    duration: SimDuration::from_secs(rng.gen_range(1..3)),
+                    status: SpanStatus::Ok,
+                    error: None,
+                },
+            ],
+        });
+    }
+    if profile.unrelated_failure {
+        let m = topology.random_machine(rng, forest, MachineRole::Mailbox);
+        let trace_id = rng.gen::<u64>();
+        let start = at.saturating_sub(SimDuration::from_mins(rng.gen_range(50..120)));
+        snap.traces.push(Trace {
+            trace_id,
+            spans: vec![TraceSpan {
+                trace_id,
+                span_id: 0,
+                parent: None,
+                service: "TelemetryUploader".into(),
+                operation: "Flush".into(),
+                machine: m,
+                start,
+                duration: SimDuration::from_secs(30),
+                status: SpanStatus::Error,
+                error: Some("transient upload failure; retried successfully".into()),
+            }],
+        });
+    }
+
+    // Normal disks, sockets, queues, processes, provisioning.
+    for _ in 0..4 {
+        let m = topology.random_machine(rng, forest, MachineRole::Mailbox);
+        snap.disks.push(DiskUsage {
+            machine: m,
+            volume: "C:".into(),
+            used_pct: rng.gen_range(30.0..72.0),
+            free_bytes: rng.gen_range(80u64..400) << 30,
+        });
+        snap.processes.push(ProcessInfo {
+            machine: m,
+            process: "Transport.exe".into(),
+            pid: ProcessId(rng.gen_range(1000..60_000)),
+            crash_count: 0,
+            memory_mb: rng.gen_range(900..2400),
+            last_crash_exception: None,
+        });
+        snap.provisioning.push(ProvisioningRecord {
+            machine: m,
+            state: "Active".into(),
+            build: "15.20.5900.14".into(),
+            since: at.saturating_sub(SimDuration::from_days(rng.gen_range(5..40))),
+        });
+        snap.queues.push(QueueStat {
+            machine: m,
+            queue: "submission".into(),
+            length: rng.gen_range(5..300),
+            limit: 2000,
+            oldest_age_secs: rng.gen_range(1..90),
+        });
+        snap.sockets.push(SocketStat {
+            machine: m,
+            protocol: "udp".into(),
+            process: "Transport.exe".into(),
+            pid: ProcessId(rng.gen_range(1000..60_000)),
+            count: rng.gen_range(800..3000),
+        });
+    }
+    // One mildly full disk as a red herring.
+    let m = topology.random_machine(rng, forest, MachineRole::Mailbox);
+    snap.disks.push(DiskUsage {
+        machine: m,
+        volume: "D:".into(),
+        used_pct: rng.gen_range(80.0..88.0),
+        free_bytes: 20 << 30,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_log(
+    snap: &mut TelemetrySnapshot,
+    rng: &mut SmallRng,
+    topology: &Topology,
+    forest: ForestId,
+    at: SimTime,
+    process: &str,
+    component: &str,
+    level: LogLevel,
+    message: &str,
+) {
+    let role = [
+        MachineRole::Mailbox,
+        MachineRole::FrontDoor,
+        MachineRole::Hub,
+    ][rng.gen_range(0..3)];
+    let machine = topology.random_machine(rng, forest, role);
+    let t = at.saturating_sub(SimDuration::from_mins(rng.gen_range(0..90)));
+    snap.logs.push(LogRecord {
+        at: t,
+        machine,
+        process: process.to_string(),
+        component: component.to_string(),
+        level,
+        message: format!("{message} (session {:08x})", rng.gen::<u32>()),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rcacopilot_telemetry::query::{Query, Scope, TimeWindow};
+
+    fn noisy_snapshot() -> TelemetrySnapshot {
+        let topo = Topology::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut snap = TelemetrySnapshot::new(SimTime::from_days(50));
+        fill_background(
+            &mut snap,
+            &mut rng,
+            &topo,
+            ForestId(2),
+            SimTime::from_days(50),
+            &NoiseProfile::default(),
+        );
+        snap.logs.finish();
+        snap
+    }
+
+    #[test]
+    fn background_fills_every_store() {
+        let snap = noisy_snapshot();
+        assert!(snap.logs.len() >= 40);
+        assert!(snap.metrics.sample_count() > 50);
+        assert!(snap.traces.len() >= 12);
+        assert!(!snap.disks.is_empty());
+        assert!(!snap.queues.is_empty());
+        assert!(!snap.processes.is_empty());
+        assert!(!snap.provisioning.is_empty());
+        assert!(!snap.sockets.is_empty());
+    }
+
+    #[test]
+    fn background_contains_no_critical_errors() {
+        let snap = noisy_snapshot();
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_days(400));
+        assert_eq!(snap.logs.count(Scope::Service, w, LogLevel::Critical), 0);
+        // Bystander anomalies contribute a bounded number of error lines.
+        let errors = snap.logs.count(Scope::Service, w, LogLevel::Error);
+        assert!(
+            errors <= NoiseProfile::default().bystander_anomalies,
+            "too many background errors: {errors}"
+        );
+    }
+
+    #[test]
+    fn background_metrics_look_healthy() {
+        let snap = noisy_snapshot();
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_days(400));
+        let r = snap.execute(
+            &Query::MetricStats {
+                metric: metric_names::AVAILABILITY.into(),
+            },
+            Scope::Service,
+            w,
+        );
+        let mean: f64 = r.row("Mean").unwrap().parse().unwrap();
+        assert!(
+            mean > 99.0,
+            "availability baseline should be healthy: {mean}"
+        );
+    }
+
+    #[test]
+    fn red_herring_disk_is_not_full() {
+        let snap = noisy_snapshot();
+        let max = snap.disks.iter().map(|d| d.used_pct).fold(0.0f64, f64::max);
+        assert!(max < 90.0, "background disks must stay below alert level");
+    }
+}

@@ -1,0 +1,1658 @@
+//! Telemetry signatures: what each root-cause category plants into an
+//! incident's snapshot.
+//!
+//! Per the paper's Insight 1, "determining the root cause based on a
+//! single data source can be challenging": every signature spreads its
+//! evidence over at least two sources (e.g. hub-port exhaustion = failing
+//! probe logs *plus* the UDP socket table), and the pieces reachable from
+//! the alert alone are deliberately ambiguous between categories that
+//! share an alert type.
+//!
+//! Handlers query *fixed* probe names, metric names, and queue names (they
+//! are predefined workflows); signatures therefore plant into those fixed
+//! names and differentiate categories through the text that survives
+//! entity masking: exception types, component/service names, and setting
+//! names.
+
+use crate::catalog::{CategorySpec, Family};
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rcacopilot_telemetry::artifacts::{
+    CertStatus, CertificateRecord, DiskUsage, ProbeResult, ProcessInfo, QueueStat, SocketStat,
+    StackGroup, TenantConfigRecord,
+};
+use rcacopilot_telemetry::ids::{ForestId, MachineId, MachineRole, ProcessId, TenantId};
+use rcacopilot_telemetry::log::{LogLevel, LogRecord};
+use rcacopilot_telemetry::time::{SimDuration, SimTime};
+use rcacopilot_telemetry::trace::{SpanStatus, Trace, TraceSpan};
+use rcacopilot_telemetry::TelemetrySnapshot;
+
+/// Fixed probe names handlers know how to query.
+pub mod probes {
+    /// Outbound hub proxy probe (paper Figure 6).
+    pub const HUB_OUTBOUND: &str = "DatacenterHubOutboundProxyProbe";
+    /// DNS resolution probe.
+    pub const DNS: &str = "DnsResolutionProbe";
+    /// Outbound SMTP TLS probe.
+    pub const SMTP_TLS: &str = "SmtpTlsProbe";
+    /// Authentication endpoint probe.
+    pub const AUTH: &str = "AuthEndpointProbe";
+    /// Cross-forest network reachability probe.
+    pub const REACHABILITY: &str = "NetworkReachabilityProbe";
+    /// Inbound SMTP acceptance probe.
+    pub const SMTP_IN: &str = "SmtpInboundProbe";
+}
+
+/// Fixed metric names handlers know how to query.
+pub mod metrics {
+    /// Component availability percentage.
+    pub const AVAILABILITY: &str = "availability";
+    /// Concurrent inbound server connections.
+    pub const CONCURRENT_CONNECTIONS: &str = "concurrent_connections";
+    /// End-to-end delivery latency (ms).
+    pub const DELIVERY_LATENCY: &str = "delivery_latency_ms";
+    /// Poisoned-message detections per hour.
+    pub const POISON_COUNT: &str = "poison_message_count";
+    /// Authentication failures per minute.
+    pub const AUTH_FAILURES: &str = "auth_failures";
+    /// Dependency call latency (ms).
+    pub const DEPENDENCY_LATENCY: &str = "dependency_latency_ms";
+    /// Machine memory pressure percentage.
+    pub const MEMORY_PRESSURE: &str = "memory_pressure";
+    /// Machine CPU utilization percentage.
+    pub const CPU_UTIL: &str = "cpu_util";
+    /// UDP sockets in use on a machine.
+    pub const UDP_SOCKETS: &str = "udp_socket_count";
+}
+
+/// Context handed to the planting engine for one incident.
+pub struct PlantCtx<'a> {
+    /// Deterministic RNG for jitter.
+    pub rng: &'a mut SmallRng,
+    /// Alert time; evidence is planted shortly before it.
+    pub at: SimTime,
+    /// Forest the incident strikes.
+    pub forest: ForestId,
+    /// Service topology (to pick plausible machines).
+    pub topology: &'a Topology,
+    /// First machine the signature touched — machine-scoped alerts point
+    /// here so the handler's scope contains the planted evidence.
+    pub primary: Option<MachineId>,
+}
+
+impl PlantCtx<'_> {
+    fn t(&mut self, max_back_mins: u64) -> SimTime {
+        let back = self.rng.gen_range(0..=max_back_mins);
+        self.at.saturating_sub(SimDuration::from_mins(back))
+    }
+
+    fn machine(&mut self, role: MachineRole) -> MachineId {
+        let m = self.topology.random_machine(self.rng, self.forest, role);
+        if self.primary.is_none() {
+            self.primary = Some(m);
+        }
+        m
+    }
+
+    fn machines(&mut self, role: MachineRole, n: usize) -> Vec<MachineId> {
+        let ms = self
+            .topology
+            .random_machines(self.rng, self.forest, role, n);
+        if self.primary.is_none() {
+            self.primary = ms.first().copied();
+        }
+        ms
+    }
+
+    fn pid(&mut self) -> ProcessId {
+        ProcessId(self.rng.gen_range(1000..400_000))
+    }
+
+    fn tenant(&mut self) -> TenantId {
+        TenantId(self.rng.gen_range(1..1_000_000))
+    }
+}
+
+fn log(
+    snap: &mut TelemetrySnapshot,
+    at: SimTime,
+    machine: MachineId,
+    process: &str,
+    component: &str,
+    level: LogLevel,
+    message: String,
+) {
+    snap.logs.push(LogRecord {
+        at,
+        machine,
+        process: process.to_string(),
+        component: component.to_string(),
+        level,
+        message,
+    });
+}
+
+fn probe_failures(
+    snap: &mut TelemetrySnapshot,
+    ctx: &mut PlantCtx<'_>,
+    probe: &str,
+    machine: MachineId,
+    fails: usize,
+    error: &str,
+) {
+    for _ in 0..fails {
+        let at = ctx.t(30);
+        snap.probes.push(ProbeResult {
+            probe: probe.to_string(),
+            machine,
+            at,
+            success: false,
+            error: Some(error.to_string()),
+        });
+    }
+}
+
+fn queue(
+    snap: &mut TelemetrySnapshot,
+    machine: MachineId,
+    name: &str,
+    length: u64,
+    limit: u64,
+    oldest_secs: u64,
+) {
+    snap.queues.push(QueueStat {
+        machine,
+        queue: name.to_string(),
+        length,
+        limit,
+        oldest_age_secs: oldest_secs,
+    });
+}
+
+fn crashes(
+    snap: &mut TelemetrySnapshot,
+    ctx: &mut PlantCtx<'_>,
+    machine: MachineId,
+    process: &str,
+    count: (u32, u32),
+    exception: &str,
+) {
+    let pid = ctx.pid();
+    let count = ctx.rng.gen_range(count.0..=count.1);
+    snap.processes.push(ProcessInfo {
+        machine,
+        process: process.to_string(),
+        pid,
+        crash_count: count,
+        memory_mb: ctx.rng.gen_range(400..2500),
+        last_crash_exception: Some(exception.to_string()),
+    });
+}
+
+fn stack(
+    snap: &mut TelemetrySnapshot,
+    machine: MachineId,
+    process: &str,
+    threads: usize,
+    frames: &[&str],
+    blocked: bool,
+) {
+    snap.stacks.push(StackGroup {
+        machine,
+        process: process.to_string(),
+        thread_count: threads,
+        frames: frames.iter().map(|f| f.to_string()).collect(),
+        blocked,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trace_failures(
+    snap: &mut TelemetrySnapshot,
+    ctx: &mut PlantCtx<'_>,
+    service: &str,
+    operation: &str,
+    status: SpanStatus,
+    error: &str,
+    machine: MachineId,
+    count: (usize, usize),
+) {
+    let count = ctx.rng.gen_range(count.0..=count.1);
+    for _ in 0..count {
+        let trace_id = ctx.rng.gen::<u64>();
+        let start = ctx.t(45);
+        snap.traces.push(Trace {
+            trace_id,
+            spans: vec![
+                TraceSpan {
+                    trace_id,
+                    span_id: 0,
+                    parent: None,
+                    service: "SmtpIn".to_string(),
+                    operation: "AcceptMessage".to_string(),
+                    machine,
+                    start,
+                    duration: SimDuration::from_secs(ctx.rng.gen_range(1..20)),
+                    status: SpanStatus::Error,
+                    error: Some("downstream failure".to_string()),
+                },
+                TraceSpan {
+                    trace_id,
+                    span_id: 1,
+                    parent: Some(0),
+                    service: service.to_string(),
+                    operation: operation.to_string(),
+                    machine,
+                    start,
+                    duration: SimDuration::from_secs(ctx.rng.gen_range(20..40)),
+                    status,
+                    error: Some(error.to_string()),
+                },
+            ],
+        });
+    }
+}
+
+fn metric_anomaly(
+    snap: &mut TelemetrySnapshot,
+    ctx: &mut PlantCtx<'_>,
+    metric: &str,
+    machine: MachineId,
+    value: (f64, f64),
+    samples: usize,
+) {
+    let value = if value.0 < value.1 {
+        ctx.rng.gen_range(value.0..value.1)
+    } else {
+        value.0
+    };
+    for i in 0..samples {
+        let jitter = 1.0 + ctx.rng.gen_range(-0.05..0.05);
+        let at = ctx
+            .at
+            .saturating_sub(SimDuration::from_mins((samples - i) as u64 * 5));
+        snap.metrics.record(metric, machine, at, value * jitter);
+    }
+}
+
+/// Index of the phrasing variant used by `spec` around `at`.
+///
+/// Real recurrences inside one burst come from the *same* fault and log
+/// identical text; a later episode of the same root cause often surfaces
+/// through a different code path with different wording. Phrasing is
+/// therefore stable within a ~12-day window and varies across bursts —
+/// which is precisely what makes recency (the paper's temporal-decay
+/// term) valuable for retrieval.
+fn phrase_idx(spec: &CategorySpec, at: SimTime, n: usize) -> usize {
+    let h = rcacopilot_telemetry::ids::ForestId(0); // Anchor type only.
+    let _ = h;
+    let key = format!("{}|{}", spec.name, at.days_since_epoch() / 12);
+    (fnv(&key) % n as u64) as usize
+}
+
+/// Local FNV-1a (mirrors `rcacopilot_textkit::ngram::hash_token` without
+/// adding a dependency edge).
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Plants the telemetry signature of `spec` into `snap` and returns the
+/// monitor's alert message.
+/// Generic stand-in used when a burst's telemetry does not name the
+/// culprit explicitly.
+fn generic_anchor(family: Family) -> &'static str {
+    match family {
+        Family::CodeRegression | Family::BadPatchRollout => "PipelineComponent",
+        Family::DependencyTimeout | Family::NetworkPartition => "InternalService",
+        Family::MemoryLeak | Family::ThreadPoolStarvation => "ServiceHost",
+        Family::ExpiredCertificate => "InternalEndpoint",
+        Family::ConfigInvalid => "TenantTransportSetting",
+        Family::QueueOverflow | Family::MessageLoop => "Secondary",
+        Family::DnsMisconfig => "ZoneRecord",
+        Family::DatabaseFailover => "MailboxDatabase",
+        Family::QuotaExceeded => "ResourceBudget",
+        Family::PoisonMessage => "ContentParser",
+        _ => "InternalComponent",
+    }
+}
+
+/// Families whose signature text can hide the culprit's name (their match
+/// arms never dispatch on the variant string).
+fn anchor_can_hide(family: Family) -> bool {
+    matches!(
+        family,
+        Family::CodeRegression
+            | Family::DependencyTimeout
+            | Family::MemoryLeak
+            | Family::ExpiredCertificate
+            | Family::ConfigInvalid
+            | Family::QueueOverflow
+            | Family::NetworkPartition
+            | Family::DnsMisconfig
+            | Family::ThreadPoolStarvation
+            | Family::BadPatchRollout
+            | Family::DatabaseFailover
+            | Family::QuotaExceeded
+            | Family::MessageLoop
+            | Family::PoisonMessage
+    )
+}
+
+/// Plants the telemetry signature of `spec` into `snap` and returns the
+/// monitor's alert message.
+pub fn plant(spec: &CategorySpec, ctx: &mut PlantCtx<'_>, snap: &mut TelemetrySnapshot) -> String {
+    let ph = phrase_idx(spec, ctx.at, 3);
+    // Anchor dropout: in a burst-stable minority of episodes the telemetry is
+    // generic about *which* component/setting/service is at fault — the
+    // culprit was only identified during post-investigation. Such
+    // incidents cannot be classified from text alone; recency against
+    // labeled history can still resolve them (paper Insight 2).
+    let hide = anchor_can_hide(spec.family)
+        && fnv(&format!(
+            "{}|{}|anchor",
+            spec.name,
+            ctx.at.days_since_epoch() / 12
+        )) % 100
+            < 10;
+    let v: &str = if hide {
+        generic_anchor(spec.family)
+    } else {
+        spec.variant.as_str()
+    };
+    match spec.family {
+        Family::AuthCertIssue => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            snap.certs.push(CertificateRecord {
+                subject: "CN=auth.transport.local".into(),
+                domain: "transport.local".into(),
+                tenant: None,
+                valid_from: ctx.at.saturating_sub(SimDuration::from_days(2)),
+                valid_to: ctx.at + SimDuration::from_days(363),
+                status: CertStatus::Invalid,
+                overrides_existing: true,
+            });
+            let at = ctx.t(20);
+            log(snap, at, fd, "Transport.exe", "AuthClient", LogLevel::Error,
+                "TokenRequestFailedException: certificate validation failed for subject CN=auth.transport.local; token creation aborted".into());
+            trace_failures(
+                snap,
+                ctx,
+                "AuthService",
+                "IssueToken",
+                SpanStatus::Error,
+                "certificate chain validation failed",
+                fd,
+                (6, 6),
+            );
+            metric_anomaly(snap, ctx, metrics::AUTH_FAILURES, fd, (420.0, 420.0), 6);
+            "Token creation failures detected; multiple services report users experiencing outages."
+                .into()
+        }
+        Family::HubPortExhaustion => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            let total = ctx.rng.gen_range(14_000u64..16_500);
+            snap.sockets.push(SocketStat {
+                machine: fd,
+                protocol: "udp".into(),
+                process: "Transport.exe".into(),
+                pid: ctx.pid(),
+                count: total - ctx.rng.gen_range(200..400),
+            });
+            for proc_name in [
+                "w3wp.exe",
+                "svchost.exe",
+                "Microsoft.Transport.Store.Worker.exe",
+            ] {
+                snap.sockets.push(SocketStat {
+                    machine: fd,
+                    protocol: "udp".into(),
+                    process: proc_name.into(),
+                    pid: ctx.pid(),
+                    count: ctx.rng.gen_range(5..80),
+                });
+            }
+            probe_failures(snap, ctx, probes::HUB_OUTBOUND, fd, 2,
+                "InformativeSocketException: No such host is known. A WinSock error: 11001 encountered when connecting to host at TcpClientFactory.Create(...) at SimpleSmtpClient.Connect(...)");
+            let at = ctx.t(25);
+            let msg = [
+                "InformativeSocketException: No such host is known. A WinSock error: 11001 encountered; DNS resolution failed for outbound connection",
+                "SmtpConnectorException: outbound connect aborted, WinSock error: 11001 (host not found); name lookup could not be serviced",
+                "ProxySessionSetupException: WinSock error: 11001 while opening proxy session; resolver request never left the machine",
+            ][ph];
+            log(
+                snap,
+                at,
+                fd,
+                "Transport.exe",
+                "SmtpOut",
+                LogLevel::Error,
+                msg.into(),
+            );
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::UDP_SOCKETS,
+                fd,
+                (total as f64, total as f64),
+                5,
+            );
+            "Detected failures when connecting to the front door server; outbound proxy connection requests failing.".into()
+        }
+        Family::DeliveryHang => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let limit = 1500;
+            queue(
+                snap,
+                mb,
+                "mailbox_delivery",
+                ctx.rng.gen_range(9_000..14_000),
+                limit,
+                ctx.rng.gen_range(7_000..16_000),
+            );
+            stack(
+                snap,
+                mb,
+                "TransportDelivery.exe",
+                ctx.rng.gen_range(40..90),
+                &[
+                    "System.Threading.Monitor.Wait(Object, Int32)",
+                    "DeliveryQueue.WaitForCapacity(...)",
+                    "MailboxDeliveryService.DeliverNext(...)",
+                ],
+                true,
+            );
+            let at = ctx.t(40);
+            let msg = [
+                "mailbox delivery queue length exceeded configured limit; delivery service appears hung",
+                "MailboxDeliveryStallWarning: queued message count above limit and drain rate near zero",
+                "delivery worker heartbeat stale while mailbox_delivery backlog kept growing past its limit",
+            ][ph];
+            log(
+                snap,
+                at,
+                mb,
+                "TransportDelivery.exe",
+                "MailboxDeliveryHealth",
+                LogLevel::Warning,
+                msg.into(),
+            );
+            "Too many messages stuck in the delivery queue; mailbox delivery latency rising.".into()
+        }
+        Family::CodeRegression => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let build = format!(
+                "15.20.{}.{}",
+                ctx.rng.gen_range(6000..7000),
+                ctx.rng.gen_range(2..30)
+            );
+            crashes(snap, ctx, mb, "Transport.exe", (4, 14),
+                &format!("System.NullReferenceException at {v}.ProcessMessage: object reference not set to an instance of an object"));
+            metric_anomaly(snap, ctx, metrics::AVAILABILITY, mb, (82.0, 93.0), 6);
+            let at = ctx.t(30);
+            let msg = [
+                format!("{v}Exception: unhandled failure in {v} pipeline stage after deployment of build {build}"),
+                format!("System.NullReferenceException at {v}.ProcessMessage after rollout of build {build}; failure rate correlates with the new binaries"),
+                format!("regression suspected in {v}: availability fell immediately after build {build} reached the forest"),
+            ][ph].clone();
+            log(snap, at, mb, "Transport.exe", v, LogLevel::Error, msg);
+            snap.provisioning
+                .push(rcacopilot_telemetry::artifacts::ProvisioningRecord {
+                    machine: mb,
+                    state: "Active".into(),
+                    build,
+                    since: ctx
+                        .at
+                        .saturating_sub(SimDuration::from_hours(ctx.rng.gen_range(2..20))),
+                });
+            "A component's availability dropped below the SLO.".into()
+        }
+        Family::CertForBogusTenants => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            let domain = "bulkmail-certs.com";
+            for _ in 0..ctx.rng.gen_range(8..14) {
+                let tenant = ctx.tenant();
+                snap.certs.push(CertificateRecord {
+                    subject: format!("CN={domain}"),
+                    domain: domain.into(),
+                    tenant: Some(tenant),
+                    valid_from: ctx
+                        .at
+                        .saturating_sub(SimDuration::from_days(ctx.rng.gen_range(1..10))),
+                    valid_to: ctx.at + SimDuration::from_days(90),
+                    status: CertStatus::Valid,
+                    overrides_existing: false,
+                });
+            }
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::CONCURRENT_CONNECTIONS,
+                fd,
+                (9_000.0, 12_000.0),
+                6,
+            );
+            let at = ctx.t(15);
+            let msg = [
+                format!("connector authenticated with certificate domain {domain}; many newly created tenants share this connector certificate"),
+                format!("spike of connector sessions presenting certificate domain {domain} across freshly provisioned tenants"),
+                format!("abuse pattern: certificate domain {domain} reused by a swarm of new tenants to open connectors"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                fd,
+                "Transport.exe",
+                "SmtpIn",
+                LogLevel::Warning,
+                msg,
+            );
+            "The number of concurrent server connections exceeded the configured limit.".into()
+        }
+        Family::MaliciousAttack => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let (exc, detail) = match v {
+                "PowerShellBlob" => (
+                    "SerializationException",
+                    "malicious binary blob deserialization detected in remote PowerShell pipeline",
+                ),
+                "OAuthTokenReplay" => (
+                    "SecurityTokenReplayDetectedException",
+                    "OAuth token replay detected across tenants",
+                ),
+                "SmtpVerbAbuse" => (
+                    "SmtpProtocolViolationException",
+                    "unexpected SMTP verb sequence used to exploit state machine",
+                ),
+                _ => (
+                    "DecompressionBombException",
+                    "zip bomb attachment expanded beyond decompression limits",
+                ),
+            };
+            crashes(
+                snap,
+                ctx,
+                mb,
+                "w3wp.exe",
+                (8, 25),
+                &format!("{exc}: {detail}"),
+            );
+            let at = ctx.t(10);
+            log(
+                snap,
+                at,
+                mb,
+                "w3wp.exe",
+                "SecurityAudit",
+                LogLevel::Critical,
+                format!("{exc}: {detail}; active exploit suspected"),
+            );
+            metric_anomaly(snap, ctx, metrics::CPU_UTIL, mb, (97.0, 97.0), 4);
+            "Forest-wide process crashes exceeded threshold.".into()
+        }
+        Family::UseRouteResolution => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            metric_anomaly(snap, ctx, metrics::POISON_COUNT, mb, (40.0, 90.0), 5);
+            let at = ctx.t(20);
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "Categorizer",
+                LogLevel::Error,
+                "PoisonMessageDetected: message crashed categorizer during route resolution".into(),
+            );
+            let at2 = ctx.t(25);
+            log(snap, at2, mb, "EdgeTransport.exe", "ConfigService", LogLevel::Error,
+                "ConfigServiceUpdateException: configuration service was unable to update routing settings; stale settings in use".into());
+            trace_failures(
+                snap,
+                ctx,
+                "ConfigService",
+                "UpdateSettings",
+                SpanStatus::Error,
+                "settings update rejected",
+                mb,
+                (4, 4),
+            );
+            crashes(
+                snap,
+                ctx,
+                mb,
+                "EdgeTransport.exe",
+                (3, 8),
+                "ConfigServiceUpdateException: settings update failed during route resolution",
+            );
+            "Poisoned messages detected above threshold in the forest.".into()
+        }
+        Family::FullDisk => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let vol = if ctx.rng.gen_bool(0.5) { "C:" } else { "E:" };
+            snap.disks.push(DiskUsage {
+                machine: mb,
+                volume: vol.into(),
+                used_pct: ctx.rng.gen_range(99.1..100.0),
+                free_bytes: ctx.rng.gen_range(1..400) << 20,
+            });
+            for proc_name in ["Transport.exe", "Microsoft.Transport.Store.Worker.exe"] {
+                crashes(
+                    snap,
+                    ctx,
+                    mb,
+                    proc_name,
+                    (3, 9),
+                    "System.IO.IOException: There is not enough space on the disk",
+                );
+            }
+            let at = ctx.t(25);
+            log(snap, at, mb, "Transport.exe", "DiagnosticsLog", LogLevel::Error,
+                format!("System.IO.IOException: There is not enough space on the disk; failed writing to {vol}\\TransportRoles\\Logs"));
+            "Multiple processes crashed throwing IO exceptions.".into()
+        }
+        Family::InvalidJournaling => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let tenant = ctx.tenant();
+            queue(
+                snap,
+                mb,
+                "submission",
+                ctx.rng.gen_range(6_000..12_000),
+                2000,
+                ctx.rng.gen_range(4_000..12_000),
+            );
+            snap.tenant_configs.push(TenantConfigRecord {
+                tenant,
+                setting: "JournalingReportNdrTo".into(),
+                value: "<>".into(),
+                valid: false,
+                exception: Some("TenantSettingsNotFoundException".into()),
+            });
+            let at = ctx.t(30);
+            let msg = [
+                format!("TenantSettingsNotFoundException: transport config JournalingReportNdrTo invalid for {tenant}; submission processing suspended"),
+                format!("journaling agent failed for {tenant}: TenantSettingsNotFoundException while reading JournalingReportNdrTo"),
+                format!("submission worker deferred all messages of {tenant}: JournalingReportNdrTo rejected by validation (TenantSettingsNotFoundException)"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "Journaling",
+                LogLevel::Error,
+                msg,
+            );
+            "Messages stuck in submission queue for a long time.".into()
+        }
+        Family::DispatcherTaskCancelled => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            queue(
+                snap,
+                mb,
+                "submission",
+                ctx.rng.gen_range(5_000..11_000),
+                2000,
+                ctx.rng.gen_range(3_000..10_000),
+            );
+            let at = ctx.t(20);
+            let msg = [
+                "System.Threading.Tasks.TaskCanceledException at AuthClient.GetTokenAsync: dispatcher task cancelled waiting for authentication",
+                "dispatcher worker aborted: token acquisition from AuthClient.GetTokenAsync never completed before the task deadline",
+                "TaskCanceledException storm in Dispatcher: queued submissions waiting on authentication tokens that never arrive",
+            ][ph];
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "Dispatcher",
+                LogLevel::Error,
+                msg.into(),
+            );
+            trace_failures(
+                snap,
+                ctx,
+                "AuthService",
+                "GetToken",
+                SpanStatus::Timeout,
+                "connection attempt failed: network unreachable",
+                mb,
+                (7, 7),
+            );
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DEPENDENCY_LATENCY,
+                mb,
+                (30_000.0, 30_000.0),
+                5,
+            );
+            "Normal priority messages queued in submission queues for a long time.".into()
+        }
+        Family::DependencyTimeout => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            trace_failures(
+                snap,
+                ctx,
+                v,
+                "Call",
+                SpanStatus::Timeout,
+                &format!("deadline exceeded calling {v}"),
+                mb,
+                (5, 12),
+            );
+            let at = ctx.t(20);
+            let msg = [
+                format!("System.TimeoutException: request to {v} exceeded 30000ms deadline; retries exhausted"),
+                format!("TaskCanceledException: call into {v} cancelled after missing its completion deadline"),
+                format!("{v} request latency breached the client budget; circuit breaker falling back after repeated timeouts"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                mb,
+                "Transport.exe",
+                "ServiceClient",
+                LogLevel::Error,
+                msg,
+            );
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DEPENDENCY_LATENCY,
+                mb,
+                (30_000.0, 30_000.0),
+                6,
+            );
+            "Calls to a dependency service are timing out across the forest.".into()
+        }
+        Family::MemoryLeak => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let proc_name = format!("{v}.exe");
+            snap.processes.push(ProcessInfo {
+                machine: mb,
+                process: proc_name.clone(),
+                pid: ctx.pid(),
+                crash_count: ctx.rng.gen_range(1..3),
+                memory_mb: ctx.rng.gen_range(12_000..22_000),
+                last_crash_exception: Some("System.OutOfMemoryException".into()),
+            });
+            metric_anomaly(snap, ctx, metrics::MEMORY_PRESSURE, mb, (93.0, 99.0), 8);
+            let at = ctx.t(30);
+            let msg = [
+                format!("System.OutOfMemoryException in {v}: private bytes grew monotonically since last restart"),
+                format!("working set of {v} climbed past the recycle threshold; allocations failing with OutOfMemoryException"),
+                format!("{v} heap growth unbounded between restarts; garbage collection cannot reclaim the leaked graphs"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                mb,
+                &proc_name,
+                "ResourceMonitor",
+                LogLevel::Error,
+                msg,
+            );
+            "Machines report sustained memory pressure.".into()
+        }
+        Family::ExpiredCertificate => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            snap.certs.push(CertificateRecord {
+                subject: format!("CN={v}.transport.local"),
+                domain: "transport.local".into(),
+                tenant: None,
+                valid_from: ctx.at.saturating_sub(SimDuration::from_days(365)),
+                valid_to: ctx
+                    .at
+                    .saturating_sub(SimDuration::from_hours(ctx.rng.gen_range(1..72))),
+                status: CertStatus::Expired,
+                overrides_existing: false,
+            });
+            probe_failures(
+                snap,
+                ctx,
+                probes::AUTH,
+                fd,
+                3,
+                &format!("CertificateExpiredException: certificate for endpoint {v} has expired"),
+            );
+            let at = ctx.t(15);
+            let msg = [
+                format!("CertificateExpiredException: {v} endpoint certificate expired; authentication handshake rejected"),
+                format!("authentication against {v} failing: presented certificate is past its NotAfter date"),
+                format!("{v} endpoint rejecting sessions since certificate expiry; rotation job did not run"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                fd,
+                "Transport.exe",
+                "TlsAuth",
+                LogLevel::Error,
+                msg,
+            );
+            metric_anomaly(snap, ctx, metrics::AUTH_FAILURES, fd, (150.0, 400.0), 5);
+            "Authentication against an internal endpoint is failing.".into()
+        }
+        Family::ConfigInvalid => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let tenant = ctx.tenant();
+            queue(
+                snap,
+                mb,
+                "submission",
+                ctx.rng.gen_range(3_000..7_000),
+                2000,
+                ctx.rng.gen_range(2_000..8_000),
+            );
+            snap.tenant_configs.push(TenantConfigRecord {
+                tenant,
+                setting: v.into(),
+                value: "0xFFFF_invalid".into(),
+                valid: false,
+                exception: Some("InvalidConfigurationException".into()),
+            });
+            let at = ctx.t(25);
+            let msg = [
+                format!("InvalidConfigurationException: {v} value rejected for {tenant}; affected messages deferred"),
+                format!("tenant {tenant} supplied an unusable {v} setting; pipeline defers every message touching it"),
+                format!("configuration validation failed on {v} for {tenant}: value outside the accepted schema"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "ConfigValidation",
+                LogLevel::Error,
+                msg,
+            );
+            "Messages for affected tenants backed up in the submission queue.".into()
+        }
+        Family::QueueOverflow => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let qname = v.to_lowercase();
+            queue(
+                snap,
+                mb,
+                &qname,
+                ctx.rng.gen_range(4_000..9_000),
+                1000,
+                ctx.rng.gen_range(2_000..9_000),
+            );
+            let at = ctx.t(25);
+            let msg = [
+                format!("{v} queue length exceeded limit; drain rate below arrival rate"),
+                format!("backlog alarm on the {v} queue: arrivals outpace the consumer and the limit is breached"),
+                format!("{v} queue saturated; oldest entries aging while the drain path stays slow"),
+            ][ph].clone();
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "QueueMonitor",
+                LogLevel::Warning,
+                msg,
+            );
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DELIVERY_LATENCY,
+                mb,
+                (2_000.0, 5_000.0),
+                4,
+            );
+            "A secondary queue exceeded its configured limit.".into()
+        }
+        Family::NetworkPartition => {
+            let hb = ctx.machine(MachineRole::Hub);
+            probe_failures(
+                snap,
+                ctx,
+                probes::REACHABILITY,
+                hb,
+                3,
+                &format!("SocketException: no route to host via {v}"),
+            );
+            trace_failures(
+                snap,
+                ctx,
+                "RemoteForestRelay",
+                "Connect",
+                SpanStatus::Error,
+                &format!("connection reset by peer traversing {v}"),
+                hb,
+                (6, 6),
+            );
+            let at = ctx.t(15);
+            log(snap, at, hb, "Transport.exe", "SmtpOut", LogLevel::Error,
+                format!("System.Net.Sockets.SocketException: connection reset by peer; all paths via {v} affected"));
+            "Cross-service calls are failing with connection resets.".into()
+        }
+        Family::DnsMisconfig => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            probe_failures(
+                snap,
+                ctx,
+                probes::DNS,
+                fd,
+                3,
+                &format!("DnsRecordMissingException: {v} lookup returned NXDOMAIN"),
+            );
+            let at = ctx.t(20);
+            log(snap, at, fd, "Transport.exe", "DnsResolver", LogLevel::Error,
+                format!("DnsRecordMissingException: {v} resolution failed after zone update; NXDOMAIN for expected record"));
+            trace_failures(
+                snap,
+                ctx,
+                "DnsResolver",
+                "Resolve",
+                SpanStatus::Error,
+                "NXDOMAIN",
+                fd,
+                (5, 5),
+            );
+            "Outbound SMTP connections failing to resolve destination hosts.".into()
+        }
+        Family::ThreadPoolStarvation => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let proc_name = format!("{v}.exe");
+            stack(
+                snap,
+                mb,
+                &proc_name,
+                ctx.rng.gen_range(60..120),
+                &[
+                    "System.Threading.Tasks.Task.Wait()",
+                    "SyncOverAsyncBridge.BlockingGet(...)",
+                    "WorkItemDispatcher.Dispatch(...)",
+                ],
+                true,
+            );
+            metric_anomaly(snap, ctx, metrics::CPU_UTIL, mb, (20.0, 35.0), 4);
+            let at = ctx.t(20);
+            log(snap, at, mb, &proc_name, "ThreadPoolMonitor", LogLevel::Warning,
+                format!("thread pool starvation detected in {v}: all workers blocked on synchronous waits"));
+            "A service component stopped making progress.".into()
+        }
+        Family::BadPatchRollout => {
+            let machines = ctx.machines(MachineRole::Mailbox, 3);
+            let build = format!(
+                "15.20.{}.{}",
+                ctx.rng.gen_range(7000..7500),
+                ctx.rng.gen_range(1..9)
+            );
+            for m in &machines {
+                snap.provisioning
+                    .push(rcacopilot_telemetry::artifacts::ProvisioningRecord {
+                        machine: *m,
+                        state: "Active".into(),
+                        build: build.clone(),
+                        since: ctx
+                            .at
+                            .saturating_sub(SimDuration::from_hours(ctx.rng.gen_range(1..8))),
+                    });
+            }
+            let m0 = machines[0];
+            metric_anomaly(snap, ctx, metrics::AVAILABILITY, m0, (85.0, 94.0), 6);
+            crashes(
+                snap,
+                ctx,
+                m0,
+                "Transport.exe",
+                (2, 7),
+                &format!("ModuleLoadException: {v} failed to initialize after patch"),
+            );
+            let at = ctx.t(20);
+            log(snap, at, m0, "Transport.exe", "PatchRollout", LogLevel::Error,
+                format!("ModuleLoadException: {v} failed after update to build {build}; machines receiving the rollout degrade immediately"));
+            "Availability dropped on machines that received a new build.".into()
+        }
+        Family::SpamFlood => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::CONCURRENT_CONNECTIONS,
+                fd,
+                (12_000.0, 18_000.0),
+                6,
+            );
+            let detail = match v {
+                "InboundBotnet" => "RBL match rate spiked; inbound botnet campaign targeting the forest",
+                "OutboundCompromised" => "compromised tenant accounts sending outbound burst; outbound reputation at risk",
+                "NdrBackscatter" => "backscatter NDR volume surged from forged sender campaign",
+                _ => "directory harvest attempt enumerating recipient addresses",
+            };
+            let at = ctx.t(10);
+            log(
+                snap,
+                at,
+                fd,
+                "Transport.exe",
+                "AntiSpam",
+                LogLevel::Warning,
+                detail.to_string(),
+            );
+            "Connection volume spiked far above normal levels.".into()
+        }
+        Family::DatabaseFailover => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let at = ctx.t(15);
+            log(
+                snap,
+                at,
+                mb,
+                "Microsoft.Transport.Store.Worker.exe",
+                "Store",
+                LogLevel::Error,
+                format!("MapiExceptionDatabaseFailover: {v} dismounted; mounting passive copy"),
+            );
+            trace_failures(
+                snap,
+                ctx,
+                "StoreService",
+                "OpenMailbox",
+                SpanStatus::Error,
+                &format!("database {v} failed over"),
+                mb,
+                (6, 6),
+            );
+            metric_anomaly(snap, ctx, metrics::AVAILABILITY, mb, (90.0, 96.0), 5);
+            "Requests against a mailbox database failed during an unplanned failover.".into()
+        }
+        Family::HardwareFault => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let (component, msg, metric, value) = match v {
+                "NicFlap" => (
+                    "NicDriver",
+                    "NIC link state flapped 14 times in 10 minutes; packets dropped",
+                    metrics::DEPENDENCY_LATENCY,
+                    8_000.0,
+                ),
+                "DiskLatency" => (
+                    "Storport",
+                    "storport reset issued; disk read latency above 2000ms",
+                    metrics::DELIVERY_LATENCY,
+                    6_000.0,
+                ),
+                "CpuThrottle" => (
+                    "ThermalMonitor",
+                    "CPU package thermally throttled to 1.1GHz",
+                    metrics::CPU_UTIL,
+                    99.0,
+                ),
+                _ => (
+                    "MemoryDiagnostics",
+                    "corrected ECC error rate exceeded threshold on DIMM bank 2",
+                    metrics::MEMORY_PRESSURE,
+                    97.0,
+                ),
+            };
+            let at = ctx.t(20);
+            log(
+                snap,
+                at,
+                mb,
+                "System",
+                component,
+                LogLevel::Error,
+                msg.to_string(),
+            );
+            metric_anomaly(snap, ctx, metric, mb, (value, value), 6);
+            "A machine shows degraded performance consistent with hardware trouble.".into()
+        }
+        Family::StoreWorkerCrash => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let exc = match v {
+                "AccessViolation" => "System.AccessViolationException: attempted to read protected memory in store worker",
+                "CorruptIndex" => "CorruptIndexException: mailbox content index failed consistency check",
+                "LogReplayStall" => "LogReplayStallException: transaction log replay stalled beyond watermark",
+                _ => "PageChecksumMismatchException: database page checksum mismatch detected",
+            };
+            crashes(
+                snap,
+                ctx,
+                mb,
+                "Microsoft.Transport.Store.Worker.exe",
+                (4, 12),
+                exc,
+            );
+            let at = ctx.t(15);
+            let msg = [
+                exc.to_string(),
+                format!("store worker recycled repeatedly; watchdog captured {exc}"),
+                format!("crash loop in store worker: {exc}"),
+            ][ph]
+                .clone();
+            log(
+                snap,
+                at,
+                mb,
+                "Microsoft.Transport.Store.Worker.exe",
+                "Store",
+                LogLevel::Error,
+                msg,
+            );
+            "Store worker processes crashed repeatedly.".into()
+        }
+        Family::ThrottlingMisfire => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DELIVERY_LATENCY,
+                mb,
+                (3_000.0, 8_000.0),
+                6,
+            );
+            let at = ctx.t(15);
+            log(snap, at, mb, "EdgeTransport.exe", "Throttling", LogLevel::Warning,
+                format!("ThrottlingPolicy {v} rejected requests from legitimate traffic; budget misconfigured after policy refresh"));
+            "Legitimate traffic delayed by throttling.".into()
+        }
+        Family::MessageLoop => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            queue(
+                snap,
+                mb,
+                "submission",
+                ctx.rng.gen_range(3_000..6_000),
+                2000,
+                ctx.rng.gen_range(1_000..4_000),
+            );
+            let hops = ctx.rng.gen_range(40..120);
+            let at = ctx.t(20);
+            log(snap, at, mb, "EdgeTransport.exe", "RoutingAgent", LogLevel::Warning,
+                format!("loop detected: message resubmitted {hops} times via {v}; hop count limit approaching"));
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DELIVERY_LATENCY,
+                mb,
+                (4_000.0, 4_000.0),
+                4,
+            );
+            "The same messages are cycling through the queues.".into()
+        }
+        Family::TlsHandshakeFailure => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            let detail = match v {
+                "ProtocolMismatch" => "remote host requires TLS 1.3; local policy caps at TLS 1.1",
+                "CipherSuite" => {
+                    "no mutually supported cipher suite after security baseline change"
+                }
+                _ => "certificate SNI name does not match requested host",
+            };
+            probe_failures(snap, ctx, probes::SMTP_TLS, fd, 3,
+                &format!("System.Security.Authentication.AuthenticationException: TLS handshake failed ({detail})"));
+            let at = ctx.t(15);
+            log(
+                snap,
+                at,
+                fd,
+                "Transport.exe",
+                "SmtpOut",
+                LogLevel::Error,
+                format!("AuthenticationException: TLS handshake failed: {detail}"),
+            );
+            "Outbound TLS sessions failing during handshake.".into()
+        }
+        Family::PoisonMessage => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            metric_anomaly(snap, ctx, metrics::POISON_COUNT, mb, (25.0, 70.0), 5);
+            crashes(
+                snap,
+                ctx,
+                mb,
+                "EdgeTransport.exe",
+                (3, 9),
+                &format!("{v}Exception: malformed content crashed the {v}"),
+            );
+            let at = ctx.t(15);
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                v,
+                LogLevel::Error,
+                format!("PoisonMessageDetected: message quarantined after crashing {v} repeatedly"),
+            );
+            "Poisoned messages detected above threshold.".into()
+        }
+        Family::QuotaExceeded => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DELIVERY_LATENCY,
+                mb,
+                (2_500.0, 6_000.0),
+                5,
+            );
+            let tenant = ctx.tenant();
+            let at = ctx.t(15);
+            log(snap, at, mb, "EdgeTransport.exe", "QuotaManager", LogLevel::Warning,
+                format!("QuotaExceededException: {v} exhausted for {tenant}; operations rejected until reset"));
+            "Operations rejected once a resource quota was exhausted.".into()
+        }
+        Family::LatencyCulprit => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            metric_anomaly(
+                snap,
+                ctx,
+                metrics::DELIVERY_LATENCY,
+                mb,
+                (3_000.0, 9_000.0),
+                6,
+            );
+            let at = ctx.t(20);
+            match v {
+                "SearchIndexLag" => log(snap, at, mb, "Search.exe", "ContentIndex", LogLevel::Warning,
+                    "search index lag exceeded 45 minutes; delivery waits on index availability".into()),
+                "AntivirusStall" => {
+                    stack(snap, mb, "Antimalware.exe", 30,
+                        &["ScanEngine.WaitForScan(...)", "AttachmentPipeline.Process(...)"], true);
+                    log(snap, at, mb, "Antimalware.exe", "ScanEngine", LogLevel::Warning,
+                        "antivirus scan exceeded deadline; messages held in scanning stage".into());
+                }
+                "ClockSkew" => log(snap, at, mb, "Transport.exe", "KerberosAuth", LogLevel::Error,
+                    "KRB_AP_ERR_SKEW: clock skew too great between client and KDC; retries inflate latency".into()),
+                "GeoDnsFlap" => log(snap, at, mb, "Transport.exe", "GeoDns", LogLevel::Warning,
+                    "geo-DNS answers flapping between regions; connections bouncing across datacenters".into()),
+                _ => {
+                    metric_anomaly(snap, ctx, metrics::CPU_UTIL, mb, (98.0, 98.0), 5);
+                    log(snap, at, mb, "Transport.exe", "CapacityPlanner", LogLevel::Warning,
+                        "capacity hotspot: traffic concentrated on a hot partition of machines".into());
+                }
+            }
+            "End-to-end delivery latency rose above the SLO.".into()
+        }
+        Family::ResourceLeakKind => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let at = ctx.t(20);
+            match v {
+                "KernelSocketLeak" => {
+                    snap.sockets.push(SocketStat {
+                        machine: mb,
+                        protocol: "tcp".into(),
+                        process: "svchost.exe".into(),
+                        pid: ctx.pid(),
+                        count: ctx.rng.gen_range(40_000..70_000),
+                    });
+                    log(snap, at, mb, "System", "Afd", LogLevel::Warning,
+                        "kernel socket handles leaking in ancillary function driver; ephemeral range nearly exhausted".into());
+                }
+                "CacheEviction" => log(snap, at, mb, "Transport.exe", "SharedCache", LogLevel::Warning,
+                    "shared cache hit ratio collapsed; eviction storm after working set overflow".into()),
+                "AuditBacklog" => {
+                    snap.disks.push(DiskUsage {
+                        machine: mb,
+                        volume: "E:".into(),
+                        used_pct: ctx.rng.gen_range(90.0..96.0),
+                        free_bytes: 3 << 30,
+                    });
+                    log(snap, at, mb, "AuditService.exe", "AuditWriter", LogLevel::Warning,
+                        "audit log backlog growing; writer cannot keep pace with event volume".into());
+                }
+                "RetentionStorm" => log(snap, at, mb, "Store.Worker.exe", "Retention", LogLevel::Warning,
+                    "retention policy batch processed entire forest at once; IO saturated by retention storm".into()),
+                _ => log(snap, at, mb, "System", "Vss", LogLevel::Warning,
+                    "VSS snapshot backup stalled holding copy-on-write space; volumes under pressure".into()),
+            }
+            metric_anomaly(snap, ctx, metrics::MEMORY_PRESSURE, mb, (88.0, 97.0), 5);
+            "Machines came under resource pressure.".into()
+        }
+        Family::FloodKind => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            queue(
+                snap,
+                mb,
+                "submission",
+                ctx.rng.gen_range(4_000..9_000),
+                2000,
+                ctx.rng.gen_range(2_000..7_000),
+            );
+            let detail = match v {
+                "OversizedAttachmentFlood" => "surge of messages with attachments exceeding size policy; pipeline spends time rejecting",
+                "MalformedMimeFlood" => "flood of malformed MIME messages; each costs a full parser error path",
+                "InboxRuleExplosion" => "tenant inbox rules auto-forwarding in a fan-out explosion",
+                "DuplicateDeliveryStorm" => "duplicate delivery storm after dedup cache invalidation",
+                "DistributionListCycle" => "nested distribution lists expanding in a cycle",
+                _ => "NDR storm: bounce messages generating further bounces",
+            };
+            let at = ctx.t(15);
+            log(
+                snap,
+                at,
+                mb,
+                "EdgeTransport.exe",
+                "PipelineHealth",
+                LogLevel::Warning,
+                detail.to_string(),
+            );
+            "Queues filled with a surge of pathological messages.".into()
+        }
+        Family::MiscAuth => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            let at = ctx.t(15);
+            match v {
+                "ServiceAccountLockout" => {
+                    log(snap, at, fd, "Transport.exe", "AuthClient", LogLevel::Error,
+                        "AccountLockedException: service account locked out after repeated failed logins; dependent calls denied".into());
+                    metric_anomaly(snap, ctx, metrics::AUTH_FAILURES, fd, (800.0, 800.0), 5);
+                }
+                "IpBlocklistFalsePositive" => {
+                    probe_failures(
+                        snap,
+                        ctx,
+                        probes::SMTP_IN,
+                        fd,
+                        3,
+                        "connection rejected: source IP present on internal blocklist",
+                    );
+                    log(snap, at, fd, "Transport.exe", "ConnectionFiltering", LogLevel::Error,
+                        "legitimate partner IP range matched blocklist entry added by automation; false positive".into());
+                }
+                _ => {
+                    log(snap, at, fd, "Transport.exe", "DkimVerifier", LogLevel::Error,
+                        "DKIM signature validation failing after key rotation; selector record not propagated".into());
+                    metric_anomaly(snap, ctx, metrics::AUTH_FAILURES, fd, (300.0, 300.0), 5);
+                }
+            }
+            "Authentication-dependent operations failing.".into()
+        }
+        Family::MiscConn => {
+            let fd = ctx.machine(MachineRole::FrontDoor);
+            let at = ctx.t(15);
+            match v {
+                "FrontDoorOverload" => {
+                    metric_anomaly(
+                        snap,
+                        ctx,
+                        metrics::CONCURRENT_CONNECTIONS,
+                        fd,
+                        (15_000.0, 15_000.0),
+                        6,
+                    );
+                    log(
+                        snap,
+                        at,
+                        fd,
+                        "Transport.exe",
+                        "SmtpIn",
+                        LogLevel::Warning,
+                        "421 4.3.2 Service not available: front door at proxy connection capacity"
+                            .into(),
+                    );
+                }
+                "ProxyPoolImbalance" => {
+                    metric_anomaly(
+                        snap,
+                        ctx,
+                        metrics::CONCURRENT_CONNECTIONS,
+                        fd,
+                        (11_000.0, 11_000.0),
+                        6,
+                    );
+                    log(snap, at, fd, "Transport.exe", "ProxyPool", LogLevel::Warning,
+                        "proxy pool imbalance: two members receive most connections while others idle".into());
+                }
+                "CircuitBreakerStuck" => {
+                    metric_anomaly(
+                        snap,
+                        ctx,
+                        metrics::CONCURRENT_CONNECTIONS,
+                        fd,
+                        (50.0, 120.0),
+                        6,
+                    );
+                    log(snap, at, fd, "Transport.exe", "CircuitBreaker", LogLevel::Error,
+                        "circuit breaker stuck open for 45 minutes; probes green but breaker never half-opens".into());
+                }
+                _ => {
+                    metric_anomaly(
+                        snap,
+                        ctx,
+                        metrics::CONCURRENT_CONNECTIONS,
+                        fd,
+                        (6_000.0, 9_000.0),
+                        6,
+                    );
+                    log(snap, at, fd, "Transport.exe", "Backpressure", LogLevel::Error,
+                        "backpressure thresholds misconfigured; connections rejected while resources idle".into());
+                }
+            }
+            "Connection handling degraded at the front door.".into()
+        }
+        Family::MiscCrash => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let exc = match v {
+                "RegistryCorruption" => "RegistryKeyCorruptException: transport configuration hive unreadable at startup",
+                _ => "AddressBookCorruptionException: offline address book container failed checksum",
+            };
+            crashes(snap, ctx, mb, "Transport.exe", (3, 9), exc);
+            let at = ctx.t(15);
+            log(
+                snap,
+                at,
+                mb,
+                "Transport.exe",
+                "Startup",
+                LogLevel::Error,
+                exc.to_string(),
+            );
+            "Processes crashed on startup or routine operations.".into()
+        }
+        Family::MiscTimeout => {
+            let mb = ctx.machine(MachineRole::Mailbox);
+            let at = ctx.t(15);
+            match v {
+                "LdapReferralStorm" => {
+                    trace_failures(
+                        snap,
+                        ctx,
+                        "LdapService",
+                        "Search",
+                        SpanStatus::Timeout,
+                        "referral chase exceeded limit",
+                        mb,
+                        (6, 6),
+                    );
+                    log(snap, at, mb, "Transport.exe", "LdapClient", LogLevel::Error,
+                        "LDAP referral chase storm: queries following referral chains across domain controllers".into());
+                }
+                "StaleRoutingTable" => {
+                    trace_failures(
+                        snap,
+                        ctx,
+                        "RoutingService",
+                        "NextHop",
+                        SpanStatus::Error,
+                        "next hop not found in routing table",
+                        mb,
+                        (5, 5),
+                    );
+                    log(snap, at, mb, "EdgeTransport.exe", "Routing", LogLevel::Error,
+                        "routing table stale: last successful topology refresh too old; next-hop lookups failing".into());
+                }
+                "TenantMigrationStall" => {
+                    trace_failures(
+                        snap,
+                        ctx,
+                        "MigrationService",
+                        "MoveBatch",
+                        SpanStatus::Timeout,
+                        "migration batch stalled mid-move",
+                        mb,
+                        (4, 4),
+                    );
+                    log(snap, at, mb, "Migration.exe", "MoveEngine", LogLevel::Error,
+                        "tenant migration batch stalled; mailboxes locked in transition hold messages".into());
+                }
+                _ => {
+                    stack(
+                        snap,
+                        mb,
+                        "TransportDelivery.exe",
+                        45,
+                        &["StoreRpcClient.Call(...)", "DeliveryWorker.DeliverOne(...)"],
+                        true,
+                    );
+                    trace_failures(
+                        snap,
+                        ctx,
+                        "StoreService",
+                        "DeliverRpc",
+                        SpanStatus::Timeout,
+                        "RPC deadline exceeded",
+                        mb,
+                        (5, 5),
+                    );
+                    log(snap, at, mb, "TransportDelivery.exe", "StoreRpc", LogLevel::Error,
+                        "RpcTimeoutException: delivery worker hung on store RPC; worker watchdog did not recycle".into());
+                }
+            }
+            "Internal calls slowed down and began timing out.".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use rand::SeedableRng;
+    use rcacopilot_telemetry::query::{Query, Scope, TimeWindow};
+
+    fn plant_one(name: &str) -> (TelemetrySnapshot, String) {
+        let cat = Catalog::standard();
+        let spec = cat.by_name(name).expect("category exists");
+        let topo = Topology::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut snap = TelemetrySnapshot::new(SimTime::from_days(100));
+        let mut ctx = PlantCtx {
+            rng: &mut rng,
+            at: SimTime::from_days(100),
+            forest: ForestId(1),
+            topology: &topo,
+            primary: None,
+        };
+        let msg = plant(spec, &mut ctx, &mut snap);
+        snap.logs.finish();
+        (snap, msg)
+    }
+
+    fn window() -> TimeWindow {
+        TimeWindow::new(SimTime::EPOCH, SimTime::from_days(400))
+    }
+
+    #[test]
+    fn every_category_plants_some_evidence() {
+        let cat = Catalog::standard();
+        for spec in cat.categories() {
+            let (snap, msg) = plant_one(&spec.name);
+            assert!(!msg.is_empty(), "{} produced empty alert", spec.name);
+            let evidence = snap.logs.len()
+                + snap.probes.len()
+                + snap.sockets.len()
+                + snap.queues.len()
+                + snap.stacks.len()
+                + snap.certs.len()
+                + snap.tenant_configs.len()
+                + snap.processes.len()
+                + snap.traces.len()
+                + snap.disks.len()
+                + snap.metrics.sample_count();
+            assert!(evidence >= 2, "{} planted too little evidence", spec.name);
+        }
+    }
+
+    #[test]
+    fn hub_port_exhaustion_matches_figure6() {
+        let (snap, _) = plant_one("HubPortExhaustion");
+        let r = snap.execute(
+            &Query::SocketsByProcess {
+                protocol: "udp".into(),
+                top: 5,
+            },
+            Scope::Service,
+            window(),
+        );
+        let total: u64 = r.row("Total UDP socket count").unwrap().parse().unwrap();
+        assert!(total > 10_000, "UDP sockets should be exhausted: {total}");
+        assert!(r.text.contains("Transport.exe"));
+        let probes_r = snap.execute(
+            &Query::ProbeResults {
+                probe: probes::HUB_OUTBOUND.into(),
+            },
+            Scope::Service,
+            window(),
+        );
+        assert_eq!(probes_r.row("Failed Probes"), Some("2"));
+        assert!(probes_r.text.contains("WinSock error: 11001"));
+    }
+
+    #[test]
+    fn full_disk_spreads_signal_across_sources() {
+        let (snap, _) = plant_one("FullDisk");
+        // Disk usage shows a full volume.
+        assert!(snap.disks.iter().any(|d| d.used_pct > 99.0));
+        // Crash report shows IO exceptions.
+        assert!(snap.processes.iter().any(|p| p
+            .last_crash_exception
+            .as_deref()
+            .unwrap_or("")
+            .contains("IOException")));
+        // Logs mention the same exception.
+        let r = snap.execute(
+            &Query::Logs {
+                level: LogLevel::Error,
+                contains: Some("IOException".into()),
+                limit: 5,
+            },
+            Scope::Service,
+            window(),
+        );
+        assert_ne!(r.row("Matching records"), Some("0"));
+    }
+
+    #[test]
+    fn variants_produce_distinguishable_text() {
+        let (snap_a, _) = plant_one("DependencyTimeoutAuthService");
+        let (snap_b, _) = plant_one("DependencyTimeoutLdapService");
+        let text_a = snap_a
+            .execute(&Query::TraceFailures { top: 5 }, Scope::Service, window())
+            .render();
+        let text_b = snap_b
+            .execute(&Query::TraceFailures { top: 5 }, Scope::Service, window())
+            .render();
+        assert!(text_a.contains("AuthService"));
+        assert!(text_b.contains("LdapService"));
+        assert!(!text_a.contains("LdapService"));
+    }
+
+    #[test]
+    fn invalid_journaling_plants_tenant_config_and_queue() {
+        let (snap, _) = plant_one("InvalidJournaling");
+        assert!(snap.tenant_configs.iter().any(|t| !t.valid));
+        assert!(snap.queues.iter().any(|q| q.over_limit()));
+    }
+
+    #[test]
+    fn planting_is_deterministic_for_fixed_seed() {
+        let (a, msg_a) = plant_one("DeliveryHang");
+        let (b, msg_b) = plant_one("DeliveryHang");
+        assert_eq!(msg_a, msg_b);
+        assert_eq!(a.queues, b.queues);
+        assert_eq!(a.stacks, b.stacks);
+    }
+}

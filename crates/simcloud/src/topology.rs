@@ -1,0 +1,180 @@
+//! Topology of the simulated transport service.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rcacopilot_telemetry::ids::{ForestId, MachineId, MachineRole};
+
+/// Static topology: forests and the machines in each.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    forests: u32,
+    mailbox_per_forest: u32,
+    frontdoor_per_forest: u32,
+    hub_per_forest: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        // A small but structurally faithful deployment: several forests,
+        // each with mailbox servers, front doors, and hubs.
+        Topology {
+            forests: 8,
+            mailbox_per_forest: 20,
+            frontdoor_per_forest: 6,
+            hub_per_forest: 6,
+        }
+    }
+}
+
+impl Topology {
+    /// Creates a topology with explicit sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(forests: u32, mailbox: u32, frontdoor: u32, hub: u32) -> Self {
+        assert!(
+            forests > 0 && mailbox > 0 && frontdoor > 0 && hub > 0,
+            "topology dimensions must be positive"
+        );
+        Topology {
+            forests,
+            mailbox_per_forest: mailbox,
+            frontdoor_per_forest: frontdoor,
+            hub_per_forest: hub,
+        }
+    }
+
+    /// Number of forests.
+    pub fn forest_count(&self) -> u32 {
+        self.forests
+    }
+
+    /// All forest ids.
+    pub fn forests(&self) -> impl Iterator<Item = ForestId> {
+        (0..self.forests).map(ForestId)
+    }
+
+    /// Number of machines of `role` per forest.
+    pub fn machines_per_forest(&self, role: MachineRole) -> u32 {
+        match role {
+            MachineRole::Mailbox => self.mailbox_per_forest,
+            MachineRole::FrontDoor => self.frontdoor_per_forest,
+            MachineRole::Hub => self.hub_per_forest,
+        }
+    }
+
+    /// Total machine count across the service.
+    pub fn machine_count(&self) -> u32 {
+        self.forests * (self.mailbox_per_forest + self.frontdoor_per_forest + self.hub_per_forest)
+    }
+
+    /// All machines in `forest`.
+    pub fn machines_in(&self, forest: ForestId) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        for role in [
+            MachineRole::Mailbox,
+            MachineRole::FrontDoor,
+            MachineRole::Hub,
+        ] {
+            for i in 0..self.machines_per_forest(role) {
+                out.push(MachineId::new(forest, role, i));
+            }
+        }
+        out
+    }
+
+    /// A uniformly random forest.
+    pub fn random_forest(&self, rng: &mut SmallRng) -> ForestId {
+        ForestId(rng.gen_range(0..self.forests))
+    }
+
+    /// A uniformly random machine of `role` in `forest`.
+    pub fn random_machine(
+        &self,
+        rng: &mut SmallRng,
+        forest: ForestId,
+        role: MachineRole,
+    ) -> MachineId {
+        let n = self.machines_per_forest(role);
+        MachineId::new(forest, role, rng.gen_range(0..n))
+    }
+
+    /// `count` distinct random machines of `role` in `forest` (or all of
+    /// them if fewer exist).
+    pub fn random_machines(
+        &self,
+        rng: &mut SmallRng,
+        forest: ForestId,
+        role: MachineRole,
+        count: usize,
+    ) -> Vec<MachineId> {
+        let n = self.machines_per_forest(role) as usize;
+        let take = count.min(n);
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        // Partial Fisher-Yates shuffle.
+        for i in 0..take {
+            let j = rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        indices
+            .into_iter()
+            .take(take)
+            .map(|i| MachineId::new(forest, role, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_topology_has_expected_size() {
+        let t = Topology::default();
+        assert_eq!(t.forest_count(), 8);
+        assert_eq!(t.machine_count(), 8 * 32);
+        assert_eq!(t.machines_in(ForestId(0)).len(), 32);
+    }
+
+    #[test]
+    fn random_machines_are_distinct_and_in_role() {
+        let t = Topology::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let ms = t.random_machines(&mut rng, ForestId(2), MachineRole::Hub, 4);
+        assert_eq!(ms.len(), 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for m in &ms {
+            assert_eq!(m.forest, ForestId(2));
+            assert_eq!(m.role, MachineRole::Hub);
+            assert!(seen.insert(*m), "duplicate machine {m}");
+        }
+    }
+
+    #[test]
+    fn random_machines_caps_at_population() {
+        let t = Topology::new(1, 2, 2, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ms = t.random_machines(&mut rng, ForestId(0), MachineRole::Mailbox, 10);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = Topology::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    fn random_picks_are_in_range() {
+        let t = Topology::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let f = t.random_forest(&mut rng);
+            assert!(f.0 < 8);
+            let m = t.random_machine(&mut rng, f, MachineRole::FrontDoor);
+            assert!(m.index < 6);
+        }
+    }
+}

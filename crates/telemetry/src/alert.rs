@@ -1,0 +1,219 @@
+//! Alerts raised by monitors — the entry point of every incident.
+//!
+//! Incidents sharing an [`AlertType`] exhibit similar *symptoms* but may
+//! stem from different *root causes* (paper §4.1); the alert type is what
+//! routes an incident to its handler.
+
+use crate::ids::IncidentId;
+use crate::query::Scope;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Incident severity, 1 (highest) to 4 (lowest), as in the paper's Table 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Outage-level impact.
+    Sev1,
+    /// Major degradation.
+    #[default]
+    Sev2,
+    /// Minor degradation.
+    Sev3,
+    /// Informational / low impact.
+    Sev4,
+}
+
+impl Severity {
+    /// Numeric severity (1 = highest).
+    pub fn level(self) -> u8 {
+        match self {
+            Severity::Sev1 => 1,
+            Severity::Sev2 => 2,
+            Severity::Sev3 => 3,
+            Severity::Sev4 => 4,
+        }
+    }
+
+    /// Builds a severity from its numeric level.
+    ///
+    /// Returns `None` for levels outside `1..=4`.
+    pub fn from_level(level: u8) -> Option<Self> {
+        match level {
+            1 => Some(Severity::Sev1),
+            2 => Some(Severity::Sev2),
+            3 => Some(Severity::Sev3),
+            4 => Some(Severity::Sev4),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sev{}", self.level())
+    }
+}
+
+/// The kind of anomaly a monitor detected.
+///
+/// Each alert type has exactly one incident handler. The set below covers
+/// the transport-service monitors implied by the paper's Table 1 and
+/// Figure 5; several root-cause categories map onto each type.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum AlertType {
+    /// Messages stuck in a delivery/submission queue beyond a threshold
+    /// (paper Figure 5's "too many messages stuck in the delivery queue").
+    #[default]
+    DeliveryQueueBacklog,
+    /// Outbound proxy / front-door connection failures.
+    OutboundConnectionFailure,
+    /// Processes crashing above threshold in a scope.
+    ProcessCrashSpike,
+    /// Authentication or token issuance failures.
+    AuthenticationFailure,
+    /// Concurrent server connections above limit.
+    ConnectionLimitExceeded,
+    /// Component availability dropped below SLO.
+    AvailabilityDrop,
+    /// Poisoned-message detections above threshold.
+    PoisonedMessage,
+    /// Latency of message delivery above SLO.
+    DeliveryLatencyHigh,
+    /// Resource (disk/memory/handle) pressure on machines.
+    ResourcePressure,
+    /// Service-to-service call timeouts (directory, settings, ...).
+    DependencyTimeout,
+}
+
+impl AlertType {
+    /// All alert types, in stable order.
+    pub const ALL: [AlertType; 10] = [
+        AlertType::DeliveryQueueBacklog,
+        AlertType::OutboundConnectionFailure,
+        AlertType::ProcessCrashSpike,
+        AlertType::AuthenticationFailure,
+        AlertType::ConnectionLimitExceeded,
+        AlertType::AvailabilityDrop,
+        AlertType::PoisonedMessage,
+        AlertType::DeliveryLatencyHigh,
+        AlertType::ResourcePressure,
+        AlertType::DependencyTimeout,
+    ];
+
+    /// Stable string name of the alert type.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertType::DeliveryQueueBacklog => "DeliveryQueueBacklog",
+            AlertType::OutboundConnectionFailure => "OutboundConnectionFailure",
+            AlertType::ProcessCrashSpike => "ProcessCrashSpike",
+            AlertType::AuthenticationFailure => "AuthenticationFailure",
+            AlertType::ConnectionLimitExceeded => "ConnectionLimitExceeded",
+            AlertType::AvailabilityDrop => "AvailabilityDrop",
+            AlertType::PoisonedMessage => "PoisonedMessage",
+            AlertType::DeliveryLatencyHigh => "DeliveryLatencyHigh",
+            AlertType::ResourcePressure => "ResourcePressure",
+            AlertType::DependencyTimeout => "DependencyTimeout",
+        }
+    }
+
+    /// Parses an alert type from its stable name.
+    pub fn parse(name: &str) -> Option<Self> {
+        AlertType::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for AlertType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An alert raised by a monitor: the triggering event of an incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Incident ticket opened for this alert.
+    pub incident: IncidentId,
+    /// The kind of anomaly detected.
+    pub alert_type: AlertType,
+    /// Where the anomaly was detected.
+    pub scope: Scope,
+    /// Assessed severity.
+    pub severity: Severity,
+    /// When the monitor fired.
+    pub raised_at: SimTime,
+    /// Name of the monitor that fired.
+    pub monitor: String,
+    /// Monitor-generated message describing the symptom.
+    pub message: String,
+}
+
+impl Alert {
+    /// Renders the alert the way it appears at the head of an incident
+    /// ticket ("AlertInfo" context in the paper's Table 3).
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {} alert ({}) raised by {} at {} on {}\n{}",
+            self.incident,
+            self.alert_type,
+            self.severity,
+            self.monitor,
+            self.raised_at.format_us(),
+            self.scope,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ForestId;
+
+    #[test]
+    fn severity_levels_round_trip() {
+        for lvl in 1..=4 {
+            assert_eq!(Severity::from_level(lvl).unwrap().level(), lvl);
+        }
+        assert_eq!(Severity::from_level(0), None);
+        assert_eq!(Severity::from_level(5), None);
+        assert_eq!(Severity::Sev1.to_string(), "Sev1");
+    }
+
+    #[test]
+    fn severity_orders_highest_first() {
+        assert!(Severity::Sev1 < Severity::Sev2);
+        assert!(Severity::Sev2 < Severity::Sev4);
+    }
+
+    #[test]
+    fn alert_type_names_round_trip() {
+        for t in AlertType::ALL {
+            assert_eq!(AlertType::parse(t.name()), Some(t));
+        }
+        assert_eq!(AlertType::parse("NotAThing"), None);
+    }
+
+    #[test]
+    fn alert_render_contains_key_fields() {
+        let a = Alert {
+            incident: IncidentId(7),
+            alert_type: AlertType::DeliveryQueueBacklog,
+            scope: Scope::Forest(ForestId(1)),
+            severity: Severity::Sev2,
+            raised_at: SimTime::from_days(10),
+            monitor: "QueueLengthMonitor".into(),
+            message: "Normal priority messages queued for a long time.".into(),
+        };
+        let text = a.render();
+        assert!(text.contains("IcM000000007"));
+        assert!(text.contains("DeliveryQueueBacklog"));
+        assert!(text.contains("Sev2"));
+        assert!(text.contains("forest EURPR01"));
+        assert!(text.contains("QueueLengthMonitor"));
+    }
+}

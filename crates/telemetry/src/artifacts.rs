@@ -1,0 +1,264 @@
+//! Domain-specific diagnostic records collected by handler actions.
+//!
+//! These are the "myriad of sources" of paper §4.1.3 beyond the big three
+//! (logs/metrics/traces): thread-stack groups, monitor probes, socket
+//! statistics, disk usage, message queues, certificates, tenant transport
+//! configuration, provisioning state, and per-process health.
+
+use crate::ids::{MachineId, ProcessId, TenantId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A group of managed threads sharing an identical stack (the output shape
+/// of the paper's stack-aggregation query, §4.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackGroup {
+    /// Machine the process runs on.
+    pub machine: MachineId,
+    /// Process name, e.g. `TransportDelivery.exe`.
+    pub process: String,
+    /// Number of threads sharing this stack.
+    pub thread_count: usize,
+    /// Stack frames, innermost first.
+    pub frames: Vec<String>,
+    /// Whether the group looks blocked (waiting/lock frames on top).
+    pub blocked: bool,
+}
+
+impl StackGroup {
+    /// Renders like a debugger's aggregated stack listing.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} threads in process {} on {}{}:\n",
+            self.thread_count,
+            self.process,
+            self.machine,
+            if self.blocked { " (BLOCKED)" } else { "" }
+        );
+        for f in &self.frames {
+            out.push_str("   at ");
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One synthetic-monitor probe execution result (paper Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeResult {
+    /// Probe name, e.g. `DatacenterHubOutboundProxyProbe`.
+    pub probe: String,
+    /// Machine the probe ran from.
+    pub machine: MachineId,
+    /// When the probe ran.
+    pub at: SimTime,
+    /// Whether the probe succeeded.
+    pub success: bool,
+    /// Error detail when failed (exception text).
+    pub error: Option<String>,
+}
+
+/// Socket usage of one process on a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocketStat {
+    /// Machine observed.
+    pub machine: MachineId,
+    /// Protocol: `"udp"` or `"tcp"`.
+    pub protocol: String,
+    /// Owning process name.
+    pub process: String,
+    /// Owning process id.
+    pub pid: ProcessId,
+    /// Number of sockets held.
+    pub count: u64,
+}
+
+/// Disk usage of one volume on a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskUsage {
+    /// Machine observed.
+    pub machine: MachineId,
+    /// Volume name, e.g. `C:`.
+    pub volume: String,
+    /// Used fraction in percent (0–100).
+    pub used_pct: f64,
+    /// Free bytes remaining.
+    pub free_bytes: u64,
+}
+
+/// Statistics of one message queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueStat {
+    /// Machine hosting the queue.
+    pub machine: MachineId,
+    /// Queue name, e.g. `submission`, `mailbox_delivery`.
+    pub queue: String,
+    /// Current length.
+    pub length: u64,
+    /// Configured limit.
+    pub limit: u64,
+    /// Age of the oldest queued message, in seconds.
+    pub oldest_age_secs: u64,
+}
+
+impl QueueStat {
+    /// True when the queue exceeds its configured limit.
+    pub fn over_limit(&self) -> bool {
+        self.length > self.limit
+    }
+}
+
+/// Lifecycle status of a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CertStatus {
+    /// Valid and trusted.
+    #[default]
+    Valid,
+    /// Past its expiry date.
+    Expired,
+    /// Present but failing validation (wrong chain/subject).
+    Invalid,
+    /// Revoked by the issuer.
+    Revoked,
+}
+
+impl CertStatus {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CertStatus::Valid => "Valid",
+            CertStatus::Expired => "Expired",
+            CertStatus::Invalid => "Invalid",
+            CertStatus::Revoked => "Revoked",
+        }
+    }
+}
+
+/// A certificate visible to the transport service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CertificateRecord {
+    /// Certificate subject.
+    pub subject: String,
+    /// Domain the certificate covers.
+    pub domain: String,
+    /// Owning tenant, if tenant-scoped.
+    pub tenant: Option<TenantId>,
+    /// Not-before instant.
+    pub valid_from: SimTime,
+    /// Not-after instant.
+    pub valid_to: SimTime,
+    /// Current status.
+    pub status: CertStatus,
+    /// True when this certificate overrides another with the same subject.
+    pub overrides_existing: bool,
+}
+
+/// One tenant transport-configuration setting, with validity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfigRecord {
+    /// Tenant owning the setting.
+    pub tenant: TenantId,
+    /// Setting name, e.g. `JournalingReportNdrTo`.
+    pub setting: String,
+    /// Raw configured value.
+    pub value: String,
+    /// Whether the value passes validation.
+    pub valid: bool,
+    /// Exception raised when the value is consumed, if any.
+    pub exception: Option<String>,
+}
+
+/// Provisioning state of a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvisioningRecord {
+    /// Machine described.
+    pub machine: MachineId,
+    /// State, e.g. `Active`, `Provisioning`, `Draining`, `OutOfService`.
+    pub state: String,
+    /// Software build version deployed.
+    pub build: String,
+    /// When the machine last changed state.
+    pub since: SimTime,
+}
+
+/// Health of one process on a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessInfo {
+    /// Machine observed.
+    pub machine: MachineId,
+    /// Process name.
+    pub process: String,
+    /// Process id.
+    pub pid: ProcessId,
+    /// Crash count in the observation window.
+    pub crash_count: u32,
+    /// Resident memory in MB.
+    pub memory_mb: u64,
+    /// Most recent crash exception text, if any.
+    pub last_crash_exception: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ForestId, MachineRole};
+
+    fn m() -> MachineId {
+        MachineId::new(ForestId(1), MachineRole::Mailbox, 9)
+    }
+
+    #[test]
+    fn stack_group_render_marks_blocked() {
+        let g = StackGroup {
+            machine: m(),
+            process: "TransportDelivery.exe".into(),
+            thread_count: 62,
+            frames: vec![
+                "System.Threading.Monitor.Wait(...)".into(),
+                "DeliveryQueue.Dequeue(...)".into(),
+            ],
+            blocked: true,
+        };
+        let text = g.render();
+        assert!(text.contains("62 threads"));
+        assert!(text.contains("(BLOCKED)"));
+        assert!(text.contains("at System.Threading.Monitor.Wait"));
+    }
+
+    #[test]
+    fn queue_over_limit() {
+        let q = QueueStat {
+            machine: m(),
+            queue: "mailbox_delivery".into(),
+            length: 5000,
+            limit: 1000,
+            oldest_age_secs: 3600,
+        };
+        assert!(q.over_limit());
+        let ok = QueueStat { length: 10, ..q };
+        assert!(!ok.over_limit());
+    }
+
+    #[test]
+    fn cert_status_names_are_stable() {
+        assert_eq!(CertStatus::Valid.name(), "Valid");
+        assert_eq!(CertStatus::Invalid.name(), "Invalid");
+        assert_eq!(CertStatus::Expired.name(), "Expired");
+        assert_eq!(CertStatus::Revoked.name(), "Revoked");
+    }
+
+    #[test]
+    fn artifacts_serde_round_trip() {
+        let rec = TenantConfigRecord {
+            tenant: TenantId(5),
+            setting: "JournalingReportNdrTo".into(),
+            value: "<invalid>".into(),
+            valid: false,
+            exception: Some("TenantSettingsNotFoundException".into()),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: TenantConfigRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

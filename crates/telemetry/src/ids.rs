@@ -1,0 +1,177 @@
+//! Strongly-typed identifiers for simulated infrastructure.
+//!
+//! Machine and forest names follow the conventions visible in the paper's
+//! examples (`[MachineID]`, forest-scoped alerts): forests are named like
+//! `NAMPR03`, machines like `NAMPR03MB1234`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a *forest* — an isolated partition of the service
+/// (a cluster of machines serving a set of tenants).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ForestId(pub u32);
+
+/// Identifier of a machine within the service.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MachineId {
+    /// Forest this machine belongs to.
+    pub forest: ForestId,
+    /// Role of the machine inside the forest.
+    pub role: MachineRole,
+    /// Index of the machine among machines of the same role in the forest.
+    pub index: u32,
+}
+
+/// Role a machine plays in the transport topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum MachineRole {
+    /// Mailbox server: stores mailboxes, runs delivery.
+    #[default]
+    Mailbox,
+    /// Front-door proxy: terminates inbound/outbound SMTP.
+    FrontDoor,
+    /// Hub server: routes messages between forests and to the internet.
+    Hub,
+}
+
+/// Identifier of a customer tenant.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(pub u64);
+
+/// Identifier of an OS process on a machine.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(pub u32);
+
+/// Identifier of an incident (ticket number).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct IncidentId(pub u64);
+
+impl ForestId {
+    /// Human-readable forest name, e.g. `NAMPR03`.
+    pub fn name(self) -> String {
+        // Cycle through a few region prefixes so forest names look like a
+        // globally distributed deployment.
+        const REGIONS: [&str; 5] = ["NAMPR", "EURPR", "APCPR", "LAMPR", "JPNPR"];
+        let region = REGIONS[(self.0 as usize) % REGIONS.len()];
+        format!("{region}{:02}", self.0)
+    }
+}
+
+impl MachineRole {
+    /// Two-letter code used inside machine names.
+    pub fn code(self) -> &'static str {
+        match self {
+            MachineRole::Mailbox => "MB",
+            MachineRole::FrontDoor => "FD",
+            MachineRole::Hub => "HB",
+        }
+    }
+
+    /// Human-readable role name.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            MachineRole::Mailbox => "Mailbox",
+            MachineRole::FrontDoor => "FrontDoor",
+            MachineRole::Hub => "Hub",
+        }
+    }
+}
+
+impl MachineId {
+    /// Creates a machine id.
+    pub fn new(forest: ForestId, role: MachineRole, index: u32) -> Self {
+        MachineId {
+            forest,
+            role,
+            index,
+        }
+    }
+
+    /// Human-readable machine name, e.g. `NAMPR03MB1234`.
+    pub fn name(self) -> String {
+        format!(
+            "{}{}{:04}",
+            self.forest.name(),
+            self.role.code(),
+            self.index
+        )
+    }
+}
+
+impl fmt::Display for ForestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{:08x}", self.0)
+    }
+}
+
+impl fmt::Display for IncidentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IcM{:09}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_names_cycle_regions() {
+        assert_eq!(ForestId(3).name(), "LAMPR03");
+        assert_eq!(ForestId(0).name(), "NAMPR00");
+        assert_eq!(ForestId(5).name(), "NAMPR05");
+    }
+
+    #[test]
+    fn machine_names_embed_role_and_index() {
+        let m = MachineId::new(ForestId(3), MachineRole::Mailbox, 1234);
+        assert_eq!(m.name(), "LAMPR03MB1234");
+        let fd = MachineId::new(ForestId(1), MachineRole::FrontDoor, 7);
+        assert_eq!(fd.name(), "EURPR01FD0007");
+        let hb = MachineId::new(ForestId(2), MachineRole::Hub, 42);
+        assert_eq!(hb.name(), "APCPR02HB0042");
+    }
+
+    #[test]
+    fn display_impls_are_stable() {
+        assert_eq!(TenantId(0xdead).to_string(), "tenant-0000dead");
+        assert_eq!(IncidentId(12345).to_string(), "IcM000012345");
+    }
+
+    #[test]
+    fn ids_order_by_fields() {
+        let a = MachineId::new(ForestId(1), MachineRole::Mailbox, 2);
+        let b = MachineId::new(ForestId(1), MachineRole::Mailbox, 3);
+        assert!(a < b);
+    }
+}

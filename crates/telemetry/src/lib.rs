@@ -1,0 +1,52 @@
+//! Telemetry data model for the RCACopilot reproduction.
+//!
+//! This crate defines the vocabulary shared by the simulated cloud service
+//! (`rcacopilot-simcloud`), the incident-handler engine
+//! (`rcacopilot-handlers`), and the RCA pipeline (`rcacopilot-core`):
+//!
+//! - [`time`]: a simulated clock ([`time::SimTime`]) with calendar
+//!   formatting, so log lines look like the real thing.
+//! - [`ids`]: strongly-typed identifiers for machines, forests, tenants,
+//!   processes, and incidents.
+//! - [`alert`]: alerts raised by monitors, the entry point of every
+//!   incident ([`alert::Alert`], [`alert::AlertType`]).
+//! - [`log`]: semi-structured log records and an indexed store.
+//! - [`metrics`]: time-series metrics with windowed statistics.
+//! - [`trace`]: request traces (spans forming trees).
+//! - [`artifacts`]: domain-specific diagnostic records (thread-stack
+//!   groups, probe results, socket statistics, disk usage, queue
+//!   statistics, certificates, tenant configuration, provisioning).
+//! - [`snapshot`]: a per-incident [`snapshot::TelemetrySnapshot`] bundling
+//!   all of the above, which is what handler actions query.
+//! - [`query`]: the serializable [`query::Query`] language handler actions
+//!   are written in, plus [`query::QueryResult`] tables.
+//!
+//! The design mirrors the paper's "multi-source diagnostic information"
+//! (§4.1.3): the root-cause signal of an incident is deliberately spread
+//! across more than one source, so no single query answers "why".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod artifacts;
+pub mod ids;
+pub mod log;
+pub mod metrics;
+pub mod query;
+pub mod snapshot;
+pub mod time;
+pub mod trace;
+
+pub use alert::{Alert, AlertType, Severity};
+pub use artifacts::{
+    CertStatus, CertificateRecord, DiskUsage, ProbeResult, ProcessInfo, ProvisioningRecord,
+    QueueStat, SocketStat, StackGroup, TenantConfigRecord,
+};
+pub use ids::{ForestId, IncidentId, MachineId, ProcessId, TenantId};
+pub use log::{LogLevel, LogRecord, LogStore};
+pub use metrics::{MetricPoint, MetricStore, SeriesStats, TimeSeries};
+pub use query::{Query, QueryResult, Scope, TimeWindow};
+pub use snapshot::TelemetrySnapshot;
+pub use time::{SimDuration, SimTime};
+pub use trace::{SpanStatus, Trace, TraceSpan, TraceStore};

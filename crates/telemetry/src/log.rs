@@ -1,0 +1,245 @@
+//! Semi-structured log records and an indexed in-memory store.
+
+use crate::ids::MachineId;
+use crate::query::{Scope, TimeWindow};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Log severity levels, lowest to highest.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum LogLevel {
+    /// Verbose diagnostics.
+    Debug,
+    /// Routine events.
+    #[default]
+    Info,
+    /// Unexpected but tolerated events.
+    Warning,
+    /// Failures.
+    Error,
+    /// Failures that took a component down.
+    Critical,
+}
+
+impl LogLevel {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "DEBUG",
+            LogLevel::Info => "INFO",
+            LogLevel::Warning => "WARN",
+            LogLevel::Error => "ERROR",
+            LogLevel::Critical => "CRIT",
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One log record emitted by a component on a machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// When the record was written.
+    pub at: SimTime,
+    /// Machine that wrote it.
+    pub machine: MachineId,
+    /// Emitting process name, e.g. `Transport.exe`.
+    pub process: String,
+    /// Component/logger name, e.g. `SmtpOut`.
+    pub component: String,
+    /// Severity.
+    pub level: LogLevel,
+    /// Message text (may embed exception text and stack fragments).
+    pub message: String,
+}
+
+impl LogRecord {
+    /// Renders the record as a single log line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} [{}] {}/{}: {}",
+            self.at.format_iso(),
+            self.level,
+            self.machine,
+            self.process,
+            self.component,
+            self.message
+        )
+    }
+}
+
+/// An in-memory log store ordered by time, supporting scoped queries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogStore {
+    records: Vec<LogRecord>,
+    sorted: bool,
+}
+
+impl LogStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        LogStore {
+            records: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record (insertion order need not be chronological).
+    pub fn push(&mut self, record: LogRecord) {
+        if let Some(last) = self.records.last() {
+            if record.at < last.at {
+                self.sorted = false;
+            }
+        }
+        self.records.push(record);
+    }
+
+    /// Sorts records chronologically if needed; queries call this lazily.
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| r.at);
+            self.sorted = true;
+        }
+    }
+
+    /// Finalizes the store after bulk insertion, sorting by time.
+    pub fn finish(&mut self) {
+        self.ensure_sorted();
+    }
+
+    /// All records, chronologically (only valid after [`LogStore::finish`]
+    /// or if inserted in order).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Queries records in `window` within `scope`, at/above `level`,
+    /// optionally containing `contains`, newest first, at most `limit`.
+    pub fn query(
+        &self,
+        scope: Scope,
+        window: TimeWindow,
+        level: LogLevel,
+        contains: Option<&str>,
+        limit: usize,
+    ) -> Vec<&LogRecord> {
+        let mut hits: Vec<&LogRecord> = self
+            .records
+            .iter()
+            .filter(|r| {
+                window.contains(r.at)
+                    && scope.contains_machine(r.machine)
+                    && r.level >= level
+                    && contains.map_or(true, |c| r.message.contains(c))
+            })
+            .collect();
+        hits.sort_by(|a, b| b.at.cmp(&a.at));
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Counts records matching the filters (no limit).
+    pub fn count(&self, scope: Scope, window: TimeWindow, level: LogLevel) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                window.contains(r.at) && scope.contains_machine(r.machine) && r.level >= level
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ForestId, MachineRole};
+
+    fn rec(secs: u64, machine_idx: u32, level: LogLevel, msg: &str) -> LogRecord {
+        LogRecord {
+            at: SimTime::from_secs(secs),
+            machine: MachineId::new(ForestId(1), MachineRole::Mailbox, machine_idx),
+            process: "Transport.exe".into(),
+            component: "SmtpOut".into(),
+            level,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn query_filters_by_window_scope_level_and_text() {
+        let mut store = LogStore::new();
+        store.push(rec(10, 1, LogLevel::Error, "WinSock error 11001"));
+        store.push(rec(20, 1, LogLevel::Info, "connection ok"));
+        store.push(rec(30, 2, LogLevel::Error, "WinSock error 11001"));
+        store.push(rec(500, 1, LogLevel::Error, "too late"));
+        store.finish();
+
+        let w = TimeWindow::new(SimTime::from_secs(0), SimTime::from_secs(100));
+        let m1 = MachineId::new(ForestId(1), MachineRole::Mailbox, 1);
+        let hits = store.query(Scope::Machine(m1), w, LogLevel::Error, Some("WinSock"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].at, SimTime::from_secs(10));
+
+        let forest_hits = store.query(Scope::Forest(ForestId(1)), w, LogLevel::Error, None, 10);
+        assert_eq!(forest_hits.len(), 2);
+        // Newest first.
+        assert_eq!(forest_hits[0].at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn query_respects_limit() {
+        let mut store = LogStore::new();
+        for i in 0..50 {
+            store.push(rec(i, 1, LogLevel::Error, "boom"));
+        }
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(1000));
+        let hits = store.query(Scope::Service, w, LogLevel::Error, None, 5);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].at, SimTime::from_secs(49));
+    }
+
+    #[test]
+    fn out_of_order_insertion_is_fixed_by_finish() {
+        let mut store = LogStore::new();
+        store.push(rec(30, 1, LogLevel::Info, "late"));
+        store.push(rec(10, 1, LogLevel::Info, "early"));
+        store.finish();
+        assert_eq!(store.records()[0].at, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn count_ignores_limit_and_text() {
+        let mut store = LogStore::new();
+        for i in 0..7 {
+            store.push(rec(i, 1, LogLevel::Warning, "w"));
+        }
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(1000));
+        assert_eq!(store.count(Scope::Service, w, LogLevel::Warning), 7);
+        assert_eq!(store.count(Scope::Service, w, LogLevel::Error), 0);
+    }
+
+    #[test]
+    fn render_contains_machine_and_level() {
+        let line = rec(10, 3, LogLevel::Critical, "disk is full").render();
+        assert!(line.contains("CRIT"));
+        assert!(line.contains("EURPR01MB0003"));
+        assert!(line.contains("disk is full"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Time-series metrics with windowed statistics.
+
+use crate::ids::MachineId;
+use crate::query::{Scope, TimeWindow};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One sample of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// Sample time.
+    pub at: SimTime,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A single metric series for one machine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<MetricPoint>,
+}
+
+/// Summary statistics over a window of a series (or merged series).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Number of samples in the window.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Most recent value in the window.
+    pub last: f64,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a sample; samples should be pushed in time order.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push(MetricPoint { at, value });
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[MetricPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Samples falling in `window`.
+    pub fn window(&self, window: TimeWindow) -> impl Iterator<Item = &MetricPoint> {
+        self.points.iter().filter(move |p| window.contains(p.at))
+    }
+}
+
+/// Store of metric series keyed by `(metric name, machine)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricStore {
+    series: BTreeMap<String, BTreeMap<MachineId, TimeSeries>>,
+}
+
+impl MetricStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MetricStore {
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Records a sample of `metric` on `machine`.
+    pub fn record(&mut self, metric: &str, machine: MachineId, at: SimTime, value: f64) {
+        self.series
+            .entry(metric.to_string())
+            .or_default()
+            .entry(machine)
+            .or_default()
+            .push(at, value);
+    }
+
+    /// Names of all metrics with at least one sample.
+    pub fn metric_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The series of `metric` on `machine`, if any.
+    pub fn series(&self, metric: &str, machine: MachineId) -> Option<&TimeSeries> {
+        self.series.get(metric)?.get(&machine)
+    }
+
+    /// Merged windowed statistics of `metric` over all machines in `scope`.
+    ///
+    /// Returns `None` when no sample of the metric falls inside the window
+    /// and scope.
+    pub fn stats(&self, metric: &str, scope: Scope, window: TimeWindow) -> Option<SeriesStats> {
+        let per_machine = self.series.get(metric)?;
+        let mut samples: Vec<MetricPoint> = Vec::new();
+        for (machine, series) in per_machine {
+            if scope.contains_machine(*machine) {
+                samples.extend(series.window(window).copied());
+            }
+        }
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by_key(|p| p.at);
+        let count = samples.len();
+        let sum: f64 = samples.iter().map(|p| p.value).sum();
+        let min = samples
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::INFINITY, f64::min);
+        let max = samples
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let last = samples.last().map(|p| p.value).unwrap_or(0.0);
+        Some(SeriesStats {
+            count,
+            mean: sum / count as f64,
+            min,
+            max,
+            last,
+        })
+    }
+
+    /// Total number of samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series
+            .values()
+            .flat_map(|m| m.values())
+            .map(TimeSeries::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ForestId, MachineRole};
+
+    fn m(idx: u32) -> MachineId {
+        MachineId::new(ForestId(0), MachineRole::Hub, idx)
+    }
+
+    #[test]
+    fn stats_merge_machines_in_scope() {
+        let mut store = MetricStore::new();
+        store.record("udp_sockets", m(1), SimTime::from_secs(10), 100.0);
+        store.record("udp_sockets", m(1), SimTime::from_secs(20), 300.0);
+        store.record("udp_sockets", m(2), SimTime::from_secs(15), 200.0);
+
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(100));
+        let s = store
+            .stats("udp_sockets", Scope::Forest(ForestId(0)), w)
+            .unwrap();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 200.0).abs() < 1e-9);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 300.0);
+        // Last by time is the t=20 sample.
+        assert_eq!(s.last, 300.0);
+
+        let s1 = store.stats("udp_sockets", Scope::Machine(m(1)), w).unwrap();
+        assert_eq!(s1.count, 2);
+    }
+
+    #[test]
+    fn stats_none_outside_window_or_for_unknown_metric() {
+        let mut store = MetricStore::new();
+        store.record("q", m(1), SimTime::from_secs(500), 1.0);
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(100));
+        assert!(store.stats("q", Scope::Service, w).is_none());
+        assert!(store.stats("nope", Scope::Service, w).is_none());
+    }
+
+    #[test]
+    fn sample_count_sums_everything() {
+        let mut store = MetricStore::new();
+        for i in 0..5 {
+            store.record("a", m(1), SimTime::from_secs(i), i as f64);
+        }
+        store.record("b", m(2), SimTime::from_secs(1), 1.0);
+        assert_eq!(store.sample_count(), 6);
+        assert_eq!(store.metric_names().count(), 2);
+    }
+
+    #[test]
+    fn series_window_filters() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(1), 1.0);
+        ts.push(SimTime::from_secs(5), 2.0);
+        ts.push(SimTime::from_secs(9), 3.0);
+        let w = TimeWindow::new(SimTime::from_secs(2), SimTime::from_secs(9));
+        let vals: Vec<f64> = ts.window(w).map(|p| p.value).collect();
+        assert_eq!(vals, vec![2.0]);
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+}

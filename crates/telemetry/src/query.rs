@@ -1,0 +1,329 @@
+//! The query language handler actions are written in.
+//!
+//! Handlers are persisted, versioned documents (paper §4.1.1), so the
+//! queries they embed must be serializable data — not closures. [`Query`]
+//! enumerates every kind of lookup a handler action can make against a
+//! [`crate::snapshot::TelemetrySnapshot`]; [`QueryResult`] is the
+//! key-value-table-plus-text output described in §4.1.2 ("Query action can
+//! query data from different sources and output the query result as a
+//! key-value pair table").
+
+use crate::ids::{ForestId, MachineId};
+use crate::log::LogLevel;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scope of an alert or a query (paper Figure 5 switches between
+/// forest- and machine-level scopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Scope {
+    /// A single machine.
+    Machine(MachineId),
+    /// A whole forest.
+    Forest(ForestId),
+    /// The entire service (all forests) — the widest, default scope.
+    #[default]
+    Service,
+}
+
+impl Scope {
+    /// True if `machine` falls inside this scope.
+    pub fn contains_machine(&self, machine: MachineId) -> bool {
+        match self {
+            Scope::Machine(m) => *m == machine,
+            Scope::Forest(f) => machine.forest == *f,
+            Scope::Service => true,
+        }
+    }
+
+    /// The forest this scope lives in, if it is narrower than the service.
+    pub fn forest(&self) -> Option<ForestId> {
+        match self {
+            Scope::Machine(m) => Some(m.forest),
+            Scope::Forest(f) => Some(*f),
+            Scope::Service => None,
+        }
+    }
+
+    /// Widens a machine scope to its forest; leaves other scopes alone.
+    pub fn widened(&self) -> Scope {
+        match self {
+            Scope::Machine(m) => Scope::Forest(m.forest),
+            other => *other,
+        }
+    }
+
+    /// Short label used in alert text, e.g. `machine NAMPR03MB0012`.
+    pub fn label(&self) -> String {
+        match self {
+            Scope::Machine(m) => format!("machine {m}"),
+            Scope::Forest(f) => format!("forest {f}"),
+            Scope::Service => "service".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A half-open time window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl TimeWindow {
+    /// Creates a window; callers must pass `start <= end`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        debug_assert!(start <= end, "window start must not exceed end");
+        TimeWindow { start, end }
+    }
+
+    /// The window of length `lookback` seconds ending at `at`.
+    pub fn lookback(at: SimTime, lookback_secs: u64) -> Self {
+        TimeWindow {
+            start: at.saturating_sub(crate::time::SimDuration::from_secs(lookback_secs)),
+            end: at,
+        }
+    }
+
+    /// True if `t` lies inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Window length in seconds.
+    pub fn len_secs(&self) -> u64 {
+        self.end.as_secs().saturating_sub(self.start.as_secs())
+    }
+}
+
+/// A single query a handler action can run against a telemetry snapshot.
+///
+/// All scope-sensitive queries use the *current* scope of the running
+/// handler (set by scope-switching actions) rather than embedding one, so
+/// the same action is reusable across handlers (paper §4.1.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Query {
+    /// Fetch log records at or above `level` whose message contains
+    /// `contains` (if given), newest first, at most `limit`.
+    Logs {
+        /// Minimum severity of returned records.
+        level: LogLevel,
+        /// Substring filter on the message, if any.
+        contains: Option<String>,
+        /// Maximum number of records returned.
+        limit: usize,
+    },
+    /// Windowed statistics (count/mean/max/last) of a named metric.
+    MetricStats {
+        /// Metric name, e.g. `submission_queue_length`.
+        metric: String,
+    },
+    /// Per-process breakdown of socket usage (paper Figure 6's
+    /// "Total UDP socket count by process").
+    SocketsByProcess {
+        /// Protocol to report, `"udp"` or `"tcp"`.
+        protocol: String,
+        /// Number of top processes to list.
+        top: usize,
+    },
+    /// Aggregate managed-thread stacks by identical frames (paper §4.1.2's
+    /// deadlock/blocking-path query).
+    ThreadStacks {
+        /// Restrict to one process name, if given.
+        process: Option<String>,
+    },
+    /// Recent monitor-probe results for a named probe.
+    ProbeResults {
+        /// Probe name, e.g. `DatacenterHubOutboundProxyProbe`.
+        probe: String,
+    },
+    /// Disk usage per volume.
+    DiskUsage,
+    /// Statistics of a named message queue.
+    QueueStats {
+        /// Queue name, e.g. `submission` or `mailbox_delivery`.
+        queue: String,
+    },
+    /// Every queue currently above its configured limit, regardless of
+    /// name — the first thing an OCE asks on a backlog alert.
+    OverLimitQueues,
+    /// Certificates visible in the scope (status, domain, tenant).
+    Certificates,
+    /// Tenant transport configuration records (validity flagged).
+    TenantConfigs,
+    /// Provisioning status of machines in scope.
+    ProvisioningStatus,
+    /// Recent request-trace failures grouped by service hop.
+    TraceFailures {
+        /// Number of failure groups to report.
+        top: usize,
+    },
+    /// Recently crashed processes with crash counts.
+    ProcessCrashes,
+}
+
+impl Query {
+    /// Stable short name for display and for keying action outputs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::Logs { .. } => "logs",
+            Query::MetricStats { .. } => "metric_stats",
+            Query::SocketsByProcess { .. } => "sockets_by_process",
+            Query::ThreadStacks { .. } => "thread_stacks",
+            Query::ProbeResults { .. } => "probe_results",
+            Query::DiskUsage => "disk_usage",
+            Query::QueueStats { .. } => "queue_stats",
+            Query::OverLimitQueues => "over_limit_queues",
+            Query::Certificates => "certificates",
+            Query::TenantConfigs => "tenant_configs",
+            Query::ProvisioningStatus => "provisioning_status",
+            Query::TraceFailures { .. } => "trace_failures",
+            Query::ProcessCrashes => "process_crashes",
+        }
+    }
+}
+
+/// The output of a query: a titled key-value table plus rendered text.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Section title, e.g. `DatacenterHubOutboundProxyProbe probe log result`.
+    pub title: String,
+    /// Key-value rows (paper §4.1.2: "output the query result as a
+    /// key-value pair table").
+    pub rows: Vec<(String, String)>,
+    /// Free-form rendered text (log excerpts, stack traces, ...).
+    pub text: String,
+}
+
+impl QueryResult {
+    /// Creates an empty result with a title.
+    pub fn titled(title: impl Into<String>) -> Self {
+        QueryResult {
+            title: title.into(),
+            rows: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Appends a key-value row.
+    pub fn push_row(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.rows.push((key.into(), value.into()));
+    }
+
+    /// Appends a line of free text.
+    pub fn push_line(&mut self, line: impl AsRef<str>) {
+        self.text.push_str(line.as_ref());
+        self.text.push('\n');
+    }
+
+    /// Returns the value of the first row with key `key`, if any.
+    pub fn row(&self, key: &str) -> Option<&str> {
+        self.rows
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if the result carries neither rows nor text.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty() && self.text.trim().is_empty()
+    }
+
+    /// Renders the full section (title, rows, text) as diagnostic text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (k, v) in &self.rows {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push('\n');
+        }
+        if !self.text.is_empty() {
+            out.push_str(&self.text);
+            if !self.text.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MachineRole, TenantId};
+
+    fn machine() -> MachineId {
+        MachineId::new(ForestId(2), MachineRole::Hub, 7)
+    }
+
+    #[test]
+    fn scope_containment() {
+        let m = machine();
+        assert!(Scope::Machine(m).contains_machine(m));
+        assert!(Scope::Forest(ForestId(2)).contains_machine(m));
+        assert!(!Scope::Forest(ForestId(3)).contains_machine(m));
+        assert!(Scope::Service.contains_machine(m));
+    }
+
+    #[test]
+    fn scope_widening_goes_machine_to_forest() {
+        let m = machine();
+        assert_eq!(Scope::Machine(m).widened(), Scope::Forest(ForestId(2)));
+        assert_eq!(Scope::Service.widened(), Scope::Service);
+    }
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = TimeWindow::new(SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(w.contains(SimTime::from_secs(10)));
+        assert!(w.contains(SimTime::from_secs(19)));
+        assert!(!w.contains(SimTime::from_secs(20)));
+        assert_eq!(w.len_secs(), 10);
+    }
+
+    #[test]
+    fn lookback_window_saturates_at_epoch() {
+        let w = TimeWindow::lookback(SimTime::from_secs(5), 100);
+        assert_eq!(w.start, SimTime::EPOCH);
+        assert_eq!(w.end, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn query_result_rendering_includes_all_parts() {
+        let mut r = QueryResult::titled("Disk usage");
+        r.push_row("volume C:", "97%");
+        r.push_line("IOException observed on C:\\logs");
+        let rendered = r.render();
+        assert!(rendered.starts_with("Disk usage\n"));
+        assert!(rendered.contains("volume C:: 97%"));
+        assert!(rendered.contains("IOException observed"));
+        assert_eq!(r.row("volume C:"), Some("97%"));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn queries_round_trip_through_serde() {
+        let q = Query::Logs {
+            level: LogLevel::Error,
+            contains: Some("WinSock".into()),
+            limit: 10,
+        };
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+        assert_eq!(q.kind(), "logs");
+        let _ = TenantId(1); // Exercised for import completeness.
+    }
+}

@@ -1,0 +1,557 @@
+//! Per-incident telemetry snapshots: the data handler actions query.
+//!
+//! When a monitor raises an alert, the collection stage operates on the
+//! service state *around the alert time*. [`TelemetrySnapshot`] captures
+//! that state — every store from this crate — and knows how to execute a
+//! [`Query`] against it, producing the titled key-value tables that make up
+//! the diagnostic information (paper Figure 6).
+
+use crate::artifacts::{
+    CertificateRecord, DiskUsage, ProbeResult, ProcessInfo, ProvisioningRecord, QueueStat,
+    SocketStat, StackGroup, TenantConfigRecord,
+};
+use crate::log::{LogLevel, LogStore};
+use crate::metrics::MetricStore;
+use crate::query::{Query, QueryResult, Scope, TimeWindow};
+use crate::time::SimTime;
+use crate::trace::TraceStore;
+use serde::{Deserialize, Serialize};
+
+/// All telemetry visible to handlers for one incident.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// When the snapshot was taken (the alert time).
+    pub taken_at: SimTime,
+    /// Log records around the alert.
+    pub logs: LogStore,
+    /// Metric samples around the alert.
+    pub metrics: MetricStore,
+    /// Request traces around the alert.
+    pub traces: TraceStore,
+    /// Aggregated thread-stack groups.
+    pub stacks: Vec<StackGroup>,
+    /// Synthetic-probe results.
+    pub probes: Vec<ProbeResult>,
+    /// Socket usage records.
+    pub sockets: Vec<SocketStat>,
+    /// Disk usage records.
+    pub disks: Vec<DiskUsage>,
+    /// Queue statistics.
+    pub queues: Vec<QueueStat>,
+    /// Certificates in scope.
+    pub certs: Vec<CertificateRecord>,
+    /// Tenant configuration records.
+    pub tenant_configs: Vec<TenantConfigRecord>,
+    /// Machine provisioning records.
+    pub provisioning: Vec<ProvisioningRecord>,
+    /// Per-process health records.
+    pub processes: Vec<ProcessInfo>,
+}
+
+impl TelemetrySnapshot {
+    /// Creates an empty snapshot taken at `taken_at`.
+    pub fn new(taken_at: SimTime) -> Self {
+        TelemetrySnapshot {
+            taken_at,
+            ..TelemetrySnapshot::default()
+        }
+    }
+
+    /// Executes `query` over `scope` and `window`, rendering a result
+    /// section. Every query kind always returns a section (possibly noting
+    /// that nothing matched) so handler control flow can branch on content.
+    pub fn execute(&self, query: &Query, scope: Scope, window: TimeWindow) -> QueryResult {
+        match query {
+            Query::Logs {
+                level,
+                contains,
+                limit,
+            } => self.q_logs(scope, window, *level, contains.as_deref(), *limit),
+            Query::MetricStats { metric } => self.q_metric_stats(metric, scope, window),
+            Query::SocketsByProcess { protocol, top } => self.q_sockets(scope, protocol, *top),
+            Query::ThreadStacks { process } => self.q_thread_stacks(scope, process.as_deref()),
+            Query::ProbeResults { probe } => self.q_probes(scope, window, probe),
+            Query::DiskUsage => self.q_disks(scope),
+            Query::QueueStats { queue } => self.q_queues(scope, queue),
+            Query::OverLimitQueues => self.q_over_limit_queues(scope),
+            Query::Certificates => self.q_certs(),
+            Query::TenantConfigs => self.q_tenant_configs(),
+            Query::ProvisioningStatus => self.q_provisioning(scope),
+            Query::TraceFailures { top } => self.q_trace_failures(scope, window, *top),
+            Query::ProcessCrashes => self.q_process_crashes(scope),
+        }
+    }
+
+    fn q_logs(
+        &self,
+        scope: Scope,
+        window: TimeWindow,
+        level: LogLevel,
+        contains: Option<&str>,
+        limit: usize,
+    ) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Error log query ({level} and above) on {scope}"));
+        let hits = self.logs.query(scope, window, level, contains, limit);
+        r.push_row("Matching records", hits.len().to_string());
+        if hits.is_empty() {
+            r.push_line("No matching log records in window.");
+        }
+        for h in hits {
+            r.push_line(h.render());
+        }
+        r
+    }
+
+    fn q_metric_stats(&self, metric: &str, scope: Scope, window: TimeWindow) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Metric {metric} on {scope}"));
+        match self.metrics.stats(metric, scope, window) {
+            Some(s) => {
+                r.push_row("Samples", s.count.to_string());
+                r.push_row("Mean", format!("{:.1}", s.mean));
+                r.push_row("Max", format!("{:.1}", s.max));
+                r.push_row("Last", format!("{:.1}", s.last));
+            }
+            None => r.push_line(format!("No samples of {metric} in window.")),
+        }
+        r
+    }
+
+    fn q_sockets(&self, scope: Scope, protocol: &str, top: usize) -> QueryResult {
+        let mut matching: Vec<&SocketStat> = self
+            .sockets
+            .iter()
+            .filter(|s| s.protocol == protocol && scope.contains_machine(s.machine))
+            .collect();
+        matching.sort_by(|a, b| b.count.cmp(&a.count));
+        let total: u64 = matching.iter().map(|s| s.count).sum();
+        let proto_upper = protocol.to_uppercase();
+        let mut r = QueryResult::titled(format!("Socket usage ({proto_upper}) on {scope}"));
+        r.push_row(
+            format!("Total {proto_upper} socket count"),
+            total.to_string(),
+        );
+        r.push_line(format!(
+            "Total {proto_upper} socket count by process and processId (top {top} only):"
+        ));
+        for s in matching.iter().take(top) {
+            r.push_line(format!("{}: {}, {}", s.count, s.process, s.pid));
+        }
+        r
+    }
+
+    fn q_thread_stacks(&self, scope: Scope, process: Option<&str>) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Aggregated thread stacks on {scope}"));
+        let mut shown = 0;
+        for g in &self.stacks {
+            if !scope.contains_machine(g.machine) {
+                continue;
+            }
+            if let Some(p) = process {
+                if g.process != p {
+                    continue;
+                }
+            }
+            r.push_line(g.render());
+            shown += 1;
+        }
+        r.push_row("Stack groups", shown.to_string());
+        if shown == 0 {
+            r.push_line("No thread stack groups captured.");
+        }
+        r
+    }
+
+    fn q_probes(&self, scope: Scope, window: TimeWindow, probe: &str) -> QueryResult {
+        let matching: Vec<&ProbeResult> = self
+            .probes
+            .iter()
+            .filter(|p| {
+                p.probe == probe && scope.contains_machine(p.machine) && window.contains(p.at)
+            })
+            .collect();
+        let failed = matching.iter().filter(|p| !p.success).count();
+        let mut r = QueryResult::titled(format!("{probe} probe log result from {scope}"));
+        r.push_row("Total Probes", matching.len().to_string());
+        r.push_row("Failed Probes", failed.to_string());
+        for p in &matching {
+            let status = if p.success {
+                "Probe result OK"
+            } else {
+                "Probe result Error"
+            };
+            r.push_line(format!("{} {}", p.at.format_us(), status));
+        }
+        if let Some(err) = matching.iter().filter_map(|p| p.error.as_ref()).next() {
+            r.push_line("Failed probe error:");
+            r.push_line(err);
+            r.push_row("Count", failed.to_string());
+        }
+        r
+    }
+
+    fn q_disks(&self, scope: Scope) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Disk usage on {scope}"));
+        let mut matching: Vec<&DiskUsage> = self
+            .disks
+            .iter()
+            .filter(|d| scope.contains_machine(d.machine))
+            .collect();
+        matching.sort_by(|a, b| {
+            b.used_pct
+                .partial_cmp(&a.used_pct)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for d in matching.iter().take(10) {
+            r.push_row(
+                format!("{} {}", d.machine, d.volume),
+                format!(
+                    "{:.1}% used, {} MB free",
+                    d.used_pct,
+                    d.free_bytes / (1 << 20)
+                ),
+            );
+        }
+        if matching.is_empty() {
+            r.push_line("No disk usage records.");
+        }
+        r
+    }
+
+    fn q_queues(&self, scope: Scope, queue: &str) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Queue {queue} statistics on {scope}"));
+        let matching: Vec<&QueueStat> = self
+            .queues
+            .iter()
+            .filter(|q| q.queue == queue && scope.contains_machine(q.machine))
+            .collect();
+        let total: u64 = matching.iter().map(|q| q.length).sum();
+        let over = matching.iter().filter(|q| q.over_limit()).count();
+        let oldest = matching
+            .iter()
+            .map(|q| q.oldest_age_secs)
+            .max()
+            .unwrap_or(0);
+        r.push_row("Queues sampled", matching.len().to_string());
+        r.push_row("Total queued messages", total.to_string());
+        r.push_row("Queues over limit", over.to_string());
+        r.push_row("Oldest message age (s)", oldest.to_string());
+        for q in matching.iter().take(5) {
+            r.push_line(format!(
+                "{}: length {} (limit {}), oldest {}s",
+                q.machine, q.length, q.limit, q.oldest_age_secs
+            ));
+        }
+        r
+    }
+
+    fn q_over_limit_queues(&self, scope: Scope) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Queues over limit on {scope}"));
+        let mut matching: Vec<&QueueStat> = self
+            .queues
+            .iter()
+            .filter(|q| q.over_limit() && scope.contains_machine(q.machine))
+            .collect();
+        matching.sort_by(|a, b| b.length.cmp(&a.length));
+        r.push_row("Queues over limit", matching.len().to_string());
+        for q in matching.iter().take(6) {
+            r.push_line(format!(
+                "queue {} on {}: length {} exceeded limit {}, oldest {}s",
+                q.queue, q.machine, q.length, q.limit, q.oldest_age_secs
+            ));
+        }
+        if matching.is_empty() {
+            r.push_line("No queue above its configured limit.");
+        }
+        r
+    }
+
+    fn q_certs(&self) -> QueryResult {
+        let mut r = QueryResult::titled("Certificate inventory");
+        let bad = self
+            .certs
+            .iter()
+            .filter(|c| c.status != crate::artifacts::CertStatus::Valid)
+            .count();
+        r.push_row("Certificates", self.certs.len().to_string());
+        r.push_row("Non-valid certificates", bad.to_string());
+        for c in self.certs.iter().take(12) {
+            let tenant = c
+                .tenant
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "service".to_string());
+            r.push_line(format!(
+                "subject={} domain={} owner={} status={}{} validity={}..{}",
+                c.subject,
+                c.domain,
+                tenant,
+                c.status.name(),
+                if c.overrides_existing {
+                    " OVERRIDES-EXISTING"
+                } else {
+                    ""
+                },
+                c.valid_from.format_iso(),
+                c.valid_to.format_iso(),
+            ));
+        }
+        r
+    }
+
+    fn q_tenant_configs(&self) -> QueryResult {
+        let mut r = QueryResult::titled("Tenant transport configuration");
+        let invalid = self.tenant_configs.iter().filter(|t| !t.valid).count();
+        r.push_row("Settings inspected", self.tenant_configs.len().to_string());
+        r.push_row("Invalid settings", invalid.to_string());
+        for t in self.tenant_configs.iter().take(10) {
+            let mut line = format!(
+                "{} {} = {:?} valid={}",
+                t.tenant, t.setting, t.value, t.valid
+            );
+            if let Some(e) = &t.exception {
+                line.push_str(&format!(" exception={e}"));
+            }
+            r.push_line(line);
+        }
+        r
+    }
+
+    fn q_provisioning(&self, scope: Scope) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Provisioning status on {scope}"));
+        let matching: Vec<&ProvisioningRecord> = self
+            .provisioning
+            .iter()
+            .filter(|p| scope.contains_machine(p.machine))
+            .collect();
+        let inactive = matching.iter().filter(|p| p.state != "Active").count();
+        r.push_row("Machines", matching.len().to_string());
+        r.push_row("Not active", inactive.to_string());
+        for p in matching.iter().take(10) {
+            r.push_line(format!(
+                "{}: state={} build={} since={}",
+                p.machine,
+                p.state,
+                p.build,
+                p.since.format_iso()
+            ));
+        }
+        r
+    }
+
+    fn q_trace_failures(&self, scope: Scope, window: TimeWindow, top: usize) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Request trace failure groups on {scope}"));
+        let groups = self.traces.failure_groups(scope, window, top);
+        r.push_row("Failure groups", groups.len().to_string());
+        for g in &groups {
+            r.push_line(format!(
+                "{} traces failed at {}/{} with {}: {}",
+                g.count,
+                g.service,
+                g.operation,
+                g.status.name(),
+                g.example_error
+            ));
+        }
+        if groups.is_empty() {
+            r.push_line("No failing traces in window.");
+        }
+        r
+    }
+
+    fn q_process_crashes(&self, scope: Scope) -> QueryResult {
+        let mut r = QueryResult::titled(format!("Process crash report on {scope}"));
+        let mut matching: Vec<&ProcessInfo> = self
+            .processes
+            .iter()
+            .filter(|p| p.crash_count > 0 && scope.contains_machine(p.machine))
+            .collect();
+        matching.sort_by(|a, b| b.crash_count.cmp(&a.crash_count));
+        let total: u32 = matching.iter().map(|p| p.crash_count).sum();
+        r.push_row("Crashing processes", matching.len().to_string());
+        r.push_row("Total crashes", total.to_string());
+        for p in matching.iter().take(8) {
+            let mut line = format!(
+                "{} on {} crashed {} times",
+                p.process, p.machine, p.crash_count
+            );
+            if let Some(e) = &p.last_crash_exception {
+                line.push_str(&format!(", last exception: {e}"));
+            }
+            r.push_line(line);
+        }
+        if matching.is_empty() {
+            r.push_line("No process crashes recorded.");
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::CertStatus;
+    use crate::ids::{ForestId, MachineId, MachineRole, ProcessId, TenantId};
+    use crate::log::LogRecord;
+
+    fn m(idx: u32) -> MachineId {
+        MachineId::new(ForestId(0), MachineRole::Hub, idx)
+    }
+
+    fn full_window() -> TimeWindow {
+        TimeWindow::new(SimTime::EPOCH, SimTime::from_days(400))
+    }
+
+    fn snapshot() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new(SimTime::from_days(1));
+        s.logs.push(LogRecord {
+            at: SimTime::from_hours(23),
+            machine: m(1),
+            process: "Transport.exe".into(),
+            component: "SmtpOut".into(),
+            level: LogLevel::Error,
+            message: "InformativeSocketException: No such host is known.".into(),
+        });
+        s.logs.finish();
+        s.sockets.push(SocketStat {
+            machine: m(1),
+            protocol: "udp".into(),
+            process: "Transport.exe".into(),
+            pid: ProcessId(203736),
+            count: 14923,
+        });
+        s.sockets.push(SocketStat {
+            machine: m(1),
+            protocol: "udp".into(),
+            process: "w3wp.exe".into(),
+            pid: ProcessId(102296),
+            count: 15,
+        });
+        s.probes.push(ProbeResult {
+            probe: "DatacenterHubOutboundProxyProbe".into(),
+            machine: m(1),
+            at: SimTime::from_hours(23),
+            success: false,
+            error: Some("A WinSock error: 11001 encountered when connecting to host".into()),
+        });
+        s.disks.push(DiskUsage {
+            machine: m(1),
+            volume: "C:".into(),
+            used_pct: 99.4,
+            free_bytes: 120 << 20,
+        });
+        s.certs.push(CertificateRecord {
+            subject: "CN=mail.contoso.com".into(),
+            domain: "contoso.com".into(),
+            tenant: Some(TenantId(9)),
+            valid_from: SimTime::EPOCH,
+            valid_to: SimTime::from_days(300),
+            status: CertStatus::Invalid,
+            overrides_existing: true,
+        });
+        s
+    }
+
+    #[test]
+    fn socket_query_matches_figure6_shape() {
+        let s = snapshot();
+        let r = s.execute(
+            &Query::SocketsByProcess {
+                protocol: "udp".into(),
+                top: 5,
+            },
+            Scope::Machine(m(1)),
+            full_window(),
+        );
+        assert_eq!(r.row("Total UDP socket count"), Some("14938"));
+        assert!(r.text.contains("14923: Transport.exe, 203736"));
+    }
+
+    #[test]
+    fn probe_query_reports_failures_and_error_detail() {
+        let s = snapshot();
+        let r = s.execute(
+            &Query::ProbeResults {
+                probe: "DatacenterHubOutboundProxyProbe".into(),
+            },
+            Scope::Machine(m(1)),
+            full_window(),
+        );
+        assert_eq!(r.row("Total Probes"), Some("1"));
+        assert_eq!(r.row("Failed Probes"), Some("1"));
+        assert!(r.text.contains("WinSock error: 11001"));
+    }
+
+    #[test]
+    fn log_query_returns_rendered_lines() {
+        let s = snapshot();
+        let r = s.execute(
+            &Query::Logs {
+                level: LogLevel::Error,
+                contains: Some("WinSock".into()),
+                limit: 10,
+            },
+            Scope::Service,
+            full_window(),
+        );
+        // The record's message says "No such host", not "WinSock": filter misses.
+        assert_eq!(r.row("Matching records"), Some("0"));
+        let r2 = s.execute(
+            &Query::Logs {
+                level: LogLevel::Error,
+                contains: Some("SocketException".into()),
+                limit: 10,
+            },
+            Scope::Service,
+            full_window(),
+        );
+        assert_eq!(r2.row("Matching records"), Some("1"));
+        assert!(r2.text.contains("InformativeSocketException"));
+    }
+
+    #[test]
+    fn cert_query_flags_override_and_invalid() {
+        let s = snapshot();
+        let r = s.execute(&Query::Certificates, Scope::Service, full_window());
+        assert_eq!(r.row("Non-valid certificates"), Some("1"));
+        assert!(r.text.contains("OVERRIDES-EXISTING"));
+        assert!(r.text.contains("status=Invalid"));
+    }
+
+    #[test]
+    fn disk_query_sorted_by_usage() {
+        let mut s = snapshot();
+        s.disks.push(DiskUsage {
+            machine: m(2),
+            volume: "D:".into(),
+            used_pct: 20.0,
+            free_bytes: 1 << 30,
+        });
+        let r = s.execute(&Query::DiskUsage, Scope::Service, full_window());
+        // The fullest disk appears first.
+        assert!(r.rows[0].0.contains("C:"));
+        assert!(r.rows[0].1.starts_with("99.4%"));
+    }
+
+    #[test]
+    fn empty_queries_still_produce_sections() {
+        let s = TelemetrySnapshot::new(SimTime::EPOCH);
+        for q in [
+            Query::DiskUsage,
+            Query::Certificates,
+            Query::TenantConfigs,
+            Query::ProvisioningStatus,
+            Query::ProcessCrashes,
+            Query::ThreadStacks { process: None },
+            Query::TraceFailures { top: 3 },
+            Query::QueueStats {
+                queue: "submission".into(),
+            },
+            Query::MetricStats {
+                metric: "availability".into(),
+            },
+        ] {
+            let r = s.execute(&q, Scope::Service, full_window());
+            assert!(!r.title.is_empty(), "query {:?} lost its title", q.kind());
+            assert!(!r.render().is_empty());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Simulated time.
+//!
+//! The simulator models one calendar year starting at
+//! [`SimTime::EPOCH_YEAR`]-01-01 00:00:00. [`SimTime`] counts seconds since
+//! that epoch; [`SimDuration`] is a difference of two instants. Calendar
+//! formatting intentionally matches the `M/D/YYYY h:mm:ss AM` style seen in
+//! the paper's Figure 6 so that rendered diagnostic text looks like real
+//! probe logs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Days in each month of a non-leap year.
+const MONTH_LENGTHS: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// An instant in simulated time, in seconds since the simulation epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Calendar year the simulation epoch falls in.
+    pub const EPOCH_YEAR: u64 = 2022;
+
+    /// The simulation epoch (start of the simulated year).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates an instant from raw seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates an instant from whole days since the epoch.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400)
+    }
+
+    /// Creates an instant from whole hours since the epoch.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch.
+    pub const fn days_since_epoch(self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// Fractional days since the epoch.
+    pub fn days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Absolute distance between two instants.
+    pub fn abs_diff(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// Calendar date of this instant as `(year, month, day)`, 1-based.
+    ///
+    /// The simulated year is treated as non-leap; instants past day 364
+    /// roll into subsequent (also non-leap) years.
+    pub fn date(self) -> (u64, u64, u64) {
+        let mut days = self.days_since_epoch();
+        let year = Self::EPOCH_YEAR + days / 365;
+        days %= 365;
+        let mut month = 1;
+        for len in MONTH_LENGTHS {
+            if days < len {
+                return (year, month, days + 1);
+            }
+            days -= len;
+            month += 1;
+        }
+        unreachable!("day index < 365 always lands inside a month");
+    }
+
+    /// Time of day as `(hour, minute, second)` (24-hour clock).
+    pub fn time_of_day(self) -> (u64, u64, u64) {
+        let s = self.0 % 86_400;
+        (s / 3_600, (s % 3_600) / 60, s % 60)
+    }
+
+    /// Formats like `11/21/2022 2:04:20 AM`, the style of probe logs in the
+    /// paper's Figure 6.
+    pub fn format_us(self) -> String {
+        let (y, mo, d) = self.date();
+        let (h24, mi, s) = self.time_of_day();
+        let (h12, ampm) = match h24 {
+            0 => (12, "AM"),
+            1..=11 => (h24, "AM"),
+            12 => (12, "PM"),
+            _ => (h24 - 12, "PM"),
+        };
+        format!("{mo}/{d}/{y} {h12}:{mi:02}:{s:02} {ampm}")
+    }
+
+    /// Formats like `2022-11-21T02:04:20Z` for structured log records.
+    pub fn format_iso(self) -> String {
+        let (y, mo, d) = self.date();
+        let (h, mi, s) = self.time_of_day();
+        format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}Z")
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Creates a duration from hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600)
+    }
+
+    /// Creates a duration from days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// Length in seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional days (the unit of the paper's `α`).
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.format_iso())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 86_400 {
+            write!(f, "{}d{}h", s / 86_400, (s % 86_400) / 3_600)
+        } else if s >= 3_600 {
+            write!(f, "{}h{}m", s / 3_600, (s % 3_600) / 60)
+        } else if s >= 60 {
+            write!(f, "{}m{}s", s / 60, s % 60)
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_january_first() {
+        assert_eq!(SimTime::EPOCH.date(), (2022, 1, 1));
+        assert_eq!(SimTime::EPOCH.time_of_day(), (0, 0, 0));
+    }
+
+    #[test]
+    fn date_rolls_across_months() {
+        // Day 31 (0-based) is February 1st.
+        assert_eq!(SimTime::from_days(31).date(), (2022, 2, 1));
+        // Day 58 is February 28th, day 59 is March 1st (non-leap year).
+        assert_eq!(SimTime::from_days(58).date(), (2022, 2, 28));
+        assert_eq!(SimTime::from_days(59).date(), (2022, 3, 1));
+        // Day 364 is December 31st.
+        assert_eq!(SimTime::from_days(364).date(), (2022, 12, 31));
+    }
+
+    #[test]
+    fn date_rolls_across_years() {
+        assert_eq!(SimTime::from_days(365).date(), (2023, 1, 1));
+        assert_eq!(SimTime::from_days(365 + 31).date(), (2023, 2, 1));
+    }
+
+    #[test]
+    fn us_format_matches_paper_style() {
+        // 2:04:20 AM on day 324 (Nov 21).
+        let t = SimTime::from_days(324) + SimDuration::from_secs(2 * 3600 + 4 * 60 + 20);
+        assert_eq!(t.format_us(), "11/21/2022 2:04:20 AM");
+    }
+
+    #[test]
+    fn us_format_handles_noon_and_midnight() {
+        assert_eq!(SimTime::from_secs(0).format_us(), "1/1/2022 12:00:00 AM");
+        assert_eq!(SimTime::from_hours(12).format_us(), "1/1/2022 12:00:00 PM");
+        assert_eq!(
+            (SimTime::from_hours(13) + SimDuration::from_mins(5)).format_us(),
+            "1/1/2022 1:05:00 PM"
+        );
+    }
+
+    #[test]
+    fn iso_format_is_sortable() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(100_000);
+        assert!(a.format_iso() < b.format_iso());
+    }
+
+    #[test]
+    fn arithmetic_is_saturating_on_subtraction() {
+        let t = SimTime::from_secs(5);
+        assert_eq!((t - SimDuration::from_secs(10)).as_secs(), 0);
+        assert_eq!(t.abs_diff(SimTime::from_secs(9)).as_secs(), 4);
+    }
+
+    #[test]
+    fn duration_display_units() {
+        assert_eq!(SimDuration::from_secs(42).to_string(), "42s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3m0s");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2h0m");
+        assert_eq!(SimDuration::from_days(1).to_string(), "1d0h");
+    }
+
+    #[test]
+    fn duration_day_conversion_used_by_alpha() {
+        assert!((SimDuration::from_days(3).as_days_f64() - 3.0).abs() < 1e-12);
+        assert!((SimDuration::from_hours(12).as_days_f64() - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn date_components_are_valid(secs in 0u64..(3 * 365 * 86_400)) {
+            let t = SimTime::from_secs(secs);
+            let (y, m, d) = t.date();
+            prop_assert!((2022..=2025).contains(&y));
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!((1..=31).contains(&d));
+            let (h, mi, s) = t.time_of_day();
+            prop_assert!(h < 24 && mi < 60 && s < 60);
+        }
+
+        #[test]
+        fn iso_format_orders_like_time(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+            let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+            prop_assert_eq!(a.cmp(&b), ta.format_iso().cmp(&tb.format_iso()));
+        }
+
+        #[test]
+        fn abs_diff_is_symmetric(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+            let (ta, tb) = (SimTime::from_secs(a), SimTime::from_secs(b));
+            prop_assert_eq!(ta.abs_diff(tb), tb.abs_diff(ta));
+            prop_assert_eq!(ta.abs_diff(tb).as_secs(), a.abs_diff(b));
+        }
+
+        #[test]
+        fn day_roundtrip(days in 0u64..1000) {
+            prop_assert_eq!(SimTime::from_days(days).days_since_epoch(), days);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Request traces: spans forming trees across service hops.
+
+use crate::ids::MachineId;
+use crate::query::{Scope, TimeWindow};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Outcome of a span.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum SpanStatus {
+    /// Completed successfully.
+    #[default]
+    Ok,
+    /// Failed with an error.
+    Error,
+    /// Timed out waiting on the callee.
+    Timeout,
+    /// Cancelled by the caller.
+    Cancelled,
+}
+
+impl SpanStatus {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "OK",
+            SpanStatus::Error => "ERROR",
+            SpanStatus::Timeout => "TIMEOUT",
+            SpanStatus::Cancelled => "CANCELLED",
+        }
+    }
+
+    /// True for any non-`Ok` status.
+    pub fn is_failure(self) -> bool {
+        self != SpanStatus::Ok
+    }
+}
+
+/// One span of a request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Id of this span within the trace.
+    pub span_id: u32,
+    /// Parent span id; `None` for the root span.
+    pub parent: Option<u32>,
+    /// Logical service hop, e.g. `SmtpIn`, `Categorizer`, `AuthService`.
+    pub service: String,
+    /// Operation name, e.g. `ResolveRecipient`.
+    pub operation: String,
+    /// Machine the span executed on.
+    pub machine: MachineId,
+    /// Start time.
+    pub start: SimTime,
+    /// Duration.
+    pub duration: SimDuration,
+    /// Outcome.
+    pub status: SpanStatus,
+    /// Short error description when `status` is a failure.
+    pub error: Option<String>,
+}
+
+/// A full trace: the spans of one request, roots first.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace id shared by all spans.
+    pub trace_id: u64,
+    /// Spans in insertion order (root first by convention).
+    pub spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// The root span (the one with no parent), if present.
+    pub fn root(&self) -> Option<&TraceSpan> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// True if any span failed.
+    pub fn has_failure(&self) -> bool {
+        self.spans.iter().any(|s| s.status.is_failure())
+    }
+
+    /// The deepest failing span (failure origin), preferring the failure
+    /// furthest from the root, which is where the fault actually occurred.
+    pub fn failure_origin(&self) -> Option<&TraceSpan> {
+        self.spans
+            .iter()
+            .filter(|s| s.status.is_failure())
+            .max_by_key(|s| self.depth_of(s.span_id))
+    }
+
+    /// Depth of a span (root = 0); unknown ids get depth 0.
+    pub fn depth_of(&self, span_id: u32) -> usize {
+        let by_id: BTreeMap<u32, &TraceSpan> = self.spans.iter().map(|s| (s.span_id, s)).collect();
+        let mut depth = 0;
+        let mut cur = by_id.get(&span_id).copied();
+        while let Some(span) = cur {
+            match span.parent {
+                Some(p) => {
+                    depth += 1;
+                    cur = by_id.get(&p).copied();
+                    // Defensive bound against malformed parent cycles.
+                    if depth > self.spans.len() {
+                        return depth;
+                    }
+                }
+                None => break,
+            }
+        }
+        depth
+    }
+}
+
+/// Grouped failure summary returned by trace queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureGroup {
+    /// Service hop where failures originate.
+    pub service: String,
+    /// Operation name.
+    pub operation: String,
+    /// Status observed.
+    pub status: SpanStatus,
+    /// Representative error text.
+    pub example_error: String,
+    /// Number of failing traces in the group.
+    pub count: usize,
+}
+
+/// In-memory store of traces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStore {
+    traces: Vec<Trace>,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TraceStore { traces: Vec::new() }
+    }
+
+    /// Adds a trace.
+    pub fn push(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True if the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Groups failing traces by `(origin service, operation, status)` and
+    /// returns the `top` largest groups, in `scope` and `window`.
+    pub fn failure_groups(
+        &self,
+        scope: Scope,
+        window: TimeWindow,
+        top: usize,
+    ) -> Vec<FailureGroup> {
+        let mut groups: BTreeMap<(String, String, SpanStatus), (usize, String)> = BTreeMap::new();
+        for trace in &self.traces {
+            let Some(origin) = trace.failure_origin() else {
+                continue;
+            };
+            if !window.contains(origin.start) || !scope.contains_machine(origin.machine) {
+                continue;
+            }
+            let key = (
+                origin.service.clone(),
+                origin.operation.clone(),
+                origin.status,
+            );
+            let entry = groups.entry(key).or_insert_with(|| {
+                (
+                    0,
+                    origin
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| origin.status.name().to_string()),
+                )
+            });
+            entry.0 += 1;
+        }
+        let mut out: Vec<FailureGroup> = groups
+            .into_iter()
+            .map(
+                |((service, operation, status), (count, example_error))| FailureGroup {
+                    service,
+                    operation,
+                    status,
+                    example_error,
+                    count,
+                },
+            )
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.truncate(top);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ForestId, MachineRole};
+
+    fn m() -> MachineId {
+        MachineId::new(ForestId(0), MachineRole::Hub, 1)
+    }
+
+    fn span(trace: u64, id: u32, parent: Option<u32>, svc: &str, status: SpanStatus) -> TraceSpan {
+        TraceSpan {
+            trace_id: trace,
+            span_id: id,
+            parent,
+            service: svc.into(),
+            operation: "op".into(),
+            machine: m(),
+            start: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(1),
+            status,
+            error: status.is_failure().then(|| format!("{svc} failed")),
+        }
+    }
+
+    #[test]
+    fn failure_origin_is_deepest_failure() {
+        let trace = Trace {
+            trace_id: 1,
+            spans: vec![
+                span(1, 0, None, "SmtpIn", SpanStatus::Error),
+                span(1, 1, Some(0), "Categorizer", SpanStatus::Error),
+                span(1, 2, Some(1), "AuthService", SpanStatus::Timeout),
+            ],
+        };
+        assert_eq!(trace.failure_origin().unwrap().service, "AuthService");
+        assert!(trace.has_failure());
+        assert_eq!(trace.depth_of(2), 2);
+        assert_eq!(trace.root().unwrap().span_id, 0);
+    }
+
+    #[test]
+    fn failure_groups_count_and_rank() {
+        let mut store = TraceStore::new();
+        for i in 0..5 {
+            store.push(Trace {
+                trace_id: i,
+                spans: vec![
+                    span(i, 0, None, "SmtpIn", SpanStatus::Ok),
+                    span(i, 1, Some(0), "AuthService", SpanStatus::Timeout),
+                ],
+            });
+        }
+        store.push(Trace {
+            trace_id: 99,
+            spans: vec![span(99, 0, None, "Store", SpanStatus::Error)],
+        });
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(100));
+        let groups = store.failure_groups(Scope::Service, w, 10);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].service, "AuthService");
+        assert_eq!(groups[0].count, 5);
+        assert_eq!(groups[1].count, 1);
+
+        let top1 = store.failure_groups(Scope::Service, w, 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn ok_traces_produce_no_groups() {
+        let mut store = TraceStore::new();
+        store.push(Trace {
+            trace_id: 1,
+            spans: vec![span(1, 0, None, "SmtpIn", SpanStatus::Ok)],
+        });
+        let w = TimeWindow::new(SimTime::EPOCH, SimTime::from_secs(100));
+        assert!(store.failure_groups(Scope::Service, w, 10).is_empty());
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn depth_survives_malformed_parent_cycle() {
+        let mut a = span(1, 0, Some(1), "A", SpanStatus::Ok);
+        let mut b = span(1, 1, Some(0), "B", SpanStatus::Ok);
+        a.span_id = 0;
+        b.span_id = 1;
+        let trace = Trace {
+            trace_id: 1,
+            spans: vec![a, b],
+        };
+        // Must terminate rather than loop forever.
+        let _ = trace.depth_of(0);
+    }
+}

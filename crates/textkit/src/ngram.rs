@@ -1,0 +1,115 @@
+//! N-gram extraction and feature hashing.
+//!
+//! FastText-style models represent a word by the bag of its character
+//! n-grams, hashed into a fixed-size bucket table. The hash is FNV-1a —
+//! simple, fast, and deterministic across runs, which the reproduction
+//! relies on for stable results.
+
+/// FNV-1a 64-bit hash of a string.
+pub fn hash_token(token: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Character n-grams of `word` for all `n` in `min_n..=max_n`, with the
+/// FastText convention of angle-bracket word boundaries (`<word>`).
+///
+/// Returns the n-grams as strings; the whole padded word is *not* included
+/// (callers usually add the word token itself separately).
+pub fn char_ngrams(word: &str, min_n: usize, max_n: usize) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut grams = Vec::new();
+    for n in min_n..=max_n {
+        if padded.len() < n {
+            break;
+        }
+        for start in 0..=(padded.len() - n) {
+            grams.push(padded[start..start + n].iter().collect());
+        }
+    }
+    grams
+}
+
+/// Word n-grams (as joined strings with `_`) for all `n` in `1..=max_n`.
+pub fn word_ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let mut grams = Vec::new();
+    for n in 1..=max_n {
+        if tokens.len() < n {
+            break;
+        }
+        for start in 0..=(tokens.len() - n) {
+            grams.push(tokens[start..start + n].join("_"));
+        }
+    }
+    grams
+}
+
+/// Maps a token to a bucket index in `0..buckets`.
+pub fn bucket_of(token: &str, buckets: usize) -> usize {
+    debug_assert!(buckets > 0, "bucket count must be positive");
+    (hash_token(token) % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(hash_token("abc"), hash_token("abc"));
+        assert_ne!(hash_token("abc"), hash_token("abd"));
+        assert_ne!(hash_token(""), hash_token("a"));
+    }
+
+    #[test]
+    fn char_ngrams_use_boundaries() {
+        let grams = char_ngrams("cat", 3, 3);
+        assert_eq!(grams, vec!["<ca", "cat", "at>"]);
+    }
+
+    #[test]
+    fn char_ngrams_multiple_sizes() {
+        let grams = char_ngrams("io", 2, 4);
+        // Padded: < i o >  (len 4).
+        assert!(grams.contains(&"<i".to_string()));
+        assert!(grams.contains(&"io>".to_string()));
+        assert!(grams.contains(&"<io>".to_string()));
+    }
+
+    #[test]
+    fn char_ngrams_short_word_does_not_panic() {
+        let grams = char_ngrams("a", 3, 6);
+        assert_eq!(grams, vec!["<a>"]);
+        let empty = char_ngrams("", 3, 6);
+        assert!(empty.is_empty() || empty == vec!["<>".to_string()]);
+    }
+
+    #[test]
+    fn word_ngrams_join_with_underscore() {
+        let toks: Vec<String> = ["udp", "socket", "count"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let grams = word_ngrams(&toks, 2);
+        assert!(grams.contains(&"udp".to_string()));
+        assert!(grams.contains(&"udp_socket".to_string()));
+        assert!(grams.contains(&"socket_count".to_string()));
+        assert_eq!(grams.len(), 3 + 2);
+    }
+
+    #[test]
+    fn buckets_are_in_range() {
+        for tok in ["a", "b", "winsock", "system.io"] {
+            assert!(bucket_of(tok, 97) < 97);
+        }
+    }
+}

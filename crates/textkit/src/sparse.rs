@@ -1,0 +1,253 @@
+//! Sparse vectors with the operations the pipeline needs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sparse vector: sorted `(index, value)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        SparseVector {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds a vector from an accumulation map.
+    pub fn from_map(map: BTreeMap<usize, f64>) -> Self {
+        SparseVector {
+            entries: map.into_iter().filter(|(_, v)| *v != 0.0).collect(),
+        }
+    }
+
+    /// Builds from unsorted pairs, summing duplicates.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        let mut map: BTreeMap<usize, f64> = BTreeMap::new();
+        for (i, v) in pairs {
+            *map.entry(i).or_insert(0.0) += v;
+        }
+        Self::from_map(map)
+    }
+
+    /// The nonzero entries, sorted by index.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the vector is all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Value at `index` (0.0 if absent).
+    pub fn get(&self, index: usize) -> f64 {
+        self.entries
+            .binary_search_by_key(&index, |(i, _)| *i)
+            .map(|pos| self.entries[pos].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j, mut acc) = (0, 0, 0.0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ia, va) = self.entries[i];
+            let (ib, vb) = other.entries[j];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Cosine similarity; 0.0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Euclidean distance to another sparse vector.
+    pub fn euclidean(&self, other: &SparseVector) -> f64 {
+        let mut acc = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let a = self.entries.get(i);
+            let b = other.entries.get(j);
+            match (a, b) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        acc += va * va;
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        acc += vb * vb;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        acc += (va - vb) * (va - vb);
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(_, va)), None) => {
+                    acc += va * va;
+                    i += 1;
+                }
+                (None, Some(&(_, vb))) => {
+                    acc += vb * vb;
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, factor: f64) {
+        for (_, v) in &mut self.entries {
+            *v *= factor;
+        }
+    }
+
+    /// L2-normalizes in place; zero vectors stay zero.
+    pub fn l2_normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            self.scale(1.0 / n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(usize, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn from_pairs_sums_duplicates_and_drops_zeros() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 2.0), (5, 0.0)]);
+        assert_eq!(x.entries(), &[(1, 2.0), (3, 3.0)]);
+        assert_eq!(x.nnz(), 2);
+        assert_eq!(x.get(3), 3.0);
+        assert_eq!(x.get(4), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_dense_computation() {
+        let a = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = v(&[(2, 4.0), (5, 1.0), (7, 9.0)]);
+        assert!((a.dot(&b) - (2.0 * 4.0 + 3.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_handles_disjoint_support() {
+        let a = v(&[(0, 3.0)]);
+        let b = v(&[(1, 4.0)]);
+        assert!((a.euclidean(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.euclidean(&a), 0.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_one() {
+        let a = v(&[(1, 1.0), (2, 2.0)]);
+        let mut b = a.clone();
+        b.scale(3.5);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let a = v(&[(1, 1.0)]);
+        let z = SparseVector::new();
+        assert_eq!(a.cosine(&z), 0.0);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn l2_normalize_gives_unit_norm() {
+        let mut a = v(&[(0, 3.0), (1, 4.0)]);
+        a.l2_normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+        let mut z = SparseVector::new();
+        z.l2_normalize();
+        assert!(z.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sparse_strategy() -> impl Strategy<Value = SparseVector> {
+        proptest::collection::vec((0usize..64, -5.0f64..5.0), 0..12)
+            .prop_map(SparseVector::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(a in sparse_strategy(), b in sparse_strategy()) {
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cosine_is_bounded(a in sparse_strategy(), b in sparse_strategy()) {
+            let c = a.cosine(&b);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c), "cosine {c}");
+        }
+
+        #[test]
+        fn euclidean_satisfies_identity_and_symmetry(a in sparse_strategy(), b in sparse_strategy()) {
+            prop_assert!(a.euclidean(&a) < 1e-9);
+            prop_assert!((a.euclidean(&b) - b.euclidean(&a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn euclidean_triangle_inequality(
+            a in sparse_strategy(), b in sparse_strategy(), c in sparse_strategy()
+        ) {
+            prop_assert!(a.euclidean(&c) <= a.euclidean(&b) + b.euclidean(&c) + 1e-9);
+        }
+
+        #[test]
+        fn l2_normalize_gives_unit_or_zero(a in sparse_strategy()) {
+            let mut v = a.clone();
+            v.l2_normalize();
+            let n = v.norm();
+            prop_assert!(n < 1e-9 || (n - 1.0).abs() < 1e-6, "norm {n}");
+        }
+
+        #[test]
+        fn dot_against_self_is_norm_squared(a in sparse_strategy()) {
+            prop_assert!((a.dot(&a) - a.norm() * a.norm()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! TF-IDF vectorization over a fitted corpus vocabulary.
+
+use crate::normalize::{mask_entities, normalize, tokenize};
+use crate::sparse::SparseVector;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fit/transform TF-IDF vectorizer.
+///
+/// `fit` learns the vocabulary and document frequencies from a corpus;
+/// `transform` maps documents to L2-normalized TF-IDF vectors. Tokens
+/// outside the fitted vocabulary are ignored, mirroring scikit-learn.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfIdfVectorizer {
+    vocab: BTreeMap<String, usize>,
+    idf: Vec<f64>,
+    documents_fitted: usize,
+    min_df: usize,
+    mask: bool,
+}
+
+impl TfIdfVectorizer {
+    /// Creates a vectorizer keeping tokens with document frequency
+    /// `>= min_df`, masking per-incident entities when `mask` is set.
+    pub fn new(min_df: usize, mask: bool) -> Self {
+        TfIdfVectorizer {
+            vocab: BTreeMap::new(),
+            idf: Vec::new(),
+            documents_fitted: 0,
+            min_df: min_df.max(1),
+            mask,
+        }
+    }
+
+    fn tokens_of(&self, doc: &str) -> Vec<String> {
+        let text = if self.mask {
+            normalize(&mask_entities(doc))
+        } else {
+            normalize(doc)
+        };
+        tokenize(&text)
+    }
+
+    /// Learns vocabulary and IDF weights from `corpus`.
+    pub fn fit(&mut self, corpus: &[String]) {
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
+        for doc in corpus {
+            let mut seen: Vec<String> = self.tokens_of(doc);
+            seen.sort();
+            seen.dedup();
+            for tok in seen {
+                *df.entry(tok).or_insert(0) += 1;
+            }
+        }
+        self.vocab.clear();
+        self.idf.clear();
+        self.documents_fitted = corpus.len();
+        let n = corpus.len() as f64;
+        for (tok, count) in df {
+            if count >= self.min_df {
+                let idx = self.vocab.len();
+                self.vocab.insert(tok, idx);
+                // Smoothed IDF as in scikit-learn.
+                self.idf.push(((1.0 + n) / (1.0 + count as f64)).ln() + 1.0);
+            }
+        }
+    }
+
+    /// Vocabulary size after fitting.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Number of documents the vectorizer was fitted on.
+    pub fn documents_fitted(&self) -> usize {
+        self.documents_fitted
+    }
+
+    /// Index of a token in the fitted vocabulary.
+    pub fn token_index(&self, token: &str) -> Option<usize> {
+        self.vocab.get(token).copied()
+    }
+
+    /// Transforms one document into an L2-normalized TF-IDF vector.
+    pub fn transform(&self, doc: &str) -> SparseVector {
+        let mut counts: BTreeMap<usize, f64> = BTreeMap::new();
+        for tok in self.tokens_of(doc) {
+            if let Some(&idx) = self.vocab.get(&tok) {
+                *counts.entry(idx).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut v = SparseVector::from_pairs(
+            counts
+                .into_iter()
+                .map(|(idx, tf)| (idx, tf * self.idf[idx])),
+        );
+        v.l2_normalize();
+        v
+    }
+
+    /// Fits on `corpus` and transforms every document.
+    pub fn fit_transform(&mut self, corpus: &[String]) -> Vec<SparseVector> {
+        self.fit(corpus);
+        corpus.iter().map(|d| self.transform(d)).collect()
+    }
+
+    /// Indices of the `n` most *common* vocabulary terms (lowest IDF).
+    /// Used to build dense truncated feature vectors for tree models.
+    pub fn top_features_by_df(&self, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.idf.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.idf[a]
+                .partial_cmp(&self.idf[b])
+                .expect("finite idf")
+                .then(a.cmp(&b))
+        });
+        order.truncate(n);
+        order
+    }
+
+    /// Projects a sparse vector onto the given feature indices, densely.
+    pub fn project_dense(vector: &SparseVector, features: &[usize]) -> Vec<f32> {
+        features.iter().map(|&i| vector.get(i) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "udp socket exhausted on hub".to_string(),
+            "udp port count high on hub".to_string(),
+            "disk full io exception".to_string(),
+        ]
+    }
+
+    #[test]
+    fn fit_builds_vocab_with_min_df() {
+        let mut v = TfIdfVectorizer::new(1, false);
+        v.fit(&corpus());
+        assert!(v.vocab_len() > 5);
+        assert!(v.token_index("udp").is_some());
+        assert_eq!(v.documents_fitted(), 3);
+
+        let mut v2 = TfIdfVectorizer::new(2, false);
+        v2.fit(&corpus());
+        // Only "udp", "on", "hub" appear in >= 2 documents.
+        assert_eq!(v2.vocab_len(), 3);
+        assert!(v2.token_index("disk").is_none());
+    }
+
+    #[test]
+    fn transform_is_unit_norm_and_ignores_oov() {
+        let mut v = TfIdfVectorizer::new(1, false);
+        v.fit(&corpus());
+        let x = v.transform("udp socket banana");
+        assert!((x.norm() - 1.0).abs() < 1e-9);
+        // OOV "banana" contributes nothing.
+        let y = v.transform("banana");
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn similar_documents_are_closer() {
+        let mut v = TfIdfVectorizer::new(1, false);
+        let docs = corpus();
+        let vecs = v.fit_transform(&docs);
+        let sim_same_topic = vecs[0].cosine(&vecs[1]);
+        let sim_diff_topic = vecs[0].cosine(&vecs[2]);
+        assert!(sim_same_topic > sim_diff_topic);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        let mut v = TfIdfVectorizer::new(1, false);
+        v.fit(&corpus());
+        let x = v.transform("udp disk");
+        let udp = x.get(v.token_index("udp").unwrap());
+        let disk = x.get(v.token_index("disk").unwrap());
+        // "disk" appears in one doc, "udp" in two: disk has higher IDF.
+        assert!(disk > udp);
+    }
+
+    #[test]
+    fn masking_mode_masks_machines() {
+        let mut v = TfIdfVectorizer::new(1, true);
+        v.fit(&["probe from NAMPR03MB1234 failed".to_string()]);
+        assert!(v.token_index("<machine>").is_some());
+        assert!(v.token_index("nampr03mb1234").is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Authoring a custom incident handler — what an OCE does in the paper's
+//! web UI (§4.1.1, Figure 10), here through the library API.
+//!
+//! Builds a handler for poisoned-message alerts with scope switching,
+//! branching on query results, and mitigation actions; registers two
+//! versions in the registry; persists everything to JSON; and executes
+//! the latest version against a simulated incident.
+//!
+//! ```sh
+//! cargo run --release --example handler_authoring
+//! ```
+
+use rcacopilot::handlers::{
+    Action, ActionNode, Condition, Handler, HandlerRegistry, ScopeDirection,
+};
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Topology};
+use rcacopilot::telemetry::alert::AlertType;
+use rcacopilot::telemetry::log::LogLevel;
+use rcacopilot::telemetry::query::Query;
+
+fn version_one() -> Handler {
+    Handler::new(
+        AlertType::PoisonedMessage,
+        vec![
+            ActionNode::new(
+                0,
+                "Check poison counter",
+                Action::Query {
+                    query: Query::MetricStats {
+                        metric: "poison_message_count".into(),
+                    },
+                    lookback_secs: 3 * 3600,
+                },
+            )
+            .edge(
+                Condition::RowGt {
+                    key: "Last".into(),
+                    threshold: 10.0,
+                },
+                1,
+            )
+            .edge(Condition::Always, 3),
+            ActionNode::new(
+                1,
+                "Collect poison detections",
+                Action::Query {
+                    query: Query::Logs {
+                        level: LogLevel::Error,
+                        contains: Some("Poison".into()),
+                        limit: 10,
+                    },
+                    lookback_secs: 3 * 3600,
+                },
+            )
+            .edge(
+                Condition::TextContains {
+                    needle: "ConfigService".into(),
+                },
+                2,
+            )
+            .edge(Condition::Always, 3),
+            ActionNode::new(
+                2,
+                "Mitigate: engage config service team",
+                Action::Mitigate {
+                    suggestion:
+                        "Engage the configuration service team; settings updates are failing."
+                            .into(),
+                },
+            ),
+            ActionNode::new(
+                3,
+                "Collect crash report",
+                Action::Query {
+                    query: Query::ProcessCrashes,
+                    lookback_secs: 3 * 3600,
+                },
+            ),
+        ],
+    )
+}
+
+fn version_two() -> Handler {
+    // The OCE learned that machine-level scope misses forest-wide poison
+    // floods: version 2 widens the scope first (a scope-switching action).
+    let mut handler = version_one();
+    let mut nodes = vec![ActionNode::new(
+        9,
+        "Widen scope to forest",
+        Action::ScopeSwitch(ScopeDirection::Widen),
+    )
+    .edge(Condition::Always, 0)];
+    nodes.append(&mut handler.nodes);
+    Handler {
+        note: "v2: widen scope before querying".into(),
+        nodes,
+        ..handler
+    }
+}
+
+fn main() {
+    let registry = HandlerRegistry::new();
+    let v0 = registry.register(version_one()).expect("valid handler");
+    let v1 = registry.register(version_two()).expect("valid handler");
+    println!("Registered handler versions {v0} and {v1} for PoisonedMessage alerts.");
+    println!(
+        "Registry keeps history: {} versions stored; latest note: {:?}",
+        registry.version_count(AlertType::PoisonedMessage),
+        registry.current(AlertType::PoisonedMessage).unwrap().note
+    );
+
+    // Persist and restore, as the paper's database-backed store does.
+    let json = registry.to_json();
+    println!("\nSerialized registry: {} bytes of JSON.", json.len());
+    let restored = HandlerRegistry::from_json(&json).expect("round trips");
+    let handler = restored
+        .current(AlertType::PoisonedMessage)
+        .expect("restored handler");
+
+    // Execute against a real simulated poisoned-message incident.
+    let dataset = generate_dataset(&CampaignConfig {
+        seed: 11,
+        topology: Topology::new(2, 6, 3, 3),
+        noise: NoiseProfile::default(),
+    });
+    let incident = dataset
+        .incidents()
+        .iter()
+        .find(|i| i.alert.alert_type == AlertType::PoisonedMessage)
+        .expect("poisoned-message incidents exist");
+    let run = handler
+        .execute(&incident.snapshot, incident.alert.scope)
+        .expect("executes");
+
+    println!(
+        "\nExecuted path on incident {} ({}):",
+        incident.alert.incident, incident.category
+    );
+    for name in &run.path {
+        println!("  -> {name}");
+    }
+    for m in &run.mitigations {
+        println!("  suggested mitigation: {m}");
+    }
+    println!(
+        "\nCollected {} diagnostic sections, {} chars of diagnostic text.",
+        run.sections.len(),
+        run.diagnostic_text().len()
+    );
+}

@@ -1,0 +1,74 @@
+//! The on-call notification loop: prediction → report → OCE feedback
+//! (paper §5.5).
+//!
+//! ```sh
+//! cargo run --release --example oncall_report
+//! ```
+
+use rcacopilot::core::collection::CollectionStage;
+use rcacopilot::core::context::ContextSpec;
+use rcacopilot::core::eval::PreparedDataset;
+use rcacopilot::core::feedback::{FeedbackStore, Verdict};
+use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
+use rcacopilot::core::report::OnCallReport;
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Topology};
+
+fn main() {
+    let dataset = generate_dataset(&CampaignConfig {
+        seed: 42,
+        topology: Topology::new(3, 8, 4, 4),
+        noise: NoiseProfile::default(),
+    });
+    let split = dataset.split(7, 0.75);
+    let prepared = PreparedDataset::prepare(&dataset, &split);
+    let spec = ContextSpec::default();
+    let copilot = RcaCopilot::train(&prepared.train_examples(&spec), RcaCopilotConfig::default());
+    let stage = CollectionStage::standard();
+    let feedback = FeedbackStore::new();
+
+    // Simulate an on-call shift: notify on 20 test incidents, collect
+    // (oracle) OCE verdicts into the feedback store.
+    let mut printed = false;
+    for &i in prepared.test.iter().take(20) {
+        let incident = &dataset.incidents()[i];
+        let collected = stage.collect(incident).expect("handler registered");
+        let prediction = copilot.predict(
+            &prepared.incidents[i].raw_diag,
+            &prepared.context_text(i, &spec),
+            incident.occurred_at(),
+        );
+        let report = OnCallReport::assemble(
+            incident,
+            &collected,
+            &prepared.incidents[i].summary,
+            &prediction,
+        );
+        if !printed {
+            println!("=== Example notification ===\n{}", report.render());
+            printed = true;
+        }
+        let verdict = if prediction.label == incident.category {
+            Verdict::Correct
+        } else if prediction.unseen {
+            Verdict::CloseEnough
+        } else {
+            Verdict::Incorrect
+        };
+        feedback.record(&prediction.label, verdict);
+    }
+
+    println!(
+        "=== Shift summary ===\nOCE satisfaction over 20 notifications: {:.0}%",
+        feedback.overall_satisfaction().unwrap_or(0.0) * 100.0
+    );
+    let review = feedback.needs_review(0.6, 2);
+    if review.is_empty() {
+        println!("No categories flagged for handler review.");
+    } else {
+        println!(
+            "Categories flagged for handler review: {}",
+            review.join(", ")
+        );
+    }
+}

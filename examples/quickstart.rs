@@ -1,0 +1,78 @@
+//! Quickstart: generate a simulated incident year, train RCACopilot, and
+//! predict the root cause of a fresh incident.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rcacopilot::core::context::ContextSpec;
+use rcacopilot::core::eval::PreparedDataset;
+use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Topology};
+
+fn main() {
+    // 1. Simulate a year of incidents in a transport-like cloud service.
+    //    (Smaller topology than the benchmarks so the example runs fast.)
+    let dataset = generate_dataset(&CampaignConfig {
+        seed: 42,
+        topology: Topology::new(4, 10, 4, 4),
+        noise: NoiseProfile::default(),
+    });
+    println!(
+        "Simulated {} incidents across {} root-cause categories.",
+        dataset.len(),
+        dataset.stats().categories
+    );
+
+    // 2. Split 75/25 and run the collection stage (incident handlers) plus
+    //    summarization over every incident.
+    let split = dataset.split(7, 0.75);
+    let prepared = PreparedDataset::prepare(&dataset, &split);
+    println!(
+        "Collection stage done: {} train / {} test incidents prepared.",
+        prepared.train.len(),
+        prepared.test.len()
+    );
+
+    // 3. Train the prediction stage: FastText embeddings over the raw
+    //    diagnostics, historical index with temporal-decay retrieval.
+    let spec = ContextSpec::default();
+    let copilot = RcaCopilot::train(&prepared.train_examples(&spec), RcaCopilotConfig::default());
+    println!(
+        "Prediction stage trained on {} historical incidents.",
+        copilot.history_len()
+    );
+
+    // 4. Predict the first few test incidents.
+    let mut correct = 0;
+    let shown = 5;
+    for &i in prepared.test.iter().take(shown) {
+        let incident = &prepared.incidents[i];
+        let prediction = copilot.predict(
+            &incident.raw_diag,
+            &prepared.context_text(i, &spec),
+            incident.at,
+        );
+        let mark = if prediction.label == incident.category {
+            correct += 1;
+            "OK "
+        } else {
+            "MISS"
+        };
+        println!(
+            "\n[{mark}] ground truth: {:<32} predicted: {}{}",
+            incident.category,
+            prediction.label,
+            if prediction.unseen {
+                "  (unseen incident, new label)"
+            } else {
+                ""
+            }
+        );
+        println!("      {}", prediction.explanation);
+    }
+    println!("\n{correct}/{shown} sample predictions correct.");
+}

@@ -1,0 +1,34 @@
+//! # RCACopilot — automatic root cause analysis for cloud incidents
+//!
+//! A from-scratch Rust reproduction of *"Automatic Root Cause Analysis via
+//! Large Language Models for Cloud Incidents"* (EuroSys 2024): an on-call
+//! system that matches incoming incidents to per-alert-type handlers,
+//! collects multi-source diagnostic information, summarizes it, retrieves
+//! similar historical incidents with a temporal-decay similarity, and asks
+//! a (simulated) LLM to pick the matching root-cause category — or declare
+//! the incident unseen and synthesize a new category label.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`telemetry`]: logs/metrics/traces/alerts data model and query surface
+//! - [`simcloud`]: the simulated transport service and incident campaign
+//! - [`handlers`]: the incident-handler workflow engine
+//! - [`textkit`]: text normalization, TF-IDF, BPE tokenizer
+//! - [`embed`]: FastText-style embeddings and nearest-neighbor search
+//! - [`gbdt`]: gradient-boosted trees (the XGBoost baseline)
+//! - [`llm`]: the simulated language model (summarization, CoT prediction)
+//! - [`core`]: the end-to-end pipeline, baselines, and evaluation harness
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the full system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use rcacopilot_core as core;
+pub use rcacopilot_embed as embed;
+pub use rcacopilot_gbdt as gbdt;
+pub use rcacopilot_handlers as handlers;
+pub use rcacopilot_llm as llm;
+pub use rcacopilot_simcloud as simcloud;
+pub use rcacopilot_telemetry as telemetry;
+pub use rcacopilot_textkit as textkit;

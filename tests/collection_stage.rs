@@ -1,0 +1,119 @@
+//! Integration of simulator + handler engine: every incident in a
+//! campaign must be collectable, and the collected diagnostics must carry
+//! the cross-source evidence the paper's Insight 1 demands.
+
+use rcacopilot::core::collection::CollectionStage;
+use rcacopilot::handlers::standard_handlers;
+use rcacopilot::llm::Summarizer;
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, IncidentDataset, Topology};
+use rcacopilot::telemetry::alert::AlertType;
+
+fn dataset() -> IncidentDataset {
+    generate_dataset(&CampaignConfig {
+        seed: 42,
+        topology: Topology::new(2, 6, 3, 3),
+        noise: NoiseProfile {
+            routine_logs: 8,
+            herring_logs: 2,
+            healthy_traces: 3,
+            unrelated_failure: true,
+            bystander_anomalies: 2,
+        },
+    })
+}
+
+#[test]
+fn all_653_incidents_are_collectable() {
+    let ds = dataset();
+    let stage = CollectionStage::standard();
+    for inc in ds.incidents() {
+        let collected = stage
+            .collect(inc)
+            .unwrap_or_else(|e| panic!("{}: {e}", inc.category));
+        assert!(
+            collected.run.sections.len() >= 3,
+            "{}: too few sections ({})",
+            inc.category,
+            collected.run.sections.len()
+        );
+        assert!(!collected.diagnostic_text().is_empty());
+    }
+}
+
+#[test]
+fn handler_paths_differ_across_alert_types() {
+    let ds = dataset();
+    let stage = CollectionStage::standard();
+    let mut first_steps = std::collections::BTreeMap::new();
+    for inc in ds.incidents() {
+        let collected = stage.collect(inc).unwrap();
+        first_steps
+            .entry(inc.alert.alert_type.name())
+            .or_insert_with(|| collected.run.path.clone());
+    }
+    assert_eq!(first_steps.len(), AlertType::ALL.len());
+    let distinct: std::collections::BTreeSet<&Vec<String>> = first_steps.values().collect();
+    assert!(
+        distinct.len() >= AlertType::ALL.len() - 1,
+        "handlers should follow distinct workflows"
+    );
+}
+
+#[test]
+fn summaries_respect_budget_and_keep_signal() {
+    let ds = dataset();
+    let stage = CollectionStage::standard();
+    let summarizer = Summarizer::default();
+    let mut compressed = 0;
+    for inc in ds.incidents().iter().take(120) {
+        let diag = stage.collect(inc).unwrap().diagnostic_text();
+        let summary = summarizer.summarize(&diag);
+        let words = summary.split_whitespace().count();
+        assert!(words <= 140, "{}: {words} words", inc.category);
+        if summary.len() < diag.len() {
+            compressed += 1;
+        }
+    }
+    assert!(
+        compressed > 100,
+        "summaries should shorten most incidents ({compressed}/120)"
+    );
+}
+
+#[test]
+fn hub_port_exhaustion_signal_spans_two_sources() {
+    // Paper Insight 1 via Figure 6: probe/log evidence alone is ambiguous;
+    // the socket table completes the picture. The handler must collect
+    // both for every HubPortExhaustion incident.
+    let ds = dataset();
+    let stage = CollectionStage::standard();
+    for inc in ds
+        .incidents()
+        .iter()
+        .filter(|i| i.category == "HubPortExhaustion")
+    {
+        let text = stage.collect(inc).unwrap().diagnostic_text();
+        assert!(
+            text.contains("WinSock error: 11001"),
+            "probe/log evidence missing"
+        );
+        assert!(
+            text.contains("Total UDP socket count"),
+            "socket table missing"
+        );
+    }
+}
+
+#[test]
+fn registry_round_trips_through_json_with_all_handlers() {
+    let registry = standard_handlers();
+    let json = registry.to_json();
+    let restored = rcacopilot::handlers::HandlerRegistry::from_json(&json).unwrap();
+    assert_eq!(restored.enabled_count(), AlertType::ALL.len());
+    for at in AlertType::ALL {
+        let original = registry.current(at).unwrap();
+        let back = restored.current(at).unwrap();
+        assert_eq!(original, back, "{at} handler drifted through JSON");
+    }
+}

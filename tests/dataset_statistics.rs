@@ -1,0 +1,90 @@
+//! The generated dataset must carry the paper's statistical fingerprint
+//! for *every* seed, not just the benchmark seed.
+
+use proptest::prelude::*;
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Topology};
+
+fn tiny_noise() -> NoiseProfile {
+    NoiseProfile {
+        routine_logs: 2,
+        herring_logs: 1,
+        healthy_traces: 1,
+        unrelated_failure: false,
+        bystander_anomalies: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn campaign_statistics_hold_for_any_seed(seed in 0u64..1_000_000) {
+        let dataset = generate_dataset(&CampaignConfig {
+            seed,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: tiny_noise(),
+        });
+        let stats = dataset.stats();
+        // Paper §5.1 / Figure 3.
+        prop_assert_eq!(stats.total, 653);
+        prop_assert_eq!(stats.categories, 163);
+        prop_assert!((stats.new_category_share - 0.2496).abs() < 0.001);
+        // Paper Figure 2: most recurrences within 20 days.
+        let within20 = stats.recurrence_share_within(20.0);
+        prop_assert!((0.85..=0.99).contains(&within20), "within20 = {}", within20);
+        // Chronological order and unique incident ids.
+        let mut seen = std::collections::BTreeSet::new();
+        for w in dataset.incidents().windows(2) {
+            prop_assert!(w[0].occurred_at() <= w[1].occurred_at());
+        }
+        for inc in dataset.incidents() {
+            prop_assert!(seen.insert(inc.alert.incident));
+        }
+    }
+
+    #[test]
+    fn splits_partition_the_dataset(seed in 0u64..100_000, frac in 0.5f64..0.9) {
+        let dataset = generate_dataset(&CampaignConfig {
+            seed: 3,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: tiny_noise(),
+        });
+        let split = dataset.split(seed, frac);
+        prop_assert_eq!(split.train.len() + split.test.len(), dataset.len());
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), dataset.len());
+        let expected = (dataset.len() as f64 * frac).round() as usize;
+        prop_assert_eq!(split.train.len(), expected);
+    }
+}
+
+#[test]
+fn table1_head_categories_present_with_exact_counts() {
+    let dataset = generate_dataset(&CampaignConfig {
+        seed: 42,
+        topology: Topology::new(2, 4, 2, 2),
+        noise: tiny_noise(),
+    });
+    let stats = dataset.stats();
+    let count = |name: &str| {
+        stats
+            .category_counts
+            .iter()
+            .find(|(c, _)| c == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert_eq!(count("HubPortExhaustion"), 27);
+    assert_eq!(count("DispatcherTaskCancelled"), 22);
+    assert_eq!(count("CodeRegressionSmtpAuth"), 15);
+    assert_eq!(count("CertForBogusTenants"), 11);
+    assert_eq!(count("InvalidJournaling"), 11);
+    assert_eq!(count("UseRouteResolution"), 9);
+    assert_eq!(count("DeliveryHang"), 6);
+    assert_eq!(count("AuthCertIssue"), 3);
+    assert_eq!(count("FullDisk"), 2);
+    assert_eq!(count("MaliciousAttackPowerShellBlob"), 2);
+}
