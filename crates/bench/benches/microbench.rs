@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the pipeline's hot components:
-//! summarization, embedding, temporal-decay retrieval, BPE token counting,
-//! and handler execution.
+//! Micro-benchmarks of the pipeline's hot components: summarization,
+//! embedding, temporal-decay retrieval, BPE token counting, and handler
+//! execution. Uses a plain timing loop (median of timed batches) so the
+//! bench runs with no external harness, and emits JSON like the table
+//! benches.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rcacopilot_bench::write_results;
 use rcacopilot_core::retrieval::{HistoricalEntry, HistoricalIndex, RetrievalConfig};
 use rcacopilot_embed::{FastTextConfig, FastTextModel, FeatureExtractor};
 use rcacopilot_handlers::standard_handlers;
@@ -12,6 +14,30 @@ use rcacopilot_simcloud::{generate_dataset, CampaignConfig, Topology};
 use rcacopilot_telemetry::alert::AlertType;
 use rcacopilot_telemetry::time::SimTime;
 use rcacopilot_textkit::bpe::BpeTokenizer;
+use std::time::Instant;
+
+/// Times `f` over `batches` batches of `iters` calls each and returns the
+/// median per-call time in nanoseconds. A warm-up batch runs first.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> (String, f64) {
+    const BATCHES: usize = 11;
+    const ITERS: usize = 20;
+    for _ in 0..ITERS {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / ITERS as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[BATCHES / 2];
+    println!("{name:<40} {median:>12.0} ns/iter");
+    (name.to_string(), median)
+}
 
 fn small_dataset() -> rcacopilot_simcloud::IncidentDataset {
     generate_dataset(&CampaignConfig {
@@ -27,7 +53,9 @@ fn small_dataset() -> rcacopilot_simcloud::IncidentDataset {
     })
 }
 
-fn bench_summarizer(c: &mut Criterion) {
+fn main() {
+    let mut rows = Vec::new();
+
     let ds = small_dataset();
     let stage = rcacopilot_core::collection::CollectionStage::standard();
     let text = stage
@@ -35,12 +63,10 @@ fn bench_summarizer(c: &mut Criterion) {
         .expect("collects")
         .diagnostic_text();
     let summarizer = Summarizer::default();
-    c.bench_function("summarize_diagnostic_text", |b| {
-        b.iter(|| summarizer.summarize(std::hint::black_box(&text)))
-    });
-}
+    rows.push(bench("summarize_diagnostic_text", || {
+        summarizer.summarize(std::hint::black_box(&text))
+    }));
 
-fn bench_embedding(c: &mut Criterion) {
     let examples: Vec<(String, String)> = (0..40)
         .map(|i| {
             (
@@ -61,16 +87,12 @@ fn bench_embedding(c: &mut Criterion) {
             ..FastTextConfig::default()
         },
     );
-    c.bench_function("fasttext_embed_short_text", |b| {
-        b.iter(|| {
-            model.embed(std::hint::black_box(
-                "winsock udp socket exhausted on hub transport",
-            ))
-        })
-    });
-}
+    rows.push(bench("fasttext_embed_short_text", || {
+        model.embed(std::hint::black_box(
+            "winsock udp socket exhausted on hub transport",
+        ))
+    }));
 
-fn bench_retrieval(c: &mut Criterion) {
     let mut index = HistoricalIndex::new();
     for i in 0..490u64 {
         let emb: Vec<f32> = (0..64).map(|d| ((i * 31 + d) % 97) as f32 / 97.0).collect();
@@ -84,30 +106,23 @@ fn bench_retrieval(c: &mut Criterion) {
     }
     let query: Vec<f32> = (0..64).map(|d| (d % 7) as f32 / 7.0).collect();
     let config = RetrievalConfig::default();
-    c.bench_function("retrieval_topk_diverse_490x64", |b| {
-        b.iter(|| {
-            index.top_k_diverse(
-                std::hint::black_box(&query),
-                SimTime::from_days(180),
-                &config,
-            )
-        })
-    });
-}
+    rows.push(bench("retrieval_topk_diverse_490x64", || {
+        index.top_k_diverse(
+            std::hint::black_box(&query),
+            SimTime::from_days(180),
+            &config,
+        )
+    }));
 
-fn bench_bpe(c: &mut Criterion) {
     let corpus: Vec<String> = (0..50)
         .map(|i| format!("incident diagnostic summary number {i} with exception text and counters"))
         .collect();
     let tok = BpeTokenizer::train(&corpus, 600);
-    let text = corpus.join(" ");
-    c.bench_function("bpe_count_tokens_3kchars", |b| {
-        b.iter(|| tok.count_tokens(std::hint::black_box(&text)))
-    });
-}
+    let joined = corpus.join(" ");
+    rows.push(bench("bpe_count_tokens_3kchars", || {
+        tok.count_tokens(std::hint::black_box(&joined))
+    }));
 
-fn bench_handler_execution(c: &mut Criterion) {
-    let ds = small_dataset();
     let registry = standard_handlers();
     let incident = ds
         .incidents()
@@ -117,23 +132,16 @@ fn bench_handler_execution(c: &mut Criterion) {
     let handler = registry
         .current(AlertType::DeliveryQueueBacklog)
         .expect("handler");
-    c.bench_function("handler_execute_delivery_backlog", |b| {
-        b.iter_batched(
-            || (incident.snapshot.clone(), incident.alert.scope),
-            |(snap, scope)| handler.execute(std::hint::black_box(&snap), scope),
-            BatchSize::SmallInput,
+    rows.push(bench("handler_execute_delivery_backlog", || {
+        handler.execute(
+            std::hint::black_box(&incident.snapshot),
+            incident.alert.scope,
         )
-    });
-}
+    }));
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_summarizer,
-        bench_embedding,
-        bench_retrieval,
-        bench_bpe,
-        bench_handler_execution
-);
-criterion_main!(benches);
+    let json_rows: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(name, ns)| serde_json::json!({ "name": name, "median_ns_per_iter": ns }))
+        .collect();
+    write_results("microbench", &serde_json::json!({ "rows": json_rows }));
+}

@@ -135,10 +135,7 @@ impl ZeroShotBaseline {
 
     /// Predicts from the incident's summarized diagnostics alone.
     pub fn predict(&self, summary: &str) -> String {
-        let prompt = PredictionPrompt {
-            input: summary.to_string(),
-            options: Vec::new(),
-        };
+        let prompt = PredictionPrompt::new(summary, Vec::new());
         self.engine.predict(&prompt).label
     }
 }

@@ -1,7 +1,8 @@
 //! The diagnostic information collection stage (paper §4.1).
 
-use rcacopilot_handlers::{Handler, HandlerError, HandlerRegistry, HandlerRun};
+use rcacopilot_handlers::{Handler, HandlerError, HandlerRegistry, HandlerRun, RetryPolicy};
 use rcacopilot_simcloud::Incident;
+use rcacopilot_telemetry::fault::{FaultInjector, NoFaults};
 use serde::{Deserialize, Serialize};
 
 /// A known-issue entry: alert-message pattern → category + mitigation
@@ -76,27 +77,71 @@ impl CollectedIncident {
     pub fn diagnostic_text(&self) -> String {
         self.run.diagnostic_text()
     }
+
+    /// Fraction of diagnostic sections that were collected intact
+    /// (1.0 on the fault-free path).
+    pub fn completeness(&self) -> f64 {
+        self.run.degradation.completeness()
+    }
 }
 
-/// The collection stage: handler registry + known-issue database.
-#[derive(Debug, Default)]
+/// The collection stage: handler registry + known-issue database, plus
+/// the fault injector and retry policy its handler executions run under.
+///
+/// The default configuration ([`NoFaults`] + [`RetryPolicy::default`])
+/// reproduces the fault-free pipeline exactly; [`with_faults`] turns the
+/// same stage into a robustness harness without touching the handlers.
+///
+/// [`with_faults`]: CollectionStage::with_faults
+#[derive(Debug)]
 pub struct CollectionStage {
     registry: HandlerRegistry,
     known_issues: KnownIssueDb,
+    faults: Box<dyn FaultInjector>,
+    policy: RetryPolicy,
+}
+
+impl Default for CollectionStage {
+    fn default() -> Self {
+        CollectionStage::new(HandlerRegistry::default())
+    }
 }
 
 impl CollectionStage {
     /// Creates a collection stage around a handler registry.
     pub fn new(registry: HandlerRegistry) -> Self {
-        CollectionStage {
-            registry,
-            known_issues: KnownIssueDb::new(),
-        }
+        CollectionStage::with_faults(registry, Box::new(NoFaults))
     }
 
     /// Creates the stage with the standard handler library.
     pub fn standard() -> Self {
         CollectionStage::new(rcacopilot_handlers::standard_handlers())
+    }
+
+    /// Creates a collection stage whose handler executions run against
+    /// `faults` (e.g. a seeded [`rcacopilot_simcloud::FaultPlan`]).
+    pub fn with_faults(registry: HandlerRegistry, faults: Box<dyn FaultInjector>) -> Self {
+        CollectionStage {
+            registry,
+            known_issues: KnownIssueDb::new(),
+            faults,
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Standard handler library plus a fault injector.
+    pub fn standard_with_faults(faults: Box<dyn FaultInjector>) -> Self {
+        CollectionStage::with_faults(rcacopilot_handlers::standard_handlers(), faults)
+    }
+
+    /// Overrides the retry policy used for handler executions.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The retry policy handler executions run under.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     /// Mutable access to the known-issue database.
@@ -124,7 +169,12 @@ impl CollectionStage {
             .handler_for(incident)
             .ok_or(CollectionError::NoHandler(incident.alert.alert_type.name()))?;
         let run = handler
-            .execute(&incident.snapshot, incident.alert.scope)
+            .execute_resilient(
+                &incident.snapshot,
+                incident.alert.scope,
+                self.faults.as_ref(),
+                &self.policy,
+            )
             .map_err(CollectionError::Handler)?;
         Ok(CollectedIncident {
             alert_info: incident.alert_info(),

@@ -5,6 +5,7 @@ use crate::collection::CollectionStage;
 use crate::context::ContextSpec;
 use crate::metrics::{f1_scores, F1Report};
 use crate::pipeline::{Embedder, RcaCopilot, RcaCopilotConfig, TrainExample};
+use rcacopilot_handlers::RunDegradation;
 use rcacopilot_llm::{ModelProfile, Summarizer};
 use rcacopilot_simcloud::{IncidentDataset, TrainTestSplit};
 use rcacopilot_telemetry::time::SimTime;
@@ -27,6 +28,16 @@ pub struct PreparedIncident {
     pub summary: String,
     /// Handler action outputs as text.
     pub action_output: String,
+    /// Degradation metadata of the collection run (defaulted — i.e.
+    /// fully complete — on the fault-free path).
+    pub degradation: RunDegradation,
+}
+
+impl PreparedIncident {
+    /// Fraction of diagnostic sections collected intact.
+    pub fn completeness(&self) -> f64 {
+        self.degradation.completeness()
+    }
 }
 
 /// The dataset after collection/summarization, with its split.
@@ -48,12 +59,28 @@ impl PreparedDataset {
     /// Panics if any incident lacks a handler (the standard library covers
     /// every alert type, so this indicates a wiring bug).
     pub fn prepare(dataset: &IncidentDataset, split: &TrainTestSplit) -> Self {
-        let stage = CollectionStage::standard();
+        PreparedDataset::prepare_with(dataset, split, &CollectionStage::standard())
+    }
+
+    /// Like [`prepare`], but runs collection through the caller's stage —
+    /// e.g. one built by [`CollectionStage::standard_with_faults`] so the
+    /// whole evaluation operates on degraded diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any incident lacks a handler in the stage's registry.
+    ///
+    /// [`prepare`]: PreparedDataset::prepare
+    pub fn prepare_with(
+        dataset: &IncidentDataset,
+        split: &TrainTestSplit,
+        stage: &CollectionStage,
+    ) -> Self {
         let summarizer = Summarizer::default();
         let incidents: Vec<PreparedIncident> = parallel_map(dataset.incidents(), |inc| {
             let collected = stage
                 .collect(inc)
-                .expect("standard handlers cover all alerts");
+                .unwrap_or_else(|e| panic!("collection failed for {}: {e}", inc.category));
             let raw_diag = collected.diagnostic_text();
             let summary = summarizer.summarize(&raw_diag);
             PreparedIncident {
@@ -64,6 +91,7 @@ impl PreparedDataset {
                 raw_diag,
                 summary,
                 action_output: collected.run.action_output_text(),
+                degradation: collected.run.degradation,
             }
         });
         PreparedDataset {
@@ -129,6 +157,20 @@ impl PreparedDataset {
             .iter()
             .map(|&i| self.incidents[i].category.clone())
             .collect()
+    }
+
+    /// Mean collection completeness over the test split (1.0 when the
+    /// dataset was prepared fault-free).
+    pub fn mean_test_completeness(&self) -> f64 {
+        if self.test.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .test
+            .iter()
+            .map(|&i| self.incidents[i].completeness())
+            .sum();
+        sum / self.test.len() as f64
     }
 
     /// Number of test incidents whose category never occurs in training.
@@ -209,7 +251,12 @@ pub fn evaluate_method(prepared: &PreparedDataset, method: Method, seed: u64) ->
             let preds = parallel_map(&prepared.test, |&i| {
                 let inc = &prepared.incidents[i];
                 copilot
-                    .predict(&inc.raw_diag, &prepared.context_text(i, &spec), inc.at)
+                    .predict_degraded(
+                        &inc.raw_diag,
+                        &prepared.context_text(i, &spec),
+                        inc.at,
+                        &inc.degradation,
+                    )
                     .label
             });
             (train_secs, preds)
@@ -230,7 +277,12 @@ pub fn evaluate_method(prepared: &PreparedDataset, method: Method, seed: u64) ->
             let preds = parallel_map(&prepared.test, |&i| {
                 let inc = &prepared.incidents[i];
                 copilot
-                    .predict(&inc.raw_diag, &prepared.context_text(i, &spec), inc.at)
+                    .predict_degraded(
+                        &inc.raw_diag,
+                        &prepared.context_text(i, &spec),
+                        inc.at,
+                        &inc.degradation,
+                    )
                     .label
             });
             (train_secs, preds)
@@ -302,15 +354,14 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
     }
     let chunk = items.len().div_ceil(threads);
     let mut results: Vec<Option<Vec<R>>> = (0..threads).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, piece) in results.iter_mut().zip(items.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(piece.iter().map(f).collect());
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results.into_iter().flatten().flatten().collect()
 }
 

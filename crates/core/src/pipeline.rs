@@ -2,6 +2,7 @@
 
 use crate::retrieval::{HistoricalEntry, HistoricalIndex, RetrievalConfig};
 use rcacopilot_embed::{FastTextConfig, FastTextModel};
+use rcacopilot_handlers::RunDegradation;
 use rcacopilot_llm::prompt::{PredictionPrompt, PromptOption, CONTEXT_TOKENS};
 use rcacopilot_llm::{CotEngine, ModelProfile, Summarizer};
 use rcacopilot_telemetry::time::SimTime;
@@ -144,12 +145,16 @@ pub struct RcaPrediction {
     pub label: String,
     /// True when the LLM chose "Unseen incident".
     pub unseen: bool,
-    /// The LLM's confidence in the chosen option.
+    /// The LLM's confidence in the chosen option, downgraded in
+    /// proportion to diagnostic completeness when collection degraded.
     pub confidence: f64,
     /// Natural-language explanation.
     pub explanation: String,
     /// Categories of the retrieved demonstrations, in prompt order.
     pub demo_categories: Vec<String>,
+    /// Completeness of the diagnostics behind this prediction (`1.0`
+    /// when collection saw no faults).
+    pub completeness: f64,
 }
 
 /// The trained RCACopilot prediction stage.
@@ -254,27 +259,89 @@ impl RcaCopilot {
         at: SimTime,
         retrieval: &RetrievalConfig,
     ) -> RcaPrediction {
+        self.predict_impl(
+            raw_diag,
+            input_text,
+            at,
+            retrieval,
+            &RunDegradation::default(),
+        )
+    }
+
+    /// Predicts from degraded diagnostics: when the collection stage ran
+    /// under faults (`degradation.completeness() < 1.0`), the prompt is
+    /// annotated with a data-completeness warning and the returned
+    /// confidence is downgraded in proportion to completeness.
+    ///
+    /// With a fault-free degradation record this is exactly
+    /// [`RcaCopilot::predict`] — same prompt bytes, same answer.
+    pub fn predict_degraded(
+        &self,
+        raw_diag: &str,
+        input_text: &str,
+        at: SimTime,
+        degradation: &RunDegradation,
+    ) -> RcaPrediction {
+        self.predict_impl(
+            raw_diag,
+            input_text,
+            at,
+            &self.config.retrieval,
+            degradation,
+        )
+    }
+
+    fn predict_impl(
+        &self,
+        raw_diag: &str,
+        input_text: &str,
+        at: SimTime,
+        retrieval: &RetrievalConfig,
+        degradation: &RunDegradation,
+    ) -> RcaPrediction {
         let query = scaled(self.embedder.embed(raw_diag), self.config.embedding_scale);
         let neighbors = self.index.top_k_diverse(&query, at, retrieval);
-        let mut prompt = PredictionPrompt {
-            input: input_text.to_string(),
-            options: neighbors
+        let mut prompt = PredictionPrompt::new(
+            input_text,
+            neighbors
                 .iter()
                 .map(|n| PromptOption {
                     summary: n.entry.summary.clone(),
                     category: n.entry.category.clone(),
                 })
                 .collect(),
-        };
+        );
+        let completeness = degradation.completeness();
+        if completeness < 1.0 {
+            prompt.degradation_note = Some(format!(
+                "{}; treat missing evidence as unknown rather than absent.",
+                degradation.summary()
+            ));
+        }
         prompt.truncate_to_budget(&self.tokenizer, CONTEXT_TOKENS);
         let engine = CotEngine::new(self.config.profile, self.config.llm_seed);
         let pred = engine.predict(&prompt);
+        let mut confidence = pred.confidence;
+        let mut explanation = pred.explanation;
+        if completeness < 1.0 {
+            // Partial evidence cannot support full confidence: scale it
+            // down and say so, mirroring how an OCE hedges a diagnosis
+            // made from incomplete telemetry.
+            confidence *= completeness;
+            explanation.push_str(&format!(
+                " Note: diagnostics were incomplete ({}); confidence downgraded to reflect \
+                 completeness {:.0}%.",
+                degradation.summary(),
+                completeness * 100.0
+            ));
+        }
         RcaPrediction {
             label: pred.label,
             unseen: pred.unseen,
-            confidence: pred.confidence,
-            explanation: pred.explanation,
+            confidence,
+            explanation,
             demo_categories: prompt.options.into_iter().map(|o| o.category).collect(),
+            completeness,
         }
     }
 }
@@ -378,17 +445,10 @@ mod tests {
     fn alpha_zero_vs_high_changes_recency_preference() {
         // Two categories with *identical* diagnostic text, one old, one
         // recent: only the temporal term can separate them.
-        let mut examples = Vec::new();
-        examples.push(example(
-            "OldCategory",
-            10,
-            "IdenticalSignatureException replicated",
-        ));
-        examples.push(example(
-            "NewCategory",
-            99,
-            "IdenticalSignatureException replicated",
-        ));
+        let examples = vec![
+            example("OldCategory", 10, "IdenticalSignatureException replicated"),
+            example("NewCategory", 99, "IdenticalSignatureException replicated"),
+        ];
         let copilot = RcaCopilot::train(&examples, quick_config());
         let pred_decayed = copilot.predict_with(
             "IdenticalSignatureException replicated noise",

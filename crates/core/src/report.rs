@@ -143,6 +143,7 @@ mod tests {
             confidence: 0.82,
             explanation: "Matched on WinSock 11001 and the UDP socket table.".into(),
             demo_categories: vec!["HubPortExhaustion".into(), "DnsMisconfigMxRecord".into()],
+            completeness: 1.0,
         };
         (incident, collected, prediction)
     }

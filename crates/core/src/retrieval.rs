@@ -121,7 +121,10 @@ impl HistoricalIndex {
                 (i, similarity(dist, dt, config.alpha))
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite similarities"));
+        // total_cmp instead of partial_cmp: a NaN similarity (possible
+        // from a degenerate zero embedding) must not panic the pipeline;
+        // it gets a deterministic position instead.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         let mut seen_categories = std::collections::BTreeSet::new();
         let mut out = Vec::with_capacity(config.k);

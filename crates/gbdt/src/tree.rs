@@ -104,6 +104,9 @@ impl RegressionTree {
         let parent_score = score(g, h, config.lambda);
         let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, gain)
         let mut sorted = indices.clone();
+        // `f` is a column index across many rows, not an index into one
+        // iterable slice.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..nfeat {
             sorted.sort_by(|&a, &b| {
                 rows[a][f]
@@ -125,7 +128,7 @@ impl RegressionTree {
                 let hr = h - hl;
                 let gain = 0.5
                     * (score(gl, hl, config.lambda) + score(gr, hr, config.lambda) - parent_score);
-                if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
+                if gain > config.min_gain && best.is_none_or(|(_, _, bg)| gain > bg) {
                     best = Some((f, (v + v_next) / 2.0, gain));
                 }
             }

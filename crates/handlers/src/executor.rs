@@ -1,0 +1,652 @@
+//! The resilient handler executor.
+//!
+//! [`Handler::execute`](crate::handler::Handler::execute) assumes every
+//! query answers. Real diagnostic back-ends do not, so this module walks
+//! the same decision tree through a [`FaultInjector`], wrapping each
+//! query action with:
+//!
+//! - **per-action deadline + bounded exponential backoff retries** — a
+//!   failed attempt is retried up to [`RetryPolicy::max_attempts`] times,
+//!   each retry preceded by `base_backoff_ms << (attempt-1)` (capped at
+//!   [`RetryPolicy::max_backoff_ms`]) of *virtual* waiting;
+//! - **a whole-handler time budget** — every attempt, timeout, and
+//!   backoff charges a deterministic virtual cost; once
+//!   [`RetryPolicy::handler_budget_ms`] is spent, remaining queries
+//!   fail fast with [`FaultCause::BudgetExhausted`];
+//! - **a per-data-source circuit breaker** — after
+//!   [`RetryPolicy::breaker_threshold`] consecutive exhausted queries
+//!   against one source, further queries to it are skipped with
+//!   [`FaultCause::CircuitOpen`] instead of burning budget;
+//! - **graceful degradation** — a query that ultimately fails emits an
+//!   explicit `[data unavailable: <cause>]` section and control flow
+//!   follows the node's fallback edge (conditions on rows cannot match a
+//!   failed section, so the first `Always` edge routes around the gap);
+//!   the run never aborts.
+//!
+//! All timing is virtual, counted in milliseconds of simulated latency —
+//! no wall clock — so a run is a pure function of
+//! `(handler, snapshot, scope, injector, policy)` and replays bit-for-bit.
+//!
+//! Degradation metadata is recorded on the run as [`RunDegradation`]
+//! and threaded through collection into the prediction prompt, where
+//! incomplete diagnostics downgrade the reported confidence.
+
+use crate::action::Action;
+use crate::handler::{digest_of, switch_scope, Handler, HandlerError, HandlerRun, MAX_STEPS};
+use rcacopilot_telemetry::fault::{DataSource, FaultCause, FaultInjector, NoFaults, QueryOutcome};
+use rcacopilot_telemetry::query::{QueryResult, Scope, TimeWindow};
+use rcacopilot_telemetry::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Retry, deadline, budget, and circuit-breaker parameters of the
+/// resilient executor. All times are virtual milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per query action (1 = no retries). Must be >= 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff_ms: u64,
+    /// Backoff cap.
+    pub max_backoff_ms: u64,
+    /// Per-action deadline: the virtual cost charged by an attempt that
+    /// times out.
+    pub action_deadline_ms: u64,
+    /// Virtual cost of an attempt that answers (fully or partially), or
+    /// that fails fast (source down).
+    pub query_cost_ms: u64,
+    /// Whole-handler virtual time budget.
+    pub handler_budget_ms: u64,
+    /// Consecutive exhausted queries against one source before its
+    /// circuit breaker opens for the rest of the run.
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Budget sized so a fault-free walk of MAX_STEPS query nodes
+        // (64 * 50ms = 3.2s) never comes near exhaustion.
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            max_backoff_ms: 2_000,
+            action_deadline_ms: 1_000,
+            query_cost_ms: 50,
+            handler_budget_ms: 60_000,
+            breaker_threshold: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry number `attempt` (1-based attempt
+    /// that just failed): exponential, capped.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        (self.base_backoff_ms << shift).min(self.max_backoff_ms)
+    }
+
+    /// Upper bound on the virtual cost one query action can incur:
+    /// every attempt times out, plus every backoff.
+    pub fn worst_case_action_ms(&self) -> u64 {
+        let attempts = u64::from(self.max_attempts.max(1));
+        let backoffs: u64 = (1..self.max_attempts).map(|a| self.backoff_ms(a)).sum();
+        attempts * self.action_deadline_ms + backoffs
+    }
+}
+
+/// Degradation metadata of one handler run: how much of the intended
+/// diagnostic information actually arrived, and what the resilience
+/// machinery spent getting it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunDegradation {
+    /// Query actions executed (sections attempted).
+    pub sections_total: u32,
+    /// Sections that produced no data (`[data unavailable: ...]`).
+    pub sections_failed: u32,
+    /// Sections that produced degraded data (truncated or stale).
+    pub sections_partial: u32,
+    /// Retry attempts performed across all query actions.
+    pub retries: u32,
+    /// Virtual milliseconds spent (queries, timeouts, backoffs).
+    pub budget_spent_ms: u64,
+    /// Data sources that exhausted at least one query, in order of
+    /// first failure (deduplicated).
+    pub sources_failed: Vec<String>,
+}
+
+impl RunDegradation {
+    /// Fraction of intended diagnostic information that arrived: failed
+    /// sections count zero, partial sections count half. `1.0` for a
+    /// run with no query actions or no faults.
+    pub fn completeness(&self) -> f64 {
+        if self.sections_total == 0 {
+            return 1.0;
+        }
+        let lost = f64::from(self.sections_failed) + 0.5 * f64::from(self.sections_partial);
+        (1.0 - lost / f64::from(self.sections_total)).max(0.0)
+    }
+
+    /// True when any section failed or arrived degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.sections_failed > 0 || self.sections_partial > 0
+    }
+
+    /// One-line summary for prompt annotation and reports, e.g.
+    /// `3 of 5 diagnostic sections unavailable (sources: probes, queues)`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} of {} diagnostic sections unavailable",
+            self.sections_failed, self.sections_total
+        );
+        if self.sections_partial > 0 {
+            s.push_str(&format!(", {} partial", self.sections_partial));
+        }
+        if !self.sources_failed.is_empty() {
+            s.push_str(&format!(" (sources: {})", self.sources_failed.join(", ")));
+        }
+        s
+    }
+}
+
+/// Per-source consecutive-failure counters backing the circuit breaker.
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive: BTreeMap<DataSource, u32>,
+    open: BTreeSet<DataSource>,
+}
+
+impl BreakerState {
+    fn is_open(&self, source: DataSource) -> bool {
+        self.open.contains(&source)
+    }
+
+    fn record_success(&mut self, source: DataSource) {
+        self.consecutive.insert(source, 0);
+    }
+
+    fn record_failure(&mut self, source: DataSource, threshold: u32) {
+        let c = self.consecutive.entry(source).or_insert(0);
+        *c += 1;
+        if *c >= threshold {
+            self.open.insert(source);
+        }
+    }
+}
+
+impl Handler {
+    /// Executes the handler through a fault injector with the resilience
+    /// policy applied to every query action.
+    ///
+    /// With [`NoFaults`] and any sane policy this produces exactly the
+    /// sections, path, and outputs of the fault-free engine — plus a
+    /// [`RunDegradation`] reporting completeness `1.0`. Under faults the
+    /// run always completes: failed queries degrade into
+    /// `[data unavailable: <cause>]` sections and follow their fallback
+    /// edge.
+    ///
+    /// Errors are configuration errors only: structural validation
+    /// failures, a policy allowing zero attempts
+    /// ([`HandlerError::InvalidPolicy`]), a zero time budget for a
+    /// handler containing query actions ([`HandlerError::BudgetExceeded`]),
+    /// or a cycle exceeding the step limit.
+    pub fn execute_resilient(
+        &self,
+        snapshot: &TelemetrySnapshot,
+        scope: Scope,
+        faults: &dyn FaultInjector,
+        policy: &RetryPolicy,
+    ) -> Result<HandlerRun, HandlerError> {
+        self.validate()?;
+        if policy.max_attempts == 0 {
+            return Err(HandlerError::InvalidPolicy(
+                "retry policy must allow at least one attempt",
+            ));
+        }
+        let has_queries = self
+            .nodes
+            .iter()
+            .any(|n| matches!(n.action, Action::Query { .. }));
+        if policy.handler_budget_ms == 0 && has_queries {
+            return Err(HandlerError::BudgetExceeded { budget_ms: 0 });
+        }
+
+        let mut run = HandlerRun {
+            final_scope: scope,
+            ..HandlerRun::default()
+        };
+        let mut deg = RunDegradation::default();
+        let mut breaker = BreakerState::default();
+        let mut spent_ms: u64 = 0;
+        let mut current = Some(self.nodes[0].id);
+        let mut steps = 0;
+        while let Some(id) = current {
+            steps += 1;
+            if steps > MAX_STEPS {
+                return Err(HandlerError::StepLimitExceeded);
+            }
+            let node = match self.node(id) {
+                Some(n) => n,
+                // Unreachable after validate(); surfaced as the structural
+                // error rather than a panic.
+                None => return Err(HandlerError::DanglingEdge { from: id, to: id }),
+            };
+            run.path.push(node.name.clone());
+            let result = match &node.action {
+                Action::Query {
+                    query,
+                    lookback_secs,
+                } => {
+                    deg.sections_total += 1;
+                    let source = query.data_source();
+                    let window = TimeWindow::lookback(snapshot.taken_at, *lookback_secs);
+                    let outcome = run_query_attempts(
+                        snapshot,
+                        query,
+                        run.final_scope,
+                        window,
+                        faults,
+                        policy,
+                        &mut breaker,
+                        &mut spent_ms,
+                        &mut deg.retries,
+                    );
+                    let r = match outcome {
+                        QueryOutcome::Ok(r) => {
+                            breaker.record_success(source);
+                            r
+                        }
+                        QueryOutcome::Partial { result, cause } => {
+                            // Data arrived: the source is alive, but the
+                            // section is marked so readers (and the
+                            // summarizer) see the gap.
+                            breaker.record_success(source);
+                            deg.sections_partial += 1;
+                            let mut r = result;
+                            r.push_line(format!("[data degraded: {cause}]"));
+                            r
+                        }
+                        QueryOutcome::Failed { cause } => {
+                            // CircuitOpen/BudgetExhausted are executor
+                            // verdicts, not evidence the source failed
+                            // again.
+                            if !matches!(
+                                cause,
+                                FaultCause::CircuitOpen { .. } | FaultCause::BudgetExhausted { .. }
+                            ) {
+                                breaker.record_failure(source, policy.breaker_threshold);
+                            }
+                            deg.sections_failed += 1;
+                            let name = source.name().to_string();
+                            if !deg.sources_failed.contains(&name) {
+                                deg.sources_failed.push(name);
+                            }
+                            let mut r = QueryResult::titled(format!(
+                                "{} query on {}",
+                                query.kind(),
+                                run.final_scope
+                            ));
+                            r.push_line(format!("[data unavailable: {cause}]"));
+                            r
+                        }
+                    };
+                    run.action_outputs.push((node.name.clone(), digest_of(&r)));
+                    run.sections.push(r.clone());
+                    r
+                }
+                Action::ScopeSwitch(direction) => {
+                    run.final_scope = switch_scope(snapshot, run.final_scope, *direction);
+                    run.action_outputs
+                        .push((node.name.clone(), run.final_scope.label()));
+                    QueryResult::default()
+                }
+                Action::Mitigate { suggestion } => {
+                    run.mitigations.push(suggestion.clone());
+                    run.action_outputs
+                        .push((node.name.clone(), suggestion.clone()));
+                    QueryResult::default()
+                }
+            };
+            current = node
+                .edges
+                .iter()
+                .find(|(cond, _)| cond.matches(&result))
+                .map(|(_, to)| *to);
+        }
+        deg.budget_spent_ms = spent_ms;
+        run.degradation = deg;
+        Ok(run)
+    }
+}
+
+/// Runs the attempt loop for one query action: deadline/backoff/budget
+/// accounting, breaker fast-fail. Returns the final outcome.
+#[allow(clippy::too_many_arguments)]
+fn run_query_attempts(
+    snapshot: &TelemetrySnapshot,
+    query: &rcacopilot_telemetry::query::Query,
+    scope: Scope,
+    window: TimeWindow,
+    faults: &dyn FaultInjector,
+    policy: &RetryPolicy,
+    breaker: &mut BreakerState,
+    spent_ms: &mut u64,
+    retries: &mut u32,
+) -> QueryOutcome {
+    let source = query.data_source();
+    if breaker.is_open(source) {
+        return QueryOutcome::Failed {
+            cause: FaultCause::CircuitOpen { source },
+        };
+    }
+    let mut attempt: u32 = 1;
+    loop {
+        if *spent_ms >= policy.handler_budget_ms {
+            return QueryOutcome::Failed {
+                cause: FaultCause::BudgetExhausted {
+                    budget_ms: policy.handler_budget_ms,
+                },
+            };
+        }
+        let outcome = snapshot.execute_faulted(query, scope, window, faults, attempt);
+        match &outcome {
+            QueryOutcome::Ok(_) | QueryOutcome::Partial { .. } => {
+                *spent_ms = spent_ms.saturating_add(policy.query_cost_ms);
+                return outcome;
+            }
+            QueryOutcome::Failed { cause } => {
+                // A timeout burns the whole deadline; a fast failure
+                // (source down) only the probe cost.
+                let cost = match cause {
+                    FaultCause::Timeout => policy.action_deadline_ms,
+                    _ => policy.query_cost_ms,
+                };
+                *spent_ms = spent_ms.saturating_add(cost);
+                if attempt >= policy.max_attempts {
+                    return outcome;
+                }
+                *retries += 1;
+                *spent_ms = spent_ms.saturating_add(policy.backoff_ms(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: the policy/injector pair of the fault-free path.
+pub fn default_execution() -> (NoFaults, RetryPolicy) {
+    (NoFaults, RetryPolicy::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionNode, Condition};
+    use rcacopilot_telemetry::alert::AlertType;
+    use rcacopilot_telemetry::fault::FaultDecision;
+    use rcacopilot_telemetry::ids::{ForestId, MachineId, MachineRole};
+    use rcacopilot_telemetry::log::{LogLevel, LogRecord};
+    use rcacopilot_telemetry::query::Query;
+    use rcacopilot_telemetry::time::SimTime;
+
+    /// Injector that fails the first `fail_attempts` attempts of every
+    /// query, then answers.
+    #[derive(Debug)]
+    struct FailFirst {
+        fail_attempts: u32,
+        decision: FaultDecision,
+    }
+
+    impl FaultInjector for FailFirst {
+        fn decide(&self, _: DataSource, _: Scope, _: TimeWindow, attempt: u32) -> FaultDecision {
+            if attempt <= self.fail_attempts {
+                self.decision
+            } else {
+                FaultDecision::None
+            }
+        }
+    }
+
+    /// Injector with one permanently dead source.
+    #[derive(Debug)]
+    struct DeadSource(DataSource);
+
+    impl FaultInjector for DeadSource {
+        fn decide(&self, s: DataSource, _: Scope, _: TimeWindow, _: u32) -> FaultDecision {
+            if s == self.0 {
+                FaultDecision::Unavailable
+            } else {
+                FaultDecision::None
+            }
+        }
+    }
+
+    fn snapshot() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new(SimTime::from_hours(10));
+        for i in 0..4 {
+            snap.logs.push(LogRecord {
+                at: SimTime::from_hours(9),
+                machine: MachineId::new(ForestId(0), MachineRole::Hub, 1),
+                process: "Transport.exe".into(),
+                component: "X".into(),
+                level: LogLevel::Error,
+                message: format!("boom {i}"),
+            });
+        }
+        snap.logs.finish();
+        snap
+    }
+
+    fn log_query() -> Action {
+        Action::Query {
+            query: Query::Logs {
+                level: LogLevel::Error,
+                contains: None,
+                limit: 10,
+            },
+            lookback_secs: 7200,
+        }
+    }
+
+    /// logs query -> (has records) disk query | (fallback) mitigation.
+    fn handler() -> Handler {
+        Handler::new(
+            AlertType::ProcessCrashSpike,
+            vec![
+                ActionNode::new(0, "Check error logs", log_query())
+                    .edge(
+                        Condition::RowGt {
+                            key: "Matching records".into(),
+                            threshold: 0.0,
+                        },
+                        1,
+                    )
+                    .edge(Condition::Always, 2),
+                ActionNode::new(
+                    1,
+                    "Check disks",
+                    Action::Query {
+                        query: Query::DiskUsage,
+                        lookback_secs: 3600,
+                    },
+                ),
+                ActionNode::new(
+                    2,
+                    "Escalate blind",
+                    Action::Mitigate {
+                        suggestion: "Diagnostics unavailable; engage the on-call directly.".into(),
+                    },
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_faults_matches_plain_execute_exactly() {
+        let snap = snapshot();
+        let h = handler();
+        let plain = h.execute(&snap, Scope::Service).unwrap();
+        let resilient = h
+            .execute_resilient(&snap, Scope::Service, &NoFaults, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(plain, resilient);
+        assert_eq!(resilient.degradation.completeness(), 1.0);
+        assert_eq!(resilient.degradation.retries, 0);
+        assert!(!resilient.degradation.is_degraded());
+    }
+
+    #[test]
+    fn transient_fault_is_retried_to_success() {
+        let snap = snapshot();
+        let h = handler();
+        let inj = FailFirst {
+            fail_attempts: 2,
+            decision: FaultDecision::Timeout,
+        };
+        let run = h
+            .execute_resilient(&snap, Scope::Service, &inj, &RetryPolicy::default())
+            .unwrap();
+        // Both queries succeed on the third attempt.
+        assert_eq!(run.degradation.sections_failed, 0);
+        assert_eq!(run.degradation.retries, 4);
+        assert_eq!(run.path, vec!["Check error logs", "Check disks"]);
+        // Two timeouts + two backoffs + one success per query.
+        let per_query = 2 * 1000 + 100 + 200 + 50;
+        assert_eq!(run.degradation.budget_spent_ms, 2 * per_query);
+        assert!(!run.diagnostic_text().contains("[data unavailable"));
+    }
+
+    #[test]
+    fn exhausted_query_degrades_and_takes_fallback_edge() {
+        let snap = snapshot();
+        let h = handler();
+        let inj = DeadSource(DataSource::Logs);
+        let run = h
+            .execute_resilient(&snap, Scope::Service, &inj, &RetryPolicy::default())
+            .unwrap();
+        // The logs query exhausts its retries; the fallback edge routes
+        // to the blind-escalation mitigation instead of the disk query.
+        assert_eq!(run.path, vec!["Check error logs", "Escalate blind"]);
+        assert_eq!(run.mitigations.len(), 1);
+        assert_eq!(run.degradation.sections_failed, 1);
+        assert_eq!(run.degradation.sources_failed, vec!["logs".to_string()]);
+        let text = run.diagnostic_text();
+        assert!(
+            text.contains("[data unavailable: source logs unavailable]"),
+            "text: {text}"
+        );
+        assert!(run.degradation.completeness() < 1.0);
+    }
+
+    #[test]
+    fn circuit_breaker_opens_after_threshold_and_skips_attempts() {
+        let snap = snapshot();
+        // Handler hammering the same dead source five times in sequence.
+        let mut nodes: Vec<ActionNode> = (0..5)
+            .map(|i| {
+                ActionNode::new(i, format!("q{i}"), log_query()).edge(Condition::Always, i + 1)
+            })
+            .collect();
+        nodes.push(ActionNode::new(
+            5,
+            "done",
+            Action::Mitigate {
+                suggestion: "stop".into(),
+            },
+        ));
+        let h = Handler::new(AlertType::ProcessCrashSpike, nodes);
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            ..RetryPolicy::default()
+        };
+        let run = h
+            .execute_resilient(
+                &snap,
+                Scope::Service,
+                &DeadSource(DataSource::Logs),
+                &policy,
+            )
+            .unwrap();
+        assert_eq!(run.degradation.sections_failed, 5);
+        let text = run.diagnostic_text();
+        // First two queries exhaust retries; the remaining three are
+        // skipped by the open breaker.
+        assert_eq!(
+            text.matches("circuit breaker open for source logs").count(),
+            3
+        );
+        // Skipped queries cost nothing: spent covers exactly two
+        // exhausted queries (3 fast failures + 2 backoffs each).
+        assert_eq!(run.degradation.budget_spent_ms, 2 * (3 * 50 + 100 + 200));
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_fast_but_never_aborts() {
+        let snap = snapshot();
+        let h = handler();
+        let policy = RetryPolicy {
+            handler_budget_ms: 50, // exactly one query's cost
+            ..RetryPolicy::default()
+        };
+        let run = h
+            .execute_resilient(&snap, Scope::Service, &NoFaults, &policy)
+            .unwrap();
+        // First query fits the budget; the second fails fast on it.
+        assert_eq!(run.degradation.sections_failed, 1);
+        assert!(run
+            .diagnostic_text()
+            .contains("[data unavailable: handler budget of 50ms exhausted]"));
+    }
+
+    #[test]
+    fn zero_budget_with_queries_is_a_config_error() {
+        let snap = snapshot();
+        let policy = RetryPolicy {
+            handler_budget_ms: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(
+            handler().execute_resilient(&snap, Scope::Service, &NoFaults, &policy),
+            Err(HandlerError::BudgetExceeded { budget_ms: 0 })
+        );
+        let zero_attempts = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(matches!(
+            handler().execute_resilient(&snap, Scope::Service, &NoFaults, &zero_attempts),
+            Err(HandlerError::InvalidPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn partial_data_is_marked_and_counts_half() {
+        let snap = snapshot();
+        let h = handler();
+        let inj = FailFirst {
+            fail_attempts: u32::MAX,
+            decision: FaultDecision::PartialRows {
+                keep_per_mille: 500,
+            },
+        };
+        let run = h
+            .execute_resilient(&snap, Scope::Service, &inj, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(run.degradation.sections_failed, 0);
+        assert_eq!(run.degradation.sections_partial, 2);
+        assert!((run.degradation.completeness() - 0.5).abs() < 1e-9);
+        assert!(run
+            .diagnostic_text()
+            .contains("[data degraded: partial result"));
+    }
+
+    #[test]
+    fn worst_case_action_cost_bounds_observed_spend() {
+        let policy = RetryPolicy::default();
+        // 3 timeouts (1000 each) + backoffs 100 + 200.
+        assert_eq!(policy.worst_case_action_ms(), 3300);
+        assert_eq!(policy.backoff_ms(1), 100);
+        assert_eq!(policy.backoff_ms(2), 200);
+        assert_eq!(policy.backoff_ms(10), 2000);
+    }
+}

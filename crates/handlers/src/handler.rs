@@ -1,15 +1,17 @@
 //! Handler definition and the execution engine.
 
-use crate::action::{Action, ActionNode, ScopeDirection};
+use crate::action::{ActionNode, ScopeDirection};
+use crate::executor::{RetryPolicy, RunDegradation};
 use rcacopilot_telemetry::alert::AlertType;
+use rcacopilot_telemetry::fault::NoFaults;
 use rcacopilot_telemetry::log::LogLevel;
-use rcacopilot_telemetry::query::{QueryResult, Scope, TimeWindow};
+use rcacopilot_telemetry::query::{QueryResult, Scope};
 use rcacopilot_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Hard cap on executed nodes, guarding against malformed handler cycles.
-const MAX_STEPS: usize = 64;
+pub(crate) const MAX_STEPS: usize = 64;
 
 /// A versioned incident handler for one alert type.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +42,14 @@ pub enum HandlerError {
     DuplicateId(u32),
     /// Execution exceeded [`MAX_STEPS`] (a cycle without exit).
     StepLimitExceeded,
+    /// The execution policy's whole-handler time budget cannot cover the
+    /// handler (a zero budget with query actions present).
+    BudgetExceeded {
+        /// The configured budget in virtual milliseconds.
+        budget_ms: u64,
+    },
+    /// The retry policy is unusable (e.g. zero attempts allowed).
+    InvalidPolicy(&'static str),
 }
 
 impl std::fmt::Display for HandlerError {
@@ -53,6 +63,10 @@ impl std::fmt::Display for HandlerError {
             HandlerError::StepLimitExceeded => {
                 write!(f, "execution exceeded {MAX_STEPS} steps (cycle?)")
             }
+            HandlerError::BudgetExceeded { budget_ms } => {
+                write!(f, "time budget of {budget_ms}ms cannot cover any query")
+            }
+            HandlerError::InvalidPolicy(why) => write!(f, "invalid retry policy: {why}"),
         }
     }
 }
@@ -73,6 +87,10 @@ pub struct HandlerRun {
     pub mitigations: Vec<String>,
     /// Scope at the end of execution (after any scope switches).
     pub final_scope: Scope,
+    /// Degradation metadata: completeness of the collected diagnostics
+    /// and what the resilience machinery spent. All-zero (completeness
+    /// `1.0`) on fault-free runs.
+    pub degradation: RunDegradation,
 }
 
 impl HandlerRun {
@@ -144,67 +162,33 @@ impl Handler {
         self.nodes.is_empty()
     }
 
-    fn node(&self, id: u32) -> Option<&ActionNode> {
+    pub(crate) fn node(&self, id: u32) -> Option<&ActionNode> {
         self.nodes.iter().find(|n| n.id == id)
     }
 
     /// Executes the handler against `snapshot`, starting from the alert's
     /// `scope`, collecting diagnostic sections along the visited path.
+    ///
+    /// This is the fault-free entry point: it delegates to the resilient
+    /// executor ([`Handler::execute_resilient`]) with
+    /// [`NoFaults`] and the default [`RetryPolicy`], so both paths share
+    /// one engine and a no-fault run is byte-identical to the historical
+    /// behavior.
     pub fn execute(
         &self,
         snapshot: &TelemetrySnapshot,
         scope: Scope,
     ) -> Result<HandlerRun, HandlerError> {
-        self.validate()?;
-        let mut run = HandlerRun {
-            final_scope: scope,
-            ..HandlerRun::default()
-        };
-        let mut current = Some(self.nodes[0].id);
-        let mut steps = 0;
-        while let Some(id) = current {
-            steps += 1;
-            if steps > MAX_STEPS {
-                return Err(HandlerError::StepLimitExceeded);
-            }
-            let node = self.node(id).expect("validated node id");
-            run.path.push(node.name.clone());
-            let result = match &node.action {
-                Action::Query {
-                    query,
-                    lookback_secs,
-                } => {
-                    let window = TimeWindow::lookback(snapshot.taken_at, *lookback_secs);
-                    let r = snapshot.execute(query, run.final_scope, window);
-                    run.action_outputs.push((node.name.clone(), digest_of(&r)));
-                    run.sections.push(r.clone());
-                    r
-                }
-                Action::ScopeSwitch(direction) => {
-                    run.final_scope = switch_scope(snapshot, run.final_scope, *direction);
-                    run.action_outputs
-                        .push((node.name.clone(), run.final_scope.label()));
-                    QueryResult::default()
-                }
-                Action::Mitigate { suggestion } => {
-                    run.mitigations.push(suggestion.clone());
-                    run.action_outputs
-                        .push((node.name.clone(), suggestion.clone()));
-                    QueryResult::default()
-                }
-            };
-            current = node
-                .edges
-                .iter()
-                .find(|(cond, _)| cond.matches(&result))
-                .map(|(_, to)| *to);
-        }
-        Ok(run)
+        self.execute_resilient(snapshot, scope, &NoFaults, &RetryPolicy::default())
     }
 }
 
 /// Applies a scope switch using the snapshot's evidence.
-fn switch_scope(snapshot: &TelemetrySnapshot, scope: Scope, direction: ScopeDirection) -> Scope {
+pub(crate) fn switch_scope(
+    snapshot: &TelemetrySnapshot,
+    scope: Scope,
+    direction: ScopeDirection,
+) -> Scope {
     match direction {
         ScopeDirection::Widen => scope.widened(),
         ScopeDirection::NarrowToNoisiestMachine => {
@@ -217,7 +201,7 @@ fn switch_scope(snapshot: &TelemetrySnapshot, scope: Scope, direction: ScopeDire
                 }
             }
             for (m, c) in counts {
-                if best.map_or(true, |(_, bc)| c > bc) {
+                if best.is_none_or(|(_, bc)| c > bc) {
                     best = Some((m, c));
                 }
             }
@@ -230,7 +214,7 @@ fn switch_scope(snapshot: &TelemetrySnapshot, scope: Scope, direction: ScopeDire
 }
 
 /// Short digest of a query result, used as the node's "action output".
-fn digest_of(result: &QueryResult) -> String {
+pub(crate) fn digest_of(result: &QueryResult) -> String {
     if let Some((k, v)) = result.rows.first() {
         format!("{k}={v}")
     } else {
@@ -246,7 +230,7 @@ fn digest_of(result: &QueryResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::action::Condition;
+    use crate::action::{Action, Condition};
     use rcacopilot_telemetry::ids::{ForestId, MachineId, MachineRole};
     use rcacopilot_telemetry::log::LogRecord;
     use rcacopilot_telemetry::query::Query;

@@ -15,6 +15,10 @@
 //! Handlers are data, not code: they serialize to JSON and live in a
 //! versioned [`registry::HandlerRegistry`], mirroring the paper's
 //! database-backed handler store that OCEs edit through a web UI.
+//! [`executor`] is the resilient execution engine — per-action deadlines,
+//! bounded-backoff retries, per-source circuit breakers, and a
+//! whole-handler time budget over a deterministic fault injector — that
+//! both the fault-free and degraded paths run on.
 //! [`library::standard_handlers`] builds the handler set for the simulated
 //! transport service's ten alert types.
 
@@ -22,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod executor;
 pub mod handler;
 pub mod library;
 pub mod registry;
 
 pub use action::{Action, ActionNode, Condition, ScopeDirection};
+pub use executor::{RetryPolicy, RunDegradation};
 pub use handler::{Handler, HandlerError, HandlerRun};
 pub use library::standard_handlers;
 pub use registry::HandlerRegistry;

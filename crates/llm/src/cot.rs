@@ -87,7 +87,7 @@ impl CotEngine {
         let mut best: Option<(usize, f64, f64)> = None; // (idx, noisy, clean)
         for (i, &(clean, _, _, _)) in scores.iter().enumerate() {
             let noisy = clean + self.noise_for(&prompt.input, i) * length_factor;
-            if best.map_or(true, |(_, bn, _)| noisy > bn) {
+            if best.is_none_or(|(_, bn, _)| noisy > bn) {
                 best = Some((i, noisy, clean));
             }
         }
@@ -332,16 +332,16 @@ mod tests {
     use crate::prompt::PromptOption;
 
     fn prompt(input: &str, options: &[(&str, &str)]) -> PredictionPrompt {
-        PredictionPrompt {
-            input: input.to_string(),
-            options: options
+        PredictionPrompt::new(
+            input,
+            options
                 .iter()
                 .map(|(s, c)| PromptOption {
                     summary: s.to_string(),
                     category: c.to_string(),
                 })
                 .collect(),
-        }
+        )
     }
 
     #[test]

@@ -215,7 +215,7 @@ mod tests {
         let model = FineTunedLm::train(&examples(), 400).with_hallucination_margin(1e9);
         // Forced hallucination: the emitted string is not a training label.
         let (l, _) = model.predict("winsock socket exhausted on hub");
-        assert!(!model.labels().iter().any(|x| *x == l), "emitted {l}");
+        assert!(!model.labels().contains(&l), "emitted {l}");
         // The argmax head underneath is still sound.
         let (raw, _) = model.predict_argmax("winsock socket exhausted on hub");
         assert_eq!(raw, "HubPortExhaustion");

@@ -45,9 +45,23 @@ pub struct PredictionPrompt {
     pub input: String,
     /// Demonstration options (B, C, ... in render order).
     pub options: Vec<PromptOption>,
+    /// Degradation annotation injected when the collection stage ran
+    /// with incomplete diagnostics (fault-injected telemetry). `None` on
+    /// the fault-free path, which keeps the rendered prompt byte-for-byte
+    /// identical to the historical format.
+    pub degradation_note: Option<String>,
 }
 
 impl PredictionPrompt {
+    /// Creates a prompt with no degradation annotation.
+    pub fn new(input: impl Into<String>, options: Vec<PromptOption>) -> Self {
+        PredictionPrompt {
+            input: input.into(),
+            options,
+            degradation_note: None,
+        }
+    }
+
     /// Renders the full prompt text in the Figure 9 format.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -59,6 +73,10 @@ impl PredictionPrompt {
         );
         out.push_str("Input: ");
         out.push_str(&self.input);
+        if let Some(note) = &self.degradation_note {
+            out.push_str("\n\nData completeness warning: ");
+            out.push_str(note);
+        }
         out.push_str("\n\nOptions:\nA: Unseen incident.\n");
         for (i, opt) in self.options.iter().enumerate() {
             // Single letters cover the normal K <= 25 case; larger option
@@ -109,9 +127,9 @@ mod tests {
     }
 
     fn prompt() -> PredictionPrompt {
-        PredictionPrompt {
-            input: "The probe has failed twice with a WinSock 11001 error.".into(),
-            options: vec![
+        PredictionPrompt::new(
+            "The probe has failed twice with a WinSock 11001 error.",
+            vec![
                 PromptOption {
                     summary: "The DatacenterHubOutboundProxyProbe has failed twice".into(),
                     category: "HubPortExhaustion".into(),
@@ -121,7 +139,7 @@ mod tests {
                     category: "AuthCertIssue".into(),
                 },
             ],
-        }
+        )
     }
 
     #[test]
@@ -133,6 +151,20 @@ mod tests {
         assert!(text.contains("B: The DatacenterHubOutboundProxyProbe"));
         assert!(text.contains("category: HubPortExhaustion."));
         assert!(text.contains("C: There are 62 managed threads"));
+    }
+
+    #[test]
+    fn degradation_note_renders_between_input_and_options() {
+        let clean = prompt().render();
+        assert!(!clean.contains("Data completeness warning"));
+        let mut p = prompt();
+        p.degradation_note =
+            Some("1 of 3 diagnostic sections unavailable (sources: probes)".into());
+        let text = p.render();
+        let input = text.find("Input:").unwrap();
+        let note = text.find("Data completeness warning: 1 of 3").unwrap();
+        let options = text.find("Options:").unwrap();
+        assert!(input < note && note < options);
     }
 
     #[test]

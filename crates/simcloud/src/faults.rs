@@ -1,0 +1,403 @@
+//! Seeded fault plans: the simulated cloud's telemetry-plane failures.
+//!
+//! A [`FaultPlan`] decides, deterministically, whether each telemetry
+//! query attempt succeeds, times out, returns partial/stale data, or
+//! finds its data source unavailable. Decisions are pure functions of
+//! `(plan seed, data source, scope, window, attempt)` — no wall clock,
+//! no shared mutable state — so a fixed plan replays the exact same
+//! degraded campaign run after run, which is what makes the robustness
+//! benchmarks and the executor's determinism proptests possible.
+//!
+//! Two fault mechanisms compose:
+//!
+//! 1. **Random per-attempt faults** at a configurable rate (a base rate
+//!    plus per-source overrides). These are *transient*: each retry
+//!    re-rolls, so the executor's backoff genuinely helps.
+//! 2. **Outage intervals**: a data source (or every source) is marked
+//!    unavailable for a sim-time interval, optionally only within one
+//!    forest. These are *persistent*: retries cannot clear them, only
+//!    the fallback edge can route around them.
+
+use rcacopilot_telemetry::fault::{DataSource, FaultDecision, FaultInjector};
+use rcacopilot_telemetry::ids::ForestId;
+use rcacopilot_telemetry::query::{Scope, TimeWindow};
+use rcacopilot_telemetry::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A scheduled unavailability interval for a data source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Source that is down; `None` means every source.
+    pub source: Option<DataSource>,
+    /// Forest the outage is confined to; `None` hits every scope.
+    /// Service-wide queries (no forest) are only hit by forest-less
+    /// outages.
+    pub forest: Option<ForestId>,
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl Outage {
+    /// True when this outage covers a query for `source` at `scope`
+    /// whose window ends at `at`.
+    fn covers(&self, source: DataSource, scope: Scope, at: SimTime) -> bool {
+        if let Some(s) = self.source {
+            if s != source {
+                return false;
+            }
+        }
+        if let Some(f) = self.forest {
+            if scope.forest() != Some(f) {
+                return false;
+            }
+        }
+        self.from <= at && at < self.until
+    }
+}
+
+/// Relative weights of the four transient fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMix {
+    /// Weight of query timeouts.
+    pub timeout: u32,
+    /// Weight of truncated (partial-row) results.
+    pub partial: u32,
+    /// Weight of stale-replica windows.
+    pub stale: u32,
+    /// Weight of transient source unavailability.
+    pub unavailable: u32,
+}
+
+impl Default for FaultMix {
+    fn default() -> Self {
+        // Timeouts and flaky unavailability dominate real collection
+        // failures; silent truncation and stale replicas are rarer.
+        FaultMix {
+            timeout: 4,
+            partial: 2,
+            stale: 1,
+            unavailable: 3,
+        }
+    }
+}
+
+impl FaultMix {
+    fn total(&self) -> u64 {
+        u64::from(self.timeout)
+            + u64::from(self.partial)
+            + u64::from(self.stale)
+            + u64::from(self.unavailable)
+    }
+}
+
+/// A deterministic, seeded fault plan for the telemetry plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Probability (0..=1) that any single query attempt faults.
+    pub base_rate: f64,
+    /// Per-source rate overrides, replacing `base_rate` for that source.
+    pub source_rates: Vec<(DataSource, f64)>,
+    /// Scheduled unavailability intervals (persistent across retries).
+    pub outages: Vec<Outage>,
+    /// Mix of transient fault kinds.
+    pub mix: FaultMix,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every query answers normally. Running the
+    /// pipeline under this plan is byte-identical to running it without
+    /// fault injection at all.
+    pub fn none() -> Self {
+        FaultPlan::uniform(0, 0.0)
+    }
+
+    /// A plan faulting every source at `rate` per attempt.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            base_rate: rate.clamp(0.0, 1.0),
+            source_rates: Vec::new(),
+            outages: Vec::new(),
+            mix: FaultMix::default(),
+        }
+    }
+
+    /// Overrides the fault rate of one source; returns `self` for
+    /// chaining.
+    pub fn with_source_rate(mut self, source: DataSource, rate: f64) -> Self {
+        self.source_rates.retain(|(s, _)| *s != source);
+        self.source_rates.push((source, rate.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Schedules an outage; returns `self` for chaining.
+    pub fn with_outage(mut self, outage: Outage) -> Self {
+        self.outages.push(outage);
+        self
+    }
+
+    /// The effective per-attempt fault rate for `source`.
+    pub fn rate_for(&self, source: DataSource) -> f64 {
+        self.source_rates
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.base_rate)
+    }
+
+    /// True when no mechanism can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.outages.is_empty()
+            && self.base_rate == 0.0
+            && self.source_rates.iter().all(|(_, r)| *r == 0.0)
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn decide(
+        &self,
+        source: DataSource,
+        scope: Scope,
+        window: TimeWindow,
+        attempt: u32,
+    ) -> FaultDecision {
+        // Outages are persistent: they hit every attempt.
+        let at = window.end;
+        if self.outages.iter().any(|o| o.covers(source, scope, at)) {
+            return FaultDecision::Unavailable;
+        }
+        let rate = self.rate_for(source);
+        if rate <= 0.0 {
+            return FaultDecision::None;
+        }
+        // One 64-bit roll per (seed, source, scope, window, attempt).
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        h = mix64(h ^ source.index() as u64);
+        h = mix64(h ^ fnv1a(scope.label().as_bytes()));
+        h = mix64(h ^ window.start.as_secs());
+        h = mix64(h ^ window.end.as_secs());
+        h = mix64(h ^ u64::from(attempt));
+        let fires = ((h >> 11) as f64 / (1u64 << 53) as f64) < rate;
+        if !fires {
+            return FaultDecision::None;
+        }
+        // A second roll picks the fault kind and its parameters.
+        let k = mix64(h ^ 0x5851_f42d_4c95_7f2d);
+        let total = self.mix.total();
+        if total == 0 {
+            return FaultDecision::None;
+        }
+        let mut pick = k % total;
+        if pick < u64::from(self.mix.timeout) {
+            return FaultDecision::Timeout;
+        }
+        pick -= u64::from(self.mix.timeout);
+        if pick < u64::from(self.mix.partial) {
+            // Keep 25–75% of the result.
+            let keep = 250 + (k >> 16) % 500;
+            return FaultDecision::PartialRows {
+                keep_per_mille: keep as u16,
+            };
+        }
+        pick -= u64::from(self.mix.partial);
+        if pick < u64::from(self.mix.stale) {
+            // Replicas lag 10 minutes to 4 hours.
+            let lag_secs = 600 + (k >> 16) % (4 * 3600 - 600);
+            return FaultDecision::StaleWindow { lag_secs };
+        }
+        FaultDecision::Unavailable
+    }
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes, for hashing scope labels.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(day: u64) -> TimeWindow {
+        TimeWindow::new(SimTime::from_days(day), SimTime::from_days(day + 1))
+    }
+
+    #[test]
+    fn none_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        for s in DataSource::ALL {
+            for day in 0..20 {
+                for attempt in 1..4 {
+                    assert_eq!(
+                        plan.decide(s, Scope::Service, window(day), attempt),
+                        FaultDecision::None
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let a = FaultPlan::uniform(42, 0.5);
+        let b = FaultPlan::uniform(42, 0.5);
+        let c = FaultPlan::uniform(43, 0.5);
+        let mut differs = false;
+        for s in DataSource::ALL {
+            for day in 0..30 {
+                for attempt in 1..4 {
+                    let da = a.decide(s, Scope::Service, window(day), attempt);
+                    assert_eq!(da, b.decide(s, Scope::Service, window(day), attempt));
+                    if da != c.decide(s, Scope::Service, window(day), attempt) {
+                        differs = true;
+                    }
+                }
+            }
+        }
+        assert!(differs, "different seeds should produce different streams");
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let plan = FaultPlan::uniform(7, 0.3);
+        let mut fired = 0u32;
+        let mut total = 0u32;
+        for s in DataSource::ALL {
+            for day in 0..200 {
+                total += 1;
+                if plan.decide(s, Scope::Service, window(day), 1) != FaultDecision::None {
+                    fired += 1;
+                }
+            }
+        }
+        let observed = f64::from(fired) / f64::from(total);
+        assert!(
+            (observed - 0.3).abs() < 0.04,
+            "observed fault rate {observed} far from 0.3"
+        );
+    }
+
+    #[test]
+    fn retries_reroll_but_outages_persist() {
+        let plan = FaultPlan::uniform(3, 0.5);
+        // With 50% per-attempt faults, across many windows some faulted
+        // first attempts must clear on a later attempt.
+        let mut cleared = false;
+        for day in 0..50 {
+            let w = window(day);
+            if plan.decide(DataSource::Logs, Scope::Service, w, 1) != FaultDecision::None
+                && plan.decide(DataSource::Logs, Scope::Service, w, 2) == FaultDecision::None
+            {
+                cleared = true;
+                break;
+            }
+        }
+        assert!(cleared, "transient faults should clear on retry");
+
+        let outage = FaultPlan::none().with_outage(Outage {
+            source: Some(DataSource::Probes),
+            forest: None,
+            from: SimTime::from_days(10),
+            until: SimTime::from_days(12),
+        });
+        for attempt in 1..10 {
+            assert_eq!(
+                outage.decide(DataSource::Probes, Scope::Service, window(10), attempt),
+                FaultDecision::Unavailable
+            );
+        }
+        // Outside the interval, and for other sources, nothing fires.
+        assert_eq!(
+            outage.decide(DataSource::Probes, Scope::Service, window(13), 1),
+            FaultDecision::None
+        );
+        assert_eq!(
+            outage.decide(DataSource::Logs, Scope::Service, window(10), 1),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn forest_outage_spares_other_forests() {
+        let outage = FaultPlan::none().with_outage(Outage {
+            source: None,
+            forest: Some(ForestId(2)),
+            from: SimTime::EPOCH,
+            until: SimTime::from_days(365),
+        });
+        assert_eq!(
+            outage.decide(DataSource::Logs, Scope::Forest(ForestId(2)), window(5), 1),
+            FaultDecision::Unavailable
+        );
+        assert_eq!(
+            outage.decide(DataSource::Logs, Scope::Forest(ForestId(1)), window(5), 1),
+            FaultDecision::None
+        );
+        // Service-wide queries have no forest: a forest-scoped outage
+        // does not hit them.
+        assert_eq!(
+            outage.decide(DataSource::Logs, Scope::Service, window(5), 1),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn source_rate_overrides_base_rate() {
+        let plan = FaultPlan::uniform(9, 0.0).with_source_rate(DataSource::Queues, 1.0);
+        assert_eq!(plan.rate_for(DataSource::Logs), 0.0);
+        assert_eq!(plan.rate_for(DataSource::Queues), 1.0);
+        assert_ne!(
+            plan.decide(DataSource::Queues, Scope::Service, window(1), 1),
+            FaultDecision::None
+        );
+        assert_eq!(
+            plan.decide(DataSource::Logs, Scope::Service, window(1), 1),
+            FaultDecision::None
+        );
+    }
+
+    #[test]
+    fn fault_kinds_cover_the_whole_mix() {
+        let plan = FaultPlan::uniform(11, 1.0);
+        let mut saw_timeout = false;
+        let mut saw_partial = false;
+        let mut saw_stale = false;
+        let mut saw_unavailable = false;
+        for s in DataSource::ALL {
+            for day in 0..100 {
+                match plan.decide(s, Scope::Service, window(day), 1) {
+                    FaultDecision::Timeout => saw_timeout = true,
+                    FaultDecision::PartialRows { keep_per_mille } => {
+                        assert!((250..750).contains(&keep_per_mille));
+                        saw_partial = true;
+                    }
+                    FaultDecision::StaleWindow { lag_secs } => {
+                        assert!((600..4 * 3600).contains(&lag_secs));
+                        saw_stale = true;
+                    }
+                    FaultDecision::Unavailable => saw_unavailable = true,
+                    FaultDecision::None => panic!("rate 1.0 must always fire"),
+                }
+            }
+        }
+        assert!(saw_timeout && saw_partial && saw_stale && saw_unavailable);
+    }
+}

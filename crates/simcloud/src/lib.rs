@@ -25,12 +25,15 @@
 //! - [`dataset`]: dataset container, train/test split, and the statistics
 //!   behind Figures 2 and 3.
 //! - [`teams`]: the simulated 30-team deployment behind Table 4.
+//! - [`faults`]: seeded telemetry-plane fault plans ([`faults::FaultPlan`])
+//!   driving the resilient collection executor's robustness benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod dataset;
+pub mod faults;
 pub mod generator;
 pub mod incident;
 pub mod noise;
@@ -40,6 +43,7 @@ pub mod topology;
 
 pub use catalog::{Catalog, CategorySpec, Family};
 pub use dataset::{DatasetStats, IncidentDataset, TrainTestSplit};
+pub use faults::{FaultMix, FaultPlan, Outage};
 pub use generator::{generate_dataset, CampaignConfig};
 pub use incident::Incident;
 pub use teams::{simulate_teams, TeamReport};

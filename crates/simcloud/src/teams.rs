@@ -92,7 +92,7 @@ pub fn simulate_teams(seed: u64, incidents_per_team: usize) -> Vec<TeamReport> {
             }
         })
         .collect();
-    reports.sort_by(|a, b| b.enabled_handlers.cmp(&a.enabled_handlers));
+    reports.sort_by_key(|r| std::cmp::Reverse(r.enabled_handlers));
     reports
 }
 

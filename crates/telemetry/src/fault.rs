@@ -1,0 +1,388 @@
+//! Fault injection for telemetry queries.
+//!
+//! Real diagnostic back-ends fail: log stores time out, metric services
+//! return partial scans, replicas serve stale windows, and whole regions
+//! of a data source go dark during an outage. This module defines the
+//! vocabulary for injecting such failures *deterministically* into query
+//! answering, so the collection stage's resilience (retries, deadlines,
+//! circuit breakers, graceful degradation — see `rcacopilot-handlers`)
+//! can be exercised and measured:
+//!
+//! - [`DataSource`]: the back-end a [`Query`] reads from (one per store
+//!   of the [`TelemetrySnapshot`](crate::snapshot::TelemetrySnapshot)).
+//! - [`FaultDecision`]: what an injector does to one query attempt.
+//! - [`FaultCause`]: why a query failed or degraded, rendered into the
+//!   diagnostic text as `[data unavailable: <cause>]` sections.
+//! - [`QueryOutcome`]: the fallible result of a faulted query — ok,
+//!   partial (data returned but degraded), or failed.
+//! - [`FaultInjector`]: the trait concrete fault plans implement
+//!   (`rcacopilot-simcloud` provides the seeded `FaultPlan`); [`NoFaults`]
+//!   is the identity injector used on the fault-free path.
+//!
+//! Determinism is a hard requirement: an injector's decision may depend
+//! only on its own state and the `(source, scope, window, attempt)`
+//! tuple, never on wall-clock time, so a fixed seed reproduces the exact
+//! same degraded run.
+
+use crate::query::{Query, Scope, TimeWindow};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The diagnostic back-end a query reads from.
+///
+/// Each variant corresponds to one store of the telemetry snapshot;
+/// faults are injected (and circuit breakers tripped) per source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataSource {
+    /// Semi-structured log records.
+    Logs,
+    /// Time-series metrics.
+    Metrics,
+    /// Request traces.
+    Traces,
+    /// Aggregated thread stacks.
+    Stacks,
+    /// Synthetic probe results.
+    Probes,
+    /// Socket usage tables.
+    Sockets,
+    /// Disk usage records.
+    Disks,
+    /// Queue statistics.
+    Queues,
+    /// Certificate inventory.
+    Certificates,
+    /// Tenant configuration records.
+    TenantConfigs,
+    /// Machine provisioning records.
+    Provisioning,
+    /// Per-process health records.
+    Processes,
+}
+
+impl DataSource {
+    /// Every data source, in declaration order.
+    pub const ALL: [DataSource; 12] = [
+        DataSource::Logs,
+        DataSource::Metrics,
+        DataSource::Traces,
+        DataSource::Stacks,
+        DataSource::Probes,
+        DataSource::Sockets,
+        DataSource::Disks,
+        DataSource::Queues,
+        DataSource::Certificates,
+        DataSource::TenantConfigs,
+        DataSource::Provisioning,
+        DataSource::Processes,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataSource::Logs => "logs",
+            DataSource::Metrics => "metrics",
+            DataSource::Traces => "traces",
+            DataSource::Stacks => "stacks",
+            DataSource::Probes => "probes",
+            DataSource::Sockets => "sockets",
+            DataSource::Disks => "disks",
+            DataSource::Queues => "queues",
+            DataSource::Certificates => "certificates",
+            DataSource::TenantConfigs => "tenant-configs",
+            DataSource::Provisioning => "provisioning",
+            DataSource::Processes => "processes",
+        }
+    }
+
+    /// Stable index into [`DataSource::ALL`], used by seeded fault plans.
+    pub fn index(&self) -> usize {
+        DataSource::ALL
+            .iter()
+            .position(|s| s == self)
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Display for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Query {
+    /// The back-end data source this query reads from.
+    pub fn data_source(&self) -> DataSource {
+        match self {
+            Query::Logs { .. } => DataSource::Logs,
+            Query::MetricStats { .. } => DataSource::Metrics,
+            Query::SocketsByProcess { .. } => DataSource::Sockets,
+            Query::ThreadStacks { .. } => DataSource::Stacks,
+            Query::ProbeResults { .. } => DataSource::Probes,
+            Query::DiskUsage => DataSource::Disks,
+            Query::QueueStats { .. } | Query::OverLimitQueues => DataSource::Queues,
+            Query::Certificates => DataSource::Certificates,
+            Query::TenantConfigs => DataSource::TenantConfigs,
+            Query::ProvisioningStatus => DataSource::Provisioning,
+            Query::TraceFailures { .. } => DataSource::Traces,
+            Query::ProcessCrashes => DataSource::Processes,
+        }
+    }
+}
+
+/// What a fault injector does to one query attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultDecision {
+    /// Answer normally.
+    None,
+    /// The query never returns within its deadline.
+    Timeout,
+    /// Only a fraction of the result survives (per-mille kept, so the
+    /// decision stays `Eq` and hashable).
+    PartialRows {
+        /// Rows/lines kept, out of 1000.
+        keep_per_mille: u16,
+    },
+    /// The store answers from a replica lagging behind the query window.
+    StaleWindow {
+        /// Replication lag in seconds.
+        lag_secs: u64,
+    },
+    /// The data source is down; the query fails immediately.
+    Unavailable,
+}
+
+/// Why a query failed or returned degraded data.
+///
+/// The executor renders failed causes into diagnostic text as
+/// `[data unavailable: <cause>]` sections. [`FaultCause::CircuitOpen`]
+/// and [`FaultCause::BudgetExhausted`] are produced by the resilient
+/// executor itself, not by injectors, but they share this taxonomy so
+/// every degraded section renders uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// The query exceeded its per-action deadline.
+    Timeout,
+    /// The result was truncated by the back-end.
+    PartialRows {
+        /// Rows/lines that survived.
+        kept: usize,
+        /// Rows/lines dropped.
+        dropped: usize,
+    },
+    /// The result came from a replica lagging behind the alert window.
+    StaleWindow {
+        /// Replication lag in seconds.
+        lag_secs: u64,
+    },
+    /// The data source was unavailable.
+    SourceUnavailable {
+        /// Which source.
+        source: DataSource,
+    },
+    /// The executor's circuit breaker for this source was open, so the
+    /// query was not attempted.
+    CircuitOpen {
+        /// Which source.
+        source: DataSource,
+    },
+    /// The handler's whole-run time budget was exhausted before this
+    /// query could run (or finish retrying).
+    BudgetExhausted {
+        /// The configured budget in virtual milliseconds.
+        budget_ms: u64,
+    },
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCause::Timeout => write!(f, "query timed out"),
+            FaultCause::PartialRows { kept, dropped } => {
+                write!(
+                    f,
+                    "partial result, {dropped} of {} rows dropped",
+                    kept + dropped
+                )
+            }
+            FaultCause::StaleWindow { lag_secs } => {
+                write!(f, "stale replica, window lagging {lag_secs}s")
+            }
+            FaultCause::SourceUnavailable { source } => {
+                write!(f, "source {source} unavailable")
+            }
+            FaultCause::CircuitOpen { source } => {
+                write!(f, "circuit breaker open for source {source}")
+            }
+            FaultCause::BudgetExhausted { budget_ms } => {
+                write!(f, "handler budget of {budget_ms}ms exhausted")
+            }
+        }
+    }
+}
+
+/// Result of answering a query under fault injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryOutcome {
+    /// The query answered normally.
+    Ok(crate::query::QueryResult),
+    /// Data came back, but degraded (truncated or stale).
+    Partial {
+        /// The degraded result.
+        result: crate::query::QueryResult,
+        /// Why it is degraded.
+        cause: FaultCause,
+    },
+    /// No data came back.
+    Failed {
+        /// Why the query failed.
+        cause: FaultCause,
+    },
+}
+
+impl QueryOutcome {
+    /// True for [`QueryOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, QueryOutcome::Ok(_))
+    }
+
+    /// The result, if any data came back (ok or partial).
+    pub fn result(&self) -> Option<&crate::query::QueryResult> {
+        match self {
+            QueryOutcome::Ok(r) | QueryOutcome::Partial { result: r, .. } => Some(r),
+            QueryOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The fault cause, if the outcome is not fully ok.
+    pub fn cause(&self) -> Option<&FaultCause> {
+        match self {
+            QueryOutcome::Ok(_) => None,
+            QueryOutcome::Partial { cause, .. } | QueryOutcome::Failed { cause } => Some(cause),
+        }
+    }
+}
+
+/// A deterministic fault source for query answering.
+///
+/// Implementations must be pure functions of their own state and the
+/// argument tuple — no wall-clock, no interior mutability observable
+/// across calls — so that a fixed plan replays identically.
+pub trait FaultInjector: fmt::Debug + Send + Sync {
+    /// Decides the fate of one query attempt. `attempt` is 1-based; an
+    /// injector modelling transient faults should re-roll per attempt so
+    /// retries can succeed.
+    fn decide(
+        &self,
+        source: DataSource,
+        scope: Scope,
+        window: TimeWindow,
+        attempt: u32,
+    ) -> FaultDecision;
+}
+
+/// The identity injector: never faults. This is what the fault-free
+/// pipeline runs with, keeping the degraded and healthy paths on the
+/// same code path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn decide(&self, _: DataSource, _: Scope, _: TimeWindow, _: u32) -> FaultDecision {
+        FaultDecision::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogLevel;
+
+    #[test]
+    fn every_query_kind_maps_to_a_source() {
+        let queries = [
+            Query::Logs {
+                level: LogLevel::Error,
+                contains: None,
+                limit: 5,
+            },
+            Query::MetricStats {
+                metric: "availability".into(),
+            },
+            Query::SocketsByProcess {
+                protocol: "udp".into(),
+                top: 3,
+            },
+            Query::ThreadStacks { process: None },
+            Query::ProbeResults {
+                probe: "OutboundProxy".into(),
+            },
+            Query::DiskUsage,
+            Query::QueueStats {
+                queue: "submission".into(),
+            },
+            Query::OverLimitQueues,
+            Query::Certificates,
+            Query::TenantConfigs,
+            Query::ProvisioningStatus,
+            Query::TraceFailures { top: 3 },
+            Query::ProcessCrashes,
+        ];
+        for q in &queries {
+            let s = q.data_source();
+            assert!(DataSource::ALL.contains(&s), "{:?}", q.kind());
+            assert_eq!(DataSource::ALL[s.index()], s);
+        }
+    }
+
+    #[test]
+    fn causes_render_human_readable() {
+        assert_eq!(FaultCause::Timeout.to_string(), "query timed out");
+        assert_eq!(
+            FaultCause::PartialRows {
+                kept: 3,
+                dropped: 7
+            }
+            .to_string(),
+            "partial result, 7 of 10 rows dropped"
+        );
+        assert!(FaultCause::SourceUnavailable {
+            source: DataSource::Probes
+        }
+        .to_string()
+        .contains("probes"));
+        assert!(FaultCause::BudgetExhausted { budget_ms: 500 }
+            .to_string()
+            .contains("500ms"));
+    }
+
+    #[test]
+    fn no_faults_is_always_none() {
+        let w = TimeWindow::new(
+            crate::time::SimTime::EPOCH,
+            crate::time::SimTime::from_days(1),
+        );
+        for s in DataSource::ALL {
+            for attempt in 1..4 {
+                assert_eq!(
+                    NoFaults.decide(s, Scope::Service, w, attempt),
+                    FaultDecision::None
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn causes_round_trip_serde() {
+        for c in [
+            FaultCause::Timeout,
+            FaultCause::StaleWindow { lag_secs: 600 },
+            FaultCause::CircuitOpen {
+                source: DataSource::Queues,
+            },
+        ] {
+            let json = serde_json::to_string(&c).unwrap();
+            assert_eq!(c, serde_json::from_str::<FaultCause>(&json).unwrap());
+        }
+    }
+}

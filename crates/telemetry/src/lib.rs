@@ -20,6 +20,9 @@
 //!   all of the above, which is what handler actions query.
 //! - [`query`]: the serializable [`query::Query`] language handler actions
 //!   are written in, plus [`query::QueryResult`] tables.
+//! - [`fault`]: deterministic fault injection over query answering —
+//!   [`fault::QueryOutcome`], [`fault::FaultCause`], and the
+//!   [`fault::FaultInjector`] trait consumed by the resilient executor.
 //!
 //! The design mirrors the paper's "multi-source diagnostic information"
 //! (§4.1.3): the root-cause signal of an incident is deliberately spread
@@ -30,6 +33,7 @@
 
 pub mod alert;
 pub mod artifacts;
+pub mod fault;
 pub mod ids;
 pub mod log;
 pub mod metrics;
@@ -43,6 +47,7 @@ pub use artifacts::{
     CertStatus, CertificateRecord, DiskUsage, ProbeResult, ProcessInfo, ProvisioningRecord,
     QueueStat, SocketStat, StackGroup, TenantConfigRecord,
 };
+pub use fault::{DataSource, FaultCause, FaultDecision, FaultInjector, NoFaults, QueryOutcome};
 pub use ids::{ForestId, IncidentId, MachineId, ProcessId, TenantId};
 pub use log::{LogLevel, LogRecord, LogStore};
 pub use metrics::{MetricPoint, MetricStore, SeriesStats, TimeSeries};

@@ -147,10 +147,10 @@ impl LogStore {
                 window.contains(r.at)
                     && scope.contains_machine(r.machine)
                     && r.level >= level
-                    && contains.map_or(true, |c| r.message.contains(c))
+                    && contains.is_none_or(|c| r.message.contains(c))
             })
             .collect();
-        hits.sort_by(|a, b| b.at.cmp(&a.at));
+        hits.sort_by_key(|r| std::cmp::Reverse(r.at));
         hits.truncate(limit);
         hits
     }

@@ -10,6 +10,7 @@ use crate::artifacts::{
     CertificateRecord, DiskUsage, ProbeResult, ProcessInfo, ProvisioningRecord, QueueStat,
     SocketStat, StackGroup, TenantConfigRecord,
 };
+use crate::fault::{FaultCause, FaultDecision, FaultInjector, QueryOutcome};
 use crate::log::{LogLevel, LogStore};
 use crate::metrics::MetricStore;
 use crate::query::{Query, QueryResult, Scope, TimeWindow};
@@ -82,6 +83,54 @@ impl TelemetrySnapshot {
         }
     }
 
+    /// Executes `query` through a fault injector, producing a fallible
+    /// [`QueryOutcome`] instead of an infallible result.
+    ///
+    /// With [`crate::fault::NoFaults`] this is exactly [`execute`]
+    /// wrapped in [`QueryOutcome::Ok`] — the fault-free path produces
+    /// byte-identical results. `attempt` is 1-based and forwarded to the
+    /// injector so transient faults can clear on retry.
+    ///
+    /// [`execute`]: TelemetrySnapshot::execute
+    pub fn execute_faulted(
+        &self,
+        query: &Query,
+        scope: Scope,
+        window: TimeWindow,
+        faults: &dyn FaultInjector,
+        attempt: u32,
+    ) -> QueryOutcome {
+        let source = query.data_source();
+        match faults.decide(source, scope, window, attempt) {
+            FaultDecision::None => QueryOutcome::Ok(self.execute(query, scope, window)),
+            FaultDecision::Timeout => QueryOutcome::Failed {
+                cause: FaultCause::Timeout,
+            },
+            FaultDecision::Unavailable => QueryOutcome::Failed {
+                cause: FaultCause::SourceUnavailable { source },
+            },
+            FaultDecision::StaleWindow { lag_secs } => {
+                let lag = crate::time::SimDuration::from_secs(lag_secs);
+                let stale = TimeWindow::new(
+                    window.start.saturating_sub(lag),
+                    window.end.saturating_sub(lag),
+                );
+                QueryOutcome::Partial {
+                    result: self.execute(query, scope, stale),
+                    cause: FaultCause::StaleWindow { lag_secs },
+                }
+            }
+            FaultDecision::PartialRows { keep_per_mille } => {
+                let full = self.execute(query, scope, window);
+                let (result, kept, dropped) = truncate_result(full, keep_per_mille);
+                QueryOutcome::Partial {
+                    result,
+                    cause: FaultCause::PartialRows { kept, dropped },
+                }
+            }
+        }
+    }
+
     fn q_logs(
         &self,
         scope: Scope,
@@ -122,7 +171,7 @@ impl TelemetrySnapshot {
             .iter()
             .filter(|s| s.protocol == protocol && scope.contains_machine(s.machine))
             .collect();
-        matching.sort_by(|a, b| b.count.cmp(&a.count));
+        matching.sort_by_key(|s| std::cmp::Reverse(s.count));
         let total: u64 = matching.iter().map(|s| s.count).sum();
         let proto_upper = protocol.to_uppercase();
         let mut r = QueryResult::titled(format!("Socket usage ({proto_upper}) on {scope}"));
@@ -251,7 +300,7 @@ impl TelemetrySnapshot {
             .iter()
             .filter(|q| q.over_limit() && scope.contains_machine(q.machine))
             .collect();
-        matching.sort_by(|a, b| b.length.cmp(&a.length));
+        matching.sort_by_key(|q| std::cmp::Reverse(q.length));
         r.push_row("Queues over limit", matching.len().to_string());
         for q in matching.iter().take(6) {
             r.push_line(format!(
@@ -364,7 +413,7 @@ impl TelemetrySnapshot {
             .iter()
             .filter(|p| p.crash_count > 0 && scope.contains_machine(p.machine))
             .collect();
-        matching.sort_by(|a, b| b.crash_count.cmp(&a.crash_count));
+        matching.sort_by_key(|p| std::cmp::Reverse(p.crash_count));
         let total: u32 = matching.iter().map(|p| p.crash_count).sum();
         r.push_row("Crashing processes", matching.len().to_string());
         r.push_row("Total crashes", total.to_string());
@@ -383,6 +432,36 @@ impl TelemetrySnapshot {
         }
         r
     }
+}
+
+/// Truncates a query result to roughly `keep_per_mille`/1000 of its rows
+/// and text lines (keeping prefixes, so the most significant entries —
+/// stores emit sorted output — survive). Returns the truncated result
+/// plus `(kept, dropped)` counts over rows and lines combined. A result
+/// always keeps at least one row/line of whatever it had, so sections
+/// never become silently empty.
+fn truncate_result(full: QueryResult, keep_per_mille: u16) -> (QueryResult, usize, usize) {
+    let kpm = u64::from(keep_per_mille.min(1000));
+    let keep_of = |n: usize| -> usize {
+        if n == 0 {
+            0
+        } else {
+            (((n as u64) * kpm).div_ceil(1000) as usize).max(1)
+        }
+    };
+    let keep_rows = keep_of(full.rows.len());
+    let lines: Vec<&str> = full.text.lines().collect();
+    let keep_lines = keep_of(lines.len());
+    let mut out = QueryResult::titled(full.title.clone());
+    for (k, v) in full.rows.iter().take(keep_rows) {
+        out.push_row(k.clone(), v.clone());
+    }
+    for line in lines.iter().take(keep_lines) {
+        out.push_line(*line);
+    }
+    let kept = keep_rows + keep_lines;
+    let dropped = full.rows.len() + lines.len() - kept;
+    (out, kept, dropped)
 }
 
 #[cfg(test)]
@@ -529,6 +608,139 @@ mod tests {
         // The fullest disk appears first.
         assert!(r.rows[0].0.contains("C:"));
         assert!(r.rows[0].1.starts_with("99.4%"));
+    }
+
+    /// Test injector returning a fixed decision for every query.
+    #[derive(Debug)]
+    struct Always(FaultDecision);
+
+    impl FaultInjector for Always {
+        fn decide(
+            &self,
+            _: crate::fault::DataSource,
+            _: Scope,
+            _: TimeWindow,
+            _: u32,
+        ) -> FaultDecision {
+            self.0
+        }
+    }
+
+    #[test]
+    fn no_faults_outcome_is_byte_identical_to_execute() {
+        let s = snapshot();
+        let q = Query::SocketsByProcess {
+            protocol: "udp".into(),
+            top: 5,
+        };
+        let direct = s.execute(&q, Scope::Machine(m(1)), full_window());
+        let outcome = s.execute_faulted(
+            &q,
+            Scope::Machine(m(1)),
+            full_window(),
+            &crate::fault::NoFaults,
+            1,
+        );
+        assert_eq!(outcome, QueryOutcome::Ok(direct));
+    }
+
+    #[test]
+    fn timeout_and_unavailable_fail_without_data() {
+        let s = snapshot();
+        let q = Query::DiskUsage;
+        let timeout = s.execute_faulted(
+            &q,
+            Scope::Service,
+            full_window(),
+            &Always(FaultDecision::Timeout),
+            1,
+        );
+        assert_eq!(
+            timeout,
+            QueryOutcome::Failed {
+                cause: FaultCause::Timeout
+            }
+        );
+        let down = s.execute_faulted(
+            &q,
+            Scope::Service,
+            full_window(),
+            &Always(FaultDecision::Unavailable),
+            1,
+        );
+        assert!(matches!(
+            down,
+            QueryOutcome::Failed {
+                cause: FaultCause::SourceUnavailable {
+                    source: crate::fault::DataSource::Disks
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn partial_rows_truncates_but_keeps_something() {
+        let mut s = snapshot();
+        for i in 2..8 {
+            s.disks.push(DiskUsage {
+                machine: m(i),
+                volume: "D:".into(),
+                used_pct: 50.0 - i as f64,
+                free_bytes: 1 << 30,
+            });
+        }
+        let q = Query::DiskUsage;
+        let out = s.execute_faulted(
+            &q,
+            Scope::Service,
+            full_window(),
+            &Always(FaultDecision::PartialRows {
+                keep_per_mille: 300,
+            }),
+            1,
+        );
+        match out {
+            QueryOutcome::Partial {
+                result,
+                cause: FaultCause::PartialRows { kept, dropped },
+            } => {
+                assert!(dropped > 0, "expected rows to be dropped");
+                assert!(kept >= 1);
+                assert!(!result.rows.is_empty());
+                assert!(result.rows.len() < 7);
+                // The sort order survives truncation: fullest disk first.
+                assert!(result.rows[0].1.starts_with("99.4%"));
+            }
+            other => panic!("expected partial outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_window_shifts_the_query_back_in_time() {
+        let s = snapshot();
+        // Probes sit at hour 23; a window covering only [24h, 25h) misses
+        // them — unless served stale by one hour, which shifts it back
+        // onto the probe.
+        let w = TimeWindow::new(SimTime::from_hours(24), SimTime::from_hours(25));
+        let q = Query::ProbeResults {
+            probe: "DatacenterHubOutboundProxyProbe".into(),
+        };
+        let fresh = s.execute(&q, Scope::Machine(m(1)), w);
+        assert_eq!(fresh.row("Total Probes"), Some("0"));
+        let out = s.execute_faulted(
+            &q,
+            Scope::Machine(m(1)),
+            w,
+            &Always(FaultDecision::StaleWindow { lag_secs: 3600 }),
+            1,
+        );
+        match out {
+            QueryOutcome::Partial { result, cause } => {
+                assert_eq!(result.row("Total Probes"), Some("1"));
+                assert_eq!(cause, FaultCause::StaleWindow { lag_secs: 3600 });
+            }
+            other => panic!("expected partial outcome, got {other:?}"),
+        }
     }
 
     #[test]

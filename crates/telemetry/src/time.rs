@@ -81,13 +81,11 @@ impl SimTime {
         let mut days = self.days_since_epoch();
         let year = Self::EPOCH_YEAR + days / 365;
         days %= 365;
-        let mut month = 1;
-        for len in MONTH_LENGTHS {
+        for (month, len) in (1..).zip(MONTH_LENGTHS) {
             if days < len {
                 return (year, month, days + 1);
             }
             days -= len;
-            month += 1;
         }
         unreachable!("day index < 365 always lands inside a month");
     }

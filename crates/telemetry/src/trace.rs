@@ -206,7 +206,7 @@ impl TraceStore {
                 },
             )
             .collect();
-        out.sort_by(|a, b| b.count.cmp(&a.count));
+        out.sort_by_key(|g| std::cmp::Reverse(g.count));
         out.truncate(top);
         out
     }

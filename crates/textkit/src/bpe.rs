@@ -143,7 +143,7 @@ impl BpeTokenizer {
                 let mut best: Option<(u32, usize, u32)> = None; // (priority, pos, merged)
                 for (pos, win) in seq.windows(2).enumerate() {
                     if let Some(&(prio, merged)) = self.merges.get(&(win[0], win[1])) {
-                        if best.map_or(true, |(bp, _, _)| prio < bp) {
+                        if best.is_none_or(|(bp, _, _)| prio < bp) {
                             best = Some((prio, pos, merged));
                         }
                     }

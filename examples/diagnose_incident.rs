@@ -29,8 +29,7 @@ fn main() {
         .incidents()
         .iter()
         .enumerate()
-        .filter(|(_, i)| i.category == "HubPortExhaustion")
-        .next_back()
+        .rfind(|(_, i)| i.category == "HubPortExhaustion")
         .expect("head category occurs");
 
     println!(

@@ -1,0 +1,457 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! Keeps the workspace's property tests running without the real crate:
+//! each `proptest!` test samples its strategies from a deterministic
+//! per-(test, case) RNG and runs the body for `ProptestConfig::cases`
+//! cases. No shrinking — a failing case panics with the case index and
+//! message, which is enough signal for this repo's tests. The strategy
+//! surface implemented is exactly what the workspace uses: integer/float
+//! ranges, character-class string patterns, `collection::vec`,
+//! `sample::select`, tuples, and `prop_map`.
+
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate's default case count.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) rng: rand::rngs::SmallRng,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`; the seed
+        /// is a hash of both, so runs are reproducible and cases are
+        /// independent.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            use rand::SeedableRng;
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h = (h ^ u64::from(case)).wrapping_mul(0x0000_0100_0000_01b3);
+            TestRng {
+                rng: rand::rngs::SmallRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+/// Runs `case` for every case index the config asks for, panicking with
+/// context on the first failure. Used by the `proptest!` macro expansion.
+pub fn run_proptest<F>(config: &test_runner::ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    for i in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(name, i);
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(test_runner::TestCaseError::Reject(_)) => {}
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {i}: {msg}");
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes every sampled value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// `&'static str` patterns of the form `[class]{m,n}` sample strings
+    /// of `m..=n` characters drawn uniformly from the character class
+    /// (ranges like `a-z`, escapes `\n` `\t` `\\`, literals). This covers
+    /// every string strategy the workspace writes.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("proptest shim: unsupported string pattern {self:?}"));
+            let len = rng.rng.gen_range(min..=max);
+            (0..len)
+                .map(|_| chars[rng.rng.gen_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let (class, tail) = (&rest[..close], &rest[close + 1..]);
+
+        let mut chars = Vec::new();
+        let mut iter = class.chars().peekable();
+        while let Some(c) = iter.next() {
+            let lo = if c == '\\' {
+                match iter.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '\\' => '\\',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if iter.peek() == Some(&'-') {
+                let mut ahead = iter.clone();
+                ahead.next(); // '-'
+                if let Some(hi) = ahead.next() {
+                    // A trailing '-' is a literal, not a range.
+                    iter = ahead;
+                    for code in (lo as u32)..=(hi as u32) {
+                        chars.extend(char::from_u32(code));
+                    }
+                    continue;
+                }
+            }
+            chars.push(lo);
+        }
+        if chars.is_empty() {
+            return None;
+        }
+
+        let bounds = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match bounds.split_once(',') {
+            Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+            None => {
+                let n = bounds.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((chars, min, max))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of `size.into()` elements sampled from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform choice from `items` (must be non-empty).
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select: empty choice list");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[rng.rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are sampled from
+/// strategies; supports an optional `#![proptest_config(..)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, f in -1.0f64..1.0, s in "[a-z]{1,8}") {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_and_select_and_map(
+            v in crate::collection::vec((0usize..4, 0.0f64..1.0), 2..=5),
+            pick in crate::sample::select(vec!["a", "b"]).prop_map(str::to_string)
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(pick == "a" || pick == "b");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|i| strat.sample(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| strat.sample(&mut crate::test_runner::TestRng::for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

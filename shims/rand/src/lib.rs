@@ -1,0 +1,360 @@
+//! Vendored offline stand-in for `rand` 0.8.5.
+//!
+//! Reimplements exactly the slice of rand this workspace uses — `SmallRng`
+//! (the vendored xoshiro256++ generator), `SeedableRng::seed_from_u64`
+//! (SplitMix64 seeding), `Rng::gen_range` (Lemire-style widening-multiply
+//! rejection sampling) and `Rng::gen_bool` (Bernoulli via a 2^64 fixed-point
+//! threshold) — with bit-exact output, so every seeded dataset, topology,
+//! and signature in `simcloud` reproduces the same streams the real crate
+//! produced.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: raw integer output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling interface, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample from the full value distribution (rand's `Standard`).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`;
+    /// exactly rand 0.8.5's fixed-point comparison).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand's Bernoulli: p_int = p * 2^64, sample = next_u64() < p_int.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface; only the parts this workspace calls.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+    /// Builds a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Builds a generator from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// A small-state, fast, non-crypto generator: xoshiro256++, matching
+    /// `rand` 0.8.5's 64-bit `SmallRng` bit for bit.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl super::RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            // The low bits of xoshiro have weak linear structure; rand
+            // takes the high half.
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+
+            let t = self.s[1] << 17;
+
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+
+            self.s[2] ^= t;
+
+            self.s[3] = self.s[3].rotate_left(45);
+
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            SmallRng { s }
+        }
+
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion, as in rand 0.8.5's xoshiro seeding.
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            Self::from_seed(seed)
+        }
+    }
+}
+
+/// Types samplable by `Rng::gen` (rand's `Standard` distribution).
+pub trait StandardSample {
+    /// Draws one value covering the type's full range (floats: `[0, 1)`).
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_small {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_standard_large {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_standard_small!(u8, u16, u32, i8, i16, i32);
+impl_standard_large!(u64, usize, i64, isize);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        // rand's Standard bool: the top bit of a u32 draw.
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        // rand's Standard floats: uniform [0, 1) from the top mantissa bits.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler; the blanket `SampleRange` impls below
+/// mirror rand's, which keeps integer-literal type inference working at
+/// `gen_range(1..400)`-style call sites.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[low, high)`.
+    fn sample_exclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+// Integer uniform sampling, following rand 0.8.5's `uniform_int_impl!`:
+// widen-multiply rejection with zone `(range << range.leading_zeros()) - 1`.
+// Types up to 32 bits draw from `next_u32`; 64-bit types from `next_u64`.
+macro_rules! impl_int_uniform {
+    ($($ty:ty, $unsigned:ty, $large:ty, $next:ident;)*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: RngCore>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_inclusive(low, high - 1, rng)
+            }
+
+            #[allow(clippy::cast_lossless)]
+            fn sample_inclusive<R: RngCore>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low <= high, "gen_range: low > high");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                if range == 0 {
+                    // Full type range requested.
+                    return rng.$next() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$next() as $large;
+                    let m = (v as u128) * (range as u128);
+                    let hi = (m >> (<$large>::BITS)) as $large;
+                    let lo = m as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_uniform! {
+    u8, u8, u32, next_u32;
+    u16, u16, u32, next_u32;
+    u32, u32, u32, next_u32;
+    u64, u64, u64, next_u64;
+    usize, usize, u64, next_u64;
+    i8, u8, u32, next_u32;
+    i16, u16, u32, next_u32;
+    i32, u32, u32, next_u32;
+    i64, u64, u64, next_u64;
+    isize, usize, u64, next_u64;
+}
+
+// Float uniform sampling, following rand 0.8.5's `uniform_float_impl!`
+// `sample_single`: a mantissa-filled value in [1, 2), shifted to [0, 1),
+// then scaled -- retrying in the rare rounding case where `res == high`.
+macro_rules! impl_float_uniform {
+    ($($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bias:expr, $mant_bits:expr, $next:ident;)*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: RngCore>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                let scale = high - low;
+                loop {
+                    let bits = rng.$next() >> $bits_to_discard;
+                    let value1_2 =
+                        <$ty>::from_bits((($exp_bias as $uty) << $mant_bits) | bits);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low <= high, "gen_range: low > high");
+                // rand's inclusive float path: scale by (high - low) divided
+                // by the largest representable [0, 1) sample, so `high` is
+                // reachable.
+                let max_rand = <$ty>::from_bits(
+                    (($exp_bias as $uty) << $mant_bits) | (<$uty>::MAX >> $bits_to_discard),
+                ) - 1.0;
+                let scale = (high - low) / max_rand;
+                let bits = rng.$next() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits((($exp_bias as $uty) << $mant_bits) | bits);
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res > high {
+                    high
+                } else {
+                    res
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform! {
+    f32, u32, 9u32, 127u32, 23u32, next_u32;
+    f64, u64, 12u64, 1023u64, 52u64, next_u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    // Reference stream from rand 0.8.5 `SmallRng::seed_from_u64(42)`:
+    // SplitMix64(42) expands to state
+    //   [0xbdd732262feb6e95, 0x28efe333b266f103,
+    //    0x47526757130f9f52, 0x581ce1ff0e4ae394],
+    // whose first xoshiro256++ output is 0xd0764d4f4476689f.
+    #[test]
+    fn seeding_matches_rand_085() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_eq!(first, 0xd076_4d4f_4476_689f);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(0usize..17);
+            assert!(x < 17);
+            assert_eq!(x, b.gen_range(0usize..17));
+        }
+        let mut c = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = c.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = c.gen_range(0u64..=4);
+            assert!(i <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,443 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls targeting the shim `serde`
+//! crate's `Content` data model, using serde's default externally-tagged
+//! representation. The parser works directly on `proc_macro::TokenStream`
+//! (no `syn`/`quote` available offline), which is sufficient because this
+//! workspace derives only on non-generic, attribute-free types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments arrive as `#[doc = ...]`) and
+    // visibility / auxiliary keywords until the `struct` / `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    i += 1;
+                    break word;
+                }
+                i += 1;
+                if word == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    let body = match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(parse_named_fields(&g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_tuple_fields(&g.stream()))
+        }
+        ("struct", _) => Body::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(&g.stream()))
+        }
+        _ => panic!("serde_derive shim: malformed {kind} `{name}`"),
+    };
+
+    Item { name, body }
+}
+
+/// Parses `name: Type, ...` field lists, returning field names in order.
+/// Commas inside generic arguments are skipped by tracking `<`/`>` depth
+/// (commas inside parens/brackets are invisible: those are token groups).
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant by splitting on
+/// top-level commas (angle-depth aware, same caveats as named fields).
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !saw_token_since_comma {
+            saw_token_since_comma = true;
+            count += 1;
+        }
+    }
+    // The first field was double-counted by the bootstrap `count = 1`.
+    count - 1
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the trailing comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                let _ = write!(
+                    entries,
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"
+                );
+            }
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let mut elems = String::new();
+            for idx in 0..*n {
+                let _ = write!(elems, "::serde::Serialize::to_content(&self.{idx}),");
+            }
+            format!("::serde::Content::Seq(vec![{elems}])")
+        }
+        Body::UnitStruct => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![\
+                             (\"{vname}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![\
+                             (\"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                            binds.join(","),
+                            elems.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(",");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}{{{binds}}} => ::serde::Content::Map(vec![\
+                             (\"{vname}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                            entries.join(",")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(
+                    inits,
+                    "{f}: ::serde::Deserialize::from_content(\
+                     ::serde::Content::field(__fields, \"{f}\"))?,"
+                );
+            }
+            format!(
+                "let __fields = c.as_map().ok_or_else(|| \
+                 ::serde::ContentError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Body::TupleStruct(n) => {
+            let mut elems = String::new();
+            for idx in 0..*n {
+                let _ = write!(
+                    elems,
+                    "::serde::Deserialize::from_content(__seq.get({idx}).ok_or_else(|| \
+                     ::serde::ContentError::expected(\"tuple element\", \"{name}\"))?)?,"
+                );
+            }
+            format!(
+                "let __seq = c.as_seq().ok_or_else(|| \
+                 ::serde::ContentError::expected(\"array\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|idx| {
+                                format!(
+                                    "::serde::Deserialize::from_content(__seq.get({idx})\
+                                     .ok_or_else(|| ::serde::ContentError::expected(\
+                                     \"tuple element\", \"{name}::{vname}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{\n\
+                             let __seq = __inner.as_seq().ok_or_else(|| \
+                             ::serde::ContentError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }},",
+                            elems.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_content(\
+                                     ::serde::Content::field(__vf, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{\n\
+                             let __vf = __inner.as_map().ok_or_else(|| \
+                             ::serde::ContentError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }},",
+                            inits.join(",")
+                        );
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => ::std::result::Result::Err(::serde::ContentError::expected(\
+                 \"known unit variant\", \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\n\
+                 _ => ::std::result::Result::Err(::serde::ContentError::expected(\
+                 \"known data variant\", \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::ContentError::expected(\
+                 \"externally tagged enum\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::ContentError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

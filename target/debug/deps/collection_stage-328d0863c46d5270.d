@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collection_stage-328d0863c46d5270.d: tests/collection_stage.rs
+
+/root/repo/target/debug/deps/collection_stage-328d0863c46d5270: tests/collection_stage.rs
+
+tests/collection_stage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collection_stage-44dd3ae299037e6c.d: tests/collection_stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollection_stage-44dd3ae299037e6c.rmeta: tests/collection_stage.rs Cargo.toml
+
+tests/collection_stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

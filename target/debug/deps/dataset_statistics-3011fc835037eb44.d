@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_statistics-3011fc835037eb44.d: tests/dataset_statistics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_statistics-3011fc835037eb44.rmeta: tests/dataset_statistics.rs Cargo.toml
+
+tests/dataset_statistics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_statistics-c0edaac64c661f7d.d: tests/dataset_statistics.rs
+
+/root/repo/target/debug/deps/dataset_statistics-c0edaac64c661f7d: tests/dataset_statistics.rs
+
+tests/dataset_statistics.rs:

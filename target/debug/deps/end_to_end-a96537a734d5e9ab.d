@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a96537a734d5e9ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a96537a734d5e9ab: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_k_alpha_sweep-b2d9c1866cabe405.d: crates/bench/benches/fig12_k_alpha_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_k_alpha_sweep-b2d9c1866cabe405.rmeta: crates/bench/benches/fig12_k_alpha_sweep.rs Cargo.toml
+
+crates/bench/benches/fig12_k_alpha_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

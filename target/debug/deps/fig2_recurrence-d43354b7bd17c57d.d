@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_recurrence-d43354b7bd17c57d.d: crates/bench/benches/fig2_recurrence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_recurrence-d43354b7bd17c57d.rmeta: crates/bench/benches/fig2_recurrence.rs Cargo.toml
+
+crates/bench/benches/fig2_recurrence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_longtail-df145484a19f6913.d: crates/bench/benches/fig3_longtail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_longtail-df145484a19f6913.rmeta: crates/bench/benches/fig3_longtail.rs Cargo.toml
+
+crates/bench/benches/fig3_longtail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-b779299f1f46a10f.d: crates/bench/benches/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-b779299f1f46a10f.rmeta: crates/bench/benches/microbench.rs Cargo.toml
+
+crates/bench/benches/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

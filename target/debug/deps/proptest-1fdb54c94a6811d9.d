@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-1fdb54c94a6811d9.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1fdb54c94a6811d9.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-1fdb54c94a6811d9.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3383cb647fce9b80.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-3383cb647fce9b80: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

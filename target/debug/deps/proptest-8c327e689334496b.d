@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-8c327e689334496b.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8c327e689334496b.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

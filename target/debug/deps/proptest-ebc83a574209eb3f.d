@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-ebc83a574209eb3f.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ebc83a574209eb3f.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-64b891b7528acc84.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-64b891b7528acc84.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

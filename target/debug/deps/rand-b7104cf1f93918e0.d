@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-b7104cf1f93918e0.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-b7104cf1f93918e0.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-bf32ab2726ff08a5.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-bf32ab2726ff08a5: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e2d18a35574902a3.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e2d18a35574902a3.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e2d18a35574902a3.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

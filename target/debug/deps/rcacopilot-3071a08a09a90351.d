@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcacopilot-3071a08a09a90351.d: src/lib.rs
+
+/root/repo/target/debug/deps/librcacopilot-3071a08a09a90351.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librcacopilot-3071a08a09a90351.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcacopilot-418c04efa71b5416.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot-418c04efa71b5416.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcacopilot-5b08c511f6bf2d42.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot-5b08c511f6bf2d42.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

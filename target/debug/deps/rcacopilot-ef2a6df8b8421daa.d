@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rcacopilot-ef2a6df8b8421daa.d: src/lib.rs
+
+/root/repo/target/debug/deps/rcacopilot-ef2a6df8b8421daa: src/lib.rs
+
+src/lib.rs:

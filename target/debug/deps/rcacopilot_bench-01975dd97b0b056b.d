@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcacopilot_bench-01975dd97b0b056b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_bench-01975dd97b0b056b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

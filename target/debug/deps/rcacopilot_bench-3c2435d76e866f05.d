@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcacopilot_bench-3c2435d76e866f05.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rcacopilot_bench-3c2435d76e866f05: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

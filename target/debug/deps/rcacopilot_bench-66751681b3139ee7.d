@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcacopilot_bench-66751681b3139ee7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librcacopilot_bench-66751681b3139ee7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librcacopilot_bench-66751681b3139ee7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

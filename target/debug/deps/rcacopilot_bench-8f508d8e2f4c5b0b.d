@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcacopilot_bench-8f508d8e2f4c5b0b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_bench-8f508d8e2f4c5b0b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

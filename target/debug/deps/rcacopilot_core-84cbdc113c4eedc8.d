@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rcacopilot_core-84cbdc113c4eedc8.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_core-84cbdc113c4eedc8.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/baselines.rs:
+crates/core/src/collection.rs:
+crates/core/src/context.rs:
+crates/core/src/eval.rs:
+crates/core/src/feedback.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

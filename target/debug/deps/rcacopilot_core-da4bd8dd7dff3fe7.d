@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rcacopilot_core-da4bd8dd7dff3fe7.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/debug/deps/librcacopilot_core-da4bd8dd7dff3fe7.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/debug/deps/librcacopilot_core-da4bd8dd7dff3fe7.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/baselines.rs:
+crates/core/src/collection.rs:
+crates/core/src/context.rs:
+crates/core/src/eval.rs:
+crates/core/src/feedback.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/retrieval.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcacopilot_core-ff9dbb2887e17060.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/debug/deps/rcacopilot_core-ff9dbb2887e17060: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/baselines.rs:
+crates/core/src/collection.rs:
+crates/core/src/context.rs:
+crates/core/src/eval.rs:
+crates/core/src/feedback.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/retrieval.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rcacopilot_embed-398fc136f4ae4270.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/debug/deps/rcacopilot_embed-398fc136f4ae4270: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:

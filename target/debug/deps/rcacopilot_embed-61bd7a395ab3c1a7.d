@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcacopilot_embed-61bd7a395ab3c1a7.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_embed-61bd7a395ab3c1a7.rmeta: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs Cargo.toml
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcacopilot_embed-cdf0f2f6c6c8427a.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_embed-cdf0f2f6c6c8427a.rmeta: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs Cargo.toml
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcacopilot_embed-e2c0878b1f307a51.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/debug/deps/librcacopilot_embed-e2c0878b1f307a51.rlib: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/debug/deps/librcacopilot_embed-e2c0878b1f307a51.rmeta: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rcacopilot_gbdt-706475825f234ddd.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/librcacopilot_gbdt-706475825f234ddd.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/librcacopilot_gbdt-706475825f234ddd.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcacopilot_gbdt-8c74efab7f1581b5.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_gbdt-8c74efab7f1581b5.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rcacopilot_gbdt-c8ec8b7f05fc36bc.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/debug/deps/rcacopilot_gbdt-c8ec8b7f05fc36bc: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcacopilot_gbdt-f917c65d65265ad7.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_gbdt-f917c65d65265ad7.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs Cargo.toml
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

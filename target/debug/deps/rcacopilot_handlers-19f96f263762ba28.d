@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcacopilot_handlers-19f96f263762ba28.d: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_handlers-19f96f263762ba28.rmeta: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs Cargo.toml
+
+crates/handlers/src/lib.rs:
+crates/handlers/src/action.rs:
+crates/handlers/src/executor.rs:
+crates/handlers/src/handler.rs:
+crates/handlers/src/library.rs:
+crates/handlers/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

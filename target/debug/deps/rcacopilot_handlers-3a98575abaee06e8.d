@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rcacopilot_handlers-3a98575abaee06e8.d: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/debug/deps/rcacopilot_handlers-3a98575abaee06e8: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+crates/handlers/src/lib.rs:
+crates/handlers/src/action.rs:
+crates/handlers/src/executor.rs:
+crates/handlers/src/handler.rs:
+crates/handlers/src/library.rs:
+crates/handlers/src/registry.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcacopilot_handlers-3d86ec6311fa75cc.d: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/debug/deps/librcacopilot_handlers-3d86ec6311fa75cc.rlib: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/debug/deps/librcacopilot_handlers-3d86ec6311fa75cc.rmeta: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+crates/handlers/src/lib.rs:
+crates/handlers/src/action.rs:
+crates/handlers/src/executor.rs:
+crates/handlers/src/handler.rs:
+crates/handlers/src/library.rs:
+crates/handlers/src/registry.rs:

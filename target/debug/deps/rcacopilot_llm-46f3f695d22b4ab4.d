@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rcacopilot_llm-46f3f695d22b4ab4.d: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/debug/deps/librcacopilot_llm-46f3f695d22b4ab4.rlib: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/debug/deps/librcacopilot_llm-46f3f695d22b4ab4.rmeta: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/cot.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/labelgen.rs:
+crates/llm/src/profile.rs:
+crates/llm/src/prompt.rs:
+crates/llm/src/summarize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rcacopilot_llm-56cd2ebdf813f56f.d: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/debug/deps/rcacopilot_llm-56cd2ebdf813f56f: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/cot.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/labelgen.rs:
+crates/llm/src/profile.rs:
+crates/llm/src/prompt.rs:
+crates/llm/src/summarize.rs:

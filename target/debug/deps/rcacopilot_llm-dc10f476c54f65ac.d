@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rcacopilot_llm-dc10f476c54f65ac.d: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_llm-dc10f476c54f65ac.rmeta: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs Cargo.toml
+
+crates/llm/src/lib.rs:
+crates/llm/src/cot.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/labelgen.rs:
+crates/llm/src/profile.rs:
+crates/llm/src/prompt.rs:
+crates/llm/src/summarize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

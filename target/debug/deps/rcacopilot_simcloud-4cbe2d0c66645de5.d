@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rcacopilot_simcloud-4cbe2d0c66645de5.d: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+/root/repo/target/debug/deps/librcacopilot_simcloud-4cbe2d0c66645de5.rlib: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+/root/repo/target/debug/deps/librcacopilot_simcloud-4cbe2d0c66645de5.rmeta: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+crates/simcloud/src/lib.rs:
+crates/simcloud/src/catalog.rs:
+crates/simcloud/src/dataset.rs:
+crates/simcloud/src/faults.rs:
+crates/simcloud/src/generator.rs:
+crates/simcloud/src/incident.rs:
+crates/simcloud/src/noise.rs:
+crates/simcloud/src/signature.rs:
+crates/simcloud/src/teams.rs:
+crates/simcloud/src/topology.rs:

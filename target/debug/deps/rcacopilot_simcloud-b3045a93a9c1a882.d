@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rcacopilot_simcloud-b3045a93a9c1a882.d: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_simcloud-b3045a93a9c1a882.rmeta: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs Cargo.toml
+
+crates/simcloud/src/lib.rs:
+crates/simcloud/src/catalog.rs:
+crates/simcloud/src/dataset.rs:
+crates/simcloud/src/faults.rs:
+crates/simcloud/src/generator.rs:
+crates/simcloud/src/incident.rs:
+crates/simcloud/src/noise.rs:
+crates/simcloud/src/signature.rs:
+crates/simcloud/src/teams.rs:
+crates/simcloud/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

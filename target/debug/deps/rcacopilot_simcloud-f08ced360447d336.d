@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcacopilot_simcloud-f08ced360447d336.d: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+/root/repo/target/debug/deps/rcacopilot_simcloud-f08ced360447d336: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+crates/simcloud/src/lib.rs:
+crates/simcloud/src/catalog.rs:
+crates/simcloud/src/dataset.rs:
+crates/simcloud/src/faults.rs:
+crates/simcloud/src/generator.rs:
+crates/simcloud/src/incident.rs:
+crates/simcloud/src/noise.rs:
+crates/simcloud/src/signature.rs:
+crates/simcloud/src/teams.rs:
+crates/simcloud/src/topology.rs:

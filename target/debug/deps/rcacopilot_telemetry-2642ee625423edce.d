@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rcacopilot_telemetry-2642ee625423edce.d: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_telemetry-2642ee625423edce.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/alert.rs:
+crates/telemetry/src/artifacts.rs:
+crates/telemetry/src/fault.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/log.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/query.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/time.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rcacopilot_telemetry-fb72a8ef93ddc31b.d: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/librcacopilot_telemetry-fb72a8ef93ddc31b.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/librcacopilot_telemetry-fb72a8ef93ddc31b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/alert.rs:
+crates/telemetry/src/artifacts.rs:
+crates/telemetry/src/fault.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/log.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/query.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/time.rs:
+crates/telemetry/src/trace.rs:

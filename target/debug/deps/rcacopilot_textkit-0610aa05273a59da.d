@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcacopilot_textkit-0610aa05273a59da.d: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_textkit-0610aa05273a59da.rmeta: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs Cargo.toml
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/bpe.rs:
+crates/textkit/src/ngram.rs:
+crates/textkit/src/normalize.rs:
+crates/textkit/src/sparse.rs:
+crates/textkit/src/tfidf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rcacopilot_textkit-c23c50281358e92b.d: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs Cargo.toml
+
+/root/repo/target/debug/deps/librcacopilot_textkit-c23c50281358e92b.rmeta: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs Cargo.toml
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/bpe.rs:
+crates/textkit/src/ngram.rs:
+crates/textkit/src/normalize.rs:
+crates/textkit/src/sparse.rs:
+crates/textkit/src/tfidf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rcacopilot_textkit-cc5a79ff610fafb3.d: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+/root/repo/target/debug/deps/librcacopilot_textkit-cc5a79ff610fafb3.rlib: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+/root/repo/target/debug/deps/librcacopilot_textkit-cc5a79ff610fafb3.rmeta: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/bpe.rs:
+crates/textkit/src/ngram.rs:
+crates/textkit/src/normalize.rs:
+crates/textkit/src/sparse.rs:
+crates/textkit/src/tfidf.rs:

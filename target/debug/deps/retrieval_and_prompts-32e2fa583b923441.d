@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retrieval_and_prompts-32e2fa583b923441.d: tests/retrieval_and_prompts.rs
+
+/root/repo/target/debug/deps/retrieval_and_prompts-32e2fa583b923441: tests/retrieval_and_prompts.rs
+
+tests/retrieval_and_prompts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retrieval_and_prompts-5d6d66eae108261f.d: tests/retrieval_and_prompts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretrieval_and_prompts-5d6d66eae108261f.rmeta: tests/retrieval_and_prompts.rs Cargo.toml
+
+tests/retrieval_and_prompts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-48cbd17317726886.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-48cbd17317726886: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_faultrate-236c6311eb4f5a91.d: crates/bench/benches/robustness_faultrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_faultrate-236c6311eb4f5a91.rmeta: crates/bench/benches/robustness_faultrate.rs Cargo.toml
+
+crates/bench/benches/robustness_faultrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

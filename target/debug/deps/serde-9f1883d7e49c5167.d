@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-9f1883d7e49c5167.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9f1883d7e49c5167.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9f1883d7e49c5167.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-0dbb90ecb8e07423.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-0dbb90ecb8e07423: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

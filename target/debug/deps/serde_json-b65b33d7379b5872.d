@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-b65b33d7379b5872.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b65b33d7379b5872.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b65b33d7379b5872.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_categories-6e44023b11d335bd.d: crates/bench/benches/table1_categories.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_categories-6e44023b11d335bd.rmeta: crates/bench/benches/table1_categories.rs Cargo.toml
+
+crates/bench/benches/table1_categories.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

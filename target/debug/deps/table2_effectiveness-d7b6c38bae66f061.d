@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_effectiveness-d7b6c38bae66f061.d: crates/bench/benches/table2_effectiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_effectiveness-d7b6c38bae66f061.rmeta: crates/bench/benches/table2_effectiveness.rs Cargo.toml
+
+crates/bench/benches/table2_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_context_ablation-2d34706bf1cf2586.d: crates/bench/benches/table3_context_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_context_ablation-2d34706bf1cf2586.rmeta: crates/bench/benches/table3_context_ablation.rs Cargo.toml
+
+crates/bench/benches/table3_context_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

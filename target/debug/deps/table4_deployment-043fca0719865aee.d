@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_deployment-043fca0719865aee.d: crates/bench/benches/table4_deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_deployment-043fca0719865aee.rmeta: crates/bench/benches/table4_deployment.rs Cargo.toml
+
+crates/bench/benches/table4_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

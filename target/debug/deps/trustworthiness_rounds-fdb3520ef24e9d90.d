@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trustworthiness_rounds-fdb3520ef24e9d90.d: crates/bench/benches/trustworthiness_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrustworthiness_rounds-fdb3520ef24e9d90.rmeta: crates/bench/benches/trustworthiness_rounds.rs Cargo.toml
+
+crates/bench/benches/trustworthiness_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

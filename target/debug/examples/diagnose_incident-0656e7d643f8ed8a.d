@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnose_incident-0656e7d643f8ed8a.d: examples/diagnose_incident.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnose_incident-0656e7d643f8ed8a.rmeta: examples/diagnose_incident.rs Cargo.toml
+
+examples/diagnose_incident.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

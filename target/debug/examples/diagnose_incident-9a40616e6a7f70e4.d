@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnose_incident-9a40616e6a7f70e4.d: examples/diagnose_incident.rs
+
+/root/repo/target/debug/examples/diagnose_incident-9a40616e6a7f70e4: examples/diagnose_incident.rs
+
+examples/diagnose_incident.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/handler_authoring-6a8fd02ac5f450d8.d: examples/handler_authoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhandler_authoring-6a8fd02ac5f450d8.rmeta: examples/handler_authoring.rs Cargo.toml
+
+examples/handler_authoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

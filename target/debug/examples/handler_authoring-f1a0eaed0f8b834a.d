@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/handler_authoring-f1a0eaed0f8b834a.d: examples/handler_authoring.rs
+
+/root/repo/target/debug/examples/handler_authoring-f1a0eaed0f8b834a: examples/handler_authoring.rs
+
+examples/handler_authoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oncall_report-05da766d07388eb6.d: examples/oncall_report.rs
+
+/root/repo/target/debug/examples/oncall_report-05da766d07388eb6: examples/oncall_report.rs
+
+examples/oncall_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oncall_report-a93970af8894d4db.d: examples/oncall_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboncall_report-a93970af8894d4db.rmeta: examples/oncall_report.rs Cargo.toml
+
+examples/oncall_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d0a223f2ab59c56a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d0a223f2ab59c56a: examples/quickstart.rs
+
+examples/quickstart.rs:

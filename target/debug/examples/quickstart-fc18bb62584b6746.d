@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-fc18bb62584b6746.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-fc18bb62584b6746.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

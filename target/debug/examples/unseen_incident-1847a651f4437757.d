@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unseen_incident-1847a651f4437757.d: examples/unseen_incident.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunseen_incident-1847a651f4437757.rmeta: examples/unseen_incident.rs Cargo.toml
+
+examples/unseen_incident.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unseen_incident-6f81f51f107cd6b7.d: examples/unseen_incident.rs
+
+/root/repo/target/debug/examples/unseen_incident-6f81f51f107cd6b7: examples/unseen_incident.rs
+
+examples/unseen_incident.rs:

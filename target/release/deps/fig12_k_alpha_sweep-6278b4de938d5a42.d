@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_k_alpha_sweep-6278b4de938d5a42.d: crates/bench/benches/fig12_k_alpha_sweep.rs
+
+/root/repo/target/release/deps/fig12_k_alpha_sweep-6278b4de938d5a42: crates/bench/benches/fig12_k_alpha_sweep.rs
+
+crates/bench/benches/fig12_k_alpha_sweep.rs:

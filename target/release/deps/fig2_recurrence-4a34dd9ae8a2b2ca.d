@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_recurrence-4a34dd9ae8a2b2ca.d: crates/bench/benches/fig2_recurrence.rs
+
+/root/repo/target/release/deps/fig2_recurrence-4a34dd9ae8a2b2ca: crates/bench/benches/fig2_recurrence.rs
+
+crates/bench/benches/fig2_recurrence.rs:

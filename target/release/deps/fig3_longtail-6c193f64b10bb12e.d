@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_longtail-6c193f64b10bb12e.d: crates/bench/benches/fig3_longtail.rs
+
+/root/repo/target/release/deps/fig3_longtail-6c193f64b10bb12e: crates/bench/benches/fig3_longtail.rs
+
+crates/bench/benches/fig3_longtail.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-e847f6b2294ccb8a.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-e847f6b2294ccb8a: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-194011930b81a8ac.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-194011930b81a8ac: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-59be800d4753de04.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-59be800d4753de04.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-59be800d4753de04.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-1b290941b980bda7.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-1b290941b980bda7: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

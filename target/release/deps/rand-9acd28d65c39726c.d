@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9acd28d65c39726c.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9acd28d65c39726c.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9acd28d65c39726c.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

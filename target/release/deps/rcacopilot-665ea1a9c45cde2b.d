@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rcacopilot-665ea1a9c45cde2b.d: src/lib.rs
+
+/root/repo/target/release/deps/rcacopilot-665ea1a9c45cde2b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rcacopilot-baf12d88a8e93889.d: src/lib.rs
+
+/root/repo/target/release/deps/librcacopilot-baf12d88a8e93889.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librcacopilot-baf12d88a8e93889.rmeta: src/lib.rs
+
+src/lib.rs:

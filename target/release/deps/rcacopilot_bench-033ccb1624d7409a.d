@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rcacopilot_bench-033ccb1624d7409a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/rcacopilot_bench-033ccb1624d7409a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rcacopilot_bench-fe5bfe2668e6d2b7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librcacopilot_bench-fe5bfe2668e6d2b7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librcacopilot_bench-fe5bfe2668e6d2b7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rcacopilot_core-3ad72cabd7199321.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/release/deps/rcacopilot_core-3ad72cabd7199321: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/baselines.rs:
+crates/core/src/collection.rs:
+crates/core/src/context.rs:
+crates/core/src/eval.rs:
+crates/core/src/feedback.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/retrieval.rs:

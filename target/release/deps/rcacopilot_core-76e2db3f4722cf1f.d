@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rcacopilot_core-76e2db3f4722cf1f.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/release/deps/librcacopilot_core-76e2db3f4722cf1f.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+/root/repo/target/release/deps/librcacopilot_core-76e2db3f4722cf1f.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/baselines.rs crates/core/src/collection.rs crates/core/src/context.rs crates/core/src/eval.rs crates/core/src/feedback.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/retrieval.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/baselines.rs:
+crates/core/src/collection.rs:
+crates/core/src/context.rs:
+crates/core/src/eval.rs:
+crates/core/src/feedback.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/retrieval.rs:

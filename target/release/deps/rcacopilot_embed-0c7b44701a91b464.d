@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rcacopilot_embed-0c7b44701a91b464.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/release/deps/rcacopilot_embed-0c7b44701a91b464: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rcacopilot_embed-ee24c86cff2fd547.d: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/release/deps/librcacopilot_embed-ee24c86cff2fd547.rlib: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+/root/repo/target/release/deps/librcacopilot_embed-ee24c86cff2fd547.rmeta: crates/embed/src/lib.rs crates/embed/src/features.rs crates/embed/src/index.rs crates/embed/src/model.rs
+
+crates/embed/src/lib.rs:
+crates/embed/src/features.rs:
+crates/embed/src/index.rs:
+crates/embed/src/model.rs:

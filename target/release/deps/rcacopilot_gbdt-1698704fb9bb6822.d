@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rcacopilot_gbdt-1698704fb9bb6822.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/librcacopilot_gbdt-1698704fb9bb6822.rlib: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/librcacopilot_gbdt-1698704fb9bb6822.rmeta: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

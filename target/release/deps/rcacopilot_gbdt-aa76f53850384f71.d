@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rcacopilot_gbdt-aa76f53850384f71.d: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+/root/repo/target/release/deps/rcacopilot_gbdt-aa76f53850384f71: crates/gbdt/src/lib.rs crates/gbdt/src/booster.rs crates/gbdt/src/tree.rs
+
+crates/gbdt/src/lib.rs:
+crates/gbdt/src/booster.rs:
+crates/gbdt/src/tree.rs:

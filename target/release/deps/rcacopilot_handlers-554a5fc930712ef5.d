@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rcacopilot_handlers-554a5fc930712ef5.d: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/release/deps/librcacopilot_handlers-554a5fc930712ef5.rlib: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/release/deps/librcacopilot_handlers-554a5fc930712ef5.rmeta: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+crates/handlers/src/lib.rs:
+crates/handlers/src/action.rs:
+crates/handlers/src/executor.rs:
+crates/handlers/src/handler.rs:
+crates/handlers/src/library.rs:
+crates/handlers/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rcacopilot_handlers-fd5c7490b47ec1b7.d: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+/root/repo/target/release/deps/rcacopilot_handlers-fd5c7490b47ec1b7: crates/handlers/src/lib.rs crates/handlers/src/action.rs crates/handlers/src/executor.rs crates/handlers/src/handler.rs crates/handlers/src/library.rs crates/handlers/src/registry.rs
+
+crates/handlers/src/lib.rs:
+crates/handlers/src/action.rs:
+crates/handlers/src/executor.rs:
+crates/handlers/src/handler.rs:
+crates/handlers/src/library.rs:
+crates/handlers/src/registry.rs:

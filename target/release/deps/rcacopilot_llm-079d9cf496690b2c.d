@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rcacopilot_llm-079d9cf496690b2c.d: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/release/deps/librcacopilot_llm-079d9cf496690b2c.rlib: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/release/deps/librcacopilot_llm-079d9cf496690b2c.rmeta: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/cot.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/labelgen.rs:
+crates/llm/src/profile.rs:
+crates/llm/src/prompt.rs:
+crates/llm/src/summarize.rs:

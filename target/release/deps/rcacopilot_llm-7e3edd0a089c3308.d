@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rcacopilot_llm-7e3edd0a089c3308.d: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+/root/repo/target/release/deps/rcacopilot_llm-7e3edd0a089c3308: crates/llm/src/lib.rs crates/llm/src/cot.rs crates/llm/src/finetune.rs crates/llm/src/labelgen.rs crates/llm/src/profile.rs crates/llm/src/prompt.rs crates/llm/src/summarize.rs
+
+crates/llm/src/lib.rs:
+crates/llm/src/cot.rs:
+crates/llm/src/finetune.rs:
+crates/llm/src/labelgen.rs:
+crates/llm/src/profile.rs:
+crates/llm/src/prompt.rs:
+crates/llm/src/summarize.rs:

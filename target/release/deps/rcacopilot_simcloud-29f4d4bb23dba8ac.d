@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rcacopilot_simcloud-29f4d4bb23dba8ac.d: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+/root/repo/target/release/deps/librcacopilot_simcloud-29f4d4bb23dba8ac.rlib: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+/root/repo/target/release/deps/librcacopilot_simcloud-29f4d4bb23dba8ac.rmeta: crates/simcloud/src/lib.rs crates/simcloud/src/catalog.rs crates/simcloud/src/dataset.rs crates/simcloud/src/faults.rs crates/simcloud/src/generator.rs crates/simcloud/src/incident.rs crates/simcloud/src/noise.rs crates/simcloud/src/signature.rs crates/simcloud/src/teams.rs crates/simcloud/src/topology.rs
+
+crates/simcloud/src/lib.rs:
+crates/simcloud/src/catalog.rs:
+crates/simcloud/src/dataset.rs:
+crates/simcloud/src/faults.rs:
+crates/simcloud/src/generator.rs:
+crates/simcloud/src/incident.rs:
+crates/simcloud/src/noise.rs:
+crates/simcloud/src/signature.rs:
+crates/simcloud/src/teams.rs:
+crates/simcloud/src/topology.rs:

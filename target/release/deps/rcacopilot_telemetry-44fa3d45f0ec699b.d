@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rcacopilot_telemetry-44fa3d45f0ec699b.d: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/rcacopilot_telemetry-44fa3d45f0ec699b: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/alert.rs:
+crates/telemetry/src/artifacts.rs:
+crates/telemetry/src/fault.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/log.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/query.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/time.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rcacopilot_telemetry-d82db59cddf83d6e.d: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/librcacopilot_telemetry-d82db59cddf83d6e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/librcacopilot_telemetry-d82db59cddf83d6e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/alert.rs crates/telemetry/src/artifacts.rs crates/telemetry/src/fault.rs crates/telemetry/src/ids.rs crates/telemetry/src/log.rs crates/telemetry/src/metrics.rs crates/telemetry/src/query.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/time.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/alert.rs:
+crates/telemetry/src/artifacts.rs:
+crates/telemetry/src/fault.rs:
+crates/telemetry/src/ids.rs:
+crates/telemetry/src/log.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/query.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/time.rs:
+crates/telemetry/src/trace.rs:

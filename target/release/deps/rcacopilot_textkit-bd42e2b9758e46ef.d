@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rcacopilot_textkit-bd42e2b9758e46ef.d: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+/root/repo/target/release/deps/librcacopilot_textkit-bd42e2b9758e46ef.rlib: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+/root/repo/target/release/deps/librcacopilot_textkit-bd42e2b9758e46ef.rmeta: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/bpe.rs:
+crates/textkit/src/ngram.rs:
+crates/textkit/src/normalize.rs:
+crates/textkit/src/sparse.rs:
+crates/textkit/src/tfidf.rs:

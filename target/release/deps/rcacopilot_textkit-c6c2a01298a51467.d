@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rcacopilot_textkit-c6c2a01298a51467.d: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+/root/repo/target/release/deps/rcacopilot_textkit-c6c2a01298a51467: crates/textkit/src/lib.rs crates/textkit/src/bpe.rs crates/textkit/src/ngram.rs crates/textkit/src/normalize.rs crates/textkit/src/sparse.rs crates/textkit/src/tfidf.rs
+
+crates/textkit/src/lib.rs:
+crates/textkit/src/bpe.rs:
+crates/textkit/src/ngram.rs:
+crates/textkit/src/normalize.rs:
+crates/textkit/src/sparse.rs:
+crates/textkit/src/tfidf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_faultrate-229914a9c584d000.d: crates/bench/benches/robustness_faultrate.rs
+
+/root/repo/target/release/deps/robustness_faultrate-229914a9c584d000: crates/bench/benches/robustness_faultrate.rs
+
+crates/bench/benches/robustness_faultrate.rs:

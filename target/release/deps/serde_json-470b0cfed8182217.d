@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-470b0cfed8182217.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-470b0cfed8182217: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_categories-896b6b7756b433d5.d: crates/bench/benches/table1_categories.rs
+
+/root/repo/target/release/deps/table1_categories-896b6b7756b433d5: crates/bench/benches/table1_categories.rs
+
+crates/bench/benches/table1_categories.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_effectiveness-46dc63251a38dd0f.d: crates/bench/benches/table2_effectiveness.rs
+
+/root/repo/target/release/deps/table2_effectiveness-46dc63251a38dd0f: crates/bench/benches/table2_effectiveness.rs
+
+crates/bench/benches/table2_effectiveness.rs:

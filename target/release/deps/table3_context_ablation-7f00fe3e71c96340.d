@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_context_ablation-7f00fe3e71c96340.d: crates/bench/benches/table3_context_ablation.rs
+
+/root/repo/target/release/deps/table3_context_ablation-7f00fe3e71c96340: crates/bench/benches/table3_context_ablation.rs
+
+crates/bench/benches/table3_context_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_deployment-9b101a75bfea1889.d: crates/bench/benches/table4_deployment.rs
+
+/root/repo/target/release/deps/table4_deployment-9b101a75bfea1889: crates/bench/benches/table4_deployment.rs
+
+crates/bench/benches/table4_deployment.rs:

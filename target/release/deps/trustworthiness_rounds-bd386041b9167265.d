@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trustworthiness_rounds-bd386041b9167265.d: crates/bench/benches/trustworthiness_rounds.rs
+
+/root/repo/target/release/deps/trustworthiness_rounds-bd386041b9167265: crates/bench/benches/trustworthiness_rounds.rs
+
+crates/bench/benches/trustworthiness_rounds.rs:

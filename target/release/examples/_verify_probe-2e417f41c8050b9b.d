@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-2e417f41c8050b9b.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-2e417f41c8050b9b: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

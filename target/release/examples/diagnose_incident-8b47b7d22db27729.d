@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diagnose_incident-8b47b7d22db27729.d: examples/diagnose_incident.rs
+
+/root/repo/target/release/examples/diagnose_incident-8b47b7d22db27729: examples/diagnose_incident.rs
+
+examples/diagnose_incident.rs:

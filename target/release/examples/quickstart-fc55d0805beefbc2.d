@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fc55d0805beefbc2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fc55d0805beefbc2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -43,18 +43,17 @@ fn retrieval_feeds_figure9_prompt_and_cot_selects() {
     );
     assert_eq!(neighbors[0].entry.category, "HubPortExhaustion");
 
-    let prompt = PredictionPrompt {
-        input: "The hub outbound probe failed with WinSock error 11001 and the UDP socket \
-                count reached 15276, almost all owned by Transport.exe."
-            .into(),
-        options: neighbors
+    let prompt = PredictionPrompt::new(
+        "The hub outbound probe failed with WinSock error 11001 and the UDP socket \
+         count reached 15276, almost all owned by Transport.exe.",
+        neighbors
             .iter()
             .map(|n| PromptOption {
                 summary: n.entry.summary.clone(),
                 category: n.entry.category.clone(),
             })
             .collect(),
-    };
+    );
     let rendered = prompt.render();
     assert!(rendered.contains("A: Unseen incident."));
     assert!(rendered.contains("category: HubPortExhaustion."));
@@ -72,15 +71,15 @@ fn prompt_token_budget_is_enforced_with_real_tokenizer() {
         .map(|i| format!("incident summary number {i} exception failure queue socket"))
         .collect();
     let tokenizer = BpeTokenizer::train(&corpus, 400);
-    let mut prompt = PredictionPrompt {
-        input: corpus[0].clone(),
-        options: (0..200)
+    let mut prompt = PredictionPrompt::new(
+        corpus[0].clone(),
+        (0..200)
             .map(|i| PromptOption {
                 summary: format!("{} option {i}", corpus[i % 30].clone()),
                 category: format!("Cat{i}"),
             })
             .collect(),
-    };
+    );
     let dropped = prompt.truncate_to_budget(&tokenizer, 2000);
     assert!(dropped > 0, "budget should force truncation");
     assert!(prompt.token_count(&tokenizer) <= 2000);

@@ -1,0 +1,212 @@
+//! Robustness of the collection pipeline under fault-injected telemetry:
+//! the no-fault plan is byte-identical to the plain path, every fault
+//! kind degrades gracefully instead of panicking, the resilient executor
+//! is deterministic for a fixed (plan seed, retry policy), and a heavily
+//! faulted campaign still flows end-to-end into downgraded predictions.
+
+use proptest::prelude::*;
+use rcacopilot::core::collection::CollectionStage;
+use rcacopilot::core::context::ContextSpec;
+use rcacopilot::core::eval::PreparedDataset;
+use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
+use rcacopilot::handlers::RetryPolicy;
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{
+    generate_dataset, CampaignConfig, FaultPlan, IncidentDataset, Topology,
+};
+use rcacopilot::telemetry::fault::{FaultDecision, FaultInjector};
+use rcacopilot::telemetry::query::{Scope, TimeWindow};
+use rcacopilot::telemetry::DataSource;
+use std::sync::OnceLock;
+
+/// A small campaign shared across tests (generation is the expensive
+/// part; collection runs are cheap).
+fn dataset() -> &'static IncidentDataset {
+    static DS: OnceLock<IncidentDataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        generate_dataset(&CampaignConfig {
+            seed: 21,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 6,
+                herring_logs: 2,
+                healthy_traces: 2,
+                unrelated_failure: true,
+                bystander_anomalies: 2,
+            },
+        })
+    })
+}
+
+/// An injector that returns the same decision for every first attempt
+/// (and lets retries through, for transient-recovery coverage).
+#[derive(Debug)]
+struct Always(FaultDecision);
+
+impl FaultInjector for Always {
+    fn decide(&self, _: DataSource, _: Scope, _: TimeWindow, _: u32) -> FaultDecision {
+        self.0
+    }
+}
+
+#[test]
+fn no_fault_plan_is_byte_identical_to_plain_pipeline() {
+    let ds = dataset();
+    let plain = CollectionStage::standard();
+    let faulted = CollectionStage::standard_with_faults(Box::new(FaultPlan::none()));
+    for inc in ds.incidents().iter().take(60) {
+        let a = plain.collect(inc).expect("plain collection");
+        let b = faulted.collect(inc).expect("inert-plan collection");
+        assert_eq!(a, b, "{}: inert fault plan changed the run", inc.category);
+        assert_eq!(a.diagnostic_text(), b.diagnostic_text());
+        assert_eq!(b.completeness(), 1.0);
+    }
+}
+
+#[test]
+fn every_fault_kind_degrades_gracefully_without_panicking() {
+    let ds = dataset();
+    let kinds = [
+        (FaultDecision::Timeout, "[data unavailable:"),
+        (FaultDecision::Unavailable, "[data unavailable:"),
+        (
+            FaultDecision::PartialRows {
+                keep_per_mille: 400,
+            },
+            "[data degraded:",
+        ),
+        (
+            FaultDecision::StaleWindow { lag_secs: 1800 },
+            "[data degraded:",
+        ),
+    ];
+    for (decision, marker) in kinds {
+        let stage = CollectionStage::standard_with_faults(Box::new(Always(decision)));
+        for inc in ds.incidents().iter().take(12) {
+            let collected = stage
+                .collect(inc)
+                .unwrap_or_else(|e| panic!("{decision:?} aborted the run: {e}"));
+            let text = collected.diagnostic_text();
+            assert!(
+                text.contains(marker),
+                "{decision:?} on {}: no {marker} section in:\n{text}",
+                inc.category
+            );
+            assert!(collected.completeness() < 1.0, "{decision:?} not recorded");
+        }
+    }
+}
+
+#[test]
+fn heavy_fault_rate_still_flows_end_to_end_with_downgraded_confidence() {
+    let ds = dataset();
+    let split = ds.split(7, 0.75);
+    let stage = CollectionStage::standard_with_faults(Box::new(FaultPlan::uniform(5, 0.3)));
+    // Every handler run must complete: prepare_with panics on any
+    // collection abort, so reaching this point is itself the assertion.
+    let prepared = PreparedDataset::prepare_with(ds, &split, &stage);
+    assert_eq!(prepared.incidents.len(), ds.incidents().len());
+
+    let degraded_count = prepared
+        .incidents
+        .iter()
+        .filter(|i| i.completeness() < 1.0)
+        .count();
+    assert!(
+        degraded_count > prepared.incidents.len() / 10,
+        "30% fault rate degraded only {degraded_count} incidents"
+    );
+    assert!(prepared.mean_test_completeness() < 1.0);
+    assert!(prepared
+        .incidents
+        .iter()
+        .any(|i| i.raw_diag.contains("[data unavailable:")));
+
+    let spec = ContextSpec::default();
+    let copilot = RcaCopilot::train(&prepared.train_examples(&spec), RcaCopilotConfig::default());
+    let mut saw_downgrade = false;
+    for &i in prepared.test.iter().take(40) {
+        let inc = &prepared.incidents[i];
+        let context = prepared.context_text(i, &spec);
+        let pred = copilot.predict_degraded(&inc.raw_diag, &context, inc.at, &inc.degradation);
+        assert!(!pred.label.is_empty());
+        if inc.completeness() < 1.0 {
+            let clean = copilot.predict(&inc.raw_diag, &context, inc.at);
+            assert!(
+                pred.confidence <= clean.confidence,
+                "degraded confidence {} above clean {}",
+                pred.confidence,
+                clean.confidence
+            );
+            assert!(pred.completeness < 1.0);
+            assert!(
+                pred.explanation.contains("incomplete"),
+                "no degradation annotation in: {}",
+                pred.explanation
+            );
+            saw_downgrade = true;
+        }
+    }
+    assert!(saw_downgrade, "no degraded test incident in the first 40");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same fault-plan seed + retry policy ⇒ identical handler runs,
+    /// section for section.
+    #[test]
+    fn executor_is_deterministic_for_fixed_seed(
+        seed in 0u64..1_000,
+        rate_pct in 0u32..60,
+        max_attempts in 1u32..5,
+    ) {
+        let ds = dataset();
+        let rate = f64::from(rate_pct) / 100.0;
+        let policy = RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        };
+        let make_stage = || {
+            let mut stage = CollectionStage::standard_with_faults(
+                Box::new(FaultPlan::uniform(seed, rate)),
+            );
+            stage.set_retry_policy(policy);
+            stage
+        };
+        let (a, b) = (make_stage(), make_stage());
+        for inc in ds.incidents().iter().step_by(37).take(10) {
+            let ra = a.collect(inc).expect("resilient run never aborts");
+            let rb = b.collect(inc).expect("resilient run never aborts");
+            prop_assert_eq!(&ra.run, &rb.run);
+            prop_assert_eq!(ra.diagnostic_text(), rb.diagnostic_text());
+        }
+    }
+
+    /// Virtual-time spend never exceeds the handler budget by more than
+    /// one worst-case action (the budget gate runs before each attempt).
+    #[test]
+    fn budget_overshoot_is_bounded_by_one_action(
+        seed in 0u64..500,
+        budget_ms in 100u64..5_000,
+    ) {
+        let ds = dataset();
+        let policy = RetryPolicy {
+            handler_budget_ms: budget_ms,
+            ..RetryPolicy::default()
+        };
+        let slack = policy.worst_case_action_ms();
+        let mut stage = CollectionStage::standard_with_faults(
+            Box::new(FaultPlan::uniform(seed, 0.4)),
+        );
+        stage.set_retry_policy(policy);
+        for inc in ds.incidents().iter().step_by(53).take(8) {
+            let run = stage.collect(inc).expect("resilient run never aborts").run;
+            prop_assert!(
+                run.degradation.budget_spent_ms < budget_ms + slack,
+                "spent {}ms against budget {}ms (+{}ms slack)",
+                run.degradation.budget_spent_ms, budget_ms, slack
+            );
+        }
+    }
+}
