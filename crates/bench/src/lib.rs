@@ -59,3 +59,19 @@ pub fn write_results(name: &str, value: &serde_json::Value) {
     .expect("can write results file");
     println!("\n[results written to {}]", path.display());
 }
+
+/// Writes a JSON value to `<name>.json` at the repository root.
+///
+/// Unlike [`write_results`], root results are version-tracked: the
+/// serving benchmark commits its sweep as `BENCH_serve.json` so the
+/// numbers travel with the code instead of living in the ignored
+/// `target/` tree.
+pub fn write_root_results(name: &str, value: &serde_json::Value) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    )
+    .expect("can write root results file");
+    println!("\n[results written to {}]", path.display());
+}

@@ -73,20 +73,44 @@ impl ContextSpec {
 
     /// Renders the context text for one collected incident.
     pub fn render(&self, collected: &CollectedIncident, summarizer: &Summarizer) -> String {
-        let mut parts: Vec<String> = Vec::new();
+        let diag = collected.diagnostic_text();
+        let summary = if self.diagnostic_info && self.summarized {
+            summarizer.summarize(&diag)
+        } else {
+            String::new()
+        };
+        self.render_parts(
+            &collected.alert_info,
+            &diag,
+            &summary,
+            &collected.run.action_output_text(),
+        )
+    }
+
+    /// Renders the context text from precomputed parts. The batch
+    /// evaluation harness and the online serving engine both go through
+    /// this exact concatenation, so their prompt inputs are
+    /// byte-identical for the same collected incident.
+    pub fn render_parts(
+        &self,
+        alert_info: &str,
+        raw_diag: &str,
+        summary: &str,
+        action_output: &str,
+    ) -> String {
+        let mut parts: Vec<&str> = Vec::new();
         if self.alert_info {
-            parts.push(collected.alert_info.clone());
+            parts.push(alert_info);
         }
         if self.diagnostic_info {
-            let diag = collected.diagnostic_text();
             if self.summarized {
-                parts.push(summarizer.summarize(&diag));
+                parts.push(summary);
             } else {
-                parts.push(diag);
+                parts.push(raw_diag);
             }
         }
         if self.action_output {
-            parts.push(collected.run.action_output_text());
+            parts.push(action_output);
         }
         parts.join("\n")
     }

@@ -105,21 +105,12 @@ impl PreparedDataset {
     /// (summaries are precomputed, so this is cheap).
     pub fn context_text(&self, idx: usize, spec: &ContextSpec) -> String {
         let inc = &self.incidents[idx];
-        let mut parts: Vec<&str> = Vec::new();
-        if spec.alert_info {
-            parts.push(&inc.alert_info);
-        }
-        if spec.diagnostic_info {
-            if spec.summarized {
-                parts.push(&inc.summary);
-            } else {
-                parts.push(&inc.raw_diag);
-            }
-        }
-        if spec.action_output {
-            parts.push(&inc.action_output);
-        }
-        parts.join("\n")
+        spec.render_parts(
+            &inc.alert_info,
+            &inc.raw_diag,
+            &inc.summary,
+            &inc.action_output,
+        )
     }
 
     /// Builds pipeline training examples under a context spec.

@@ -47,4 +47,7 @@ pub use feedback::{FeedbackStore, Verdict};
 pub use metrics::{f1_scores, F1Report};
 pub use pipeline::{RcaCopilot, RcaCopilotConfig, RcaPrediction};
 pub use report::OnCallReport;
-pub use retrieval::{HistoricalIndex, RetrievalConfig};
+pub use retrieval::{
+    HistoricalEntry, HistoricalIndex, HistorySnapshot, HistoryView, OnlineHistoricalIndex,
+    RetrievalConfig,
+};

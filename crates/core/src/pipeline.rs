@@ -1,6 +1,6 @@
 //! The end-to-end RCACopilot pipeline (paper Figure 4, right half).
 
-use crate::retrieval::{HistoricalEntry, HistoricalIndex, RetrievalConfig};
+use crate::retrieval::{HistoricalEntry, HistoricalIndex, HistoryView, RetrievalConfig};
 use rcacopilot_embed::{FastTextConfig, FastTextModel};
 use rcacopilot_handlers::RunDegradation;
 use rcacopilot_llm::prompt::{PredictionPrompt, PromptOption, CONTEXT_TOKENS};
@@ -299,8 +299,30 @@ impl RcaCopilot {
         retrieval: &RetrievalConfig,
         degradation: &RunDegradation,
     ) -> RcaPrediction {
-        let query = scaled(self.embedder.embed(raw_diag), self.config.embedding_scale);
-        let neighbors = self.index.top_k_diverse(&query, at, retrieval);
+        let query = self.embed_scaled(raw_diag);
+        self.predict_from_query(&self.index, &query, input_text, at, retrieval, degradation)
+    }
+
+    /// The retrieval + prompting + LLM stages, decoupled from embedding
+    /// and from this pipeline's own frozen index.
+    ///
+    /// This is the per-incident stage surface the online serving engine
+    /// composes: `query` is a scaled embedding (normally
+    /// [`RcaCopilot::embed_scaled`] of the raw diagnostics, possibly
+    /// memoized), and `history` is whichever [`HistoryView`] should
+    /// answer retrieval — the trained index, or an epoch snapshot of an
+    /// incrementally growing one. Calling this with `self.index()` and a
+    /// freshly embedded query is exactly [`RcaCopilot::predict`].
+    pub fn predict_from_query(
+        &self,
+        history: &dyn HistoryView,
+        query: &[f32],
+        input_text: &str,
+        at: SimTime,
+        retrieval: &RetrievalConfig,
+        degradation: &RunDegradation,
+    ) -> RcaPrediction {
+        let neighbors = history.top_k_diverse(query, at, retrieval);
         let mut prompt = PredictionPrompt::new(
             input_text,
             neighbors

@@ -3,11 +3,17 @@
 //! The retrieval stage needs Euclidean nearest neighbors (paper §4.2.2).
 //! [`BruteForceIndex`] is exact; [`IvfIndex`] adds a k-means coarse
 //! quantizer (inverted file) for larger deployments, trading a little
-//! recall for sublinear probing.
+//! recall for sublinear probing. [`BucketedIndex`] is the *online* exact
+//! index behind the serving plane: vectors are routed into metric cells
+//! that split as they grow, queries prune cells with triangle-inequality
+//! lower bounds, and [`EpochIndex`] layers cheap epoch-snapshotted read
+//! views on top so concurrent readers never observe a half-applied
+//! insert.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Squared Euclidean distance.
 fn d2(a: &[f32], b: &[f32]) -> f32 {
@@ -176,6 +182,333 @@ impl IvfIndex {
     }
 }
 
+/// One vector stored in a [`BucketedIndex`] cell.
+#[derive(Debug, Clone, PartialEq)]
+struct BucketItem {
+    /// Caller-assigned id.
+    id: u64,
+    /// Insertion sequence number — the tie-break that keeps pruned
+    /// queries byte-compatible with [`BruteForceIndex`]'s stable sort.
+    seq: u64,
+    vector: Vec<f32>,
+}
+
+/// One metric cell: a centroid, a covering radius, and its vectors.
+///
+/// `items` sits behind an [`Arc`] so cloning the whole index (the epoch
+/// snapshot operation) costs `O(cells)`, not `O(vectors)`; a writer that
+/// touches a shared cell pays one copy-on-write of that cell only.
+#[derive(Debug, Clone)]
+struct Cell {
+    centroid: Vec<f32>,
+    /// Upper bound (in squared-distance-free euclidean terms) on the
+    /// distance from `centroid` to any item in the cell. Only grows on
+    /// insert; splits recompute it exactly.
+    radius: f32,
+    items: Arc<Vec<BucketItem>>,
+}
+
+impl Cell {
+    fn new(centroid: Vec<f32>) -> Self {
+        Cell {
+            centroid,
+            radius: 0.0,
+            items: Arc::new(Vec::new()),
+        }
+    }
+}
+
+/// A view of one cell during a pruned scan, ordered by its spatial
+/// lower bound.
+#[derive(Debug)]
+pub struct CellScan<'a> {
+    /// Conservative lower bound (euclidean, padded for f32 rounding) on
+    /// the distance from the query to *any* vector in this cell.
+    pub lower_bound: f64,
+    items: &'a [BucketItem],
+}
+
+impl CellScan<'_> {
+    /// `(id, vector)` pairs of the cell, insertion order.
+    pub fn items(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.items.iter().map(|it| (it.id, it.vector.as_slice()))
+    }
+}
+
+/// Multiplicative + additive padding applied to cell radii when deriving
+/// lower bounds: radii are maintained in `f32`, so an unpadded bound
+/// could overstate the true `f64` distance by a few ulps and wrongly
+/// prune a boundary vector.
+const RADIUS_PAD: f64 = 1e-5;
+
+/// An exact nearest-neighbor index that supports *online* growth.
+///
+/// Vectors are routed to the nearest cell centroid on [`add`]; a cell
+/// that outgrows `max_cell` splits around its farthest pair, so `len`
+/// and `knn` stay consistent at every point of the insert stream (no
+/// build step, no staleness). Queries visit cells in lower-bound order
+/// and stop once no remaining cell can beat the current `k`-th hit,
+/// which keeps results *identical* to [`BruteForceIndex`] — including
+/// tie order — while probing only a fraction of the cells on clustered
+/// data.
+///
+/// [`add`]: BucketedIndex::add
+#[derive(Debug, Clone)]
+pub struct BucketedIndex {
+    cells: Vec<Cell>,
+    /// Split threshold: a cell holding more than this many vectors is
+    /// re-bucketed into two cells.
+    max_cell: usize,
+    len: usize,
+    next_seq: u64,
+}
+
+impl Default for BucketedIndex {
+    fn default() -> Self {
+        BucketedIndex::new(64)
+    }
+}
+
+impl BucketedIndex {
+    /// Creates an empty index with the given cell-split threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cell` is zero.
+    pub fn new(max_cell: usize) -> Self {
+        assert!(max_cell > 0, "max_cell must be positive");
+        BucketedIndex {
+            cells: Vec::new(),
+            max_cell,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of cells currently backing the index.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Adds a vector under `id`, splitting the receiving cell if it
+    /// outgrows the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector`'s dimension differs from previously added ones.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        if let Some(first) = self.cells.first() {
+            assert_eq!(first.centroid.len(), vector.len(), "dimension mismatch");
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        if self.cells.is_empty() {
+            self.cells.push(Cell::new(vector.clone()));
+        }
+        let best = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, d2(&c.centroid, &vector)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .expect("at least one cell");
+        let cell = &mut self.cells[best];
+        let dist = d2(&cell.centroid, &vector).sqrt();
+        cell.radius = cell.radius.max(dist);
+        Arc::make_mut(&mut cell.items).push(BucketItem { id, seq, vector });
+        if self.cells[best].items.len() > self.max_cell {
+            self.split_cell(best);
+        }
+    }
+
+    /// Splits cell `idx` around its farthest pair of items. A cell whose
+    /// items are all identical is left alone (splitting cannot shrink it).
+    fn split_cell(&mut self, idx: usize) {
+        let items = &self.cells[idx].items;
+        let (mut a, mut b, mut far) = (0usize, 0usize, 0.0f32);
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let d = d2(&items[i].vector, &items[j].vector);
+                if d > far {
+                    far = d;
+                    a = i;
+                    b = j;
+                }
+            }
+        }
+        if far <= 0.0 {
+            return; // degenerate cell: every vector identical
+        }
+        let (ca, cb) = (items[a].vector.clone(), items[b].vector.clone());
+        let mut left: Vec<BucketItem> = Vec::new();
+        let mut right: Vec<BucketItem> = Vec::new();
+        for it in items.iter() {
+            if d2(&it.vector, &ca) <= d2(&it.vector, &cb) {
+                left.push(it.clone());
+            } else {
+                right.push(it.clone());
+            }
+        }
+        self.cells[idx] = rebuild_cell(ca, left);
+        self.cells.push(rebuild_cell(cb, right));
+    }
+
+    /// Cells ordered by their conservative spatial lower-bound distance
+    /// to `query` — the raw material for bound-pruned searches layered
+    /// on top of this index (e.g. temporal-decay retrieval).
+    pub fn prune_scan(&self, query: &[f32]) -> Vec<CellScan<'_>> {
+        let mut scans: Vec<CellScan<'_>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let dc = d2_f64(&c.centroid, query).sqrt();
+                let pad = c.radius as f64 * (1.0 + RADIUS_PAD) + RADIUS_PAD;
+                CellScan {
+                    lower_bound: (dc - pad).max(0.0),
+                    items: &c.items,
+                }
+            })
+            .collect();
+        scans.sort_by(|a, b| a.lower_bound.total_cmp(&b.lower_bound));
+        scans
+    }
+
+    /// The `k` nearest neighbors of `query` as `(id, euclidean distance)`,
+    /// closest first — exactly [`BruteForceIndex::knn`]'s answer, tie
+    /// order included.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut hits: Vec<(f32, u64, u64)> = Vec::new(); // (d2, seq, id)
+        let mut kth: f64 = f64::INFINITY;
+        for scan in self.prune_scan(query) {
+            if hits.len() >= k && scan.lower_bound * scan.lower_bound > kth {
+                break;
+            }
+            for it in scan.items {
+                let d = d2(&it.vector, query);
+                hits.push((d, it.seq, it.id));
+            }
+            hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            hits.truncate(k);
+            if hits.len() >= k {
+                kth = hits[hits.len() - 1].0 as f64;
+            }
+        }
+        hits.into_iter().map(|(d, _, id)| (id, d.sqrt())).collect()
+    }
+}
+
+fn rebuild_cell(centroid: Vec<f32>, items: Vec<BucketItem>) -> Cell {
+    let radius = items
+        .iter()
+        .map(|it| d2(&it.vector, &centroid).sqrt())
+        .fold(0.0f32, f32::max);
+    Cell {
+        centroid,
+        radius,
+        items: Arc::new(items),
+    }
+}
+
+/// Squared euclidean distance accumulated in `f64` (the precision the
+/// retrieval similarity formula uses).
+fn d2_f64(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x - *y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Epoch-snapshotted wrapper around a [`BucketedIndex`].
+///
+/// The single writer calls [`add`] freely and [`publish`]es an epoch
+/// when a batch of inserts should become visible; readers grab
+/// [`snapshot`]s — `Arc`-shared immutable views costing `O(cells)` to
+/// produce — and query them without any coordination with the writer.
+/// This is the index-side half of the serving plane's "each resolved
+/// incident immediately becomes a retrieval candidate" contract.
+///
+/// [`add`]: EpochIndex::add
+/// [`publish`]: EpochIndex::publish
+/// [`snapshot`]: EpochIndex::snapshot
+#[derive(Debug)]
+pub struct EpochIndex {
+    working: BucketedIndex,
+    published: Arc<BucketedIndex>,
+    epoch: u64,
+}
+
+impl Default for EpochIndex {
+    fn default() -> Self {
+        EpochIndex::new(64)
+    }
+}
+
+impl EpochIndex {
+    /// Creates an empty epoch index with the given cell-split threshold.
+    pub fn new(max_cell: usize) -> Self {
+        let working = BucketedIndex::new(max_cell);
+        EpochIndex {
+            published: Arc::new(working.clone()),
+            working,
+            epoch: 0,
+        }
+    }
+
+    /// Adds a vector to the working set. Not visible to snapshots until
+    /// the next [`publish`](EpochIndex::publish).
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        self.working.add(id, vector);
+    }
+
+    /// Vectors in the working set (published or not).
+    pub fn len(&self) -> usize {
+        self.working.len()
+    }
+
+    /// True if the working set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.working.is_empty()
+    }
+
+    /// Seals the current working set into a new published epoch and
+    /// returns its number.
+    pub fn publish(&mut self) -> u64 {
+        self.published = Arc::new(self.working.clone());
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Number of the currently published epoch (0 = empty initial epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The latest published read view. Cheap (`O(cells)` was paid at
+    /// publish time; this is an `Arc` clone).
+    pub fn snapshot(&self) -> Arc<BucketedIndex> {
+        Arc::clone(&self.published)
+    }
+}
+
 fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
     let mut best = 0;
     let mut best_d = f32::INFINITY;
@@ -277,6 +610,98 @@ mod tests {
     fn empty_ivf_build_panics() {
         let _ = IvfIndex::build(&[], 4, 1, 0);
     }
+
+    #[test]
+    fn bucketed_matches_brute_force_during_online_growth() {
+        // Small split threshold forces several splits over the stream;
+        // len/knn must agree with brute force after *every* insert.
+        let mut bucketed = BucketedIndex::new(4);
+        let mut bf = BruteForceIndex::new();
+        for (id, v) in cluster_data() {
+            bucketed.add(id, v.clone());
+            bf.add(id, v);
+            assert_eq!(bucketed.len(), bf.len());
+            let q = [1.0f32, 2.0];
+            assert_eq!(bucketed.knn(&q, 4), bf.knn(&q, 4));
+        }
+        assert!(bucketed.cell_count() > 1, "threshold 4 must split");
+    }
+
+    #[test]
+    fn bucketed_survives_identical_vectors_without_splitting_forever() {
+        let mut idx = BucketedIndex::new(2);
+        for id in 0..10u64 {
+            idx.add(id, vec![1.0, 1.0]);
+        }
+        assert_eq!(idx.len(), 10);
+        // Degenerate cell cannot split; knn still exact, ties in
+        // insertion order like brute force.
+        let hits = idx.knn(&[1.0, 1.0], 3);
+        assert_eq!(
+            hits.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn bucketed_knn_handles_k_zero_and_empty() {
+        let mut idx = BucketedIndex::new(8);
+        assert!(idx.knn(&[0.0], 3).is_empty());
+        idx.add(1, vec![0.5]);
+        assert!(idx.knn(&[0.0], 0).is_empty());
+        assert_eq!(idx.knn(&[0.0], 3).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bucketed_mixed_dimensions_panic() {
+        let mut idx = BucketedIndex::new(8);
+        idx.add(1, vec![0.0, 1.0]);
+        idx.add(2, vec![0.0]);
+    }
+
+    #[test]
+    fn epoch_snapshots_are_stable_until_publish() {
+        let mut epochs = EpochIndex::new(4);
+        for (id, v) in cluster_data().into_iter().take(10) {
+            epochs.add(id, v);
+        }
+        let before = epochs.snapshot();
+        assert_eq!(before.len(), 0, "nothing published yet");
+        assert_eq!(epochs.publish(), 1);
+        let view = epochs.snapshot();
+        assert_eq!(view.len(), 10);
+        // Writer keeps inserting; the sealed view must not move.
+        for (id, v) in cluster_data().into_iter().skip(10) {
+            epochs.add(id, v);
+        }
+        assert_eq!(view.len(), 10);
+        assert_eq!(epochs.len(), 30);
+        epochs.publish();
+        assert_eq!(epochs.snapshot().len(), 30);
+        assert_eq!(epochs.epoch(), 2);
+        // Old and new views answer independently.
+        let q = [0.0f32, 0.0];
+        assert_eq!(view.knn(&q, 3).len(), 3);
+        assert_eq!(epochs.snapshot().knn(&q, 3).len(), 3);
+    }
+
+    #[test]
+    fn prune_scan_orders_cells_by_lower_bound_and_covers_everything() {
+        let mut idx = BucketedIndex::new(4);
+        for (id, v) in cluster_data() {
+            idx.add(id, v);
+        }
+        let scans = idx.prune_scan(&[0.0, 0.0]);
+        let mut total = 0;
+        for w in scans.windows(2) {
+            assert!(w[0].lower_bound <= w[1].lower_bound);
+        }
+        for s in &scans {
+            total += s.items().count();
+        }
+        assert_eq!(total, idx.len());
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +738,30 @@ mod proptests {
             for (hit, expected) in hits.iter().zip(naive.iter()) {
                 prop_assert!((hit.1 - expected).abs() < 1e-4);
             }
+        }
+
+        /// Satellite parity property: an online-grown [`BucketedIndex`]
+        /// returns the same k-NN answer as brute force over the same ids,
+        /// for every insert order proptest generates and at every prefix
+        /// of the stream.
+        #[test]
+        fn bucketed_online_add_matches_brute_force(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 3..=3), 1..60),
+            query in proptest::collection::vec(-10.0f32..10.0, 3..=3),
+            k in 1usize..8,
+            max_cell in 1usize..12
+        ) {
+            let mut bucketed = BucketedIndex::new(max_cell);
+            let mut bf = BruteForceIndex::new();
+            for (i, p) in points.iter().enumerate() {
+                bucketed.add(i as u64, p.clone());
+                bf.add(i as u64, p.clone());
+                prop_assert_eq!(bucketed.len(), bf.len());
+            }
+            let exact = bf.knn(&query, k);
+            let online = bucketed.knn(&query, k);
+            prop_assert_eq!(online, exact);
         }
     }
 }

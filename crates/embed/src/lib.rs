@@ -22,5 +22,5 @@ pub mod index;
 pub mod model;
 
 pub use features::FeatureExtractor;
-pub use index::{BruteForceIndex, IvfIndex};
+pub use index::{BruteForceIndex, BucketedIndex, EpochIndex, IvfIndex};
 pub use model::{FastTextConfig, FastTextModel};

@@ -1,0 +1,244 @@
+//! Severity-aware admission control and load shedding.
+//!
+//! The plan is computed against a *reference* drain rate on the virtual
+//! clock, not against the live worker pool: a virtual backlog of
+//! service-seconds fills as alerts arrive and drains at a fixed rate.
+//! Low-severity alerts are shed first — each severity may only fill its
+//! own fraction of the backlog capacity — and once the backlog crosses
+//! the degrade threshold, admitted work runs in degraded mode (cheap
+//! truncation instead of LLM summarization). Because the plan depends
+//! only on arrival times, severities, and ex-ante costs, it is identical
+//! for every worker count: shedding policy never couples the engine's
+//! *output* to its *parallelism*.
+
+use rcacopilot_telemetry::time::SimTime;
+use rcacopilot_telemetry::Severity;
+
+/// Admission-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch; when false every event is admitted at full service.
+    pub enabled: bool,
+    /// Backlog capacity in virtual service-seconds.
+    pub capacity_secs: u64,
+    /// Reference drain rate: service-seconds retired per virtual second.
+    pub drain_rate: f64,
+    /// Backlog fraction above which admitted work degrades.
+    pub degrade_frac: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            capacity_secs: 2 * 3_600,
+            drain_rate: 1.0,
+            degrade_frac: 0.6,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// No admission control: everything runs at full service (the parity
+    /// configuration).
+    pub fn unbounded() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            ..AdmissionConfig::default()
+        }
+    }
+}
+
+/// Fraction of backlog capacity a severity may fill (Sev1 preempts all of
+/// it; Sev4 is shed once the backlog is half full).
+pub fn severity_admit_frac(severity: Severity) -> f64 {
+    match severity {
+        Severity::Sev1 => 1.0,
+        Severity::Sev2 => 0.9,
+        Severity::Sev3 => 0.7,
+        Severity::Sev4 => 0.5,
+    }
+}
+
+/// What the plan decided for one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Admitted at full service.
+    Full,
+    /// Admitted, but summarization is replaced by truncation.
+    Degraded,
+    /// Rejected: the alert is logged and dropped.
+    Shed,
+}
+
+/// One event as admission control sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionInput {
+    /// Virtual arrival instant.
+    pub at: SimTime,
+    /// Alert severity.
+    pub severity: Severity,
+    /// Ex-ante full-service cost, virtual seconds.
+    pub full_cost_secs: u64,
+    /// Ex-ante degraded-service cost, virtual seconds.
+    pub degraded_cost_secs: u64,
+}
+
+/// The admission plan over a whole stream.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    /// Per-event decision, in stream order.
+    pub dispositions: Vec<Disposition>,
+    /// Virtual backlog (service-seconds) observed at each arrival,
+    /// before the event's own cost is added.
+    pub backlog_at_arrival: Vec<u64>,
+    /// Peak backlog over the stream.
+    pub peak_backlog_secs: u64,
+    /// Number of shed events.
+    pub shed: usize,
+    /// Number of degraded admissions.
+    pub degraded: usize,
+}
+
+impl AdmissionPlan {
+    /// Number of admitted events (full + degraded).
+    pub fn admitted(&self) -> usize {
+        self.dispositions.len() - self.shed
+    }
+}
+
+/// Computes the admission plan for `events` (must be sorted by arrival).
+pub fn plan(events: &[AdmissionInput], config: &AdmissionConfig) -> AdmissionPlan {
+    let mut dispositions = Vec::with_capacity(events.len());
+    let mut backlog_at_arrival = Vec::with_capacity(events.len());
+    let mut backlog = 0.0f64;
+    let mut last = events.first().map(|e| e.at).unwrap_or(SimTime::EPOCH);
+    let mut peak = 0u64;
+    let mut shed = 0usize;
+    let mut degraded = 0usize;
+    let capacity = config.capacity_secs as f64;
+    for e in events {
+        debug_assert!(e.at >= last, "admission input must be arrival-sorted");
+        backlog = (backlog - config.drain_rate * (e.at - last).as_secs() as f64).max(0.0);
+        last = e.at;
+        backlog_at_arrival.push(backlog as u64);
+        if !config.enabled {
+            dispositions.push(Disposition::Full);
+            backlog += e.full_cost_secs as f64;
+            peak = peak.max(backlog as u64);
+            continue;
+        }
+        let degrade = backlog > config.degrade_frac * capacity;
+        let cost = if degrade {
+            e.degraded_cost_secs
+        } else {
+            e.full_cost_secs
+        } as f64;
+        let cap = severity_admit_frac(e.severity) * capacity;
+        if backlog + cost > cap {
+            dispositions.push(Disposition::Shed);
+            shed += 1;
+        } else {
+            backlog += cost;
+            peak = peak.max(backlog as u64);
+            if degrade {
+                dispositions.push(Disposition::Degraded);
+                degraded += 1;
+            } else {
+                dispositions.push(Disposition::Full);
+            }
+        }
+    }
+    AdmissionPlan {
+        dispositions,
+        backlog_at_arrival,
+        peak_backlog_secs: peak,
+        shed,
+        degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(at_secs: u64, severity: Severity, cost: u64) -> AdmissionInput {
+        AdmissionInput {
+            at: SimTime::from_secs(at_secs),
+            severity,
+            full_cost_secs: cost,
+            degraded_cost_secs: cost / 2,
+        }
+    }
+
+    #[test]
+    fn quiet_stream_admits_everything_at_full_service() {
+        let events: Vec<AdmissionInput> = (0..20)
+            .map(|i| input(i * 3_600, Severity::Sev4, 300))
+            .collect();
+        let plan = plan(&events, &AdmissionConfig::default());
+        assert_eq!(plan.shed, 0);
+        assert_eq!(plan.degraded, 0);
+        assert!(plan.dispositions.iter().all(|d| *d == Disposition::Full));
+    }
+
+    #[test]
+    fn storm_sheds_low_severity_first_and_degrades_under_pressure() {
+        // 60 near-simultaneous arrivals, alternating severities.
+        let events: Vec<AdmissionInput> = (0..60)
+            .map(|i| {
+                let sev = match i % 3 {
+                    0 => Severity::Sev1,
+                    1 => Severity::Sev3,
+                    _ => Severity::Sev4,
+                };
+                input(i, sev, 400)
+            })
+            .collect();
+        let cfg = AdmissionConfig::default();
+        let plan = plan(&events, &cfg);
+        assert!(plan.shed > 0, "a storm must shed");
+        assert!(plan.degraded > 0, "pressure must degrade some admissions");
+        let shed_sev1 = events
+            .iter()
+            .zip(&plan.dispositions)
+            .filter(|(e, d)| e.severity == Severity::Sev1 && **d == Disposition::Shed)
+            .count();
+        let shed_sev4 = events
+            .iter()
+            .zip(&plan.dispositions)
+            .filter(|(e, d)| e.severity == Severity::Sev4 && **d == Disposition::Shed)
+            .count();
+        assert!(
+            shed_sev4 > shed_sev1,
+            "Sev4 shed {shed_sev4} must exceed Sev1 shed {shed_sev1}"
+        );
+        assert!(plan.peak_backlog_secs <= cfg.capacity_secs);
+    }
+
+    #[test]
+    fn disabled_config_never_sheds_even_under_storm() {
+        let events: Vec<AdmissionInput> =
+            (0..100).map(|i| input(i, Severity::Sev4, 1_000)).collect();
+        let plan = plan(&events, &AdmissionConfig::unbounded());
+        assert_eq!(plan.shed, 0);
+        assert_eq!(plan.degraded, 0);
+        assert!(plan.peak_backlog_secs > 0, "backlog still tracked");
+    }
+
+    #[test]
+    fn backlog_drains_between_arrivals() {
+        let events = vec![
+            input(0, Severity::Sev2, 600),
+            input(300, Severity::Sev2, 600),
+        ];
+        let plan = plan(
+            &events,
+            &AdmissionConfig {
+                drain_rate: 1.0,
+                ..AdmissionConfig::default()
+            },
+        );
+        assert_eq!(plan.backlog_at_arrival, vec![0, 300]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Content-hash memoization for the expensive per-incident stages.
+//!
+//! Monitors flap: the same incident is frequently re-raised with
+//! byte-identical diagnostics. Summarization and embedding are pure
+//! functions of the collected text, so the engine memoizes both behind a
+//! 64-bit FNV-1a content hash — a cache hit returns the exact value a
+//! recomputation would, which keeps the engine's output independent of
+//! hit/miss patterns (and therefore of worker scheduling).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Thread-safe memoization cache keyed by content hash.
+///
+/// Values must be pure functions of the hashed content; the cache then
+/// never changes observable results, only the work done to produce them.
+#[derive(Debug, Default)]
+pub struct MemoCache<V: Clone> {
+    inner: Mutex<MemoInner<V>>,
+}
+
+#[derive(Debug)]
+struct MemoInner<V> {
+    map: HashMap<u64, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Default for MemoInner<V> {
+    fn default() -> Self {
+        MemoInner {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V: Clone> MemoCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache {
+            inner: Mutex::new(MemoInner::default()),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it via
+    /// `compute` on a miss. The lock is *not* held during `compute`; on a
+    /// race the first insert wins and later computations are discarded,
+    /// which is harmless because `compute` is pure.
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut inner = self.inner.lock().expect("memo cache poisoned");
+            if let Some(v) = inner.map.get(&key) {
+                let v = v.clone();
+                inner.hits += 1;
+                return v;
+            }
+            inner.misses += 1;
+        }
+        let v = compute();
+        let mut inner = self.inner.lock().expect("memo cache poisoned");
+        inner.map.entry(key).or_insert_with(|| v.clone());
+        inner.map[&key].clone()
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("memo cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of distinct cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("memo cache poisoned").map.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_and_is_stable() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        // Known FNV-1a vector: empty input returns the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn cache_computes_once_per_key() {
+        let cache = MemoCache::new();
+        let mut calls = 0;
+        let a = cache.get_or_insert_with(1, || {
+            calls += 1;
+            "v1".to_string()
+        });
+        let b = cache.get_or_insert_with(1, || {
+            calls += 1;
+            "other".to_string()
+        });
+        assert_eq!(a, "v1");
+        assert_eq!(b, "v1");
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_usable_across_threads() {
+        let cache = MemoCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let v = cache.get_or_insert_with(i % 10, || (i % 10) * 2);
+                        assert_eq!(v, (i % 10) * 2, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 10);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 200);
+        assert!(misses >= 10);
+    }
+}

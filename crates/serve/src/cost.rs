@@ -1,0 +1,139 @@
+//! Ex-ante virtual service-cost model.
+//!
+//! Admission control must price an incident *before* processing it, the
+//! way a real triage system budgets from ticket metadata. The model
+//! therefore reads only what the alert itself carries — type, severity,
+//! message length — plus a seeded jitter hashed from the incident id, and
+//! never the collected diagnostics (unknown at admission time). Because
+//! the estimate depends only on the alert and the engine's cost seed, it
+//! is identical no matter which worker later runs the incident — the
+//! cornerstone of the engine's worker-count-independent output.
+
+use crate::cache::fnv1a;
+use rcacopilot_telemetry::alert::{Alert, AlertType};
+
+/// Virtual duration of each pipeline stage for one incident, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCosts {
+    /// Diagnostic collection (handler fan-out to telemetry sources).
+    pub collect_secs: u64,
+    /// LLM summarization of the collected diagnostics.
+    pub summarize_secs: u64,
+    /// Embedding of the raw diagnostics.
+    pub embed_secs: u64,
+    /// Nearest-neighbor retrieval over the historical index.
+    pub retrieve_secs: u64,
+    /// Chain-of-thought prediction.
+    pub predict_secs: u64,
+}
+
+impl StageCosts {
+    /// Full-service total.
+    pub fn total(&self) -> u64 {
+        self.collect_secs
+            + self.summarize_secs
+            + self.embed_secs
+            + self.retrieve_secs
+            + self.predict_secs
+    }
+
+    /// Degraded-service total: summarization is skipped (replaced by a
+    /// cheap truncation) when the engine is shedding load.
+    pub fn degraded_total(&self) -> u64 {
+        self.total() - self.summarize_secs + DEGRADED_SUMMARIZE_SECS
+    }
+}
+
+/// Cost of the truncation that replaces summarization in degraded mode.
+pub const DEGRADED_SUMMARIZE_SECS: u64 = 2;
+
+/// Handlers fan out to different numbers of telemetry sources; collection
+/// cost scales with that fan-out.
+fn collect_base(alert_type: AlertType) -> u64 {
+    match alert_type {
+        AlertType::DeliveryQueueBacklog | AlertType::ResourcePressure => 110,
+        AlertType::OutboundConnectionFailure | AlertType::DependencyTimeout => 95,
+        AlertType::ProcessCrashSpike | AlertType::PoisonedMessage => 85,
+        AlertType::AuthenticationFailure | AlertType::ConnectionLimitExceeded => 75,
+        AlertType::AvailabilityDrop | AlertType::DeliveryLatencyHigh => 65,
+    }
+}
+
+/// Deterministic jitter in `0..span` derived from the hash chain.
+fn jitter(h: &mut u64, tag: &[u8], span: u64) -> u64 {
+    let mut bytes = h.to_le_bytes().to_vec();
+    bytes.extend_from_slice(tag);
+    *h = fnv1a(&bytes);
+    if span == 0 {
+        0
+    } else {
+        *h % span
+    }
+}
+
+/// Estimates per-stage virtual costs for one alert under `seed`.
+///
+/// Pure in `(alert, seed)`: re-raised duplicates of the same incident get
+/// the same estimate.
+pub fn estimate(alert: &Alert, seed: u64) -> StageCosts {
+    let mut bytes = seed.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&alert.incident.0.to_le_bytes());
+    bytes.extend_from_slice(alert.message.as_bytes());
+    let mut h = fnv1a(&bytes);
+    let msg = alert.message.len() as u64;
+    StageCosts {
+        collect_secs: collect_base(alert.alert_type) + (msg / 8).min(40) + jitter(&mut h, b"c", 30),
+        summarize_secs: 20 + (msg / 16).min(25) + jitter(&mut h, b"s", 15),
+        embed_secs: 1 + jitter(&mut h, b"e", 4),
+        retrieve_secs: 2 + jitter(&mut h, b"r", 6),
+        predict_secs: 20 + jitter(&mut h, b"p", 20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcacopilot_telemetry::ids::{ForestId, IncidentId};
+    use rcacopilot_telemetry::query::Scope;
+    use rcacopilot_telemetry::time::SimTime;
+    use rcacopilot_telemetry::Severity;
+
+    fn alert(id: u64, msg: &str) -> Alert {
+        Alert {
+            incident: IncidentId(id),
+            alert_type: AlertType::ProcessCrashSpike,
+            scope: Scope::Forest(ForestId(0)),
+            severity: Severity::Sev2,
+            raised_at: SimTime::from_days(1),
+            monitor: "CrashMonitor".into(),
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn estimate_is_deterministic_and_seed_sensitive() {
+        let a = alert(7, "Transport.exe crashed 12 times in 5 minutes");
+        assert_eq!(estimate(&a, 3), estimate(&a, 3));
+        assert_ne!(estimate(&a, 3), estimate(&a, 4));
+        assert_ne!(
+            estimate(&a, 3),
+            estimate(&alert(8, "Transport.exe crashed 12 times in 5 minutes"), 3)
+        );
+    }
+
+    #[test]
+    fn costs_fall_in_plausible_bands() {
+        for id in 0..50 {
+            let c = estimate(
+                &alert(id, "some monitor message of moderate length here"),
+                9,
+            );
+            assert!((60..=200).contains(&c.collect_secs), "{c:?}");
+            assert!((20..=60).contains(&c.summarize_secs), "{c:?}");
+            assert!((1..=5).contains(&c.embed_secs), "{c:?}");
+            assert!((2..=8).contains(&c.retrieve_secs), "{c:?}");
+            assert!((20..=40).contains(&c.predict_secs), "{c:?}");
+            assert!(c.degraded_total() < c.total());
+        }
+    }
+}

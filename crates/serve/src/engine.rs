@@ -1,0 +1,777 @@
+//! The multi-worker streaming engine.
+//!
+//! [`ServeEngine`] consumes a virtual-time alert stream and runs the full
+//! RCACopilot pipeline — collection → summarization → embedding →
+//! retrieval → prediction — concurrently across a pool of OS threads fed
+//! by a bounded queue. Three design rules keep it honest:
+//!
+//! 1. **Plan on the virtual clock, execute on real threads.** Admission,
+//!    shedding, degraded mode and retrieval visibility are all decided by
+//!    a deterministic pre-pass over the stream (ex-ante costs, reference
+//!    drain rate, infinite-server resolution times). Worker threads then
+//!    execute the admitted work in any order the scheduler likes.
+//! 2. **Commit in stream order.** A commit watermark advances over event
+//!    sequence numbers; in [`IndexMode::Online`] a resolved incident is
+//!    inserted into the incremental index exactly at its commit point, so
+//!    index growth order never depends on thread interleaving.
+//! 3. **Dispatch behind the watermark.** An event that is entitled to see
+//!    historical entry `j` (because `j` resolved before the event
+//!    arrived) is not handed to a worker until `j` has committed. Since
+//!    entries that resolved *after* the event's arrival are filtered out
+//!    at query time by `visible_from`, retrieval results — and therefore
+//!    the prediction log — are byte-identical for every worker count.
+
+use crate::admission::{self, AdmissionConfig, AdmissionInput, AdmissionPlan, Disposition};
+use crate::cache::{fnv1a, MemoCache};
+use crate::cost::{self, StageCosts, DEGRADED_SUMMARIZE_SECS};
+use crate::stream::{self, StreamConfig, StreamEvent};
+use crate::vmetrics::{simulate_pool, ExecStats, VirtualHistogram, VirtualJob};
+use rcacopilot_core::retrieval::OnlineHistoricalIndex;
+use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
+use rcacopilot_simcloud::Incident;
+use rcacopilot_telemetry::{AlertType, Severity, SimDuration, SimTime};
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+/// Which historical index answers retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// The pipeline's frozen training index — exactly the batch system.
+    Frozen,
+    /// An incremental index warm-started from the training set; each
+    /// incident is inserted (with its post-resolution OCE label) once it
+    /// resolves, so later incidents retrieve earlier streamed ones.
+    Online,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bound of the dispatch queue (≥ 1).
+    pub queue_capacity: usize,
+    /// Retrieval index mode.
+    pub index_mode: IndexMode,
+    /// Admission-control policy.
+    pub admission: AdmissionConfig,
+    /// Seed of the ex-ante cost model.
+    pub cost_seed: u64,
+    /// Bucket split threshold of the online index.
+    pub max_cell: usize,
+    /// Prompt-context configuration (must match the batch pipeline's for
+    /// parity).
+    pub spec: ContextSpec,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            index_mode: IndexMode::Frozen,
+            admission: AdmissionConfig::default(),
+            cost_seed: 11,
+            max_cell: 64,
+            spec: ContextSpec::default(),
+        }
+    }
+}
+
+/// What happened to one stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventOutcome {
+    /// Rejected by admission control.
+    Shed {
+        /// Virtual backlog at the event's arrival.
+        backlog_secs: u64,
+    },
+    /// Processed to a prediction.
+    Predicted {
+        /// The pipeline's answer.
+        prediction: RcaPrediction,
+        /// True when summarization was skipped under load.
+        degraded: bool,
+    },
+}
+
+/// The engine's record for one stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Stream sequence number.
+    pub seq: usize,
+    /// Index of the incident in the streamed slice.
+    pub incident_idx: usize,
+    /// Virtual arrival instant.
+    pub at: SimTime,
+    /// Alert severity.
+    pub severity: Severity,
+    /// Alert type.
+    pub alert_type: AlertType,
+    /// Outcome.
+    pub outcome: EventOutcome,
+}
+
+impl EventRecord {
+    /// Canonical one-line rendering; the concatenation of these lines is
+    /// the engine's deterministic prediction log.
+    pub fn log_line(&self) -> String {
+        let head = format!(
+            "seq={} inc={} at={} sev={} type={}",
+            self.seq,
+            self.incident_idx,
+            self.at.as_secs(),
+            self.severity.level(),
+            self.alert_type,
+        );
+        match &self.outcome {
+            EventOutcome::Shed { backlog_secs } => {
+                format!("{head} verdict=shed backlog={backlog_secs}")
+            }
+            EventOutcome::Predicted {
+                prediction,
+                degraded,
+            } => format!(
+                "{head} verdict=predicted label={} unseen={} conf={:.6} compl={:.4} \
+                 degraded={} demos={}",
+                prediction.label,
+                prediction.unseen,
+                prediction.confidence,
+                prediction.completeness,
+                degraded,
+                prediction.demo_categories.join(","),
+            ),
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-event records in stream order.
+    pub records: Vec<EventRecord>,
+    /// The deterministic prediction log (one line per event). Identical
+    /// for every worker count and queue capacity.
+    pub log: String,
+    /// Virtual-time execution statistics for the configured worker count.
+    pub exec: ExecStats,
+    /// Full JSON report (stages, admission, caches, queue depths). Cache
+    /// hit/miss counters depend on thread interleaving, so the report —
+    /// unlike `log` — is not byte-stable across runs.
+    pub report: Value,
+}
+
+/// A processed slot awaiting commit.
+struct Slot {
+    record: EventRecord,
+    /// Entry to insert into the online index at commit time.
+    entry: Option<(HistoricalEntry, SimTime)>,
+}
+
+/// Commit state: processed slots plus the in-order watermark.
+struct CommitState {
+    slots: Vec<Option<Slot>>,
+    next: usize,
+}
+
+/// Memoization caches shared by the workers.
+struct Caches {
+    summary: MemoCache<String>,
+    embed: MemoCache<Vec<f32>>,
+}
+
+/// Shared per-run context handed to workers.
+struct RunCtx<'a> {
+    incidents: &'a [Incident],
+    events: &'a [StreamEvent],
+    plan: &'a AdmissionPlan,
+    resolve: &'a [Option<SimTime>],
+    online: Option<&'a Mutex<OnlineHistoricalIndex>>,
+    caches: &'a Caches,
+}
+
+/// The streaming serving engine around a trained pipeline.
+#[derive(Debug)]
+pub struct ServeEngine {
+    copilot: RcaCopilot,
+    stage: CollectionStage,
+    config: EngineConfig,
+}
+
+impl ServeEngine {
+    /// Wraps a trained pipeline with the standard (fault-free) collection
+    /// stage.
+    pub fn new(copilot: RcaCopilot, config: EngineConfig) -> Self {
+        ServeEngine {
+            copilot,
+            stage: CollectionStage::standard(),
+            config,
+        }
+    }
+
+    /// The wrapped pipeline.
+    pub fn copilot(&self) -> &RcaCopilot {
+        &self.copilot
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Streams `incidents` through the engine and returns the records,
+    /// the deterministic prediction log, and the virtual-time report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if collection fails for an incident (the standard handler
+    /// registry covers every alert type) or if a worker thread panics.
+    pub fn run(&self, incidents: &[Incident], stream_config: &StreamConfig) -> ServeOutcome {
+        let events = stream::schedule(incidents, stream_config);
+        let n = events.len();
+        let costs: Vec<StageCosts> = events
+            .iter()
+            .map(|e| cost::estimate(&incidents[e.incident_idx].alert, self.config.cost_seed))
+            .collect();
+        let inputs: Vec<AdmissionInput> = events
+            .iter()
+            .zip(&costs)
+            .map(|(e, c)| AdmissionInput {
+                at: e.at,
+                severity: incidents[e.incident_idx].alert.severity,
+                full_cost_secs: c.total(),
+                degraded_cost_secs: c.degraded_total(),
+            })
+            .collect();
+        let plan = admission::plan(&inputs, &self.config.admission);
+        // Infinite-server resolution times: worker-independent, so index
+        // visibility never depends on the pool size.
+        let resolve: Vec<Option<SimTime>> = events
+            .iter()
+            .zip(&costs)
+            .zip(&plan.dispositions)
+            .map(|((e, c), d)| match d {
+                Disposition::Shed => None,
+                Disposition::Full => Some(e.at + SimDuration::from_secs(c.total())),
+                Disposition::Degraded => Some(e.at + SimDuration::from_secs(c.degraded_total())),
+            })
+            .collect();
+        // Dispatch watermark: event i may only run once every event j
+        // that resolves at or before i's arrival has committed.
+        let need: Vec<usize> = match self.config.index_mode {
+            IndexMode::Frozen => vec![0; n],
+            IndexMode::Online => (0..n)
+                .map(|i| {
+                    (0..i)
+                        .rev()
+                        .find(|&j| resolve[j].is_some_and(|r| r <= events[i].at))
+                        .map_or(0, |j| j + 1)
+                })
+                .collect(),
+        };
+
+        let online: Option<Mutex<OnlineHistoricalIndex>> = match self.config.index_mode {
+            IndexMode::Frozen => None,
+            IndexMode::Online => Some(Mutex::new(OnlineHistoricalIndex::warm(
+                self.copilot.index().entries(),
+                self.config.max_cell,
+            ))),
+        };
+        let caches = Caches {
+            summary: MemoCache::new(),
+            embed: MemoCache::new(),
+        };
+        let ctx = RunCtx {
+            incidents,
+            events: &events,
+            plan: &plan,
+            resolve: &resolve,
+            online: online.as_ref(),
+            caches: &caches,
+        };
+
+        let state = Mutex::new(CommitState {
+            slots: (0..n).map(|_| None).collect(),
+            next: 0,
+        });
+        let watermark = Condvar::new();
+        // Shed events never reach a worker: record them up front so the
+        // watermark can advance across them.
+        {
+            let mut st = state.lock().expect("commit state poisoned");
+            for i in 0..n {
+                if plan.dispositions[i] == Disposition::Shed {
+                    st.slots[i] = Some(Slot {
+                        record: self.shed_record(&ctx, i),
+                        entry: None,
+                    });
+                }
+            }
+            advance(&mut st, ctx.online);
+        }
+
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<usize>(self.config.queue_capacity.max(1));
+        let rx = Mutex::new(rx);
+        let queue_depth = AtomicUsize::new(0);
+        let peak_queue = AtomicUsize::new(0);
+
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = {
+                        let guard = rx.lock().expect("dispatch queue poisoned");
+                        match guard.recv() {
+                            Ok(i) => i,
+                            Err(_) => break,
+                        }
+                    };
+                    queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    let slot = self.process_event(&ctx, i);
+                    let mut st = state.lock().expect("commit state poisoned");
+                    st.slots[i] = Some(slot);
+                    advance(&mut st, ctx.online);
+                    watermark.notify_all();
+                });
+            }
+            // Dispatcher: feed admitted events in stream order, gated on
+            // the commit watermark.
+            for (i, &need_i) in need.iter().enumerate() {
+                if plan.dispositions[i] == Disposition::Shed {
+                    continue;
+                }
+                if need_i > 0 {
+                    let mut st = state.lock().expect("commit state poisoned");
+                    while st.next < need_i {
+                        st = watermark.wait(st).expect("commit state poisoned");
+                    }
+                }
+                let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                peak_queue.fetch_max(depth, Ordering::Relaxed);
+                tx.send(i).expect("workers alive while dispatching");
+            }
+            drop(tx);
+        });
+
+        let records: Vec<EventRecord> = state
+            .into_inner()
+            .expect("commit state poisoned")
+            .slots
+            .into_iter()
+            .map(|s| s.expect("every event committed").record)
+            .collect();
+        let mut log = String::new();
+        for r in &records {
+            log.push_str(&r.log_line());
+            log.push('\n');
+        }
+        self.finish(
+            records,
+            log,
+            &events,
+            &costs,
+            &plan,
+            online.as_ref(),
+            &caches,
+            peak_queue.into_inner(),
+        )
+    }
+
+    /// Builds the record for a shed event.
+    fn shed_record(&self, ctx: &RunCtx<'_>, i: usize) -> EventRecord {
+        let ev = ctx.events[i];
+        let alert = &ctx.incidents[ev.incident_idx].alert;
+        EventRecord {
+            seq: ev.seq,
+            incident_idx: ev.incident_idx,
+            at: ev.at,
+            severity: alert.severity,
+            alert_type: alert.alert_type,
+            outcome: EventOutcome::Shed {
+                backlog_secs: ctx.plan.backlog_at_arrival[i],
+            },
+        }
+    }
+
+    /// Runs the full pipeline for one admitted event. Pure in the event
+    /// and the deterministic plan — worker identity and timing never leak
+    /// into the result.
+    fn process_event(&self, ctx: &RunCtx<'_>, i: usize) -> Slot {
+        let ev = ctx.events[i];
+        let inc = &ctx.incidents[ev.incident_idx];
+        let degraded = ctx.plan.dispositions[i] == Disposition::Degraded;
+        let collected = self
+            .stage
+            .collect(inc)
+            .unwrap_or_else(|e| panic!("collection failed for {}: {e}", inc.category));
+        let raw_diag = collected.diagnostic_text();
+        let content = fnv1a(raw_diag.as_bytes());
+        let spec = &self.config.spec;
+        let summary = if spec.diagnostic_info && spec.summarized {
+            if degraded {
+                truncated_summary(&raw_diag)
+            } else {
+                ctx.caches
+                    .summary
+                    .get_or_insert_with(content, || self.copilot.summarizer().summarize(&raw_diag))
+            }
+        } else {
+            String::new()
+        };
+        let input_text = spec.render_parts(
+            &collected.alert_info,
+            &raw_diag,
+            &summary,
+            &collected.run.action_output_text(),
+        );
+        let query = ctx
+            .caches
+            .embed
+            .get_or_insert_with(content, || self.copilot.embed_scaled(&raw_diag));
+        let retrieval = &self.copilot.config().retrieval;
+        let prediction = match ctx.online {
+            None => self.copilot.predict_from_query(
+                self.copilot.index(),
+                &query,
+                &input_text,
+                ev.at,
+                retrieval,
+                &collected.run.degradation,
+            ),
+            Some(online) => {
+                let snapshot = online.lock().expect("online index poisoned").snapshot();
+                self.copilot.predict_from_query(
+                    &snapshot,
+                    &query,
+                    &input_text,
+                    ev.at,
+                    retrieval,
+                    &collected.run.degradation,
+                )
+            }
+        };
+        let entry = ctx.online.map(|_| {
+            (
+                HistoricalEntry {
+                    id: i,
+                    category: inc.category.clone(),
+                    summary: input_text.clone(),
+                    at: ev.at,
+                    embedding: query.clone(),
+                },
+                ctx.resolve[i].expect("admitted events have a resolution time"),
+            )
+        });
+        Slot {
+            record: EventRecord {
+                seq: ev.seq,
+                incident_idx: ev.incident_idx,
+                at: ev.at,
+                severity: inc.alert.severity,
+                alert_type: inc.alert.alert_type,
+                outcome: EventOutcome::Predicted {
+                    prediction,
+                    degraded,
+                },
+            },
+            entry,
+        }
+    }
+
+    /// Assembles the virtual-time report and the final outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        records: Vec<EventRecord>,
+        log: String,
+        events: &[StreamEvent],
+        costs: &[StageCosts],
+        plan: &AdmissionPlan,
+        online: Option<&Mutex<OnlineHistoricalIndex>>,
+        caches: &Caches,
+        peak_queue: usize,
+    ) -> ServeOutcome {
+        let mut stage_hists = [
+            VirtualHistogram::new(), // collect
+            VirtualHistogram::new(), // summarize
+            VirtualHistogram::new(), // embed
+            VirtualHistogram::new(), // retrieve
+            VirtualHistogram::new(), // predict
+        ];
+        let mut jobs: Vec<VirtualJob> = Vec::new();
+        for (i, (e, c)) in events.iter().zip(costs).enumerate() {
+            let service = match plan.dispositions[i] {
+                Disposition::Shed => continue,
+                Disposition::Full => {
+                    stage_hists[1].record(c.summarize_secs);
+                    c.total()
+                }
+                Disposition::Degraded => {
+                    stage_hists[1].record(DEGRADED_SUMMARIZE_SECS);
+                    c.degraded_total()
+                }
+            };
+            stage_hists[0].record(c.collect_secs);
+            stage_hists[2].record(c.embed_secs);
+            stage_hists[3].record(c.retrieve_secs);
+            stage_hists[4].record(c.predict_secs);
+            jobs.push(VirtualJob {
+                arrival_secs: e.at.as_secs(),
+                service_secs: service,
+            });
+        }
+        let exec = simulate_pool(&jobs, self.config.workers.max(1));
+        let (sum_hits, sum_misses) = caches.summary.stats();
+        let (emb_hits, emb_misses) = caches.embed.stats();
+        let report = json!({
+            "engine": {
+                "workers": self.config.workers,
+                "queue_capacity": self.config.queue_capacity,
+                "index_mode": match self.config.index_mode {
+                    IndexMode::Frozen => "frozen",
+                    IndexMode::Online => "online",
+                },
+                "cost_seed": self.config.cost_seed,
+            },
+            "stream": {
+                "events": events.len(),
+                "admitted": plan.admitted(),
+                "shed": plan.shed,
+                "degraded": plan.degraded,
+            },
+            "admission": {
+                "enabled": self.config.admission.enabled,
+                "capacity_secs": self.config.admission.capacity_secs,
+                "peak_backlog_secs": plan.peak_backlog_secs,
+            },
+            "stages": {
+                "collect": stage_hists[0].to_json(),
+                "summarize": stage_hists[1].to_json(),
+                "embed": stage_hists[2].to_json(),
+                "retrieve": stage_hists[3].to_json(),
+                "predict": stage_hists[4].to_json(),
+            },
+            "exec": exec.to_json(),
+            "caches": {
+                "summary": { "hits": sum_hits, "misses": sum_misses },
+                "embed": { "hits": emb_hits, "misses": emb_misses },
+            },
+            "queue": { "peak_depth": peak_queue },
+            "online_index_len": online
+                .map(|o| o.lock().expect("online index poisoned").len()),
+        });
+        ServeOutcome {
+            records,
+            log,
+            exec,
+            report,
+        }
+    }
+}
+
+/// Advances the commit watermark over contiguous finished slots,
+/// inserting online entries in commit order (and publishing one epoch per
+/// batch).
+fn advance(st: &mut CommitState, online: Option<&Mutex<OnlineHistoricalIndex>>) {
+    let mut inserted = false;
+    while st.next < st.slots.len() {
+        let Some(slot) = st.slots[st.next].as_mut() else {
+            break;
+        };
+        if let Some((entry, visible_from)) = slot.entry.take() {
+            if let Some(online) = online {
+                online
+                    .lock()
+                    .expect("online index poisoned")
+                    .insert(entry, visible_from);
+                inserted = true;
+            }
+        }
+        st.next += 1;
+    }
+    if inserted {
+        if let Some(online) = online {
+            online.lock().expect("online index poisoned").publish();
+        }
+    }
+}
+
+/// Cheap degraded-mode replacement for LLM summarization: the first 60
+/// words of the raw diagnostics.
+fn truncated_summary(raw_diag: &str) -> String {
+    raw_diag
+        .split_whitespace()
+        .take(60)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ArrivalModel;
+    use rcacopilot_core::eval::PreparedDataset;
+    use rcacopilot_core::pipeline::RcaCopilotConfig;
+    use rcacopilot_embed::{FastTextConfig, FeatureExtractor};
+    use rcacopilot_simcloud::noise::NoiseProfile;
+    use rcacopilot_simcloud::{generate_dataset, CampaignConfig, IncidentDataset, Topology};
+
+    /// Looks up a (possibly nested) field of a JSON report map.
+    fn field<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+        let mut cur = v;
+        for key in path {
+            cur = cur
+                .as_map()
+                .expect("report node is a map")
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("report field {key} missing"));
+        }
+        cur
+    }
+
+    /// Unwraps an unsigned JSON number.
+    fn as_u64(v: &Value) -> u64 {
+        match v {
+            Value::U64(n) => *n,
+            Value::I64(n) => *n as u64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn dataset() -> IncidentDataset {
+        generate_dataset(&CampaignConfig {
+            seed: 5,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 2,
+                herring_logs: 1,
+                healthy_traces: 1,
+                unrelated_failure: false,
+                bystander_anomalies: 1,
+            },
+        })
+    }
+
+    fn quick_config() -> RcaCopilotConfig {
+        RcaCopilotConfig {
+            embedding: FastTextConfig {
+                dim: 24,
+                epochs: 8,
+                lr: 0.4,
+                features: FeatureExtractor {
+                    buckets: 1 << 12,
+                    ..FeatureExtractor::default()
+                },
+                ..FastTextConfig::default()
+            },
+            ..RcaCopilotConfig::default()
+        }
+    }
+
+    fn trained_engine(config: EngineConfig) -> (ServeEngine, Vec<Incident>) {
+        let dataset = dataset();
+        let split = dataset.split(7, 0.6);
+        let prepared = PreparedDataset::prepare(&dataset, &split);
+        let spec = config.spec;
+        let copilot = RcaCopilot::train(&prepared.train_examples(&spec), quick_config());
+        let test: Vec<Incident> = split
+            .test
+            .iter()
+            .take(24)
+            .map(|&i| dataset.incidents()[i].clone())
+            .collect();
+        (ServeEngine::new(copilot, config), test)
+    }
+
+    #[test]
+    fn frozen_replay_log_is_identical_across_worker_counts() {
+        let stream = StreamConfig::replay();
+        let (engine1, test) = trained_engine(EngineConfig {
+            workers: 1,
+            admission: AdmissionConfig::unbounded(),
+            ..EngineConfig::default()
+        });
+        let out1 = engine1.run(&test, &stream);
+        let (engine4, test4) = trained_engine(EngineConfig {
+            workers: 4,
+            queue_capacity: 2,
+            admission: AdmissionConfig::unbounded(),
+            ..EngineConfig::default()
+        });
+        assert_eq!(test.len(), test4.len());
+        let out4 = engine4.run(&test4, &stream);
+        assert_eq!(out1.log, out4.log);
+        assert_eq!(out1.records.len(), test.len());
+        assert!(out1
+            .records
+            .iter()
+            .all(|r| matches!(r.outcome, EventOutcome::Predicted { .. })));
+    }
+
+    #[test]
+    fn online_mode_inserts_resolved_incidents_and_stays_deterministic() {
+        let stream = StreamConfig {
+            seed: 2,
+            arrivals: ArrivalModel::Poisson { mean_gap_secs: 900 },
+            reraise_prob: 0.25,
+        };
+        let make = |workers| {
+            let (engine, test) = trained_engine(EngineConfig {
+                workers,
+                index_mode: IndexMode::Online,
+                admission: AdmissionConfig::unbounded(),
+                ..EngineConfig::default()
+            });
+            (engine.run(&test, &stream), engine)
+        };
+        let (out1, engine1) = make(1);
+        let (out3, _) = make(3);
+        assert_eq!(out1.log, out3.log, "online log must not depend on workers");
+        let train_len = engine1.copilot().history_len();
+        let index_len = as_u64(field(&out1.report, &["online_index_len"])) as usize;
+        assert_eq!(index_len, train_len + out1.records.len());
+        // Flapping re-raises hit the memo caches.
+        let hits = as_u64(field(&out1.report, &["caches", "embed", "hits"]));
+        assert!(hits > 0, "duplicate alerts should hit the embed cache");
+    }
+
+    #[test]
+    fn storm_with_admission_sheds_and_reports() {
+        let stream = StreamConfig {
+            seed: 8,
+            arrivals: ArrivalModel::Bursty {
+                mean_gap_secs: 240,
+                burst_prob: 0.6,
+                burst_len: 8,
+                burst_gap_secs: 5,
+            },
+            reraise_prob: 0.1,
+        };
+        let (engine, test) = trained_engine(EngineConfig {
+            workers: 2,
+            admission: AdmissionConfig {
+                capacity_secs: 900,
+                ..AdmissionConfig::default()
+            },
+            ..EngineConfig::default()
+        });
+        let out = engine.run(&test, &stream);
+        let shed = out
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, EventOutcome::Shed { .. }))
+            .count();
+        assert!(shed > 0, "a storm against a small capacity must shed");
+        assert_eq!(
+            as_u64(field(&out.report, &["stream", "shed"])) as usize,
+            shed
+        );
+        assert!(out.exec.makespan_secs > 0);
+        assert!(out.log.contains("verdict=shed"));
+    }
+}

@@ -1,0 +1,48 @@
+//! RCACopilot serving plane: an online incident-serving engine.
+//!
+//! The batch harness in `rcacopilot-core` evaluates the pipeline over a
+//! frozen dataset; this crate runs the same pipeline as a *service*. A
+//! seeded alert stream ([`stream`]) delivers incidents on virtual time —
+//! Poisson background traffic, alert storms, flapping monitors — and the
+//! multi-worker engine ([`engine`]) pushes each admitted alert through
+//! collection → summarization → embedding → retrieval → prediction on a
+//! pool of OS threads behind a bounded queue.
+//!
+//! Three subsystems make the engine behave like a production triage
+//! plane while staying fully deterministic:
+//!
+//! - **Admission control** ([`admission`]): a severity-aware virtual
+//!   token bucket sheds low-severity alerts first during storms and
+//!   degrades summarization under pressure, priced by an ex-ante cost
+//!   model ([`cost`]) that reads only alert metadata.
+//! - **Incremental history**: in [`engine::IndexMode::Online`] each
+//!   incident joins the retrieval index when it *resolves*, through
+//!   epoch-snapshotted read views, so the stream learns from itself
+//!   without ever letting an unresolved (or future) incident leak into a
+//!   prompt.
+//! - **Virtual-time metrics** ([`vmetrics`]): per-stage latency
+//!   histograms, queue depths and throughput come from a deterministic
+//!   discrete-event simulation of the worker pool on the stream's own
+//!   clock, so benchmark numbers are reproducible on any host.
+//!
+//! The engine's prediction log is byte-identical for every worker count:
+//! planning (admission, visibility) happens on the virtual clock before
+//! execution, workers compute pure functions, and results commit in
+//! stream order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod cost;
+pub mod engine;
+pub mod stream;
+pub mod vmetrics;
+
+pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
+pub use cache::MemoCache;
+pub use cost::StageCosts;
+pub use engine::{EngineConfig, EventOutcome, EventRecord, IndexMode, ServeEngine, ServeOutcome};
+pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
+pub use vmetrics::{ExecStats, VirtualHistogram};

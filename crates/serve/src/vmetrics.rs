@@ -1,0 +1,243 @@
+//! Virtual-time performance metrics.
+//!
+//! The engine measures itself on the *virtual* clock of the alert stream,
+//! not the host's wall clock: stage costs come from the ex-ante service
+//! model and queueing comes from a deterministic discrete-event
+//! simulation. That keeps every number reproducible (and meaningful on a
+//! single-core CI box, where wall-clock thread scaling is impossible to
+//! observe).
+
+use serde_json::{json, Value};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A histogram of virtual durations in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualHistogram {
+    samples: Vec<u64>,
+}
+
+impl VirtualHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        VirtualHistogram::default()
+    }
+
+    /// Records one duration sample (virtual seconds).
+    pub fn record(&mut self, secs: u64) {
+        self.samples.push(secs);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank percentile (`q` in `0.0..=1.0`); 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// JSON summary: count, mean, p50, p99, max.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "count": self.len(),
+            "mean_secs": self.mean(),
+            "p50_secs": self.percentile(0.50),
+            "p99_secs": self.percentile(0.99),
+            "max_secs": self.max(),
+        })
+    }
+}
+
+/// One job for the execution simulation: arrival instant and service
+/// demand, both in virtual seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct VirtualJob {
+    /// Arrival instant (virtual seconds since stream epoch).
+    pub arrival_secs: u64,
+    /// Service demand (virtual seconds).
+    pub service_secs: u64,
+}
+
+/// Result of simulating the worker pool over the admitted jobs.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Queue-wait per job (start − arrival).
+    pub waits: VirtualHistogram,
+    /// Sojourn time per job (finish − arrival).
+    pub latencies: VirtualHistogram,
+    /// Virtual makespan: last finish − first arrival (0 when no jobs).
+    pub makespan_secs: u64,
+    /// Peak number of jobs that had arrived but not yet started.
+    pub peak_queue_depth: usize,
+    /// Number of jobs simulated.
+    pub completed: usize,
+}
+
+impl ExecStats {
+    /// Completed jobs per virtual hour; 0.0 for an empty or zero-length run.
+    pub fn throughput_per_hour(&self) -> f64 {
+        if self.makespan_secs == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 3_600.0 / self.makespan_secs as f64
+    }
+
+    /// JSON summary of the run.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "completed": self.completed,
+            "makespan_secs": self.makespan_secs,
+            "throughput_per_hour": self.throughput_per_hour(),
+            "peak_queue_depth": self.peak_queue_depth,
+            "wait": self.waits.to_json(),
+            "latency": self.latencies.to_json(),
+        })
+    }
+}
+
+/// Simulates `workers` FCFS servers over `jobs` (must be sorted by
+/// arrival; ties keep slice order). Deterministic: the free server with
+/// the earliest availability takes the next job in arrival order.
+pub fn simulate_pool(jobs: &[VirtualJob], workers: usize) -> ExecStats {
+    let workers = workers.max(1);
+    let mut free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
+    let mut waits = VirtualHistogram::new();
+    let mut latencies = VirtualHistogram::new();
+    let mut starts: Vec<u64> = Vec::with_capacity(jobs.len());
+    let mut last_finish = 0u64;
+    for job in jobs {
+        let Reverse(free_at) = free.pop().expect("worker heap never empty");
+        let start = free_at.max(job.arrival_secs);
+        let finish = start + job.service_secs;
+        free.push(Reverse(finish));
+        starts.push(start);
+        waits.record(start - job.arrival_secs);
+        latencies.record(finish - job.arrival_secs);
+        last_finish = last_finish.max(finish);
+    }
+    // Peak backlog: sweep +1 at each arrival, −1 at each start. Starts
+    // are processed before arrivals at equal instants so a job that
+    // starts the moment it arrives never counts as queued.
+    let mut deltas: Vec<(u64, i32, i32)> = Vec::with_capacity(jobs.len() * 2);
+    for (job, &start) in jobs.iter().zip(&starts) {
+        deltas.push((job.arrival_secs, 1, 1));
+        deltas.push((start, 0, -1));
+    }
+    deltas.sort_unstable();
+    let mut depth = 0i32;
+    let mut peak = 0i32;
+    for (_, _, d) in deltas {
+        depth += d;
+        peak = peak.max(depth);
+    }
+    let makespan = if jobs.is_empty() {
+        0
+    } else {
+        last_finish.saturating_sub(jobs[0].arrival_secs)
+    };
+    ExecStats {
+        waits,
+        latencies,
+        makespan_secs: makespan,
+        peak_queue_depth: peak.max(0) as usize,
+        completed: jobs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank() {
+        let mut h = VirtualHistogram::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.50), 50);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(0.0), 10);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 55.0).abs() < 1e-9);
+        assert_eq!(VirtualHistogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn single_worker_serializes_jobs() {
+        let jobs = [
+            VirtualJob {
+                arrival_secs: 0,
+                service_secs: 100,
+            },
+            VirtualJob {
+                arrival_secs: 10,
+                service_secs: 100,
+            },
+            VirtualJob {
+                arrival_secs: 20,
+                service_secs: 100,
+            },
+        ];
+        let stats = simulate_pool(&jobs, 1);
+        assert_eq!(stats.makespan_secs, 300);
+        assert_eq!(stats.waits.max(), 180);
+        assert_eq!(stats.peak_queue_depth, 2);
+    }
+
+    #[test]
+    fn more_workers_never_hurt_makespan_or_waits() {
+        let jobs: Vec<VirtualJob> = (0..40)
+            .map(|i| VirtualJob {
+                arrival_secs: (i / 4) * 30,
+                service_secs: 200 + (i % 7) * 40,
+            })
+            .collect();
+        let mut prev_makespan = u64::MAX;
+        let mut prev_wait = u64::MAX;
+        for w in 1..=8 {
+            let stats = simulate_pool(&jobs, w);
+            assert!(stats.makespan_secs <= prev_makespan, "workers {w}");
+            assert!(stats.waits.percentile(0.99) <= prev_wait, "workers {w}");
+            prev_makespan = stats.makespan_secs;
+            prev_wait = stats.waits.percentile(0.99);
+        }
+        let saturated = simulate_pool(&jobs, 4);
+        let serial = simulate_pool(&jobs, 1);
+        assert!(saturated.throughput_per_hour() > serial.throughput_per_hour());
+    }
+
+    #[test]
+    fn empty_job_list_is_well_defined() {
+        let stats = simulate_pool(&[], 4);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.makespan_secs, 0);
+        assert_eq!(stats.throughput_per_hour(), 0.0);
+    }
+}

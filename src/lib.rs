@@ -18,6 +18,8 @@
 //! - [`gbdt`]: gradient-boosted trees (the XGBoost baseline)
 //! - [`llm`]: the simulated language model (summarization, CoT prediction)
 //! - [`core`]: the end-to-end pipeline, baselines, and evaluation harness
+//! - [`serve`]: the online serving engine — streaming alerts, admission
+//!   control, multi-worker execution, incremental retrieval index
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the full system inventory.
@@ -29,6 +31,7 @@ pub use rcacopilot_embed as embed;
 pub use rcacopilot_gbdt as gbdt;
 pub use rcacopilot_handlers as handlers;
 pub use rcacopilot_llm as llm;
+pub use rcacopilot_serve as serve;
 pub use rcacopilot_simcloud as simcloud;
 pub use rcacopilot_telemetry as telemetry;
 pub use rcacopilot_textkit as textkit;
