@@ -48,6 +48,6 @@ pub use metrics::{f1_scores, F1Report};
 pub use pipeline::{RcaCopilot, RcaCopilotConfig, RcaPrediction};
 pub use report::OnCallReport;
 pub use retrieval::{
-    HistoricalEntry, HistoricalIndex, HistorySnapshot, HistoryView, OnlineHistoricalIndex,
-    RetrievalConfig,
+    CheckpointEntry, EpochCheckpoint, HistoricalEntry, HistoricalIndex, HistorySnapshot,
+    HistoryView, OnlineHistoricalIndex, RetrievalConfig,
 };

@@ -139,7 +139,7 @@ pub fn generic_lm_embedding(text: &str, dim: usize) -> Vec<f32> {
 }
 
 /// The pipeline's answer for one incident.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RcaPrediction {
     /// Predicted category (or synthesized new-category label).
     pub label: String,

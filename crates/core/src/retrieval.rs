@@ -252,6 +252,10 @@ pub struct OnlineHistoricalIndex {
     vectors: EpochIndex,
     entries: EntryChunks,
     published: EntryChunks,
+    /// Sealed epochs between spatial compactions (0 = never compact).
+    compact_every: usize,
+    epochs_since_compaction: usize,
+    compactions: u64,
 }
 
 impl Default for OnlineHistoricalIndex {
@@ -267,6 +271,9 @@ impl OnlineHistoricalIndex {
             vectors: EpochIndex::new(max_cell),
             entries: EntryChunks::default(),
             published: EntryChunks::default(),
+            compact_every: 0,
+            epochs_since_compaction: 0,
+            compactions: 0,
         }
     }
 
@@ -295,10 +302,49 @@ impl OnlineHistoricalIndex {
         });
     }
 
-    /// Seals the current contents into a new published epoch.
-    pub fn publish(&mut self) {
-        self.vectors.publish();
+    /// Enables epoch compaction: after every `every_epochs` sealed
+    /// epochs, the spatial index is rebuilt into fresh, tight cells
+    /// (`0` disables, the default). Compaction is transparent — query
+    /// answers are byte-identical before and after (property-tested
+    /// below), because retrieval over the bucketed cells is exact with
+    /// insertion-sequence tie-breaks independent of cell layout.
+    pub fn set_compaction_interval(&mut self, every_epochs: usize) {
+        self.compact_every = every_epochs;
+    }
+
+    /// Number of compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The spatial cell-split threshold.
+    pub fn max_cell(&self) -> usize {
+        self.vectors.max_cell()
+    }
+
+    /// Number of the currently published epoch (0 = nothing published).
+    pub fn epoch(&self) -> u64 {
+        self.vectors.epoch()
+    }
+
+    /// Overrides the epoch counter (checkpoint restore continuity).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.vectors.set_epoch(epoch);
+    }
+
+    /// Seals the current contents into a new published epoch and returns
+    /// its number. Past the configured compaction interval, the sealed
+    /// epochs are first folded into a freshly compacted spatial index.
+    pub fn publish(&mut self) -> u64 {
+        self.epochs_since_compaction += 1;
+        if self.compact_every > 0 && self.epochs_since_compaction >= self.compact_every {
+            self.vectors.compact();
+            self.compactions += 1;
+            self.epochs_since_compaction = 0;
+        }
+        let epoch = self.vectors.publish();
         self.published = self.entries.clone();
+        epoch
     }
 
     /// Entries inserted so far (published or not).
@@ -319,6 +365,63 @@ impl OnlineHistoricalIndex {
             entries: self.published.clone(),
         }
     }
+
+    /// Serializes the index state — every inserted entry with its
+    /// visibility instant, in insertion order — for the serving plane's
+    /// write-ahead checkpoint. [`restore`](OnlineHistoricalIndex::restore)
+    /// rebuilds an index answering every query identically: insertion
+    /// order (the retrieval tie-break) is preserved, and epoch-batch
+    /// boundaries are immaterial because visibility is filtered per query
+    /// by `visible_from`, not by epoch membership.
+    pub fn checkpoint(&self) -> EpochCheckpoint {
+        EpochCheckpoint {
+            max_cell: self.max_cell(),
+            epoch: self.epoch(),
+            entries: (0..self.entries.len())
+                .map(|i| {
+                    let stored = self.entries.get(i);
+                    CheckpointEntry {
+                        entry: stored.entry.clone(),
+                        visible_from: stored.visible_from,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an index from a [`checkpoint`](OnlineHistoricalIndex::checkpoint):
+    /// entries are re-inserted in their original order and published in
+    /// one epoch, and the epoch counter resumes from the checkpoint.
+    pub fn restore(checkpoint: &EpochCheckpoint) -> Self {
+        let mut idx = OnlineHistoricalIndex::new(checkpoint.max_cell.max(1));
+        for ce in &checkpoint.entries {
+            idx.insert(ce.entry.clone(), ce.visible_from);
+        }
+        idx.publish();
+        idx.set_epoch(checkpoint.epoch);
+        idx
+    }
+}
+
+/// One [`OnlineHistoricalIndex`] entry as journaled by the serving
+/// plane's write-ahead log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// The stored historical entry.
+    pub entry: HistoricalEntry,
+    /// The virtual instant it became retrievable.
+    pub visible_from: SimTime,
+}
+
+/// A serializable snapshot of an [`OnlineHistoricalIndex`]'s full state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochCheckpoint {
+    /// Spatial cell-split threshold to rebuild with.
+    pub max_cell: usize,
+    /// Published epoch number at checkpoint time.
+    pub epoch: u64,
+    /// Every inserted entry, in insertion order.
+    pub entries: Vec<CheckpointEntry>,
 }
 
 /// A sealed read view of one [`OnlineHistoricalIndex`] epoch.
@@ -528,6 +631,65 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_restore_round_trips_queries_and_epoch() {
+        let mut online = OnlineHistoricalIndex::new(4);
+        for i in 0..25usize {
+            online.insert(
+                entry(
+                    i,
+                    &format!("Cat{}", i % 6),
+                    (i as u64 * 11) % 200,
+                    vec![(i % 4) as f32, (i % 7) as f32],
+                ),
+                SimTime::from_days((i as u64 * 3) % 100),
+            );
+            if i % 5 == 4 {
+                online.publish();
+            }
+        }
+        let ckpt = online.checkpoint();
+        assert_eq!(ckpt.entries.len(), online.len());
+        let restored = OnlineHistoricalIndex::restore(&ckpt);
+        assert_eq!(restored.len(), online.len());
+        assert_eq!(restored.epoch(), online.epoch());
+        let cfg = RetrievalConfig { k: 4, alpha: 0.3 };
+        let (a, b) = (online.snapshot(), restored.snapshot());
+        for day in [0u64, 40, 90, 300] {
+            let at = SimTime::from_days(day);
+            assert_eq!(
+                HistoryView::top_k_diverse(&a, &[1.0, 2.0], at, &cfg),
+                HistoryView::top_k_diverse(&b, &[1.0, 2.0], at, &cfg),
+                "restored index must answer identically at day {day}"
+            );
+            assert_eq!(a.visible_len(at), b.visible_len(at));
+        }
+        // The checkpoint survives a serde round trip (WAL requirement).
+        let json = serde_json::to_string(&ckpt).expect("serializable");
+        let back: EpochCheckpoint = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn compaction_interval_folds_epochs_and_counts() {
+        let mut online = OnlineHistoricalIndex::new(2);
+        online.set_compaction_interval(3);
+        for i in 0..18usize {
+            online.insert(
+                entry(i, &format!("Cat{}", i % 4), i as u64, vec![i as f32 * 0.5]),
+                SimTime::EPOCH,
+            );
+            online.publish();
+        }
+        assert_eq!(online.compactions(), 6, "every third publish compacts");
+        let snap = online.snapshot();
+        assert_eq!(snap.len(), 18);
+        let cfg = RetrievalConfig { k: 4, alpha: 0.0 };
+        let hits = HistoryView::top_k_diverse(&snap, &[0.0], SimTime::from_days(1), &cfg);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits[0].entry.id, 0);
+    }
+
+    #[test]
     fn online_insert_respects_visibility_and_epochs() {
         let mut online = OnlineHistoricalIndex::new(8);
         online.insert(entry(0, "A", 10, vec![0.0]), SimTime::EPOCH);
@@ -601,6 +763,54 @@ mod proptests {
             let before = cats.len();
             cats.dedup();
             prop_assert_eq!(cats.len(), before, "duplicate categories in demos");
+        }
+
+        /// Epoch compaction is invisible to queries: an index that
+        /// compacts on a short interval answers byte-identically to one
+        /// that never compacts, for arbitrary entry clouds (duplicate
+        /// embeddings stress the insertion-order tie-break), publish
+        /// cadences, visibility horizons and query times.
+        #[test]
+        fn compaction_never_changes_query_results(
+            k in 1usize..8,
+            alpha in 0.0f64..1.0,
+            max_cell in 1usize..8,
+            compact_every in 1usize..4,
+            publish_every in 1usize..5,
+            query_day in 0u64..364,
+            specs in proptest::collection::vec(
+                (0u64..364, 0usize..6, 0i32..4, 0i32..4, 0u64..200), 1..40)
+        ) {
+            let mut plain = OnlineHistoricalIndex::new(max_cell);
+            let mut compacting = OnlineHistoricalIndex::new(max_cell);
+            compacting.set_compaction_interval(compact_every);
+            for (i, &(day, cat, x, y, vis)) in specs.iter().enumerate() {
+                let e = HistoricalEntry {
+                    id: i,
+                    category: format!("Cat{cat}"),
+                    summary: String::new(),
+                    at: SimTime::from_days(day),
+                    embedding: vec![x as f32, y as f32],
+                };
+                let visible = SimTime::from_days(vis);
+                plain.insert(e.clone(), visible);
+                compacting.insert(e, visible);
+                if (i + 1) % publish_every == 0 {
+                    plain.publish();
+                    compacting.publish();
+                }
+            }
+            plain.publish();
+            compacting.publish();
+            let cfg = RetrievalConfig { k, alpha };
+            let at = SimTime::from_days(query_day);
+            let (a, b) = (plain.snapshot(), compacting.snapshot());
+            for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
+                prop_assert_eq!(
+                    HistoryView::top_k_diverse(&a, &q, at, &cfg),
+                    HistoryView::top_k_diverse(&b, &q, at, &cfg)
+                );
+            }
         }
 
         /// The bound-pruned online snapshot must return *exactly* the

@@ -385,6 +385,67 @@ impl BucketedIndex {
         scans
     }
 
+    /// The cell-split threshold this index was built with.
+    pub fn max_cell(&self) -> usize {
+        self.max_cell
+    }
+
+    /// A compacted rebuild: every vector is re-bucketed by farthest-pair
+    /// bisection into fresh cells with tight mean centroids and exact
+    /// radii, erasing the fragmentation (stale centroids, inflated radii,
+    /// unbalanced cells) that a long stream of incremental splits
+    /// accumulates. Ids and insertion sequence numbers are preserved, and
+    /// since both [`knn`](BucketedIndex::knn) and
+    /// [`prune_scan`](BucketedIndex::prune_scan)-based searches are exact
+    /// with seq tie-breaks, every query answers byte-identically on the
+    /// compacted index (property-tested in `rcacopilot-core`).
+    pub fn compacted(&self) -> BucketedIndex {
+        let mut items: Vec<BucketItem> = self
+            .cells
+            .iter()
+            .flat_map(|c| c.items.iter().cloned())
+            .collect();
+        items.sort_by_key(|it| it.seq);
+        let mut cells = Vec::new();
+        let mut stack = vec![items];
+        while let Some(items) = stack.pop() {
+            if items.is_empty() {
+                continue;
+            }
+            if items.len() <= self.max_cell {
+                cells.push(rebuild_cell(mean_centroid(&items), items));
+                continue;
+            }
+            // Approximate farthest pair by two sweeps: the point farthest
+            // from an arbitrary anchor, then the point farthest from it.
+            let a = farthest_from(&items, &items[0].vector);
+            let b = farthest_from(&items, &items[a].vector);
+            if d2(&items[a].vector, &items[b].vector) <= 0.0 {
+                // Every vector identical: bisection cannot make progress.
+                cells.push(rebuild_cell(items[0].vector.clone(), items));
+                continue;
+            }
+            let (ca, cb) = (items[a].vector.clone(), items[b].vector.clone());
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for it in items {
+                if d2(&it.vector, &ca) <= d2(&it.vector, &cb) {
+                    left.push(it);
+                } else {
+                    right.push(it);
+                }
+            }
+            stack.push(left);
+            stack.push(right);
+        }
+        BucketedIndex {
+            cells,
+            max_cell: self.max_cell,
+            len: self.len,
+            next_seq: self.next_seq,
+        }
+    }
+
     /// The `k` nearest neighbors of `query` as `(id, euclidean distance)`,
     /// closest first — exactly [`BruteForceIndex::knn`]'s answer, tie
     /// order included.
@@ -410,6 +471,36 @@ impl BucketedIndex {
         }
         hits.into_iter().map(|(d, _, id)| (id, d.sqrt())).collect()
     }
+}
+
+/// Arithmetic mean of the item vectors (compaction centroid).
+fn mean_centroid(items: &[BucketItem]) -> Vec<f32> {
+    let dim = items[0].vector.len();
+    let mut mean = vec![0.0f32; dim];
+    for it in items {
+        for (m, x) in mean.iter_mut().zip(&it.vector) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= items.len() as f32;
+    }
+    mean
+}
+
+/// Index of the item farthest from `from` (first wins on exact ties, so
+/// compaction is deterministic).
+fn farthest_from(items: &[BucketItem], from: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_d = -1.0f32;
+    for (i, it) in items.iter().enumerate() {
+        let d = d2(&it.vector, from);
+        if d > best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
 }
 
 fn rebuild_cell(centroid: Vec<f32>, items: Vec<BucketItem>) -> Cell {
@@ -500,6 +591,25 @@ impl EpochIndex {
     /// Number of the currently published epoch (0 = empty initial epoch).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Overrides the epoch counter — used when restoring an index from a
+    /// checkpoint so epoch numbering continues where the journal left off.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The cell-split threshold of the working index.
+    pub fn max_cell(&self) -> usize {
+        self.working.max_cell()
+    }
+
+    /// Compacts the *working* index (see [`BucketedIndex::compacted`]).
+    /// Published snapshots are untouched until the next
+    /// [`publish`](EpochIndex::publish), which then seals the compacted
+    /// structure. Queries answer identically before and after.
+    pub fn compact(&mut self) {
+        self.working = self.working.compacted();
     }
 
     /// The latest published read view. Cheap (`O(cells)` was paid at
@@ -684,6 +794,68 @@ mod tests {
         let q = [0.0f32, 0.0];
         assert_eq!(view.knn(&q, 3).len(), 3);
         assert_eq!(epochs.snapshot().knn(&q, 3).len(), 3);
+    }
+
+    #[test]
+    fn compaction_preserves_knn_answers_exactly() {
+        let mut idx = BucketedIndex::new(3);
+        for (id, v) in cluster_data() {
+            idx.add(id, v);
+        }
+        let compact = idx.compacted();
+        assert_eq!(compact.len(), idx.len());
+        assert_eq!(compact.max_cell(), idx.max_cell());
+        assert!(
+            compact.cell_count() <= idx.cell_count(),
+            "compaction must not fragment further"
+        );
+        for q in [[0.0f32, 0.0], [10.0, 0.0], [5.0, 5.0], [-3.0, 12.0]] {
+            for k in [1usize, 3, 7, 30] {
+                assert_eq!(compact.knn(&q, k), idx.knn(&q, k), "q={q:?} k={k}");
+            }
+        }
+        // Growth continues seamlessly after compaction (seq counter kept).
+        let mut grown = compact.clone();
+        grown.add(999, vec![0.1, 0.1]);
+        assert_eq!(grown.len(), idx.len() + 1);
+    }
+
+    #[test]
+    fn compaction_of_degenerate_identical_vectors_is_sound() {
+        let mut idx = BucketedIndex::new(2);
+        for id in 0..9u64 {
+            idx.add(id, vec![2.0, 2.0]);
+        }
+        let compact = idx.compacted();
+        assert_eq!(compact.len(), 9);
+        assert_eq!(
+            compact
+                .knn(&[2.0, 2.0], 4)
+                .iter()
+                .map(|&(id, _)| id)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "insertion-order ties must survive compaction"
+        );
+    }
+
+    #[test]
+    fn epoch_compact_keeps_published_views_stable() {
+        let mut epochs = EpochIndex::new(3);
+        for (id, v) in cluster_data() {
+            epochs.add(id, v);
+        }
+        epochs.publish();
+        let sealed = epochs.snapshot();
+        let before: Vec<(u64, f32)> = sealed.knn(&[0.0, 0.0], 5);
+        epochs.compact();
+        // Sealed view unchanged; new publishes serve the compacted cells
+        // with identical answers.
+        assert_eq!(sealed.knn(&[0.0, 0.0], 5), before);
+        epochs.publish();
+        assert_eq!(epochs.snapshot().knn(&[0.0, 0.0], 5), before);
+        epochs.set_epoch(41);
+        assert_eq!(epochs.epoch(), 41);
     }
 
     #[test]

@@ -241,4 +241,95 @@ mod tests {
         );
         assert_eq!(plan.backlog_at_arrival, vec![0, 300]);
     }
+
+    #[test]
+    fn zero_capacity_sheds_every_costed_event_but_never_panics() {
+        let events: Vec<AdmissionInput> = (0..10)
+            .map(|i| {
+                let sev = Severity::from_level(1 + (i % 4) as u8).unwrap();
+                input(i * 10, sev, 100)
+            })
+            .collect();
+        let plan = plan(
+            &events,
+            &AdmissionConfig {
+                capacity_secs: 0,
+                ..AdmissionConfig::default()
+            },
+        );
+        assert_eq!(plan.shed, events.len(), "no capacity admits nothing");
+        assert_eq!(plan.admitted(), 0);
+        assert_eq!(plan.degraded, 0);
+        assert_eq!(plan.peak_backlog_secs, 0);
+        assert!(plan.backlog_at_arrival.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_cost_events_are_admitted_even_at_zero_capacity() {
+        // Strict `>` in the shed test: a free event never tips the
+        // backlog over any cap, so it always gets through.
+        let events = vec![input(0, Severity::Sev4, 0), input(1, Severity::Sev1, 0)];
+        let plan = plan(
+            &events,
+            &AdmissionConfig {
+                capacity_secs: 0,
+                ..AdmissionConfig::default()
+            },
+        );
+        assert_eq!(plan.shed, 0);
+        assert_eq!(plan.admitted(), 2);
+    }
+
+    #[test]
+    fn total_storm_sheds_every_severity_including_sev1() {
+        // A single arrival instant with per-event cost above even Sev1's
+        // share of the capacity: everything sheds, nothing is lost track
+        // of, and the backlog stays pinned at zero.
+        let events: Vec<AdmissionInput> = (0..8)
+            .map(|i| {
+                let sev = Severity::from_level(1 + (i % 4) as u8).unwrap();
+                input(0, sev, 10_000)
+            })
+            .collect();
+        let cfg = AdmissionConfig {
+            capacity_secs: 900,
+            ..AdmissionConfig::default()
+        };
+        let plan = plan(&events, &cfg);
+        assert_eq!(plan.shed, events.len());
+        assert_eq!(plan.admitted(), 0);
+        assert_eq!(plan.peak_backlog_secs, 0);
+        assert_eq!(plan.dispositions.len(), events.len());
+    }
+
+    #[test]
+    fn severity_admit_frac_boundaries_are_exact() {
+        // severity_admit_frac is monotone in severity and spans (0, 1].
+        assert_eq!(severity_admit_frac(Severity::Sev1), 1.0);
+        assert_eq!(severity_admit_frac(Severity::Sev4), 0.5);
+        let fracs: Vec<f64> = [
+            Severity::Sev1,
+            Severity::Sev2,
+            Severity::Sev3,
+            Severity::Sev4,
+        ]
+        .iter()
+        .map(|&s| severity_admit_frac(s))
+        .collect();
+        assert!(fracs.windows(2).all(|w| w[0] > w[1]));
+
+        // An event landing exactly on its severity cap is admitted
+        // (strict `>`); one service-second more is shed.
+        let cfg = AdmissionConfig {
+            capacity_secs: 1_000,
+            ..AdmissionConfig::default()
+        };
+        let at_cap = plan(&[input(0, Severity::Sev4, 500)], &cfg);
+        assert_eq!(at_cap.dispositions, vec![Disposition::Full]);
+        let over_cap = plan(&[input(0, Severity::Sev4, 501)], &cfg);
+        assert_eq!(over_cap.dispositions, vec![Disposition::Shed]);
+        // The same 501-second event clears Sev3's larger share.
+        let sev3 = plan(&[input(0, Severity::Sev3, 501)], &cfg);
+        assert_eq!(sev3.dispositions, vec![Disposition::Full]);
+    }
 }

@@ -54,13 +54,22 @@ impl<V: Clone> MemoCache<V> {
         }
     }
 
+    /// Locks the cache, recovering a poisoned guard: every cached value
+    /// is a pure function of its key, so the map is consistent no matter
+    /// where a panicking worker died (a poisoned guard can at worst lose
+    /// one counter bump or one insert, both of which only cost a
+    /// recomputation).
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner<V>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Returns the cached value for `key`, computing and inserting it via
     /// `compute` on a miss. The lock is *not* held during `compute`; on a
     /// race the first insert wins and later computations are discarded,
     /// which is harmless because `compute` is pure.
     pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
         {
-            let mut inner = self.inner.lock().expect("memo cache poisoned");
+            let mut inner = self.lock();
             if let Some(v) = inner.map.get(&key) {
                 let v = v.clone();
                 inner.hits += 1;
@@ -69,20 +78,20 @@ impl<V: Clone> MemoCache<V> {
             inner.misses += 1;
         }
         let v = compute();
-        let mut inner = self.inner.lock().expect("memo cache poisoned");
+        let mut inner = self.lock();
         inner.map.entry(key).or_insert_with(|| v.clone());
         inner.map[&key].clone()
     }
 
     /// `(hits, misses)` counters since construction.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("memo cache poisoned");
+        let inner = self.lock();
         (inner.hits, inner.misses)
     }
 
     /// Number of distinct cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("memo cache poisoned").map.len()
+        self.lock().map.len()
     }
 
     /// True when nothing has been cached yet.

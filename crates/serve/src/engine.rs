@@ -3,7 +3,7 @@
 //! [`ServeEngine`] consumes a virtual-time alert stream and runs the full
 //! RCACopilot pipeline — collection → summarization → embedding →
 //! retrieval → prediction — concurrently across a pool of OS threads fed
-//! by a bounded queue. Three design rules keep it honest:
+//! by a bounded queue. Four design rules keep it honest:
 //!
 //! 1. **Plan on the virtual clock, execute on real threads.** Admission,
 //!    shedding, degraded mode and retrieval visibility are all decided by
@@ -20,17 +20,34 @@
 //!    entries that resolved *after* the event's arrival are filtered out
 //!    at query time by `visible_from`, retrieval results — and therefore
 //!    the prediction log — are byte-identical for every worker count.
+//! 4. **No event dies with its worker.** Workers run under a supervisor
+//!    loop ([`crate::supervisor`]): a panic is caught, the worker
+//!    respawned, and the lost in-flight event re-dispatched. An event
+//!    that keeps killing workers (or exhausts its attempt budget) is
+//!    quarantined as a poison pill with a degraded
+//!    [`EventOutcome::Failed`] dead-letter record, so the watermark —
+//!    and the stream — always finishes. Fault pressure is injected
+//!    deterministically by [`crate::fault`], and durable progress can be
+//!    journaled to a [`WriteAheadLog`] so a run killed mid-stream
+//!    resumes byte-identically ([`ServeEngine::run_with_wal`]).
 
 use crate::admission::{self, AdmissionConfig, AdmissionInput, AdmissionPlan, Disposition};
 use crate::cache::{fnv1a, MemoCache};
 use crate::cost::{self, StageCosts, DEGRADED_SUMMARIZE_SECS};
+use crate::fault::{WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 use crate::stream::{self, StreamConfig, StreamEvent};
-use crate::vmetrics::{simulate_pool, ExecStats, VirtualHistogram, VirtualJob};
-use rcacopilot_core::retrieval::OnlineHistoricalIndex;
+use crate::supervisor::{
+    lock_recovered, wait_recovered, AttemptLedger, InFlight, RetryQueue, Verdict,
+};
+use crate::vmetrics::{simulate_pool, ExecStats, FaultCounters, VirtualHistogram, VirtualJob};
+use crate::wal::{Recovery, WalError, WalRecord, WriteAheadLog};
+use rcacopilot_core::retrieval::{CheckpointEntry, OnlineHistoricalIndex};
 use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
 use rcacopilot_simcloud::Incident;
 use rcacopilot_telemetry::{AlertType, Severity, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
@@ -65,6 +82,19 @@ pub struct EngineConfig {
     /// Prompt-context configuration (must match the batch pipeline's for
     /// parity).
     pub spec: ContextSpec,
+    /// Worker-fault injection (disabled by default).
+    pub faults: WorkerFaultConfig,
+    /// Simulated crash: stop dispatching at the first event arriving
+    /// after this virtual instant, leaving the rest of the stream
+    /// uncommitted. Pair with [`ServeEngine::run_with_wal`] to test
+    /// recovery.
+    pub crash_at: Option<SimTime>,
+    /// Fold the WAL into a checkpoint every this many commits
+    /// (0 = never). Only meaningful under [`ServeEngine::run_with_wal`].
+    pub checkpoint_every: usize,
+    /// Compact the online index every this many published epochs
+    /// (0 = never).
+    pub compact_epochs: usize,
 }
 
 impl Default for EngineConfig {
@@ -77,12 +107,16 @@ impl Default for EngineConfig {
             cost_seed: 11,
             max_cell: 64,
             spec: ContextSpec::default(),
+            faults: WorkerFaultConfig::disabled(),
+            crash_at: None,
+            checkpoint_every: 0,
+            compact_epochs: 0,
         }
     }
 }
 
 /// What happened to one stream event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventOutcome {
     /// Rejected by admission control.
     Shed {
@@ -96,10 +130,17 @@ pub enum EventOutcome {
         /// True when summarization was skipped under load.
         degraded: bool,
     },
+    /// The pipeline could not produce a prediction: the event was
+    /// quarantined as a poison pill or its collection failed terminally.
+    /// A degraded dead-letter record instead of a process abort.
+    Failed {
+        /// Human-readable `[pipeline failure]` reason.
+        reason: String,
+    },
 }
 
 /// The engine's record for one stream event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventRecord {
     /// Stream sequence number.
     pub seq: usize,
@@ -144,6 +185,10 @@ impl EventRecord {
                 degraded,
                 prediction.demo_categories.join(","),
             ),
+            // {reason:?} keeps the line single-line whatever the reason.
+            EventOutcome::Failed { reason } => {
+                format!("{head} verdict=failed reason={reason:?}")
+            }
         }
     }
 }
@@ -151,17 +196,28 @@ impl EventRecord {
 /// Result of one engine run.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
-    /// Per-event records in stream order.
+    /// Per-event records in stream order. Always the contiguous committed
+    /// prefix of the stream; shorter than [`ServeOutcome::planned`] only
+    /// under a simulated crash ([`EngineConfig::crash_at`]).
     pub records: Vec<EventRecord>,
     /// The deterministic prediction log (one line per event). Identical
     /// for every worker count and queue capacity.
     pub log: String,
+    /// Events the stream planned in total.
+    pub planned: usize,
     /// Virtual-time execution statistics for the configured worker count.
     pub exec: ExecStats,
-    /// Full JSON report (stages, admission, caches, queue depths). Cache
-    /// hit/miss counters depend on thread interleaving, so the report —
-    /// unlike `log` — is not byte-stable across runs.
+    /// Full JSON report (stages, admission, caches, faults, queue
+    /// depths). Cache hit/miss counters depend on thread interleaving, so
+    /// the report — unlike `log` — is not byte-stable across runs.
     pub report: Value,
+}
+
+impl ServeOutcome {
+    /// True when a simulated crash cut the run short of the full stream.
+    pub fn crashed(&self) -> bool {
+        self.records.len() < self.planned
+    }
 }
 
 /// A processed slot awaiting commit.
@@ -191,6 +247,31 @@ struct RunCtx<'a> {
     resolve: &'a [Option<SimTime>],
     online: Option<&'a Mutex<OnlineHistoricalIndex>>,
     caches: &'a Caches,
+    counters: &'a FaultCounters,
+}
+
+/// Where committed slots go: the online index, and (when journaling) the
+/// WAL. Owned by [`advance`], which runs under the commit-state lock, so
+/// journal order always equals commit order.
+struct CommitSink<'a> {
+    online: Option<&'a Mutex<OnlineHistoricalIndex>>,
+    wal: Option<&'a Mutex<&'a mut WriteAheadLog>>,
+    checkpoint_every: usize,
+    counters: &'a FaultCounters,
+}
+
+/// Everything one worker thread needs, shared by reference across the
+/// pool.
+struct WorkerEnv<'a> {
+    ctx: &'a RunCtx<'a>,
+    state: &'a Mutex<CommitState>,
+    watermark: &'a Condvar,
+    rx: &'a Mutex<mpsc::Receiver<usize>>,
+    queue_depth: &'a AtomicUsize,
+    retry: &'a RetryQueue,
+    ledger: &'a AttemptLedger,
+    plan: &'a WorkerFaultPlan,
+    sink: &'a CommitSink<'a>,
 }
 
 /// The streaming serving engine around a trained pipeline.
@@ -205,9 +286,15 @@ impl ServeEngine {
     /// Wraps a trained pipeline with the standard (fault-free) collection
     /// stage.
     pub fn new(copilot: RcaCopilot, config: EngineConfig) -> Self {
+        ServeEngine::with_stage(copilot, CollectionStage::standard(), config)
+    }
+
+    /// Wraps a trained pipeline with a custom collection stage — e.g. one
+    /// whose telemetry plane injects faults.
+    pub fn with_stage(copilot: RcaCopilot, stage: CollectionStage, config: EngineConfig) -> Self {
         ServeEngine {
             copilot,
-            stage: CollectionStage::standard(),
+            stage,
             config,
         }
     }
@@ -225,13 +312,49 @@ impl ServeEngine {
     /// Streams `incidents` through the engine and returns the records,
     /// the deterministic prediction log, and the virtual-time report.
     ///
-    /// # Panics
-    ///
-    /// Panics if collection fails for an incident (the standard handler
-    /// registry covers every alert type) or if a worker thread panics.
+    /// The engine never aborts on a worker failure: panicking workers
+    /// are respawned, lost events re-dispatched, poison pills
+    /// quarantined to [`EventOutcome::Failed`] dead-letter records, and
+    /// a failing collection degrades the single event rather than the
+    /// run.
     pub fn run(&self, incidents: &[Incident], stream_config: &StreamConfig) -> ServeOutcome {
+        self.run_internal(incidents, stream_config, None, Recovery::default())
+    }
+
+    /// Like [`ServeEngine::run`], but journaling every commit (and index
+    /// epoch) to `wal`, and first resuming from whatever the journal
+    /// already holds. An engine killed mid-stream — simulated with
+    /// [`EngineConfig::crash_at`] — picks up at the committed prefix and
+    /// produces a prediction log byte-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WalError`] if the journal is corrupt mid-log or its
+    /// commit prefix has a gap.
+    pub fn run_with_wal(
+        &self,
+        incidents: &[Incident],
+        stream_config: &StreamConfig,
+        wal: &mut WriteAheadLog,
+    ) -> Result<ServeOutcome, WalError> {
+        let recovery = wal.recover()?;
+        Ok(self.run_internal(incidents, stream_config, Some(wal), recovery))
+    }
+
+    fn run_internal(
+        &self,
+        incidents: &[Incident],
+        stream_config: &StreamConfig,
+        wal: Option<&mut WriteAheadLog>,
+        recovery: Recovery,
+    ) -> ServeOutcome {
         let events = stream::schedule(incidents, stream_config);
         let n = events.len();
+        let committed = recovery.committed();
+        assert!(
+            committed <= n,
+            "WAL holds {committed} commits but the stream plans only {n} events"
+        );
         let costs: Vec<StageCosts> = events
             .iter()
             .map(|e| cost::estimate(&incidents[e.incident_idx].alert, self.config.cost_seed))
@@ -273,12 +396,37 @@ impl ServeEngine {
                 .collect(),
         };
 
+        let counters = FaultCounters::new();
+        let fault_plan = WorkerFaultPlan::new(self.config.faults);
+        let ledger = AttemptLedger::new(n, &self.config.faults);
+        let retry = RetryQueue::new();
+
         let online: Option<Mutex<OnlineHistoricalIndex>> = match self.config.index_mode {
             IndexMode::Frozen => None,
-            IndexMode::Online => Some(Mutex::new(OnlineHistoricalIndex::warm(
-                self.copilot.index().entries(),
-                self.config.max_cell,
-            ))),
+            IndexMode::Online => {
+                let mut idx = match &recovery.checkpoint {
+                    Some(ckpt) => OnlineHistoricalIndex::restore(ckpt),
+                    None => OnlineHistoricalIndex::warm(
+                        self.copilot.index().entries(),
+                        self.config.max_cell,
+                    ),
+                };
+                // Re-apply commits journaled after the last checkpoint,
+                // in commit order, and publish them as one epoch: batch
+                // boundaries are immaterial because visibility is
+                // filtered per query by `visible_from`.
+                if !recovery.entries.is_empty() {
+                    for ce in &recovery.entries {
+                        idx.insert(ce.entry.clone(), ce.visible_from);
+                    }
+                    idx.publish();
+                }
+                idx.set_compaction_interval(self.config.compact_epochs);
+                if recovery.epoch > idx.epoch() {
+                    idx.set_epoch(recovery.epoch);
+                }
+                Some(Mutex::new(idx))
+            }
         };
         let caches = Caches {
             summary: MemoCache::new(),
@@ -291,6 +439,14 @@ impl ServeEngine {
             resolve: &resolve,
             online: online.as_ref(),
             caches: &caches,
+            counters: &counters,
+        };
+        let wal = wal.map(Mutex::new);
+        let sink = CommitSink {
+            online: online.as_ref(),
+            wal: wal.as_ref(),
+            checkpoint_every: self.config.checkpoint_every,
+            counters: &counters,
         };
 
         let state = Mutex::new(CommitState {
@@ -298,11 +454,21 @@ impl ServeEngine {
             next: 0,
         });
         let watermark = Condvar::new();
-        // Shed events never reach a worker: record them up front so the
-        // watermark can advance across them.
         {
-            let mut st = state.lock().expect("commit state poisoned");
-            for i in 0..n {
+            let mut st = lock_recovered(&state, &counters);
+            // Recovered commits were journaled by the crashed run: seed
+            // them and start the watermark past them, so they are
+            // neither re-journaled nor re-inserted into the index.
+            for (i, record) in recovery.records.iter().enumerate() {
+                st.slots[i] = Some(Slot {
+                    record: record.clone(),
+                    entry: None,
+                });
+            }
+            st.next = committed;
+            // Shed events never reach a worker: record them up front so
+            // the watermark can advance across them.
+            for i in committed..n {
                 if plan.dispositions[i] == Disposition::Shed {
                     st.slots[i] = Some(Slot {
                         record: self.shed_record(&ctx, i),
@@ -310,7 +476,7 @@ impl ServeEngine {
                     });
                 }
             }
-            advance(&mut st, ctx.online);
+            advance(&mut st, &sink);
         }
 
         let workers = self.config.workers.max(1);
@@ -318,35 +484,38 @@ impl ServeEngine {
         let rx = Mutex::new(rx);
         let queue_depth = AtomicUsize::new(0);
         let peak_queue = AtomicUsize::new(0);
+        let env = WorkerEnv {
+            ctx: &ctx,
+            state: &state,
+            watermark: &watermark,
+            rx: &rx,
+            queue_depth: &queue_depth,
+            retry: &retry,
+            ledger: &ledger,
+            plan: &fault_plan,
+            sink: &sink,
+        };
 
         thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = {
-                        let guard = rx.lock().expect("dispatch queue poisoned");
-                        match guard.recv() {
-                            Ok(i) => i,
-                            Err(_) => break,
-                        }
-                    };
-                    queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    let slot = self.process_event(&ctx, i);
-                    let mut st = state.lock().expect("commit state poisoned");
-                    st.slots[i] = Some(slot);
-                    advance(&mut st, ctx.online);
-                    watermark.notify_all();
-                });
+                s.spawn(|| self.supervise(&env));
             }
             // Dispatcher: feed admitted events in stream order, gated on
             // the commit watermark.
-            for (i, &need_i) in need.iter().enumerate() {
+            for (i, &need_i) in need.iter().enumerate().skip(committed) {
+                if self.config.crash_at.is_some_and(|t| events[i].at > t) {
+                    // Simulated crash: everything from here on is lost;
+                    // in-flight work still commits (the journal prefix
+                    // stays contiguous).
+                    break;
+                }
                 if plan.dispositions[i] == Disposition::Shed {
                     continue;
                 }
                 if need_i > 0 {
-                    let mut st = state.lock().expect("commit state poisoned");
+                    let mut st = lock_recovered(&state, &counters);
                     while st.next < need_i {
-                        st = watermark.wait(st).expect("commit state poisoned");
+                        st = wait_recovered(&watermark, st, &counters);
                     }
                 }
                 let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -356,13 +525,21 @@ impl ServeEngine {
             drop(tx);
         });
 
-        let records: Vec<EventRecord> = state
+        let slots = state
             .into_inner()
-            .expect("commit state poisoned")
-            .slots
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .slots;
+        let records: Vec<EventRecord> = slots
             .into_iter()
-            .map(|s| s.expect("every event committed").record)
+            .map_while(|s| s.map(|slot| slot.record))
             .collect();
+        if self.config.crash_at.is_none() {
+            assert_eq!(
+                records.len(),
+                n,
+                "every event must commit when no crash is simulated"
+            );
+        }
         let mut log = String::new();
         for r in &records {
             log.push_str(&r.log_line());
@@ -371,13 +548,135 @@ impl ServeEngine {
         self.finish(
             records,
             log,
+            n,
             &events,
             &costs,
             &plan,
             online.as_ref(),
             &caches,
+            &counters,
             peak_queue.into_inner(),
         )
+    }
+
+    /// Outer supervision loop of one worker thread: run the worker until
+    /// it retires cleanly, catching panics, respawning, and deciding the
+    /// fate of the event a dead incarnation was holding.
+    fn supervise(&self, env: &WorkerEnv<'_>) {
+        let counters = env.ctx.counters;
+        let in_flight = InFlight::empty();
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.worker_loop(env, &in_flight))) {
+                Ok(()) => break,
+                Err(_) => {
+                    FaultCounters::bump(&counters.worker_panics);
+                    FaultCounters::bump(&counters.worker_respawns);
+                    if let Some(i) = in_flight.take() {
+                        match env.ledger.record_kill(i) {
+                            Verdict::Retry => env.retry.push(i, counters),
+                            Verdict::Quarantine { kills, attempts } => {
+                                self.quarantine(env, i, kills, attempts);
+                            }
+                        }
+                    }
+                    // Loop: respawn the worker. The respawned iteration
+                    // drains the retry queue before blocking, so a retry
+                    // pushed here is never orphaned.
+                }
+            }
+        }
+    }
+
+    /// One worker incarnation: drain retries, then the dispatch channel,
+    /// rolling each attempt against the fault plan.
+    fn worker_loop(&self, env: &WorkerEnv<'_>, in_flight: &InFlight) {
+        let counters = env.ctx.counters;
+        loop {
+            // Re-dispatched events jump ahead of the stream so the
+            // commit watermark keeps advancing.
+            let i = match env.retry.pop(counters) {
+                Some(i) => i,
+                None => {
+                    let received = lock_recovered(env.rx, counters).recv();
+                    match received {
+                        Ok(i) => {
+                            env.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            i
+                        }
+                        // Channel closed: one final drain, then retire.
+                        Err(_) => match env.retry.pop(counters) {
+                            Some(i) => i,
+                            None => return,
+                        },
+                    }
+                }
+            };
+            in_flight.set(i);
+            let attempt = env.ledger.begin_attempt(i);
+            let seq = env.ctx.events[i].seq;
+            match env.plan.decide(seq, attempt) {
+                WorkerFault::Panic { stage } => {
+                    panic!("injected worker panic in {stage} (seq {seq}, attempt {attempt})");
+                }
+                WorkerFault::Stall { .. } => {
+                    FaultCounters::bump(&counters.injected_stalls);
+                    in_flight.take();
+                    self.attempt_lost(env, i);
+                }
+                WorkerFault::Transient { .. } => {
+                    FaultCounters::bump(&counters.injected_errors);
+                    in_flight.take();
+                    self.attempt_lost(env, i);
+                }
+                WorkerFault::None => {
+                    let slot = self.process_event(env.ctx, i);
+                    commit(env, i, slot);
+                    in_flight.take();
+                }
+            }
+        }
+    }
+
+    /// A stall or transient error lost the attempt without killing the
+    /// worker: retry or quarantine per the ledger.
+    fn attempt_lost(&self, env: &WorkerEnv<'_>, i: usize) {
+        match env.ledger.record_loss(i) {
+            Verdict::Retry => env.retry.push(i, env.ctx.counters),
+            Verdict::Quarantine { kills, attempts } => self.quarantine(env, i, kills, attempts),
+        }
+    }
+
+    /// Routes a poison-pill event to its dead-letter record so the
+    /// watermark can advance past it.
+    fn quarantine(&self, env: &WorkerEnv<'_>, i: usize, kills: u32, attempts: u32) {
+        FaultCounters::bump(&env.ctx.counters.quarantined);
+        let record = self.dead_letter_record(
+            env.ctx,
+            i,
+            format!("[pipeline failure] quarantined: kills={kills} attempts={attempts}"),
+        );
+        commit(
+            env,
+            i,
+            Slot {
+                record,
+                entry: None,
+            },
+        );
+    }
+
+    /// Builds the degraded record for an event the pipeline gave up on.
+    fn dead_letter_record(&self, ctx: &RunCtx<'_>, i: usize, reason: String) -> EventRecord {
+        let ev = ctx.events[i];
+        let alert = &ctx.incidents[ev.incident_idx].alert;
+        EventRecord {
+            seq: ev.seq,
+            incident_idx: ev.incident_idx,
+            at: ev.at,
+            severity: alert.severity,
+            alert_type: alert.alert_type,
+            outcome: EventOutcome::Failed { reason },
+        }
     }
 
     /// Builds the record for a shed event.
@@ -398,15 +697,26 @@ impl ServeEngine {
 
     /// Runs the full pipeline for one admitted event. Pure in the event
     /// and the deterministic plan — worker identity and timing never leak
-    /// into the result.
+    /// into the result. A terminal collection failure degrades the event
+    /// to a dead-letter record instead of panicking the worker.
     fn process_event(&self, ctx: &RunCtx<'_>, i: usize) -> Slot {
         let ev = ctx.events[i];
         let inc = &ctx.incidents[ev.incident_idx];
         let degraded = ctx.plan.dispositions[i] == Disposition::Degraded;
-        let collected = self
-            .stage
-            .collect(inc)
-            .unwrap_or_else(|e| panic!("collection failed for {}: {e}", inc.category));
+        let collected = match self.stage.collect(inc) {
+            Ok(c) => c,
+            Err(e) => {
+                FaultCounters::bump(&ctx.counters.collection_failures);
+                return Slot {
+                    record: self.dead_letter_record(
+                        ctx,
+                        i,
+                        format!("[pipeline failure] collection: {e}"),
+                    ),
+                    entry: None,
+                };
+            }
+        };
         let raw_diag = collected.diagnostic_text();
         let content = fnv1a(raw_diag.as_bytes());
         let spec = &self.config.spec;
@@ -442,7 +752,7 @@ impl ServeEngine {
                 &collected.run.degradation,
             ),
             Some(online) => {
-                let snapshot = online.lock().expect("online index poisoned").snapshot();
+                let snapshot = lock_recovered(online, ctx.counters).snapshot();
                 self.copilot.predict_from_query(
                     &snapshot,
                     &query,
@@ -487,11 +797,13 @@ impl ServeEngine {
         &self,
         records: Vec<EventRecord>,
         log: String,
+        planned: usize,
         events: &[StreamEvent],
         costs: &[StageCosts],
         plan: &AdmissionPlan,
         online: Option<&Mutex<OnlineHistoricalIndex>>,
         caches: &Caches,
+        counters: &FaultCounters,
         peak_queue: usize,
     ) -> ServeOutcome {
         let mut stage_hists = [
@@ -538,6 +850,7 @@ impl ServeEngine {
             },
             "stream": {
                 "events": events.len(),
+                "committed": records.len(),
                 "admitted": plan.admitted(),
                 "shed": plan.shed,
                 "degraded": plan.degraded,
@@ -559,42 +872,92 @@ impl ServeEngine {
                 "summary": { "hits": sum_hits, "misses": sum_misses },
                 "embed": { "hits": emb_hits, "misses": emb_misses },
             },
+            "faults": counters.to_json(),
             "queue": { "peak_depth": peak_queue },
             "online_index_len": online
-                .map(|o| o.lock().expect("online index poisoned").len()),
+                .map(|o| lock_recovered(o, counters).len()),
         });
         ServeOutcome {
             records,
             log,
+            planned,
             exec,
             report,
         }
     }
 }
 
-/// Advances the commit watermark over contiguous finished slots,
-/// inserting online entries in commit order (and publishing one epoch per
-/// batch).
-fn advance(st: &mut CommitState, online: Option<&Mutex<OnlineHistoricalIndex>>) {
+/// Commits a processed slot and advances the watermark. Idempotent per
+/// slot: a duplicate commit (e.g. after supervisor races) is a no-op, so
+/// the journal never double-writes a sequence number.
+fn commit(env: &WorkerEnv<'_>, i: usize, slot: Slot) {
+    let counters = env.ctx.counters;
+    let mut st = lock_recovered(env.state, counters);
+    if st.slots[i].is_none() {
+        st.slots[i] = Some(slot);
+        advance(&mut st, env.sink);
+        env.watermark.notify_all();
+    }
+}
+
+/// Advances the commit watermark over contiguous finished slots —
+/// journaling each commit, inserting online entries in commit order
+/// (publishing one epoch per batch), and folding the WAL into a
+/// checkpoint on the configured cadence.
+fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
     let mut inserted = false;
     while st.next < st.slots.len() {
         let Some(slot) = st.slots[st.next].as_mut() else {
             break;
         };
-        if let Some((entry, visible_from)) = slot.entry.take() {
-            if let Some(online) = online {
-                online
-                    .lock()
-                    .expect("online index poisoned")
-                    .insert(entry, visible_from);
+        let entry = slot.entry.take();
+        if let Some(wal) = sink.wal {
+            lock_recovered(wal, sink.counters).append(&WalRecord::Commit {
+                seq: st.next,
+                record: slot.record.clone(),
+                entry: entry.as_ref().map(|(e, visible_from)| CheckpointEntry {
+                    entry: e.clone(),
+                    visible_from: *visible_from,
+                }),
+            });
+        }
+        if let Some((entry, visible_from)) = entry {
+            if let Some(online) = sink.online {
+                lock_recovered(online, sink.counters).insert(entry, visible_from);
                 inserted = true;
             }
         }
         st.next += 1;
     }
     if inserted {
-        if let Some(online) = online {
-            online.lock().expect("online index poisoned").publish();
+        if let Some(online) = sink.online {
+            let epoch = lock_recovered(online, sink.counters).publish();
+            if let Some(wal) = sink.wal {
+                lock_recovered(wal, sink.counters).append(&WalRecord::Epoch {
+                    epoch,
+                    committed: st.next,
+                });
+            }
+        }
+    }
+    if let Some(wal) = sink.wal {
+        let mut wal = lock_recovered(wal, sink.counters);
+        if sink.checkpoint_every > 0
+            && st.next.saturating_sub(wal.checkpointed()) >= sink.checkpoint_every
+        {
+            let records: Vec<EventRecord> = st.slots[..st.next]
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .expect("slots below the watermark are committed")
+                        .record
+                        .clone()
+                })
+                .collect();
+            let index = sink
+                .online
+                .map(|o| lock_recovered(o, sink.counters).checkpoint());
+            wal.install_checkpoint(records, index);
         }
     }
 }
@@ -707,6 +1070,7 @@ mod tests {
         let out4 = engine4.run(&test4, &stream);
         assert_eq!(out1.log, out4.log);
         assert_eq!(out1.records.len(), test.len());
+        assert!(!out1.crashed());
         assert!(out1
             .records
             .iter()
@@ -773,5 +1137,60 @@ mod tests {
         );
         assert!(out.exec.makespan_secs > 0);
         assert!(out.log.contains("verdict=shed"));
+    }
+
+    #[test]
+    fn injected_faults_never_lose_an_event_and_stay_deterministic() {
+        let stream = StreamConfig::replay();
+        let faults = WorkerFaultConfig {
+            panic_per_mille: 120,
+            stall_per_mille: 50,
+            error_per_mille: 30,
+            ..WorkerFaultConfig::default()
+        };
+        let make = |workers| {
+            let (engine, test) = trained_engine(EngineConfig {
+                workers,
+                faults,
+                admission: AdmissionConfig::unbounded(),
+                ..EngineConfig::default()
+            });
+            let n = test.len();
+            (engine.run(&test, &stream), n)
+        };
+        let (out1, n1) = make(1);
+        let (out4, n4) = make(4);
+        assert_eq!(n1, n4);
+        assert_eq!(out1.records.len(), n1, "every event must complete");
+        assert_eq!(
+            out1.log, out4.log,
+            "fault outcomes must not depend on the worker count"
+        );
+        let panics = as_u64(field(&out1.report, &["faults", "worker_panics"]));
+        assert!(panics > 0, "a 12% panic rate over {n1} events must fire");
+        let respawns = as_u64(field(&out1.report, &["faults", "worker_respawns"]));
+        assert_eq!(panics, respawns, "every killed worker must respawn");
+    }
+
+    #[test]
+    fn failed_records_render_single_line_and_round_trip() {
+        let record = EventRecord {
+            seq: 3,
+            incident_idx: 1,
+            at: SimTime::from_secs(120),
+            severity: Severity::Sev2,
+            alert_type: AlertType::default(),
+            outcome: EventOutcome::Failed {
+                reason: "[pipeline failure] quarantined: kills=2 attempts=2".to_string(),
+            },
+        };
+        let line = record.log_line();
+        assert_eq!(line.lines().count(), 1);
+        assert!(line.contains("verdict=failed"));
+        assert!(line.contains("[pipeline failure]"));
+        let json = serde_json::to_string(&record).expect("serializable");
+        let back: EventRecord = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, record);
+        assert_eq!(back.log_line(), line);
     }
 }

@@ -1,0 +1,279 @@
+//! Deterministic worker-fault injection for the serving engine.
+//!
+//! PR 1's telemetry fault plane exercises the *collection* stage: queries
+//! time out, return partial rows, or go dark, and the resilient executor
+//! degrades gracefully. This module extends the same discipline one layer
+//! up, to the serving plane itself: the **workers** running the pipeline
+//! can fail. Three fault kinds are modeled, mirroring how real serving
+//! fleets die during incident storms:
+//!
+//! - [`WorkerFault::Panic`]: the worker thread processing the event
+//!   panics outright (a bug, an OOM abort handler, a poisoned
+//!   invariant). The supervisor must catch the unwind, respawn the
+//!   worker, and re-dispatch the lost in-flight event.
+//! - [`WorkerFault::Stall`]: the attempt exceeds its stage deadline on
+//!   the virtual clock — the worker is alive but the work is lost and
+//!   must be retried.
+//! - [`WorkerFault::Transient`]: a stage returns a retryable error
+//!   (a flaky downstream dependency) without killing the worker.
+//!
+//! Determinism is a hard requirement, exactly as for
+//! [`rcacopilot_telemetry::fault::FaultInjector`]: a decision may depend
+//! only on the plan's seed and the `(event seq, attempt)` tuple — never
+//! on the worker's identity, the host clock, or thread interleaving.
+//! Because every retry re-rolls with a fresh attempt number, the full
+//! per-event attempt history (and therefore the engine's prediction log)
+//! is byte-identical for every worker count.
+
+use crate::cache::fnv1a;
+use std::fmt;
+
+/// The pipeline stage a worker fault is attributed to (flavor for
+/// counters and panic messages; the whole attempt is lost either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Diagnostic collection.
+    Collect,
+    /// LLM summarization.
+    Summarize,
+    /// Embedding.
+    Embed,
+    /// Historical retrieval.
+    Retrieve,
+    /// Chain-of-thought prediction.
+    Predict,
+}
+
+impl PipelineStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [PipelineStage; 5] = [
+        PipelineStage::Collect,
+        PipelineStage::Summarize,
+        PipelineStage::Embed,
+        PipelineStage::Retrieve,
+        PipelineStage::Predict,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineStage::Collect => "collect",
+            PipelineStage::Summarize => "summarize",
+            PipelineStage::Embed => "embed",
+            PipelineStage::Retrieve => "retrieve",
+            PipelineStage::Predict => "predict",
+        }
+    }
+}
+
+impl fmt::Display for PipelineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the injector does to one processing attempt of one event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The attempt runs normally.
+    None,
+    /// The worker thread panics mid-stage.
+    Panic {
+        /// Stage the panic is attributed to.
+        stage: PipelineStage,
+    },
+    /// The attempt stalls past the stage deadline and is abandoned.
+    Stall {
+        /// Stage that stalled.
+        stage: PipelineStage,
+    },
+    /// The stage returns a retryable transient error.
+    Transient {
+        /// Stage that errored.
+        stage: PipelineStage,
+    },
+}
+
+/// Worker-fault injection parameters, threaded through
+/// [`EngineConfig`](crate::engine::EngineConfig). The default disables
+/// every fault, reproducing the fault-free engine exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerFaultConfig {
+    /// Seed of the per-`(seq, attempt)` decision hash.
+    pub seed: u64,
+    /// Probability (per mille) that an attempt panics its worker.
+    pub panic_per_mille: u16,
+    /// Probability (per mille) that an attempt stalls past its deadline.
+    pub stall_per_mille: u16,
+    /// Probability (per mille) that an attempt hits a transient error.
+    pub error_per_mille: u16,
+    /// Worker kills after which an event is quarantined as a poison
+    /// pill (dead-letter record) instead of re-dispatched.
+    pub quarantine_kills: u32,
+    /// Hard cap on processing attempts per event (panics, stalls and
+    /// transient errors all count); reaching it also quarantines.
+    pub max_attempts: u32,
+}
+
+impl Default for WorkerFaultConfig {
+    fn default() -> Self {
+        WorkerFaultConfig {
+            seed: 23,
+            panic_per_mille: 0,
+            stall_per_mille: 0,
+            error_per_mille: 0,
+            quarantine_kills: 2,
+            max_attempts: 6,
+        }
+    }
+}
+
+impl WorkerFaultConfig {
+    /// No injected faults (the default).
+    pub fn disabled() -> Self {
+        WorkerFaultConfig::default()
+    }
+
+    /// True when any fault kind has a non-zero rate.
+    pub fn enabled(&self) -> bool {
+        self.panic_per_mille > 0 || self.stall_per_mille > 0 || self.error_per_mille > 0
+    }
+
+    /// Combined fault probability per attempt, in per mille (capped at
+    /// 1000).
+    pub fn total_per_mille(&self) -> u16 {
+        (self.panic_per_mille as u32 + self.stall_per_mille as u32 + self.error_per_mille as u32)
+            .min(1000) as u16
+    }
+}
+
+/// The seeded worker-fault plan: a pure function of
+/// `(seed, event seq, attempt)`.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerFaultPlan {
+    config: WorkerFaultConfig,
+}
+
+impl WorkerFaultPlan {
+    /// Builds the plan for a fault configuration.
+    pub fn new(config: WorkerFaultConfig) -> Self {
+        WorkerFaultPlan { config }
+    }
+
+    /// The configuration the plan rolls against.
+    pub fn config(&self) -> &WorkerFaultConfig {
+        &self.config
+    }
+
+    /// Decides the fate of processing attempt `attempt` (1-based) of the
+    /// event with stream sequence number `seq`. Pure: the same tuple
+    /// always returns the same decision, so retries re-roll (a transient
+    /// fault can clear) while the whole history stays reproducible.
+    pub fn decide(&self, seq: usize, attempt: u32) -> WorkerFault {
+        if !self.config.enabled() {
+            return WorkerFault::None;
+        }
+        let mut bytes = self.config.seed.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&(seq as u64).to_le_bytes());
+        bytes.extend_from_slice(&attempt.to_le_bytes());
+        let h = fnv1a(&bytes);
+        let roll = (h % 1000) as u16;
+        let stage = PipelineStage::ALL[(h >> 32) as usize % PipelineStage::ALL.len()];
+        let panic_to = self.config.panic_per_mille;
+        let stall_to = panic_to.saturating_add(self.config.stall_per_mille);
+        let error_to = stall_to.saturating_add(self.config.error_per_mille);
+        if roll < panic_to {
+            WorkerFault::Panic { stage }
+        } else if roll < stall_to {
+            WorkerFault::Stall { stage }
+        } else if roll < error_to {
+            WorkerFault::Transient { stage }
+        } else {
+            WorkerFault::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(panic: u16, stall: u16, error: u16) -> WorkerFaultPlan {
+        WorkerFaultPlan::new(WorkerFaultConfig {
+            seed: 7,
+            panic_per_mille: panic,
+            stall_per_mille: stall,
+            error_per_mille: error,
+            ..WorkerFaultConfig::default()
+        })
+    }
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let p = WorkerFaultPlan::new(WorkerFaultConfig::disabled());
+        for seq in 0..100 {
+            for attempt in 1..5 {
+                assert_eq!(p.decide(seq, attempt), WorkerFault::None);
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_sensitive() {
+        let p = plan(100, 100, 100);
+        for seq in 0..50 {
+            for attempt in 1..4 {
+                assert_eq!(p.decide(seq, attempt), p.decide(seq, attempt));
+            }
+        }
+        // Some event must get different fates on different attempts
+        // (otherwise retries could never clear a fault).
+        let differs = (0..200).any(|seq| p.decide(seq, 1) != p.decide(seq, 2));
+        assert!(differs, "attempt number must enter the decision hash");
+    }
+
+    #[test]
+    fn rates_are_respected_within_tolerance() {
+        let p = plan(100, 100, 0);
+        let n = 20_000u32;
+        let mut panics = 0u32;
+        let mut stalls = 0u32;
+        let mut errors = 0u32;
+        for seq in 0..n as usize {
+            match p.decide(seq, 1) {
+                WorkerFault::Panic { .. } => panics += 1,
+                WorkerFault::Stall { .. } => stalls += 1,
+                WorkerFault::Transient { .. } => errors += 1,
+                WorkerFault::None => {}
+            }
+        }
+        assert_eq!(errors, 0);
+        let frac = |c: u32| f64::from(c) / f64::from(n);
+        assert!((frac(panics) - 0.1).abs() < 0.02, "panic rate {panics}");
+        assert!((frac(stalls) - 0.1).abs() < 0.02, "stall rate {stalls}");
+    }
+
+    #[test]
+    fn seed_changes_decisions() {
+        let a = WorkerFaultPlan::new(WorkerFaultConfig {
+            seed: 1,
+            panic_per_mille: 300,
+            ..WorkerFaultConfig::default()
+        });
+        let b = WorkerFaultPlan::new(WorkerFaultConfig {
+            seed: 2,
+            panic_per_mille: 300,
+            ..WorkerFaultConfig::default()
+        });
+        let differs = (0..100).any(|seq| a.decide(seq, 1) != b.decide(seq, 1));
+        assert!(differs, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn stages_render_and_cover_all() {
+        for s in PipelineStage::ALL {
+            assert!(!s.name().is_empty());
+            assert_eq!(s.to_string(), s.name());
+        }
+    }
+}

@@ -29,6 +29,21 @@
 //! planning (admission, visibility) happens on the virtual clock before
 //! execution, workers compute pure functions, and results commit in
 //! stream order.
+//!
+//! On top of that determinism sits a **crash-tolerance layer**:
+//!
+//! - **Worker-fault injection** ([`fault`]): seeded, per-attempt worker
+//!   panics, stage stalls and transient errors, pure in
+//!   `(seed, event seq, attempt)` so faulty runs stay byte-reproducible.
+//! - **Supervision** ([`supervisor`]): panics are caught and the worker
+//!   respawned; lost in-flight events are re-dispatched; poisoned locks
+//!   are recovered, not fatal. An event that keeps killing workers is
+//!   quarantined as a poison pill with a dead-letter
+//!   [`engine::EventOutcome::Failed`] record.
+//! - **Write-ahead log** ([`wal`]): commits and index epochs are
+//!   journaled (with periodic checkpoint folding) so an engine killed
+//!   mid-stream resumes — via [`engine::ServeEngine::run_with_wal`] —
+//!   with a prediction log byte-identical to an uninterrupted run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,12 +52,18 @@ pub mod admission;
 pub mod cache;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod stream;
+pub mod supervisor;
 pub mod vmetrics;
+pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
 pub use cache::MemoCache;
 pub use cost::StageCosts;
 pub use engine::{EngineConfig, EventOutcome, EventRecord, IndexMode, ServeEngine, ServeOutcome};
+pub use fault::{PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
-pub use vmetrics::{ExecStats, VirtualHistogram};
+pub use supervisor::{AttemptLedger, RetryQueue, Verdict};
+pub use vmetrics::{ExecStats, FaultCounters, VirtualHistogram};
+pub use wal::{Recovery, WalError, WalRecord, WriteAheadLog};

@@ -1,0 +1,274 @@
+//! Worker supervision primitives for the crash-tolerant engine.
+//!
+//! The engine's worker threads can die mid-event — by an injected fault
+//! ([`crate::fault`]) or an organic bug — and an on-call serving plane
+//! must absorb that without aborting or losing work. This module holds
+//! the pieces the engine's supervision loop is built from:
+//!
+//! - **Poison recovery** ([`lock_recovered`], [`wait_recovered`]): a
+//!   panicking worker poisons any `Mutex` it holds; treating that as
+//!   fatal (the old `.expect("... poisoned")` sites) turns one dead
+//!   worker into a dead engine. Commit state is repaired by the
+//!   supervisor re-dispatching the lost event, so every lock site
+//!   recovers the guard via [`PoisonError::into_inner`] and counts the
+//!   recovery in [`FaultCounters::poison_recoveries`].
+//! - **Re-dispatch queue** ([`RetryQueue`]): events whose attempt was
+//!   lost (panic, stall, transient error) go back on a shared queue that
+//!   workers drain ahead of the dispatch channel, so a lost event is
+//!   retried promptly and the commit watermark keeps advancing.
+//! - **Attempt / kill ledger** ([`AttemptLedger`]): per-event counters
+//!   deciding when an event stops being retried and becomes a poison
+//!   pill. An event that kills a worker [`quarantine_kills`] times — or
+//!   burns [`max_attempts`] attempts of any kind — is routed to a
+//!   dead-letter record instead of taking another worker down.
+//!
+//! [`quarantine_kills`]: crate::fault::WorkerFaultConfig::quarantine_kills
+//! [`max_attempts`]: crate::fault::WorkerFaultConfig::max_attempts
+
+use crate::fault::WorkerFaultConfig;
+use crate::vmetrics::FaultCounters;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering (and counting) a poisoned guard instead of
+/// panicking. Sound here because every structure the engine guards is
+/// repaired at a higher level: a half-written commit slot is overwritten
+/// by the re-dispatched attempt, and caches/queues only ever hold values
+/// that are pure functions of their keys.
+pub fn lock_recovered<'a, T>(mutex: &'a Mutex<T>, counters: &FaultCounters) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        FaultCounters::bump(&counters.poison_recoveries);
+        poisoned.into_inner()
+    })
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_recovered`].
+pub fn wait_recovered<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    counters: &FaultCounters,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(|poisoned| {
+        FaultCounters::bump(&counters.poison_recoveries);
+        poisoned.into_inner()
+    })
+}
+
+/// Shared queue of events awaiting re-dispatch after a lost attempt.
+///
+/// Workers pop from here before blocking on the dispatch channel, so a
+/// re-dispatched event never waits behind the rest of the stream. The
+/// thread whose supervisor pushed an event is itself guaranteed to check
+/// the queue on its next (respawned) iteration, so a retry can never be
+/// orphaned by workers that already observed a closed channel.
+#[derive(Debug, Default)]
+pub struct RetryQueue {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+impl RetryQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RetryQueue::default()
+    }
+
+    /// Enqueues an event for another attempt.
+    pub fn push(&self, event: usize, counters: &FaultCounters) {
+        FaultCounters::bump(&counters.redispatches);
+        lock_recovered(&self.queue, counters).push_back(event);
+    }
+
+    /// Pops the next event to retry, if any.
+    pub fn pop(&self, counters: &FaultCounters) -> Option<usize> {
+        lock_recovered(&self.queue, counters).pop_front()
+    }
+
+    /// True when no retries are pending.
+    pub fn is_empty(&self, counters: &FaultCounters) -> bool {
+        lock_recovered(&self.queue, counters).is_empty()
+    }
+}
+
+/// What the ledger tells the supervisor to do with an event whose
+/// attempt was just lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Put it back on the retry queue.
+    Retry,
+    /// Stop retrying: route to a dead-letter record.
+    Quarantine {
+        /// Worker kills this event caused.
+        kills: u32,
+        /// Processing attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// Per-event attempt and worker-kill counters.
+///
+/// Both counters only ever move forward, and each event is processed by
+/// at most one worker at a time (queue / retry queue / in-flight are
+/// mutually exclusive states), so the per-event history — and therefore
+/// the quarantine point — is deterministic for a fixed fault plan.
+#[derive(Debug)]
+pub struct AttemptLedger {
+    attempts: Vec<AtomicU32>,
+    kills: Vec<AtomicU32>,
+    quarantine_kills: u32,
+    max_attempts: u32,
+}
+
+impl AttemptLedger {
+    /// A ledger for `n` events under `config`'s quarantine thresholds.
+    pub fn new(n: usize, config: &WorkerFaultConfig) -> Self {
+        AttemptLedger {
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            kills: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            quarantine_kills: config.quarantine_kills.max(1),
+            max_attempts: config.max_attempts.max(1),
+        }
+    }
+
+    /// Starts a new processing attempt for `event`; returns its 1-based
+    /// attempt number (the fault plan's re-roll key).
+    pub fn begin_attempt(&self, event: usize) -> u32 {
+        self.attempts[event].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Attempts consumed so far by `event`.
+    pub fn attempts(&self, event: usize) -> u32 {
+        self.attempts[event].load(Ordering::Relaxed)
+    }
+
+    /// Records that `event`'s worker was killed mid-attempt and decides
+    /// whether the event retries or quarantines.
+    pub fn record_kill(&self, event: usize) -> Verdict {
+        let kills = self.kills[event].fetch_add(1, Ordering::Relaxed) + 1;
+        let attempts = self.attempts(event);
+        if kills >= self.quarantine_kills || attempts >= self.max_attempts {
+            Verdict::Quarantine { kills, attempts }
+        } else {
+            Verdict::Retry
+        }
+    }
+
+    /// Records a lost (but non-fatal) attempt — stall or transient error
+    /// — and decides whether the event retries or quarantines.
+    pub fn record_loss(&self, event: usize) -> Verdict {
+        let kills = self.kills[event].load(Ordering::Relaxed);
+        let attempts = self.attempts(event);
+        if attempts >= self.max_attempts {
+            Verdict::Quarantine { kills, attempts }
+        } else {
+            Verdict::Retry
+        }
+    }
+}
+
+/// In-flight event marker for one worker thread, written before an
+/// attempt starts and cleared after its slot commits. Lives *outside*
+/// the worker's `catch_unwind` so the supervisor can read which event a
+/// dead incarnation was holding. (`usize::MAX` = none.)
+#[derive(Debug)]
+pub struct InFlight(AtomicUsize);
+
+impl InFlight {
+    /// No event in flight.
+    pub fn empty() -> Self {
+        InFlight(AtomicUsize::new(usize::MAX))
+    }
+
+    /// Marks `event` as being processed by this worker.
+    pub fn set(&self, event: usize) {
+        self.0.store(event, Ordering::Release);
+    }
+
+    /// Clears and returns the in-flight event, if any.
+    pub fn take(&self) -> Option<usize> {
+        match self.0.swap(usize::MAX, Ordering::AcqRel) {
+            usize::MAX => None,
+            event => Some(event),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recovered_survives_poison_and_counts_it() {
+        let counters = FaultCounters::new();
+        let mutex = Mutex::new(41);
+        // Poison it: panic while holding the guard.
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().unwrap();
+            panic!("boom");
+        }));
+        assert!(poisoner.is_err());
+        assert!(mutex.is_poisoned());
+        let mut guard = lock_recovered(&mutex, &counters);
+        *guard += 1;
+        assert_eq!(*guard, 42);
+        assert_eq!(FaultCounters::get(&counters.poison_recoveries), 1);
+    }
+
+    #[test]
+    fn retry_queue_is_fifo_and_counts_redispatches() {
+        let counters = FaultCounters::new();
+        let q = RetryQueue::new();
+        assert!(q.is_empty(&counters));
+        q.push(3, &counters);
+        q.push(7, &counters);
+        assert_eq!(q.pop(&counters), Some(3));
+        assert_eq!(q.pop(&counters), Some(7));
+        assert_eq!(q.pop(&counters), None);
+        assert_eq!(FaultCounters::get(&counters.redispatches), 2);
+    }
+
+    #[test]
+    fn ledger_quarantines_after_two_kills_by_default() {
+        let ledger = AttemptLedger::new(2, &WorkerFaultConfig::default());
+        ledger.begin_attempt(0);
+        assert_eq!(ledger.record_kill(0), Verdict::Retry);
+        ledger.begin_attempt(0);
+        assert_eq!(
+            ledger.record_kill(0),
+            Verdict::Quarantine {
+                kills: 2,
+                attempts: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ledger_quarantines_on_attempt_exhaustion() {
+        let config = WorkerFaultConfig {
+            max_attempts: 3,
+            ..WorkerFaultConfig::default()
+        };
+        let ledger = AttemptLedger::new(1, &config);
+        for _ in 0..2 {
+            ledger.begin_attempt(0);
+            assert_eq!(ledger.record_loss(0), Verdict::Retry);
+        }
+        ledger.begin_attempt(0);
+        assert_eq!(
+            ledger.record_loss(0),
+            Verdict::Quarantine {
+                kills: 0,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn inflight_marker_round_trips() {
+        let marker = InFlight::empty();
+        assert_eq!(marker.take(), None);
+        marker.set(5);
+        assert_eq!(marker.take(), Some(5));
+        assert_eq!(marker.take(), None);
+    }
+}

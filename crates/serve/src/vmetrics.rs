@@ -10,6 +10,67 @@
 use serde_json::{json, Value};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Robustness counters for one engine run.
+///
+/// Workers are real OS threads, so these are atomics bumped as the
+/// supervision machinery acts: injected faults, panics caught and
+/// workers respawned, events re-dispatched or quarantined, and poisoned
+/// locks recovered instead of aborted. The *counts* are deterministic
+/// for a fixed fault plan (decisions depend only on `(seq, attempt)`),
+/// even though the thread that bumps each counter is not.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Worker panics caught by the supervisor (injected or organic).
+    pub worker_panics: AtomicU64,
+    /// Worker incarnations respawned after a caught panic.
+    pub worker_respawns: AtomicU64,
+    /// Attempts abandoned past their virtual stage deadline.
+    pub injected_stalls: AtomicU64,
+    /// Attempts failed by an injected transient stage error.
+    pub injected_errors: AtomicU64,
+    /// Events put back on the retry queue after a lost attempt.
+    pub redispatches: AtomicU64,
+    /// Events quarantined as poison pills (dead-letter records).
+    pub quarantined: AtomicU64,
+    /// Events whose collection stage failed (degraded `Failed` outcome).
+    pub collection_failures: AtomicU64,
+    /// Poisoned locks recovered via `PoisonError::into_inner` instead of
+    /// aborting the engine.
+    pub poison_recoveries: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        FaultCounters::default()
+    }
+
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// JSON summary for the engine report.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "worker_panics": Self::get(&self.worker_panics),
+            "worker_respawns": Self::get(&self.worker_respawns),
+            "injected_stalls": Self::get(&self.injected_stalls),
+            "injected_errors": Self::get(&self.injected_errors),
+            "redispatches": Self::get(&self.redispatches),
+            "quarantined": Self::get(&self.quarantined),
+            "collection_failures": Self::get(&self.collection_failures),
+            "poison_recoveries": Self::get(&self.poison_recoveries),
+        })
+    }
+}
 
 /// A histogram of virtual durations in seconds.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,365 @@
+//! Write-ahead log and checkpoint/recovery for the serving engine.
+//!
+//! An on-call RCA service must survive being killed mid-stream: redeploys,
+//! OOM kills and node failures all land during exactly the incident storms
+//! the service exists for. The engine therefore journals its durable
+//! state transitions — in-order event commits and online-index epoch
+//! publishes — as JSON lines, and periodically folds the journal into a
+//! single [`WalRecord::Checkpoint`] carrying the committed records plus a
+//! serialized [`EpochCheckpoint`] of the retrieval index.
+//!
+//! **Recovery invariant**: a run resumed from a WAL produces a prediction
+//! log byte-identical to the uninterrupted run, for any worker count and
+//! any crash point. Three properties make this hold:
+//!
+//! 1. Commits are journaled at the in-order watermark, so the WAL always
+//!    holds a *prefix* of the stream's records.
+//! 2. The JSON shim prints `f64` with shortest-round-trip formatting, so
+//!    every confidence/completeness survives the round trip exactly and
+//!    re-rendered [`EventRecord::log_line`]s are byte-identical.
+//! 3. Recovery re-inserts index entries in commit order and publishes
+//!    once; epoch-batch boundaries are immaterial to retrieval because
+//!    visibility is filtered per query by `visible_from`.
+//!
+//! The log is an in-memory line buffer (the repository's serving plane is
+//! a simulation; durability to disk is one `write` of
+//! [`WriteAheadLog::serialized`]). [`WriteAheadLog::load`] tolerates a
+//! torn final line — the signature of a crash mid-append — but rejects
+//! corruption anywhere else.
+
+use crate::engine::EventRecord;
+use rcacopilot_core::retrieval::{CheckpointEntry, EpochCheckpoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One journaled state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// Event `seq` committed at the in-order watermark. `entry` carries
+    /// the online-index insertion performed at commit time (`None` for
+    /// shed/failed events or frozen-index mode).
+    Commit {
+        /// Stream sequence number (== position in the record prefix).
+        seq: usize,
+        /// The committed record.
+        record: EventRecord,
+        /// Index entry inserted at this commit, if any.
+        entry: Option<CheckpointEntry>,
+    },
+    /// The online index published epoch `epoch` after commit `committed`.
+    Epoch {
+        /// Published epoch number.
+        epoch: u64,
+        /// Commits covered by the epoch.
+        committed: usize,
+    },
+    /// A checkpoint folding every earlier record: the full committed
+    /// prefix plus the serialized index state.
+    Checkpoint {
+        /// Number of committed events in the prefix.
+        committed: usize,
+        /// The committed records, stream order.
+        records: Vec<EventRecord>,
+        /// Serialized online-index state (`None` in frozen-index mode).
+        index: Option<EpochCheckpoint>,
+    },
+}
+
+/// Why a WAL could not be read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A line before the final one failed to parse (mid-log corruption —
+    /// a torn *final* line is tolerated as a crash mid-append).
+    Corrupt {
+        /// Zero-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Commit sequence numbers skipped or repeated a slot.
+    Gap {
+        /// The next sequence number the prefix needed.
+        expected: usize,
+        /// The sequence number found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Corrupt { line, message } => {
+                write!(f, "corrupt WAL line {line}: {message}")
+            }
+            WalError::Gap { expected, found } => {
+                write!(f, "WAL commit gap: expected seq {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// What recovery reconstructed from a journal.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// Committed event records, stream order (the prefix `0..committed`).
+    pub records: Vec<EventRecord>,
+    /// Index checkpoint to rebuild from, if one was folded.
+    pub checkpoint: Option<EpochCheckpoint>,
+    /// Index entries committed after the checkpoint, commit order.
+    pub entries: Vec<CheckpointEntry>,
+    /// Last journaled epoch number (0 if none).
+    pub epoch: u64,
+}
+
+impl Recovery {
+    /// Number of committed events recovered.
+    pub fn committed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the journal held nothing (a fresh run).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.checkpoint.is_none()
+    }
+}
+
+/// The engine's journal: an append-only buffer of serialized
+/// [`WalRecord`] lines with checkpoint folding.
+#[derive(Debug, Clone, Default)]
+pub struct WriteAheadLog {
+    lines: Vec<String>,
+    /// Commits folded into the last installed checkpoint.
+    checkpointed: usize,
+}
+
+impl WriteAheadLog {
+    /// An empty journal.
+    pub fn new() -> Self {
+        WriteAheadLog::default()
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, record: &WalRecord) {
+        self.lines
+            .push(serde_json::to_string(record).expect("WAL records are serializable"));
+    }
+
+    /// Replaces the whole journal with a single checkpoint record — the
+    /// journal-side compaction that bounds replay work.
+    pub fn install_checkpoint(
+        &mut self,
+        records: Vec<EventRecord>,
+        index: Option<EpochCheckpoint>,
+    ) {
+        let committed = records.len();
+        self.lines.clear();
+        self.append(&WalRecord::Checkpoint {
+            committed,
+            records,
+            index,
+        });
+        self.checkpointed = committed;
+    }
+
+    /// Commits folded into the last installed checkpoint.
+    pub fn checkpointed(&self) -> usize {
+        self.checkpointed
+    }
+
+    /// Number of journal lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The durable byte form: one JSON record per line.
+    pub fn serialized(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a serialized journal. A final line that fails to parse is
+    /// dropped (crash mid-append); failures anywhere else are
+    /// [`WalError::Corrupt`].
+    pub fn load(serialized: &str) -> Result<Self, WalError> {
+        let lines: Vec<&str> = serialized
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        let mut kept: Vec<String> = Vec::with_capacity(lines.len());
+        let mut checkpointed = 0;
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<WalRecord>(line) {
+                Ok(record) => {
+                    if let WalRecord::Checkpoint { committed, .. } = &record {
+                        checkpointed = *committed;
+                    }
+                    kept.push((*line).to_string());
+                }
+                // Torn final line: crash mid-append, drop it.
+                Err(_) if i + 1 == lines.len() => {}
+                Err(e) => {
+                    return Err(WalError::Corrupt {
+                        line: i,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(WriteAheadLog {
+            lines: kept,
+            checkpointed,
+        })
+    }
+
+    /// Parses every journaled record.
+    pub fn records(&self) -> Result<Vec<WalRecord>, WalError> {
+        self.lines
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                serde_json::from_str(line).map_err(|e| WalError::Corrupt {
+                    line: i,
+                    message: e.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Folds the journal into the state a resumed run starts from. The
+    /// commit prefix must be gapless ([`WalError::Gap`] otherwise).
+    pub fn recover(&self) -> Result<Recovery, WalError> {
+        let mut recovery = Recovery::default();
+        for record in self.records()? {
+            match record {
+                WalRecord::Checkpoint {
+                    committed: _,
+                    records,
+                    index,
+                } => {
+                    recovery.records = records;
+                    recovery.checkpoint = index;
+                    recovery.entries.clear();
+                }
+                WalRecord::Commit { seq, record, entry } => {
+                    if seq != recovery.records.len() {
+                        return Err(WalError::Gap {
+                            expected: recovery.records.len(),
+                            found: seq,
+                        });
+                    }
+                    recovery.records.push(record);
+                    recovery.entries.extend(entry);
+                }
+                WalRecord::Epoch {
+                    epoch,
+                    committed: _,
+                } => {
+                    recovery.epoch = epoch;
+                }
+            }
+        }
+        Ok(recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EventOutcome;
+    use rcacopilot_telemetry::{AlertType, Severity, SimTime};
+
+    fn shed_record(seq: usize) -> EventRecord {
+        EventRecord {
+            seq,
+            incident_idx: seq,
+            at: SimTime::from_secs(seq as u64 * 60),
+            severity: Severity::Sev3,
+            alert_type: AlertType::default(),
+            outcome: EventOutcome::Shed {
+                backlog_secs: 42 + seq as u64,
+            },
+        }
+    }
+
+    fn commit(seq: usize) -> WalRecord {
+        WalRecord::Commit {
+            seq,
+            record: shed_record(seq),
+            entry: None,
+        }
+    }
+
+    #[test]
+    fn append_serialize_load_round_trips() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        wal.append(&WalRecord::Epoch {
+            epoch: 3,
+            committed: 2,
+        });
+        let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
+        assert_eq!(loaded.records().unwrap(), wal.records().unwrap());
+        let recovery = loaded.recover().expect("gapless");
+        assert_eq!(recovery.committed(), 2);
+        assert_eq!(recovery.epoch, 3);
+        assert_eq!(recovery.records[1].log_line(), shed_record(1).log_line());
+    }
+
+    #[test]
+    fn checkpoint_folds_and_bounds_replay() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        assert_eq!(wal.len(), 1, "checkpoint replaces the journal");
+        assert_eq!(wal.checkpointed(), 2);
+        wal.append(&commit(2));
+        let recovery = wal.recover().expect("gapless");
+        assert_eq!(recovery.committed(), 3);
+        assert!(recovery.checkpoint.is_none());
+        assert!(!recovery.is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_mid_log_corruption_is_fatal() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        let mut torn = wal.serialized();
+        torn.truncate(torn.len() - 10); // rip the tail of the last line
+        let loaded = WriteAheadLog::load(&torn).expect("torn tail tolerated");
+        assert_eq!(loaded.recover().unwrap().committed(), 1);
+
+        let corrupt = format!("not json at all\n{}", wal.serialized());
+        let err = WriteAheadLog::load(&corrupt).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { line: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn commit_gaps_are_detected() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(2));
+        let err = wal.recover().unwrap_err();
+        assert_eq!(
+            err,
+            WalError::Gap {
+                expected: 1,
+                found: 2
+            }
+        );
+        assert!(err.to_string().contains("gap"));
+    }
+}

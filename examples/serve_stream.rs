@@ -75,6 +75,7 @@ fn main() {
     let mut predicted = 0usize;
     let mut shed = 0usize;
     let mut degraded = 0usize;
+    let mut failed = 0usize;
     for record in &outcome.records {
         match &record.outcome {
             EventOutcome::Shed { .. } => shed += 1,
@@ -90,10 +91,11 @@ fn main() {
                     correct += 1;
                 }
             }
+            EventOutcome::Failed { .. } => failed += 1,
         }
     }
     println!(
-        "\n{} events streamed: {predicted} predicted ({degraded} degraded), {shed} shed.",
+        "\n{} events streamed: {predicted} predicted ({degraded} degraded), {shed} shed, {failed} failed.",
         outcome.records.len()
     );
     println!(

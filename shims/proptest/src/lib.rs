@@ -174,6 +174,8 @@ pub mod strategy {
         (A, B)
         (A, B, C)
         (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
     }
 
     /// `&'static str` patterns of the form `[class]{m,n}` sample strings

@@ -102,6 +102,7 @@ fn frozen_replay_matches_batch_pipeline_exactly() {
                 );
             }
             EventOutcome::Shed { .. } => panic!("unbounded admission never sheds"),
+            EventOutcome::Failed { reason } => panic!("fault-free run failed: {reason}"),
         }
     }
 }
@@ -203,6 +204,7 @@ fn online_index_learns_new_categories_from_resolved_incidents() {
     let second = |out: &rcacopilot::serve::ServeOutcome| match &out.records[1].outcome {
         EventOutcome::Predicted { prediction, .. } => prediction.clone(),
         EventOutcome::Shed { .. } => panic!("nothing sheds here"),
+        EventOutcome::Failed { reason } => panic!("fault-free run failed: {reason}"),
     };
     let online_second = second(&online);
     let frozen_second = second(&frozen);
