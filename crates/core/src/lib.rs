@@ -48,6 +48,7 @@ pub use metrics::{f1_scores, F1Report};
 pub use pipeline::{RcaCopilot, RcaCopilotConfig, RcaPrediction};
 pub use report::OnCallReport;
 pub use retrieval::{
-    CheckpointEntry, EpochCheckpoint, HistoricalEntry, HistoricalIndex, HistorySnapshot,
-    HistoryView, OnlineHistoricalIndex, RetrievalConfig,
+    shard_for_category, CheckpointEntry, EpochCheckpoint, HistoricalEntry, HistoricalIndex,
+    HistorySnapshot, HistoryView, OnlineHistoricalIndex, RetrievalConfig, ShardedCheckpoint,
+    ShardedHistoricalIndex, ShardedHistorySnapshot,
 };

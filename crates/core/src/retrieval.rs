@@ -12,9 +12,10 @@
 //! values are `K = 5`, `α = 0.3`.
 
 use rcacopilot_embed::{BucketedIndex, EpochIndex};
-use rcacopilot_telemetry::time::SimTime;
+use rcacopilot_telemetry::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Retrieval hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,6 +65,31 @@ pub struct HistoricalIndex {
 /// The paper's similarity formula.
 pub fn similarity(distance: f64, delta_days: f64, alpha: f64) -> f64 {
     (1.0 / (1.0 + distance)) * (-alpha * delta_days.abs()).exp()
+}
+
+/// 64-bit FNV-1a hash of a byte string — the stable hash behind shard
+/// routing (and the serving plane's content-hash memo caches).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shard a category routes to under `shards`-way partitioning.
+///
+/// Category-keyed routing is what makes the cross-shard merge exact
+/// cheaply: every entry of a category lives in exactly one shard, so a
+/// shard's per-category best is already the *global* per-category best,
+/// and the merge only has to rank whole categories.
+pub fn shard_for_category(category: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        0
+    } else {
+        (fnv1a(category.as_bytes()) % shards as u64) as usize
+    }
 }
 
 fn euclidean(a: &[f32], b: &[f32]) -> f64 {
@@ -201,6 +227,11 @@ const ENTRY_CHUNK: usize = 256;
 struct OnlineEntry {
     entry: HistoricalEntry,
     visible_from: SimTime,
+    /// Global insertion sequence number — the retrieval tie-break. For a
+    /// standalone index this equals the local position; under
+    /// [`ShardedHistoricalIndex`] it is allocated by the router, so
+    /// cross-shard ties resolve exactly as a single index would.
+    global_seq: u64,
 }
 
 /// Append-only chunked entry store with cheap snapshots.
@@ -295,10 +326,27 @@ impl OnlineHistoricalIndex {
     /// instant; pass [`SimTime::EPOCH`] for always-visible history).
     pub fn insert(&mut self, entry: HistoricalEntry, visible_from: SimTime) {
         let seq = self.entries.len() as u64;
-        self.vectors.add(seq, entry.embedding.clone());
+        self.insert_at_seq(entry, visible_from, seq);
+    }
+
+    /// [`insert`](OnlineHistoricalIndex::insert) with an explicit global
+    /// sequence number for the retrieval tie-break — the hook
+    /// [`ShardedHistoricalIndex`] routes through so entries keep one
+    /// global insertion order across shards. `global_seq` must be
+    /// strictly increasing across calls on the same index.
+    pub fn insert_at_seq(
+        &mut self,
+        entry: HistoricalEntry,
+        visible_from: SimTime,
+        global_seq: u64,
+    ) {
+        let local = self.entries.len() as u64;
+        self.vectors
+            .add_at(local, entry.embedding.clone(), entry.at.as_secs());
         self.entries.push(OnlineEntry {
             entry,
             visible_from,
+            global_seq,
         });
     }
 
@@ -389,6 +437,24 @@ impl OnlineHistoricalIndex {
         }
     }
 
+    /// Every stored entry with its global sequence number — the raw
+    /// material [`ShardedHistoricalIndex::checkpoint`] merges back into
+    /// one global-order list.
+    fn seq_entries(&self) -> Vec<(u64, CheckpointEntry)> {
+        (0..self.entries.len())
+            .map(|i| {
+                let stored = self.entries.get(i);
+                (
+                    stored.global_seq,
+                    CheckpointEntry {
+                        entry: stored.entry.clone(),
+                        visible_from: stored.visible_from,
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Rebuilds an index from a [`checkpoint`](OnlineHistoricalIndex::checkpoint):
     /// entries are re-inserted in their original order and published in
     /// one epoch, and the epoch counter resumes from the checkpoint.
@@ -448,30 +514,62 @@ impl HistorySnapshot {
             .filter(|&i| self.entries.get(i).visible_from <= at)
             .count()
     }
-}
 
-impl HistoryView for HistorySnapshot {
-    /// Bound-pruned exact retrieval: cells are visited in order of their
-    /// spatial lower bound; since `similarity ≤ 1/(1 + distance)`, the
-    /// scan stops once the best remaining cell cannot beat the current
-    /// `k`-th distinct-category similarity. Tie-breaking replicates the
-    /// linear scan's stable sort (higher similarity first, then earlier
-    /// insertion), so the answer is byte-identical to
-    /// [`HistoricalIndex::top_k_diverse`] over the same visible entries.
-    fn top_k_diverse(
+    /// Safe upper bound on the temporal-decay factor of any entry in a
+    /// cell whose nearest timestamp is `min_dt_secs` away. Exact-safe:
+    /// the integer Δt is converted through the *same* seconds→days path
+    /// the per-entry similarity uses, and every step (u64→f64, ×alpha,
+    /// exp) is monotone, so the bound can never round below a real
+    /// entry's factor.
+    fn decay_bound(min_dt_secs: u64, alpha: f64) -> f64 {
+        (-alpha * SimDuration::from_secs(min_dt_secs).as_days_f64()).exp()
+    }
+
+    /// Best similarity any entry of this snapshot could reach for a
+    /// query at `query_time` — the max over cells of the combined
+    /// spatial × temporal bound. `f64::NEG_INFINITY` when empty. The
+    /// cross-shard merge uses this to visit shards best-first and stop
+    /// early.
+    pub fn best_bound(&self, query_embedding: &[f32], query_time: SimTime, alpha: f64) -> f64 {
+        let qsecs = query_time.as_secs();
+        self.index
+            .prune_scan(query_embedding)
+            .iter()
+            .map(|scan| {
+                let spatial = 1.0 / (1.0 + scan.lower_bound);
+                spatial * Self::decay_bound(scan.min_abs_dt_secs(qsecs), alpha)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Bound-pruned exact retrieval of this snapshot's per-category best
+    /// entries as `(global_seq, similarity, local index)`, at most
+    /// `config.k` of them, ranked by `(similarity desc, global_seq
+    /// asc)`.
+    ///
+    /// Cells are visited in spatial-lower-bound order. Once `k` category
+    /// representatives exist, a cell is *skipped* when even its combined
+    /// spatial × temporal bound cannot beat the current `k`-th
+    /// similarity, and the scan *stops* when the spatial bound alone
+    /// cannot (the spatial bound is monotone in scan order; the combined
+    /// bound is not, so it only ever skips). Tie-breaking follows the
+    /// linear scan's stable sort: higher similarity first, then earlier
+    /// global insertion.
+    fn diverse_reps(
         &self,
         query_embedding: &[f32],
         query_time: SimTime,
         config: &RetrievalConfig,
-    ) -> Vec<Neighbor<'_>> {
+    ) -> Vec<(u64, f64, usize)> {
         debug_assert!(
             query_embedding.iter().all(|x| x.is_finite()),
             "query embedding must be finite"
         );
-        // Best (similarity, insertion seq) per category seen so far.
-        let mut best: std::collections::BTreeMap<&str, (f64, usize)> =
+        let qsecs = query_time.as_secs();
+        // Best (similarity, global seq, local index) per category.
+        let mut best: std::collections::BTreeMap<&str, (f64, u64, usize)> =
             std::collections::BTreeMap::new();
-        let better = |a: (f64, usize), b: (f64, usize)| -> bool {
+        let better = |a: (f64, u64), b: (f64, u64)| -> bool {
             match a.0.total_cmp(&b.0) {
                 std::cmp::Ordering::Greater => true,
                 std::cmp::Ordering::Less => false,
@@ -480,19 +578,29 @@ impl HistoryView for HistorySnapshot {
         };
         for scan in self.index.prune_scan(query_embedding) {
             if best.len() >= config.k {
-                // k-th best category representative: the scan can stop
-                // only when no remaining cell can beat it, even through
-                // a zero time gap (temporal factor 1).
-                let mut sims: Vec<f64> = best.values().map(|&(s, _)| s).collect();
+                // k-th best category representative so far.
+                let mut sims: Vec<f64> = best.values().map(|&(s, _, _)| s).collect();
                 sims.sort_by(|a, b| b.total_cmp(a));
                 let kth = sims[config.k - 1];
-                let upper = 1.0 / (1.0 + scan.lower_bound);
-                if upper.total_cmp(&kth) == std::cmp::Ordering::Less {
+                let spatial = 1.0 / (1.0 + scan.lower_bound);
+                // The spatial bound is monotone across the ordered scan:
+                // once it falls below the k-th similarity (even through a
+                // zero time gap), no later cell can contribute.
+                if spatial.total_cmp(&kth) == std::cmp::Ordering::Less {
                     break;
                 }
+                // The temporal-decay factor is not monotone in scan
+                // order, so a cell disqualified by age alone is skipped,
+                // not a stopping point. Strict comparison: a bound that
+                // *ties* the k-th could still hide an entry winning on
+                // insertion order.
+                let upper = spatial * Self::decay_bound(scan.min_abs_dt_secs(qsecs), config.alpha);
+                if upper.total_cmp(&kth) == std::cmp::Ordering::Less {
+                    continue;
+                }
             }
-            for (seq, _) in scan.items() {
-                let i = seq as usize;
+            for (local, _) in scan.items() {
+                let i = local as usize;
                 let stored = self.entries.get(i);
                 if stored.visible_from > query_time {
                     continue;
@@ -500,24 +608,42 @@ impl HistoryView for HistorySnapshot {
                 let dist = euclidean(query_embedding, &stored.entry.embedding);
                 let dt = stored.entry.at.abs_diff(query_time).as_days_f64();
                 let sim = similarity(dist, dt, config.alpha);
-                let cand = (sim, i);
+                let cand = (sim, stored.global_seq, i);
                 match best.entry(stored.entry.category.as_str()) {
                     std::collections::btree_map::Entry::Vacant(v) => {
                         v.insert(cand);
                     }
                     std::collections::btree_map::Entry::Occupied(mut o) => {
-                        if better(cand, *o.get()) {
+                        let cur = *o.get();
+                        if better((cand.0, cand.1), (cur.0, cur.1)) {
                             o.insert(cand);
                         }
                     }
                 }
             }
         }
-        let mut reps: Vec<(usize, f64)> = best.into_values().map(|(s, i)| (i, s)).collect();
+        let mut reps: Vec<(u64, f64, usize)> =
+            best.into_values().map(|(s, seq, i)| (seq, s, i)).collect();
         reps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         reps.truncate(config.k);
-        reps.into_iter()
-            .map(|(i, sim)| Neighbor {
+        reps
+    }
+}
+
+impl HistoryView for HistorySnapshot {
+    /// Bound-pruned exact retrieval (see
+    /// [`diverse_reps`](HistorySnapshot::diverse_reps)): the answer is
+    /// byte-identical to [`HistoricalIndex::top_k_diverse`] over the
+    /// same visible entries.
+    fn top_k_diverse(
+        &self,
+        query_embedding: &[f32],
+        query_time: SimTime,
+        config: &RetrievalConfig,
+    ) -> Vec<Neighbor<'_>> {
+        self.diverse_reps(query_embedding, query_time, config)
+            .into_iter()
+            .map(|(_, sim, i)| Neighbor {
                 entry: &self.entries.get(i).entry,
                 similarity: sim,
             })
@@ -526,6 +652,296 @@ impl HistoryView for HistorySnapshot {
 
     fn len(&self) -> usize {
         self.entries.len()
+    }
+}
+
+/// A category-sharded [`OnlineHistoricalIndex`]: the serving plane's
+/// retrieval index split into `N` independently locked shards.
+///
+/// Routing is by [`shard_for_category`], so every entry of a category
+/// lives in exactly one shard and each shard's per-category best is
+/// already globally correct. Three invariants keep query answers — and
+/// therefore the serving engine's prediction log — **byte-identical** to
+/// one unsharded index, for any shard count:
+///
+/// 1. **Global sequence numbers.** The router allocates one monotonically
+///    increasing `global_seq` per insert; cross-category similarity ties
+///    resolve on it exactly as a single index's insertion order would.
+/// 2. **Exact per-shard retrieval.** Each shard answers with its
+///    bound-pruned exact per-category representatives
+///    ([`HistorySnapshot::diverse_reps`]).
+/// 3. **Bounded merge.** Shards are visited in descending
+///    [`HistorySnapshot::best_bound`] order (spatial × temporal-decay
+///    upper bound); once `k` representatives are held and the next
+///    shard's bound is *strictly* below the `k`-th similarity, the
+///    remaining shards are skipped — a work win, not just a lock split.
+///
+/// All methods take `&self`: shard locks are internal, and a lock
+/// poisoned by a dying worker thread is recovered (and counted) rather
+/// than propagated, matching the serving plane's supervision policy.
+#[derive(Debug)]
+pub struct ShardedHistoricalIndex {
+    shards: Vec<Mutex<OnlineHistoricalIndex>>,
+    next_seq: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl ShardedHistoricalIndex {
+    /// An empty index with `shards` shards (clamped to ≥ 1), each with
+    /// the given spatial cell-split threshold.
+    pub fn new(shards: usize, max_cell: usize) -> Self {
+        ShardedHistoricalIndex {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(OnlineHistoricalIndex::new(max_cell)))
+                .collect(),
+            next_seq: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Warm-starts from existing history in slice order (matching
+    /// [`OnlineHistoricalIndex::warm`]) and publishes every shard.
+    pub fn warm(entries: &[HistoricalEntry], shards: usize, max_cell: usize) -> Self {
+        let idx = ShardedHistoricalIndex::new(shards, max_cell);
+        for e in entries {
+            idx.insert(e.clone(), SimTime::EPOCH);
+        }
+        idx.publish_all();
+        idx
+    }
+
+    fn lock_shard(&self, shard: usize) -> MutexGuard<'_, OnlineHistoricalIndex> {
+        self.shards[shard].lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `category` routes to.
+    pub fn route(&self, category: &str) -> usize {
+        shard_for_category(category, self.shards.len())
+    }
+
+    /// Appends a resolved incident to its category's shard, allocating
+    /// the next global sequence number. Returns the shard it landed in
+    /// (whose next [`publish`](ShardedHistoricalIndex::publish) makes it
+    /// visible).
+    pub fn insert(&self, entry: HistoricalEntry, visible_from: SimTime) -> usize {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.route(&entry.category);
+        self.lock_shard(shard)
+            .insert_at_seq(entry, visible_from, seq);
+        shard
+    }
+
+    /// Publishes one shard's pending inserts as a new epoch and returns
+    /// the shard's epoch number.
+    pub fn publish(&self, shard: usize) -> u64 {
+        self.lock_shard(shard).publish()
+    }
+
+    /// Publishes every shard (warm start / checkpoint restore).
+    pub fn publish_all(&self) {
+        for s in 0..self.shards.len() {
+            self.lock_shard(s).publish();
+        }
+    }
+
+    /// Sets every shard's epoch-compaction interval
+    /// (see [`OnlineHistoricalIndex::set_compaction_interval`]).
+    pub fn set_compaction_interval(&self, every_epochs: usize) {
+        for s in 0..self.shards.len() {
+            self.lock_shard(s).set_compaction_interval(every_epochs);
+        }
+    }
+
+    /// Total spatial compactions across shards.
+    pub fn compactions(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|s| self.lock_shard(s).compactions())
+            .sum()
+    }
+
+    /// One shard's published epoch number.
+    pub fn epoch(&self, shard: usize) -> u64 {
+        self.lock_shard(shard).epoch()
+    }
+
+    /// Overrides one shard's epoch counter (journal continuity on
+    /// recovery).
+    pub fn set_epoch(&self, shard: usize, epoch: u64) {
+        self.lock_shard(shard).set_epoch(epoch);
+    }
+
+    /// Entries inserted so far across all shards (published or not).
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.lock_shard(s).len())
+            .sum()
+    }
+
+    /// True if nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Poisoned shard locks recovered so far (folded into the engine's
+    /// fault counters).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// An immutable cross-shard view of each shard's latest published
+    /// epoch. Shards are snapshotted one at a time — the serving engine
+    /// commits inserts under its own in-order watermark, so per-query
+    /// `visible_from` filtering (not snapshot atomicity) is what defines
+    /// the visible set.
+    pub fn snapshot(&self) -> ShardedHistorySnapshot {
+        ShardedHistorySnapshot {
+            shards: (0..self.shards.len())
+                .map(|s| self.lock_shard(s).snapshot())
+                .collect(),
+        }
+    }
+
+    /// Serializes all shards as one flat entry list in global insertion
+    /// order. Storing the *merged* order (rather than per-shard lists)
+    /// makes the checkpoint shard-count independent: restoring with a
+    /// different `shards` value re-routes deterministically and
+    /// reproduces identical retrieval answers.
+    pub fn checkpoint(&self) -> ShardedCheckpoint {
+        let mut seqd: Vec<(u64, CheckpointEntry)> = Vec::new();
+        let mut shard_epochs = Vec::with_capacity(self.shards.len());
+        let mut max_cell = 1;
+        for s in 0..self.shards.len() {
+            let guard = self.lock_shard(s);
+            seqd.extend(guard.seq_entries());
+            shard_epochs.push(guard.epoch());
+            max_cell = guard.max_cell();
+        }
+        seqd.sort_by_key(|&(seq, _)| seq);
+        ShardedCheckpoint {
+            max_cell,
+            shard_epochs,
+            entries: seqd.into_iter().map(|(_, e)| e).collect(),
+        }
+    }
+
+    /// Rebuilds a sharded index from a checkpoint with `shards` shards
+    /// (not necessarily the checkpoint's count): entries are re-inserted
+    /// in global order — the deterministic router reassigns shards and
+    /// sequence numbers — and every shard is published once. Per-shard
+    /// epoch counters are restored positionally where the shard exists;
+    /// epoch numbering is journal bookkeeping and never affects query
+    /// answers.
+    pub fn restore(checkpoint: &ShardedCheckpoint, shards: usize) -> Self {
+        let idx = ShardedHistoricalIndex::new(shards, checkpoint.max_cell.max(1));
+        for ce in &checkpoint.entries {
+            idx.insert(ce.entry.clone(), ce.visible_from);
+        }
+        idx.publish_all();
+        for (s, &epoch) in checkpoint.shard_epochs.iter().enumerate() {
+            if s < idx.shard_count() && epoch > idx.epoch(s) {
+                idx.set_epoch(s, epoch);
+            }
+        }
+        idx
+    }
+}
+
+/// A serializable snapshot of a [`ShardedHistoricalIndex`]'s full state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedCheckpoint {
+    /// Spatial cell-split threshold to rebuild with.
+    pub max_cell: usize,
+    /// Per-shard published epoch numbers at checkpoint time (length =
+    /// the checkpointing index's shard count).
+    pub shard_epochs: Vec<u64>,
+    /// Every inserted entry, in *global* insertion order.
+    pub entries: Vec<CheckpointEntry>,
+}
+
+/// A sealed cross-shard read view of a [`ShardedHistoricalIndex`].
+#[derive(Debug, Clone)]
+pub struct ShardedHistorySnapshot {
+    shards: Vec<HistorySnapshot>,
+}
+
+impl ShardedHistorySnapshot {
+    /// Per-shard views (tests and diagnostics).
+    pub fn shard_views(&self) -> &[HistorySnapshot] {
+        &self.shards
+    }
+
+    /// Entries visible to a query at `at`, across shards.
+    pub fn visible_len(&self, at: SimTime) -> usize {
+        self.shards.iter().map(|s| s.visible_len(at)).sum()
+    }
+}
+
+impl HistoryView for ShardedHistorySnapshot {
+    /// Cross-shard top-`k` distinct-category merge, byte-identical to a
+    /// single [`HistorySnapshot`] over the same entries: shards are
+    /// visited best-bound-first, each contributes its exact per-category
+    /// representatives, and the running top-`k` is re-ranked by
+    /// `(similarity desc, global_seq asc)`. Once the next shard's bound
+    /// is strictly below the `k`-th similarity, every remaining shard is
+    /// skipped (their bounds are no larger).
+    fn top_k_diverse(
+        &self,
+        query_embedding: &[f32],
+        query_time: SimTime,
+        config: &RetrievalConfig,
+    ) -> Vec<Neighbor<'_>> {
+        // (shard, bound), best bound first; shard index breaks ties so
+        // the visit order — though not the answer — is deterministic.
+        let mut order: Vec<(usize, f64)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, snap)| {
+                (
+                    s,
+                    snap.best_bound(query_embedding, query_time, config.alpha),
+                )
+            })
+            .collect();
+        order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // (global_seq, similarity, shard, local index)
+        let mut reps: Vec<(u64, f64, usize, usize)> = Vec::new();
+        for (s, bound) in order {
+            if reps.len() >= config.k {
+                let kth = reps[config.k - 1].1;
+                if bound.total_cmp(&kth) == std::cmp::Ordering::Less {
+                    break;
+                }
+            }
+            reps.extend(
+                self.shards[s]
+                    .diverse_reps(query_embedding, query_time, config)
+                    .into_iter()
+                    .map(|(seq, sim, i)| (seq, sim, s, i)),
+            );
+            // Categories partition across shards, so representatives
+            // never collide: rank and cut to k directly.
+            reps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            reps.truncate(config.k);
+        }
+        reps.into_iter()
+            .map(|(_, sim, s, i)| Neighbor {
+                entry: &self.shards[s].entries.get(i).entry,
+                similarity: sim,
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(HistorySnapshot::len).sum()
     }
 }
 
@@ -712,6 +1128,141 @@ mod tests {
         let late = HistoryView::top_k_diverse(&snap, &[0.0], SimTime::from_days(60), &cfg);
         assert_eq!(late.len(), 2);
     }
+
+    #[test]
+    fn shard_router_is_stable_and_category_local() {
+        // Same category always lands in the same shard.
+        for cat in ["NetworkLatency", "DiskFailure", "AuthOutage", ""] {
+            for shards in [1usize, 2, 3, 8] {
+                let s = shard_for_category(cat, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for_category(cat, shards), "stable");
+            }
+            assert_eq!(shard_for_category(cat, 1), 0);
+            assert_eq!(shard_for_category(cat, 0), 0, "zero clamps to one shard");
+        }
+        // FNV-1a reference value ("a" hashes to the known constant).
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn sharded_index_matches_unsharded_queries_and_routing() {
+        let mut single = OnlineHistoricalIndex::new(4);
+        let sharded = ShardedHistoricalIndex::new(3, 4);
+        for i in 0..40usize {
+            let e = entry(
+                i,
+                &format!("Cat{}", i % 7),
+                (i as u64 * 13) % 300,
+                vec![(i % 5) as f32, (i % 3) as f32],
+            );
+            let vis = SimTime::from_days((i as u64 * 5) % 150);
+            single.insert(e.clone(), vis);
+            let s = sharded.insert(e.clone(), vis);
+            assert_eq!(
+                s,
+                sharded.route(&e.category),
+                "insert reports the routed shard"
+            );
+        }
+        single.publish();
+        sharded.publish_all();
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.poison_recoveries(), 0);
+        let (a, b) = (single.snapshot(), sharded.snapshot());
+        assert_eq!(b.shard_views().len(), 3);
+        let cfg = RetrievalConfig { k: 5, alpha: 0.3 };
+        for day in [0u64, 60, 200, 400] {
+            let at = SimTime::from_days(day);
+            assert_eq!(a.visible_len(at), b.visible_len(at));
+            for q in [[0.0f32, 0.0], [3.0, 1.0], [4.5, 2.0]] {
+                assert_eq!(
+                    HistoryView::top_k_diverse(&a, &q, at, &cfg),
+                    HistoryView::top_k_diverse(&b, &q, at, &cfg),
+                    "query {q:?} at day {day}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_across_shard_counts() {
+        let sharded = ShardedHistoricalIndex::new(4, 3);
+        for i in 0..30usize {
+            sharded.insert(
+                entry(
+                    i,
+                    &format!("Cat{}", i % 5),
+                    (i as u64 * 9) % 250,
+                    vec![(i % 6) as f32],
+                ),
+                SimTime::from_days((i as u64 * 2) % 80),
+            );
+            if i % 6 == 5 {
+                sharded.publish_all();
+            }
+        }
+        sharded.publish_all();
+        let ckpt = sharded.checkpoint();
+        assert_eq!(ckpt.entries.len(), sharded.len());
+        assert_eq!(ckpt.shard_epochs.len(), 4);
+        // Entries come out in global insertion order.
+        for (i, ce) in ckpt.entries.iter().enumerate() {
+            assert_eq!(ce.entry.id, i);
+        }
+        // The checkpoint survives a serde round trip (WAL requirement).
+        let json = serde_json::to_string(&ckpt).expect("serializable");
+        let back: ShardedCheckpoint = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, ckpt);
+        let cfg = RetrievalConfig { k: 4, alpha: 0.3 };
+        let reference = sharded.snapshot();
+        // Restore into the same, fewer and more shards: answers identical.
+        for target in [1usize, 2, 4, 8] {
+            let restored = ShardedHistoricalIndex::restore(&ckpt, target);
+            assert_eq!(restored.shard_count(), target);
+            assert_eq!(restored.len(), sharded.len());
+            let snap = restored.snapshot();
+            for day in [0u64, 40, 120, 300] {
+                let at = SimTime::from_days(day);
+                assert_eq!(
+                    HistoryView::top_k_diverse(&reference, &[1.0], at, &cfg),
+                    HistoryView::top_k_diverse(&snap, &[1.0], at, &cfg),
+                    "restored into {target} shards must answer identically at day {day}"
+                );
+            }
+        }
+        // Same-count restore also restores per-shard epoch counters.
+        let same = ShardedHistoricalIndex::restore(&ckpt, 4);
+        for s in 0..4 {
+            assert_eq!(same.epoch(s), sharded.epoch(s), "shard {s} epoch");
+        }
+    }
+
+    #[test]
+    fn sharded_insert_keeps_global_sequence_for_tie_breaks() {
+        // Identical embeddings and timestamps across categories: ranking
+        // is decided purely by insertion order, which must survive
+        // sharding even though the entries land in different shards.
+        let mut single = OnlineHistoricalIndex::new(2);
+        let sharded = ShardedHistoricalIndex::new(8, 2);
+        for i in 0..12usize {
+            let e = entry(100 - i, &format!("Cat{i}"), 10, vec![1.0, 1.0]);
+            single.insert(e.clone(), SimTime::EPOCH);
+            sharded.insert(e, SimTime::EPOCH);
+        }
+        single.publish();
+        sharded.publish_all();
+        let cfg = RetrievalConfig { k: 6, alpha: 0.0 };
+        let at = SimTime::from_days(10);
+        let (snap_a, snap_b) = (single.snapshot(), sharded.snapshot());
+        let a = HistoryView::top_k_diverse(&snap_a, &[1.0, 1.0], at, &cfg);
+        let b = HistoryView::top_k_diverse(&snap_b, &[1.0, 1.0], at, &cfg);
+        assert_eq!(a, b);
+        // All six similarities tie; order must be insertion order.
+        let ids: Vec<usize> = b.iter().map(|n| n.entry.id).collect();
+        assert_eq!(ids, vec![100, 99, 98, 97, 96, 95]);
+    }
 }
 
 #[cfg(test)]
@@ -773,7 +1324,7 @@ mod proptests {
         #[test]
         fn compaction_never_changes_query_results(
             k in 1usize..8,
-            alpha in 0.0f64..1.0,
+            alpha in 0.0f64..2.0,
             max_cell in 1usize..8,
             compact_every in 1usize..4,
             publish_every in 1usize..5,
@@ -820,7 +1371,7 @@ mod proptests {
         #[test]
         fn online_snapshot_equals_linear_scan(
             k in 1usize..8,
-            alpha in 0.0f64..1.0,
+            alpha in 0.0f64..2.0,
             max_cell in 1usize..10,
             query_day in 0u64..364,
             specs in proptest::collection::vec(
@@ -845,6 +1396,57 @@ mod proptests {
                 let a = linear.top_k_diverse(&q, at, &cfg);
                 let b = HistoryView::top_k_diverse(&snap, &q, at, &cfg);
                 prop_assert_eq!(a, b);
+            }
+        }
+
+        /// Sharding is invisible to queries: for any shard count, entry
+        /// cloud (duplicate embeddings stress the global-sequence
+        /// tie-break), visibility horizon, decay rate and query time, the
+        /// cross-shard bounded merge answers byte-identically — same
+        /// entries, same order, same similarities — to one unsharded
+        /// index over the same insertion sequence.
+        #[test]
+        fn sharded_equals_unsharded(
+            k in 1usize..8,
+            alpha in 0.0f64..2.0,
+            max_cell in 1usize..8,
+            shards in 1usize..9,
+            publish_every in 1usize..5,
+            query_day in 0u64..364,
+            specs in proptest::collection::vec(
+                (0u64..364, 0usize..6, 0i32..4, 0i32..4, 0u64..200), 1..50)
+        ) {
+            let mut single = OnlineHistoricalIndex::new(max_cell);
+            let sharded = ShardedHistoricalIndex::new(shards, max_cell);
+            for (i, &(day, cat, x, y, vis)) in specs.iter().enumerate() {
+                let e = HistoricalEntry {
+                    id: i,
+                    category: format!("Cat{cat}"),
+                    summary: String::new(),
+                    at: SimTime::from_days(day),
+                    // Small integer grid: plenty of exact ties.
+                    embedding: vec![x as f32, y as f32],
+                };
+                let visible = SimTime::from_days(vis);
+                single.insert(e.clone(), visible);
+                let s = sharded.insert(e, visible);
+                if (i + 1) % publish_every == 0 {
+                    single.publish();
+                    sharded.publish(s);
+                }
+            }
+            single.publish();
+            sharded.publish_all();
+            prop_assert_eq!(sharded.len(), single.len());
+            let cfg = RetrievalConfig { k, alpha };
+            let at = SimTime::from_days(query_day);
+            let (a, b) = (single.snapshot(), sharded.snapshot());
+            for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
+                prop_assert_eq!(
+                    HistoryView::top_k_diverse(&a, &q, at, &cfg),
+                    HistoryView::top_k_diverse(&b, &q, at, &cfg),
+                    "{} shards, query {:?}", sharded.shard_count(), q
+                );
             }
         }
     }

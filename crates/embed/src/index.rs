@@ -190,6 +190,11 @@ struct BucketItem {
     /// Insertion sequence number — the tie-break that keeps pruned
     /// queries byte-compatible with [`BruteForceIndex`]'s stable sort.
     seq: u64,
+    /// Timestamp in integer seconds ([`BucketedIndex::add_at`]; 0 for
+    /// plain [`BucketedIndex::add`]). Kept as an integer so the cell
+    /// time-range bounds below are *exact* — a float roundtrip could
+    /// overstate a Δt and wrongly prune a boundary entry.
+    t: u64,
     vector: Vec<f32>,
 }
 
@@ -205,6 +210,11 @@ struct Cell {
     /// distance from `centroid` to any item in the cell. Only grows on
     /// insert; splits recompute it exactly.
     radius: f32,
+    /// Earliest item timestamp in the cell (seconds; `u64::MAX` while
+    /// empty). Exact — maintained in integer arithmetic.
+    t_min: u64,
+    /// Latest item timestamp in the cell (seconds; 0 while empty).
+    t_max: u64,
     items: Arc<Vec<BucketItem>>,
 }
 
@@ -213,6 +223,8 @@ impl Cell {
         Cell {
             centroid,
             radius: 0.0,
+            t_min: u64::MAX,
+            t_max: 0,
             items: Arc::new(Vec::new()),
         }
     }
@@ -225,6 +237,9 @@ pub struct CellScan<'a> {
     /// Conservative lower bound (euclidean, padded for f32 rounding) on
     /// the distance from the query to *any* vector in this cell.
     pub lower_bound: f64,
+    /// Exact `[t_min, t_max]` timestamp range of the cell's items.
+    t_min: u64,
+    t_max: u64,
     items: &'a [BucketItem],
 }
 
@@ -232,6 +247,24 @@ impl CellScan<'_> {
     /// `(id, vector)` pairs of the cell, insertion order.
     pub fn items(&self) -> impl Iterator<Item = (u64, &[f32])> {
         self.items.iter().map(|it| (it.id, it.vector.as_slice()))
+    }
+
+    /// Exact lower bound, in integer seconds, on `|t − item.t|` over the
+    /// cell's items: 0 when `t` falls inside the cell's time range,
+    /// otherwise the distance to the nearest endpoint. Feeding this
+    /// through the same seconds→days conversion the per-entry similarity
+    /// uses yields a temporal-decay *upper* bound that is safe against
+    /// float rounding (both paths are monotone in the integer Δt).
+    pub fn min_abs_dt_secs(&self, t: u64) -> u64 {
+        if self.t_min > self.t_max {
+            // Empty cell: report an infinite gap so decay bounds it to ~0.
+            return u64::MAX;
+        }
+        if t < self.t_min {
+            self.t_min - t
+        } else {
+            t.saturating_sub(self.t_max)
+        }
     }
 }
 
@@ -300,13 +333,26 @@ impl BucketedIndex {
         self.cells.len()
     }
 
-    /// Adds a vector under `id`, splitting the receiving cell if it
-    /// outgrows the threshold.
+    /// Adds a vector under `id` with timestamp 0 (no temporal metadata);
+    /// see [`add_at`](BucketedIndex::add_at).
     ///
     /// # Panics
     ///
     /// Panics if `vector`'s dimension differs from previously added ones.
     pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        self.add_at(id, vector, 0);
+    }
+
+    /// Adds a vector under `id` stamped with `t_secs`, splitting the
+    /// receiving cell if it outgrows the threshold. The timestamp feeds
+    /// each cell's exact `[t_min, t_max]` range, which
+    /// [`CellScan::min_abs_dt_secs`] exposes so temporal-decay searches
+    /// can skip cells that are too *old* as well as too far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector`'s dimension differs from previously added ones.
+    pub fn add_at(&mut self, id: u64, vector: Vec<f32>, t_secs: u64) {
         if let Some(first) = self.cells.first() {
             assert_eq!(first.centroid.len(), vector.len(), "dimension mismatch");
         }
@@ -327,7 +373,14 @@ impl BucketedIndex {
         let cell = &mut self.cells[best];
         let dist = d2(&cell.centroid, &vector).sqrt();
         cell.radius = cell.radius.max(dist);
-        Arc::make_mut(&mut cell.items).push(BucketItem { id, seq, vector });
+        cell.t_min = cell.t_min.min(t_secs);
+        cell.t_max = cell.t_max.max(t_secs);
+        Arc::make_mut(&mut cell.items).push(BucketItem {
+            id,
+            seq,
+            t: t_secs,
+            vector,
+        });
         if self.cells[best].items.len() > self.max_cell {
             self.split_cell(best);
         }
@@ -377,6 +430,8 @@ impl BucketedIndex {
                 let pad = c.radius as f64 * (1.0 + RADIUS_PAD) + RADIUS_PAD;
                 CellScan {
                     lower_bound: (dc - pad).max(0.0),
+                    t_min: c.t_min,
+                    t_max: c.t_max,
                     items: &c.items,
                 }
             })
@@ -508,9 +563,13 @@ fn rebuild_cell(centroid: Vec<f32>, items: Vec<BucketItem>) -> Cell {
         .iter()
         .map(|it| d2(&it.vector, &centroid).sqrt())
         .fold(0.0f32, f32::max);
+    let t_min = items.iter().map(|it| it.t).min().unwrap_or(u64::MAX);
+    let t_max = items.iter().map(|it| it.t).max().unwrap_or(0);
     Cell {
         centroid,
         radius,
+        t_min,
+        t_max,
         items: Arc::new(items),
     }
 }
@@ -568,6 +627,12 @@ impl EpochIndex {
     /// the next [`publish`](EpochIndex::publish).
     pub fn add(&mut self, id: u64, vector: Vec<f32>) {
         self.working.add(id, vector);
+    }
+
+    /// Like [`add`](EpochIndex::add), stamped with `t_secs` for the
+    /// cells' temporal bounds (see [`BucketedIndex::add_at`]).
+    pub fn add_at(&mut self, id: u64, vector: Vec<f32>, t_secs: u64) {
+        self.working.add_at(id, vector, t_secs);
     }
 
     /// Vectors in the working set (published or not).
@@ -873,6 +938,41 @@ mod tests {
             total += s.items().count();
         }
         assert_eq!(total, idx.len());
+    }
+
+    #[test]
+    fn temporal_ranges_survive_splits_and_compaction() {
+        // Small threshold forces splits; every cell's [t_min, t_max]
+        // must always cover exactly its own items.
+        let check = |idx: &BucketedIndex| {
+            for scan in idx.prune_scan(&[0.0, 0.0]) {
+                let ts: Vec<u64> = scan.items.iter().map(|it| it.t).collect();
+                assert!(!ts.is_empty(), "no empty cells expected");
+                assert_eq!(scan.t_min, *ts.iter().min().unwrap());
+                assert_eq!(scan.t_max, *ts.iter().max().unwrap());
+            }
+        };
+        let mut idx = BucketedIndex::new(3);
+        for (id, v) in cluster_data() {
+            idx.add_at(id, v, id * 86_400 % 1_000_000);
+            check(&idx);
+        }
+        assert!(idx.cell_count() > 1);
+        check(&idx.compacted());
+    }
+
+    #[test]
+    fn min_abs_dt_secs_is_exact_distance_to_the_time_range() {
+        let mut idx = BucketedIndex::new(8);
+        idx.add_at(0, vec![0.0], 100);
+        idx.add_at(1, vec![0.1], 500);
+        let scans = idx.prune_scan(&[0.0]);
+        assert_eq!(scans.len(), 1);
+        assert_eq!(scans[0].min_abs_dt_secs(40), 60);
+        assert_eq!(scans[0].min_abs_dt_secs(100), 0);
+        assert_eq!(scans[0].min_abs_dt_secs(300), 0);
+        assert_eq!(scans[0].min_abs_dt_secs(500), 0);
+        assert_eq!(scans[0].min_abs_dt_secs(720), 220);
     }
 }
 

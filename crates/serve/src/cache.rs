@@ -6,27 +6,39 @@
 //! 64-bit FNV-1a content hash — a cache hit returns the exact value a
 //! recomputation would, which keeps the engine's output independent of
 //! hit/miss patterns (and therefore of worker scheduling).
+//!
+//! The cache is sharded N-way by key (matching the retrieval plane's
+//! shard count) so concurrent workers memoizing different incidents do
+//! not serialize on one global lock, and every lock site goes through
+//! [`supervisor::lock_recovered`](crate::supervisor::lock_recovered): a
+//! guard poisoned by a dying worker is recovered and counted in
+//! [`FaultCounters`] instead of cascading. Recovery is sound here because
+//! every cached value is a pure function of its key — the map is
+//! consistent no matter where a panicking worker died (at worst one
+//! counter bump or one insert is lost, costing only a recomputation).
 
+use crate::supervisor::lock_recovered;
+use crate::vmetrics::FaultCounters;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// 64-bit FNV-1a hash of a byte string.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// One FNV-1a definition serves both planes: the retrieval router and the
+// memo caches must agree with historical hashes byte-for-byte.
+pub use rcacopilot_core::retrieval::fnv1a;
 
-/// Thread-safe memoization cache keyed by content hash.
+/// Thread-safe memoization cache, sharded by key.
 ///
 /// Values must be pure functions of the hashed content; the cache then
 /// never changes observable results, only the work done to produce them.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoCache<V: Clone> {
-    inner: Mutex<MemoInner<V>>,
+    shards: Vec<Mutex<MemoInner<V>>>,
+}
+
+impl<V: Clone> Default for MemoCache<V> {
+    fn default() -> Self {
+        MemoCache::new(1)
+    }
 }
 
 #[derive(Debug)]
@@ -47,29 +59,36 @@ impl<V> Default for MemoInner<V> {
 }
 
 impl<V: Clone> MemoCache<V> {
-    /// An empty cache.
-    pub fn new() -> Self {
+    /// An empty cache with `shards` lock domains (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
         MemoCache {
-            inner: Mutex::new(MemoInner::default()),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(MemoInner::default()))
+                .collect(),
         }
     }
 
-    /// Locks the cache, recovering a poisoned guard: every cached value
-    /// is a pure function of its key, so the map is consistent no matter
-    /// where a panicking worker died (a poisoned guard can at worst lose
-    /// one counter bump or one insert, both of which only cost a
-    /// recomputation).
-    fn lock(&self) -> std::sync::MutexGuard<'_, MemoInner<V>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Number of lock domains.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<MemoInner<V>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
     /// Returns the cached value for `key`, computing and inserting it via
     /// `compute` on a miss. The lock is *not* held during `compute`; on a
     /// race the first insert wins and later computations are discarded,
     /// which is harmless because `compute` is pure.
-    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+    pub fn get_or_insert_with(
+        &self,
+        key: u64,
+        counters: &FaultCounters,
+        compute: impl FnOnce() -> V,
+    ) -> V {
         {
-            let mut inner = self.lock();
+            let mut inner = lock_recovered(self.shard(key), counters);
             if let Some(v) = inner.map.get(&key) {
                 let v = v.clone();
                 inner.hits += 1;
@@ -78,25 +97,30 @@ impl<V: Clone> MemoCache<V> {
             inner.misses += 1;
         }
         let v = compute();
-        let mut inner = self.lock();
+        let mut inner = lock_recovered(self.shard(key), counters);
         inner.map.entry(key).or_insert_with(|| v.clone());
         inner.map[&key].clone()
     }
 
-    /// `(hits, misses)` counters since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        let inner = self.lock();
-        (inner.hits, inner.misses)
+    /// `(hits, misses)` counters since construction, summed over shards.
+    pub fn stats(&self, counters: &FaultCounters) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let inner = lock_recovered(shard, counters);
+            (h + inner.hits, m + inner.misses)
+        })
     }
 
-    /// Number of distinct cached entries.
-    pub fn len(&self) -> usize {
-        self.lock().map.len()
+    /// Number of distinct cached entries across shards.
+    pub fn len(&self, counters: &FaultCounters) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| lock_recovered(shard, counters).map.len())
+            .sum()
     }
 
     /// True when nothing has been cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    pub fn is_empty(&self, counters: &FaultCounters) -> bool {
+        self.len(counters) == 0
     }
 }
 
@@ -114,40 +138,90 @@ mod tests {
 
     #[test]
     fn cache_computes_once_per_key() {
-        let cache = MemoCache::new();
+        let counters = FaultCounters::default();
+        let cache = MemoCache::new(1);
         let mut calls = 0;
-        let a = cache.get_or_insert_with(1, || {
+        let a = cache.get_or_insert_with(1, &counters, || {
             calls += 1;
             "v1".to_string()
         });
-        let b = cache.get_or_insert_with(1, || {
+        let b = cache.get_or_insert_with(1, &counters, || {
             calls += 1;
             "other".to_string()
         });
         assert_eq!(a, "v1");
         assert_eq!(b, "v1");
         assert_eq!(calls, 1);
-        assert_eq!(cache.stats(), (1, 1));
-        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(&counters), (1, 1));
+        assert_eq!(cache.len(&counters), 1);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_but_answers_identically() {
+        let counters = FaultCounters::default();
+        let cache = MemoCache::new(4);
+        assert_eq!(cache.shard_count(), 4);
+        for key in 0..32u64 {
+            assert_eq!(
+                cache.get_or_insert_with(key, &counters, || key * 3),
+                key * 3
+            );
+        }
+        assert_eq!(cache.len(&counters), 32);
+        // Re-reads hit regardless of which shard holds the key.
+        for key in 0..32u64 {
+            assert_eq!(cache.get_or_insert_with(key, &counters, || 0), key * 3);
+        }
+        assert_eq!(cache.stats(&counters), (32, 32));
+        // Keys landed in more than one lock domain.
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !lock_recovered(s, &counters).map.is_empty())
+            .count();
+        assert!(
+            populated > 1,
+            "expected keys across shards, got {populated}"
+        );
+        // Zero shards clamps rather than panics.
+        assert_eq!(MemoCache::<u64>::new(0).shard_count(), 1);
     }
 
     #[test]
     fn cache_is_usable_across_threads() {
-        let cache = MemoCache::new();
+        let counters = FaultCounters::default();
+        let cache = MemoCache::new(4);
         std::thread::scope(|s| {
             for t in 0..4 {
-                let cache = &cache;
+                let (cache, counters) = (&cache, &counters);
                 s.spawn(move || {
                     for i in 0..50u64 {
-                        let v = cache.get_or_insert_with(i % 10, || (i % 10) * 2);
+                        let v = cache.get_or_insert_with(i % 10, counters, || (i % 10) * 2);
                         assert_eq!(v, (i % 10) * 2, "thread {t}");
                     }
                 });
             }
         });
-        assert_eq!(cache.len(), 10);
-        let (hits, misses) = cache.stats();
+        assert_eq!(cache.len(&counters), 10);
+        let (hits, misses) = cache.stats(&counters);
         assert_eq!(hits + misses, 200);
         assert!(misses >= 10);
+    }
+
+    #[test]
+    fn poisoned_shard_is_recovered_and_counted() {
+        let counters = FaultCounters::default();
+        let cache = std::sync::Arc::new(MemoCache::new(1));
+        cache.get_or_insert_with(7, &counters, || 7u64);
+        // Poison the only shard lock by panicking while holding it.
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("worker dies holding the memo lock");
+        })
+        .join();
+        // The cache still answers, and the recovery is observable.
+        assert_eq!(cache.get_or_insert_with(7, &counters, || 0), 7);
+        assert!(FaultCounters::get(&counters.poison_recoveries) >= 1);
     }
 }

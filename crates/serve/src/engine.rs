@@ -41,12 +41,13 @@ use crate::supervisor::{
 };
 use crate::vmetrics::{simulate_pool, ExecStats, FaultCounters, VirtualHistogram, VirtualJob};
 use crate::wal::{Recovery, WalError, WalRecord, WriteAheadLog};
-use rcacopilot_core::retrieval::{CheckpointEntry, OnlineHistoricalIndex};
+use rcacopilot_core::retrieval::{CheckpointEntry, ShardedHistoricalIndex};
 use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
 use rcacopilot_simcloud::Incident;
 use rcacopilot_telemetry::{AlertType, Severity, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -79,6 +80,12 @@ pub struct EngineConfig {
     pub cost_seed: u64,
     /// Bucket split threshold of the online index.
     pub max_cell: usize,
+    /// Retrieval-index shards (≥ 1). Entries route to a shard by a
+    /// stable hash of their category, each shard owns its own lock and
+    /// epoch state, and the cross-shard merge preserves exact scores and
+    /// tie order — the prediction log is byte-identical for every shard
+    /// count. The memo caches shard to the same width.
+    pub shards: usize,
     /// Prompt-context configuration (must match the batch pipeline's for
     /// parity).
     pub spec: ContextSpec,
@@ -106,6 +113,7 @@ impl Default for EngineConfig {
             admission: AdmissionConfig::default(),
             cost_seed: 11,
             max_cell: 64,
+            shards: 1,
             spec: ContextSpec::default(),
             faults: WorkerFaultConfig::disabled(),
             crash_at: None,
@@ -113,6 +121,19 @@ impl Default for EngineConfig {
             compact_epochs: 0,
         }
     }
+}
+
+/// An on-call engineer's correction of a served prediction, to be
+/// journaled via [`ServeEngine::ingest_feedback`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OceFeedback {
+    /// The category the OCE determined to be correct.
+    pub category: String,
+    /// The OCE's corrected root-cause summary.
+    pub summary: String,
+    /// Virtual instant the correction was filed — the corrected entry's
+    /// `visible_from` watermark, so earlier queries never see it.
+    pub corrected_at: SimTime,
 }
 
 /// What happened to one stream event.
@@ -245,7 +266,7 @@ struct RunCtx<'a> {
     events: &'a [StreamEvent],
     plan: &'a AdmissionPlan,
     resolve: &'a [Option<SimTime>],
-    online: Option<&'a Mutex<OnlineHistoricalIndex>>,
+    online: Option<&'a ShardedHistoricalIndex>,
     caches: &'a Caches,
     counters: &'a FaultCounters,
 }
@@ -254,7 +275,7 @@ struct RunCtx<'a> {
 /// WAL. Owned by [`advance`], which runs under the commit-state lock, so
 /// journal order always equals commit order.
 struct CommitSink<'a> {
-    online: Option<&'a Mutex<OnlineHistoricalIndex>>,
+    online: Option<&'a ShardedHistoricalIndex>,
     wal: Option<&'a Mutex<&'a mut WriteAheadLog>>,
     checkpoint_every: usize,
     counters: &'a FaultCounters,
@@ -341,6 +362,36 @@ impl ServeEngine {
         Ok(self.run_internal(incidents, stream_config, Some(wal), recovery))
     }
 
+    /// Journals an on-call engineer's correction of a served prediction:
+    /// the original entry's identity, arrival time and embedding with the
+    /// OCE's corrected category and summary, visible to queries from the
+    /// correction instant onward. The next [`ServeEngine::run_with_wal`]
+    /// over the journal replays the correction into the corrected
+    /// category's shard alongside the committed entries — starting the
+    /// feedback-ingestion loop the batch pipeline's `FeedbackStore` only
+    /// records. Returns the corrected entry as journaled.
+    pub fn ingest_feedback(
+        &self,
+        wal: &mut WriteAheadLog,
+        original: &HistoricalEntry,
+        feedback: &OceFeedback,
+    ) -> HistoricalEntry {
+        let corrected = HistoricalEntry {
+            id: original.id,
+            category: feedback.category.clone(),
+            summary: feedback.summary.clone(),
+            at: original.at,
+            embedding: original.embedding.clone(),
+        };
+        wal.append(&WalRecord::Feedback {
+            entry: CheckpointEntry {
+                entry: corrected.clone(),
+                visible_from: feedback.corrected_at,
+            },
+        });
+        corrected
+    }
+
     fn run_internal(
         &self,
         incidents: &[Incident],
@@ -401,36 +452,46 @@ impl ServeEngine {
         let ledger = AttemptLedger::new(n, &self.config.faults);
         let retry = RetryQueue::new();
 
-        let online: Option<Mutex<OnlineHistoricalIndex>> = match self.config.index_mode {
+        let shards = self.config.shards.max(1);
+        let online: Option<ShardedHistoricalIndex> = match self.config.index_mode {
             IndexMode::Frozen => None,
             IndexMode::Online => {
-                let mut idx = match &recovery.checkpoint {
-                    Some(ckpt) => OnlineHistoricalIndex::restore(ckpt),
-                    None => OnlineHistoricalIndex::warm(
+                let idx = match &recovery.checkpoint {
+                    // A checkpoint restores into *this* run's shard
+                    // count: entries re-route deterministically, so the
+                    // answers (and the log) don't depend on the crashed
+                    // run's count.
+                    Some(ckpt) => ShardedHistoricalIndex::restore(ckpt, shards),
+                    None => ShardedHistoricalIndex::warm(
                         self.copilot.index().entries(),
+                        shards,
                         self.config.max_cell,
                     ),
                 };
-                // Re-apply commits journaled after the last checkpoint,
-                // in commit order, and publish them as one epoch: batch
+                // Re-apply entries journaled after the last checkpoint —
+                // commits and feedback corrections, in journal order —
+                // and publish each touched shard once: epoch-batch
                 // boundaries are immaterial because visibility is
                 // filtered per query by `visible_from`.
-                if !recovery.entries.is_empty() {
-                    for ce in &recovery.entries {
-                        idx.insert(ce.entry.clone(), ce.visible_from);
-                    }
-                    idx.publish();
+                let mut dirty = BTreeSet::new();
+                for ce in &recovery.entries {
+                    dirty.insert(idx.insert(ce.entry.clone(), ce.visible_from));
+                }
+                for shard in dirty {
+                    idx.publish(shard);
                 }
                 idx.set_compaction_interval(self.config.compact_epochs);
-                if recovery.epoch > idx.epoch() {
-                    idx.set_epoch(recovery.epoch);
+                for (&shard, &epoch) in &recovery.shard_epochs {
+                    if shard < idx.shard_count() && epoch > idx.epoch(shard) {
+                        idx.set_epoch(shard, epoch);
+                    }
                 }
-                Some(Mutex::new(idx))
+                Some(idx)
             }
         };
         let caches = Caches {
-            summary: MemoCache::new(),
-            embed: MemoCache::new(),
+            summary: MemoCache::new(shards),
+            embed: MemoCache::new(shards),
         };
         let ctx = RunCtx {
             incidents,
@@ -726,7 +787,9 @@ impl ServeEngine {
             } else {
                 ctx.caches
                     .summary
-                    .get_or_insert_with(content, || self.copilot.summarizer().summarize(&raw_diag))
+                    .get_or_insert_with(content, ctx.counters, || {
+                        self.copilot.summarizer().summarize(&raw_diag)
+                    })
             }
         } else {
             String::new()
@@ -740,7 +803,9 @@ impl ServeEngine {
         let query = ctx
             .caches
             .embed
-            .get_or_insert_with(content, || self.copilot.embed_scaled(&raw_diag));
+            .get_or_insert_with(content, ctx.counters, || {
+                self.copilot.embed_scaled(&raw_diag)
+            });
         let retrieval = &self.copilot.config().retrieval;
         let prediction = match ctx.online {
             None => self.copilot.predict_from_query(
@@ -752,7 +817,7 @@ impl ServeEngine {
                 &collected.run.degradation,
             ),
             Some(online) => {
-                let snapshot = lock_recovered(online, ctx.counters).snapshot();
+                let snapshot = online.snapshot();
                 self.copilot.predict_from_query(
                     &snapshot,
                     &query,
@@ -801,7 +866,7 @@ impl ServeEngine {
         events: &[StreamEvent],
         costs: &[StageCosts],
         plan: &AdmissionPlan,
-        online: Option<&Mutex<OnlineHistoricalIndex>>,
+        online: Option<&ShardedHistoricalIndex>,
         caches: &Caches,
         counters: &FaultCounters,
         peak_queue: usize,
@@ -836,8 +901,15 @@ impl ServeEngine {
             });
         }
         let exec = simulate_pool(&jobs, self.config.workers.max(1));
-        let (sum_hits, sum_misses) = caches.summary.stats();
-        let (emb_hits, emb_misses) = caches.embed.stats();
+        let (sum_hits, sum_misses) = caches.summary.stats(counters);
+        let (emb_hits, emb_misses) = caches.embed.stats(counters);
+        // Fold the index's internally recovered shard locks into the
+        // run's fault counters before rendering them.
+        if let Some(o) = online {
+            counters
+                .poison_recoveries
+                .fetch_add(o.poison_recoveries(), Ordering::Relaxed);
+        }
         let report = json!({
             "engine": {
                 "workers": self.config.workers,
@@ -847,6 +919,7 @@ impl ServeEngine {
                     IndexMode::Online => "online",
                 },
                 "cost_seed": self.config.cost_seed,
+                "shards": self.config.shards.max(1),
             },
             "stream": {
                 "events": events.len(),
@@ -874,8 +947,7 @@ impl ServeEngine {
             },
             "faults": counters.to_json(),
             "queue": { "peak_depth": peak_queue },
-            "online_index_len": online
-                .map(|o| lock_recovered(o, counters).len()),
+            "online_index_len": online.map(ShardedHistoricalIndex::len),
         });
         ServeOutcome {
             records,
@@ -902,10 +974,11 @@ fn commit(env: &WorkerEnv<'_>, i: usize, slot: Slot) {
 
 /// Advances the commit watermark over contiguous finished slots —
 /// journaling each commit, inserting online entries in commit order
-/// (publishing one epoch per batch), and folding the WAL into a
+/// (publishing one epoch per *touched shard* per batch, journaled as
+/// shard-tagged [`WalRecord::Epoch`]s), and folding the WAL into a
 /// checkpoint on the configured cadence.
 fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
-    let mut inserted = false;
+    let mut dirty: BTreeSet<usize> = BTreeSet::new();
     while st.next < st.slots.len() {
         let Some(slot) = st.slots[st.next].as_mut() else {
             break;
@@ -923,17 +996,19 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
         }
         if let Some((entry, visible_from)) = entry {
             if let Some(online) = sink.online {
-                lock_recovered(online, sink.counters).insert(entry, visible_from);
-                inserted = true;
+                dirty.insert(online.insert(entry, visible_from));
             }
         }
         st.next += 1;
     }
-    if inserted {
-        if let Some(online) = sink.online {
-            let epoch = lock_recovered(online, sink.counters).publish();
+    if let Some(online) = sink.online {
+        // Publish touched shards in index order; untouched shards keep
+        // their epoch (no epoch churn from unrelated commits).
+        for shard in dirty {
+            let epoch = online.publish(shard);
             if let Some(wal) = sink.wal {
                 lock_recovered(wal, sink.counters).append(&WalRecord::Epoch {
+                    shard,
                     epoch,
                     committed: st.next,
                 });
@@ -954,9 +1029,7 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
                         .clone()
                 })
                 .collect();
-            let index = sink
-                .online
-                .map(|o| lock_recovered(o, sink.counters).checkpoint());
+            let index = sink.online.map(ShardedHistoricalIndex::checkpoint);
             wal.install_checkpoint(records, index);
         }
     }

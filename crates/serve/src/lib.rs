@@ -15,11 +15,18 @@
 //!   token bucket sheds low-severity alerts first during storms and
 //!   degrades summarization under pressure, priced by an ex-ante cost
 //!   model ([`cost`]) that reads only alert metadata.
-//! - **Incremental history**: in [`engine::IndexMode::Online`] each
-//!   incident joins the retrieval index when it *resolves*, through
+//! - **Sharded incremental history**: in [`engine::IndexMode::Online`]
+//!   each incident joins the retrieval index when it *resolves*, through
 //!   epoch-snapshotted read views, so the stream learns from itself
 //!   without ever letting an unresolved (or future) incident leak into a
-//!   prompt.
+//!   prompt. The index is split into per-category shards
+//!   (`EngineConfig::shards`), each with its own lock and epoch state;
+//!   a bound-ordered cross-shard merge keeps the prediction log
+//!   byte-identical to the single-lock plane for any shard count, and
+//!   the FNV memo caches ([`cache`]) shard to the same width. OCE
+//!   corrections re-enter the index via
+//!   [`engine::ServeEngine::ingest_feedback`], journaled and replayed
+//!   with a visibility watermark.
 //! - **Virtual-time metrics** ([`vmetrics`]): per-stage latency
 //!   histograms, queue depths and throughput come from a deterministic
 //!   discrete-event simulation of the worker pool on the stream's own
@@ -40,10 +47,12 @@
 //!   are recovered, not fatal. An event that keeps killing workers is
 //!   quarantined as a poison pill with a dead-letter
 //!   [`engine::EventOutcome::Failed`] record.
-//! - **Write-ahead log** ([`wal`]): commits and index epochs are
-//!   journaled (with periodic checkpoint folding) so an engine killed
-//!   mid-stream resumes — via [`engine::ServeEngine::run_with_wal`] —
-//!   with a prediction log byte-identical to an uninterrupted run.
+//! - **Write-ahead log** ([`wal`]): commits, shard-tagged index epochs
+//!   and feedback corrections are journaled (with periodic checkpoint
+//!   folding) so an engine killed mid-stream resumes — via
+//!   [`engine::ServeEngine::run_with_wal`] — with a prediction log
+//!   byte-identical to an uninterrupted run, even when the resumed run
+//!   uses a different shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,7 +70,9 @@ pub mod wal;
 pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
 pub use cache::MemoCache;
 pub use cost::StageCosts;
-pub use engine::{EngineConfig, EventOutcome, EventRecord, IndexMode, ServeEngine, ServeOutcome};
+pub use engine::{
+    EngineConfig, EventOutcome, EventRecord, IndexMode, OceFeedback, ServeEngine, ServeOutcome,
+};
 pub use fault::{PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
 pub use supervisor::{AttemptLedger, RetryQueue, Verdict};

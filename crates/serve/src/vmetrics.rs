@@ -232,6 +232,75 @@ pub fn simulate_pool(jobs: &[VirtualJob], workers: usize) -> ExecStats {
     }
 }
 
+/// One retrieval-plane operation for the shard-lock simulation: an
+/// index lookup or insert that must hold one shard's lock while served.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardOp {
+    /// Arrival instant (virtual seconds since stream epoch).
+    pub arrival_secs: u64,
+    /// Lock-hold / service demand (virtual seconds).
+    pub service_secs: u64,
+    /// Shard whose lock the operation needs.
+    pub shard: usize,
+}
+
+/// Simulates `requesters` FCFS request threads driving `shards`
+/// single-holder shard locks over `ops` (sorted by arrival; ties keep
+/// slice order). A request occupies its requester *and* its op's shard
+/// lock for the full service window — a thread blocks on the mutex it
+/// needs — so with one shard every operation serializes (the old
+/// single-mutex retrieval plane) and with more shards only same-shard
+/// operations contend. Deterministic: the earliest-free requester takes
+/// the next op in arrival order.
+pub fn simulate_shard_locks(ops: &[ShardOp], requesters: usize, shards: usize) -> ExecStats {
+    let shards = shards.max(1);
+    let requesters = requesters.max(1);
+    let mut free: BinaryHeap<Reverse<u64>> = (0..requesters).map(|_| Reverse(0u64)).collect();
+    let mut shard_free = vec![0u64; shards];
+    let mut waits = VirtualHistogram::new();
+    let mut latencies = VirtualHistogram::new();
+    let mut starts: Vec<u64> = Vec::with_capacity(ops.len());
+    let mut last_finish = 0u64;
+    for op in ops {
+        let Reverse(free_at) = free.pop().expect("requester heap never empty");
+        let lock_free = shard_free[op.shard % shards];
+        let start = free_at.max(op.arrival_secs).max(lock_free);
+        let finish = start + op.service_secs;
+        free.push(Reverse(finish));
+        shard_free[op.shard % shards] = finish;
+        starts.push(start);
+        waits.record(start - op.arrival_secs);
+        latencies.record(finish - op.arrival_secs);
+        last_finish = last_finish.max(finish);
+    }
+    // Peak backlog: same sweep as `simulate_pool` — starts sort before
+    // arrivals at equal instants so an unqueued op never counts.
+    let mut deltas: Vec<(u64, i32, i32)> = Vec::with_capacity(ops.len() * 2);
+    for (op, &start) in ops.iter().zip(&starts) {
+        deltas.push((op.arrival_secs, 1, 1));
+        deltas.push((start, 0, -1));
+    }
+    deltas.sort_unstable();
+    let mut depth = 0i32;
+    let mut peak = 0i32;
+    for (_, _, d) in deltas {
+        depth += d;
+        peak = peak.max(depth);
+    }
+    let makespan = if ops.is_empty() {
+        0
+    } else {
+        last_finish.saturating_sub(ops[0].arrival_secs)
+    };
+    ExecStats {
+        waits,
+        latencies,
+        makespan_secs: makespan,
+        peak_queue_depth: peak.max(0) as usize,
+        completed: ops.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +369,50 @@ mod tests {
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.makespan_secs, 0);
         assert_eq!(stats.throughput_per_hour(), 0.0);
+        let shard_stats = simulate_shard_locks(&[], 4, 4);
+        assert_eq!(shard_stats.completed, 0);
+        assert_eq!(shard_stats.throughput_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn one_shard_serializes_like_a_single_lock() {
+        // Plenty of requesters, one lock: everything serializes.
+        let ops: Vec<ShardOp> = (0..10)
+            .map(|i| ShardOp {
+                arrival_secs: 0,
+                service_secs: 10,
+                shard: i % 4,
+            })
+            .collect();
+        let single = simulate_shard_locks(&ops, 8, 1);
+        assert_eq!(single.makespan_secs, 100, "one lock ⇒ sequential");
+        // Four shards, round-robin ops: perfect 4-way split.
+        let quad = simulate_shard_locks(&ops, 8, 4);
+        assert_eq!(quad.makespan_secs, 30, "ceil(10/4) ops per shard × 10s");
+        assert!(quad.throughput_per_hour() > single.throughput_per_hour());
+    }
+
+    #[test]
+    fn more_shards_never_hurt_lock_throughput() {
+        let ops: Vec<ShardOp> = (0..60)
+            .map(|i| ShardOp {
+                arrival_secs: (i / 6) * 5,
+                service_secs: 8 + (i % 5) * 3,
+                shard: ((i * 7 + 3) % 8) as usize,
+            })
+            .collect();
+        let mut prev_makespan = u64::MAX;
+        for shards in [1usize, 2, 4, 8] {
+            let stats = simulate_shard_locks(&ops, 12, shards);
+            assert_eq!(stats.completed, ops.len());
+            assert!(
+                stats.makespan_secs <= prev_makespan,
+                "{shards} shards regressed the makespan"
+            );
+            prev_makespan = stats.makespan_secs;
+        }
+        // Shard indices outside the shard count wrap instead of panicking.
+        let wrapped = simulate_shard_locks(&ops, 12, 3);
+        assert_eq!(wrapped.completed, ops.len());
     }
 }

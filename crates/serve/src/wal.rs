@@ -3,10 +3,11 @@
 //! An on-call RCA service must survive being killed mid-stream: redeploys,
 //! OOM kills and node failures all land during exactly the incident storms
 //! the service exists for. The engine therefore journals its durable
-//! state transitions — in-order event commits and online-index epoch
-//! publishes — as JSON lines, and periodically folds the journal into a
-//! single [`WalRecord::Checkpoint`] carrying the committed records plus a
-//! serialized [`EpochCheckpoint`] of the retrieval index.
+//! state transitions — in-order event commits, per-shard online-index
+//! epoch publishes and OCE feedback corrections — as JSON lines, and
+//! periodically folds the journal into a single [`WalRecord::Checkpoint`]
+//! carrying the committed records plus a serialized [`ShardedCheckpoint`]
+//! of the retrieval index.
 //!
 //! **Recovery invariant**: a run resumed from a WAL produces a prediction
 //! log byte-identical to the uninterrupted run, for any worker count and
@@ -17,9 +18,14 @@
 //! 2. The JSON shim prints `f64` with shortest-round-trip formatting, so
 //!    every confidence/completeness survives the round trip exactly and
 //!    re-rendered [`EventRecord::log_line`]s are byte-identical.
-//! 3. Recovery re-inserts index entries in commit order and publishes
-//!    once; epoch-batch boundaries are immaterial to retrieval because
-//!    visibility is filtered per query by `visible_from`.
+//! 3. Recovery re-inserts index entries in commit order — the
+//!    deterministic category router reassigns shards and global sequence
+//!    numbers identically — and publishes every shard once; epoch-batch
+//!    boundaries are immaterial to retrieval because visibility is
+//!    filtered per query by `visible_from`. A checkpoint therefore
+//!    restores correctly into *any* shard count, and [`WalRecord::Epoch`]
+//!    records are tagged with the shard they published purely for
+//!    journal/epoch-counter continuity.
 //!
 //! The log is an in-memory line buffer (the repository's serving plane is
 //! a simulation; durability to disk is one `write` of
@@ -28,8 +34,9 @@
 //! corruption anywhere else.
 
 use crate::engine::EventRecord;
-use rcacopilot_core::retrieval::{CheckpointEntry, EpochCheckpoint};
+use rcacopilot_core::retrieval::{CheckpointEntry, ShardedCheckpoint};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One journaled state transition.
@@ -46,12 +53,22 @@ pub enum WalRecord {
         /// Index entry inserted at this commit, if any.
         entry: Option<CheckpointEntry>,
     },
-    /// The online index published epoch `epoch` after commit `committed`.
+    /// Shard `shard` of the online index published epoch `epoch` after
+    /// commit `committed`.
     Epoch {
-        /// Published epoch number.
+        /// Shard that published.
+        shard: usize,
+        /// The shard's published epoch number.
         epoch: u64,
         /// Commits covered by the epoch.
         committed: usize,
+    },
+    /// An OCE corrected a served prediction: the corrected entry is
+    /// re-inserted into its category's shard on replay, visible to
+    /// queries from its `visible_from` watermark.
+    Feedback {
+        /// The corrected entry and its visibility watermark.
+        entry: CheckpointEntry,
     },
     /// A checkpoint folding every earlier record: the full committed
     /// prefix plus the serialized index state.
@@ -61,7 +78,7 @@ pub enum WalRecord {
         /// The committed records, stream order.
         records: Vec<EventRecord>,
         /// Serialized online-index state (`None` in frozen-index mode).
-        index: Option<EpochCheckpoint>,
+        index: Option<ShardedCheckpoint>,
     },
 }
 
@@ -106,11 +123,13 @@ pub struct Recovery {
     /// Committed event records, stream order (the prefix `0..committed`).
     pub records: Vec<EventRecord>,
     /// Index checkpoint to rebuild from, if one was folded.
-    pub checkpoint: Option<EpochCheckpoint>,
-    /// Index entries committed after the checkpoint, commit order.
+    pub checkpoint: Option<ShardedCheckpoint>,
+    /// Index entries journaled after the checkpoint — commits and
+    /// feedback corrections interleaved — in journal order.
     pub entries: Vec<CheckpointEntry>,
-    /// Last journaled epoch number (0 if none).
-    pub epoch: u64,
+    /// Last journaled epoch number per shard (absent if the shard never
+    /// published after the checkpoint).
+    pub shard_epochs: BTreeMap<usize, u64>,
 }
 
 impl Recovery {
@@ -151,7 +170,7 @@ impl WriteAheadLog {
     pub fn install_checkpoint(
         &mut self,
         records: Vec<EventRecord>,
-        index: Option<EpochCheckpoint>,
+        index: Option<ShardedCheckpoint>,
     ) {
         let committed = records.len();
         self.lines.clear();
@@ -250,6 +269,7 @@ impl WriteAheadLog {
                     recovery.records = records;
                     recovery.checkpoint = index;
                     recovery.entries.clear();
+                    recovery.shard_epochs.clear();
                 }
                 WalRecord::Commit { seq, record, entry } => {
                     if seq != recovery.records.len() {
@@ -261,11 +281,15 @@ impl WriteAheadLog {
                     recovery.records.push(record);
                     recovery.entries.extend(entry);
                 }
+                WalRecord::Feedback { entry } => {
+                    recovery.entries.push(entry);
+                }
                 WalRecord::Epoch {
+                    shard,
                     epoch,
                     committed: _,
                 } => {
-                    recovery.epoch = epoch;
+                    recovery.shard_epochs.insert(shard, epoch);
                 }
             }
         }
@@ -306,15 +330,52 @@ mod tests {
         wal.append(&commit(0));
         wal.append(&commit(1));
         wal.append(&WalRecord::Epoch {
+            shard: 0,
             epoch: 3,
+            committed: 2,
+        });
+        wal.append(&WalRecord::Epoch {
+            shard: 2,
+            epoch: 5,
             committed: 2,
         });
         let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
         assert_eq!(loaded.records().unwrap(), wal.records().unwrap());
         let recovery = loaded.recover().expect("gapless");
         assert_eq!(recovery.committed(), 2);
-        assert_eq!(recovery.epoch, 3);
+        assert_eq!(recovery.shard_epochs.get(&0), Some(&3));
+        assert_eq!(recovery.shard_epochs.get(&2), Some(&5));
+        assert_eq!(recovery.shard_epochs.get(&1), None);
         assert_eq!(recovery.records[1].log_line(), shed_record(1).log_line());
+    }
+
+    #[test]
+    fn feedback_records_replay_in_journal_order() {
+        use rcacopilot_core::retrieval::HistoricalEntry;
+        let corrected = CheckpointEntry {
+            entry: HistoricalEntry {
+                id: 0,
+                category: "CorrectedCategory".to_string(),
+                summary: "OCE-corrected summary".to_string(),
+                at: SimTime::from_secs(120),
+                embedding: vec![0.5, -0.25],
+            },
+            visible_from: SimTime::from_secs(600),
+        };
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&WalRecord::Feedback {
+            entry: corrected.clone(),
+        });
+        wal.append(&commit(1));
+        let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
+        let recovery = loaded.recover().expect("gapless");
+        assert_eq!(recovery.committed(), 2);
+        assert_eq!(recovery.entries, vec![corrected.clone()]);
+        // A checkpoint folds feedback into the index state like any
+        // other entry: replay starts clean after it.
+        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        assert!(wal.recover().unwrap().entries.is_empty());
     }
 
     #[test]
