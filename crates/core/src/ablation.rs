@@ -1,11 +1,14 @@
 //! Ablation experiments: Table 3 (prompt context) and Figure 12 (K, α).
 
+use crate::collection::CollectionStage;
 use crate::context::ContextSpec;
 use crate::eval::{parallel_map, PreparedDataset};
 use crate::metrics::{f1_scores, F1Report};
 use crate::pipeline::{Embedder, RcaCopilot, RcaCopilotConfig};
+use crate::plan::{InferencePlan, PlanCaches, PlanExecutor};
 use crate::retrieval::RetrievalConfig;
 use rcacopilot_embed::FastTextModel;
+use rcacopilot_handlers::RunDegradation;
 
 /// Runs the Table 3 context ablation: one evaluation per context row,
 /// sharing a single trained embedder (retrieval is identical across rows;
@@ -50,13 +53,22 @@ pub fn table3_context_ablation(
                 Embedder::FastText(Box::new(embedder)),
                 config.clone(),
             );
+            // Each Table 3 row is a plan configuration, not a forked
+            // evaluation loop: the row's spec gates context assembly,
+            // while the embed text stays the unsummarized rendering.
+            let plan = InferencePlan::new(spec);
+            let stage = CollectionStage::standard();
+            let caches = PlanCaches::new(8);
+            let executor = PlanExecutor::new(&copilot, &stage, &plan, &caches);
             let preds = parallel_map(&prepared.test, |&i| {
                 let inc = &prepared.incidents[i];
-                copilot
-                    .predict(
+                executor
+                    .predict_text(
+                        copilot.index(),
                         &prepared.context_text(i, &embed_spec),
                         &prepared.context_text(i, &spec),
                         inc.at,
+                        &RunDegradation::default(),
                     )
                     .label
             });
@@ -89,21 +101,21 @@ pub fn fig12_sweep(
     let spec = ContextSpec::default();
     let copilot = RcaCopilot::train(&prepared.train_examples(&spec), config.clone());
     let gold = prepared.test_gold();
+    let stage = CollectionStage::standard();
+    // One cache pool for the whole sweep: the embedding of a test
+    // incident is identical in every (K, α) cell, so all cells after the
+    // first hit the embed cache instead of re-running FastText inference
+    // per cell.
+    let caches = PlanCaches::new(8);
 
     let mut out = Vec::with_capacity(ks.len() * alphas.len());
     for &alpha in alphas {
         for &k in ks {
-            let retrieval = RetrievalConfig { k, alpha };
+            let plan = InferencePlan::new(spec).with_retrieval(RetrievalConfig { k, alpha });
+            let executor = PlanExecutor::new(&copilot, &stage, &plan, &caches);
             let preds = parallel_map(&prepared.test, |&i| {
                 let inc = &prepared.incidents[i];
-                copilot
-                    .predict_with(
-                        &inc.raw_diag,
-                        &prepared.context_text(i, &spec),
-                        inc.at,
-                        &retrieval,
-                    )
-                    .label
+                executor.run_prepared(inc, copilot.index()).label
             });
             let f1 = f1_scores(&gold, &preds);
             out.push(SweepPoint {

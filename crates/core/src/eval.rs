@@ -3,8 +3,10 @@
 use crate::baselines::{FastTextBaseline, FineTuneBaseline, XgboostBaseline, ZeroShotBaseline};
 use crate::collection::CollectionStage;
 use crate::context::ContextSpec;
+use crate::memo::{ExactMemo, MemoCache};
 use crate::metrics::{f1_scores, F1Report};
 use crate::pipeline::{Embedder, RcaCopilot, RcaCopilotConfig, TrainExample};
+use crate::plan::{memoized_summary, InferencePlan, PlanCaches, PlanExecutor};
 use rcacopilot_handlers::RunDegradation;
 use rcacopilot_llm::{ModelProfile, Summarizer};
 use rcacopilot_simcloud::{IncidentDataset, TrainTestSplit};
@@ -77,12 +79,17 @@ impl PreparedDataset {
         stage: &CollectionStage,
     ) -> Self {
         let summarizer = Summarizer::default();
+        // The batch plane shares the serving plane's memo seam: monitors
+        // flap, so byte-identical diagnostics are summarized once. The
+        // exact policy keeps preparation deterministic under the thread
+        // pool (a hit returns exactly what a recomputation would).
+        let summary_cache: MemoCache<String> = MemoCache::new(8);
         let incidents: Vec<PreparedIncident> = parallel_map(dataset.incidents(), |inc| {
             let collected = stage
                 .collect(inc)
                 .unwrap_or_else(|e| panic!("collection failed for {}: {e}", inc.category));
             let raw_diag = collected.diagnostic_text();
-            let summary = summarizer.summarize(&raw_diag);
+            let summary = memoized_summary(&summarizer, &raw_diag, &ExactMemo, &summary_cache);
             PreparedIncident {
                 category: inc.category.clone(),
                 at: inc.occurred_at(),
@@ -231,52 +238,30 @@ pub fn evaluate_method(prepared: &PreparedDataset, method: Method, seed: u64) ->
     let started = Instant::now();
     let (train_secs, predictions): (f64, Vec<String>) = match method {
         Method::RcaCopilot(profile) => {
-            let spec = ContextSpec::default();
             let config = RcaCopilotConfig {
                 profile,
                 llm_seed: seed,
                 ..RcaCopilotConfig::default()
             };
-            let copilot = RcaCopilot::train(&prepared.train_examples(&spec), config);
+            let plan = InferencePlan::default();
+            let copilot = RcaCopilot::train(&prepared.train_examples(&plan.spec), config);
             let train_secs = started.elapsed().as_secs_f64();
-            let preds = parallel_map(&prepared.test, |&i| {
-                let inc = &prepared.incidents[i];
-                copilot
-                    .predict_degraded(
-                        &inc.raw_diag,
-                        &prepared.context_text(i, &spec),
-                        inc.at,
-                        &inc.degradation,
-                    )
-                    .label
-            });
-            (train_secs, preds)
+            (train_secs, plan_predictions(prepared, &copilot, &plan))
         }
         Method::LmEmbed => {
-            let spec = ContextSpec::default();
             let config = RcaCopilotConfig {
                 profile: ModelProfile::Gpt4,
                 llm_seed: seed,
                 ..RcaCopilotConfig::default()
             };
+            let plan = InferencePlan::default();
             let copilot = RcaCopilot::train_with_embedder(
-                &prepared.train_examples(&spec),
+                &prepared.train_examples(&plan.spec),
                 Embedder::GenericLm { dim: 64 },
                 config,
             );
             let train_secs = started.elapsed().as_secs_f64();
-            let preds = parallel_map(&prepared.test, |&i| {
-                let inc = &prepared.incidents[i];
-                copilot
-                    .predict_degraded(
-                        &inc.raw_diag,
-                        &prepared.context_text(i, &spec),
-                        inc.at,
-                        &inc.degradation,
-                    )
-                    .label
-            });
-            (train_secs, preds)
+            (train_secs, plan_predictions(prepared, &copilot, &plan))
         }
         Method::FastText => {
             let model = FastTextBaseline::train(&prepared.raw_train_pairs());
@@ -319,6 +304,25 @@ pub fn evaluate_method(prepared: &PreparedDataset, method: Method, seed: u64) ->
         infer_secs_avg,
         predictions,
     }
+}
+
+/// Executes `plan` over the test split against the pipeline's frozen
+/// index — the batch plane's evaluation loop, expressed as a plan
+/// execution. The memo caches are shared across the whole split, so
+/// flapping storms (byte-identical diagnostics) summarize and embed once.
+pub fn plan_predictions(
+    prepared: &PreparedDataset,
+    copilot: &RcaCopilot,
+    plan: &InferencePlan,
+) -> Vec<String> {
+    let stage = CollectionStage::standard();
+    let caches = PlanCaches::new(8);
+    let executor = PlanExecutor::new(copilot, &stage, plan, &caches);
+    parallel_map(&prepared.test, |&i| {
+        executor
+            .run_prepared(&prepared.incidents[i], copilot.index())
+            .label
+    })
 }
 
 /// Runs RCACopilot for several rounds with different LLM noise seeds —

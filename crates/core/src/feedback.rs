@@ -6,7 +6,12 @@
 //! and surfaces the categories whose precision has fallen below a review
 //! threshold.
 
+use crate::plan::{PlanExecutor, SummarizeMode};
+use crate::report::OnCallReport;
+use crate::retrieval::HistoryView;
 use parking_lot::RwLock;
+use rcacopilot_simcloud::Incident;
+use rcacopilot_telemetry::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -117,6 +122,59 @@ impl FeedbackStore {
         Ok(FeedbackStore {
             data: RwLock::new(serde_json::from_str(json)?),
         })
+    }
+}
+
+/// Outcome of one simulated on-call shift driven by a plan execution.
+#[derive(Debug)]
+pub struct ShiftOutcome {
+    /// The aggregated OCE verdicts.
+    pub store: FeedbackStore,
+    /// Rendered notification reports, one per processed incident.
+    pub reports: Vec<String>,
+    /// Incidents whose collection failed and were skipped.
+    pub skipped: usize,
+}
+
+/// Simulates an on-call shift over `picks` (indices into `incidents`):
+/// each incident runs the full inference plan — collect → summarize →
+/// assemble → embed → retrieve → predict — through `executor`, a
+/// notification report is assembled, and an oracle OCE verdict (correct /
+/// close-enough-on-unseen / incorrect against the ground-truth category)
+/// is recorded. This replaces the bespoke per-incident loop the
+/// `oncall_report` example used to carry.
+pub fn run_shift(
+    executor: &PlanExecutor<'_>,
+    incidents: &[Incident],
+    picks: &[usize],
+    history: &dyn HistoryView,
+) -> ShiftOutcome {
+    let store = FeedbackStore::new();
+    let mut reports = Vec::new();
+    let mut skipped = 0usize;
+    for &i in picks {
+        let incident = &incidents[i];
+        let at: SimTime = incident.occurred_at();
+        let Ok(out) = executor.run_incident(incident, at, history, SummarizeMode::Full) else {
+            skipped += 1;
+            continue;
+        };
+        let report =
+            OnCallReport::assemble(incident, &out.collected, &out.summary, &out.prediction);
+        reports.push(report.render());
+        let verdict = if out.prediction.label == incident.category {
+            Verdict::Correct
+        } else if out.prediction.unseen {
+            Verdict::CloseEnough
+        } else {
+            Verdict::Incorrect
+        };
+        store.record(&out.prediction.label, verdict);
+    }
+    ShiftOutcome {
+        store,
+        reports,
+        skipped,
     }
 }
 

@@ -35,8 +35,10 @@ pub mod collection;
 pub mod context;
 pub mod eval;
 pub mod feedback;
+pub mod memo;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod report;
 pub mod retrieval;
 
@@ -44,8 +46,10 @@ pub use collection::{CollectedIncident, CollectionStage, KnownIssueDb};
 pub use context::ContextSpec;
 pub use eval::{evaluate_method, MethodReport, PreparedDataset};
 pub use feedback::{FeedbackStore, Verdict};
+pub use memo::{ExactMemo, MemoCache, MemoPolicy, NoMemo, ShingleMemo};
 pub use metrics::{f1_scores, F1Report};
 pub use pipeline::{RcaCopilot, RcaCopilotConfig, RcaPrediction};
+pub use plan::{InferencePlan, PlanCaches, PlanExecutor, PlanOutcome, SummarizeMode};
 pub use report::OnCallReport;
 pub use retrieval::{
     shard_for_category, CheckpointEntry, EpochCheckpoint, HistoricalEntry, HistoricalIndex,

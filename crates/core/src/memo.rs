@@ -1,0 +1,429 @@
+//! Content-keyed memoization for the expensive per-incident stages, plus
+//! the pluggable policy deciding *which* key (if any) a stage uses.
+//!
+//! Monitors flap: the same incident is frequently re-raised with
+//! byte-identical — or near-identical — diagnostics. Summarization and
+//! embedding are pure functions of the collected text, so both planes
+//! (batch eval and online serving) memoize them behind a 64-bit content
+//! key produced by a [`MemoPolicy`]:
+//!
+//! - [`ExactMemo`] hashes the raw bytes with FNV-1a — a cache hit returns
+//!   the exact value a recomputation would, which keeps every output
+//!   independent of hit/miss patterns (and therefore of worker
+//!   scheduling). This is the default policy on both planes.
+//! - [`ShingleMemo`] canonicalizes the text (entity masking + word
+//!   k-shingle min-hash sketch) before hashing, so near-identical
+//!   diagnostic storms — the same flapping monitor re-raising with fresh
+//!   timestamps and counters — share one summary. It trades byte-level
+//!   reproducibility of the summary text for a strictly higher hit rate
+//!   on storm workloads, and is therefore opt-in.
+//! - [`NoMemo`] disables caching entirely (the historical batch-plane
+//!   behavior).
+//!
+//! The cache is sharded N-way by key (matching the retrieval plane's
+//! shard count) so concurrent workers memoizing different incidents do
+//! not serialize on one global lock. A shard lock poisoned by a dying
+//! worker is recovered and counted instead of cascading: recovery is
+//! sound here because every cached value is a pure function of its key —
+//! the map is consistent no matter where a panicking worker died (at
+//! worst one counter bump or one insert is lost, costing only a
+//! recomputation).
+
+use crate::retrieval::fnv1a;
+use rcacopilot_textkit::normalize::{mask_entities, normalize, tokenize};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Thread-safe memoization cache, sharded by key.
+///
+/// Values must be pure functions of the key; the cache then never changes
+/// observable results, only the work done to produce them. (Near-dup
+/// policies weaken "pure function of the key" to "pure function of the
+/// first text that produced the key" — see [`ShingleMemo`].)
+#[derive(Debug)]
+pub struct MemoCache<V: Clone> {
+    shards: Vec<Mutex<MemoInner<V>>>,
+    poison_recoveries: AtomicU64,
+}
+
+impl<V: Clone> Default for MemoCache<V> {
+    fn default() -> Self {
+        MemoCache::new(1)
+    }
+}
+
+#[derive(Debug)]
+struct MemoInner<V> {
+    map: HashMap<u64, V>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Default for MemoInner<V> {
+    fn default() -> Self {
+        MemoInner {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+impl<V: Clone> MemoCache<V> {
+    /// An empty cache with `shards` lock domains (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        MemoCache {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(MemoInner::default()))
+                .collect(),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock domains.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<MemoInner<V>> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Locks a shard, recovering (and counting) poisoned guards instead of
+    /// cascading a worker's panic into every later cache access.
+    fn lock<'a>(&self, mutex: &'a Mutex<MemoInner<V>>) -> MutexGuard<'a, MemoInner<V>> {
+        mutex.lock().unwrap_or_else(|poisoned| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it via
+    /// `compute` on a miss. The lock is *not* held during `compute`; on a
+    /// race the first insert wins and later computations are discarded,
+    /// which is harmless because `compute` is pure.
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut inner = self.lock(self.shard(key));
+            if let Some(v) = inner.map.get(&key) {
+                let v = v.clone();
+                inner.hits += 1;
+                return v;
+            }
+            inner.misses += 1;
+        }
+        let v = compute();
+        let mut inner = self.lock(self.shard(key));
+        inner.map.entry(key).or_insert_with(|| v.clone());
+        inner.map[&key].clone()
+    }
+
+    /// `(hits, misses)` counters since construction, summed over shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let inner = self.lock(shard);
+            (h + inner.hits, m + inner.misses)
+        })
+    }
+
+    /// Number of distinct cached entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| self.lock(shard).map.len())
+            .sum()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of poisoned shard locks recovered so far. Serving folds this
+    /// into its fault counters at report time.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+}
+
+/// Decides which memo key (if any) each cacheable stage uses for a given
+/// raw diagnostic text.
+///
+/// Returning `None` bypasses the cache for that stage: the stage runs
+/// unconditionally and stores nothing. Returning `Some(k)` means "any two
+/// texts mapping to `k` may share one computed value" — so a policy's keys
+/// define its notion of equivalence, from byte equality ([`ExactMemo`])
+/// down to near-duplicate similarity ([`ShingleMemo`]).
+pub trait MemoPolicy: Debug + Send + Sync {
+    /// Stable policy name, surfaced in serving reports and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Memo key for the summarization stage, or `None` to bypass.
+    fn summary_key(&self, raw_diag: &str) -> Option<u64>;
+
+    /// Memo key for the embedding stage, or `None` to bypass.
+    fn embed_key(&self, raw_diag: &str) -> Option<u64>;
+}
+
+/// No memoization at all: the historical batch-plane behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMemo;
+
+impl MemoPolicy for NoMemo {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn summary_key(&self, _raw_diag: &str) -> Option<u64> {
+        None
+    }
+
+    fn embed_key(&self, _raw_diag: &str) -> Option<u64> {
+        None
+    }
+}
+
+/// Exact content-hash memoization: FNV-1a over the raw bytes.
+///
+/// Two texts share a key iff they are byte-identical, so a hit returns
+/// exactly what a recomputation would — outputs are independent of
+/// hit/miss patterns and of worker scheduling. Safe everywhere; the
+/// serving engine's default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMemo;
+
+impl MemoPolicy for ExactMemo {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn summary_key(&self, raw_diag: &str) -> Option<u64> {
+        Some(fnv1a(raw_diag.as_bytes()))
+    }
+
+    fn embed_key(&self, raw_diag: &str) -> Option<u64> {
+        Some(fnv1a(raw_diag.as_bytes()))
+    }
+}
+
+/// Near-duplicate summary sharing via a min-hash sketch of word
+/// k-shingles over entity-masked text.
+///
+/// A flapping monitor re-raises the same incident with fresh timestamps,
+/// counters, and machine names; byte hashing treats every re-raise as new
+/// work. This policy first masks those per-incident entities
+/// ([`mask_entities`]) and then sketches the masked token stream with the
+/// `sketch_size` smallest k-shingle hashes — near-identical storms
+/// collapse to one key and share one summary.
+///
+/// Only the *summary* stage is near-dup keyed: embeddings stay on the
+/// exact byte hash, because retrieval similarity should still see the
+/// real text, and because the embedding is cheap relative to
+/// summarization in the simulated cost model.
+///
+/// Trade-off: with multiple serving workers the first storm member to
+/// insert wins, so *which* equivalent text got summarized can depend on
+/// scheduling. Keys are deterministic, but cached summary bytes are only
+/// guaranteed reproducible under single-worker or batch execution — hence
+/// the policy is opt-in and off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShingleMemo {
+    /// Words per shingle (the `k` in k-shingle). Clamped to ≥ 1.
+    pub shingle_k: usize,
+    /// Number of smallest shingle hashes kept in the sketch. Clamped to ≥ 1.
+    pub sketch_size: usize,
+}
+
+impl Default for ShingleMemo {
+    fn default() -> Self {
+        ShingleMemo {
+            shingle_k: 4,
+            sketch_size: 16,
+        }
+    }
+}
+
+impl ShingleMemo {
+    /// The canonical sketch key for `raw_diag`: mask entities, normalize,
+    /// tokenize, hash every `shingle_k`-word window, keep the
+    /// `sketch_size` smallest hashes, and fold them into one 64-bit key.
+    pub fn sketch_key(&self, raw_diag: &str) -> u64 {
+        let k = self.shingle_k.max(1);
+        // Mask before normalizing: the machine-name heuristic keys on
+        // uppercase runs, which lowercasing would erase.
+        let masked = normalize(&mask_entities(raw_diag));
+        let tokens = tokenize(&masked);
+        let mut hashes: Vec<u64> = if tokens.len() < k {
+            // Degenerate short text: hash the whole token stream once.
+            vec![fnv1a(tokens.join(" ").as_bytes())]
+        } else {
+            tokens
+                .windows(k)
+                .map(|w| fnv1a(w.join(" ").as_bytes()))
+                .collect()
+        };
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.truncate(self.sketch_size.max(1));
+        // Fold the bottom-m sketch into a single key (order is canonical
+        // after the sort, so equal sketches fold to equal keys).
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        for h in hashes {
+            key ^= h;
+            key = key.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        key
+    }
+}
+
+impl MemoPolicy for ShingleMemo {
+    fn name(&self) -> &'static str {
+        "shingle"
+    }
+
+    fn summary_key(&self, raw_diag: &str) -> Option<u64> {
+        Some(self.sketch_key(raw_diag))
+    }
+
+    fn embed_key(&self, raw_diag: &str) -> Option<u64> {
+        Some(fnv1a(raw_diag.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_computes_once_per_key() {
+        let cache = MemoCache::new(1);
+        let mut calls = 0;
+        let a = cache.get_or_insert_with(1, || {
+            calls += 1;
+            "v1".to_string()
+        });
+        let b = cache.get_or_insert_with(1, || {
+            calls += 1;
+            "other".to_string()
+        });
+        assert_eq!(a, "v1");
+        assert_eq!(b, "v1");
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_spreads_keys_but_answers_identically() {
+        let cache = MemoCache::new(4);
+        assert_eq!(cache.shard_count(), 4);
+        for key in 0..32u64 {
+            assert_eq!(cache.get_or_insert_with(key, || key * 3), key * 3);
+        }
+        assert_eq!(cache.len(), 32);
+        for key in 0..32u64 {
+            assert_eq!(cache.get_or_insert_with(key, || 0), key * 3);
+        }
+        assert_eq!(cache.stats(), (32, 32));
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().map.is_empty())
+            .count();
+        assert!(
+            populated > 1,
+            "expected keys across shards, got {populated}"
+        );
+        assert_eq!(MemoCache::<u64>::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn cache_is_usable_across_threads() {
+        let cache = MemoCache::new(4);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let v = cache.get_or_insert_with(i % 10, || (i % 10) * 2);
+                        assert_eq!(v, (i % 10) * 2, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 10);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 200);
+        assert!(misses >= 10);
+    }
+
+    #[test]
+    fn poisoned_shard_is_recovered_and_counted() {
+        let cache = std::sync::Arc::new(MemoCache::new(1));
+        cache.get_or_insert_with(7, || 7u64);
+        let poisoner = cache.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("worker dies holding the memo lock");
+        })
+        .join();
+        assert_eq!(cache.get_or_insert_with(7, || 0), 7);
+        assert!(cache.poison_recoveries() >= 1);
+    }
+
+    #[test]
+    fn exact_policy_keys_are_byte_equality() {
+        let p = ExactMemo;
+        assert_eq!(p.name(), "exact");
+        assert_eq!(p.summary_key("abc"), p.summary_key("abc"));
+        assert_ne!(p.summary_key("abc"), p.summary_key("abd"));
+        assert_eq!(p.summary_key("abc"), p.embed_key("abc"));
+    }
+
+    #[test]
+    fn no_memo_bypasses_both_stages() {
+        assert_eq!(NoMemo.summary_key("x"), None);
+        assert_eq!(NoMemo.embed_key("x"), None);
+        assert_eq!(NoMemo.name(), "none");
+    }
+
+    #[test]
+    fn shingle_policy_collapses_entity_churn() {
+        let p = ShingleMemo::default();
+        let a = "probe DatacenterHubOutboundProxyProbe failed on NAMPR03MB1234 \
+                 at 11/21/2022 2:04:20 with 15276 sockets held by transport \
+                 delivery process and the retry queue kept growing past limits";
+        // Same storm, re-raised: fresh machine, time, and counter.
+        let b = "probe DatacenterHubOutboundProxyProbe failed on NAMPR07MB9921 \
+                 at 11/22/2022 9:13:55 with 18903 sockets held by transport \
+                 delivery process and the retry queue kept growing past limits";
+        // Genuinely different incident text.
+        let c = "certificate chain validation error on the auth frontend while \
+                 renewing the signing credential for federated tenants today";
+        assert_eq!(
+            p.summary_key(a),
+            p.summary_key(b),
+            "storm members share a key"
+        );
+        assert_ne!(p.summary_key(a), p.summary_key(c));
+        // Embeddings stay on exact bytes.
+        assert_ne!(p.embed_key(a), p.embed_key(b));
+        assert_eq!(p.embed_key(a), ExactMemo.embed_key(a));
+    }
+
+    #[test]
+    fn shingle_sketch_handles_short_text() {
+        let p = ShingleMemo::default();
+        assert_eq!(p.sketch_key("one two"), p.sketch_key("ONE  two"));
+        assert_ne!(p.sketch_key("one two"), p.sketch_key("one three"));
+        // Zero-size configs clamp rather than panic.
+        let tiny = ShingleMemo {
+            shingle_k: 0,
+            sketch_size: 0,
+        };
+        let _ = tiny.sketch_key("some text here");
+    }
+}

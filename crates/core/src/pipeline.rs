@@ -328,8 +328,8 @@ impl RcaCopilot {
             neighbors
                 .iter()
                 .map(|n| PromptOption {
-                    summary: n.entry.summary.clone(),
-                    category: n.entry.category.clone(),
+                    summary: n.entry.summary.as_str().into(),
+                    category: n.entry.category.as_str().into(),
                 })
                 .collect(),
         );
@@ -362,7 +362,11 @@ impl RcaCopilot {
             unseen: pred.unseen,
             confidence,
             explanation,
-            demo_categories: prompt.options.into_iter().map(|o| o.category).collect(),
+            demo_categories: prompt
+                .options
+                .into_iter()
+                .map(|o| o.category.into_owned())
+                .collect(),
             completeness,
         }
     }

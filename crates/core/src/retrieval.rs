@@ -631,8 +631,8 @@ impl HistorySnapshot {
 }
 
 impl HistoryView for HistorySnapshot {
-    /// Bound-pruned exact retrieval (see
-    /// [`diverse_reps`](HistorySnapshot::diverse_reps)): the answer is
+    /// Bound-pruned exact retrieval (see `HistorySnapshot::diverse_reps`,
+    /// private): the answer is
     /// byte-identical to [`HistoricalIndex::top_k_diverse`] over the
     /// same visible entries.
     fn top_k_diverse(
@@ -669,7 +669,7 @@ impl HistoryView for HistorySnapshot {
 ///    resolve on it exactly as a single index's insertion order would.
 /// 2. **Exact per-shard retrieval.** Each shard answers with its
 ///    bound-pruned exact per-category representatives
-///    ([`HistorySnapshot::diverse_reps`]).
+///    (`HistorySnapshot::diverse_reps`, private).
 /// 3. **Bounded merge.** Shards are visited in descending
 ///    [`HistorySnapshot::best_bound`] order (spatial × temporal-decay
 ///    upper bound); once `k` representatives are held and the next

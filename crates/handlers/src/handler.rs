@@ -40,7 +40,7 @@ pub enum HandlerError {
     },
     /// Two nodes share the same id.
     DuplicateId(u32),
-    /// Execution exceeded [`MAX_STEPS`] (a cycle without exit).
+    /// Execution exceeded the step limit (a cycle without exit).
     StepLimitExceeded,
     /// The execution policy's whole-handler time budget cannot cover the
     /// handler (a zero budget with query actions present).

@@ -56,12 +56,12 @@ impl CotEngine {
     /// Per-option score breakdown `(clean, cosine, jaccard, contrastive)`
     /// — the engine's "reasoning trace", exposed for debugging and for
     /// explanation tooling.
-    pub fn option_scores(&self, prompt: &PredictionPrompt) -> Vec<(f64, f64, f64, f64)> {
+    pub fn option_scores(&self, prompt: &PredictionPrompt<'_>) -> Vec<(f64, f64, f64, f64)> {
         score_options(prompt)
     }
 
     /// Answers a prediction prompt.
-    pub fn predict(&self, prompt: &PredictionPrompt) -> Prediction {
+    pub fn predict(&self, prompt: &PredictionPrompt<'_>) -> Prediction {
         let query_ents = salient_entities(&prompt.input);
 
         // Long prompts degrade a real LLM's reading fidelity
@@ -110,7 +110,7 @@ impl CotEngine {
                     .collect();
                 let explanation = explain_match(&option.category, &shared, &prompt.input);
                 Prediction {
-                    label: option.category.clone(),
+                    label: option.category.to_string(),
                     option_index: Some(idx),
                     unseen: false,
                     confidence: noisy,
@@ -157,7 +157,7 @@ impl CotEngine {
 /// multiple-choice prompt: evidence terms that appear in more than one
 /// option cannot discriminate, so only each option's *unique* terms count,
 /// matched against the query's own non-boilerplate terms.
-fn score_options(prompt: &PredictionPrompt) -> Vec<(f64, f64, f64, f64)> {
+fn score_options(prompt: &PredictionPrompt<'_>) -> Vec<(f64, f64, f64, f64)> {
     let query_tri = trigram_profile(&prompt.input);
     let query_ents = salient_entities(&prompt.input);
     let query_terms = evidence_terms(&prompt.input);
@@ -331,14 +331,14 @@ mod tests {
     use super::*;
     use crate::prompt::PromptOption;
 
-    fn prompt(input: &str, options: &[(&str, &str)]) -> PredictionPrompt {
+    fn prompt(input: &str, options: &[(&str, &str)]) -> PredictionPrompt<'static> {
         PredictionPrompt::new(
-            input,
+            input.to_string(),
             options
                 .iter()
                 .map(|(s, c)| PromptOption {
-                    summary: s.to_string(),
-                    category: c.to_string(),
+                    summary: s.to_string().into(),
+                    category: c.to_string().into(),
                 })
                 .collect(),
         )

@@ -2,6 +2,7 @@
 
 use rcacopilot_textkit::bpe::BpeTokenizer;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Token budget of the simulated model's context window (the paper uses
 /// GPT-4 with an 8K window).
@@ -28,23 +29,38 @@ impl SummaryPrompt {
 }
 
 /// One lettered option of the prediction prompt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PromptOption {
+///
+/// Fields are `Cow`s so the retrieval → prompt hot path can borrow the
+/// historical entries' summaries and categories directly instead of
+/// cloning one `String` pair per retrieved neighbor per prediction;
+/// owned construction (tests, ad-hoc prompts) still works via `.into()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptOption<'a> {
     /// Summarized diagnostic information of the historical incident.
-    pub summary: String,
+    pub summary: Cow<'a, str>,
     /// Its labeled root cause category.
-    pub category: String,
+    pub category: Cow<'a, str>,
+}
+
+impl PromptOption<'_> {
+    /// Detaches the option from whatever it borrows.
+    pub fn into_owned(self) -> PromptOption<'static> {
+        PromptOption {
+            summary: Cow::Owned(self.summary.into_owned()),
+            category: Cow::Owned(self.category.into_owned()),
+        }
+    }
 }
 
 /// The prediction prompt (paper Figure 9): the current incident plus top-K
 /// historical demonstrations from distinct categories, with option A fixed
 /// as "Unseen incident".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PredictionPrompt {
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionPrompt<'a> {
     /// Summarized diagnostic information of the incident being predicted.
-    pub input: String,
+    pub input: Cow<'a, str>,
     /// Demonstration options (B, C, ... in render order).
-    pub options: Vec<PromptOption>,
+    pub options: Vec<PromptOption<'a>>,
     /// Degradation annotation injected when the collection stage ran
     /// with incomplete diagnostics (fault-injected telemetry). `None` on
     /// the fault-free path, which keeps the rendered prompt byte-for-byte
@@ -52,9 +68,9 @@ pub struct PredictionPrompt {
     pub degradation_note: Option<String>,
 }
 
-impl PredictionPrompt {
+impl<'a> PredictionPrompt<'a> {
     /// Creates a prompt with no degradation annotation.
-    pub fn new(input: impl Into<String>, options: Vec<PromptOption>) -> Self {
+    pub fn new(input: impl Into<Cow<'a, str>>, options: Vec<PromptOption<'a>>) -> Self {
         PredictionPrompt {
             input: input.into(),
             options,
@@ -126,7 +142,7 @@ mod tests {
         )
     }
 
-    fn prompt() -> PredictionPrompt {
+    fn prompt() -> PredictionPrompt<'static> {
         PredictionPrompt::new(
             "The probe has failed twice with a WinSock 11001 error.",
             vec![
@@ -183,8 +199,8 @@ mod tests {
         let mut p = prompt();
         for i in 0..30 {
             p.options.push(PromptOption {
-                summary: format!("padding incident summary number {i} with several words"),
-                category: format!("Cat{i}"),
+                summary: format!("padding incident summary number {i} with several words").into(),
+                category: format!("Cat{i}").into(),
             });
         }
         let full = p.token_count(&tok);

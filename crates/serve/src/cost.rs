@@ -9,7 +9,7 @@
 //! is identical no matter which worker later runs the incident — the
 //! cornerstone of the engine's worker-count-independent output.
 
-use crate::cache::fnv1a;
+use rcacopilot_core::retrieval::fnv1a;
 use rcacopilot_telemetry::alert::{Alert, AlertType};
 
 /// Virtual duration of each pipeline stage for one incident, in seconds.

@@ -32,7 +32,6 @@
 //!    resumes byte-identically ([`ServeEngine::run_with_wal`]).
 
 use crate::admission::{self, AdmissionConfig, AdmissionInput, AdmissionPlan, Disposition};
-use crate::cache::{fnv1a, MemoCache};
 use crate::cost::{self, StageCosts, DEGRADED_SUMMARIZE_SECS};
 use crate::fault::{WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 use crate::stream::{self, StreamConfig, StreamEvent};
@@ -41,6 +40,8 @@ use crate::supervisor::{
 };
 use crate::vmetrics::{simulate_pool, ExecStats, FaultCounters, VirtualHistogram, VirtualJob};
 use crate::wal::{Recovery, WalError, WalRecord, WriteAheadLog};
+use rcacopilot_core::memo::{ExactMemo, MemoPolicy};
+use rcacopilot_core::plan::{InferencePlan, PlanCaches, PlanExecutor, SummarizeMode};
 use rcacopilot_core::retrieval::{CheckpointEntry, ShardedHistoricalIndex};
 use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
 use rcacopilot_simcloud::Incident;
@@ -51,7 +52,7 @@ use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
 /// Which historical index answers retrieval.
@@ -89,6 +90,12 @@ pub struct EngineConfig {
     /// Prompt-context configuration (must match the batch pipeline's for
     /// parity).
     pub spec: ContextSpec,
+    /// Memoization policy for the summary/embedding caches. The default
+    /// exact content hash keeps the prediction log byte-identical to an
+    /// uncached run; the near-duplicate
+    /// [`ShingleMemo`](rcacopilot_core::memo::ShingleMemo) policy trades
+    /// that for storm dedup and is opt-in.
+    pub memo: Arc<dyn MemoPolicy>,
     /// Worker-fault injection (disabled by default).
     pub faults: WorkerFaultConfig,
     /// Simulated crash: stop dispatching at the first event arriving
@@ -115,6 +122,7 @@ impl Default for EngineConfig {
             max_cell: 64,
             shards: 1,
             spec: ContextSpec::default(),
+            memo: Arc::new(ExactMemo),
             faults: WorkerFaultConfig::disabled(),
             crash_at: None,
             checkpoint_every: 0,
@@ -254,12 +262,6 @@ struct CommitState {
     next: usize,
 }
 
-/// Memoization caches shared by the workers.
-struct Caches {
-    summary: MemoCache<String>,
-    embed: MemoCache<Vec<f32>>,
-}
-
 /// Shared per-run context handed to workers.
 struct RunCtx<'a> {
     incidents: &'a [Incident],
@@ -267,7 +269,8 @@ struct RunCtx<'a> {
     plan: &'a AdmissionPlan,
     resolve: &'a [Option<SimTime>],
     online: Option<&'a ShardedHistoricalIndex>,
-    caches: &'a Caches,
+    inference: &'a InferencePlan,
+    caches: &'a PlanCaches,
     counters: &'a FaultCounters,
 }
 
@@ -489,9 +492,11 @@ impl ServeEngine {
                 Some(idx)
             }
         };
-        let caches = Caches {
-            summary: MemoCache::new(shards),
-            embed: MemoCache::new(shards),
+        let caches = PlanCaches::new(shards);
+        let inference = InferencePlan {
+            spec: self.config.spec,
+            retrieval: None,
+            policy: self.config.memo.clone(),
         };
         let ctx = RunCtx {
             incidents,
@@ -499,6 +504,7 @@ impl ServeEngine {
             plan: &plan,
             resolve: &resolve,
             online: online.as_ref(),
+            inference: &inference,
             caches: &caches,
             counters: &counters,
         };
@@ -756,16 +762,33 @@ impl ServeEngine {
         }
     }
 
-    /// Runs the full pipeline for one admitted event. Pure in the event
+    /// Runs the shared inference plan for one admitted event — the thin
+    /// serving driver around [`PlanExecutor::run_incident`]: it maps the
+    /// admission disposition to the summarize mode, picks the history
+    /// view (frozen index or an epoch snapshot of the online one),
+    /// attributes a terminal collection failure to a dead-letter record,
+    /// and turns the plan outcome into a commit slot. Pure in the event
     /// and the deterministic plan — worker identity and timing never leak
-    /// into the result. A terminal collection failure degrades the event
-    /// to a dead-letter record instead of panicking the worker.
+    /// into the result.
     fn process_event(&self, ctx: &RunCtx<'_>, i: usize) -> Slot {
         let ev = ctx.events[i];
         let inc = &ctx.incidents[ev.incident_idx];
         let degraded = ctx.plan.dispositions[i] == Disposition::Degraded;
-        let collected = match self.stage.collect(inc) {
-            Ok(c) => c,
+        let executor = PlanExecutor::new(&self.copilot, &self.stage, ctx.inference, ctx.caches);
+        let mode = if degraded {
+            SummarizeMode::TruncatedDegraded
+        } else {
+            SummarizeMode::Full
+        };
+        let outcome = match ctx.online {
+            None => executor.run_incident(inc, ev.at, self.copilot.index(), mode),
+            Some(online) => {
+                let snapshot = online.snapshot();
+                executor.run_incident(inc, ev.at, &snapshot, mode)
+            }
+        };
+        let out = match outcome {
+            Ok(out) => out,
             Err(e) => {
                 FaultCounters::bump(&ctx.counters.collection_failures);
                 return Slot {
@@ -778,64 +801,14 @@ impl ServeEngine {
                 };
             }
         };
-        let raw_diag = collected.diagnostic_text();
-        let content = fnv1a(raw_diag.as_bytes());
-        let spec = &self.config.spec;
-        let summary = if spec.diagnostic_info && spec.summarized {
-            if degraded {
-                truncated_summary(&raw_diag)
-            } else {
-                ctx.caches
-                    .summary
-                    .get_or_insert_with(content, ctx.counters, || {
-                        self.copilot.summarizer().summarize(&raw_diag)
-                    })
-            }
-        } else {
-            String::new()
-        };
-        let input_text = spec.render_parts(
-            &collected.alert_info,
-            &raw_diag,
-            &summary,
-            &collected.run.action_output_text(),
-        );
-        let query = ctx
-            .caches
-            .embed
-            .get_or_insert_with(content, ctx.counters, || {
-                self.copilot.embed_scaled(&raw_diag)
-            });
-        let retrieval = &self.copilot.config().retrieval;
-        let prediction = match ctx.online {
-            None => self.copilot.predict_from_query(
-                self.copilot.index(),
-                &query,
-                &input_text,
-                ev.at,
-                retrieval,
-                &collected.run.degradation,
-            ),
-            Some(online) => {
-                let snapshot = online.snapshot();
-                self.copilot.predict_from_query(
-                    &snapshot,
-                    &query,
-                    &input_text,
-                    ev.at,
-                    retrieval,
-                    &collected.run.degradation,
-                )
-            }
-        };
         let entry = ctx.online.map(|_| {
             (
                 HistoricalEntry {
                     id: i,
                     category: inc.category.clone(),
-                    summary: input_text.clone(),
+                    summary: out.input_text.clone(),
                     at: ev.at,
-                    embedding: query.clone(),
+                    embedding: out.query.clone(),
                 },
                 ctx.resolve[i].expect("admitted events have a resolution time"),
             )
@@ -848,7 +821,7 @@ impl ServeEngine {
                 severity: inc.alert.severity,
                 alert_type: inc.alert.alert_type,
                 outcome: EventOutcome::Predicted {
-                    prediction,
+                    prediction: out.prediction,
                     degraded,
                 },
             },
@@ -867,7 +840,7 @@ impl ServeEngine {
         costs: &[StageCosts],
         plan: &AdmissionPlan,
         online: Option<&ShardedHistoricalIndex>,
-        caches: &Caches,
+        caches: &PlanCaches,
         counters: &FaultCounters,
         peak_queue: usize,
     ) -> ServeOutcome {
@@ -901,15 +874,18 @@ impl ServeEngine {
             });
         }
         let exec = simulate_pool(&jobs, self.config.workers.max(1));
-        let (sum_hits, sum_misses) = caches.summary.stats(counters);
-        let (emb_hits, emb_misses) = caches.embed.stats(counters);
-        // Fold the index's internally recovered shard locks into the
-        // run's fault counters before rendering them.
+        let (sum_hits, sum_misses) = caches.summary.stats();
+        let (emb_hits, emb_misses) = caches.embed.stats();
+        // Fold the locks recovered inside the index and the memo caches
+        // into the run's fault counters before rendering them.
         if let Some(o) = online {
             counters
                 .poison_recoveries
                 .fetch_add(o.poison_recoveries(), Ordering::Relaxed);
         }
+        counters
+            .poison_recoveries
+            .fetch_add(caches.poison_recoveries(), Ordering::Relaxed);
         let report = json!({
             "engine": {
                 "workers": self.config.workers,
@@ -942,6 +918,7 @@ impl ServeEngine {
             },
             "exec": exec.to_json(),
             "caches": {
+                "policy": self.config.memo.name(),
                 "summary": { "hits": sum_hits, "misses": sum_misses },
                 "embed": { "hits": emb_hits, "misses": emb_misses },
             },
@@ -1033,16 +1010,6 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
             wal.install_checkpoint(records, index);
         }
     }
-}
-
-/// Cheap degraded-mode replacement for LLM summarization: the first 60
-/// words of the raw diagnostics.
-fn truncated_summary(raw_diag: &str) -> String {
-    raw_diag
-        .split_whitespace()
-        .take(60)
-        .collect::<Vec<_>>()
-        .join(" ")
 }
 
 #[cfg(test)]

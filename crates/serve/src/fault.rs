@@ -25,7 +25,7 @@
 //! per-event attempt history (and therefore the engine's prediction log)
 //! is byte-identical for every worker count.
 
-use crate::cache::fnv1a;
+use rcacopilot_core::retrieval::fnv1a;
 use std::fmt;
 
 /// The pipeline stage a worker fault is attributed to (flavor for

@@ -23,8 +23,9 @@
 //!   (`EngineConfig::shards`), each with its own lock and epoch state;
 //!   a bound-ordered cross-shard merge keeps the prediction log
 //!   byte-identical to the single-lock plane for any shard count, and
-//!   the FNV memo caches ([`cache`]) shard to the same width. OCE
-//!   corrections re-enter the index via
+//!   the memo caches (`rcacopilot_core::memo`, keyed by the engine's
+//!   pluggable [`engine::EngineConfig::memo`] policy) shard to the same
+//!   width. OCE corrections re-enter the index via
 //!   [`engine::ServeEngine::ingest_feedback`], journaled and replayed
 //!   with a visibility watermark.
 //! - **Virtual-time metrics** ([`vmetrics`]): per-stage latency
@@ -58,7 +59,6 @@
 #![warn(missing_docs)]
 
 pub mod admission;
-pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod fault;
@@ -68,12 +68,12 @@ pub mod vmetrics;
 pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
-pub use cache::MemoCache;
 pub use cost::StageCosts;
 pub use engine::{
     EngineConfig, EventOutcome, EventRecord, IndexMode, OceFeedback, ServeEngine, ServeOutcome,
 };
 pub use fault::{PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
+pub use rcacopilot_core::memo::MemoCache;
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
 pub use supervisor::{AttemptLedger, RetryQueue, Verdict};
 pub use vmetrics::{ExecStats, FaultCounters, VirtualHistogram};

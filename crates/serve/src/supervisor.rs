@@ -10,7 +10,7 @@
 //!   fatal (the old `.expect("... poisoned")` sites) turns one dead
 //!   worker into a dead engine. Commit state is repaired by the
 //!   supervisor re-dispatching the lost event, so every lock site
-//!   recovers the guard via [`PoisonError::into_inner`] and counts the
+//!   recovers the guard via [`std::sync::PoisonError::into_inner`] and counts the
 //!   recovery in [`FaultCounters::poison_recoveries`].
 //! - **Re-dispatch queue** ([`RetryQueue`]): events whose attempt was
 //!   lost (panic, stall, transient error) go back on a shared queue that

@@ -27,17 +27,29 @@
 //!    records are tagged with the shard they published purely for
 //!    journal/epoch-counter continuity.
 //!
-//! The log is an in-memory line buffer (the repository's serving plane is
-//! a simulation; durability to disk is one `write` of
-//! [`WriteAheadLog::serialized`]). [`WriteAheadLog::load`] tolerates a
-//! torn final line — the signature of a crash mid-append — but rejects
-//! corruption anywhere else.
+//! The journal has two backends behind one record API:
+//!
+//! - the default in-memory line buffer (durability to disk is one
+//!   `write` of [`WriteAheadLog::serialized`]), used by tests and the
+//!   virtual-time benches;
+//! - a durable fsync'd append-only file ([`WriteAheadLog::open_durable`]):
+//!   every [`WriteAheadLog::append`] writes its line and `fsync`s before
+//!   returning, checkpoint folding rewrites through a temp file + atomic
+//!   rename, and reopening a journal with a torn final line — the
+//!   signature of a crash mid-append — truncates the file back to the
+//!   parseable prefix.
+//!
+//! Both backends parse identically: [`WriteAheadLog::load`] tolerates a
+//! torn final line but rejects corruption anywhere else.
 
 use crate::engine::EventRecord;
 use rcacopilot_core::retrieval::{CheckpointEntry, ShardedCheckpoint};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 /// One journaled state transition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -144,29 +156,125 @@ impl Recovery {
     }
 }
 
+/// The durable file behind a [`WriteAheadLog::open_durable`] journal.
+#[derive(Debug)]
+struct FileSink {
+    file: File,
+    path: PathBuf,
+}
+
+impl FileSink {
+    /// Appends one serialized line and syncs it to stable storage before
+    /// returning — the commit is durable once `append` does.
+    fn append_line(&mut self, line: &str) {
+        self.file
+            .write_all(line.as_bytes())
+            .expect("WAL sink write");
+        self.file.write_all(b"\n").expect("WAL sink write");
+        self.file.sync_data().expect("WAL sink fsync");
+    }
+
+    /// Atomically replaces the file's contents (checkpoint folding):
+    /// write-and-sync a temp file, then rename it over the journal, so a
+    /// crash mid-fold leaves either the old journal or the new one —
+    /// never a half-written mix.
+    fn rewrite(&mut self, contents: &str) {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp).expect("WAL checkpoint temp create");
+            f.write_all(contents.as_bytes())
+                .expect("WAL checkpoint temp write");
+            f.sync_data().expect("WAL checkpoint temp fsync");
+        }
+        std::fs::rename(&tmp, &self.path).expect("WAL checkpoint rename");
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .expect("WAL reopen after checkpoint");
+    }
+}
+
 /// The engine's journal: an append-only buffer of serialized
-/// [`WalRecord`] lines with checkpoint folding.
-#[derive(Debug, Clone, Default)]
+/// [`WalRecord`] lines with checkpoint folding, optionally mirrored to a
+/// durable fsync'd file ([`WriteAheadLog::open_durable`]).
+#[derive(Debug, Default)]
 pub struct WriteAheadLog {
     lines: Vec<String>,
     /// Commits folded into the last installed checkpoint.
     checkpointed: usize,
+    /// Durable backend, when opened via [`WriteAheadLog::open_durable`].
+    sink: Option<FileSink>,
+}
+
+impl Clone for WriteAheadLog {
+    /// Clones the in-memory journal state. The clone is detached from any
+    /// durable file backend: two handles appending to one file would
+    /// interleave corruptly, so only the original keeps the sink.
+    fn clone(&self) -> Self {
+        WriteAheadLog {
+            lines: self.lines.clone(),
+            checkpointed: self.checkpointed,
+            sink: None,
+        }
+    }
 }
 
 impl WriteAheadLog {
-    /// An empty journal.
+    /// An empty in-memory journal.
     pub fn new() -> Self {
         WriteAheadLog::default()
     }
 
-    /// Appends one record.
+    /// Opens (or creates) a durable journal at `path`. Existing contents
+    /// are parsed exactly like [`WriteAheadLog::load`] — a torn final
+    /// line is dropped **and truncated off the file**, so the disk state
+    /// always equals the parseable prefix. Every subsequent
+    /// [`WriteAheadLog::append`] writes through to the file and `fsync`s
+    /// before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from reading/creating the file, or an
+    /// [`std::io::ErrorKind::InvalidData`] error wrapping the
+    /// [`WalError`] when the journal is corrupt before its final line.
+    pub fn open_durable(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut contents = String::new();
+        if path.exists() {
+            File::open(&path)?.read_to_string(&mut contents)?;
+        }
+        let mut wal = WriteAheadLog::load(&contents)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let good = wal.serialized();
+        if good != contents {
+            // Torn tail (or stray blank lines): truncate the file back to
+            // the parseable prefix so append resumes from a clean state.
+            std::fs::write(&path, &good)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        file.sync_data()?;
+        wal.sink = Some(FileSink { file, path });
+        Ok(wal)
+    }
+
+    /// True when this journal writes through to a durable file.
+    pub fn is_durable(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends one record. On a durable journal the record is fsync'd to
+    /// the backing file before this returns.
     pub fn append(&mut self, record: &WalRecord) {
-        self.lines
-            .push(serde_json::to_string(record).expect("WAL records are serializable"));
+        let line = serde_json::to_string(record).expect("WAL records are serializable");
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append_line(&line);
+        }
+        self.lines.push(line);
     }
 
     /// Replaces the whole journal with a single checkpoint record — the
-    /// journal-side compaction that bounds replay work.
+    /// journal-side compaction that bounds replay work. On a durable
+    /// journal the file is rewritten through a temp file + atomic rename.
     pub fn install_checkpoint(
         &mut self,
         records: Vec<EventRecord>,
@@ -174,12 +282,18 @@ impl WriteAheadLog {
     ) {
         let committed = records.len();
         self.lines.clear();
-        self.append(&WalRecord::Checkpoint {
+        let record = WalRecord::Checkpoint {
             committed,
             records,
             index,
-        });
+        };
+        self.lines
+            .push(serde_json::to_string(&record).expect("WAL records are serializable"));
         self.checkpointed = committed;
+        let contents = self.serialized();
+        if let Some(sink) = self.sink.as_mut() {
+            sink.rewrite(&contents);
+        }
     }
 
     /// Commits folded into the last installed checkpoint.
@@ -238,6 +352,7 @@ impl WriteAheadLog {
         Ok(WriteAheadLog {
             lines: kept,
             checkpointed,
+            sink: None,
         })
     }
 
@@ -406,6 +521,94 @@ mod tests {
         let corrupt = format!("not json at all\n{}", wal.serialized());
         let err = WriteAheadLog::load(&corrupt).unwrap_err();
         assert!(matches!(err, WalError::Corrupt { line: 0, .. }), "{err}");
+    }
+
+    /// A scratch path under the workspace `target/` dir, fresh per test.
+    fn scratch_path(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/wal-tests");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn durable_journal_round_trips_through_the_file() {
+        let path = scratch_path("round_trip.wal");
+        {
+            let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+            assert!(wal.is_durable());
+            wal.append(&commit(0));
+            wal.append(&commit(1));
+        } // drop the handle: durability must not depend on a clean close
+        let on_disk = std::fs::read_to_string(&path).expect("journal file");
+        let reopened = WriteAheadLog::open_durable(&path).expect("reopen");
+        assert_eq!(reopened.serialized(), on_disk);
+        assert_eq!(reopened.recover().unwrap().committed(), 2);
+
+        // Clones are in-memory snapshots: they must not share the sink.
+        let clone = reopened.clone();
+        assert!(!clone.is_durable());
+        assert!(reopened.is_durable());
+    }
+
+    #[test]
+    fn durable_reopen_truncates_a_torn_tail() {
+        let path = scratch_path("torn_tail.wal");
+        {
+            let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+            wal.append(&commit(0));
+            wal.append(&commit(1));
+            wal.append(&commit(2));
+        }
+        // Crash mid-append: rip the tail of the last fsync'd line.
+        let full = std::fs::read_to_string(&path).expect("journal file");
+        std::fs::write(&path, &full[..full.len() - 10]).expect("tear tail");
+
+        let mut wal = WriteAheadLog::open_durable(&path).expect("reopen");
+        assert_eq!(wal.recover().unwrap().committed(), 2);
+        // The file itself was truncated back to the parseable prefix...
+        let truncated = std::fs::read_to_string(&path).expect("journal file");
+        assert_eq!(truncated, wal.serialized());
+        assert!(truncated.ends_with('\n'));
+        // ...so appending resumes on a clean line boundary.
+        wal.append(&commit(2));
+        let reopened = WriteAheadLog::open_durable(&path).expect("reopen again");
+        assert_eq!(reopened.recover().unwrap().committed(), 3);
+    }
+
+    #[test]
+    fn durable_checkpoint_rewrites_the_file_atomically() {
+        let path = scratch_path("checkpoint.wal");
+        let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        wal.append(&commit(2));
+
+        let on_disk = std::fs::read_to_string(&path).expect("journal file");
+        assert_eq!(on_disk, wal.serialized());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "checkpoint temp file must be renamed away"
+        );
+        let reopened = WriteAheadLog::open_durable(&path).expect("reopen");
+        let recovery = reopened.recover().expect("gapless");
+        assert_eq!(recovery.committed(), 3);
+        assert_eq!(reopened.checkpointed(), 2, "fold survives reopen");
+    }
+
+    #[test]
+    fn durable_reopen_rejects_mid_log_corruption() {
+        let path = scratch_path("corrupt.wal");
+        {
+            let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+            wal.append(&commit(0));
+        }
+        let good = std::fs::read_to_string(&path).expect("journal file");
+        std::fs::write(&path, format!("not json at all\n{good}")).expect("corrupt");
+        let err = WriteAheadLog::open_durable(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -192,7 +192,7 @@ pub struct NoiseProfile {
     /// Whether to add one unrelated failing trace.
     pub unrelated_failure: bool,
     /// Bystander anomaly lines per snapshot (error-level noise from
-    /// unrelated trouble; see [`BYSTANDER_ANOMALIES`]).
+    /// unrelated trouble; see the `BYSTANDER_ANOMALIES` catalog).
     pub bystander_anomalies: usize,
 }
 

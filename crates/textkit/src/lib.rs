@@ -5,7 +5,7 @@
 //! embedding model, the TF-IDF features of the XGBoost baseline, and the
 //! simulated LLM — shares the primitives in this crate:
 //!
-//! - [`normalize`]: canonicalization and entity masking (timestamps,
+//! - [`mod@normalize`]: canonicalization and entity masking (timestamps,
 //!   machine names, hex ids, large numbers → placeholder tokens) plus word
 //!   tokenization.
 //! - [`ngram`]: word and character n-gram extraction with feature hashing.

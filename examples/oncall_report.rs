@@ -1,16 +1,15 @@
 //! The on-call notification loop: prediction → report → OCE feedback
-//! (paper §5.5).
+//! (paper §5.5), driven through the unified inference plan.
 //!
 //! ```sh
 //! cargo run --release --example oncall_report
 //! ```
 
 use rcacopilot::core::collection::CollectionStage;
-use rcacopilot::core::context::ContextSpec;
 use rcacopilot::core::eval::PreparedDataset;
-use rcacopilot::core::feedback::{FeedbackStore, Verdict};
+use rcacopilot::core::feedback::run_shift;
 use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
-use rcacopilot::core::report::OnCallReport;
+use rcacopilot::core::plan::{InferencePlan, PlanCaches, PlanExecutor};
 use rcacopilot::simcloud::noise::NoiseProfile;
 use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Topology};
 
@@ -22,47 +21,29 @@ fn main() {
     });
     let split = dataset.split(7, 0.75);
     let prepared = PreparedDataset::prepare(&dataset, &split);
-    let spec = ContextSpec::default();
-    let copilot = RcaCopilot::train(&prepared.train_examples(&spec), RcaCopilotConfig::default());
+    let plan = InferencePlan::default();
+    let copilot = RcaCopilot::train(
+        &prepared.train_examples(&plan.spec),
+        RcaCopilotConfig::default(),
+    );
     let stage = CollectionStage::standard();
-    let feedback = FeedbackStore::new();
+    let caches = PlanCaches::new(1);
+    let executor = PlanExecutor::new(&copilot, &stage, &plan, &caches);
 
     // Simulate an on-call shift: notify on 20 test incidents, collect
     // (oracle) OCE verdicts into the feedback store.
-    let mut printed = false;
-    for &i in prepared.test.iter().take(20) {
-        let incident = &dataset.incidents()[i];
-        let collected = stage.collect(incident).expect("handler registered");
-        let prediction = copilot.predict(
-            &prepared.incidents[i].raw_diag,
-            &prepared.context_text(i, &spec),
-            incident.occurred_at(),
-        );
-        let report = OnCallReport::assemble(
-            incident,
-            &collected,
-            &prepared.incidents[i].summary,
-            &prediction,
-        );
-        if !printed {
-            println!("=== Example notification ===\n{}", report.render());
-            printed = true;
-        }
-        let verdict = if prediction.label == incident.category {
-            Verdict::Correct
-        } else if prediction.unseen {
-            Verdict::CloseEnough
-        } else {
-            Verdict::Incorrect
-        };
-        feedback.record(&prediction.label, verdict);
+    let picks: Vec<usize> = prepared.test.iter().take(20).copied().collect();
+    let shift = run_shift(&executor, dataset.incidents(), &picks, copilot.index());
+    if let Some(first) = shift.reports.first() {
+        println!("=== Example notification ===\n{first}");
     }
 
     println!(
-        "=== Shift summary ===\nOCE satisfaction over 20 notifications: {:.0}%",
-        feedback.overall_satisfaction().unwrap_or(0.0) * 100.0
+        "=== Shift summary ===\nOCE satisfaction over {} notifications: {:.0}%",
+        shift.reports.len(),
+        shift.store.overall_satisfaction().unwrap_or(0.0) * 100.0
     );
-    let review = feedback.needs_review(0.6, 2);
+    let review = shift.store.needs_review(0.6, 2);
     if review.is_empty() {
         println!("No categories flagged for handler review.");
     } else {

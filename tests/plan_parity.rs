@@ -1,0 +1,154 @@
+//! Property test for the unified inference plan: executing an
+//! `InferencePlan` over a batch of replay arrivals must be byte-identical
+//! to a frozen-replay serving run of the same incidents — for arbitrary
+//! incident subsets (with repeats), arbitrary `ContextSpec` gatings, and
+//! the exact memo policy on or off. This is the contract that lets the
+//! batch harness and the serving engine share one execution layer.
+
+use proptest::prelude::*;
+use rcacopilot::core::collection::CollectionStage;
+use rcacopilot::core::eval::PreparedDataset;
+use rcacopilot::core::memo::{ExactMemo, MemoPolicy, NoMemo};
+use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
+use rcacopilot::core::plan::{InferencePlan, PlanCaches, PlanExecutor};
+use rcacopilot::core::ContextSpec;
+use rcacopilot::embed::{FastTextConfig, FeatureExtractor};
+use rcacopilot::serve::engine::EventRecord;
+use rcacopilot::serve::{
+    stream, AdmissionConfig, EngineConfig, EventOutcome, IndexMode, ServeEngine, StreamConfig,
+};
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Incident, Topology};
+use std::sync::{Arc, OnceLock};
+
+/// Shared fixture: one trained copilot plus its held-out incidents.
+/// Training is the expensive part; every proptest case replays subsets.
+fn fixture() -> &'static (RcaCopilot, Vec<Incident>) {
+    static FIXTURE: OnceLock<(RcaCopilot, Vec<Incident>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = generate_dataset(&CampaignConfig {
+            seed: 29,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile::default(),
+        });
+        let split = dataset.split(7, 0.6);
+        let prepared = PreparedDataset::prepare(&dataset, &split);
+        let copilot = RcaCopilot::train(
+            &prepared.train_examples(&ContextSpec::default()),
+            RcaCopilotConfig {
+                embedding: FastTextConfig {
+                    dim: 16,
+                    epochs: 4,
+                    lr: 0.4,
+                    features: FeatureExtractor {
+                        buckets: 1 << 10,
+                        ..FeatureExtractor::default()
+                    },
+                    ..FastTextConfig::default()
+                },
+                ..RcaCopilotConfig::default()
+            },
+        );
+        let test: Vec<Incident> = split
+            .test
+            .iter()
+            .map(|&i| dataset.incidents()[i].clone())
+            .collect();
+        (copilot, test)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Batch plan execution ≡ frozen-replay serving, byte for byte.
+    #[test]
+    fn batch_plan_matches_frozen_replay_serving(
+        picks in proptest::collection::vec(0usize..100, 1..8),
+        alert_info in 0u8..2,
+        diagnostic_info in 0u8..2,
+        summarized in 0u8..2,
+        action_output in 0u8..2,
+        exact_cache in 0u8..2,
+        workers in 1usize..4,
+    ) {
+        let (copilot, test) = fixture();
+        // Subsets may repeat incidents: repeats are exactly what the memo
+        // policies exist for.
+        let incidents: Vec<Incident> = picks
+            .iter()
+            .map(|&p| test[p % test.len()].clone())
+            .collect();
+        let spec = ContextSpec {
+            alert_info: alert_info == 1,
+            diagnostic_info: diagnostic_info == 1,
+            summarized: summarized == 1,
+            action_output: action_output == 1,
+        };
+        let policy: Arc<dyn MemoPolicy> = if exact_cache == 1 {
+            Arc::new(ExactMemo)
+        } else {
+            Arc::new(NoMemo)
+        };
+        let config = StreamConfig::replay();
+
+        // Serving plane: frozen index, replayed timeline, no admission
+        // control — the configuration the engine documents as "literally
+        // the batch pipeline".
+        let engine = ServeEngine::new(
+            copilot.clone(),
+            EngineConfig {
+                workers,
+                index_mode: IndexMode::Frozen,
+                admission: AdmissionConfig::unbounded(),
+                spec,
+                memo: policy.clone(),
+                ..EngineConfig::default()
+            },
+        );
+        let served = engine.run(&incidents, &config);
+
+        // Batch plane: the same plan executed over the same arrivals.
+        let plan = InferencePlan::new(spec).with_policy(policy);
+        let stage = CollectionStage::standard();
+        let caches = PlanCaches::new(4);
+        let executor = PlanExecutor::new(copilot, &stage, &plan, &caches);
+        let events = stream::schedule(&incidents, &config);
+        let arrivals: Vec<_> = events.iter().map(|e| (e.incident_idx, e.at)).collect();
+        let outcomes = executor.run_batch(&incidents, &arrivals, copilot.index());
+
+        let mut batch_log = String::new();
+        for (event, outcome) in events.iter().zip(outcomes) {
+            let out = match outcome {
+                Ok(out) => out,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "fault-free batch collection failed: {e}"
+                ))),
+            };
+            let alert = &incidents[event.incident_idx].alert;
+            let record = EventRecord {
+                seq: event.seq,
+                incident_idx: event.incident_idx,
+                at: event.at,
+                severity: alert.severity,
+                alert_type: alert.alert_type,
+                outcome: EventOutcome::Predicted {
+                    prediction: out.prediction,
+                    degraded: false,
+                },
+            };
+            batch_log.push_str(&record.log_line());
+            batch_log.push('\n');
+        }
+
+        prop_assert_eq!(
+            &batch_log,
+            &served.log,
+            "batch plan diverged from frozen-replay serving \
+             (spec {:?}, policy {}, workers {})",
+            spec,
+            if exact_cache == 1 { "exact" } else { "none" },
+            workers
+        );
+    }
+}

@@ -49,8 +49,8 @@ fn retrieval_feeds_figure9_prompt_and_cot_selects() {
         neighbors
             .iter()
             .map(|n| PromptOption {
-                summary: n.entry.summary.clone(),
-                category: n.entry.category.clone(),
+                summary: n.entry.summary.as_str().into(),
+                category: n.entry.category.as_str().into(),
             })
             .collect(),
     );
@@ -75,8 +75,8 @@ fn prompt_token_budget_is_enforced_with_real_tokenizer() {
         corpus[0].clone(),
         (0..200)
             .map(|i| PromptOption {
-                summary: format!("{} option {i}", corpus[i % 30].clone()),
-                category: format!("Cat{i}"),
+                summary: format!("{} option {i}", corpus[i % 30].clone()).into(),
+                category: format!("Cat{i}").into(),
             })
             .collect(),
     );
