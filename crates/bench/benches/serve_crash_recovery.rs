@@ -307,8 +307,8 @@ fn main() {
                 "index_mode": "online",
                 "checkpoint_every": base.checkpoint_every,
                 "compact_epochs": base.compact_epochs,
-                "quarantine_kills": crash_faults.quarantine_kills,
-                "max_attempts": crash_faults.max_attempts,
+                "quarantine_kills": base.quarantine_kills,
+                "max_attempts": base.max_attempts,
             },
             "crash_recovery": crash_rows,
             "fault_sweep": fault_rows,

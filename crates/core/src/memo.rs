@@ -19,6 +19,9 @@
 //!   on storm workloads, and is therefore opt-in.
 //! - [`NoMemo`] disables caching entirely (the historical batch-plane
 //!   behavior).
+//! - [`NamespacedMemo`] wraps any of the above and salts its keys with a
+//!   tenant namespace ([`namespaced_key`]), so tenants sharing one
+//!   physical cache occupy disjoint logical key spaces.
 //!
 //! The cache is sharded N-way by key (matching the retrieval plane's
 //! shard count) so concurrent workers memoizing different incidents do
@@ -34,7 +37,7 @@ use rcacopilot_textkit::normalize::{mask_entities, normalize, tokenize};
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Thread-safe memoization cache, sharded by key.
 ///
@@ -292,9 +295,117 @@ impl MemoPolicy for ShingleMemo {
     }
 }
 
+/// Salts a memo key with a tenant namespace.
+///
+/// Namespace `0` is the root (single-tenant) namespace and is the
+/// identity, so namespacing is free to thread through single-tenant
+/// paths without perturbing any existing cache key. Any other namespace
+/// mixes both halves through FNV-1a, so two tenants sharing one physical
+/// [`MemoCache`] can never alias each other's entries — even under
+/// near-duplicate policies whose keys collide across texts by design.
+pub fn namespaced_key(namespace: u64, key: u64) -> u64 {
+    if namespace == 0 {
+        return key;
+    }
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&namespace.to_le_bytes());
+    bytes[8..].copy_from_slice(&key.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// A tenant-scoped view over another memo policy: every key the inner
+/// policy produces is salted with [`namespaced_key`] before it touches
+/// the shared cache.
+///
+/// This is the memo half of the multi-tenant bulkhead: tenants share one
+/// physical [`MemoCache`] (one allocation, one shard array) but live in
+/// disjoint logical key spaces, so one tenant's flapping storm can evict
+/// or pre-fill nothing for another. Namespace `0` degenerates to the
+/// inner policy exactly.
+#[derive(Debug, Clone)]
+pub struct NamespacedMemo {
+    inner: Arc<dyn MemoPolicy>,
+    namespace: u64,
+}
+
+impl NamespacedMemo {
+    /// Scopes `inner`'s keys to `namespace`.
+    pub fn new(inner: Arc<dyn MemoPolicy>, namespace: u64) -> Self {
+        NamespacedMemo { inner, namespace }
+    }
+
+    /// The namespace keys are salted with (`0` = root, the identity).
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+}
+
+impl MemoPolicy for NamespacedMemo {
+    // The inner policy's name: namespacing changes *where* keys land,
+    // not the caching semantics reports care about.
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn summary_key(&self, raw_diag: &str) -> Option<u64> {
+        self.inner
+            .summary_key(raw_diag)
+            .map(|k| namespaced_key(self.namespace, k))
+    }
+
+    fn embed_key(&self, raw_diag: &str) -> Option<u64> {
+        self.inner
+            .embed_key(raw_diag)
+            .map(|k| namespaced_key(self.namespace, k))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn namespace_zero_is_the_identity() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(namespaced_key(0, key), key);
+        }
+        let wrapped = NamespacedMemo::new(Arc::new(ExactMemo), 0);
+        let text = "probe timeout on HUB01";
+        assert_eq!(wrapped.summary_key(text), ExactMemo.summary_key(text));
+        assert_eq!(wrapped.embed_key(text), ExactMemo.embed_key(text));
+        assert_eq!(wrapped.name(), "exact");
+    }
+
+    #[test]
+    fn distinct_namespaces_never_share_keys() {
+        let text = "delivery queue backlog on forest EURPR01";
+        let a = NamespacedMemo::new(Arc::new(ExactMemo), 1);
+        let b = NamespacedMemo::new(Arc::new(ExactMemo), 2);
+        assert_ne!(a.summary_key(text), b.summary_key(text));
+        assert_ne!(a.embed_key(text), b.embed_key(text));
+        // Same namespace stays deterministic.
+        assert_eq!(a.summary_key(text), a.summary_key(text));
+        // A bypassing inner policy still bypasses.
+        let none = NamespacedMemo::new(Arc::new(NoMemo), 7);
+        assert_eq!(none.summary_key(text), None);
+        assert_eq!(none.embed_key(text), None);
+    }
+
+    #[test]
+    fn namespaced_tenants_are_isolated_in_one_physical_cache() {
+        let cache: MemoCache<String> = MemoCache::new(4);
+        let policy = Arc::new(ExactMemo) as Arc<dyn MemoPolicy>;
+        let text = "same bytes, different tenants";
+        let t1 = NamespacedMemo::new(policy.clone(), 1);
+        let t2 = NamespacedMemo::new(policy, 2);
+        let k1 = t1.summary_key(text).unwrap();
+        let k2 = t2.summary_key(text).unwrap();
+        let v1 = cache.get_or_insert_with(k1, || "tenant-1 summary".to_string());
+        let v2 = cache.get_or_insert_with(k2, || "tenant-2 summary".to_string());
+        assert_eq!(v1, "tenant-1 summary");
+        assert_eq!(v2, "tenant-2 summary");
+        assert_eq!(cache.len(), 2, "two tenants, two entries, one cache");
+    }
 
     #[test]
     fn cache_computes_once_per_key() {

@@ -28,7 +28,7 @@
 use crate::collection::{CollectedIncident, CollectionError, CollectionStage};
 use crate::context::ContextSpec;
 use crate::eval::PreparedIncident;
-use crate::memo::{ExactMemo, MemoCache, MemoPolicy};
+use crate::memo::{ExactMemo, MemoCache, MemoPolicy, NamespacedMemo};
 use crate::pipeline::{RcaCopilot, RcaPrediction};
 use crate::retrieval::{HistoryView, RetrievalConfig};
 use rcacopilot_handlers::RunDegradation;
@@ -77,6 +77,16 @@ impl InferencePlan {
     /// Overrides the retrieval parameters.
     pub fn with_retrieval(mut self, retrieval: RetrievalConfig) -> Self {
         self.retrieval = Some(retrieval);
+        self
+    }
+
+    /// Scopes the plan's memo keys to a tenant namespace by wrapping the
+    /// current policy in [`NamespacedMemo`]. Namespace `0` (the root) is
+    /// a no-op, so single-tenant plans stay byte-identical.
+    pub fn with_namespace(mut self, namespace: u64) -> Self {
+        if namespace != 0 {
+            self.policy = Arc::new(NamespacedMemo::new(self.policy, namespace));
+        }
         self
     }
 

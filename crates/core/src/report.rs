@@ -105,7 +105,7 @@ mod tests {
     use super::*;
     use rcacopilot_handlers::HandlerRun;
     use rcacopilot_telemetry::alert::{Alert, AlertType, Severity};
-    use rcacopilot_telemetry::ids::{ForestId, IncidentId};
+    use rcacopilot_telemetry::ids::{ForestId, IncidentId, TenantId};
     use rcacopilot_telemetry::query::Scope;
     use rcacopilot_telemetry::time::SimTime;
     use rcacopilot_telemetry::TelemetrySnapshot;
@@ -117,6 +117,7 @@ mod tests {
                 alert_type: AlertType::OutboundConnectionFailure,
                 scope: Scope::Forest(ForestId(1)),
                 severity: Severity::Sev2,
+                tenant: TenantId::default(),
                 raised_at: SimTime::from_days(10),
                 monitor: "OutboundProxyMonitor".into(),
                 message: "Outbound proxy connections failing.".into(),

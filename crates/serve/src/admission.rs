@@ -47,6 +47,28 @@ impl AdmissionConfig {
             ..AdmissionConfig::default()
         }
     }
+
+    /// This tenant's bulkhead slice of the admission budget: capacity and
+    /// drain rate scale by `weight / total_weight`, the degrade threshold
+    /// fraction is unchanged. The share is *reserved*, not work-conserving
+    /// — a tenant's plan depends only on its own stream, which is what
+    /// makes per-tenant prediction logs byte-identical whether neighbors
+    /// are quiet or storming. A single tenant (`weight == total_weight`)
+    /// keeps the whole budget, reproducing the single-tenant plan exactly.
+    pub fn share(&self, weight: u32, total_weight: u32) -> Self {
+        assert!(weight > 0, "tenant weight must be positive");
+        assert!(total_weight >= weight, "total weight below tenant weight");
+        if weight == total_weight {
+            return *self;
+        }
+        let frac = f64::from(weight) / f64::from(total_weight);
+        AdmissionConfig {
+            enabled: self.enabled,
+            capacity_secs: (self.capacity_secs as f64 * frac).floor() as u64,
+            drain_rate: self.drain_rate * frac,
+            degrade_frac: self.degrade_frac,
+        }
+    }
 }
 
 /// Fraction of backlog capacity a severity may fill (Sev1 preempts all of
@@ -300,6 +322,36 @@ mod tests {
         assert_eq!(plan.admitted(), 0);
         assert_eq!(plan.peak_backlog_secs, 0);
         assert_eq!(plan.dispositions.len(), events.len());
+    }
+
+    #[test]
+    fn share_scales_capacity_and_composes_with_severity_caps() {
+        let base = AdmissionConfig::default();
+        // Full weight: the identity (bit-for-bit, so single-tenant runs
+        // reproduce the legacy plan).
+        assert_eq!(base.share(3, 3), base);
+        // A half share halves capacity and drain, keeps degrade_frac.
+        let half = base.share(1, 2);
+        assert_eq!(half.capacity_secs, base.capacity_secs / 2);
+        assert!((half.drain_rate - base.drain_rate / 2.0).abs() < 1e-12);
+        assert_eq!(half.degrade_frac, base.degrade_frac);
+        // Severity caps apply to the *scaled* capacity: an event that
+        // clears Sev4's share of the full budget sheds under a half
+        // share.
+        let cfg = AdmissionConfig {
+            capacity_secs: 1_000,
+            ..AdmissionConfig::default()
+        };
+        let full = plan(&[input(0, Severity::Sev4, 400)], &cfg);
+        assert_eq!(full.dispositions, vec![Disposition::Full]);
+        let shared = plan(&[input(0, Severity::Sev4, 400)], &cfg.share(1, 2));
+        assert_eq!(shared.dispositions, vec![Disposition::Shed]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_share_is_rejected() {
+        let _ = AdmissionConfig::default().share(0, 4);
     }
 
     #[test]

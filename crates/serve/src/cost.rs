@@ -93,7 +93,7 @@ pub fn estimate(alert: &Alert, seed: u64) -> StageCosts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcacopilot_telemetry::ids::{ForestId, IncidentId};
+    use rcacopilot_telemetry::ids::{ForestId, IncidentId, TenantId};
     use rcacopilot_telemetry::query::Scope;
     use rcacopilot_telemetry::time::SimTime;
     use rcacopilot_telemetry::Severity;
@@ -104,6 +104,7 @@ mod tests {
             alert_type: AlertType::ProcessCrashSpike,
             scope: Scope::Forest(ForestId(0)),
             severity: Severity::Sev2,
+            tenant: TenantId::default(),
             raised_at: SimTime::from_days(1),
             monitor: "CrashMonitor".into(),
             message: msg.into(),

@@ -33,7 +33,7 @@
 
 use crate::admission::{self, AdmissionConfig, AdmissionInput, AdmissionPlan, Disposition};
 use crate::cost::{self, StageCosts, DEGRADED_SUMMARIZE_SECS};
-use crate::fault::{WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
+use crate::fault::{AttemptFate, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 use crate::stream::{self, StreamConfig, StreamEvent};
 use crate::supervisor::{
     lock_recovered, wait_recovered, AttemptLedger, InFlight, RetryQueue, Verdict,
@@ -45,6 +45,7 @@ use rcacopilot_core::plan::{InferencePlan, PlanCaches, PlanExecutor, SummarizeMo
 use rcacopilot_core::retrieval::{CheckpointEntry, ShardedHistoricalIndex};
 use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
 use rcacopilot_simcloud::Incident;
+use rcacopilot_telemetry::ids::TenantId;
 use rcacopilot_telemetry::{AlertType, Severity, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
@@ -64,6 +65,36 @@ pub enum IndexMode {
     /// incident is inserted (with its post-resolution OCE label) once it
     /// resolves, so later incidents retrieve earlier streamed ones.
     Online,
+}
+
+/// Per-tenant circuit breaker over the worker-fault climate.
+///
+/// The breaker is planned deterministically on the virtual clock: the
+/// engine replays each event's attempt fate from the fault plan
+/// ([`WorkerFaultPlan::simulate_fate`]) before dispatch, trips after
+/// [`BreakerConfig::trip_quarantines`] planned quarantines, and
+/// fast-fails every event arriving within the cooldown window as a
+/// [`EventOutcome::Failed`] dead-letter record — never handing a
+/// known-poisonous storm to the worker pool, so a flapping tenant burns
+/// its own breaker instead of the shared workers. Because the plan
+/// depends only on the stream and the fault seed, the prediction log
+/// stays byte-identical for every worker and shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Planned quarantines before the breaker opens (≥ 1).
+    pub trip_quarantines: u32,
+    /// Virtual seconds the breaker stays open once tripped; events
+    /// arriving inside the window are fast-failed.
+    pub cooldown_secs: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_quarantines: 3,
+            cooldown_secs: 600,
+        }
+    }
 }
 
 /// Engine configuration.
@@ -98,6 +129,26 @@ pub struct EngineConfig {
     pub memo: Arc<dyn MemoPolicy>,
     /// Worker-fault injection (disabled by default).
     pub faults: WorkerFaultConfig,
+    /// The tenant this engine instance serves. Every [`EventRecord`] and
+    /// every journaled [`WalRecord`] is tagged with it, sequence numbers
+    /// are tenant-local, and the memo caches are namespaced to it — the
+    /// engine itself is single-tenant; the tenant layer
+    /// ([`crate::tenant`]) composes one engine per tenant into a
+    /// bulkheaded multi-tenant run.
+    pub tenant: TenantId,
+    /// Worker kills before an event is quarantined as a poison pill.
+    pub quarantine_kills: u32,
+    /// Total attempts (including stalls/transient losses) before
+    /// quarantine.
+    pub max_attempts: u32,
+    /// Per-tenant circuit breaker (`None` = disabled, the default:
+    /// behavior is then byte-identical to pre-breaker engines).
+    pub breaker: Option<BreakerConfig>,
+    /// Shared physical memo caches, for multi-tenant runs that bulkhead
+    /// one cache pool across tenants via key namespacing (`None` = the
+    /// engine builds its own). A shared pool must have been created with
+    /// this config's shard count.
+    pub caches: Option<Arc<PlanCaches>>,
     /// Simulated crash: stop dispatching at the first event arriving
     /// after this virtual instant, leaving the rest of the stream
     /// uncommitted. Pair with [`ServeEngine::run_with_wal`] to test
@@ -124,6 +175,11 @@ impl Default for EngineConfig {
             spec: ContextSpec::default(),
             memo: Arc::new(ExactMemo),
             faults: WorkerFaultConfig::disabled(),
+            tenant: TenantId::default(),
+            quarantine_kills: 2,
+            max_attempts: 6,
+            breaker: None,
+            caches: None,
             crash_at: None,
             checkpoint_every: 0,
             compact_epochs: 0,
@@ -181,6 +237,9 @@ pub struct EventRecord {
     pub severity: Severity,
     /// Alert type.
     pub alert_type: AlertType,
+    /// Tenant the serving engine ran this event for
+    /// ([`EngineConfig::tenant`]).
+    pub tenant: TenantId,
     /// Outcome.
     pub outcome: EventOutcome,
 }
@@ -190,10 +249,11 @@ impl EventRecord {
     /// the engine's deterministic prediction log.
     pub fn log_line(&self) -> String {
         let head = format!(
-            "seq={} inc={} at={} sev={} type={}",
+            "seq={} inc={} at={} ten={} sev={} type={}",
             self.seq,
             self.incident_idx,
             self.at.as_secs(),
+            self.tenant.0,
             self.severity.level(),
             self.alert_type,
         );
@@ -282,6 +342,7 @@ struct CommitSink<'a> {
     wal: Option<&'a Mutex<&'a mut WriteAheadLog>>,
     checkpoint_every: usize,
     counters: &'a FaultCounters,
+    tenant: TenantId,
 }
 
 /// Everything one worker thread needs, shared by reference across the
@@ -391,6 +452,7 @@ impl ServeEngine {
                 entry: corrected.clone(),
                 visible_from: feedback.corrected_at,
             },
+            tenant: self.config.tenant,
         });
         corrected
     }
@@ -424,13 +486,51 @@ impl ServeEngine {
             })
             .collect();
         let plan = admission::plan(&inputs, &self.config.admission);
+        let fault_plan = WorkerFaultPlan::new(self.config.faults);
+        // Circuit-breaker pre-pass: replay each admitted event's attempt
+        // fate from the deterministic fault plan; after `trip_quarantines`
+        // planned quarantines the breaker opens and every event arriving
+        // inside the cooldown window is fast-failed without dispatch.
+        // Fates depend only on `(seq, attempt)`, so the fast-fail set —
+        // like admission — is identical for every worker count.
+        let mut fast_fail = vec![false; n];
+        if let Some(bk) = self.config.breaker {
+            let mut quarantines = 0u32;
+            let mut open_until: Option<SimTime> = None;
+            for (i, e) in events.iter().enumerate() {
+                if plan.dispositions[i] == Disposition::Shed {
+                    continue;
+                }
+                if open_until.is_some_and(|t| e.at < t) {
+                    fast_fail[i] = true;
+                    continue;
+                }
+                open_until = None;
+                let fate = fault_plan.simulate_fate(
+                    e.seq,
+                    self.config.quarantine_kills,
+                    self.config.max_attempts,
+                );
+                if matches!(fate, AttemptFate::Quarantined { .. }) {
+                    quarantines += 1;
+                    if quarantines >= bk.trip_quarantines.max(1) {
+                        open_until = Some(e.at + SimDuration::from_secs(bk.cooldown_secs));
+                        quarantines = 0;
+                    }
+                }
+            }
+        }
         // Infinite-server resolution times: worker-independent, so index
-        // visibility never depends on the pool size.
+        // visibility never depends on the pool size. Fast-failed events
+        // never resolve — they neither enter the online index nor gate
+        // later events' dispatch.
         let resolve: Vec<Option<SimTime>> = events
             .iter()
             .zip(&costs)
             .zip(&plan.dispositions)
-            .map(|((e, c), d)| match d {
+            .enumerate()
+            .map(|(i, ((e, c), d))| match d {
+                _ if fast_fail[i] => None,
                 Disposition::Shed => None,
                 Disposition::Full => Some(e.at + SimDuration::from_secs(c.total())),
                 Disposition::Degraded => Some(e.at + SimDuration::from_secs(c.degraded_total())),
@@ -451,8 +551,7 @@ impl ServeEngine {
         };
 
         let counters = FaultCounters::new();
-        let fault_plan = WorkerFaultPlan::new(self.config.faults);
-        let ledger = AttemptLedger::new(n, &self.config.faults);
+        let ledger = AttemptLedger::new(n, self.config.quarantine_kills, self.config.max_attempts);
         let retry = RetryQueue::new();
 
         let shards = self.config.shards.max(1);
@@ -492,12 +591,21 @@ impl ServeEngine {
                 Some(idx)
             }
         };
-        let caches = PlanCaches::new(shards);
+        // A shared pool (multi-tenant bulkheading) or a private one; the
+        // inference plan's memo policy is namespaced to the tenant either
+        // way, so tenants sharing one physical cache occupy disjoint
+        // logical key spaces.
+        let caches: Arc<PlanCaches> = self
+            .config
+            .caches
+            .clone()
+            .unwrap_or_else(|| Arc::new(PlanCaches::new(shards)));
         let inference = InferencePlan {
             spec: self.config.spec,
             retrieval: None,
             policy: self.config.memo.clone(),
-        };
+        }
+        .with_namespace(self.config.tenant.0);
         let ctx = RunCtx {
             incidents,
             events: &events,
@@ -514,6 +622,7 @@ impl ServeEngine {
             wal: wal.as_ref(),
             checkpoint_every: self.config.checkpoint_every,
             counters: &counters,
+            tenant: self.config.tenant,
         };
 
         let state = Mutex::new(CommitState {
@@ -533,12 +642,23 @@ impl ServeEngine {
                 });
             }
             st.next = committed;
-            // Shed events never reach a worker: record them up front so
-            // the watermark can advance across them.
-            for i in committed..n {
+            // Shed and breaker-fast-failed events never reach a worker:
+            // record them up front so the watermark can advance across
+            // them.
+            for (i, &fast) in fast_fail.iter().enumerate().skip(committed) {
                 if plan.dispositions[i] == Disposition::Shed {
                     st.slots[i] = Some(Slot {
                         record: self.shed_record(&ctx, i),
+                        entry: None,
+                    });
+                } else if fast {
+                    FaultCounters::bump(&counters.breaker_fast_fails);
+                    st.slots[i] = Some(Slot {
+                        record: self.dead_letter_record(
+                            &ctx,
+                            i,
+                            "[pipeline failure] circuit open: fast-failed in cooldown".to_string(),
+                        ),
                         entry: None,
                     });
                 }
@@ -576,7 +696,7 @@ impl ServeEngine {
                     // stays contiguous).
                     break;
                 }
-                if plan.dispositions[i] == Disposition::Shed {
+                if plan.dispositions[i] == Disposition::Shed || fast_fail[i] {
                     continue;
                 }
                 if need_i > 0 {
@@ -587,11 +707,27 @@ impl ServeEngine {
                 }
                 let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
                 peak_queue.fetch_max(depth, Ordering::Relaxed);
-                tx.send(i).expect("workers alive while dispatching");
+                if tx.send(i).is_err() {
+                    // Every worker is gone — impossible while the channel
+                    // is open under normal operation, but a counted stop
+                    // beats a dispatcher panic taking the run down.
+                    FaultCounters::bump(&counters.dispatch_failures);
+                    queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    break;
+                }
             }
             drop(tx);
         });
 
+        // Surface durable-sink degradation in the run's fault counters
+        // (before tearing down the commit state, whose borrow shares the
+        // sink's lifetime).
+        if let Some(wal) = wal.as_ref() {
+            let failures = lock_recovered(wal, &counters).sink_failures();
+            counters
+                .sink_failures
+                .fetch_add(failures, Ordering::Relaxed);
+        }
         let slots = state
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -619,6 +755,7 @@ impl ServeEngine {
             &events,
             &costs,
             &plan,
+            &resolve,
             online.as_ref(),
             &caches,
             &counters,
@@ -742,6 +879,7 @@ impl ServeEngine {
             at: ev.at,
             severity: alert.severity,
             alert_type: alert.alert_type,
+            tenant: self.config.tenant,
             outcome: EventOutcome::Failed { reason },
         }
     }
@@ -756,6 +894,7 @@ impl ServeEngine {
             at: ev.at,
             severity: alert.severity,
             alert_type: alert.alert_type,
+            tenant: self.config.tenant,
             outcome: EventOutcome::Shed {
                 backlog_secs: ctx.plan.backlog_at_arrival[i],
             },
@@ -820,6 +959,7 @@ impl ServeEngine {
                 at: ev.at,
                 severity: inc.alert.severity,
                 alert_type: inc.alert.alert_type,
+                tenant: self.config.tenant,
                 outcome: EventOutcome::Predicted {
                     prediction: out.prediction,
                     degraded,
@@ -839,6 +979,7 @@ impl ServeEngine {
         events: &[StreamEvent],
         costs: &[StageCosts],
         plan: &AdmissionPlan,
+        resolve: &[Option<SimTime>],
         online: Option<&ShardedHistoricalIndex>,
         caches: &PlanCaches,
         counters: &FaultCounters,
@@ -853,6 +994,10 @@ impl ServeEngine {
         ];
         let mut jobs: Vec<VirtualJob> = Vec::new();
         for (i, (e, c)) in events.iter().zip(costs).enumerate() {
+            if plan.dispositions[i] != Disposition::Shed && resolve[i].is_none() {
+                // Breaker-fast-failed: never executed, no pool work.
+                continue;
+            }
             let service = match plan.dispositions[i] {
                 Disposition::Shed => continue,
                 Disposition::Full => {
@@ -896,6 +1041,7 @@ impl ServeEngine {
                 },
                 "cost_seed": self.config.cost_seed,
                 "shards": self.config.shards.max(1),
+                "tenant": self.config.tenant.0,
             },
             "stream": {
                 "events": events.len(),
@@ -988,6 +1134,7 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
                     shard,
                     epoch,
                     committed: st.next,
+                    tenant: sink.tenant,
                 });
             }
         }
@@ -1007,7 +1154,7 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
                 })
                 .collect();
             let index = sink.online.map(ShardedHistoricalIndex::checkpoint);
-            wal.install_checkpoint(records, index);
+            wal.install_checkpoint(records, index, sink.tenant);
         }
     }
 }
@@ -1213,6 +1360,41 @@ mod tests {
     }
 
     #[test]
+    fn breaker_fast_fails_a_fault_storm_and_stays_deterministic() {
+        let stream = StreamConfig::replay();
+        let faults = WorkerFaultConfig {
+            panic_per_mille: 400,
+            stall_per_mille: 150,
+            error_per_mille: 100,
+            ..WorkerFaultConfig::default()
+        };
+        let make = |workers| {
+            let (engine, test) = trained_engine(EngineConfig {
+                workers,
+                faults,
+                breaker: Some(BreakerConfig {
+                    trip_quarantines: 1,
+                    cooldown_secs: 1 << 40,
+                }),
+                admission: AdmissionConfig::unbounded(),
+                ..EngineConfig::default()
+            });
+            let n = test.len();
+            (engine.run(&test, &stream), n)
+        };
+        let (out1, n1) = make(1);
+        let (out4, _) = make(4);
+        assert_eq!(out1.records.len(), n1, "fast-fails still commit");
+        assert_eq!(out1.log, out4.log, "the fast-fail set is planned");
+        assert!(out1.log.contains("circuit open"), "the breaker must trip");
+        let fast = as_u64(field(&out1.report, &["faults", "breaker_fast_fails"]));
+        assert!(fast > 0);
+        // Fast-failed events are never dispatched: fewer pool jobs than
+        // the no-breaker run would execute.
+        assert!(out1.exec.completed < n1);
+    }
+
+    #[test]
     fn failed_records_render_single_line_and_round_trip() {
         let record = EventRecord {
             seq: 3,
@@ -1220,6 +1402,7 @@ mod tests {
             at: SimTime::from_secs(120),
             severity: Severity::Sev2,
             alert_type: AlertType::default(),
+            tenant: TenantId(7),
             outcome: EventOutcome::Failed {
                 reason: "[pipeline failure] quarantined: kills=2 attempts=2".to_string(),
             },

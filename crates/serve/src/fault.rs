@@ -107,12 +107,6 @@ pub struct WorkerFaultConfig {
     pub stall_per_mille: u16,
     /// Probability (per mille) that an attempt hits a transient error.
     pub error_per_mille: u16,
-    /// Worker kills after which an event is quarantined as a poison
-    /// pill (dead-letter record) instead of re-dispatched.
-    pub quarantine_kills: u32,
-    /// Hard cap on processing attempts per event (panics, stalls and
-    /// transient errors all count); reaching it also quarantines.
-    pub max_attempts: u32,
 }
 
 impl Default for WorkerFaultConfig {
@@ -122,8 +116,6 @@ impl Default for WorkerFaultConfig {
             panic_per_mille: 0,
             stall_per_mille: 0,
             error_per_mille: 0,
-            quarantine_kills: 2,
-            max_attempts: 6,
         }
     }
 }
@@ -192,6 +184,77 @@ impl WorkerFaultPlan {
             WorkerFault::None
         }
     }
+
+    /// Replays the supervisor's attempt/kill ledger against the pure
+    /// fault plan and returns the event's fate, without dispatching
+    /// anything. The loop mirrors
+    /// [`AttemptLedger`](crate::supervisor::AttemptLedger) exactly: a
+    /// panic counts a kill (quarantining at `quarantine_kills`), every
+    /// lost attempt counts toward `max_attempts`, and a clean roll
+    /// completes the event. Pure in `(seed, seq, thresholds)`, which is
+    /// what lets per-tenant circuit breakers trip on *planned* fates
+    /// before any worker runs — keeping the prediction log byte-identical
+    /// across worker counts.
+    pub fn simulate_fate(
+        &self,
+        seq: usize,
+        quarantine_kills: u32,
+        max_attempts: u32,
+    ) -> AttemptFate {
+        let quarantine_kills = quarantine_kills.max(1);
+        let max_attempts = max_attempts.max(1);
+        let mut kills = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.decide(seq, attempt) {
+                WorkerFault::None => {
+                    return AttemptFate::Completes {
+                        attempts: attempt,
+                        kills,
+                    }
+                }
+                WorkerFault::Panic { .. } => {
+                    kills += 1;
+                    if kills >= quarantine_kills || attempt >= max_attempts {
+                        return AttemptFate::Quarantined {
+                            attempts: attempt,
+                            kills,
+                        };
+                    }
+                }
+                WorkerFault::Stall { .. } | WorkerFault::Transient { .. } => {
+                    if attempt >= max_attempts {
+                        return AttemptFate::Quarantined {
+                            attempts: attempt,
+                            kills,
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The planned end state of one event under a fault plan and a pair of
+/// quarantine thresholds — the output of
+/// [`WorkerFaultPlan::simulate_fate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptFate {
+    /// Some attempt rolls clean and the event commits a prediction.
+    Completes {
+        /// Attempts consumed, including the clean one.
+        attempts: u32,
+        /// Worker kills along the way.
+        kills: u32,
+    },
+    /// The thresholds exhaust first: the event becomes a poison pill.
+    Quarantined {
+        /// Attempts consumed.
+        attempts: u32,
+        /// Worker kills along the way.
+        kills: u32,
+    },
 }
 
 #[cfg(test)]
@@ -204,7 +267,6 @@ mod tests {
             panic_per_mille: panic,
             stall_per_mille: stall,
             error_per_mille: error,
-            ..WorkerFaultConfig::default()
         })
     }
 
@@ -267,6 +329,68 @@ mod tests {
         });
         let differs = (0..100).any(|seq| a.decide(seq, 1) != b.decide(seq, 1));
         assert!(differs, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn simulated_fates_match_a_real_ledger_replay() {
+        use crate::supervisor::{AttemptLedger, Verdict};
+        let p = plan(250, 120, 120);
+        let mut quarantined = 0usize;
+        for seq in 0..300usize {
+            let fate = p.simulate_fate(seq, 2, 6);
+            let ledger = AttemptLedger::new(seq + 1, 2, 6);
+            let replayed = loop {
+                let attempt = ledger.begin_attempt(seq);
+                let verdict = match p.decide(seq, attempt) {
+                    WorkerFault::None => {
+                        break AttemptFate::Completes {
+                            attempts: attempt,
+                            kills: 0,
+                        }
+                    }
+                    WorkerFault::Panic { .. } => ledger.record_kill(seq),
+                    WorkerFault::Stall { .. } | WorkerFault::Transient { .. } => {
+                        ledger.record_loss(seq)
+                    }
+                };
+                if let Verdict::Quarantine { kills, attempts } = verdict {
+                    break AttemptFate::Quarantined { attempts, kills };
+                }
+            };
+            match (fate, replayed) {
+                (
+                    AttemptFate::Completes { attempts: a, .. },
+                    AttemptFate::Completes { attempts: b, .. },
+                ) => {
+                    assert_eq!(a, b, "seq {seq}: attempt counts diverged")
+                }
+                (q @ AttemptFate::Quarantined { .. }, r) => {
+                    quarantined += 1;
+                    assert_eq!(q, r, "seq {seq}: quarantine fates diverged");
+                }
+                (f, r) => panic!("seq {seq}: {f:?} vs ledger {r:?}"),
+            }
+        }
+        assert!(quarantined > 0, "rates this high must quarantine someone");
+    }
+
+    #[test]
+    fn fate_respects_threshold_overrides() {
+        let p = plan(1000, 0, 0); // every attempt panics
+        assert_eq!(
+            p.simulate_fate(0, 1, 6),
+            AttemptFate::Quarantined {
+                attempts: 1,
+                kills: 1
+            }
+        );
+        assert_eq!(
+            p.simulate_fate(0, 4, 2),
+            AttemptFate::Quarantined {
+                attempts: 2,
+                kills: 2
+            }
+        );
     }
 
     #[test]

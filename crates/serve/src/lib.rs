@@ -53,7 +53,22 @@
 //!   folding) so an engine killed mid-stream resumes — via
 //!   [`engine::ServeEngine::run_with_wal`] — with a prediction log
 //!   byte-identical to an uninterrupted run, even when the resumed run
-//!   uses a different shard count.
+//!   uses a different shard count. Durable-sink I/O failures detach the
+//!   sink and are counted, never fatal.
+//!
+//! The topmost layer is **multi-tenancy as a robustness boundary**
+//! ([`tenant`]): each tenant (OCE team) gets a weighted fair share of
+//! admission capacity ([`admission::AdmissionConfig::share`]) and of the
+//! worker pool (deficit round robin, [`vmetrics::simulate_drr`]), its own
+//! attempt ledger and optional planned circuit breaker
+//! ([`engine::BreakerConfig`]), namespaced memo caches
+//! (`rcacopilot_core::memo::NamespacedMemo`), and a tenant-tagged WAL
+//! stream with independent per-tenant recovery
+//! ([`wal::WriteAheadLog::recover_tenants`]). A merged
+//! [`tenant::MultiTenantEngine`] run composes per-tenant engine runs
+//! whose logs are byte-identical to solo baselines — one tenant's
+//! flapping-monitor fault storm cannot perturb another tenant's
+//! predictions, watermarks, or cache keys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,17 +79,20 @@ pub mod engine;
 pub mod fault;
 pub mod stream;
 pub mod supervisor;
+pub mod tenant;
 pub mod vmetrics;
 pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
 pub use cost::StageCosts;
 pub use engine::{
-    EngineConfig, EventOutcome, EventRecord, IndexMode, OceFeedback, ServeEngine, ServeOutcome,
+    BreakerConfig, EngineConfig, EventOutcome, EventRecord, IndexMode, OceFeedback, ServeEngine,
+    ServeOutcome,
 };
-pub use fault::{PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
+pub use fault::{AttemptFate, PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 pub use rcacopilot_core::memo::MemoCache;
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
 pub use supervisor::{AttemptLedger, RetryQueue, Verdict};
-pub use vmetrics::{ExecStats, FaultCounters, VirtualHistogram};
+pub use tenant::{MultiTenantConfig, MultiTenantEngine, MultiTenantOutcome, TenantRun, TenantSpec};
+pub use vmetrics::{simulate_drr, DrrJob, DrrStats, ExecStats, FaultCounters, VirtualHistogram};
 pub use wal::{Recovery, WalError, WalRecord, WriteAheadLog};

@@ -20,12 +20,14 @@
 //!   deciding when an event stops being retried and becomes a poison
 //!   pill. An event that kills a worker [`quarantine_kills`] times — or
 //!   burns [`max_attempts`] attempts of any kind — is routed to a
-//!   dead-letter record instead of taking another worker down.
+//!   dead-letter record instead of taking another worker down. The
+//!   thresholds are engine policy, not fault-plan parameters: they come
+//!   from [`EngineConfig`](crate::engine::EngineConfig) so a deployment
+//!   can tighten or relax quarantine without touching the seeded plan.
 //!
-//! [`quarantine_kills`]: crate::fault::WorkerFaultConfig::quarantine_kills
-//! [`max_attempts`]: crate::fault::WorkerFaultConfig::max_attempts
+//! [`quarantine_kills`]: crate::engine::EngineConfig::quarantine_kills
+//! [`max_attempts`]: crate::engine::EngineConfig::max_attempts
 
-use crate::fault::WorkerFaultConfig;
 use crate::vmetrics::FaultCounters;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -120,13 +122,15 @@ pub struct AttemptLedger {
 }
 
 impl AttemptLedger {
-    /// A ledger for `n` events under `config`'s quarantine thresholds.
-    pub fn new(n: usize, config: &WorkerFaultConfig) -> Self {
+    /// A ledger for `n` events: quarantine after `quarantine_kills`
+    /// worker kills or `max_attempts` attempts of any kind (both clamped
+    /// to at least 1).
+    pub fn new(n: usize, quarantine_kills: u32, max_attempts: u32) -> Self {
         AttemptLedger {
             attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
             kills: (0..n).map(|_| AtomicU32::new(0)).collect(),
-            quarantine_kills: config.quarantine_kills.max(1),
-            max_attempts: config.max_attempts.max(1),
+            quarantine_kills: quarantine_kills.max(1),
+            max_attempts: max_attempts.max(1),
         }
     }
 
@@ -229,7 +233,7 @@ mod tests {
 
     #[test]
     fn ledger_quarantines_after_two_kills_by_default() {
-        let ledger = AttemptLedger::new(2, &WorkerFaultConfig::default());
+        let ledger = AttemptLedger::new(2, 2, 6);
         ledger.begin_attempt(0);
         assert_eq!(ledger.record_kill(0), Verdict::Retry);
         ledger.begin_attempt(0);
@@ -244,11 +248,7 @@ mod tests {
 
     #[test]
     fn ledger_quarantines_on_attempt_exhaustion() {
-        let config = WorkerFaultConfig {
-            max_attempts: 3,
-            ..WorkerFaultConfig::default()
-        };
-        let ledger = AttemptLedger::new(1, &config);
+        let ledger = AttemptLedger::new(1, 2, 3);
         for _ in 0..2 {
             ledger.begin_attempt(0);
             assert_eq!(ledger.record_loss(0), Verdict::Retry);

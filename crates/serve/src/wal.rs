@@ -40,10 +40,25 @@
 //!   parseable prefix.
 //!
 //! Both backends parse identically: [`WriteAheadLog::load`] tolerates a
-//! torn final line but rejects corruption anywhere else.
+//! torn final line but rejects corruption anywhere else. A durable-sink
+//! I/O failure never aborts the engine: the sink is detached, the failure
+//! is counted in [`WriteAheadLog::sink_failures`], and the journal
+//! degrades to in-memory operation.
+//!
+//! **Multi-tenancy**: every record is tagged with its owning
+//! [`TenantId`], and sequence numbers are *tenant-local* — each tenant's
+//! commits form their own gapless prefix. [`WriteAheadLog::split_tenants`]
+//! partitions an interleaved journal into per-tenant journals,
+//! [`WriteAheadLog::merge_tenants`] interleaves per-tenant journals back
+//! by virtual anchor time (ties broken by tenant id, then journal order),
+//! and [`WriteAheadLog::recover_tenants`] recovers each tenant's stream
+//! independently — a torn tail in one tenant's stream rolls back only
+//! that tenant's watermark. [`WriteAheadLog::adopt`] writes a merged
+//! journal back through an existing durable sink.
 
 use crate::engine::EventRecord;
 use rcacopilot_core::retrieval::{CheckpointEntry, ShardedCheckpoint};
+use rcacopilot_telemetry::ids::TenantId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -56,17 +71,19 @@ use std::path::{Path, PathBuf};
 pub enum WalRecord {
     /// Event `seq` committed at the in-order watermark. `entry` carries
     /// the online-index insertion performed at commit time (`None` for
-    /// shed/failed events or frozen-index mode).
+    /// shed/failed events or frozen-index mode). The owning tenant rides
+    /// on the committed record itself.
     Commit {
-        /// Stream sequence number (== position in the record prefix).
+        /// Tenant-local stream sequence number (== position in the
+        /// tenant's record prefix).
         seq: usize,
         /// The committed record.
         record: EventRecord,
         /// Index entry inserted at this commit, if any.
         entry: Option<CheckpointEntry>,
     },
-    /// Shard `shard` of the online index published epoch `epoch` after
-    /// commit `committed`.
+    /// Shard `shard` of tenant `tenant`'s online index published epoch
+    /// `epoch` after commit `committed`.
     Epoch {
         /// Shard that published.
         shard: usize,
@@ -74,6 +91,8 @@ pub enum WalRecord {
         epoch: u64,
         /// Commits covered by the epoch.
         committed: usize,
+        /// Tenant whose index partition published.
+        tenant: TenantId,
     },
     /// An OCE corrected a served prediction: the corrected entry is
     /// re-inserted into its category's shard on replay, visible to
@@ -81,9 +100,12 @@ pub enum WalRecord {
     Feedback {
         /// The corrected entry and its visibility watermark.
         entry: CheckpointEntry,
+        /// Tenant whose serving history is corrected.
+        tenant: TenantId,
     },
-    /// A checkpoint folding every earlier record: the full committed
-    /// prefix plus the serialized index state.
+    /// A checkpoint folding every earlier record of one tenant's stream:
+    /// the tenant's full committed prefix plus its serialized index
+    /// state.
     Checkpoint {
         /// Number of committed events in the prefix.
         committed: usize,
@@ -91,7 +113,22 @@ pub enum WalRecord {
         records: Vec<EventRecord>,
         /// Serialized online-index state (`None` in frozen-index mode).
         index: Option<ShardedCheckpoint>,
+        /// Tenant whose stream the checkpoint folds.
+        tenant: TenantId,
     },
+}
+
+impl WalRecord {
+    /// The tenant stream this record belongs to. [`TenantId::default`]
+    /// (tenant 0) is the single-tenant deployment.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            WalRecord::Commit { record, .. } => record.tenant,
+            WalRecord::Epoch { tenant, .. }
+            | WalRecord::Feedback { tenant, .. }
+            | WalRecord::Checkpoint { tenant, .. } => *tenant,
+        }
+    }
 }
 
 /// Why a WAL could not be read back.
@@ -165,32 +202,29 @@ struct FileSink {
 
 impl FileSink {
     /// Appends one serialized line and syncs it to stable storage before
-    /// returning — the commit is durable once `append` does.
-    fn append_line(&mut self, line: &str) {
-        self.file
-            .write_all(line.as_bytes())
-            .expect("WAL sink write");
-        self.file.write_all(b"\n").expect("WAL sink write");
-        self.file.sync_data().expect("WAL sink fsync");
+    /// returning — the commit is durable once `append_line` succeeds.
+    /// I/O failures bubble up so the journal can detach the sink and
+    /// carry on in memory instead of aborting mid-storm.
+    fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
     }
 
     /// Atomically replaces the file's contents (checkpoint folding):
     /// write-and-sync a temp file, then rename it over the journal, so a
     /// crash mid-fold leaves either the old journal or the new one —
     /// never a half-written mix.
-    fn rewrite(&mut self, contents: &str) {
+    fn rewrite(&mut self, contents: &str) -> std::io::Result<()> {
         let tmp = self.path.with_extension("tmp");
         {
-            let mut f = File::create(&tmp).expect("WAL checkpoint temp create");
-            f.write_all(contents.as_bytes())
-                .expect("WAL checkpoint temp write");
-            f.sync_data().expect("WAL checkpoint temp fsync");
+            let mut f = File::create(&tmp)?;
+            f.write_all(contents.as_bytes())?;
+            f.sync_data()?;
         }
-        std::fs::rename(&tmp, &self.path).expect("WAL checkpoint rename");
-        self.file = OpenOptions::new()
-            .append(true)
-            .open(&self.path)
-            .expect("WAL reopen after checkpoint");
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        Ok(())
     }
 }
 
@@ -204,6 +238,10 @@ pub struct WriteAheadLog {
     checkpointed: usize,
     /// Durable backend, when opened via [`WriteAheadLog::open_durable`].
     sink: Option<FileSink>,
+    /// Durable-sink I/O failures absorbed by detaching the sink. The
+    /// in-memory journal stays consistent; the engine folds this into
+    /// its fault counters at report time.
+    sink_failures: u64,
 }
 
 impl Clone for WriteAheadLog {
@@ -215,6 +253,7 @@ impl Clone for WriteAheadLog {
             lines: self.lines.clone(),
             checkpointed: self.checkpointed,
             sink: None,
+            sink_failures: self.sink_failures,
         }
     }
 }
@@ -263,22 +302,37 @@ impl WriteAheadLog {
     }
 
     /// Appends one record. On a durable journal the record is fsync'd to
-    /// the backing file before this returns.
+    /// the backing file before this returns; a sink I/O failure detaches
+    /// the sink (counted in [`WriteAheadLog::sink_failures`]) and the
+    /// journal degrades to in-memory rather than aborting the engine.
     pub fn append(&mut self, record: &WalRecord) {
         let line = serde_json::to_string(record).expect("WAL records are serializable");
         if let Some(sink) = self.sink.as_mut() {
-            sink.append_line(&line);
+            if sink.append_line(&line).is_err() {
+                self.sink = None;
+                self.sink_failures += 1;
+            }
         }
         self.lines.push(line);
     }
 
-    /// Replaces the whole journal with a single checkpoint record — the
-    /// journal-side compaction that bounds replay work. On a durable
-    /// journal the file is rewritten through a temp file + atomic rename.
+    /// Durable-sink I/O failures absorbed so far (each one detaches the
+    /// sink, so the count is 0 or 1 per open; it accumulates across
+    /// [`WriteAheadLog::adopt`]).
+    pub fn sink_failures(&self) -> u64 {
+        self.sink_failures
+    }
+
+    /// Replaces the whole journal with a single checkpoint record for
+    /// `tenant`'s stream — the journal-side compaction that bounds replay
+    /// work. On a durable journal the file is rewritten through a temp
+    /// file + atomic rename; a rewrite failure detaches the sink and is
+    /// counted like an append failure.
     pub fn install_checkpoint(
         &mut self,
         records: Vec<EventRecord>,
         index: Option<ShardedCheckpoint>,
+        tenant: TenantId,
     ) {
         let committed = records.len();
         self.lines.clear();
@@ -286,13 +340,17 @@ impl WriteAheadLog {
             committed,
             records,
             index,
+            tenant,
         };
         self.lines
             .push(serde_json::to_string(&record).expect("WAL records are serializable"));
         self.checkpointed = committed;
         let contents = self.serialized();
         if let Some(sink) = self.sink.as_mut() {
-            sink.rewrite(&contents);
+            if sink.rewrite(&contents).is_err() {
+                self.sink = None;
+                self.sink_failures += 1;
+            }
         }
     }
 
@@ -353,6 +411,7 @@ impl WriteAheadLog {
             lines: kept,
             checkpointed,
             sink: None,
+            sink_failures: 0,
         })
     }
 
@@ -380,6 +439,7 @@ impl WriteAheadLog {
                     committed: _,
                     records,
                     index,
+                    tenant: _,
                 } => {
                     recovery.records = records;
                     recovery.checkpoint = index;
@@ -396,19 +456,111 @@ impl WriteAheadLog {
                     recovery.records.push(record);
                     recovery.entries.extend(entry);
                 }
-                WalRecord::Feedback { entry } => {
+                WalRecord::Feedback { entry, tenant: _ } => {
                     recovery.entries.push(entry);
                 }
                 WalRecord::Epoch {
                     shard,
                     epoch,
                     committed: _,
+                    tenant: _,
                 } => {
                     recovery.shard_epochs.insert(shard, epoch);
                 }
             }
         }
         Ok(recovery)
+    }
+
+    /// Splits a multi-tenant journal into one in-memory journal per
+    /// tenant, each preserving its tenant's record order. A record's
+    /// owner comes from [`WalRecord::tenant`]; a single-tenant journal
+    /// splits into one part keyed by [`TenantId::default`].
+    pub fn split_tenants(&self) -> Result<BTreeMap<TenantId, WriteAheadLog>, WalError> {
+        let mut parts: BTreeMap<TenantId, WriteAheadLog> = BTreeMap::new();
+        for (line, record) in self.lines.iter().zip(self.records()?) {
+            let part = parts.entry(record.tenant()).or_default();
+            if let WalRecord::Checkpoint { committed, .. } = &record {
+                part.checkpointed = *committed;
+            }
+            part.lines.push(line.clone());
+        }
+        Ok(parts)
+    }
+
+    /// Recovers each tenant's stream independently: the journal is split
+    /// by owner and every part folds through [`WriteAheadLog::recover`]
+    /// with its own tenant-local gap check. This is the bulkhead property
+    /// a shared journal must give recovery: a torn tail only ever drops
+    /// the final journal line, so only the tenant that owned it rolls
+    /// back — every other tenant's committed watermark is untouched.
+    ///
+    /// [`WriteAheadLog::recover`] itself remains the single-tenant path;
+    /// calling it on an interleaved journal fails its global gap check by
+    /// design (tenant-local sequence numbers restart at 0).
+    pub fn recover_tenants(&self) -> Result<BTreeMap<TenantId, Recovery>, WalError> {
+        self.split_tenants()?
+            .into_iter()
+            .map(|(tenant, part)| Ok((tenant, part.recover()?)))
+            .collect()
+    }
+
+    /// Interleaves per-tenant journals into one multi-tenant journal.
+    ///
+    /// Ordering is by *virtual-time anchor*: each record sorts at the
+    /// arrival instant of the latest commit at or before it in its own
+    /// stream (records ahead of any commit anchor at 0; a checkpoint
+    /// anchors at its last folded record), with ties broken by tenant id
+    /// and then stream position — fully deterministic, and stable within
+    /// every tenant, so [`WriteAheadLog::split_tenants`] is an exact
+    /// inverse. The merged journal is in-memory with `checkpointed == 0`:
+    /// fold state is per-tenant and only meaningful on the parts.
+    pub fn merge_tenants(
+        parts: &BTreeMap<TenantId, WriteAheadLog>,
+    ) -> Result<WriteAheadLog, WalError> {
+        let mut keyed: Vec<(u64, u64, usize, &str)> = Vec::new();
+        for (tenant, part) in parts {
+            let mut anchor = 0u64;
+            for (i, record) in part.records()?.iter().enumerate() {
+                match record {
+                    WalRecord::Commit { record, .. } => anchor = record.at.as_secs(),
+                    WalRecord::Checkpoint { records, .. } => {
+                        if let Some(last) = records.last() {
+                            anchor = last.at.as_secs();
+                        }
+                    }
+                    _ => {}
+                }
+                keyed.push((anchor, tenant.0, i, part.lines[i].as_str()));
+            }
+        }
+        keyed.sort_unstable_by_key(|&(anchor, tenant, i, _)| (anchor, tenant, i));
+        Ok(WriteAheadLog {
+            lines: keyed
+                .into_iter()
+                .map(|(_, _, _, line)| line.to_string())
+                .collect(),
+            checkpointed: 0,
+            sink: None,
+            sink_failures: 0,
+        })
+    }
+
+    /// Replaces this journal's contents with `other`'s — the write-back
+    /// half of a split → per-tenant-run → merge cycle — while keeping
+    /// this journal's durable sink. On a durable journal the file is
+    /// rewritten atomically; a rewrite failure detaches the sink and is
+    /// counted in [`WriteAheadLog::sink_failures`].
+    pub fn adopt(&mut self, other: WriteAheadLog) {
+        self.lines = other.lines;
+        self.checkpointed = other.checkpointed;
+        let contents = self.serialized();
+        if let Some(sink) = self.sink.as_mut() {
+            if sink.rewrite(&contents).is_err() {
+                self.sink = None;
+                self.sink_failures += 1;
+            }
+        }
     }
 }
 
@@ -419,12 +571,17 @@ mod tests {
     use rcacopilot_telemetry::{AlertType, Severity, SimTime};
 
     fn shed_record(seq: usize) -> EventRecord {
+        tenant_record(TenantId::default(), seq, seq as u64 * 60)
+    }
+
+    fn tenant_record(tenant: TenantId, seq: usize, at_secs: u64) -> EventRecord {
         EventRecord {
             seq,
             incident_idx: seq,
-            at: SimTime::from_secs(seq as u64 * 60),
+            at: SimTime::from_secs(at_secs),
             severity: Severity::Sev3,
             alert_type: AlertType::default(),
+            tenant,
             outcome: EventOutcome::Shed {
                 backlog_secs: 42 + seq as u64,
             },
@@ -439,6 +596,14 @@ mod tests {
         }
     }
 
+    fn tenant_commit(tenant: TenantId, seq: usize, at_secs: u64) -> WalRecord {
+        WalRecord::Commit {
+            seq,
+            record: tenant_record(tenant, seq, at_secs),
+            entry: None,
+        }
+    }
+
     #[test]
     fn append_serialize_load_round_trips() {
         let mut wal = WriteAheadLog::new();
@@ -448,11 +613,13 @@ mod tests {
             shard: 0,
             epoch: 3,
             committed: 2,
+            tenant: TenantId::default(),
         });
         wal.append(&WalRecord::Epoch {
             shard: 2,
             epoch: 5,
             committed: 2,
+            tenant: TenantId::default(),
         });
         let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
         assert_eq!(loaded.records().unwrap(), wal.records().unwrap());
@@ -481,6 +648,7 @@ mod tests {
         wal.append(&commit(0));
         wal.append(&WalRecord::Feedback {
             entry: corrected.clone(),
+            tenant: TenantId::default(),
         });
         wal.append(&commit(1));
         let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
@@ -489,7 +657,11 @@ mod tests {
         assert_eq!(recovery.entries, vec![corrected.clone()]);
         // A checkpoint folds feedback into the index state like any
         // other entry: replay starts clean after it.
-        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        wal.install_checkpoint(
+            vec![shed_record(0), shed_record(1)],
+            None,
+            TenantId::default(),
+        );
         assert!(wal.recover().unwrap().entries.is_empty());
     }
 
@@ -498,7 +670,11 @@ mod tests {
         let mut wal = WriteAheadLog::new();
         wal.append(&commit(0));
         wal.append(&commit(1));
-        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        wal.install_checkpoint(
+            vec![shed_record(0), shed_record(1)],
+            None,
+            TenantId::default(),
+        );
         assert_eq!(wal.len(), 1, "checkpoint replaces the journal");
         assert_eq!(wal.checkpointed(), 2);
         wal.append(&commit(2));
@@ -583,7 +759,11 @@ mod tests {
         let mut wal = WriteAheadLog::open_durable(&path).expect("create");
         wal.append(&commit(0));
         wal.append(&commit(1));
-        wal.install_checkpoint(vec![shed_record(0), shed_record(1)], None);
+        wal.install_checkpoint(
+            vec![shed_record(0), shed_record(1)],
+            None,
+            TenantId::default(),
+        );
         wal.append(&commit(2));
 
         let on_disk = std::fs::read_to_string(&path).expect("journal file");
@@ -609,6 +789,110 @@ mod tests {
         std::fs::write(&path, format!("not json at all\n{good}")).expect("corrupt");
         let err = WriteAheadLog::open_durable(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn split_and_merge_are_inverse_on_an_interleaved_journal() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let mut parts: BTreeMap<TenantId, WriteAheadLog> = BTreeMap::new();
+        let mut wal_a = WriteAheadLog::new();
+        wal_a.append(&tenant_commit(a, 0, 100));
+        wal_a.append(&WalRecord::Epoch {
+            shard: 0,
+            epoch: 1,
+            committed: 1,
+            tenant: a,
+        });
+        wal_a.append(&tenant_commit(a, 1, 400));
+        let mut wal_b = WriteAheadLog::new();
+        wal_b.append(&tenant_commit(b, 0, 200));
+        wal_b.append(&tenant_commit(b, 1, 300));
+        parts.insert(a, wal_a);
+        parts.insert(b, wal_b);
+
+        let merged = WriteAheadLog::merge_tenants(&parts).expect("clean parts");
+        // Anchored interleave: a@100, a's epoch (anchor 100), b@200,
+        // b@300, a@400.
+        let order: Vec<(TenantId, bool)> = merged
+            .records()
+            .unwrap()
+            .iter()
+            .map(|r| (r.tenant(), matches!(r, WalRecord::Commit { .. })))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(a, true), (a, false), (b, true), (b, true), (a, true)]
+        );
+        // Round trip: splitting the merge recovers each part's lines.
+        let split = merged.split_tenants().expect("clean journal");
+        assert_eq!(split.len(), 2);
+        for (tenant, part) in &parts {
+            assert_eq!(split[tenant].serialized(), part.serialized());
+        }
+        // Per-tenant recovery sees two gapless commits each.
+        let recovered = merged.recover_tenants().expect("gapless per tenant");
+        assert_eq!(recovered[&a].committed(), 2);
+        assert_eq!(recovered[&b].committed(), 2);
+        assert_eq!(recovered[&a].shard_epochs.get(&0), Some(&1));
+        // The global recover() is the single-tenant path: tenant-local
+        // seqs restart at 0, so it must refuse the interleave.
+        assert!(matches!(merged.recover(), Err(WalError::Gap { .. })));
+    }
+
+    #[test]
+    fn torn_tail_rolls_back_only_the_owning_tenant() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let mut wal = WriteAheadLog::new();
+        wal.append(&tenant_commit(a, 0, 100));
+        wal.append(&tenant_commit(b, 0, 200));
+        wal.append(&tenant_commit(b, 1, 300));
+        wal.append(&tenant_commit(a, 1, 400)); // the line the crash tears
+        let mut torn = wal.serialized();
+        torn.truncate(torn.len() - 10);
+        let loaded = WriteAheadLog::load(&torn).expect("torn tail tolerated");
+        let recovered = loaded.recover_tenants().expect("gapless per tenant");
+        assert_eq!(recovered[&a].committed(), 1, "owner loses the torn commit");
+        assert_eq!(recovered[&b].committed(), 2, "neighbor watermark intact");
+    }
+
+    #[test]
+    fn checkpoint_rewrite_failure_detaches_sink_and_counts() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/wal-tests/sink-fail");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("fail.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+        wal.append(&commit(0));
+        assert_eq!(wal.sink_failures(), 0);
+        // Yank the directory out from under the sink: the checkpoint's
+        // temp-file create must fail.
+        std::fs::remove_file(&path).expect("remove journal");
+        std::fs::remove_dir(&dir).expect("remove dir");
+        wal.install_checkpoint(vec![shed_record(0)], None, TenantId::default());
+        assert_eq!(wal.sink_failures(), 1);
+        assert!(!wal.is_durable(), "failed sink is detached");
+        // The in-memory journal stays consistent and writable.
+        wal.append(&commit(1));
+        assert_eq!(wal.recover().unwrap().committed(), 2);
+        assert_eq!(wal.sink_failures(), 1, "detached sink fails only once");
+    }
+
+    #[test]
+    fn adopt_replaces_contents_and_keeps_the_sink() {
+        let path = scratch_path("adopt.wal");
+        let mut durable = WriteAheadLog::open_durable(&path).expect("create");
+        durable.append(&commit(0));
+        let mut replacement = WriteAheadLog::new();
+        replacement.append(&tenant_commit(TenantId(3), 0, 50));
+        replacement.append(&tenant_commit(TenantId(3), 1, 90));
+        durable.adopt(replacement.clone());
+        assert!(durable.is_durable(), "adopt keeps the durable backend");
+        assert_eq!(durable.serialized(), replacement.serialized());
+        let on_disk = std::fs::read_to_string(&path).expect("journal file");
+        assert_eq!(on_disk, replacement.serialized(), "adopt rewrote the file");
+        let reopened = WriteAheadLog::open_durable(&path).expect("reopen");
+        let recovered = reopened.recover_tenants().expect("gapless");
+        assert_eq!(recovered[&TenantId(3)].committed(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rcacopilot_telemetry::alert::{Alert, AlertType};
-use rcacopilot_telemetry::ids::{IncidentId, MachineRole};
+use rcacopilot_telemetry::ids::{IncidentId, MachineRole, TenantId};
 use rcacopilot_telemetry::query::Scope;
 use rcacopilot_telemetry::time::{SimDuration, SimTime};
 use rcacopilot_telemetry::TelemetrySnapshot;
@@ -227,6 +227,7 @@ fn build_incident(
             alert_type: spec.alert_type,
             scope,
             severity: spec.severity,
+            tenant: TenantId::default(),
             raised_at: at,
             monitor: monitor_for(spec.alert_type).to_string(),
             message,

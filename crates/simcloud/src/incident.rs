@@ -40,7 +40,7 @@ impl Incident {
 mod tests {
     use super::*;
     use rcacopilot_telemetry::alert::{AlertType, Severity};
-    use rcacopilot_telemetry::ids::{ForestId, IncidentId};
+    use rcacopilot_telemetry::ids::{ForestId, IncidentId, TenantId};
     use rcacopilot_telemetry::query::Scope;
 
     #[test]
@@ -51,6 +51,7 @@ mod tests {
                 alert_type: AlertType::ResourcePressure,
                 scope: Scope::Forest(ForestId(0)),
                 severity: Severity::Sev3,
+                tenant: TenantId::default(),
                 raised_at: SimTime::from_days(3),
                 monitor: "ResourceMonitor".into(),
                 message: "Memory pressure sustained.".into(),

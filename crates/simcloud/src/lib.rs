@@ -25,6 +25,9 @@
 //! - [`dataset`]: dataset container, train/test split, and the statistics
 //!   behind Figures 2 and 3.
 //! - [`teams`]: the simulated 30-team deployment behind Table 4.
+//! - [`tenancy`]: per-tenant serving workload plans — stream shape,
+//!   fault climate, fair-share weight — and the deterministic
+//!   round-robin partition of a dataset across tenants.
 //! - [`faults`]: seeded telemetry-plane fault plans ([`faults::FaultPlan`])
 //!   driving the resilient collection executor's robustness benchmarks.
 
@@ -39,6 +42,7 @@ pub mod incident;
 pub mod noise;
 pub mod signature;
 pub mod teams;
+pub mod tenancy;
 pub mod topology;
 
 pub use catalog::{Catalog, CategorySpec, Family};
@@ -47,4 +51,5 @@ pub use faults::{FaultMix, FaultPlan, Outage};
 pub use generator::{generate_dataset, CampaignConfig};
 pub use incident::Incident;
 pub use teams::{simulate_teams, TeamReport};
+pub use tenancy::{partition_tenants, TenantStormPlan};
 pub use topology::Topology;

@@ -1,0 +1,210 @@
+//! Per-tenant workload plans for the multi-tenant serving benchmarks.
+//!
+//! The paper's deployment serves 30+ OCE teams over one shared pipeline
+//! (Table 4); [`teams`](crate::teams) simulates their collection-side
+//! profiles. This module models the *serving-side* view of a team: a
+//! [`TenantStormPlan`] is pure data describing one tenant's alert-stream
+//! shape (arrival process, monitor flapping) and worker-fault climate
+//! (per-mille panic/stall/error rates), plus its fair-share weight. The
+//! serving crate turns a plan into its own stream and fault configs; this
+//! crate stays dependency-free of the engine and only knows how to
+//! describe and partition workloads.
+//!
+//! Determinism contract: a plan carries every seed it needs, so the same
+//! plan over the same incident slice always yields the same tenant
+//! workload — the precondition for the noisy-neighbor isolation proofs.
+
+use crate::incident::Incident;
+use rcacopilot_telemetry::ids::TenantId;
+
+/// One tenant's workload description: stream shape, fault climate, and
+/// scheduling weight. Pure data — no behavior beyond constructors — so
+/// the serving plane can translate it into its own config types without
+/// a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStormPlan {
+    /// The tenant this plan describes.
+    pub tenant: TenantId,
+    /// Fair-share weight (relative admission capacity and DRR quantum
+    /// credit). Must be positive.
+    pub weight: u32,
+    /// Seed of the tenant's arrival process.
+    pub stream_seed: u64,
+    /// Mean background gap between arrivals, virtual seconds.
+    pub mean_gap_secs: u64,
+    /// Probability that an arrival opens an alert storm.
+    pub burst_prob: f64,
+    /// Events per storm (including the opener).
+    pub burst_len: usize,
+    /// Gap between storm events, virtual seconds.
+    pub burst_gap_secs: u64,
+    /// Monitor flap probability (duplicate re-raises).
+    pub reraise_prob: f64,
+    /// Seed of the tenant's worker-fault plan.
+    pub fault_seed: u64,
+    /// Per-mille worker-panic rate for this tenant's events.
+    pub panic_per_mille: u16,
+    /// Per-mille stall rate.
+    pub stall_per_mille: u16,
+    /// Per-mille transient-error rate.
+    pub error_per_mille: u16,
+    /// Bulkhead cap on this tenant's concurrently executing events in
+    /// the shared pool (`None` = bounded only by the pool).
+    pub in_flight_cap: Option<usize>,
+}
+
+impl TenantStormPlan {
+    /// A well-behaved tenant: calm Poisson-ish arrivals, no storms, no
+    /// injected worker faults.
+    pub fn quiet(tenant: TenantId, seed: u64) -> Self {
+        TenantStormPlan {
+            tenant,
+            weight: 1,
+            stream_seed: seed,
+            mean_gap_secs: 1_800,
+            burst_prob: 0.0,
+            burst_len: 1,
+            burst_gap_secs: 1,
+            reraise_prob: 0.05,
+            fault_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            panic_per_mille: 0,
+            stall_per_mille: 0,
+            error_per_mille: 0,
+            in_flight_cap: None,
+        }
+    }
+
+    /// The noisy neighbor: a flapping monitor storm (dense bursts, heavy
+    /// re-raises) whose events also hit a ~30% worker-fault rate — the
+    /// ISSUE's poison-pill climate that the bulkheads must contain.
+    pub fn flapping_storm(tenant: TenantId, seed: u64) -> Self {
+        TenantStormPlan {
+            tenant,
+            weight: 1,
+            stream_seed: seed,
+            mean_gap_secs: 120,
+            burst_prob: 0.6,
+            burst_len: 8,
+            burst_gap_secs: 2,
+            reraise_prob: 0.5,
+            fault_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            panic_per_mille: 120,
+            stall_per_mille: 100,
+            error_per_mille: 80,
+            in_flight_cap: Some(2),
+        }
+    }
+
+    /// Total injected fault probability per attempt, per mille.
+    pub fn total_fault_per_mille(&self) -> u16 {
+        (u32::from(self.panic_per_mille)
+            + u32::from(self.stall_per_mille)
+            + u32::from(self.error_per_mille))
+        .min(1000) as u16
+    }
+}
+
+/// Deals `incidents` round-robin across the tenant plans, re-tagging each
+/// alert with its owner. Returns one incident slice per plan, aligned
+/// with `plans` — the deterministic partition both the merged run and the
+/// per-tenant solo baselines are built from.
+pub fn partition_tenants(incidents: &[Incident], plans: &[TenantStormPlan]) -> Vec<Vec<Incident>> {
+    assert!(!plans.is_empty(), "need at least one tenant plan");
+    let mut parts: Vec<Vec<Incident>> = plans.iter().map(|_| Vec::new()).collect();
+    for (i, incident) in incidents.iter().enumerate() {
+        let slot = i % plans.len();
+        let mut owned = incident.clone();
+        owned.alert.tenant = plans[slot].tenant;
+        parts[slot].push(owned);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_dataset, CampaignConfig};
+    use crate::noise::NoiseProfile;
+    use crate::topology::Topology;
+
+    fn small_dataset() -> Vec<Incident> {
+        generate_dataset(&CampaignConfig {
+            seed: 5,
+            topology: Topology::new(2, 3, 2, 2),
+            noise: NoiseProfile {
+                routine_logs: 1,
+                herring_logs: 0,
+                healthy_traces: 0,
+                unrelated_failure: false,
+                bystander_anomalies: 0,
+            },
+        })
+        .incidents()
+        .iter()
+        .take(20)
+        .cloned()
+        .collect()
+    }
+
+    #[test]
+    fn partition_deals_round_robin_and_tags_owners() {
+        let incidents = small_dataset();
+        let plans = [
+            TenantStormPlan::quiet(TenantId(1), 10),
+            TenantStormPlan::quiet(TenantId(2), 11),
+            TenantStormPlan::flapping_storm(TenantId(3), 12),
+        ];
+        let parts = partition_tenants(&incidents, &plans);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), incidents.len());
+        for (part, plan) in parts.iter().zip(&plans) {
+            assert!(part.iter().all(|inc| inc.alert.tenant == plan.tenant));
+        }
+        // Round-robin: sizes differ by at most one and order is stable.
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(parts[0][0].alert.incident, incidents[0].alert.incident);
+        assert_eq!(parts[1][0].alert.incident, incidents[1].alert.incident);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let incidents = small_dataset();
+        let plans = [
+            TenantStormPlan::quiet(TenantId(1), 10),
+            TenantStormPlan::flapping_storm(TenantId(2), 11),
+        ];
+        let key = |parts: &[Vec<Incident>]| -> Vec<Vec<_>> {
+            parts
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|i| (i.alert.incident, i.alert.tenant))
+                        .collect()
+                })
+                .collect()
+        };
+        assert_eq!(
+            key(&partition_tenants(&incidents, &plans)),
+            key(&partition_tenants(&incidents, &plans))
+        );
+    }
+
+    #[test]
+    fn storm_plan_is_noisier_than_quiet() {
+        let quiet = TenantStormPlan::quiet(TenantId(1), 1);
+        let storm = TenantStormPlan::flapping_storm(TenantId(2), 1);
+        assert_eq!(quiet.total_fault_per_mille(), 0);
+        assert_eq!(storm.total_fault_per_mille(), 300);
+        assert!(storm.burst_prob > quiet.burst_prob);
+        assert!(storm.mean_gap_secs < quiet.mean_gap_secs);
+        assert!(storm.in_flight_cap.is_some(), "the noisy tenant is capped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant plan")]
+    fn empty_plan_list_is_rejected() {
+        let _ = partition_tenants(&[], &[]);
+    }
+}

@@ -4,7 +4,7 @@
 //! stem from different *root causes* (paper §4.1); the alert type is what
 //! routes an incident to its handler.
 
-use crate::ids::IncidentId;
+use crate::ids::{IncidentId, TenantId};
 use crate::query::Scope;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -144,6 +144,12 @@ pub struct Alert {
     pub scope: Scope,
     /// Assessed severity.
     pub severity: Severity,
+    /// Owning tenant (team) of the incident stream. The default tenant
+    /// (`TenantId(0)`) is the single-tenant deployment; the serving
+    /// plane's multi-tenant bulkheads re-tag alerts per tenant plan.
+    /// Deliberately absent from [`Alert::render`]: tenancy routes and
+    /// isolates work, it is not diagnostic evidence.
+    pub tenant: TenantId,
     /// When the monitor fired.
     pub raised_at: SimTime,
     /// Name of the monitor that fired.
@@ -172,7 +178,7 @@ impl Alert {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::ForestId;
+    use crate::ids::{ForestId, TenantId};
 
     #[test]
     fn severity_levels_round_trip() {
@@ -205,6 +211,7 @@ mod tests {
             alert_type: AlertType::DeliveryQueueBacklog,
             scope: Scope::Forest(ForestId(1)),
             severity: Severity::Sev2,
+            tenant: TenantId(7),
             raised_at: SimTime::from_days(10),
             monitor: "QueueLengthMonitor".into(),
             message: "Normal priority messages queued for a long time.".into(),
@@ -215,5 +222,7 @@ mod tests {
         assert!(text.contains("Sev2"));
         assert!(text.contains("forest EURPR01"));
         assert!(text.contains("QueueLengthMonitor"));
+        // Tenancy is routing metadata, never prompt context.
+        assert!(!text.contains("tenant"));
     }
 }

@@ -19,6 +19,7 @@ use rcacopilot::serve::{
 };
 use rcacopilot::simcloud::noise::NoiseProfile;
 use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Incident, Topology};
+use rcacopilot::telemetry::ids::TenantId;
 use std::sync::{Arc, OnceLock};
 
 /// Shared fixture: one trained copilot plus its held-out incidents.
@@ -132,6 +133,7 @@ proptest! {
                 at: event.at,
                 severity: alert.severity,
                 alert_type: alert.alert_type,
+                tenant: TenantId::default(),
                 outcome: EventOutcome::Predicted {
                     prediction: out.prediction,
                     degraded: false,
