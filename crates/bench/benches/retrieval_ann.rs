@@ -1,0 +1,361 @@
+//! ANN retrieval sweep: corpus size × backend over scaled corpora.
+//!
+//! The exact bucketed scan is unbeatable at one service-year (653
+//! incidents) but its cost is linear in corpus size, while the paper's
+//! north star is production scale — millions of historical incidents.
+//! This bench measures the crossover on [`rcacopilot_simcloud::scale`]
+//! corpora that preserve the paper's long-tail category distribution
+//! (Figure 3) and burst recurrence (Figure 2):
+//!
+//! - **build**: wall-clock index construction per backend;
+//! - **memory**: the [`IndexStats`] resident-bytes estimate;
+//! - **recall@K**: overlap of the backend's top-K entry ids with the
+//!   exact backend's, over a fixed query set — degradation at low
+//!   `ef_search` is *measured*, never silent;
+//! - **latency**: wall-clock p50/p99 per retrieval query.
+//!
+//! Two invariants are asserted on every run: a saturating search width
+//! (`ef_search` ≥ corpus) answers **byte-identically** to the exact
+//! backend, and (full mode) the HNSW p99 beats the exact scan at the
+//! largest corpus size. Results go to `BENCH_retrieval_ann.json` at the
+//! repository root (tracked). `--smoke` runs reduced sizes for CI.
+
+use rcacopilot_bench::{banner, write_root_results};
+use rcacopilot_core::retrieval::{
+    HistoricalEntry, HistoryView, OnlineHistoricalIndex, RetrievalBackend, RetrievalConfig,
+};
+use rcacopilot_simcloud::{corpus_stats, scaled_corpus, ScaleConfig};
+use rcacopilot_telemetry::time::SimTime;
+use std::time::Instant;
+
+const K: usize = 5;
+/// Temporal decay per day. The year-scale default (0.3) makes anything
+/// older than ~a month invisible, which at a multi-year corpus reduces
+/// retrieval to "whatever happened this week" — no index can help or
+/// hurt. Production-scale corpora need a gentler decay; 0.02 keeps
+/// months of history in play so the *spatial* structure the ANN tier
+/// accelerates actually decides rankings.
+const ALPHA: f64 = 0.02;
+const MAX_CELL: usize = 256;
+const QUERIES: usize = 200;
+const DIM: usize = 16;
+
+fn entries_for(corpus_size: usize, years: usize) -> Vec<HistoricalEntry> {
+    let corpus = scaled_corpus(&ScaleConfig {
+        seed: 42,
+        years,
+        incidents: corpus_size,
+        dim: DIM,
+    });
+    let stats = corpus_stats(&corpus);
+    println!(
+        "corpus: {} incidents, {} categories, head share {:.4}, recurrence≤20d {:.3}",
+        stats.incidents, stats.categories, stats.head_share, stats.recurrence_within_20d
+    );
+    corpus
+        .into_iter()
+        .enumerate()
+        .map(|(id, inc)| HistoricalEntry {
+            id,
+            category: inc.category,
+            summary: String::new(),
+            at: inc.at,
+            embedding: inc.embedding,
+        })
+        .collect()
+}
+
+/// Query embeddings drawn from the *tail* of the corpus: an incoming
+/// incident is usually a recurrence of a recently active category
+/// (paper Figure 2: 93.8% of recurrences within 20 days), so realistic
+/// queries look like the newest history, not a uniform sample of years
+/// past.
+fn queries_for(entries: &[HistoricalEntry]) -> Vec<Vec<f32>> {
+    let tail = entries.len().saturating_sub(entries.len() / 10);
+    let window = &entries[tail..];
+    let step = (window.len() / QUERIES).max(1);
+    window
+        .iter()
+        .step_by(step)
+        .take(QUERIES)
+        .map(|e| e.embedding.clone())
+        .collect()
+}
+
+struct Row {
+    size: usize,
+    backend: String,
+    build_secs: f64,
+    bytes: u64,
+    recall: f64,
+    recall_at_1: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    label: &str,
+    size: usize,
+    index: &OnlineHistoricalIndex,
+    build_secs: f64,
+    cfg: &RetrievalConfig,
+    queries: &[Vec<f32>],
+    at: SimTime,
+    exact_ids: Option<&Vec<Vec<usize>>>,
+) -> (Row, Vec<Vec<usize>>) {
+    let snap = index.snapshot();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(queries.len());
+    let mut ids: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
+    for q in queries {
+        let t0 = Instant::now();
+        let hits = HistoryView::top_k_diverse(&snap, q, at, cfg);
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        ids.push(hits.iter().map(|n| n.entry.id).collect());
+    }
+    let (recall, recall_at_1) = match exact_ids {
+        None => (1.0, 1.0),
+        Some(truth) => {
+            let (mut hit, mut want, mut top_hit, mut top_want) = (0usize, 0usize, 0usize, 0usize);
+            for (got, exp) in ids.iter().zip(truth) {
+                want += exp.len();
+                hit += exp.iter().filter(|id| got.contains(id)).count();
+                if let Some(first) = exp.first() {
+                    top_want += 1;
+                    if got.first() == Some(first) {
+                        top_hit += 1;
+                    }
+                }
+            }
+            (
+                if want == 0 {
+                    1.0
+                } else {
+                    hit as f64 / want as f64
+                },
+                if top_want == 0 {
+                    1.0
+                } else {
+                    top_hit as f64 / top_want as f64
+                },
+            )
+        }
+    };
+    lat_us.sort_by(|a, b| a.total_cmp(b));
+    let stats = index.index_stats();
+    let row = Row {
+        size,
+        backend: label.to_string(),
+        build_secs,
+        bytes: stats.bytes as u64,
+        recall,
+        recall_at_1,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+    };
+    println!(
+        "{:>8} {:>14} build {:>7.2}s {:>9.1} MiB recall@{K} {:.4} recall@1 {:.4} p50 {:>9.1}µs p99 {:>9.1}µs",
+        size,
+        label,
+        build_secs,
+        stats.bytes as f64 / (1024.0 * 1024.0),
+        recall,
+        recall_at_1,
+        row.p50_us,
+        row.p99_us
+    );
+    (row, ids)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(if smoke {
+        "ANN retrieval tier: smoke run"
+    } else {
+        "ANN retrieval tier: corpus size × backend sweep"
+    });
+
+    let sizes: &[usize] = if smoke {
+        &[2_000, 6_000]
+    } else {
+        &[100_000, 250_000]
+    };
+    let years = if smoke { 2 } else { 4 };
+    let ef_sweep: &[usize] = &[16, 64, 256];
+    let (m, efc) = (16usize, 64usize);
+    let ivf = RetrievalBackend::Ivf {
+        ncells: 128,
+        nprobe: 8,
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &size in sizes {
+        let entries = entries_for(size, years);
+        let queries = queries_for(&entries);
+        // Query just past the horizon: every entry is history.
+        let at = SimTime::from_days((years as u64) * 364 + 1);
+
+        let t0 = Instant::now();
+        let exact = OnlineHistoricalIndex::warm(&entries, MAX_CELL);
+        let exact_build = t0.elapsed().as_secs_f64();
+        let cfg_exact = RetrievalConfig {
+            k: K,
+            alpha: ALPHA,
+            ..RetrievalConfig::default()
+        };
+        let (row, exact_ids) = measure(
+            "exact",
+            size,
+            &exact,
+            exact_build,
+            &cfg_exact,
+            &queries,
+            at,
+            None,
+        );
+        rows.push(row);
+
+        let t0 = Instant::now();
+        let ivf_idx = OnlineHistoricalIndex::warm_with(&entries, MAX_CELL, ivf);
+        let ivf_build = t0.elapsed().as_secs_f64();
+        let cfg_ivf = RetrievalConfig {
+            k: K,
+            alpha: ALPHA,
+            backend: ivf,
+        };
+        let (row, _) = measure(
+            "ivf/128x8",
+            size,
+            &ivf_idx,
+            ivf_build,
+            &cfg_ivf,
+            &queries,
+            at,
+            Some(&exact_ids),
+        );
+        rows.push(row);
+
+        // One graph serves the whole ef_search sweep: the search width
+        // is a query-time parameter, construction depends only on
+        // (m, ef_construction, seed).
+        let build_backend = RetrievalBackend::Hnsw {
+            m,
+            ef_construction: efc,
+            ef_search: ef_sweep[0],
+        };
+        let t0 = Instant::now();
+        let hnsw = OnlineHistoricalIndex::warm_with(&entries, MAX_CELL, build_backend);
+        let hnsw_build = t0.elapsed().as_secs_f64();
+        for &ef in ef_sweep {
+            let cfg = RetrievalConfig {
+                k: K,
+                alpha: ALPHA,
+                backend: RetrievalBackend::Hnsw {
+                    m,
+                    ef_construction: efc,
+                    ef_search: ef,
+                },
+            };
+            let (row, _) = measure(
+                &format!("hnsw/ef{ef}"),
+                size,
+                &hnsw,
+                hnsw_build,
+                &cfg,
+                &queries,
+                at,
+                Some(&exact_ids),
+            );
+            rows.push(row);
+        }
+
+        // Byte-identity at saturation: ef_search ≥ corpus size forces
+        // 100% candidate recall, and the exact re-rank must then answer
+        // *identically* to the exact backend — same entries, same order,
+        // same similarities.
+        let cfg_sat = RetrievalConfig {
+            k: K,
+            alpha: ALPHA,
+            backend: RetrievalBackend::Hnsw {
+                m,
+                ef_construction: efc,
+                ef_search: usize::MAX,
+            },
+        };
+        let (exact_snap, hnsw_snap) = (exact.snapshot(), hnsw.snapshot());
+        for q in queries.iter().take(25) {
+            assert_eq!(
+                HistoryView::top_k_diverse(&exact_snap, q, at, &cfg_exact),
+                HistoryView::top_k_diverse(&hnsw_snap, q, at, &cfg_sat),
+                "saturated HNSW must answer byte-identically to exact"
+            );
+        }
+        println!("{size:>8} saturated HNSW ≡ exact ✓");
+    }
+
+    // The tentpole claim: at the largest corpus the graph walk beats the
+    // linear-in-size exact scan at the tail.
+    let largest = *sizes.last().expect("at least one size");
+    let exact_p99 = rows
+        .iter()
+        .find(|r| r.size == largest && r.backend == "exact")
+        .expect("exact row")
+        .p99_us;
+    let hnsw_p99 = rows
+        .iter()
+        .find(|r| r.size == largest && r.backend == "hnsw/ef64")
+        .expect("hnsw row")
+        .p99_us;
+    if smoke {
+        println!("\nsmoke: skipping p99 crossover assertion (sizes too small)");
+    } else {
+        assert!(
+            hnsw_p99 < exact_p99,
+            "HNSW p99 ({hnsw_p99:.1}µs) must beat exact p99 ({exact_p99:.1}µs) at {largest}"
+        );
+        println!(
+            "\nHNSW ef=64 p99 {hnsw_p99:.1}µs beats exact p99 {exact_p99:.1}µs at {largest} ✓"
+        );
+    }
+
+    let json_rows: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "size": r.size,
+                "backend": r.backend.clone(),
+                "build_secs": r.build_secs,
+                "bytes": r.bytes,
+                "recall_at_k": r.recall,
+                "recall_at_1": r.recall_at_1,
+                "p50_us": r.p50_us,
+                "p99_us": r.p99_us,
+            })
+        })
+        .collect();
+    write_root_results(
+        "BENCH_retrieval_ann",
+        &serde_json::json!({
+            "config": {
+                "k": K,
+                "alpha": ALPHA,
+                "max_cell": MAX_CELL,
+                "queries": QUERIES,
+                "dim": DIM,
+                "years": years,
+                "hnsw": { "m": m, "ef_construction": efc, "ef_sweep": ef_sweep },
+                "ivf": { "ncells": 128, "nprobe": 8 },
+            },
+            "sweep": json_rows,
+            "smoke": smoke,
+        }),
+    );
+}

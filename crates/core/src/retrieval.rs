@@ -11,11 +11,65 @@
 //! demonstrations stay diverse. `α` is measured per day; the paper's best
 //! values are `K = 5`, `α = 0.3`.
 
-use rcacopilot_embed::{BucketedIndex, EpochIndex};
+use rcacopilot_embed::{BucketedIndex, EpochIndex, HnswConfig, HnswIndex, IndexStats, IvfIndex};
 use rcacopilot_telemetry::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Which index answers the candidate-generation half of retrieval.
+///
+/// Scoring is *always* exact: the paper's temporal-decay similarity is
+/// computed per candidate in `f64` and ranked with the same tie-breaks
+/// regardless of backend. The backend only decides which entries become
+/// candidates — [`Exact`](RetrievalBackend::Exact) considers everything,
+/// the ANN tiers consider what their structure surfaces. At saturation
+/// (`ef_search`/`nprobe` at or past the structure size) the ANN
+/// candidate set provably covers every entry, and answers are
+/// byte-identical to `Exact` (property-tested).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum RetrievalBackend {
+    /// Bound-pruned exact scan over the bucketed cells (the default).
+    #[default]
+    Exact,
+    /// Inverted-file candidates: probe the `nprobe` nearest of `ncells`
+    /// k-means cells, exact re-rank of their contents.
+    Ivf {
+        /// Quantizer cells built from the first insert batch.
+        ncells: usize,
+        /// Cells probed per query (`>= ncells` saturates to full recall).
+        nprobe: usize,
+    },
+    /// Seeded deterministic HNSW graph candidates, exact re-rank.
+    Hnsw {
+        /// Max neighbors per node above layer 0 (layer 0 allows `2m`).
+        m: usize,
+        /// Insertion beam width.
+        ef_construction: usize,
+        /// Query beam width (`>= len` saturates to full recall).
+        ef_search: usize,
+    },
+}
+
+impl RetrievalBackend {
+    /// An HNSW backend with the embed crate's default graph parameters.
+    pub fn hnsw() -> Self {
+        let d = HnswConfig::default();
+        RetrievalBackend::Hnsw {
+            m: d.m,
+            ef_construction: d.ef_construction,
+            ef_search: d.ef_search,
+        }
+    }
+
+    /// An IVF backend with moderate defaults.
+    pub fn ivf() -> Self {
+        RetrievalBackend::Ivf {
+            ncells: 64,
+            nprobe: 8,
+        }
+    }
+}
 
 /// Retrieval hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -24,11 +78,20 @@ pub struct RetrievalConfig {
     pub k: usize,
     /// Temporal decay rate per day.
     pub alpha: f64,
+    /// Candidate-generation backend (see [`RetrievalBackend`]). Only
+    /// online snapshots honor it — the frozen batch index is a plain
+    /// exact scan — and a snapshot whose index was built without the
+    /// requested ANN structure falls back to the exact scan.
+    pub backend: RetrievalBackend,
 }
 
 impl Default for RetrievalConfig {
     fn default() -> Self {
-        RetrievalConfig { k: 5, alpha: 0.3 }
+        RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            backend: RetrievalBackend::Exact,
+        }
     }
 }
 
@@ -260,6 +323,136 @@ impl EntryChunks {
     }
 }
 
+/// Fixed seed of every online HNSW graph. A constant (rather than
+/// per-shard state) keeps the graph a pure function of the insert
+/// stream, so checkpoint restore and worker-count changes cannot
+/// perturb candidate generation.
+const ANN_SEED: u64 = 0x0a2a_c0de;
+
+/// Inserts staged into an online IVF tier before its quantizer is
+/// trained, as a multiple of `ncells`.
+const IVF_TRAIN_FACTOR: usize = 8;
+
+/// An IVF tier that grows online: inserts are staged until
+/// `ncells * IVF_TRAIN_FACTOR` arrive, the quantizer is k-means-trained
+/// on that prefix once, and every later insert routes to its nearest
+/// frozen centroid. Before training there is no structure to probe, so
+/// [`candidates`](IvfOnline::candidates) reports `None` and the caller
+/// scans exactly — trivially full recall.
+#[derive(Debug, Clone)]
+struct IvfOnline {
+    ncells: usize,
+    built: Option<IvfIndex>,
+    pending: Vec<(u64, Vec<f32>)>,
+}
+
+impl IvfOnline {
+    fn new(ncells: usize) -> Self {
+        IvfOnline {
+            ncells: ncells.max(1),
+            built: None,
+            pending: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) {
+        if let Some(ivf) = &mut self.built {
+            ivf.insert(id, vector);
+            return;
+        }
+        self.pending.push((id, vector));
+        if self.pending.len() >= self.ncells * IVF_TRAIN_FACTOR {
+            self.built = Some(IvfIndex::build(
+                &self.pending,
+                self.ncells,
+                self.ncells,
+                ANN_SEED,
+            ));
+            self.pending.clear();
+        }
+    }
+
+    /// Candidate ids for `query`, or `None` while untrained (caller
+    /// falls back to the exact scan over everything).
+    fn candidates(&self, query: &[f32], nprobe: usize) -> Option<Vec<u64>> {
+        self.built.as_ref().map(|ivf| ivf.candidates(query, nprobe))
+    }
+
+    fn stats(&self) -> IndexStats {
+        match &self.built {
+            Some(ivf) => ivf.stats(),
+            None => {
+                let dim = self.pending.first().map_or(0, |(_, v)| v.len());
+                IndexStats {
+                    vectors: self.pending.len(),
+                    dim,
+                    cells: 0,
+                    layers: 0,
+                    edges: 0,
+                    bytes: self.pending.len() * (dim * 4 + 8 + std::mem::size_of::<Vec<f32>>()),
+                }
+            }
+        }
+    }
+}
+
+/// The ANN structure an online index maintains next to its exact
+/// bucketed cells, when a non-[`Exact`](RetrievalBackend::Exact) backend
+/// was configured. Ids are the index's *local* entry positions.
+#[derive(Debug, Clone)]
+enum AnnPlane {
+    Hnsw(HnswIndex),
+    Ivf(IvfOnline),
+}
+
+impl AnnPlane {
+    fn for_backend(backend: RetrievalBackend) -> Option<AnnPlane> {
+        match backend {
+            RetrievalBackend::Exact => None,
+            RetrievalBackend::Hnsw {
+                m,
+                ef_construction,
+                ef_search,
+            } => Some(AnnPlane::Hnsw(HnswIndex::new(HnswConfig {
+                m,
+                ef_construction,
+                ef_search,
+                seed: ANN_SEED,
+            }))),
+            RetrievalBackend::Ivf { ncells, .. } => Some(AnnPlane::Ivf(IvfOnline::new(ncells))),
+        }
+    }
+
+    fn insert(&mut self, local: u64, vector: Vec<f32>) {
+        match self {
+            AnnPlane::Hnsw(h) => h.add(local, vector),
+            AnnPlane::Ivf(iv) => iv.insert(local, vector),
+        }
+    }
+
+    /// Candidate local ids under the query's backend parameters, or
+    /// `None` when the structure kind doesn't match the request (or the
+    /// request is `Exact`): the caller then uses the exact scan.
+    fn candidates(&self, query: &[f32], backend: RetrievalBackend) -> Option<Vec<u64>> {
+        match (self, backend) {
+            (AnnPlane::Hnsw(h), RetrievalBackend::Hnsw { ef_search, .. }) => {
+                Some(h.candidates(query, ef_search))
+            }
+            (AnnPlane::Ivf(iv), RetrievalBackend::Ivf { nprobe, .. }) => {
+                iv.candidates(query, nprobe)
+            }
+            _ => None,
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        match self {
+            AnnPlane::Hnsw(h) => h.stats(),
+            AnnPlane::Ivf(iv) => iv.stats(),
+        }
+    }
+}
+
 /// An incrementally growing historical index with epoch-snapshotted
 /// read views.
 ///
@@ -281,6 +474,12 @@ impl EntryChunks {
 #[derive(Debug)]
 pub struct OnlineHistoricalIndex {
     vectors: EpochIndex,
+    /// ANN candidate tier next to the exact cells (`None` for
+    /// [`RetrievalBackend::Exact`]); working side, published as an
+    /// `Arc` clone at each epoch like the entry chunks.
+    ann: Option<AnnPlane>,
+    ann_published: Option<Arc<AnnPlane>>,
+    backend: RetrievalBackend,
     entries: EntryChunks,
     published: EntryChunks,
     /// Sealed epochs between spatial compactions (0 = never compact).
@@ -296,10 +495,23 @@ impl Default for OnlineHistoricalIndex {
 }
 
 impl OnlineHistoricalIndex {
-    /// Creates an empty index with the given spatial cell-split threshold.
+    /// Creates an empty exact-backend index with the given spatial
+    /// cell-split threshold.
     pub fn new(max_cell: usize) -> Self {
+        OnlineHistoricalIndex::with_backend(max_cell, RetrievalBackend::Exact)
+    }
+
+    /// Creates an empty index that additionally maintains the given
+    /// backend's ANN candidate structure. The exact bucketed cells are
+    /// always kept — they are the scoring backbone, the cross-shard
+    /// bound source, and the fallback when a query's config asks for a
+    /// different backend kind.
+    pub fn with_backend(max_cell: usize, backend: RetrievalBackend) -> Self {
         OnlineHistoricalIndex {
             vectors: EpochIndex::new(max_cell),
+            ann: AnnPlane::for_backend(backend),
+            ann_published: None,
+            backend,
             entries: EntryChunks::default(),
             published: EntryChunks::default(),
             compact_every: 0,
@@ -312,12 +524,36 @@ impl OnlineHistoricalIndex {
     /// index); every seeded entry is visible to all queries. The first
     /// epoch is published immediately.
     pub fn warm(entries: &[HistoricalEntry], max_cell: usize) -> Self {
-        let mut idx = OnlineHistoricalIndex::new(max_cell);
+        OnlineHistoricalIndex::warm_with(entries, max_cell, RetrievalBackend::Exact)
+    }
+
+    /// [`warm`](OnlineHistoricalIndex::warm) with an ANN backend.
+    pub fn warm_with(
+        entries: &[HistoricalEntry],
+        max_cell: usize,
+        backend: RetrievalBackend,
+    ) -> Self {
+        let mut idx = OnlineHistoricalIndex::with_backend(max_cell, backend);
         for e in entries {
             idx.insert(e.clone(), SimTime::EPOCH);
         }
         idx.publish();
         idx
+    }
+
+    /// The backend this index maintains a candidate structure for.
+    pub fn backend(&self) -> RetrievalBackend {
+        self.backend
+    }
+
+    /// Footprint report: the exact cells plus the ANN structure if one
+    /// is maintained (both are resident).
+    pub fn index_stats(&self) -> IndexStats {
+        let mut stats = self.vectors.snapshot().stats();
+        if let Some(ann) = &self.ann {
+            stats.merge(&ann.stats());
+        }
+        stats
     }
 
     /// Appends a resolved incident. It reaches readers at the next
@@ -343,6 +579,9 @@ impl OnlineHistoricalIndex {
         let local = self.entries.len() as u64;
         self.vectors
             .add_at(local, entry.embedding.clone(), entry.at.as_secs());
+        if let Some(ann) = &mut self.ann {
+            ann.insert(local, entry.embedding.clone());
+        }
         self.entries.push(OnlineEntry {
             entry,
             visible_from,
@@ -392,6 +631,9 @@ impl OnlineHistoricalIndex {
         }
         let epoch = self.vectors.publish();
         self.published = self.entries.clone();
+        // Cloning the ANN plane is O(chunks)/O(cells) Arc bumps — the
+        // same copy-on-write contract as the entry chunks above.
+        self.ann_published = self.ann.as_ref().map(|a| Arc::new(a.clone()));
         epoch
     }
 
@@ -410,6 +652,7 @@ impl OnlineHistoricalIndex {
     pub fn snapshot(&self) -> HistorySnapshot {
         HistorySnapshot {
             index: self.vectors.snapshot(),
+            ann: self.ann_published.clone(),
             entries: self.published.clone(),
         }
     }
@@ -459,7 +702,16 @@ impl OnlineHistoricalIndex {
     /// entries are re-inserted in their original order and published in
     /// one epoch, and the epoch counter resumes from the checkpoint.
     pub fn restore(checkpoint: &EpochCheckpoint) -> Self {
-        let mut idx = OnlineHistoricalIndex::new(checkpoint.max_cell.max(1));
+        OnlineHistoricalIndex::restore_with(checkpoint, RetrievalBackend::Exact)
+    }
+
+    /// [`restore`](OnlineHistoricalIndex::restore) with an ANN backend.
+    /// The ANN structure is rebuilt by re-inserting in the checkpoint's
+    /// order, and since the graph/quantizer is a pure function of the
+    /// insert stream and a fixed seed, the restored candidate sets are
+    /// identical to the crashed index's.
+    pub fn restore_with(checkpoint: &EpochCheckpoint, backend: RetrievalBackend) -> Self {
+        let mut idx = OnlineHistoricalIndex::with_backend(checkpoint.max_cell.max(1), backend);
         for ce in &checkpoint.entries {
             idx.insert(ce.entry.clone(), ce.visible_from);
         }
@@ -494,7 +746,34 @@ pub struct EpochCheckpoint {
 #[derive(Debug, Clone)]
 pub struct HistorySnapshot {
     index: Arc<BucketedIndex>,
+    /// Published ANN candidate structure, if the index maintains one.
+    ann: Option<Arc<AnnPlane>>,
     entries: EntryChunks,
+}
+
+/// The retrieval ranking's "strictly better" relation on
+/// `(similarity, global_seq)`: higher similarity wins, earlier global
+/// insertion breaks ties — shared by the exact scan and the ANN re-rank
+/// so both produce bit-identical per-category representatives.
+fn better_rep(a: (f64, u64), b: (f64, u64)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Final ranking of per-category best `(similarity, global_seq, local)`
+/// representatives: `(similarity desc, global_seq asc)`, cut to `k`.
+fn rank_reps(
+    best: std::collections::BTreeMap<&str, (f64, u64, usize)>,
+    k: usize,
+) -> Vec<(u64, f64, usize)> {
+    let mut reps: Vec<(u64, f64, usize)> =
+        best.into_values().map(|(s, seq, i)| (seq, s, i)).collect();
+    reps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    reps.truncate(k);
+    reps
 }
 
 impl HistorySnapshot {
@@ -565,17 +844,22 @@ impl HistorySnapshot {
             query_embedding.iter().all(|x| x.is_finite()),
             "query embedding must be finite"
         );
+        // ANN path: the configured structure proposes candidates, the
+        // exact similarity re-ranks them. When the candidate set covers
+        // every visible entry (saturation), the per-category bests and
+        // the final ranking are computed by the very same code over the
+        // very same values as the exact scan — byte-identical answers.
+        if let Some(cands) = self
+            .ann
+            .as_deref()
+            .and_then(|a| a.candidates(query_embedding, config.backend))
+        {
+            return self.rerank_candidates(&cands, query_embedding, query_time, config);
+        }
         let qsecs = query_time.as_secs();
         // Best (similarity, global seq, local index) per category.
         let mut best: std::collections::BTreeMap<&str, (f64, u64, usize)> =
             std::collections::BTreeMap::new();
-        let better = |a: (f64, u64), b: (f64, u64)| -> bool {
-            match a.0.total_cmp(&b.0) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => a.1 < b.1,
-            }
-        };
         for scan in self.index.prune_scan(query_embedding) {
             if best.len() >= config.k {
                 // k-th best category representative so far.
@@ -615,18 +899,61 @@ impl HistorySnapshot {
                     }
                     std::collections::btree_map::Entry::Occupied(mut o) => {
                         let cur = *o.get();
-                        if better((cand.0, cand.1), (cur.0, cur.1)) {
+                        if better_rep((cand.0, cand.1), (cur.0, cur.1)) {
                             o.insert(cand);
                         }
                     }
                 }
             }
         }
-        let mut reps: Vec<(u64, f64, usize)> =
-            best.into_values().map(|(s, seq, i)| (seq, s, i)).collect();
-        reps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        reps.truncate(config.k);
-        reps
+        rank_reps(best, config.k)
+    }
+
+    /// Exact temporal-decay re-rank of an ANN candidate set.
+    ///
+    /// `cands` holds local entry indexes proposed by the candidate
+    /// structure. Each visible candidate is scored with the *same* f64
+    /// similarity as the exact scan, reduced to per-category bests via
+    /// [`better_rep`], and ranked via [`rank_reps`] — so the only way
+    /// this can differ from the exact path is by candidates the ANN
+    /// structure failed to propose.
+    fn rerank_candidates(
+        &self,
+        cands: &[u64],
+        query_embedding: &[f32],
+        query_time: SimTime,
+        config: &RetrievalConfig,
+    ) -> Vec<(u64, f64, usize)> {
+        let mut best: std::collections::BTreeMap<&str, (f64, u64, usize)> =
+            std::collections::BTreeMap::new();
+        for &local in cands {
+            let i = local as usize;
+            if i >= self.entries.len() {
+                // A published graph can briefly run ahead of the sealed
+                // entry chunks between publishes; ignore unknown ids.
+                continue;
+            }
+            let stored = self.entries.get(i);
+            if stored.visible_from > query_time {
+                continue;
+            }
+            let dist = euclidean(query_embedding, &stored.entry.embedding);
+            let dt = stored.entry.at.abs_diff(query_time).as_days_f64();
+            let sim = similarity(dist, dt, config.alpha);
+            let cand = (sim, stored.global_seq, i);
+            match best.entry(stored.entry.category.as_str()) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(cand);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let cur = *o.get();
+                    if better_rep((cand.0, cand.1), (cur.0, cur.1)) {
+                        o.insert(cand);
+                    }
+                }
+            }
+        }
+        rank_reps(best, config.k)
     }
 }
 
@@ -690,9 +1017,19 @@ impl ShardedHistoricalIndex {
     /// An empty index with `shards` shards (clamped to ≥ 1), each with
     /// the given spatial cell-split threshold.
     pub fn new(shards: usize, max_cell: usize) -> Self {
+        Self::new_with(shards, max_cell, RetrievalBackend::Exact)
+    }
+
+    /// An empty index whose shards each maintain the candidate structure
+    /// for `backend` (see [`OnlineHistoricalIndex::with_backend`]). Each
+    /// shard builds its *own* ANN graph over its own entries; the
+    /// bound-ordered cross-shard merge is unchanged because
+    /// [`HistorySnapshot::best_bound`] is still computed from the exact
+    /// bucketed cells.
+    pub fn new_with(shards: usize, max_cell: usize, backend: RetrievalBackend) -> Self {
         ShardedHistoricalIndex {
             shards: (0..shards.max(1))
-                .map(|_| Mutex::new(OnlineHistoricalIndex::new(max_cell)))
+                .map(|_| Mutex::new(OnlineHistoricalIndex::with_backend(max_cell, backend)))
                 .collect(),
             next_seq: AtomicU64::new(0),
             poison_recoveries: AtomicU64::new(0),
@@ -702,12 +1039,32 @@ impl ShardedHistoricalIndex {
     /// Warm-starts from existing history in slice order (matching
     /// [`OnlineHistoricalIndex::warm`]) and publishes every shard.
     pub fn warm(entries: &[HistoricalEntry], shards: usize, max_cell: usize) -> Self {
-        let idx = ShardedHistoricalIndex::new(shards, max_cell);
+        Self::warm_with(entries, shards, max_cell, RetrievalBackend::Exact)
+    }
+
+    /// [`warm`](Self::warm) with a retrieval backend for every shard.
+    pub fn warm_with(
+        entries: &[HistoricalEntry],
+        shards: usize,
+        max_cell: usize,
+        backend: RetrievalBackend,
+    ) -> Self {
+        let idx = ShardedHistoricalIndex::new_with(shards, max_cell, backend);
         for e in entries {
             idx.insert(e.clone(), SimTime::EPOCH);
         }
         idx.publish_all();
         idx
+    }
+
+    /// Aggregated candidate-structure statistics across shards (exact
+    /// bucketed cells merged with any ANN graph/quantizer footprint).
+    pub fn index_stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for s in 0..self.shards.len() {
+            total.merge(&self.lock_shard(s).index_stats());
+        }
+        total
     }
 
     fn lock_shard(&self, shard: usize) -> MutexGuard<'_, OnlineHistoricalIndex> {
@@ -840,7 +1197,20 @@ impl ShardedHistoricalIndex {
     /// epoch numbering is journal bookkeeping and never affects query
     /// answers.
     pub fn restore(checkpoint: &ShardedCheckpoint, shards: usize) -> Self {
-        let idx = ShardedHistoricalIndex::new(shards, checkpoint.max_cell.max(1));
+        Self::restore_with(checkpoint, shards, RetrievalBackend::Exact)
+    }
+
+    /// [`restore`](Self::restore) with a retrieval backend for every
+    /// shard. The backend is a parameter (not checkpoint state): the
+    /// seeded ANN graph is a pure function of the re-inserted entry
+    /// stream, so the owning engine re-applies its configured backend
+    /// and reproduces the same graph.
+    pub fn restore_with(
+        checkpoint: &ShardedCheckpoint,
+        shards: usize,
+        backend: RetrievalBackend,
+    ) -> Self {
+        let idx = ShardedHistoricalIndex::new_with(shards, checkpoint.max_cell.max(1), backend);
         for ce in &checkpoint.entries {
             idx.insert(ce.entry.clone(), ce.visible_from);
         }
@@ -978,12 +1348,20 @@ mod tests {
         // Same embedding, different times; category must differ to coexist.
         idx.add(entry(0, "Old", 10, vec![0.0, 0.0]));
         idx.add(entry(1, "New", 99, vec![0.0, 0.0]));
-        let cfg = RetrievalConfig { k: 2, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 2,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         let hits = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(100), &cfg);
         assert_eq!(hits[0].entry.category, "New");
         assert!(hits[0].similarity > hits[1].similarity);
         // With alpha = 0 the tie is broken by insertion order, not time.
-        let cfg0 = RetrievalConfig { k: 2, alpha: 0.0 };
+        let cfg0 = RetrievalConfig {
+            k: 2,
+            alpha: 0.0,
+            ..RetrievalConfig::default()
+        };
         let hits0 = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(100), &cfg0);
         assert!((hits0[0].similarity - hits0[1].similarity).abs() < 1e-12);
     }
@@ -995,7 +1373,11 @@ mod tests {
         idx.add(entry(1, "A", 50, vec![0.1]));
         idx.add(entry(2, "B", 50, vec![5.0]));
         idx.add(entry(3, "C", 50, vec![9.0]));
-        let cfg = RetrievalConfig { k: 3, alpha: 0.0 };
+        let cfg = RetrievalConfig {
+            k: 3,
+            alpha: 0.0,
+            ..RetrievalConfig::default()
+        };
         let hits = idx.top_k_diverse(&[0.0], SimTime::from_days(50), &cfg);
         let cats: Vec<&str> = hits.iter().map(|n| n.entry.category.as_str()).collect();
         assert_eq!(cats, vec!["A", "B", "C"]);
@@ -1008,7 +1390,11 @@ mod tests {
         let mut idx = HistoricalIndex::new();
         idx.add(entry(0, "A", 1, vec![0.0]));
         idx.add(entry(1, "B", 1, vec![1.0]));
-        let cfg = RetrievalConfig { k: 10, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 10,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         let hits = idx.top_k_diverse(&[0.0], SimTime::from_days(1), &cfg);
         assert_eq!(hits.len(), 2);
     }
@@ -1035,7 +1421,11 @@ mod tests {
         let online = OnlineHistoricalIndex::warm(linear.entries(), 4);
         let snap = online.snapshot();
         assert_eq!(HistoryView::len(&snap), linear.len());
-        let cfg = RetrievalConfig { k: 5, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         for q in [[0.0f32, 0.0], [3.5, 1.0], [4.0, 6.0]] {
             for day in [0u64, 50, 180, 360] {
                 let at = SimTime::from_days(day);
@@ -1068,7 +1458,11 @@ mod tests {
         let restored = OnlineHistoricalIndex::restore(&ckpt);
         assert_eq!(restored.len(), online.len());
         assert_eq!(restored.epoch(), online.epoch());
-        let cfg = RetrievalConfig { k: 4, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 4,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         let (a, b) = (online.snapshot(), restored.snapshot());
         for day in [0u64, 40, 90, 300] {
             let at = SimTime::from_days(day);
@@ -1099,7 +1493,11 @@ mod tests {
         assert_eq!(online.compactions(), 6, "every third publish compacts");
         let snap = online.snapshot();
         assert_eq!(snap.len(), 18);
-        let cfg = RetrievalConfig { k: 4, alpha: 0.0 };
+        let cfg = RetrievalConfig {
+            k: 4,
+            alpha: 0.0,
+            ..RetrievalConfig::default()
+        };
         let hits = HistoryView::top_k_diverse(&snap, &[0.0], SimTime::from_days(1), &cfg);
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0].entry.id, 0);
@@ -1121,7 +1519,11 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap.visible_len(SimTime::from_days(20)), 1);
         assert_eq!(snap.visible_len(SimTime::from_days(60)), 2);
-        let cfg = RetrievalConfig { k: 2, alpha: 0.0 };
+        let cfg = RetrievalConfig {
+            k: 2,
+            alpha: 0.0,
+            ..RetrievalConfig::default()
+        };
         let early = HistoryView::top_k_diverse(&snap, &[0.0], SimTime::from_days(20), &cfg);
         assert_eq!(early.len(), 1);
         assert_eq!(early[0].entry.category, "A");
@@ -1172,7 +1574,11 @@ mod tests {
         assert_eq!(sharded.poison_recoveries(), 0);
         let (a, b) = (single.snapshot(), sharded.snapshot());
         assert_eq!(b.shard_views().len(), 3);
-        let cfg = RetrievalConfig { k: 5, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         for day in [0u64, 60, 200, 400] {
             let at = SimTime::from_days(day);
             assert_eq!(a.visible_len(at), b.visible_len(at));
@@ -1215,7 +1621,11 @@ mod tests {
         let json = serde_json::to_string(&ckpt).expect("serializable");
         let back: ShardedCheckpoint = serde_json::from_str(&json).expect("parseable");
         assert_eq!(back, ckpt);
-        let cfg = RetrievalConfig { k: 4, alpha: 0.3 };
+        let cfg = RetrievalConfig {
+            k: 4,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
         let reference = sharded.snapshot();
         // Restore into the same, fewer and more shards: answers identical.
         for target in [1usize, 2, 4, 8] {
@@ -1253,7 +1663,11 @@ mod tests {
         }
         single.publish();
         sharded.publish_all();
-        let cfg = RetrievalConfig { k: 6, alpha: 0.0 };
+        let cfg = RetrievalConfig {
+            k: 6,
+            alpha: 0.0,
+            ..RetrievalConfig::default()
+        };
         let at = SimTime::from_days(10);
         let (snap_a, snap_b) = (single.snapshot(), sharded.snapshot());
         let a = HistoryView::top_k_diverse(&snap_a, &[1.0, 1.0], at, &cfg);
@@ -1262,6 +1676,194 @@ mod tests {
         // All six similarities tie; order must be insertion order.
         let ids: Vec<usize> = b.iter().map(|n| n.entry.id).collect();
         assert_eq!(ids, vec![100, 99, 98, 97, 96, 95]);
+    }
+
+    /// A deterministic little incident cloud shared by the backend tests:
+    /// duplicate embeddings and timestamps to stress tie-breaks.
+    fn backend_cloud(n: usize) -> Vec<HistoricalEntry> {
+        (0..n)
+            .map(|i| {
+                entry(
+                    i,
+                    &format!("Cat{}", i % 7),
+                    (i as u64 * 13) % 300,
+                    vec![(i % 5) as f32, (i % 3) as f32, (i % 2) as f32],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn saturated_hnsw_answers_byte_identical_to_exact() {
+        let entries = backend_cloud(60);
+        let exact = OnlineHistoricalIndex::warm(&entries, 4);
+        // ef_search far above the corpus size: the graph saturates and
+        // proposes every entry, so the exact re-rank sees the full set.
+        let hnsw = OnlineHistoricalIndex::warm_with(
+            &entries,
+            4,
+            RetrievalBackend::Hnsw {
+                m: 4,
+                ef_construction: 16,
+                ef_search: 1_000_000,
+            },
+        );
+        let (a, b) = (exact.snapshot(), hnsw.snapshot());
+        for day in [0u64, 50, 150, 299] {
+            let at = SimTime::from_days(day);
+            for k in [1usize, 3, 7] {
+                let cfg_a = RetrievalConfig {
+                    k,
+                    alpha: 0.3,
+                    ..RetrievalConfig::default()
+                };
+                let cfg_b = RetrievalConfig {
+                    k,
+                    alpha: 0.3,
+                    backend: RetrievalBackend::Hnsw {
+                        m: 4,
+                        ef_construction: 16,
+                        ef_search: 1_000_000,
+                    },
+                };
+                assert_eq!(
+                    HistoryView::top_k_diverse(&a, &[1.0, 1.0, 0.0], at, &cfg_a),
+                    HistoryView::top_k_diverse(&b, &[1.0, 1.0, 0.0], at, &cfg_b),
+                    "day {day} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_kind_mismatch_falls_back_to_exact_scan() {
+        let entries = backend_cloud(40);
+        let hnsw = OnlineHistoricalIndex::warm_with(&entries, 4, RetrievalBackend::hnsw());
+        let snap = hnsw.snapshot();
+        let at = SimTime::from_days(100);
+        // Query config says Ivf but the plane holds an HNSW graph: the
+        // snapshot must ignore the graph and run the exact scan, which
+        // is trivially identical to a plain exact index.
+        let exact_snap = OnlineHistoricalIndex::warm(&entries, 4).snapshot();
+        let cfg_ivf = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            backend: RetrievalBackend::ivf(),
+        };
+        let cfg_exact = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
+        assert_eq!(
+            HistoryView::top_k_diverse(&snap, &[0.5, 0.5, 0.5], at, &cfg_ivf),
+            HistoryView::top_k_diverse(&exact_snap, &[0.5, 0.5, 0.5], at, &cfg_exact),
+        );
+    }
+
+    #[test]
+    fn ivf_backend_stages_until_trained_then_answers_saturated() {
+        // ncells 2 → quantizer trains after 2 × IVF_TRAIN_FACTOR inserts;
+        // nprobe ≥ cell count → every probe saturates (full recall).
+        let backend = RetrievalBackend::Ivf {
+            ncells: 2,
+            nprobe: 64,
+        };
+        let entries = backend_cloud(50);
+        let exact = OnlineHistoricalIndex::warm(&entries, 4);
+        let ivf = OnlineHistoricalIndex::warm_with(&entries, 4, backend);
+        let (a, b) = (exact.snapshot(), ivf.snapshot());
+        let cfg_a = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            ..RetrievalConfig::default()
+        };
+        let cfg_b = RetrievalConfig {
+            k: 5,
+            alpha: 0.3,
+            backend,
+        };
+        for day in [0u64, 120, 299] {
+            let at = SimTime::from_days(day);
+            assert_eq!(
+                HistoryView::top_k_diverse(&a, &[2.0, 1.0, 1.0], at, &cfg_a),
+                HistoryView::top_k_diverse(&b, &[2.0, 1.0, 1.0], at, &cfg_b),
+                "day {day}"
+            );
+        }
+        // Below the training threshold the quantizer is still staging:
+        // candidates() yields None and the exact scan answers.
+        let few = OnlineHistoricalIndex::warm_with(&entries[..8], 4, backend);
+        let few_exact = OnlineHistoricalIndex::warm(&entries[..8], 4);
+        assert_eq!(
+            HistoryView::top_k_diverse(
+                &few.snapshot(),
+                &[0.0, 0.0, 0.0],
+                SimTime::from_days(50),
+                &cfg_b
+            ),
+            HistoryView::top_k_diverse(
+                &few_exact.snapshot(),
+                &[0.0, 0.0, 0.0],
+                SimTime::from_days(50),
+                &cfg_a
+            ),
+        );
+    }
+
+    #[test]
+    fn index_stats_reports_ann_footprint() {
+        let entries = backend_cloud(40);
+        let exact = OnlineHistoricalIndex::warm(&entries, 4);
+        let stats = exact.index_stats();
+        assert_eq!(stats.vectors, 40);
+        assert_eq!(stats.dim, 3);
+        assert!(stats.cells > 0);
+        assert_eq!(stats.layers, 0, "exact backend has no graph layers");
+        assert!(stats.bytes > 0);
+        let hnsw = OnlineHistoricalIndex::warm_with(&entries, 4, RetrievalBackend::hnsw());
+        let hs = hnsw.index_stats();
+        // Bucketed vectors + graph vectors are both counted.
+        assert_eq!(hs.vectors, 80);
+        assert!(hs.layers >= 1, "graph contributes at least the base layer");
+        assert!(hs.edges > 0);
+        assert!(hs.bytes > stats.bytes);
+        // Sharded aggregation sums across shards.
+        let sharded = ShardedHistoricalIndex::warm_with(&entries, 3, 4, RetrievalBackend::hnsw());
+        let ss = sharded.index_stats();
+        assert_eq!(ss.vectors, 80);
+        assert_eq!(ss.dim, 3);
+    }
+
+    #[test]
+    fn restore_with_backend_reproduces_answers_and_stats() {
+        let backend = RetrievalBackend::Hnsw {
+            m: 4,
+            ef_construction: 16,
+            ef_search: 8,
+        };
+        let sharded = ShardedHistoricalIndex::warm_with(&backend_cloud(45), 3, 4, backend);
+        let ckpt = sharded.checkpoint();
+        let cfg = RetrievalConfig {
+            k: 4,
+            alpha: 0.3,
+            backend,
+        };
+        let reference = sharded.snapshot();
+        // The checkpoint stores no graph: the seeded rebuild reproduces
+        // it exactly, including across shard-count changes at the same
+        // shard count (per-shard graphs are functions of shard streams).
+        let restored = ShardedHistoricalIndex::restore_with(&ckpt, 3, backend);
+        assert_eq!(restored.index_stats(), sharded.index_stats());
+        let snap = restored.snapshot();
+        for day in [0u64, 75, 290] {
+            let at = SimTime::from_days(day);
+            assert_eq!(
+                HistoryView::top_k_diverse(&reference, &[1.0, 2.0, 0.0], at, &cfg),
+                HistoryView::top_k_diverse(&snap, &[1.0, 2.0, 0.0], at, &cfg),
+                "day {day}"
+            );
+        }
     }
 }
 
@@ -1304,7 +1906,7 @@ mod proptests {
                     embedding: vec![(i % 5) as f32, (i % 3) as f32],
                 });
             }
-            let hits = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(180), &RetrievalConfig { k, alpha: 0.3 });
+            let hits = idx.top_k_diverse(&[0.0, 0.0], SimTime::from_days(180), &RetrievalConfig { k, alpha: 0.3, ..RetrievalConfig::default() });
             prop_assert!(hits.len() <= k);
             for w in hits.windows(2) {
                 prop_assert!(w[0].similarity + 1e-12 >= w[1].similarity);
@@ -1353,7 +1955,7 @@ mod proptests {
             }
             plain.publish();
             compacting.publish();
-            let cfg = RetrievalConfig { k, alpha };
+            let cfg = RetrievalConfig { k, alpha, ..RetrievalConfig::default() };
             let at = SimTime::from_days(query_day);
             let (a, b) = (plain.snapshot(), compacting.snapshot());
             for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
@@ -1390,7 +1992,7 @@ mod proptests {
             }
             let online = OnlineHistoricalIndex::warm(linear.entries(), max_cell);
             let snap = online.snapshot();
-            let cfg = RetrievalConfig { k, alpha };
+            let cfg = RetrievalConfig { k, alpha, ..RetrievalConfig::default() };
             let at = SimTime::from_days(query_day);
             for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
                 let a = linear.top_k_diverse(&q, at, &cfg);
@@ -1438,7 +2040,7 @@ mod proptests {
             single.publish();
             sharded.publish_all();
             prop_assert_eq!(sharded.len(), single.len());
-            let cfg = RetrievalConfig { k, alpha };
+            let cfg = RetrievalConfig { k, alpha, ..RetrievalConfig::default() };
             let at = SimTime::from_days(query_day);
             let (a, b) = (single.snapshot(), sharded.snapshot());
             for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
@@ -1446,6 +2048,107 @@ mod proptests {
                     HistoryView::top_k_diverse(&a, &q, at, &cfg),
                     HistoryView::top_k_diverse(&b, &q, at, &cfg),
                     "{} shards, query {:?}", sharded.shard_count(), q
+                );
+            }
+        }
+
+        /// The byte-identity contract of the ANN tier: at 100% candidate
+        /// recall (`ef_search` ≥ corpus size saturates the graph; `nprobe`
+        /// ≥ cell count saturates the quantizer) the HNSW and IVF
+        /// backends answer byte-identically — same entries, same order,
+        /// same f64 similarities — to the exact backend, for any shard
+        /// count, entry cloud (duplicate embeddings stress the
+        /// global-sequence tie-break), publish cadence, visibility
+        /// horizon, decay rate and query time.
+        #[test]
+        fn saturated_ann_backends_equal_exact(
+            k in 1usize..8,
+            alpha in 0.0f64..2.0,
+            max_cell in 1usize..8,
+            shards in 1usize..5,
+            m in 2usize..8,
+            publish_every in 1usize..5,
+            query_day in 0u64..364,
+            specs in proptest::collection::vec(
+                (0u64..364, 0usize..6, 0i32..4, 0i32..4, 0u64..200), 1..40)
+        ) {
+            let hnsw = RetrievalBackend::Hnsw {
+                m, ef_construction: 8, ef_search: usize::MAX,
+            };
+            let ivf = RetrievalBackend::Ivf { ncells: 2, nprobe: usize::MAX };
+            let exact_idx = ShardedHistoricalIndex::new(shards, max_cell);
+            let hnsw_idx = ShardedHistoricalIndex::new_with(shards, max_cell, hnsw);
+            let ivf_idx = ShardedHistoricalIndex::new_with(shards, max_cell, ivf);
+            for (i, &(day, cat, x, y, vis)) in specs.iter().enumerate() {
+                let e = HistoricalEntry {
+                    id: i,
+                    category: format!("Cat{cat}"),
+                    summary: String::new(),
+                    at: SimTime::from_days(day),
+                    embedding: vec![x as f32, y as f32],
+                };
+                let visible = SimTime::from_days(vis);
+                exact_idx.insert(e.clone(), visible);
+                hnsw_idx.insert(e.clone(), visible);
+                ivf_idx.insert(e, visible);
+                if (i + 1) % publish_every == 0 {
+                    exact_idx.publish_all();
+                    hnsw_idx.publish_all();
+                    ivf_idx.publish_all();
+                }
+            }
+            exact_idx.publish_all();
+            hnsw_idx.publish_all();
+            ivf_idx.publish_all();
+            let cfg_exact = RetrievalConfig { k, alpha, ..RetrievalConfig::default() };
+            let cfg_hnsw = RetrievalConfig { k, alpha, backend: hnsw };
+            let cfg_ivf = RetrievalConfig { k, alpha, backend: ivf };
+            let at = SimTime::from_days(query_day);
+            let (se, sh, si) =
+                (exact_idx.snapshot(), hnsw_idx.snapshot(), ivf_idx.snapshot());
+            for q in [[0.0f32, 0.0], [1.5, 2.5], [3.0, 0.0]] {
+                let want = HistoryView::top_k_diverse(&se, &q, at, &cfg_exact);
+                prop_assert_eq!(
+                    &want,
+                    &HistoryView::top_k_diverse(&sh, &q, at, &cfg_hnsw),
+                    "hnsw: {} shards, query {:?}", shards, q
+                );
+                prop_assert_eq!(
+                    &want,
+                    &HistoryView::top_k_diverse(&si, &q, at, &cfg_ivf),
+                    "ivf: {} shards, query {:?}", shards, q
+                );
+            }
+        }
+
+        /// Non-saturated HNSW retrieval is *deterministic*: two indexes
+        /// built from the same insertion stream with the same seed answer
+        /// identically at any `ef_search`, even when recall is partial.
+        #[test]
+        fn hnsw_retrieval_is_deterministic_at_any_ef(
+            ef in 1usize..16,
+            query_day in 0u64..364,
+            specs in proptest::collection::vec(
+                (0u64..364, 0usize..6, 0i32..4, 0i32..4), 1..40)
+        ) {
+            let backend = RetrievalBackend::Hnsw { m: 4, ef_construction: 8, ef_search: ef };
+            let entries: Vec<HistoricalEntry> = specs.iter().enumerate().map(
+                |(i, &(day, cat, x, y))| HistoricalEntry {
+                    id: i,
+                    category: format!("Cat{cat}"),
+                    summary: String::new(),
+                    at: SimTime::from_days(day),
+                    embedding: vec![x as f32, y as f32],
+                }).collect();
+            let a = OnlineHistoricalIndex::warm_with(&entries, 4, backend);
+            let b = OnlineHistoricalIndex::warm_with(&entries, 4, backend);
+            let cfg = RetrievalConfig { k: 5, alpha: 0.3, backend };
+            let at = SimTime::from_days(query_day);
+            let (sa, sb) = (a.snapshot(), b.snapshot());
+            for q in [[0.0f32, 0.0], [1.5, 2.5]] {
+                prop_assert_eq!(
+                    HistoryView::top_k_diverse(&sa, &q, at, &cfg),
+                    HistoryView::top_k_diverse(&sb, &q, at, &cfg)
                 );
             }
         }

@@ -1,0 +1,610 @@
+//! Deterministic approximate nearest neighbors: a seeded HNSW graph.
+//!
+//! [`HnswIndex`] is the serving plane's answer to million-incident
+//! corpora: a hierarchical navigable small world graph (Malkov &
+//! Yashunin) whose search cost grows roughly logarithmically with the
+//! corpus while the exact indexes in [`crate::index`] stay linear. It is
+//! a *candidate generator*, not a scorer — the retrieval plane re-ranks
+//! its candidate set with the exact temporal-decay similarity, so any
+//! approximation shows up only as candidate misses, never as wrong
+//! scores.
+//!
+//! Three properties distinguish this implementation from a textbook one:
+//!
+//! - **Determinism.** Layer assignment is a pure hash of
+//!   `(seed, insertion sequence)`, every ordering uses `total_cmp` with
+//!   an insertion-sequence tie-break, and the traversal queues are
+//!   strictly ordered — two builds over the same insert stream produce
+//!   the same graph and the same candidate lists, on any machine.
+//! - **Saturation.** A search with `ef >= len` short-circuits to the
+//!   full id list in `(distance, seq)` order: candidate recall is
+//!   *guaranteed* 100%, which is the lever the retrieval plane's
+//!   byte-identity proptests pull.
+//! - **Copy-on-write chunks.** Nodes live in fixed-size chunks behind
+//!   [`Arc`]s, so cloning the index (the epoch-snapshot operation) costs
+//!   `O(n / chunk)` pointer bumps and a post-snapshot insert pays one
+//!   chunk copy per touched neighborhood — the same contract as the
+//!   bucketed index's cells.
+
+use crate::index::IndexStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Nodes per copy-on-write chunk (see module docs).
+const NODE_CHUNK: usize = 64;
+
+/// Hard cap on layer assignment; `ml = 1/ln(m)` makes layers this high
+/// astronomically unlikely, the cap just bounds the worst case.
+const MAX_LEVEL: usize = 16;
+
+/// HNSW build/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max neighbors per node on layers above 0 (layer 0 allows `2m`).
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Default beam width while searching (callers may override per
+    /// query; `ef >= len` saturates to exact candidate recall).
+    pub ef_search: usize,
+    /// Seed of the deterministic layer-assignment hash.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 64,
+            ef_search: 64,
+            seed: 0xA22_5EED,
+        }
+    }
+}
+
+/// One graph node: the caller's id, its vector, and one adjacency list
+/// per layer it participates in (`links.len() == level + 1`).
+#[derive(Debug, Clone)]
+struct Node {
+    id: u64,
+    vector: Vec<f32>,
+    links: Vec<Vec<u32>>,
+}
+
+/// `(squared distance, node)` with a total, deterministic order:
+/// distance first (`total_cmp`), insertion sequence as the tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DistNode(f32, u32);
+
+impl Eq for DistNode {}
+
+impl Ord for DistNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for DistNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn d2(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// SplitMix64 — the stable scrambler behind layer assignment.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, incrementally grown HNSW graph index.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    chunks: Vec<Arc<Vec<Node>>>,
+    len: usize,
+    /// Entry point: the node owning the highest layer.
+    entry: Option<u32>,
+    top_level: usize,
+}
+
+impl Default for HnswIndex {
+    fn default() -> Self {
+        HnswIndex::new(HnswConfig::default())
+    }
+}
+
+impl HnswIndex {
+    /// Creates an empty index. `m` and `ef_construction` are clamped to
+    /// ≥ 2 and ≥ 4 (degenerate values would disconnect the graph) —
+    /// counted degradation rather than a panic.
+    pub fn new(config: HnswConfig) -> Self {
+        HnswIndex {
+            config: HnswConfig {
+                m: config.m.max(2),
+                ef_construction: config.ef_construction.max(4),
+                ..config
+            },
+            chunks: Vec::new(),
+            len: 0,
+            entry: None,
+            top_level: 0,
+        }
+    }
+
+    /// The (clamped) build/search parameters.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn node(&self, i: u32) -> &Node {
+        &self.chunks[i as usize / NODE_CHUNK][i as usize % NODE_CHUNK]
+    }
+
+    /// Mutable access through the copy-on-write chunk (a chunk shared
+    /// with a snapshot is copied once, then mutated in place).
+    fn node_mut(&mut self, i: u32) -> &mut Node {
+        let chunk = Arc::make_mut(&mut self.chunks[i as usize / NODE_CHUNK]);
+        &mut chunk[i as usize % NODE_CHUNK]
+    }
+
+    /// Deterministic geometric layer assignment for insertion `seq`:
+    /// `floor(-ln(u) / ln(m))` with `u` drawn from a seeded SplitMix64
+    /// hash — no RNG state, so the graph shape is a pure function of the
+    /// insert stream and the seed.
+    fn level_for(&self, seq: u64) -> usize {
+        let h = splitmix64(self.config.seed ^ seq.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        // 53-bit mantissa draw in (0, 1].
+        let u = ((h >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let ml = 1.0 / (self.config.m as f64).ln();
+        ((-u.ln() * ml) as usize).min(MAX_LEVEL)
+    }
+
+    /// Beam search on one layer from `seeds`, keeping the `ef` best.
+    /// Returns hits sorted ascending by `(distance, seq)`.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        seeds: &[DistNode],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<DistNode> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut visited: BTreeSet<u32> = seeds.iter().map(|s| s.1).collect();
+        let mut frontier: BinaryHeap<Reverse<DistNode>> =
+            seeds.iter().map(|&s| Reverse(s)).collect();
+        let mut best: BinaryHeap<DistNode> = seeds.iter().copied().collect();
+        while best.len() > ef {
+            best.pop();
+        }
+        while let Some(Reverse(cand)) = frontier.pop() {
+            if best.len() >= ef {
+                let worst = *best.peek().expect("non-empty result heap");
+                if worst < cand {
+                    break;
+                }
+            }
+            for &n in &self.node(cand.1).links[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let d = DistNode(d2(&self.node(n).vector, query), n);
+                if best.len() < ef || d < *best.peek().expect("non-empty result heap") {
+                    frontier.push(Reverse(d));
+                    best.push(d);
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<DistNode> = best.into_vec();
+        out.sort();
+        out
+    }
+
+    /// Greedy single-step descent through layers `top..=stop`, returning
+    /// the closest node found.
+    fn descend(&self, query: &[f32], mut cur: DistNode, from: usize, stop: usize) -> DistNode {
+        for layer in (stop..=from).rev() {
+            loop {
+                let mut improved = false;
+                for &n in &self.node(cur.1).links[layer] {
+                    let d = DistNode(d2(&self.node(n).vector, query), n);
+                    if d < cur {
+                        cur = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Adds a vector under `id`. Insertion order defines the node
+    /// sequence used in every tie-break, so two indexes fed the same
+    /// stream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector`'s dimension differs from previously added ones.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        if let Some(first) = self.chunks.first().and_then(|c| c.first()) {
+            assert_eq!(first.vector.len(), vector.len(), "dimension mismatch");
+        }
+        let seq = self.len as u32;
+        let level = self.level_for(seq as u64);
+        if self.len.is_multiple_of(NODE_CHUNK) {
+            self.chunks.push(Arc::new(Vec::with_capacity(NODE_CHUNK)));
+        }
+        {
+            let last = self.chunks.last_mut().expect("chunk just ensured");
+            Arc::make_mut(last).push(Node {
+                id,
+                vector,
+                links: vec![Vec::new(); level + 1],
+            });
+        }
+        self.len += 1;
+        let Some(entry) = self.entry else {
+            self.entry = Some(seq);
+            self.top_level = level;
+            return;
+        };
+        let query = self.node(seq).vector.clone();
+        let mut cur = DistNode(d2(&self.node(entry).vector, &query), entry);
+        if self.top_level > level {
+            cur = self.descend(&query, cur, self.top_level, level + 1);
+        }
+        for layer in (0..=level.min(self.top_level)).rev() {
+            let found = self.search_layer(&query, &[cur], self.config.ef_construction, layer);
+            cur = found[0];
+            let cap = if layer == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
+            let neighbors: Vec<u32> = found.iter().take(cap).map(|d| d.1).collect();
+            self.node_mut(seq).links[layer] = neighbors.clone();
+            for n in neighbors {
+                let links = &mut self.node_mut(n).links[layer];
+                links.push(seq);
+                if links.len() > cap {
+                    self.shrink_links(n, layer, cap);
+                }
+            }
+        }
+        if level > self.top_level {
+            self.entry = Some(seq);
+            self.top_level = level;
+        }
+    }
+
+    /// Prunes node `n`'s layer adjacency back to the `cap` closest
+    /// neighbors (deterministic: distance then sequence).
+    fn shrink_links(&mut self, n: u32, layer: usize, cap: usize) {
+        let center = self.node(n).vector.clone();
+        let mut ranked: Vec<DistNode> = self.node(n).links[layer]
+            .iter()
+            .map(|&o| DistNode(d2(&self.node(o).vector, &center), o))
+            .collect();
+        ranked.sort();
+        ranked.truncate(cap);
+        self.node_mut(n).links[layer] = ranked.into_iter().map(|d| d.1).collect();
+    }
+
+    /// The ids of (up to) `ef` approximate nearest neighbors of `query`,
+    /// closest first.
+    ///
+    /// **Saturation:** when `ef >= len`, the graph walk is skipped and
+    /// *every* id is returned in exact `(distance, seq)` order —
+    /// guaranteed 100% candidate recall. This is the mode the retrieval
+    /// plane's byte-identity properties pin.
+    pub fn candidates(&self, query: &[f32], ef: usize) -> Vec<u64> {
+        self.search(query, ef)
+            .into_iter()
+            .map(|d| self.node(d.1).id)
+            .collect()
+    }
+
+    /// The `k` approximate nearest neighbors as `(id, euclidean
+    /// distance)`, closest first, searching with
+    /// `max(k, ef_search)` beam width — the [`crate::index`] knn shape,
+    /// for recall tests and benches.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        let mut hits = self.search(query, k.max(self.config.ef_search));
+        hits.truncate(k);
+        hits.into_iter()
+            .map(|d| (self.node(d.1).id, d.0.sqrt()))
+            .collect()
+    }
+
+    fn search(&self, query: &[f32], ef: usize) -> Vec<DistNode> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        if ef >= self.len {
+            // Saturated: exact scan in (distance, seq) order.
+            let mut all: Vec<DistNode> = (0..self.len as u32)
+                .map(|i| DistNode(d2(&self.node(i).vector, query), i))
+                .collect();
+            all.sort();
+            return all;
+        }
+        let ef = ef.max(1);
+        let mut cur = DistNode(d2(&self.node(entry).vector, query), entry);
+        if self.top_level > 0 {
+            cur = self.descend(query, cur, self.top_level, 1);
+        }
+        self.search_layer(query, &[cur], ef, 0)
+    }
+
+    /// Structure report: vectors, layer count, edges, estimated resident
+    /// bytes.
+    pub fn stats(&self) -> IndexStats {
+        let dim = self
+            .chunks
+            .first()
+            .and_then(|c| c.first())
+            .map_or(0, |n| n.vector.len());
+        let mut edges = 0usize;
+        let mut links_cap = 0usize;
+        for chunk in &self.chunks {
+            for node in chunk.iter() {
+                for l in &node.links {
+                    edges += l.len();
+                    links_cap += l.capacity();
+                }
+            }
+        }
+        IndexStats {
+            vectors: self.len,
+            dim,
+            cells: 0,
+            layers: self.top_level + 1,
+            edges,
+            bytes: self.len * (dim * 4 + std::mem::size_of::<Node>()) + links_cap * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BruteForceIndex;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(n: u64, seed: u64) -> Vec<(u64, Vec<f32>)> {
+        // Eight gaussian-ish clusters in 8d.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let c = (i % 8) as f32 * 3.0;
+                (
+                    i,
+                    (0..8)
+                        .map(|d| c * ((d + i as usize) % 3) as f32 + rng.gen_range(-0.4..0.4))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single_node_searches() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.candidates(&[0.0; 8], 4).is_empty());
+        idx.add(7, vec![0.0; 8]);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.candidates(&[0.0; 8], 4), vec![7]);
+        assert_eq!(idx.knn(&[0.0; 8], 3), vec![(7, 0.0)]);
+    }
+
+    #[test]
+    fn saturated_search_is_exact_including_tie_order() {
+        let mut hnsw = HnswIndex::new(HnswConfig {
+            m: 4,
+            ef_construction: 8,
+            ..HnswConfig::default()
+        });
+        let mut bf = BruteForceIndex::new();
+        // Duplicate vectors stress the insertion-order tie-break.
+        for i in 0..40u64 {
+            let v = vec![(i % 5) as f32, (i % 3) as f32];
+            hnsw.add(i, v.clone());
+            bf.add(i, v);
+        }
+        for q in [[0.0f32, 0.0], [4.0, 2.0], [2.5, 1.5]] {
+            let exact: Vec<u64> = bf.knn(&q, 40).into_iter().map(|(id, _)| id).collect();
+            assert_eq!(hnsw.candidates(&q, 40), exact, "q={q:?}");
+            assert_eq!(hnsw.candidates(&q, 10_000), exact, "ef past len saturates");
+        }
+    }
+
+    #[test]
+    fn recall_is_high_on_clustered_data_and_degrades_with_ef() {
+        let data = cloud(400, 3);
+        let mut hnsw = HnswIndex::new(HnswConfig::default());
+        let mut bf = BruteForceIndex::new();
+        for (id, v) in &data {
+            hnsw.add(*id, v.clone());
+            bf.add(*id, v.clone());
+        }
+        let mut rng = SmallRng::seed_from_u64(9);
+        let recall_at = |ef: usize, rng: &mut SmallRng| {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for _ in 0..30 {
+                let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..9.0)).collect();
+                let exact: std::collections::BTreeSet<u64> =
+                    bf.knn(&q, 10).into_iter().map(|(id, _)| id).collect();
+                let approx = hnsw.candidates(&q, ef);
+                hit += approx
+                    .iter()
+                    .take(10)
+                    .filter(|id| exact.contains(id))
+                    .count();
+                total += exact.len();
+            }
+            hit as f64 / total as f64
+        };
+        let high = recall_at(64, &mut rng);
+        let low = recall_at(10, &mut rng);
+        assert!(high >= 0.95, "recall@10 with ef=64 was {high}");
+        assert!(low <= high + 1e-9, "ef=10 recall {low} vs ef=64 {high}");
+    }
+
+    #[test]
+    fn identical_insert_streams_build_identical_graphs() {
+        let build = || {
+            let mut idx = HnswIndex::new(HnswConfig {
+                m: 6,
+                ef_construction: 24,
+                ..HnswConfig::default()
+            });
+            for (id, v) in cloud(200, 5) {
+                idx.add(id, v);
+            }
+            idx
+        };
+        let (a, b) = (build(), build());
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-2.0..10.0)).collect();
+            assert_eq!(a.candidates(&q, 16), b.candidates(&q, 16));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn snapshot_clones_are_isolated_from_later_inserts() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        for (id, v) in cloud(100, 1) {
+            idx.add(id, v);
+        }
+        let snap = idx.clone();
+        let before = snap.candidates(&[1.0; 8], 100);
+        for (id, v) in cloud(100, 2) {
+            idx.add(id + 1000, v);
+        }
+        assert_eq!(snap.len(), 100, "sealed clone must not grow");
+        assert_eq!(snap.candidates(&[1.0; 8], 100), before);
+        assert_eq!(idx.len(), 200);
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_panicking() {
+        let mut idx = HnswIndex::new(HnswConfig {
+            m: 0,
+            ef_construction: 0,
+            ef_search: 0,
+            seed: 1,
+        });
+        assert_eq!(idx.config().m, 2);
+        assert_eq!(idx.config().ef_construction, 4);
+        for (id, v) in cloud(50, 4) {
+            idx.add(id, v);
+        }
+        assert_eq!(idx.len(), 50);
+        assert!(!idx.candidates(&[0.0; 8], 5).is_empty());
+    }
+
+    #[test]
+    fn stats_report_structure() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        for (id, v) in cloud(300, 8) {
+            idx.add(id, v);
+        }
+        let s = idx.stats();
+        assert_eq!(s.vectors, 300);
+        assert_eq!(s.dim, 8);
+        assert!(s.layers >= 1);
+        assert!(s.edges > 300, "graph must be connected beyond a chain");
+        assert!(s.bytes > 300 * 8 * 4, "bytes must cover the vectors");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::index::BruteForceIndex;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Saturated candidate generation equals the exact scan — same
+        /// ids, same order — for arbitrary clouds (small integer grid:
+        /// plenty of exact ties), configs and queries.
+        #[test]
+        fn saturated_candidates_equal_exact_scan(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-4.0f32..4.0, 3..=3), 1..60),
+            query in proptest::collection::vec(-4.0f32..4.0, 3..=3),
+            m in 2usize..8,
+            efc in 4usize..24,
+            seed in 0u64..4,
+        ) {
+            let mut hnsw = HnswIndex::new(HnswConfig { m, ef_construction: efc, ef_search: 16, seed });
+            let mut bf = BruteForceIndex::new();
+            for (i, p) in points.iter().enumerate() {
+                hnsw.add(i as u64, p.clone());
+                bf.add(i as u64, p.clone());
+            }
+            let exact: Vec<u64> = bf.knn(&query, points.len()).into_iter().map(|(id, _)| id).collect();
+            prop_assert_eq!(hnsw.candidates(&query, points.len()), exact);
+        }
+
+        /// Unsaturated searches always return `min(ef, len)` distinct
+        /// candidates sorted by true distance.
+        #[test]
+        fn candidates_are_distinct_and_distance_sorted(
+            points in proptest::collection::vec(
+                proptest::collection::vec(-8.0f32..8.0, 2..=2), 2..50),
+            query in proptest::collection::vec(-8.0f32..8.0, 2..=2),
+            ef in 1usize..12,
+        ) {
+            let mut hnsw = HnswIndex::new(HnswConfig { m: 4, ef_construction: 12, ef_search: 8, seed: 2 });
+            for (i, p) in points.iter().enumerate() {
+                hnsw.add(i as u64, p.clone());
+            }
+            let got = hnsw.candidates(&query, ef);
+            prop_assert_eq!(got.len(), ef.min(points.len()));
+            let mut seen = std::collections::BTreeSet::new();
+            let mut last = f32::NEG_INFINITY;
+            for id in got {
+                prop_assert!(seen.insert(id), "duplicate candidate {}", id);
+                let d: f32 = points[id as usize]
+                    .iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                prop_assert!(d >= last - 1e-6);
+                last = d;
+            }
+        }
+    }
+}

@@ -21,6 +21,42 @@ fn d2(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// Structural footprint report of an index: what the bench JSON and the
+/// serving report surface so memory regressions are visible.
+///
+/// `cells` counts IVF/bucketed cells, `layers` HNSW graph layers, and
+/// `edges` HNSW adjacency entries; fields that don't apply to a given
+/// index are zero. `bytes` is an estimate of resident size from the
+/// structure's own accounting, not an allocator measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IndexStats {
+    /// Indexed vectors.
+    pub vectors: usize,
+    /// Vector dimensionality (0 while empty).
+    pub dim: usize,
+    /// Metric/quantizer cells (bucketed, IVF).
+    pub cells: usize,
+    /// Graph layers (HNSW).
+    pub layers: usize,
+    /// Graph edges (HNSW).
+    pub edges: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+}
+
+impl IndexStats {
+    /// Folds another report into this one (cross-shard aggregation):
+    /// counts add, `dim`/`layers` take the max.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.vectors += other.vectors;
+        self.dim = self.dim.max(other.dim);
+        self.cells += other.cells;
+        self.layers = self.layers.max(other.layers);
+        self.edges += other.edges;
+        self.bytes += other.bytes;
+    }
+}
+
 /// An exact nearest-neighbor index.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BruteForceIndex {
@@ -66,17 +102,41 @@ impl BruteForceIndex {
             .zip(&self.vectors)
             .map(|(&id, v)| (id, d2(query, v)))
             .collect();
-        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        // total_cmp, not partial_cmp: a non-finite distance (degenerate
+        // vector upstream) gets a deterministic rank instead of a panic.
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
         hits.truncate(k);
         hits.into_iter().map(|(id, d)| (id, d.sqrt())).collect()
     }
+
+    /// Structure report (see [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        let dim = self.vectors.first().map_or(0, Vec::len);
+        IndexStats {
+            vectors: self.len(),
+            dim,
+            cells: 0,
+            layers: 0,
+            edges: 0,
+            bytes: self.len() * (dim * 4 + 8 + std::mem::size_of::<Vec<f32>>()),
+        }
+    }
 }
 
+/// One IVF cell: `(id, vector)` pairs behind an [`Arc`] for cheap
+/// copy-on-write snapshots.
+type IvfCell = Arc<Vec<(u64, Vec<f32>)>>;
+
 /// An inverted-file index: k-means coarse quantizer + per-cell lists.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Cells sit behind [`Arc`]s so cloning the index (the epoch-snapshot
+/// operation when it backs the online retrieval plane) costs `O(cells)`,
+/// and a post-snapshot [`insert`](IvfIndex::insert) pays one
+/// copy-on-write of the receiving cell only.
+#[derive(Debug, Clone)]
 pub struct IvfIndex {
     centroids: Vec<Vec<f32>>,
-    cells: Vec<Vec<(u64, Vec<f32>)>>,
+    cells: Vec<IvfCell>,
     /// Number of cells probed per query.
     nprobe: usize,
 }
@@ -85,16 +145,19 @@ impl IvfIndex {
     /// Builds an IVF index over `(id, vector)` pairs with `ncells` k-means
     /// cells, probing `nprobe` cells per query.
     ///
-    /// # Panics
-    ///
-    /// Panics if `items` is empty or `ncells`/`nprobe` is zero.
+    /// Degenerate arguments degrade instead of panicking: an empty
+    /// `items` yields an empty index (no centroids, every query answers
+    /// empty), and zero `ncells`/`nprobe` are clamped to 1.
     pub fn build(items: &[(u64, Vec<f32>)], ncells: usize, nprobe: usize, seed: u64) -> Self {
-        assert!(!items.is_empty(), "cannot build an empty IVF index");
-        assert!(
-            ncells > 0 && nprobe > 0,
-            "ncells and nprobe must be positive"
-        );
-        let ncells = ncells.min(items.len());
+        if items.is_empty() {
+            return IvfIndex {
+                centroids: Vec::new(),
+                cells: Vec::new(),
+                nprobe: nprobe.max(1),
+            };
+        }
+        let ncells = ncells.max(1).min(items.len());
+        let nprobe = nprobe.max(1);
         let dim = items[0].1.len();
         let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -145,14 +208,14 @@ impl IvfIndex {
         }
         IvfIndex {
             centroids,
-            cells,
+            cells: cells.into_iter().map(Arc::new).collect(),
             nprobe: nprobe.min(ncells),
         }
     }
 
     /// Total vectors indexed.
     pub fn len(&self) -> usize {
-        self.cells.iter().map(Vec::len).sum()
+        self.cells.iter().map(|c| c.len()).sum()
     }
 
     /// True if the index holds no vectors.
@@ -160,7 +223,59 @@ impl IvfIndex {
         self.len() == 0
     }
 
-    /// Approximate `k` nearest neighbors of `query`, closest first.
+    /// Number of quantizer cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The default probe width this index was built with.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Appends a vector to its nearest cell without recentering — the
+    /// online growth path when IVF backs the serving plane's retrieval
+    /// index. The quantizer stays frozen at its build-time centroids, so
+    /// routing (and therefore every query answer) is independent of when
+    /// snapshots were taken in between.
+    ///
+    /// On an empty (never built) index the vector seeds a single cell
+    /// whose centroid is the vector itself.
+    pub fn insert(&mut self, id: u64, vector: Vec<f32>) {
+        if self.centroids.is_empty() {
+            self.centroids.push(vector.clone());
+            self.cells.push(Arc::new(vec![(id, vector)]));
+            return;
+        }
+        let cell = nearest_centroid(&self.centroids, &vector);
+        Arc::make_mut(&mut self.cells[cell]).push((id, vector));
+    }
+
+    /// Ids of all vectors in the `nprobe` cells whose centroids are
+    /// closest to `query`, ranked by true distance (ties by cell scan
+    /// order) — the candidate set an exact re-ranker consumes. With
+    /// `nprobe >= cell_count` every id is returned: guaranteed 100%
+    /// candidate recall, mirroring the HNSW saturation rule.
+    pub fn candidates(&self, query: &[f32], nprobe: usize) -> Vec<u64> {
+        let mut order: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, d2(c, query)))
+            .collect();
+        order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut hits: Vec<(f32, usize, u64)> = Vec::new();
+        for (pos, &(cell, _)) in order.iter().take(nprobe.max(1)).enumerate() {
+            for (id, v) in self.cells[cell].iter() {
+                hits.push((d2(v, query), pos, *id));
+            }
+        }
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        hits.into_iter().map(|(_, _, id)| id).collect()
+    }
+
+    /// Approximate `k` nearest neighbors of `query`, closest first,
+    /// probing the build-time `nprobe` cells.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
         // Rank cells by centroid distance, probe the closest `nprobe`.
         let mut order: Vec<(usize, f32)> = self
@@ -169,16 +284,30 @@ impl IvfIndex {
             .enumerate()
             .map(|(i, c)| (i, d2(c, query)))
             .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut hits: Vec<(u64, f32)> = Vec::new();
         for &(cell, _) in order.iter().take(self.nprobe) {
-            for (id, v) in &self.cells[cell] {
+            for (id, v) in self.cells[cell].iter() {
                 hits.push((*id, d2(v, query)));
             }
         }
-        hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        hits.sort_by(|a, b| a.1.total_cmp(&b.1));
         hits.truncate(k);
         hits.into_iter().map(|(id, d)| (id, d.sqrt())).collect()
+    }
+
+    /// Structure report (see [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        let dim = self.centroids.first().map_or(0, Vec::len);
+        let n = self.len();
+        IndexStats {
+            vectors: n,
+            dim,
+            cells: self.cells.len(),
+            layers: 0,
+            edges: 0,
+            bytes: (n + self.centroids.len()) * (dim * 4 + 8 + std::mem::size_of::<Vec<f32>>()),
+        }
     }
 }
 
@@ -369,7 +498,9 @@ impl BucketedIndex {
             .map(|(i, c)| (i, d2(&c.centroid, &vector)))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(i, _)| i)
-            .expect("at least one cell");
+            // A cell was pushed above if none existed, so this is only a
+            // defensive fallback, not a reachable panic.
+            .unwrap_or(0);
         let cell = &mut self.cells[best];
         let dist = d2(&cell.centroid, &vector).sqrt();
         cell.radius = cell.radius.max(dist);
@@ -525,6 +656,20 @@ impl BucketedIndex {
             }
         }
         hits.into_iter().map(|(d, _, id)| (id, d.sqrt())).collect()
+    }
+
+    /// Structure report (see [`IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        let dim = self.cells.first().map_or(0, |c| c.centroid.len());
+        IndexStats {
+            vectors: self.len,
+            dim,
+            cells: self.cells.len(),
+            layers: 0,
+            edges: 0,
+            bytes: self.len * (dim * 4 + std::mem::size_of::<BucketItem>())
+                + self.cells.len() * (dim * 4 + std::mem::size_of::<Cell>()),
+        }
     }
 }
 
@@ -781,9 +926,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_ivf_build_panics() {
-        let _ = IvfIndex::build(&[], 4, 1, 0);
+    fn empty_ivf_build_degrades_to_empty_index() {
+        let ivf = IvfIndex::build(&[], 4, 1, 0);
+        assert!(ivf.is_empty());
+        assert_eq!(ivf.cell_count(), 0);
+        assert!(ivf.knn(&[0.0, 0.0], 3).is_empty());
+        assert!(ivf.candidates(&[0.0, 0.0], 4).is_empty());
+        assert_eq!(ivf.stats(), IndexStats::default());
+    }
+
+    #[test]
+    fn ivf_recall_at_k_against_brute_force() {
+        // 120 points in three well-separated clusters; probing 2 of 6
+        // cells must recover nearly all of the true top-10.
+        let mut rng = SmallRng::seed_from_u64(17);
+        let data: Vec<(u64, Vec<f32>)> = (0..120u64)
+            .map(|i| {
+                let (cx, cy) = match i % 3 {
+                    0 => (0.0, 0.0),
+                    1 => (12.0, 0.0),
+                    _ => (0.0, 12.0),
+                };
+                (
+                    i,
+                    vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)],
+                )
+            })
+            .collect();
+        let ivf = IvfIndex::build(&data, 6, 2, 3);
+        let mut bf = BruteForceIndex::new();
+        for (id, v) in &data {
+            bf.add(*id, v.clone());
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for _ in 0..25 {
+            let q = [rng.gen_range(-2.0..14.0), rng.gen_range(-2.0..14.0)];
+            let exact: std::collections::BTreeSet<u64> =
+                bf.knn(&q, 10).into_iter().map(|(id, _)| id).collect();
+            hit += ivf
+                .knn(&q, 10)
+                .iter()
+                .filter(|(id, _)| exact.contains(id))
+                .count();
+            total += exact.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "IVF recall@10 was {recall}");
+        // Saturation: probing every cell recovers the exact id set.
+        let q = [3.0f32, 3.0];
+        let exact: Vec<u64> = bf
+            .knn(&q, data.len())
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let all = ivf.candidates(&q, ivf.cell_count());
+        assert_eq!(all.len(), exact.len());
+        assert_eq!(
+            all.iter().collect::<std::collections::BTreeSet<_>>(),
+            exact.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn ivf_insert_grows_without_rebuilding() {
+        let data = cluster_data();
+        let mut ivf = IvfIndex::build(&data[..15], 3, 3, 9);
+        let snapshot = ivf.clone();
+        for (id, v) in &data[15..] {
+            ivf.insert(*id, v.clone());
+        }
+        assert_eq!(ivf.len(), data.len());
+        assert_eq!(snapshot.len(), 15, "COW cells keep clones sealed");
+        // Every id is findable when probing all cells.
+        let got = ivf.candidates(&[0.0, 0.0], ivf.cell_count());
+        assert_eq!(got.len(), data.len());
+        // Insert into a never-built index seeds a single cell.
+        let mut fresh = IvfIndex::build(&[], 4, 2, 0);
+        fresh.insert(77, vec![1.0, 2.0]);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh.knn(&[1.0, 2.0], 1), vec![(77, 0.0)]);
     }
 
     #[test]
@@ -959,6 +1181,74 @@ mod tests {
         }
         assert!(idx.cell_count() > 1);
         check(&idx.compacted());
+    }
+
+    #[test]
+    fn compaction_of_empty_index_is_a_noop() {
+        let idx = BucketedIndex::new(4);
+        let compact = idx.compacted();
+        assert_eq!(compact.len(), 0);
+        assert_eq!(compact.cell_count(), 0);
+        assert!(compact.knn(&[0.0], 3).is_empty());
+        // Growth still works afterwards (seq counter intact).
+        let mut grown = compact;
+        grown.add(1, vec![0.5]);
+        assert_eq!(grown.knn(&[0.0], 1), vec![(1, 0.5)]);
+        // EpochIndex::compact on an empty working set is equally safe.
+        let mut epochs = EpochIndex::new(4);
+        epochs.compact();
+        epochs.publish();
+        assert!(epochs.snapshot().is_empty());
+    }
+
+    #[test]
+    fn compaction_of_a_single_cell_preserves_answers() {
+        // max_cell larger than the population: one cell, never split.
+        let mut idx = BucketedIndex::new(64);
+        for (id, v) in cluster_data().into_iter().take(5) {
+            idx.add(id, v);
+        }
+        assert_eq!(idx.cell_count(), 1);
+        let compact = idx.compacted();
+        assert_eq!(compact.cell_count(), 1);
+        for k in [1usize, 3, 5, 9] {
+            assert_eq!(compact.knn(&[1.0, 1.0], k), idx.knn(&[1.0, 1.0], k));
+        }
+        // Single-vector index: the minimal single cell.
+        let mut one = BucketedIndex::new(2);
+        one.add_at(9, vec![3.0], 1234);
+        let compact_one = one.compacted();
+        assert_eq!(compact_one.knn(&[0.0], 2), one.knn(&[0.0], 2));
+        let scans = compact_one.prune_scan(&[0.0]);
+        assert_eq!(scans[0].min_abs_dt_secs(1234), 0);
+    }
+
+    #[test]
+    fn compaction_with_all_identical_timestamps_keeps_exact_time_bounds() {
+        // Every item at the same instant: cell time ranges must collapse
+        // to a point and survive splits + compaction exactly.
+        let mut idx = BucketedIndex::new(3);
+        for (id, v) in cluster_data() {
+            idx.add_at(id, v, 777_000);
+        }
+        let mut epochs = EpochIndex::new(3);
+        for (id, v) in cluster_data() {
+            epochs.add_at(id, v, 777_000);
+        }
+        epochs.publish();
+        let sealed = epochs.snapshot();
+        epochs.compact();
+        epochs.publish();
+        for probe in [&idx.compacted(), &*epochs.snapshot()] {
+            assert_eq!(probe.len(), 30);
+            for scan in probe.prune_scan(&[0.0, 0.0]) {
+                assert_eq!(scan.min_abs_dt_secs(777_000), 0);
+                assert_eq!(scan.min_abs_dt_secs(777_060), 60);
+                assert_eq!(scan.min_abs_dt_secs(776_000), 1000);
+            }
+            assert_eq!(probe.knn(&[0.0, 0.0], 5), idx.knn(&[0.0, 0.0], 5));
+        }
+        assert_eq!(sealed.knn(&[0.0, 0.0], 5), idx.knn(&[0.0, 0.0], 5));
     }
 
     #[test]

@@ -12,15 +12,20 @@
 //! - the document embedding = the averaged input embedding (the hidden
 //!   state), which feeds the retrieval stage, and
 //! - nearest-neighbor indexes over embeddings ([`index`]): exact
-//!   brute-force and an IVF (k-means coarse quantizer) accelerator.
+//!   brute-force, the online bucketed/epoch indexes, and an IVF (k-means
+//!   coarse quantizer) accelerator, and
+//! - a deterministic seeded HNSW graph ([`ann`]) for approximate
+//!   candidate generation over million-incident corpora.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod features;
 pub mod index;
 pub mod model;
 
+pub use ann::{HnswConfig, HnswIndex};
 pub use features::FeatureExtractor;
-pub use index::{BruteForceIndex, BucketedIndex, EpochIndex, IvfIndex};
+pub use index::{BruteForceIndex, BucketedIndex, EpochIndex, IndexStats, IvfIndex};
 pub use model::{FastTextConfig, FastTextModel};

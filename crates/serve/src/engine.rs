@@ -42,7 +42,9 @@ use crate::vmetrics::{simulate_pool, ExecStats, FaultCounters, VirtualHistogram,
 use crate::wal::{Recovery, WalError, WalRecord, WriteAheadLog};
 use rcacopilot_core::memo::{ExactMemo, MemoPolicy};
 use rcacopilot_core::plan::{InferencePlan, PlanCaches, PlanExecutor, SummarizeMode};
-use rcacopilot_core::retrieval::{CheckpointEntry, ShardedHistoricalIndex};
+use rcacopilot_core::retrieval::{
+    CheckpointEntry, RetrievalBackend, RetrievalConfig, ShardedHistoricalIndex,
+};
 use rcacopilot_core::{CollectionStage, ContextSpec, HistoricalEntry, RcaCopilot, RcaPrediction};
 use rcacopilot_simcloud::Incident;
 use rcacopilot_telemetry::ids::TenantId;
@@ -160,6 +162,12 @@ pub struct EngineConfig {
     /// Compact the online index every this many published epochs
     /// (0 = never).
     pub compact_epochs: usize,
+    /// Retrieval backend for the online index's shards: `Exact` (the
+    /// default — byte-identical to pre-ANN engines), or an ANN candidate
+    /// tier (`Hnsw`/`Ivf`) whose proposals are exactly re-ranked. At
+    /// saturating search widths (`ef_search`/`nprobe` ≥ corpus size) the
+    /// prediction log stays byte-identical to `Exact`.
+    pub backend: RetrievalBackend,
 }
 
 impl Default for EngineConfig {
@@ -183,6 +191,7 @@ impl Default for EngineConfig {
             crash_at: None,
             checkpoint_every: 0,
             compact_epochs: 0,
+            backend: RetrievalBackend::Exact,
         }
     }
 }
@@ -563,11 +572,14 @@ impl ServeEngine {
                     // count: entries re-route deterministically, so the
                     // answers (and the log) don't depend on the crashed
                     // run's count.
-                    Some(ckpt) => ShardedHistoricalIndex::restore(ckpt, shards),
-                    None => ShardedHistoricalIndex::warm(
+                    Some(ckpt) => {
+                        ShardedHistoricalIndex::restore_with(ckpt, shards, self.config.backend)
+                    }
+                    None => ShardedHistoricalIndex::warm_with(
                         self.copilot.index().entries(),
                         shards,
                         self.config.max_cell,
+                        self.config.backend,
                     ),
                 };
                 // Re-apply entries journaled after the last checkpoint —
@@ -600,9 +612,21 @@ impl ServeEngine {
             .caches
             .clone()
             .unwrap_or_else(|| Arc::new(PlanCaches::new(shards)));
+        // An ANN backend must reach the per-query retrieval config (the
+        // snapshot only consults its graph when the query's backend
+        // matches); `Exact` keeps `None` so plan parity with the batch
+        // pipeline is untouched.
+        let retrieval_override = if self.config.backend == RetrievalBackend::Exact {
+            None
+        } else {
+            Some(RetrievalConfig {
+                backend: self.config.backend,
+                ..self.copilot.config().retrieval
+            })
+        };
         let inference = InferencePlan {
             spec: self.config.spec,
-            retrieval: None,
+            retrieval: retrieval_override,
             policy: self.config.memo.clone(),
         }
         .with_namespace(self.config.tenant.0);
@@ -1071,6 +1095,8 @@ impl ServeEngine {
             "faults": counters.to_json(),
             "queue": { "peak_depth": peak_queue },
             "online_index_len": online.map(ShardedHistoricalIndex::len),
+            "online_index_stats": online
+                .map(|o| crate::vmetrics::index_stats_json(&o.index_stats())),
         });
         ServeOutcome {
             records,

@@ -84,6 +84,21 @@ impl FaultCounters {
     }
 }
 
+/// JSON summary of a retrieval candidate-structure footprint
+/// ([`rcacopilot_core::IndexStats`]), for the engine report and the
+/// bench JSON: footprint regressions (graph edges, resident bytes) show
+/// up in tracked artifacts instead of only in allocator noise.
+pub fn index_stats_json(stats: &rcacopilot_core::IndexStats) -> Value {
+    json!({
+        "vectors": stats.vectors,
+        "dim": stats.dim,
+        "cells": stats.cells,
+        "layers": stats.layers,
+        "edges": stats.edges,
+        "bytes": stats.bytes,
+    })
+}
+
 /// A histogram of virtual durations in seconds.
 #[derive(Debug, Clone, Default)]
 pub struct VirtualHistogram {

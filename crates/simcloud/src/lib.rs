@@ -24,6 +24,9 @@
 //!   [`dataset::IncidentDataset`].
 //! - [`dataset`]: dataset container, train/test split, and the statistics
 //!   behind Figures 2 and 3.
+//! - [`scale`]: corpus scaling — tiling the catalog's long-tail and
+//!   recurrence structure across multi-year, 100k–1M-incident corpora
+//!   for ANN retrieval benchmarks.
 //! - [`teams`]: the simulated 30-team deployment behind Table 4.
 //! - [`tenancy`]: per-tenant serving workload plans — stream shape,
 //!   fault climate, fair-share weight — and the deterministic
@@ -40,6 +43,7 @@ pub mod faults;
 pub mod generator;
 pub mod incident;
 pub mod noise;
+pub mod scale;
 pub mod signature;
 pub mod teams;
 pub mod tenancy;
@@ -50,6 +54,7 @@ pub use dataset::{DatasetStats, IncidentDataset, TrainTestSplit};
 pub use faults::{FaultMix, FaultPlan, Outage};
 pub use generator::{generate_dataset, CampaignConfig};
 pub use incident::Incident;
+pub use scale::{corpus_stats, scaled_corpus, ScaleConfig, ScaleStats, ScaledIncident};
 pub use teams::{simulate_teams, TeamReport};
 pub use tenancy::{partition_tenants, TenantStormPlan};
 pub use topology::Topology;
