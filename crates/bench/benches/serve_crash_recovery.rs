@@ -175,7 +175,7 @@ fn main() {
             );
             // Only the serialized journal survives the "process death".
             let bytes = wal.serialized();
-            let mut reloaded = WriteAheadLog::load(&bytes).expect("clean journal");
+            let mut reloaded = WriteAheadLog::load(&bytes);
             let resumed = ServeEngine::new(
                 copilot.clone(),
                 EngineConfig {

@@ -423,8 +423,9 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// Returns the [`WalError`] if the journal is corrupt mid-log or its
-    /// commit prefix has a gap.
+    /// Returns the [`WalError`] if the journal's commit prefix has a gap
+    /// — only possible through in-memory misuse, since loading a stored
+    /// journal quarantines corruption and prunes past it.
     pub fn run_with_wal(
         &self,
         incidents: &[Incident],
@@ -746,11 +747,38 @@ impl ServeEngine {
         // Surface durable-sink degradation in the run's fault counters
         // (before tearing down the commit state, whose borrow shares the
         // sink's lifetime).
+        let mut durability = None;
         if let Some(wal) = wal.as_ref() {
-            let failures = lock_recovered(wal, &counters).sink_failures();
+            let journal = lock_recovered(wal, &counters);
+            durability = Some(json!({
+                "durable": journal.is_durable(),
+                "paused": journal.is_paused(),
+                "paused_appends": journal.paused_appends(),
+                "quarantined": journal.quarantined().len(),
+                "dropped_records": journal.dropped_records(),
+                "torn_tail": journal.had_torn_tail(),
+            }));
             counters
                 .sink_failures
-                .fetch_add(failures, Ordering::Relaxed);
+                .fetch_add(journal.sink_failures(), Ordering::Relaxed);
+            counters
+                .fsync_failures
+                .fetch_add(journal.fsync_failures(), Ordering::Relaxed);
+            counters
+                .sink_retries
+                .fetch_add(journal.sink_retries(), Ordering::Relaxed);
+            counters
+                .enospc_events
+                .fetch_add(journal.enospc_events(), Ordering::Relaxed);
+            counters
+                .durability_paused_spans
+                .fetch_add(journal.durability_paused_spans(), Ordering::Relaxed);
+            counters
+                .wal_quarantined
+                .fetch_add(journal.quarantined().len() as u64, Ordering::Relaxed);
+            counters
+                .wal_dropped
+                .fetch_add(journal.dropped_records(), Ordering::Relaxed);
         }
         let slots = state
             .into_inner()
@@ -784,6 +812,7 @@ impl ServeEngine {
             &caches,
             &counters,
             peak_queue.into_inner(),
+            durability,
         )
     }
 
@@ -1008,6 +1037,7 @@ impl ServeEngine {
         caches: &PlanCaches,
         counters: &FaultCounters,
         peak_queue: usize,
+        durability: Option<Value>,
     ) -> ServeOutcome {
         let mut stage_hists = [
             VirtualHistogram::new(), // collect
@@ -1093,6 +1123,7 @@ impl ServeEngine {
                 "embed": { "hits": emb_hits, "misses": emb_misses },
             },
             "faults": counters.to_json(),
+            "durability": durability,
             "queue": { "peak_depth": peak_queue },
             "online_index_len": online.map(ShardedHistoricalIndex::len),
             "online_index_stats": online
@@ -1167,9 +1198,13 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
     }
     if let Some(wal) = sink.wal {
         let mut wal = lock_recovered(wal, sink.counters);
-        if sink.checkpoint_every > 0
-            && st.next.saturating_sub(wal.checkpointed()) >= sink.checkpoint_every
-        {
+        // Fold on the configured cadence — or immediately when `ENOSPC`
+        // paused durability, since the fold's rewrite is the only way to
+        // free sink space and resume (checkpoint-fold-and-retry).
+        let cadence_due = sink.checkpoint_every > 0
+            && st.next.saturating_sub(wal.checkpointed()) >= sink.checkpoint_every;
+        let space_due = wal.needs_space_fold() && st.next > 0;
+        if cadence_due || space_due {
             let records: Vec<EventRecord> = st.slots[..st.next]
                 .iter()
                 .map(|s| {

@@ -53,8 +53,21 @@
 //!   folding) so an engine killed mid-stream resumes — via
 //!   [`engine::ServeEngine::run_with_wal`] — with a prediction log
 //!   byte-identical to an uninterrupted run, even when the resumed run
-//!   uses a different shard count. Durable-sink I/O failures detach the
-//!   sink and are counted, never fatal.
+//!   uses a different shard count. Every record is CRC32C-framed;
+//!   corruption is quarantined as a counted dead letter (with
+//!   scan-forward resync), never fatal.
+//! - **Storage fault plane** ([`storage`]): the WAL writes through a
+//!   [`storage::WalSink`] byte-sink abstraction — a real fsync'd file
+//!   ([`storage::DurableFile`]) or a seeded simulated disk
+//!   ([`storage::SimDisk`]) with page-granular crash images, torn/dropped
+//!   pages, bit rot, injected write/fsync errors and `ENOSPC` budgets,
+//!   all pure functions of `(seed, offset)`. Transient sink errors are
+//!   retried once, `ENOSPC` enters a counted durability-paused span
+//!   answered by checkpoint-fold-and-retry, and persistent failures
+//!   detach the sink — degraded, never fatal. A crash-point torture
+//!   fuzzer (`tests/wal_torture.rs`, `wal_torture` bench) sweeps crash
+//!   points and fault mixes asserting no fsync-acknowledged commit is
+//!   ever lost.
 //!
 //! The topmost layer is **multi-tenancy as a robustness boundary**
 //! ([`tenant`]): each tenant (OCE team) gets a weighted fair share of
@@ -77,6 +90,7 @@ pub mod admission;
 pub mod cost;
 pub mod engine;
 pub mod fault;
+pub mod storage;
 pub mod stream;
 pub mod supervisor;
 pub mod tenant;
@@ -91,8 +105,9 @@ pub use engine::{
 };
 pub use fault::{AttemptFate, PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
 pub use rcacopilot_core::memo::MemoCache;
+pub use storage::{crc32c, CrashImage, CrashPoint, DurableFile, SimDisk, SimDiskConfig, WalSink};
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
 pub use supervisor::{AttemptLedger, RetryQueue, Verdict};
 pub use tenant::{MultiTenantConfig, MultiTenantEngine, MultiTenantOutcome, TenantRun, TenantSpec};
 pub use vmetrics::{simulate_drr, DrrJob, DrrStats, ExecStats, FaultCounters, VirtualHistogram};
-pub use wal::{Recovery, WalError, WalRecord, WriteAheadLog};
+pub use wal::{QuarantinedRecord, Recovery, WalError, WalRecord, WriteAheadLog};

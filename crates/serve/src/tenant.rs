@@ -237,7 +237,7 @@ impl MultiTenantEngine {
         let outcomes = self
             .run_tenants(parts, None)
             .expect("no WAL, no WAL errors");
-        self.compose(outcomes, parts)
+        self.compose(outcomes, parts, None)
     }
 
     /// Like [`MultiTenantEngine::run`], but journaling through `wal`:
@@ -263,7 +263,7 @@ impl MultiTenantEngine {
             "one incident slice per tenant spec"
         );
         let outcomes = self.run_tenants(parts, Some(wal))?;
-        Ok(self.compose(outcomes, parts))
+        Ok(self.compose(outcomes, parts, Some(wal)))
     }
 
     /// The sequential per-tenant composition. With a WAL, splits it into
@@ -304,8 +304,15 @@ impl MultiTenantEngine {
     }
 
     /// Merges per-tenant outcomes into the plane-wide transcript, DRR
-    /// schedule and report.
-    fn compose(&self, outcomes: Vec<ServeOutcome>, parts: &[Vec<Incident>]) -> MultiTenantOutcome {
+    /// schedule and report. `wal` is the adopted parent journal, whose
+    /// durability state (sink health, quarantine, `ENOSPC` pauses) is
+    /// surfaced plane-wide in the report.
+    fn compose(
+        &self,
+        outcomes: Vec<ServeOutcome>,
+        parts: &[Vec<Incident>],
+        wal: Option<&WriteAheadLog>,
+    ) -> MultiTenantOutcome {
         // Merged transcript: interleave every tenant's records by
         // (arrival, tenant, tenant-local seq). Arrival ties across
         // tenants are broken by tenant id — a total, run-independent
@@ -392,6 +399,16 @@ impl MultiTenantEngine {
             "tenants": Value::Seq(tenant_reports),
             "quantum_secs": self.config.quantum_secs,
             "pool": drr.merged.to_json(),
+            "wal": wal.map(|w| json!({
+                "durable": w.is_durable(),
+                "paused": w.is_paused(),
+                "quarantined": w.quarantined().len(),
+                "dropped_records": w.dropped_records(),
+                "sink_failures": w.sink_failures(),
+                "fsync_failures": w.fsync_failures(),
+                "enospc_events": w.enospc_events(),
+                "durability_paused_spans": w.durability_paused_spans(),
+            })),
         });
         let tenants = self
             .specs

@@ -48,6 +48,23 @@ pub struct FaultCounters {
     /// Events fast-failed by an open per-tenant circuit breaker instead
     /// of being dispatched into a known-faulting pipeline.
     pub breaker_fast_fails: AtomicU64,
+    /// Durable-sink fsync attempts that returned an error (each is
+    /// retried once before the sink degrades).
+    pub fsync_failures: AtomicU64,
+    /// Transient sink write/fsync/rewrite errors retried in place.
+    pub sink_retries: AtomicU64,
+    /// Sink operations refused with `ENOSPC` (answered by
+    /// checkpoint-fold-and-retry, then durability pause).
+    pub enospc_events: AtomicU64,
+    /// Spans in which the journal ran with durability paused — sink
+    /// attached but appends withheld until a fold freed space.
+    pub durability_paused_spans: AtomicU64,
+    /// Corrupt WAL records quarantined as dead letters at recovery
+    /// (CRC mismatch or unparseable frame, resynced past, never fatal).
+    pub wal_quarantined: AtomicU64,
+    /// Valid-but-unreachable WAL records dropped at recovery because a
+    /// quarantined record broke their tenant's commit chain.
+    pub wal_dropped: AtomicU64,
 }
 
 impl FaultCounters {
@@ -80,6 +97,12 @@ impl FaultCounters {
             "dispatch_failures": Self::get(&self.dispatch_failures),
             "sink_failures": Self::get(&self.sink_failures),
             "breaker_fast_fails": Self::get(&self.breaker_fast_fails),
+            "fsync_failures": Self::get(&self.fsync_failures),
+            "sink_retries": Self::get(&self.sink_retries),
+            "enospc_events": Self::get(&self.enospc_events),
+            "durability_paused_spans": Self::get(&self.durability_paused_spans),
+            "wal_quarantined": Self::get(&self.wal_quarantined),
+            "wal_dropped": Self::get(&self.wal_dropped),
         })
     }
 }

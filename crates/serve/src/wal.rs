@@ -4,10 +4,10 @@
 //! OOM kills and node failures all land during exactly the incident storms
 //! the service exists for. The engine therefore journals its durable
 //! state transitions — in-order event commits, per-shard online-index
-//! epoch publishes and OCE feedback corrections — as JSON lines, and
-//! periodically folds the journal into a single [`WalRecord::Checkpoint`]
-//! carrying the committed records plus a serialized [`ShardedCheckpoint`]
-//! of the retrieval index.
+//! epoch publishes and OCE feedback corrections — as checksummed JSON
+//! lines, and periodically folds the journal into a single
+//! [`WalRecord::Checkpoint`] carrying the committed records plus a
+//! serialized [`ShardedCheckpoint`] of the retrieval index.
 //!
 //! **Recovery invariant**: a run resumed from a WAL produces a prediction
 //! log byte-identical to the uninterrupted run, for any worker count and
@@ -27,23 +27,48 @@
 //!    records are tagged with the shard they published purely for
 //!    journal/epoch-counter continuity.
 //!
-//! The journal has two backends behind one record API:
+//! **Record framing**: each line is `crc32c:<8 hex digits>:<JSON>`, the
+//! CRC-32C of the payload guarding against bit rot and torn pages.
+//! Legacy unchecksummed journals (bare JSON lines) stay readable — and
+//! are preserved *verbatim* in memory, so reopening a clean legacy file
+//! never rewrites it. Corruption is never fatal: a record that fails its
+//! CRC or does not parse becomes a counted, quarantined dead letter
+//! ([`WriteAheadLog::quarantined`]), and the loader *resyncs forward* —
+//! a zeroed page that eats a newline fuses junk with the next record on
+//! one physical line, so the loader scans for the next `crc32c:` frame
+//! marker inside the line and salvages the suffix. Because a quarantined
+//! commit breaks its tenant's gapless prefix, recovery then prunes that
+//! tenant's now-unreachable later records (counted in
+//! [`WriteAheadLog::dropped_records`]; a later [`WalRecord::Checkpoint`]
+//! heals the stream, since it carries the full prefix) — so a loaded
+//! journal is always internally consistent and
+//! [`WriteAheadLog::recover`]'s strict gap check only ever fires on
+//! genuine misuse, exactly as before.
 //!
-//! - the default in-memory line buffer (durability to disk is one
-//!   `write` of [`WriteAheadLog::serialized`]), used by tests and the
+//! The journal writes through a byte-sink abstraction
+//! ([`crate::storage::WalSink`]) with pluggable backends:
+//!
+//! - the default in-memory line buffer (no sink), used by tests and the
 //!   virtual-time benches;
-//! - a durable fsync'd append-only file ([`WriteAheadLog::open_durable`]):
-//!   every [`WriteAheadLog::append`] writes its line and `fsync`s before
-//!   returning, checkpoint folding rewrites through a temp file + atomic
-//!   rename, and reopening a journal with a torn final line — the
-//!   signature of a crash mid-append — truncates the file back to the
-//!   parseable prefix.
+//! - a durable fsync'd append-only file ([`WriteAheadLog::open_durable`]
+//!   → [`crate::storage::DurableFile`]): every
+//!   [`WriteAheadLog::append`] writes its line and `fsync`s before
+//!   returning, and checkpoint folding rewrites through a temp file +
+//!   atomic rename;
+//! - a seeded simulated disk ([`crate::storage::SimDisk`], via
+//!   [`WriteAheadLog::with_sink`]) whose crash images drive the WAL
+//!   torture fuzzer.
 //!
-//! Both backends parse identically: [`WriteAheadLog::load`] tolerates a
-//! torn final line but rejects corruption anywhere else. A durable-sink
-//! I/O failure never aborts the engine: the sink is detached, the failure
-//! is counted in [`WriteAheadLog::sink_failures`], and the journal
-//! degrades to in-memory operation.
+//! Sink failures degrade, never abort: transient write/fsync errors are
+//! retried once (counted in [`WriteAheadLog::sink_retries`] /
+//! [`WriteAheadLog::fsync_failures`]); a persistent failure detaches the
+//! sink ([`WriteAheadLog::sink_failures`]) and the journal carries on in
+//! memory. `ENOSPC` is special-cased: the sink is *kept* and the journal
+//! enters a **durability-paused** span ([`WriteAheadLog::is_paused`]) —
+//! appends are withheld from the sink (counted in
+//! [`WriteAheadLog::paused_appends`]) until the engine's next
+//! checkpoint fold rewrites the whole journal, which both frees space
+//! and lands every withheld record, resuming durability.
 //!
 //! **Multi-tenancy**: every record is tagged with its owning
 //! [`TenantId`], and sequence numbers are *tenant-local* — each tenant's
@@ -52,19 +77,19 @@
 //! [`WriteAheadLog::merge_tenants`] interleaves per-tenant journals back
 //! by virtual anchor time (ties broken by tenant id, then journal order),
 //! and [`WriteAheadLog::recover_tenants`] recovers each tenant's stream
-//! independently — a torn tail in one tenant's stream rolls back only
-//! that tenant's watermark. [`WriteAheadLog::adopt`] writes a merged
-//! journal back through an existing durable sink.
+//! independently — a torn tail or a quarantined mid-log record in one
+//! tenant's stream rolls back only that tenant's watermark.
+//! [`WriteAheadLog::adopt`] writes a merged journal back through an
+//! existing durable sink.
 
 use crate::engine::EventRecord;
+use crate::storage::{crc32c, is_out_of_space, DurableFile, WalSink};
 use rcacopilot_core::retrieval::{CheckpointEntry, ShardedCheckpoint};
 use rcacopilot_telemetry::ids::TenantId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// One journaled state transition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,11 +156,12 @@ impl WalRecord {
     }
 }
 
-/// Why a WAL could not be read back.
+/// Why a journal's records could not be interpreted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalError {
-    /// A line before the final one failed to parse (mid-log corruption —
-    /// a torn *final* line is tolerated as a crash mid-append).
+    /// A kept line failed to parse. Loading never produces this (corrupt
+    /// lines are quarantined at load time); it guards
+    /// [`WriteAheadLog::records`] against in-memory misuse.
     Corrupt {
         /// Zero-based line number.
         line: usize,
@@ -166,6 +192,18 @@ impl fmt::Display for WalError {
 
 impl std::error::Error for WalError {}
 
+/// A corrupt journal record quarantined as a dead letter at load time
+/// instead of failing recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRecord {
+    /// Zero-based physical line index in the loaded image.
+    pub line: usize,
+    /// Why the record was rejected (CRC mismatch, parse failure, …).
+    pub reason: String,
+    /// A short prefix of the rejected bytes, for forensics.
+    pub preview: String,
+}
+
 /// What recovery reconstructed from a journal.
 #[derive(Debug, Clone, Default)]
 pub struct Recovery {
@@ -193,67 +231,105 @@ impl Recovery {
     }
 }
 
-/// The durable file behind a [`WriteAheadLog::open_durable`] journal.
-#[derive(Debug)]
-struct FileSink {
-    file: File,
-    path: PathBuf,
+/// Frame marker opening every checksummed journal line.
+const FRAME_PREFIX: &str = "crc32c:";
+
+/// Frames one serialized record: `crc32c:<8 hex>:<payload>`.
+fn frame(payload: &str) -> String {
+    format!("{FRAME_PREFIX}{:08x}:{payload}", crc32c(payload.as_bytes()))
 }
 
-impl FileSink {
-    /// Appends one serialized line and syncs it to stable storage before
-    /// returning — the commit is durable once `append_line` succeeds.
-    /// I/O failures bubble up so the journal can detach the sink and
-    /// carry on in memory instead of aborting mid-storm.
-    fn append_line(&mut self, line: &str) -> std::io::Result<()> {
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.sync_data()
+/// Parses one journal line: a checksummed frame, or a legacy bare-JSON
+/// line from a pre-framing journal.
+fn parse_wal_line(line: &str) -> Result<WalRecord, String> {
+    let Some(rest) = line.strip_prefix(FRAME_PREFIX) else {
+        return serde_json::from_str(line).map_err(|e| e.to_string());
+    };
+    let hex = rest
+        .get(..8)
+        .ok_or_else(|| "truncated crc32c frame header".to_string())?;
+    if rest.as_bytes().get(8) != Some(&b':') {
+        return Err("malformed crc32c frame header".to_string());
     }
-
-    /// Atomically replaces the file's contents (checkpoint folding):
-    /// write-and-sync a temp file, then rename it over the journal, so a
-    /// crash mid-fold leaves either the old journal or the new one —
-    /// never a half-written mix.
-    fn rewrite(&mut self, contents: &str) -> std::io::Result<()> {
-        let tmp = self.path.with_extension("tmp");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(contents.as_bytes())?;
-            f.sync_data()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
-        Ok(())
+    let payload = rest.get(9..).unwrap_or_default();
+    let framed = u32::from_str_radix(hex, 16).map_err(|_| format!("bad crc32c hex {hex:?}"))?;
+    let computed = crc32c(payload.as_bytes());
+    if framed != computed {
+        return Err(format!(
+            "crc32c mismatch: framed {framed:08x}, computed {computed:08x}"
+        ));
     }
+    serde_json::from_str(payload).map_err(|e| format!("checksummed payload unparseable: {e}"))
 }
 
-/// The engine's journal: an append-only buffer of serialized
-/// [`WalRecord`] lines with checkpoint folding, optionally mirrored to a
-/// durable fsync'd file ([`WriteAheadLog::open_durable`]).
+/// A short, char-boundary-safe prefix of rejected bytes.
+fn preview(s: &str) -> String {
+    const MAX: usize = 48;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+/// The engine's journal: an append-only buffer of framed [`WalRecord`]
+/// lines with checkpoint folding, optionally written through a
+/// [`WalSink`] backend (durable file, simulated disk).
 #[derive(Debug, Default)]
 pub struct WriteAheadLog {
     lines: Vec<String>,
     /// Commits folded into the last installed checkpoint.
     checkpointed: usize,
-    /// Durable backend, when opened via [`WriteAheadLog::open_durable`].
-    sink: Option<FileSink>,
-    /// Durable-sink I/O failures absorbed by detaching the sink. The
-    /// in-memory journal stays consistent; the engine folds this into
-    /// its fault counters at report time.
+    /// Byte-sink backend, when opened via [`WriteAheadLog::open_durable`]
+    /// or [`WriteAheadLog::with_sink`].
+    sink: Option<Box<dyn WalSink>>,
+    /// Durability paused: the sink is attached but `ENOSPC` blocked the
+    /// last operation; appends are withheld until a fold frees space.
+    paused: bool,
+    /// Persistent sink I/O failures absorbed by detaching the sink.
     sink_failures: u64,
+    /// Sink fsync attempts that returned an error.
+    fsync_failures: u64,
+    /// Transient sink errors retried in place.
+    sink_retries: u64,
+    /// Sink operations refused with `ENOSPC`.
+    enospc_events: u64,
+    /// Durability-paused spans entered.
+    paused_spans: u64,
+    /// Appends withheld from the sink while durability was paused (or
+    /// bounced by the `ENOSPC` that started the pause).
+    paused_appends: u64,
+    /// Corrupt records quarantined as dead letters at load time.
+    quarantined: Vec<QuarantinedRecord>,
+    /// Valid records dropped at load time because a quarantined record
+    /// broke their tenant's commit chain.
+    dropped_records: u64,
+    /// A torn final line (crash mid-append) was dropped at load time.
+    torn_tail: bool,
 }
 
 impl Clone for WriteAheadLog {
     /// Clones the in-memory journal state. The clone is detached from any
-    /// durable file backend: two handles appending to one file would
-    /// interleave corruptly, so only the original keeps the sink.
+    /// sink backend: two handles appending to one sink would interleave
+    /// corruptly, so only the original keeps it.
     fn clone(&self) -> Self {
         WriteAheadLog {
             lines: self.lines.clone(),
             checkpointed: self.checkpointed,
             sink: None,
+            paused: false,
             sink_failures: self.sink_failures,
+            fsync_failures: self.fsync_failures,
+            sink_retries: self.sink_retries,
+            enospc_events: self.enospc_events,
+            paused_spans: self.paused_spans,
+            paused_appends: self.paused_appends,
+            quarantined: self.quarantined.clone(),
+            dropped_records: self.dropped_records,
+            torn_tail: self.torn_tail,
         }
     }
 }
@@ -264,70 +340,231 @@ impl WriteAheadLog {
         WriteAheadLog::default()
     }
 
-    /// Opens (or creates) a durable journal at `path`. Existing contents
-    /// are parsed exactly like [`WriteAheadLog::load`] — a torn final
-    /// line is dropped **and truncated off the file**, so the disk state
-    /// always equals the parseable prefix. Every subsequent
+    /// Opens (or creates) a durable journal at `path`, backed by a
+    /// [`DurableFile`] — which first removes any stale checkpoint
+    /// `.tmp` a crash mid-fold left beside the journal. Existing
+    /// contents are parsed exactly like [`WriteAheadLog::load`]; if the
+    /// parse dropped anything (torn tail, quarantined corruption,
+    /// pruned gap), the file is rewritten to the consistent prefix so
+    /// appends resume from a clean state. Every subsequent
     /// [`WriteAheadLog::append`] writes through to the file and `fsync`s
     /// before returning.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error from reading/creating the file, or an
-    /// [`std::io::ErrorKind::InvalidData`] error wrapping the
-    /// [`WalError`] when the journal is corrupt before its final line.
+    /// Returns the I/O error from reading, creating or rewriting the
+    /// file. Corruption is *not* an error: corrupt records come back
+    /// quarantined ([`WriteAheadLog::quarantined`]).
     pub fn open_durable(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let mut contents = String::new();
-        if path.exists() {
-            File::open(&path)?.read_to_string(&mut contents)?;
-        }
-        let mut wal = WriteAheadLog::load(&contents)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        WriteAheadLog::with_sink(Box::new(DurableFile::open(path)?))
+    }
+
+    /// Opens a journal over an arbitrary [`WalSink`] backend: reads the
+    /// sink's contents, loads them with quarantine/prune semantics, and
+    /// — if anything was dropped — rewrites the sink to the consistent
+    /// prefix before attaching it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from reading or rewriting the sink.
+    pub fn with_sink(mut sink: Box<dyn WalSink>) -> std::io::Result<Self> {
+        let contents = sink.contents()?;
+        let mut wal = WriteAheadLog::load_bytes(&contents);
         let good = wal.serialized();
-        if good != contents {
-            // Torn tail (or stray blank lines): truncate the file back to
-            // the parseable prefix so append resumes from a clean state.
-            std::fs::write(&path, &good)?;
+        if good.as_bytes() != contents.as_slice() {
+            sink.rewrite(good.as_bytes())?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        file.sync_data()?;
-        wal.sink = Some(FileSink { file, path });
+        wal.sink = Some(sink);
         Ok(wal)
     }
 
-    /// True when this journal writes through to a durable file.
+    /// True when this journal writes through to a sink backend.
     pub fn is_durable(&self) -> bool {
         self.sink.is_some()
     }
 
-    /// Appends one record. On a durable journal the record is fsync'd to
-    /// the backing file before this returns; a sink I/O failure detaches
-    /// the sink (counted in [`WriteAheadLog::sink_failures`]) and the
-    /// journal degrades to in-memory rather than aborting the engine.
+    /// True when the journal is in a durability-paused span: the sink is
+    /// attached but `ENOSPC` blocked it, and appends are withheld until
+    /// a checkpoint fold frees space.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// True when the engine should fold a checkpoint *now* to free sink
+    /// space and resume durability, regardless of the fold cadence.
+    pub fn needs_space_fold(&self) -> bool {
+        self.paused && self.sink.is_some()
+    }
+
+    fn pause(&mut self) {
+        if !self.paused {
+            self.paused = true;
+            self.paused_spans += 1;
+        }
+    }
+
+    /// Appends one record. With a sink attached the framed line is
+    /// written and fsync'd before this returns — that sync is the
+    /// durability barrier acknowledging the record. Failures degrade
+    /// instead of aborting: transient errors are retried once, `ENOSPC`
+    /// enters the durability-paused span (the sink is kept; the next
+    /// successful fold re-lands everything), and a persistent error
+    /// detaches the sink (counted in [`WriteAheadLog::sink_failures`]).
     pub fn append(&mut self, record: &WalRecord) {
-        let line = serde_json::to_string(record).expect("WAL records are serializable");
-        if let Some(sink) = self.sink.as_mut() {
-            if sink.append_line(&line).is_err() {
+        let payload = serde_json::to_string(record).expect("WAL records are serializable");
+        let line = frame(&payload);
+        self.durable_append_line(&line);
+        self.lines.push(line);
+    }
+
+    /// Writes one framed line + newline through the sink with the
+    /// retry/pause/detach policy.
+    fn durable_append_line(&mut self, line: &str) {
+        if self.paused {
+            if self.sink.is_some() {
+                self.paused_appends += 1;
+            }
+            return;
+        }
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let wrote = match sink.append(&buf) {
+            Ok(()) => Ok(()),
+            Err(e) if is_out_of_space(&e) => Err(e),
+            Err(_) => {
+                // A failed write may have landed partial bytes; the
+                // retried full line then follows them. Load-time resync
+                // handles exactly that shape (junk fused with a valid
+                // frame on one line).
+                self.sink_retries += 1;
+                sink.append(&buf)
+            }
+        };
+        let result = match wrote {
+            Err(e) => Err(e),
+            Ok(()) => match sink.sync() {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    self.fsync_failures += 1;
+                    if is_out_of_space(&e) {
+                        Err(e)
+                    } else {
+                        self.sink_retries += 1;
+                        match sink.sync() {
+                            Ok(()) => Ok(()),
+                            Err(e2) => {
+                                self.fsync_failures += 1;
+                                Err(e2)
+                            }
+                        }
+                    }
+                }
+            },
+        };
+        match result {
+            Ok(()) => {}
+            Err(e) if is_out_of_space(&e) => {
+                self.enospc_events += 1;
+                self.pause();
+                // The bounced record lives only in memory until the
+                // next successful fold rewrites the whole journal.
+                self.paused_appends += 1;
+            }
+            Err(_) => {
                 self.sink = None;
                 self.sink_failures += 1;
             }
         }
-        self.lines.push(line);
     }
 
-    /// Durable-sink I/O failures absorbed so far (each one detaches the
-    /// sink, so the count is 0 or 1 per open; it accumulates across
+    /// Rewrites the sink to the journal's current serialized form, with
+    /// one retry for transient errors. Success covers every withheld
+    /// append (the rewrite carries the whole journal), so it ends any
+    /// durability-paused span.
+    fn rewrite_sink(&mut self) {
+        let contents = self.serialized();
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        let result = match sink.rewrite(contents.as_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) if is_out_of_space(&e) => Err(e),
+            Err(_) => {
+                self.sink_retries += 1;
+                sink.rewrite(contents.as_bytes())
+            }
+        };
+        match result {
+            Ok(()) => self.paused = false,
+            Err(e) if is_out_of_space(&e) => {
+                self.enospc_events += 1;
+                self.pause();
+            }
+            Err(_) => {
+                self.sink = None;
+                self.sink_failures += 1;
+            }
+        }
+    }
+
+    /// Persistent sink I/O failures absorbed so far (each one detaches
+    /// the sink, so the count is 0 or 1 per open; it accumulates across
     /// [`WriteAheadLog::adopt`]).
     pub fn sink_failures(&self) -> u64 {
         self.sink_failures
     }
 
+    /// Sink fsync attempts that returned an error (transient or fatal).
+    pub fn fsync_failures(&self) -> u64 {
+        self.fsync_failures
+    }
+
+    /// Transient sink errors retried in place.
+    pub fn sink_retries(&self) -> u64 {
+        self.sink_retries
+    }
+
+    /// Sink operations refused with `ENOSPC`.
+    pub fn enospc_events(&self) -> u64 {
+        self.enospc_events
+    }
+
+    /// Durability-paused spans entered (see [`WriteAheadLog::is_paused`]).
+    pub fn durability_paused_spans(&self) -> u64 {
+        self.paused_spans
+    }
+
+    /// Appends withheld from the sink during paused spans.
+    pub fn paused_appends(&self) -> u64 {
+        self.paused_appends
+    }
+
+    /// Corrupt records quarantined as dead letters at load time.
+    pub fn quarantined(&self) -> &[QuarantinedRecord] {
+        &self.quarantined
+    }
+
+    /// Valid records dropped at load time because a quarantined record
+    /// broke their tenant's commit chain (a later checkpoint heals it).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// True when loading dropped a torn final line (crash mid-append).
+    pub fn had_torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
     /// Replaces the whole journal with a single checkpoint record for
     /// `tenant`'s stream — the journal-side compaction that bounds replay
-    /// work. On a durable journal the file is rewritten through a temp
-    /// file + atomic rename; a rewrite failure detaches the sink and is
-    /// counted like an append failure.
+    /// work. With a sink attached the backend is rewritten atomically
+    /// (temp file + rename for [`DurableFile`]); because the rewrite is
+    /// smaller than the journal it folds, this is also how the engine
+    /// answers `ENOSPC`: fold, rewrite, resume durability.
     pub fn install_checkpoint(
         &mut self,
         records: Vec<EventRecord>,
@@ -342,16 +579,10 @@ impl WriteAheadLog {
             index,
             tenant,
         };
-        self.lines
-            .push(serde_json::to_string(&record).expect("WAL records are serializable"));
+        let payload = serde_json::to_string(&record).expect("WAL records are serializable");
+        self.lines.push(frame(&payload));
         self.checkpointed = committed;
-        let contents = self.serialized();
-        if let Some(sink) = self.sink.as_mut() {
-            if sink.rewrite(&contents).is_err() {
-                self.sink = None;
-                self.sink_failures += 1;
-            }
-        }
+        self.rewrite_sink();
     }
 
     /// Commits folded into the last installed checkpoint.
@@ -369,7 +600,7 @@ impl WriteAheadLog {
         self.lines.is_empty()
     }
 
-    /// The durable byte form: one JSON record per line.
+    /// The durable byte form: one framed record per line.
     pub fn serialized(&self) -> String {
         let mut out = String::new();
         for line in &self.lines {
@@ -379,58 +610,144 @@ impl WriteAheadLog {
         out
     }
 
-    /// Parses a serialized journal. A final line that fails to parse is
-    /// dropped (crash mid-append); failures anywhere else are
-    /// [`WalError::Corrupt`].
-    pub fn load(serialized: &str) -> Result<Self, WalError> {
+    /// Parses a serialized journal. Never fails:
+    ///
+    /// - a final line that fails to parse with no salvageable suffix is
+    ///   a torn tail (crash mid-append) and is silently dropped;
+    /// - any other unparseable run is quarantined as a dead letter, with
+    ///   scan-forward resync salvaging a valid framed record fused onto
+    ///   the same physical line by a lost newline;
+    /// - when anything was quarantined, records made unreachable by a
+    ///   broken tenant commit chain are pruned (counted in
+    ///   [`WriteAheadLog::dropped_records`]) so the journal stays
+    ///   gapless per tenant — a later checkpoint heals its stream.
+    pub fn load(serialized: &str) -> Self {
         let lines: Vec<&str> = serialized
             .lines()
             .filter(|l| !l.trim().is_empty())
             .collect();
-        let mut kept: Vec<String> = Vec::with_capacity(lines.len());
-        let mut checkpointed = 0;
-        for (i, line) in lines.iter().enumerate() {
-            match serde_json::from_str::<WalRecord>(line) {
-                Ok(record) => {
-                    if let WalRecord::Checkpoint { committed, .. } = &record {
-                        checkpointed = *committed;
+        let mut kept: Vec<(String, WalRecord)> = Vec::with_capacity(lines.len());
+        let mut quarantined: Vec<QuarantinedRecord> = Vec::new();
+        let mut torn_tail = false;
+        let last = lines.len().saturating_sub(1);
+        for (i, raw) in lines.iter().enumerate() {
+            match parse_wal_line(raw) {
+                Ok(record) => kept.push(((*raw).to_string(), record)),
+                Err(reason) => {
+                    let mut salvaged = None;
+                    for (idx, _) in raw.match_indices(FRAME_PREFIX) {
+                        if idx == 0 {
+                            continue; // already failed at the line start
+                        }
+                        let suffix = &raw[idx..];
+                        if let Ok(record) = parse_wal_line(suffix) {
+                            salvaged = Some((idx, suffix.to_string(), record));
+                            break;
+                        }
                     }
-                    kept.push((*line).to_string());
-                }
-                // Torn final line: crash mid-append, drop it.
-                Err(_) if i + 1 == lines.len() => {}
-                Err(e) => {
-                    return Err(WalError::Corrupt {
-                        line: i,
-                        message: e.to_string(),
-                    });
+                    match salvaged {
+                        Some((idx, line, record)) => {
+                            quarantined.push(QuarantinedRecord {
+                                line: i,
+                                reason,
+                                preview: preview(&raw[..idx]),
+                            });
+                            kept.push((line, record));
+                        }
+                        None if i == last => torn_tail = true,
+                        None => quarantined.push(QuarantinedRecord {
+                            line: i,
+                            reason,
+                            preview: preview(raw),
+                        }),
+                    }
                 }
             }
         }
-        Ok(WriteAheadLog {
-            lines: kept,
+        let mut dropped_records = 0u64;
+        if !quarantined.is_empty() {
+            // A quarantined commit breaks its tenant's gapless prefix:
+            // prune that tenant's later records so the surviving journal
+            // is a valid per-tenant prefix (and appending to it can
+            // never create a fatally gapped journal). A checkpoint
+            // carries the full prefix, so it heals its stream.
+            let mut expected: BTreeMap<TenantId, usize> = BTreeMap::new();
+            let mut broken: BTreeSet<TenantId> = BTreeSet::new();
+            let mut pruned = Vec::with_capacity(kept.len());
+            for (line, record) in kept {
+                let tenant = record.tenant();
+                match &record {
+                    WalRecord::Checkpoint { committed, .. } => {
+                        broken.remove(&tenant);
+                        expected.insert(tenant, *committed);
+                        pruned.push((line, record));
+                    }
+                    WalRecord::Commit { seq, .. } => {
+                        let want = expected.entry(tenant).or_insert(0);
+                        if broken.contains(&tenant) || *seq != *want {
+                            broken.insert(tenant);
+                            dropped_records += 1;
+                        } else {
+                            *want += 1;
+                            pruned.push((line, record));
+                        }
+                    }
+                    _ => {
+                        if broken.contains(&tenant) {
+                            dropped_records += 1;
+                        } else {
+                            pruned.push((line, record));
+                        }
+                    }
+                }
+            }
+            kept = pruned;
+        }
+        let mut checkpointed = 0;
+        for (_, record) in &kept {
+            if let WalRecord::Checkpoint { committed, .. } = record {
+                checkpointed = *committed;
+            }
+        }
+        WriteAheadLog {
+            lines: kept.into_iter().map(|(line, _)| line).collect(),
             checkpointed,
-            sink: None,
-            sink_failures: 0,
-        })
+            quarantined,
+            dropped_records,
+            torn_tail,
+            ..WriteAheadLog::default()
+        }
+    }
+
+    /// [`WriteAheadLog::load`] over raw media bytes: bit rot can leave
+    /// invalid UTF-8, which is replaced lossily and then quarantined by
+    /// the normal parse path.
+    pub fn load_bytes(bytes: &[u8]) -> Self {
+        WriteAheadLog::load(&String::from_utf8_lossy(bytes))
     }
 
     /// Parses every journaled record.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Corrupt`] if an in-memory line does not parse — loaded
+    /// journals never contain one (corruption is quarantined at load).
     pub fn records(&self) -> Result<Vec<WalRecord>, WalError> {
         self.lines
             .iter()
             .enumerate()
             .map(|(i, line)| {
-                serde_json::from_str(line).map_err(|e| WalError::Corrupt {
-                    line: i,
-                    message: e.to_string(),
-                })
+                parse_wal_line(line).map_err(|message| WalError::Corrupt { line: i, message })
             })
             .collect()
     }
 
     /// Folds the journal into the state a resumed run starts from. The
-    /// commit prefix must be gapless ([`WalError::Gap`] otherwise).
+    /// commit prefix must be gapless ([`WalError::Gap`] otherwise) —
+    /// load-time pruning guarantees that for anything corruption did to
+    /// a stored journal, so a gap here means in-memory misuse (e.g.
+    /// recovering an interleaved multi-tenant journal without
+    /// [`WriteAheadLog::recover_tenants`]).
     pub fn recover(&self) -> Result<Recovery, WalError> {
         let mut recovery = Recovery::default();
         for record in self.records()? {
@@ -476,6 +793,10 @@ impl WriteAheadLog {
     /// tenant, each preserving its tenant's record order. A record's
     /// owner comes from [`WalRecord::tenant`]; a single-tenant journal
     /// splits into one part keyed by [`TenantId::default`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WriteAheadLog::records`] errors.
     pub fn split_tenants(&self) -> Result<BTreeMap<TenantId, WriteAheadLog>, WalError> {
         let mut parts: BTreeMap<TenantId, WriteAheadLog> = BTreeMap::new();
         for (line, record) in self.lines.iter().zip(self.records()?) {
@@ -491,13 +812,17 @@ impl WriteAheadLog {
     /// Recovers each tenant's stream independently: the journal is split
     /// by owner and every part folds through [`WriteAheadLog::recover`]
     /// with its own tenant-local gap check. This is the bulkhead property
-    /// a shared journal must give recovery: a torn tail only ever drops
-    /// the final journal line, so only the tenant that owned it rolls
-    /// back — every other tenant's committed watermark is untouched.
+    /// a shared journal must give recovery: a torn tail or a quarantined
+    /// corrupt record only ever rolls back the tenant that owned it —
+    /// every other tenant's committed watermark is untouched.
     ///
     /// [`WriteAheadLog::recover`] itself remains the single-tenant path;
     /// calling it on an interleaved journal fails its global gap check by
     /// design (tenant-local sequence numbers restart at 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-part [`WriteAheadLog::recover`] errors.
     pub fn recover_tenants(&self) -> Result<BTreeMap<TenantId, Recovery>, WalError> {
         self.split_tenants()?
             .into_iter()
@@ -515,6 +840,10 @@ impl WriteAheadLog {
     /// every tenant, so [`WriteAheadLog::split_tenants`] is an exact
     /// inverse. The merged journal is in-memory with `checkpointed == 0`:
     /// fold state is per-tenant and only meaningful on the parts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WriteAheadLog::records`] errors from the parts.
     pub fn merge_tenants(
         parts: &BTreeMap<TenantId, WriteAheadLog>,
     ) -> Result<WriteAheadLog, WalError> {
@@ -540,27 +869,19 @@ impl WriteAheadLog {
                 .into_iter()
                 .map(|(_, _, _, line)| line.to_string())
                 .collect(),
-            checkpointed: 0,
-            sink: None,
-            sink_failures: 0,
+            ..WriteAheadLog::default()
         })
     }
 
     /// Replaces this journal's contents with `other`'s — the write-back
     /// half of a split → per-tenant-run → merge cycle — while keeping
-    /// this journal's durable sink. On a durable journal the file is
-    /// rewritten atomically; a rewrite failure detaches the sink and is
-    /// counted in [`WriteAheadLog::sink_failures`].
+    /// this journal's sink and degradation counters. With a sink the
+    /// backend is rewritten atomically, with the same retry / `ENOSPC`
+    /// pause / detach policy as a checkpoint fold.
     pub fn adopt(&mut self, other: WriteAheadLog) {
         self.lines = other.lines;
         self.checkpointed = other.checkpointed;
-        let contents = self.serialized();
-        if let Some(sink) = self.sink.as_mut() {
-            if sink.rewrite(&contents).is_err() {
-                self.sink = None;
-                self.sink_failures += 1;
-            }
-        }
+        self.rewrite_sink();
     }
 }
 
@@ -568,7 +889,9 @@ impl WriteAheadLog {
 mod tests {
     use super::*;
     use crate::engine::EventOutcome;
+    use crate::storage::{SimDisk, SimDiskConfig};
     use rcacopilot_telemetry::{AlertType, Severity, SimTime};
+    use std::path::PathBuf;
 
     fn shed_record(seq: usize) -> EventRecord {
         tenant_record(TenantId::default(), seq, seq as u64 * 60)
@@ -621,8 +944,10 @@ mod tests {
             committed: 2,
             tenant: TenantId::default(),
         });
-        let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
+        let loaded = WriteAheadLog::load(&wal.serialized());
         assert_eq!(loaded.records().unwrap(), wal.records().unwrap());
+        assert!(loaded.quarantined().is_empty());
+        assert!(!loaded.had_torn_tail());
         let recovery = loaded.recover().expect("gapless");
         assert_eq!(recovery.committed(), 2);
         assert_eq!(recovery.shard_epochs.get(&0), Some(&3));
@@ -632,37 +957,28 @@ mod tests {
     }
 
     #[test]
-    fn feedback_records_replay_in_journal_order() {
-        use rcacopilot_core::retrieval::HistoricalEntry;
-        let corrected = CheckpointEntry {
-            entry: HistoricalEntry {
-                id: 0,
-                category: "CorrectedCategory".to_string(),
-                summary: "OCE-corrected summary".to_string(),
-                at: SimTime::from_secs(120),
-                embedding: vec![0.5, -0.25],
-            },
-            visible_from: SimTime::from_secs(600),
-        };
+    fn lines_are_crc32c_framed_and_legacy_journals_stay_readable() {
         let mut wal = WriteAheadLog::new();
         wal.append(&commit(0));
-        wal.append(&WalRecord::Feedback {
-            entry: corrected.clone(),
-            tenant: TenantId::default(),
-        });
-        wal.append(&commit(1));
-        let loaded = WriteAheadLog::load(&wal.serialized()).expect("clean journal");
-        let recovery = loaded.recover().expect("gapless");
-        assert_eq!(recovery.committed(), 2);
-        assert_eq!(recovery.entries, vec![corrected.clone()]);
-        // A checkpoint folds feedback into the index state like any
-        // other entry: replay starts clean after it.
-        wal.install_checkpoint(
-            vec![shed_record(0), shed_record(1)],
-            None,
-            TenantId::default(),
+        assert!(
+            wal.serialized().starts_with("crc32c:"),
+            "new appends are framed"
         );
-        assert!(wal.recover().unwrap().entries.is_empty());
+        // A legacy journal: bare JSON lines, no checksums.
+        let legacy: String = (0..3)
+            .map(|i| format!("{}\n", serde_json::to_string(&commit(i)).unwrap()))
+            .collect();
+        let loaded = WriteAheadLog::load(&legacy);
+        assert!(loaded.quarantined().is_empty());
+        assert_eq!(loaded.recover().unwrap().committed(), 3);
+        // Legacy lines are preserved verbatim: a clean legacy file
+        // round-trips byte-identically (no rewrite churn on reopen).
+        assert_eq!(loaded.serialized(), legacy);
+        // Appends onto a legacy journal are framed; the mix loads fine.
+        let mut mixed = loaded;
+        mixed.append(&commit(3));
+        let reloaded = WriteAheadLog::load(&mixed.serialized());
+        assert_eq!(reloaded.recover().unwrap().committed(), 4);
     }
 
     #[test]
@@ -685,18 +1001,148 @@ mod tests {
     }
 
     #[test]
-    fn torn_final_line_is_dropped_but_mid_log_corruption_is_fatal() {
+    fn feedback_records_replay_in_journal_order() {
+        use rcacopilot_core::retrieval::HistoricalEntry;
+        let corrected = CheckpointEntry {
+            entry: HistoricalEntry {
+                id: 0,
+                category: "CorrectedCategory".to_string(),
+                summary: "OCE-corrected summary".to_string(),
+                at: SimTime::from_secs(120),
+                embedding: vec![0.5, -0.25],
+            },
+            visible_from: SimTime::from_secs(600),
+        };
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&WalRecord::Feedback {
+            entry: corrected.clone(),
+            tenant: TenantId::default(),
+        });
+        wal.append(&commit(1));
+        let loaded = WriteAheadLog::load(&wal.serialized());
+        let recovery = loaded.recover().expect("gapless");
+        assert_eq!(recovery.committed(), 2);
+        assert_eq!(recovery.entries, vec![corrected.clone()]);
+        // A checkpoint folds feedback into the index state like any
+        // other entry: replay starts clean after it.
+        wal.install_checkpoint(
+            vec![shed_record(0), shed_record(1)],
+            None,
+            TenantId::default(),
+        );
+        assert!(wal.recover().unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_mid_log_corruption_is_quarantined() {
         let mut wal = WriteAheadLog::new();
         wal.append(&commit(0));
         wal.append(&commit(1));
         let mut torn = wal.serialized();
         torn.truncate(torn.len() - 10); // rip the tail of the last line
-        let loaded = WriteAheadLog::load(&torn).expect("torn tail tolerated");
+        let loaded = WriteAheadLog::load(&torn);
         assert_eq!(loaded.recover().unwrap().committed(), 1);
+        assert!(loaded.had_torn_tail());
+        assert!(
+            loaded.quarantined().is_empty(),
+            "a torn tail is not corruption"
+        );
 
+        // Junk *before* valid records: quarantined, never fatal — and
+        // since the junk was no commit, the chain is intact.
         let corrupt = format!("not json at all\n{}", wal.serialized());
-        let err = WriteAheadLog::load(&corrupt).unwrap_err();
-        assert!(matches!(err, WalError::Corrupt { line: 0, .. }), "{err}");
+        let loaded = WriteAheadLog::load(&corrupt);
+        assert_eq!(loaded.quarantined().len(), 1);
+        assert_eq!(loaded.quarantined()[0].line, 0);
+        assert_eq!(loaded.quarantined()[0].preview, "not json at all");
+        assert_eq!(loaded.dropped_records(), 0);
+        assert_eq!(loaded.recover().unwrap().committed(), 2);
+
+        // A corrupted *commit* quarantines that record and prunes the
+        // records stranded past the break.
+        let mut flipped = wal.serialized().into_bytes();
+        flipped[20] ^= 0x40; // damage commit 0's line
+        let loaded = WriteAheadLog::load_bytes(&flipped);
+        assert_eq!(loaded.quarantined().len(), 1);
+        assert!(
+            loaded.quarantined()[0].reason.contains("crc32c mismatch"),
+            "{}",
+            loaded.quarantined()[0].reason
+        );
+        assert_eq!(loaded.dropped_records(), 1, "commit 1 is stranded");
+        assert_eq!(loaded.recover().unwrap().committed(), 0);
+        // The loaded journal stays internally consistent: appending the
+        // re-executed commits produces a clean journal again.
+        let mut resumed = loaded;
+        resumed.append(&commit(0));
+        resumed.append(&commit(1));
+        let reloaded = WriteAheadLog::load(&resumed.serialized());
+        assert!(reloaded.quarantined().is_empty());
+        assert_eq!(reloaded.recover().unwrap().committed(), 2);
+    }
+
+    #[test]
+    fn resync_salvages_the_record_fused_past_a_lost_newline() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&WalRecord::Epoch {
+            shard: 0,
+            epoch: 1,
+            committed: 1,
+            tenant: TenantId::default(),
+        });
+        wal.append(&commit(1));
+        // Zero the newline after the epoch line: the epoch record and
+        // commit 1 fuse into one physical line.
+        let serialized = wal.serialized();
+        let lines: Vec<&str> = serialized.lines().collect();
+        let newline_at = lines[0].len() + 1 + lines[1].len();
+        let mut bytes = serialized.into_bytes();
+        assert_eq!(bytes[newline_at], b'\n');
+        bytes[newline_at] = 0;
+        let loaded = WriteAheadLog::load_bytes(&bytes);
+        assert_eq!(loaded.quarantined().len(), 1, "the fused epoch is junk");
+        assert_eq!(loaded.dropped_records(), 0);
+        let recovery = loaded.recover().expect("commit chain intact");
+        assert_eq!(
+            recovery.committed(),
+            2,
+            "commit 1 is salvaged by scan-forward resync"
+        );
+        assert!(recovery.shard_epochs.is_empty(), "the epoch was the victim");
+    }
+
+    #[test]
+    fn a_checkpoint_heals_a_tenant_stream_broken_by_corruption() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        let mut bytes = wal.serialized().into_bytes();
+        bytes[20] ^= 0x40; // break commit 0
+        let mut text = String::from_utf8_lossy(&bytes).into_owned();
+        // A later checkpoint carries the full prefix: everything after
+        // it is reachable again.
+        let mut healed = WriteAheadLog::new();
+        healed.install_checkpoint(
+            vec![shed_record(0), shed_record(1), shed_record(2)],
+            None,
+            TenantId::default(),
+        );
+        text.push_str(&healed.serialized());
+        let chk = serde_json::to_string(&commit(3)).unwrap();
+        text.push_str(&frame(&chk));
+        text.push('\n');
+        let loaded = WriteAheadLog::load(&text);
+        assert_eq!(loaded.quarantined().len(), 1);
+        assert_eq!(
+            loaded.dropped_records(),
+            1,
+            "commit 1 stranded before the heal"
+        );
+        assert_eq!(loaded.checkpointed(), 3);
+        let recovery = loaded.recover().expect("healed");
+        assert_eq!(recovery.committed(), 4);
     }
 
     /// A scratch path under the workspace `target/` dir, fresh per test.
@@ -705,6 +1151,7 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("scratch dir");
         let path = dir.join(name);
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
         path
     }
 
@@ -714,6 +1161,7 @@ mod tests {
         {
             let mut wal = WriteAheadLog::open_durable(&path).expect("create");
             assert!(wal.is_durable());
+            assert!(!wal.is_paused());
             wal.append(&commit(0));
             wal.append(&commit(1));
         } // drop the handle: durability must not depend on a clean close
@@ -743,6 +1191,7 @@ mod tests {
 
         let mut wal = WriteAheadLog::open_durable(&path).expect("reopen");
         assert_eq!(wal.recover().unwrap().committed(), 2);
+        assert!(wal.had_torn_tail());
         // The file itself was truncated back to the parseable prefix...
         let truncated = std::fs::read_to_string(&path).expect("journal file");
         assert_eq!(truncated, wal.serialized());
@@ -779,16 +1228,71 @@ mod tests {
     }
 
     #[test]
-    fn durable_reopen_rejects_mid_log_corruption() {
+    fn durable_reopen_quarantines_mid_log_corruption_and_cleans_the_file() {
         let path = scratch_path("corrupt.wal");
         {
             let mut wal = WriteAheadLog::open_durable(&path).expect("create");
             wal.append(&commit(0));
+            wal.append(&commit(1));
         }
         let good = std::fs::read_to_string(&path).expect("journal file");
         std::fs::write(&path, format!("not json at all\n{good}")).expect("corrupt");
-        let err = WriteAheadLog::open_durable(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Mid-log corruption is no longer fatal: the journal opens with
+        // the junk quarantined and the file rewritten to the clean form.
+        let wal = WriteAheadLog::open_durable(&path).expect("reopen succeeds");
+        assert_eq!(wal.quarantined().len(), 1);
+        assert_eq!(wal.recover().unwrap().committed(), 2);
+        let cleaned = std::fs::read_to_string(&path).expect("journal file");
+        assert_eq!(cleaned, good, "the rewrite dropped exactly the junk line");
+    }
+
+    #[test]
+    fn stale_checkpoint_tmp_is_removed_on_open() {
+        let path = scratch_path("stale_tmp.wal");
+        {
+            let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+            wal.append(&commit(0));
+        }
+        // A crash between the checkpoint's temp-file write and its
+        // rename leaves the half-written fold beside the journal.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, "half-written checkpoint").expect("stale tmp");
+        let wal = WriteAheadLog::open_durable(&path).expect("reopen");
+        assert!(!tmp.exists(), "stale checkpoint tmp must be cleaned up");
+        assert_eq!(wal.recover().unwrap().committed(), 1);
+    }
+
+    #[test]
+    fn enospc_pauses_durability_and_a_fold_resumes_it() {
+        // A tight disk: two framed commit lines fit, the third does not.
+        let line_len = frame(&serde_json::to_string(&commit(0)).unwrap()).len() + 1;
+        let disk = SimDisk::new(SimDiskConfig {
+            capacity_bytes: Some(2 * line_len + line_len / 2),
+            ..SimDiskConfig::default()
+        });
+        let mut wal = WriteAheadLog::with_sink(Box::new(disk.clone())).expect("open");
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        assert!(!wal.is_paused());
+        wal.append(&commit(2)); // ENOSPC: enters the paused span
+        assert!(wal.is_paused());
+        assert!(wal.needs_space_fold());
+        assert_eq!(wal.enospc_events(), 1);
+        assert_eq!(wal.durability_paused_spans(), 1);
+        assert_eq!(wal.paused_appends(), 1);
+        wal.append(&commit(3)); // withheld, not an ENOSPC storm
+        assert_eq!(wal.enospc_events(), 1);
+        assert_eq!(wal.paused_appends(), 2);
+        assert!(wal.is_durable(), "the sink is kept through the pause");
+        // The engine's answer: fold the journal into a (smaller)
+        // checkpoint and rewrite. That lands every withheld record.
+        wal.install_checkpoint(vec![shed_record(0)], None, TenantId::default());
+        assert!(!wal.is_paused(), "a successful fold resumes durability");
+        wal.append(&commit(1));
+        let mut media = disk.clone();
+        let on_disk = media.contents().expect("media");
+        assert_eq!(String::from_utf8_lossy(&on_disk), wal.serialized());
+        assert_eq!(wal.durability_paused_spans(), 1, "one span, now closed");
     }
 
     #[test]
@@ -849,9 +1353,37 @@ mod tests {
         wal.append(&tenant_commit(a, 1, 400)); // the line the crash tears
         let mut torn = wal.serialized();
         torn.truncate(torn.len() - 10);
-        let loaded = WriteAheadLog::load(&torn).expect("torn tail tolerated");
+        let loaded = WriteAheadLog::load(&torn);
         let recovered = loaded.recover_tenants().expect("gapless per tenant");
         assert_eq!(recovered[&a].committed(), 1, "owner loses the torn commit");
+        assert_eq!(recovered[&b].committed(), 2, "neighbor watermark intact");
+    }
+
+    #[test]
+    fn mid_log_corruption_rolls_back_only_the_owning_tenant() {
+        let (a, b) = (TenantId(1), TenantId(2));
+        let mut wal = WriteAheadLog::new();
+        wal.append(&tenant_commit(a, 0, 100));
+        wal.append(&tenant_commit(b, 0, 200));
+        wal.append(&tenant_commit(a, 1, 300));
+        wal.append(&tenant_commit(b, 1, 400));
+        wal.append(&tenant_commit(a, 2, 500));
+        // Bit rot strikes tenant A's *first* commit, mid-log.
+        let serialized = wal.serialized();
+        let mut bytes = serialized.into_bytes();
+        bytes[20] ^= 0x01;
+        let loaded = WriteAheadLog::load_bytes(&bytes);
+        assert_eq!(loaded.quarantined().len(), 1);
+        assert_eq!(
+            loaded.dropped_records(),
+            2,
+            "a@1 and a@2 are stranded past the break"
+        );
+        let recovered = loaded.recover_tenants().expect("per-tenant prefixes");
+        // The break hit a@0, so *every* record of tenant A was pruned:
+        // the owner rolls back to an empty stream (no entry at all, or
+        // an empty recovery — both mean watermark 0).
+        assert_eq!(recovered.get(&a).map_or(0, Recovery::committed), 0);
         assert_eq!(recovered[&b].committed(), 2, "neighbor watermark intact");
     }
 
@@ -870,6 +1402,7 @@ mod tests {
         std::fs::remove_dir(&dir).expect("remove dir");
         wal.install_checkpoint(vec![shed_record(0)], None, TenantId::default());
         assert_eq!(wal.sink_failures(), 1);
+        assert_eq!(wal.sink_retries(), 1, "one transient retry before detach");
         assert!(!wal.is_durable(), "failed sink is detached");
         // The in-memory journal stays consistent and writable.
         wal.append(&commit(1));
@@ -909,5 +1442,17 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("gap"));
+    }
+
+    #[test]
+    fn load_bytes_survives_invalid_utf8() {
+        let mut wal = WriteAheadLog::new();
+        wal.append(&commit(0));
+        wal.append(&commit(1));
+        let mut bytes = wal.serialized().into_bytes();
+        bytes[15] = 0xFF; // not valid UTF-8 anywhere
+        let loaded = WriteAheadLog::load_bytes(&bytes);
+        assert_eq!(loaded.quarantined().len(), 1);
+        assert_eq!(loaded.recover().unwrap().committed(), 0);
     }
 }

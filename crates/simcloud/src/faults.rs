@@ -213,6 +213,110 @@ impl FaultInjector for FaultPlan {
     }
 }
 
+/// A deterministic, seeded fault plan for the *storage* plane under the
+/// serving write-ahead log: how the disk misbehaves, as opposed to
+/// [`FaultPlan`]'s telemetry-query misbehaviour.
+///
+/// The plan is pure data; `rcacopilot-serve`'s simulated disk
+/// (`serve::storage::SimDisk`) interprets it. Every decision the disk
+/// makes is a pure function of `(seed, byte offset / page index,
+/// attempt)`, so a fixed plan replays the exact same injected write
+/// errors, lost pages and flipped bits run after run — the property the
+/// WAL crash-point torture fuzzer needs to enumerate failure points
+/// instead of spot-checking them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageFaultPlan {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Persistence granule in bytes: at a crash, un-fsynced data is
+    /// kept or lost per page, and bit rot strikes per page.
+    pub page_size: u32,
+    /// Byte budget before writes fail with `ENOSPC`; `None` is
+    /// unbounded.
+    pub capacity_bytes: Option<u64>,
+    /// Per-mille chance each write attempt fails with a transient I/O
+    /// error (retries re-roll).
+    pub write_error_per_mille: u16,
+    /// Per-mille chance each fsync attempt fails with a transient I/O
+    /// error (retries re-roll).
+    pub fsync_error_per_mille: u16,
+    /// Per-mille chance an un-fsynced page is dropped (zeroed) by a
+    /// crash.
+    pub page_drop_per_mille: u16,
+    /// Per-mille chance a page on media takes a single-bit flip by the
+    /// time a crash image is read back.
+    pub bit_flip_per_mille: u16,
+}
+
+impl StorageFaultPlan {
+    /// Default persistence granule: small enough that a handful of WAL
+    /// lines span several pages, so page-granular loss is observable at
+    /// test scale.
+    pub const DEFAULT_PAGE_SIZE: u32 = 256;
+
+    /// A disk that never misbehaves beyond honest crash semantics:
+    /// fsync'd bytes survive, un-fsynced bytes may be torn at any byte
+    /// offset, nothing else fires.
+    pub fn clean(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            page_size: Self::DEFAULT_PAGE_SIZE,
+            capacity_bytes: None,
+            write_error_per_mille: 0,
+            fsync_error_per_mille: 0,
+            page_drop_per_mille: 0,
+            bit_flip_per_mille: 0,
+        }
+    }
+
+    /// Flaky I/O: a few percent of write and fsync attempts fail
+    /// transiently, exercising the WAL's retry-then-degrade path.
+    pub fn flaky(seed: u64) -> Self {
+        StorageFaultPlan {
+            write_error_per_mille: 30,
+            fsync_error_per_mille: 30,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Silent media decay: crash images come back with occasional
+    /// single-bit flips, exercising CRC quarantine.
+    pub fn bit_rot(seed: u64) -> Self {
+        StorageFaultPlan {
+            bit_flip_per_mille: 15,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// Torn pages: a crash drops a sizeable fraction of the un-fsynced
+    /// pages, exercising scan-forward resync over zeroed runs.
+    pub fn torn_pages(seed: u64) -> Self {
+        StorageFaultPlan {
+            page_drop_per_mille: 250,
+            ..Self::clean(seed)
+        }
+    }
+
+    /// A disk with a hard byte budget: appends hit `ENOSPC`, exercising
+    /// checkpoint-fold-and-retry and the durability-paused mode.
+    pub fn tight_budget(seed: u64, capacity_bytes: u64) -> Self {
+        StorageFaultPlan {
+            capacity_bytes: Some(capacity_bytes),
+            ..Self::clean(seed)
+        }
+    }
+
+    /// True when no injected mechanism can ever fire (crash semantics
+    /// themselves — losing un-fsynced bytes — are always in effect).
+    pub fn is_inert(&self) -> bool {
+        self.capacity_bytes.is_none()
+            && self.write_error_per_mille == 0
+            && self.fsync_error_per_mille == 0
+            && self.page_drop_per_mille == 0
+            && self.bit_flip_per_mille == 0
+    }
+}
+
 /// SplitMix64 finalizer: a strong 64-bit mixer.
 fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -372,6 +476,23 @@ mod tests {
             plan.decide(DataSource::Logs, Scope::Service, window(1), 1),
             FaultDecision::None
         );
+    }
+
+    #[test]
+    fn storage_plan_presets_fire_exactly_their_mechanism() {
+        assert!(StorageFaultPlan::clean(1).is_inert());
+        assert!(!StorageFaultPlan::flaky(1).is_inert());
+        assert!(!StorageFaultPlan::bit_rot(1).is_inert());
+        assert!(!StorageFaultPlan::torn_pages(1).is_inert());
+        let tight = StorageFaultPlan::tight_budget(1, 4096);
+        assert_eq!(tight.capacity_bytes, Some(4096));
+        assert!(!tight.is_inert());
+        assert_eq!(tight.page_drop_per_mille, 0);
+        // Plans are pure data and must survive a serde round trip, like
+        // every other plan in this module.
+        let json = serde_json::to_string(&StorageFaultPlan::flaky(9)).unwrap();
+        let back: StorageFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, StorageFaultPlan::flaky(9));
     }
 
     #[test]

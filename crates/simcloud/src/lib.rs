@@ -51,7 +51,7 @@ pub mod topology;
 
 pub use catalog::{Catalog, CategorySpec, Family};
 pub use dataset::{DatasetStats, IncidentDataset, TrainTestSplit};
-pub use faults::{FaultMix, FaultPlan, Outage};
+pub use faults::{FaultMix, FaultPlan, Outage, StorageFaultPlan};
 pub use generator::{generate_dataset, CampaignConfig};
 pub use incident::Incident;
 pub use scale::{corpus_stats, scaled_corpus, ScaleConfig, ScaleStats, ScaledIncident};

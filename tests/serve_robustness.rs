@@ -314,7 +314,7 @@ fn crash_at_virtual_time_recovers_byte_identically() {
             // Simulate process death: only the serialized journal
             // survives.
             let bytes = wal.serialized();
-            let mut reloaded = WriteAheadLog::load(&bytes).expect("clean journal");
+            let mut reloaded = WriteAheadLog::load(&bytes);
             let resumed = ServeEngine::new(
                 copilot.clone(),
                 EngineConfig {

@@ -222,7 +222,7 @@ fn crash_recovery_replays_shard_tagged_records_across_shard_counts() {
         // Process death: only the serialized bytes survive. Resume with a
         // different shard count than the run that crashed.
         let bytes = wal.serialized();
-        let mut reloaded = WriteAheadLog::load(&bytes).expect("clean journal");
+        let mut reloaded = WriteAheadLog::load(&bytes);
         let resumed = ServeEngine::new(
             copilot.clone(),
             EngineConfig {
@@ -317,7 +317,7 @@ fn feedback_corrections_journal_and_replay_with_watermark() {
     // extra entry.
     let bytes = wal.serialized();
     for shards in [1usize, 4] {
-        let mut reloaded = WriteAheadLog::load(&bytes).expect("clean journal");
+        let mut reloaded = WriteAheadLog::load(&bytes);
         let resumed = ServeEngine::new(copilot.clone(), config(shards))
             .run_with_wal(&test, &stream, &mut reloaded)
             .expect("recoverable journal");

@@ -207,7 +207,7 @@ fn durable_interleaved_wal_reopen_rolls_back_only_the_torn_tenant() {
         let last = text.lines().last().expect("nonempty journal");
         // The last journaled line belongs to whichever tenant anchors
         // latest; recover its owner from the parsed record.
-        let wal = WriteAheadLog::load(&text).expect("clean journal");
+        let wal = WriteAheadLog::load(&text);
         let records = wal.records().expect("parseable");
         assert!(last.len() > 16, "line long enough to tear");
         records.last().expect("nonempty").tenant()
@@ -243,4 +243,102 @@ fn durable_interleaved_wal_reopen_rolls_back_only_the_torn_tenant() {
         .run_with_wal(&parts, &mut reloaded)
         .expect("recoverable journal");
     assert_eq!(resumed.log, out.log, "resume after torn tail diverged");
+}
+
+/// Satellite: *mid-log* corruption (bit rot, not a torn tail) in one
+/// tenant's stream of an interleaved durable journal is quarantined on
+/// reopen, rolls the owner back to the record before the flip, and must
+/// not move any other tenant's watermark. The plane then resumes from
+/// the damaged journal to the exact merged log of the clean run.
+#[test]
+fn mid_log_corruption_in_one_tenant_leaves_neighbor_watermarks_intact() {
+    let (copilot, test) = fixture();
+    let incidents: Vec<Incident> = test.iter().take(12).cloned().collect();
+    let plans = [
+        TenantStormPlan::quiet(TenantId(1), 81),
+        TenantStormPlan::quiet(TenantId(2), 82),
+    ];
+    let parts = partition_tenants(&incidents, &plans);
+    let config = MultiTenantConfig {
+        base: EngineConfig {
+            admission: AdmissionConfig::unbounded(),
+            ..EngineConfig::default()
+        },
+        ..MultiTenantConfig::default()
+    };
+    let plane = MultiTenantEngine::from_plans(copilot.clone(), config, &plans);
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/wal-tests");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("multitenant_bitrot.wal");
+    let _ = std::fs::remove_file(&path);
+
+    let out = {
+        let mut wal = WriteAheadLog::open_durable(&path).expect("create");
+        plane.run_with_wal(&parts, &mut wal).expect("clean journal")
+    };
+    let committed: Vec<usize> = out
+        .tenants
+        .iter()
+        .map(|t| t.outcome.records.len())
+        .collect();
+    assert!(
+        committed.iter().all(|&c| c >= 2),
+        "both tenants commit twice"
+    );
+
+    // Pick a mid-log commit with seq >= 1 whose owner has a later
+    // record, and flip one bit inside its framed payload.
+    let text = std::fs::read_to_string(&path).expect("journal file");
+    let records = WriteAheadLog::load(&text).records().expect("parseable");
+    let lines: Vec<&str> = text.lines().collect();
+    let (victim_line, victim_owner, victim_seq) = records
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| match r {
+            rcacopilot::serve::WalRecord::Commit { seq, .. }
+                if *seq >= 1 && i + 1 < lines.len() =>
+            {
+                Some((i, r.tenant(), *seq))
+            }
+            _ => None,
+        })
+        .next()
+        .expect("an interleaved journal has a mid-log commit past seq 0");
+    let offset: usize = lines[..victim_line].iter().map(|l| l.len() + 1).sum();
+    let mut bytes = text.into_bytes();
+    bytes[offset + 20] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("inject bit rot");
+
+    // Reopen: the flip is caught by the record CRC and quarantined, the
+    // owner rolls back to the break, the neighbor is untouched.
+    let reopened = WriteAheadLog::open_durable(&path).expect("corruption quarantined, not fatal");
+    assert_eq!(reopened.quarantined().len(), 1, "exactly the injected flip");
+    let recovered = reopened.recover_tenants().expect("gapless per tenant");
+    for (i, run) in out.tenants.iter().enumerate() {
+        let got = recovered
+            .get(&run.tenant)
+            .map(|r| r.committed())
+            .unwrap_or(0);
+        if run.tenant == victim_owner {
+            assert_eq!(
+                got, victim_seq,
+                "owner must roll back to exactly the corrupted record"
+            );
+        } else {
+            assert_eq!(
+                got, committed[i],
+                "tenant {:?} watermark must be untouched by a neighbor's bit rot",
+                run.tenant
+            );
+        }
+    }
+
+    // The reopen rewrote the journal to its consistent prefix; resuming
+    // re-executes the owner's lost suffix and converges byte-identically.
+    let mut reloaded = WriteAheadLog::open_durable(&path).expect("reopen");
+    let resumed = plane
+        .run_with_wal(&parts, &mut reloaded)
+        .expect("recoverable journal");
+    assert_eq!(resumed.log, out.log, "resume after bit rot diverged");
 }
