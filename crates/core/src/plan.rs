@@ -170,6 +170,20 @@ pub fn memoized_summary(
     }
 }
 
+/// Observer of per-stage execution on the serving path.
+///
+/// [`PlanExecutor::run_incident`] reports each completed stage — by the
+/// [`InferencePlan::stages`] names, with `retrieve` and `predict` fused
+/// under `"predict"` — together with its measured wall-clock duration.
+/// The serving engine's real-clock backend hangs stage sleeps, tracing
+/// events and wall histograms off this seam; with no hook installed
+/// (the default, and always the DES path) the executor takes no clock
+/// readings at all, so batch and virtual-mode outputs are untouched.
+pub trait StageHook: Sync {
+    /// Called after `stage` completed, with its wall-clock duration.
+    fn on_stage(&self, stage: &'static str, wall_nanos: u64);
+}
+
 /// Everything the plan produced for one incident: the per-stage outputs
 /// the caller may need downstream (the serving engine turns `input_text`
 /// and `query` into the online index entry).
@@ -194,12 +208,21 @@ pub struct PlanOutcome {
 /// cache hit/miss patterns never leak into the outputs (under an exact or
 /// disabled memo policy — see [`crate::memo::ShingleMemo`] for the
 /// near-dup caveat).
-#[derive(Debug)]
 pub struct PlanExecutor<'a> {
     copilot: &'a RcaCopilot,
     stage: &'a CollectionStage,
     plan: &'a InferencePlan,
     caches: &'a PlanCaches,
+    hook: Option<&'a dyn StageHook>,
+}
+
+impl std::fmt::Debug for PlanExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanExecutor")
+            .field("plan", &self.plan)
+            .field("hooked", &self.hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> PlanExecutor<'a> {
@@ -216,6 +239,27 @@ impl<'a> PlanExecutor<'a> {
             stage,
             plan,
             caches,
+            hook: None,
+        }
+    }
+
+    /// Installs a per-stage observer (see [`StageHook`]).
+    pub fn with_hook(mut self, hook: &'a dyn StageHook) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Runs one stage body, reporting its wall duration to the hook when
+    /// one is installed; otherwise reads no clock at all.
+    fn timed<T>(&self, stage: &'static str, body: impl FnOnce() -> T) -> T {
+        match self.hook {
+            None => body(),
+            Some(hook) => {
+                let t0 = std::time::Instant::now();
+                let out = body();
+                hook.on_stage(stage, t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                out
+            }
         }
     }
 
@@ -330,13 +374,16 @@ impl<'a> PlanExecutor<'a> {
         history: &dyn HistoryView,
         mode: SummarizeMode,
     ) -> Result<PlanOutcome, CollectionError> {
-        let collected = self.collect(incident)?;
+        let collected = self.timed("collect", || self.collect(incident))?;
         let raw_diag = collected.diagnostic_text();
-        let summary = self.summarize(&raw_diag, mode);
-        let input_text = self.assemble(&collected, &raw_diag, &summary);
-        let query = self.embed(&raw_diag);
-        let prediction =
-            self.predict_query(history, &query, &input_text, at, &collected.run.degradation);
+        let summary = self.timed("summarize", || self.summarize(&raw_diag, mode));
+        let input_text = self.timed("assemble", || {
+            self.assemble(&collected, &raw_diag, &summary)
+        });
+        let query = self.timed("embed", || self.embed(&raw_diag));
+        let prediction = self.timed("predict", || {
+            self.predict_query(history, &query, &input_text, at, &collected.run.degradation)
+        });
         Ok(PlanOutcome {
             collected,
             raw_diag,
@@ -538,6 +585,40 @@ mod tests {
         assert!(
             caches.summary.is_empty(),
             "degraded summaries must not populate the cache"
+        );
+    }
+
+    #[test]
+    fn stage_hook_sees_every_stage_in_order_without_changing_output() {
+        #[derive(Default)]
+        struct Recorder(std::sync::Mutex<Vec<&'static str>>);
+        impl StageHook for Recorder {
+            fn on_stage(&self, stage: &'static str, _wall_nanos: u64) {
+                self.0.lock().expect("test recorder lock").push(stage);
+            }
+        }
+        let (copilot, _prepared, ds) = trained();
+        let plan = InferencePlan::default();
+        let stage = CollectionStage::standard();
+        let inc = &ds.incidents()[0];
+        let at = inc.occurred_at();
+
+        let bare_caches = PlanCaches::new(1);
+        let bare = PlanExecutor::new(&copilot, &stage, &plan, &bare_caches)
+            .run_incident(inc, at, copilot.index(), SummarizeMode::Full)
+            .expect("handler registered");
+
+        let recorder = Recorder::default();
+        let hooked_caches = PlanCaches::new(1);
+        let hooked = PlanExecutor::new(&copilot, &stage, &plan, &hooked_caches)
+            .with_hook(&recorder)
+            .run_incident(inc, at, copilot.index(), SummarizeMode::Full)
+            .expect("handler registered");
+
+        assert_eq!(hooked.prediction, bare.prediction, "hook must be passive");
+        assert_eq!(
+            *recorder.0.lock().expect("test recorder lock"),
+            vec!["collect", "summarize", "assemble", "embed", "predict"],
         );
     }
 

@@ -10,6 +10,13 @@
 //! only on arrival times, severities, and ex-ante costs, it is identical
 //! for every worker count: shedding policy never couples the engine's
 //! *output* to its *parallelism*.
+//!
+//! **Dual-mode note** (PR 9): the same independence holds across clock
+//! backends. Deadline and budget arithmetic here is *always* virtual —
+//! [`crate::clock::RealClock`] changes how long dispatch and stages
+//! take in wall time, never what the admission plan decides — so the
+//! plan (and with it the prediction log) is byte-identical between DES
+//! and real-thread runs by construction.
 
 use rcacopilot_telemetry::time::SimTime;
 use rcacopilot_telemetry::Severity;

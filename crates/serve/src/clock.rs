@@ -1,0 +1,285 @@
+//! The dual-mode clock boundary: one `Clock` trait, two backends.
+//!
+//! Every time read, sleep, deadline and backoff decision in the serving
+//! stack goes through [`Clock`], so the same engine runs in two modes:
+//!
+//! - **[`VirtualClock`]** — the existing deterministic DES semantics.
+//!   Planning (admission, visibility, costs, fault fates) happens on the
+//!   stream's virtual timeline before dispatch; `sleep`/`sleep_until`
+//!   are no-ops, `wall_nanos` is always 0, and `now` tracks the
+//!   dispatcher's planning cursor. Engine outputs under this backend are
+//!   byte-identical to the pre-refactor engine — the refactor only moved
+//!   where the (non-)sleeps live.
+//! - **[`RealClock`]** — workers are the same real `std::thread`s, but
+//!   sleeps are *actual* sleeps on the host clock: each virtual second
+//!   maps to [`RealClockConfig::nanos_per_virtual_sec`] wall nanoseconds.
+//!   Stage costs (which model LLM/service latency, not local compute)
+//!   become real blocking waits, injected stalls burn real time, and
+//!   respawn backoff pauses the worker. Because the waits overlap across
+//!   threads, wall-clock throughput scales with the worker count even on
+//!   a single-core host — exactly how a fleet serving remote-LLM calls
+//!   scales.
+//!
+//! What stays deterministic in real mode: the *prediction log*. All
+//! ordering decisions (admission, visibility, the commit watermark) are
+//! planned on virtual time before execution, and workers compute pure
+//! functions — so a `RealClock` frozen-replay run with faults disabled
+//! produces a log byte-identical to the DES run (pinned by
+//! `tests/realtime_parity.rs`). What is *not* deterministic: wall-clock
+//! durations, metrics histograms, and span timings — those are the
+//! measurements real mode exists to take.
+
+use rcacopilot_telemetry::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which backend a [`Clock`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Deterministic virtual time (discrete-event simulation).
+    Virtual,
+    /// Host wall-clock time; sleeps block real threads.
+    Real,
+}
+
+/// The single time boundary of the serving stack.
+///
+/// Contract: `now` is monotone non-decreasing; `sleep`/`sleep_until`
+/// return immediately under [`ClockMode::Virtual`] and block under
+/// [`ClockMode::Real`]; `wall_nanos` is 0 in virtual mode and a
+/// monotonic nanosecond reading in real mode. Implementations must be
+/// shareable across worker threads.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Which backend this is — engine code branches on it only to decide
+    /// whether to *record* wall measurements, never to change planning.
+    fn mode(&self) -> ClockMode;
+
+    /// Current instant on the stream timeline.
+    fn now(&self) -> SimTime;
+
+    /// Advances the stream-timeline cursor to `at` (dispatcher only).
+    /// Virtual: moves the cursor. Real: no-op (`now` derives from the
+    /// host clock).
+    fn advance_to(&self, at: SimTime);
+
+    /// Blocks until the stream timeline reaches `at`. Virtual: no-op.
+    /// Real: sleeps the scaled remainder (arrival pacing, when enabled).
+    fn sleep_until(&self, at: SimTime);
+
+    /// Blocks for a virtual duration. Virtual: no-op. Real: sleeps
+    /// `d × nanos_per_virtual_sec`.
+    fn sleep(&self, d: SimDuration);
+
+    /// Monotonic wall-clock nanoseconds since the clock was built;
+    /// always 0 in virtual mode so DES reports carry no host timing.
+    fn wall_nanos(&self) -> u64;
+}
+
+/// The DES backend: a cursor the dispatcher advances, and no real waits.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    cursor_secs: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at the stream epoch.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn mode(&self) -> ClockMode {
+        ClockMode::Virtual
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs(self.cursor_secs.load(Ordering::Relaxed))
+    }
+
+    fn advance_to(&self, at: SimTime) {
+        self.cursor_secs.fetch_max(at.as_secs(), Ordering::Relaxed);
+    }
+
+    fn sleep_until(&self, _at: SimTime) {}
+
+    fn sleep(&self, _d: SimDuration) {}
+
+    fn wall_nanos(&self) -> u64 {
+        0
+    }
+}
+
+/// Parameters of the [`RealClock`] backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealClockConfig {
+    /// Wall nanoseconds one virtual second maps to. The default
+    /// (100 000 ns = 0.1 ms) makes a typical ~250-virtual-second incident
+    /// cost a ~25 ms wait — long enough to dominate local compute and
+    /// exhibit thread scaling, short enough for CI.
+    pub nanos_per_virtual_sec: u64,
+    /// Pace the dispatcher to the stream's arrival schedule
+    /// (`sleep_until` blocks). Off by default: a throughput bench wants
+    /// the pool saturated, not idling between arrivals.
+    pub pace_arrivals: bool,
+}
+
+impl Default for RealClockConfig {
+    fn default() -> Self {
+        RealClockConfig {
+            nanos_per_virtual_sec: 100_000,
+            pace_arrivals: false,
+        }
+    }
+}
+
+/// The wall-clock backend: virtual durations become scaled real sleeps.
+#[derive(Debug)]
+pub struct RealClock {
+    start: Instant,
+    config: RealClockConfig,
+}
+
+impl RealClock {
+    /// A clock starting now.
+    pub fn new(config: RealClockConfig) -> Self {
+        RealClock {
+            start: Instant::now(),
+            config,
+        }
+    }
+
+    /// The configured virtual→wall scale.
+    pub fn config(&self) -> RealClockConfig {
+        self.config
+    }
+
+    fn scale(&self) -> u64 {
+        self.config.nanos_per_virtual_sec
+    }
+}
+
+impl Clock for RealClock {
+    fn mode(&self) -> ClockMode {
+        ClockMode::Real
+    }
+
+    fn now(&self) -> SimTime {
+        // Invert the scale: elapsed wall nanos → virtual seconds.
+        let scale = self.scale().max(1);
+        SimTime::from_secs(self.wall_nanos() / scale)
+    }
+
+    fn advance_to(&self, _at: SimTime) {}
+
+    fn sleep_until(&self, at: SimTime) {
+        if !self.config.pace_arrivals {
+            return;
+        }
+        let target = at.as_secs().saturating_mul(self.scale());
+        let elapsed = self.wall_nanos();
+        if target > elapsed {
+            std::thread::sleep(std::time::Duration::from_nanos(target - elapsed));
+        }
+    }
+
+    fn sleep(&self, d: SimDuration) {
+        let nanos = d.as_secs().saturating_mul(self.scale());
+        if nanos > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(nanos));
+        }
+    }
+
+    fn wall_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// Engine-facing clock selection; part of
+/// [`EngineConfig`](crate::engine::EngineConfig). The default is
+/// [`ClockConfig::Virtual`], under which every output is byte-identical
+/// to the pre-clock engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockConfig {
+    /// Deterministic DES (the default).
+    #[default]
+    Virtual,
+    /// Real threads, real sleeps, wall-clock measurements.
+    Real(RealClockConfig),
+}
+
+impl ClockConfig {
+    /// Instantiates the configured backend.
+    pub fn build(&self) -> Arc<dyn Clock> {
+        match self {
+            ClockConfig::Virtual => Arc::new(VirtualClock::new()),
+            ClockConfig::Real(config) => Arc::new(RealClock::new(*config)),
+        }
+    }
+
+    /// The mode the built clock will report.
+    pub fn mode(&self) -> ClockMode {
+        match self {
+            ClockConfig::Virtual => ClockMode::Virtual,
+            ClockConfig::Real(_) => ClockMode::Real,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_never_sleeps_and_reports_zero_wall() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.mode(), ClockMode::Virtual);
+        clock.advance_to(SimTime::from_secs(100));
+        assert_eq!(clock.now(), SimTime::from_secs(100));
+        // Cursor is monotone: advancing backwards is a no-op.
+        clock.advance_to(SimTime::from_secs(50));
+        assert_eq!(clock.now(), SimTime::from_secs(100));
+        let t0 = std::time::Instant::now();
+        clock.sleep(SimDuration::from_secs(1 << 30));
+        clock.sleep_until(SimTime::from_secs(1 << 40));
+        assert!(t0.elapsed().as_millis() < 100, "virtual sleeps are free");
+        assert_eq!(clock.wall_nanos(), 0);
+    }
+
+    #[test]
+    fn real_clock_sleeps_scale_virtual_durations() {
+        let clock = RealClock::new(RealClockConfig {
+            nanos_per_virtual_sec: 1_000_000, // 1 ms per virtual second
+            pace_arrivals: false,
+        });
+        assert_eq!(clock.mode(), ClockMode::Real);
+        let before = clock.wall_nanos();
+        clock.sleep(SimDuration::from_secs(10)); // ≈ 10 ms
+        let elapsed = clock.wall_nanos() - before;
+        assert!(elapsed >= 9_000_000, "slept only {elapsed} ns");
+        // Unpaced sleep_until returns immediately.
+        let t0 = clock.wall_nanos();
+        clock.sleep_until(SimTime::from_secs(1 << 40));
+        assert!(clock.wall_nanos() - t0 < 50_000_000);
+    }
+
+    #[test]
+    fn real_clock_now_inverts_the_scale() {
+        let clock = RealClock::new(RealClockConfig {
+            nanos_per_virtual_sec: 1_000,
+            pace_arrivals: true,
+        });
+        clock.sleep_until(SimTime::from_secs(2_000)); // 2 ms wall
+        assert!(clock.now() >= SimTime::from_secs(2_000));
+    }
+
+    #[test]
+    fn config_builds_the_matching_backend() {
+        assert_eq!(ClockConfig::default(), ClockConfig::Virtual);
+        assert_eq!(ClockConfig::Virtual.build().mode(), ClockMode::Virtual);
+        let real = ClockConfig::Real(RealClockConfig::default());
+        assert_eq!(real.build().mode(), ClockMode::Real);
+        assert_eq!(real.mode(), ClockMode::Real);
+    }
+}

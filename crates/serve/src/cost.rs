@@ -8,6 +8,12 @@
 //! the estimate depends only on the alert and the engine's cost seed, it
 //! is identical no matter which worker later runs the incident — the
 //! cornerstone of the engine's worker-count-independent output.
+//!
+//! Unwrap/lock audit (PR 9, DESIGN.md audit table): this module holds no
+//! `unwrap`/`expect`/lock sites at all — it is pure arithmetic over the
+//! alert, with division guarded inside the private `jitter` helper — so
+//! there is nothing
+//! to convert to counted degradation. Keep it that way.
 
 use rcacopilot_core::retrieval::fnv1a;
 use rcacopilot_telemetry::alert::{Alert, AlertType};
@@ -41,6 +47,27 @@ impl StageCosts {
     /// cheap truncation) when the engine is shedding load.
     pub fn degraded_total(&self) -> u64 {
         self.total() - self.summarize_secs + DEGRADED_SUMMARIZE_SECS
+    }
+
+    /// Virtual cost of one named pipeline stage — the
+    /// [`PipelineStage::name`](crate::fault::PipelineStage::name) /
+    /// `StageHook` vocabulary — honoring the degraded-mode summarization
+    /// substitute. `assemble` (and any unknown name) is free: string
+    /// formatting, not a modeled service round trip. This is the
+    /// real-clock backend's sleep schedule: summing it over the five
+    /// modeled stages reproduces [`total`](StageCosts::total) /
+    /// [`degraded_total`](StageCosts::degraded_total) exactly, so a wall
+    /// run burns the same modeled budget the admission plane priced.
+    pub fn stage_secs(&self, stage: &str, degraded: bool) -> u64 {
+        match stage {
+            "collect" => self.collect_secs,
+            "summarize" if degraded => DEGRADED_SUMMARIZE_SECS,
+            "summarize" => self.summarize_secs,
+            "embed" => self.embed_secs,
+            "retrieve" => self.retrieve_secs,
+            "predict" => self.predict_secs,
+            _ => 0,
+        }
     }
 }
 
@@ -120,6 +147,25 @@ mod tests {
             estimate(&a, 3),
             estimate(&alert(8, "Transport.exe crashed 12 times in 5 minutes"), 3)
         );
+    }
+
+    #[test]
+    fn stage_secs_partitions_the_totals() {
+        let c = estimate(&alert(11, "backlog rising on hub transport queue"), 5);
+        let stages = [
+            "collect",
+            "summarize",
+            "assemble",
+            "embed",
+            "retrieve",
+            "predict",
+        ];
+        let full: u64 = stages.iter().map(|s| c.stage_secs(s, false)).sum();
+        assert_eq!(full, c.total());
+        let degraded: u64 = stages.iter().map(|s| c.stage_secs(s, true)).sum();
+        assert_eq!(degraded, c.degraded_total());
+        assert_eq!(c.stage_secs("assemble", false), 0);
+        assert_eq!(c.stage_secs("not-a-stage", false), 0);
     }
 
     #[test]

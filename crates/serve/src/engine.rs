@@ -32,16 +32,20 @@
 //!    resumes byte-identically ([`ServeEngine::run_with_wal`]).
 
 use crate::admission::{self, AdmissionConfig, AdmissionInput, AdmissionPlan, Disposition};
+use crate::clock::{Clock, ClockConfig, ClockMode};
 use crate::cost::{self, StageCosts, DEGRADED_SUMMARIZE_SECS};
 use crate::fault::{AttemptFate, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
+use crate::metrics::MetricsRegistry;
 use crate::stream::{self, StreamConfig, StreamEvent};
 use crate::supervisor::{
-    lock_recovered, wait_recovered, AttemptLedger, InFlight, RetryQueue, Verdict,
+    lock_recovered, respawn_backoff, wait_recovered, AttemptLedger, InFlight, RetryQueue, Verdict,
 };
-use crate::vmetrics::{simulate_pool, ExecStats, FaultCounters, VirtualHistogram, VirtualJob};
+use crate::vmetrics::{
+    simulate_pool, ExecStats, FaultCounters, VirtualHistogram, VirtualJob, REPORT_SCHEMA_VERSION,
+};
 use crate::wal::{Recovery, WalError, WalRecord, WriteAheadLog};
 use rcacopilot_core::memo::{ExactMemo, MemoPolicy};
-use rcacopilot_core::plan::{InferencePlan, PlanCaches, PlanExecutor, SummarizeMode};
+use rcacopilot_core::plan::{InferencePlan, PlanCaches, PlanExecutor, StageHook, SummarizeMode};
 use rcacopilot_core::retrieval::{
     CheckpointEntry, RetrievalBackend, RetrievalConfig, ShardedHistoricalIndex,
 };
@@ -168,6 +172,15 @@ pub struct EngineConfig {
     /// saturating search widths (`ef_search`/`nprobe` ≥ corpus size) the
     /// prediction log stays byte-identical to `Exact`.
     pub backend: RetrievalBackend,
+    /// Which clock the run executes on: the deterministic virtual DES
+    /// backend (the default — every output byte-identical to pre-clock
+    /// engines) or a real wall clock under which stage costs, stalls and
+    /// respawn backoff become actual sleeps ([`crate::clock`]).
+    pub clock: ClockConfig,
+    /// Observability registry the run exports into — per-stage wall and
+    /// virtual histograms, per-tenant outcome counters, fault counters
+    /// ([`crate::metrics`]). `None` (the default) records nothing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for EngineConfig {
@@ -192,6 +205,8 @@ impl Default for EngineConfig {
             checkpoint_every: 0,
             compact_epochs: 0,
             backend: RetrievalBackend::Exact,
+            clock: ClockConfig::Virtual,
+            metrics: None,
         }
     }
 }
@@ -291,6 +306,62 @@ impl EventRecord {
     }
 }
 
+/// Wall-clock statistics of a real-mode run ([`ClockConfig::Real`]).
+/// Unlike the prediction log these are *not* deterministic — they are
+/// the host-hardware measurements real mode exists to take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallStats {
+    /// Total run duration, dispatcher start to pool drain, nanoseconds.
+    pub wall_nanos: u64,
+    /// Events whose dispatch-to-commit latency was measured (admitted
+    /// events that reached a worker).
+    pub completed: usize,
+    /// Completed events per wall-clock second.
+    pub throughput_per_sec: f64,
+    /// Median dispatch-to-commit latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile dispatch-to-commit latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl WallStats {
+    /// Derives the stats from per-event latencies (nanoseconds) and the
+    /// run duration. Returns a zeroed struct when nothing completed.
+    fn from_latencies(mut latencies: Vec<u64>, wall_nanos: u64) -> Self {
+        latencies.sort_unstable();
+        let completed = latencies.len();
+        let pct = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p * completed as f64).ceil() as usize).clamp(1, completed);
+            latencies[rank - 1] as f64 / 1e6
+        };
+        WallStats {
+            wall_nanos,
+            completed,
+            throughput_per_sec: if wall_nanos == 0 {
+                0.0
+            } else {
+                completed as f64 / (wall_nanos as f64 / 1e9)
+            },
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+        }
+    }
+
+    /// JSON rendering for the engine report and the bench artifact.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "wall_nanos": self.wall_nanos,
+            "completed": self.completed,
+            "throughput_per_sec": self.throughput_per_sec,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        })
+    }
+}
+
 /// Result of one engine run.
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
@@ -306,9 +377,14 @@ pub struct ServeOutcome {
     /// Virtual-time execution statistics for the configured worker count.
     pub exec: ExecStats,
     /// Full JSON report (stages, admission, caches, faults, queue
-    /// depths). Cache hit/miss counters depend on thread interleaving, so
-    /// the report — unlike `log` — is not byte-stable across runs.
+    /// depths), versioned by its `schema_version` field
+    /// ([`REPORT_SCHEMA_VERSION`]). Cache hit/miss counters depend on
+    /// thread interleaving, so the report — unlike `log` — is not
+    /// byte-stable across runs.
     pub report: Value,
+    /// Wall-clock measurements; `Some` exactly when the run executed
+    /// under [`ClockConfig::Real`].
+    pub wall: Option<WallStats>,
 }
 
 impl ServeOutcome {
@@ -341,6 +417,63 @@ struct RunCtx<'a> {
     inference: &'a InferencePlan,
     caches: &'a PlanCaches,
     counters: &'a FaultCounters,
+    /// The run's time boundary: every sleep/deadline/backoff goes here.
+    clock: &'a dyn Clock,
+    /// Ex-ante per-event stage costs — the real-clock sleep schedule.
+    costs: &'a [StageCosts],
+    /// Observability registry, when installed.
+    metrics: Option<&'a MetricsRegistry>,
+    /// Per-event dispatch-to-commit wall latencies (real mode only).
+    wall_latencies: &'a Mutex<Vec<u64>>,
+}
+
+/// Per-event [`StageHook`] the engine installs on the executor when a
+/// real clock or a metrics registry is present. After each stage's
+/// compute it sleeps the stage's *modeled* virtual cost through the
+/// clock (free in virtual mode), then records the stage's total wall
+/// duration — compute plus modeled wait — into the registry and the
+/// tracing stream. The hook never touches stage outputs, so the
+/// prediction log is independent of its presence.
+struct RealtimeStageHook<'a> {
+    clock: &'a dyn Clock,
+    costs: &'a StageCosts,
+    degraded: bool,
+    metrics: Option<&'a MetricsRegistry>,
+    seq: usize,
+    tenant: TenantId,
+}
+
+impl StageHook for RealtimeStageHook<'_> {
+    fn on_stage(&self, stage: &'static str, wall_nanos: u64) {
+        // The executor fuses retrieval into its "predict" stage.
+        let modeled_secs = if stage == "predict" {
+            self.costs.stage_secs("retrieve", self.degraded)
+                + self.costs.stage_secs("predict", self.degraded)
+        } else {
+            self.costs.stage_secs(stage, self.degraded)
+        };
+        let before = self.clock.wall_nanos();
+        self.clock.sleep(SimDuration::from_secs(modeled_secs));
+        let total_nanos = wall_nanos + self.clock.wall_nanos().saturating_sub(before);
+        if let Some(metrics) = self.metrics {
+            let tenant = self.tenant.0.to_string();
+            metrics.observe(
+                "rca_stage_seconds",
+                &[("stage", stage), ("tenant", &tenant)],
+                total_nanos as f64 / 1e9,
+            );
+        }
+        #[cfg(feature = "tracing")]
+        tracing::trace!(
+            seq = self.seq,
+            tenant = self.tenant.0,
+            stage = stage,
+            wall_us = total_nanos / 1_000,
+            "stage complete"
+        );
+        #[cfg(not(feature = "tracing"))]
+        let _ = self.seq;
+    }
 }
 
 /// Where committed slots go: the online index, and (when journaling) the
@@ -563,6 +696,12 @@ impl ServeEngine {
         let counters = FaultCounters::new();
         let ledger = AttemptLedger::new(n, self.config.quarantine_kills, self.config.max_attempts);
         let retry = RetryQueue::new();
+        // The run's single time boundary. Everything *planned* above —
+        // admission, costs, fates, resolution times — is already fixed on
+        // the virtual timeline, which is exactly why a real clock below
+        // cannot perturb the prediction log.
+        let clock = self.config.clock.build();
+        let wall_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
         let shards = self.config.shards.max(1);
         let online: Option<ShardedHistoricalIndex> = match self.config.index_mode {
@@ -640,6 +779,10 @@ impl ServeEngine {
             inference: &inference,
             caches: &caches,
             counters: &counters,
+            clock: clock.as_ref(),
+            costs: &costs,
+            metrics: self.config.metrics.as_deref(),
+            wall_latencies: &wall_latencies,
         };
         let wal = wal.map(Mutex::new);
         let sink = CommitSink {
@@ -708,6 +851,7 @@ impl ServeEngine {
             sink: &sink,
         };
 
+        let run_start = clock.wall_nanos();
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| self.supervise(&env));
@@ -721,6 +865,10 @@ impl ServeEngine {
                     // stays contiguous).
                     break;
                 }
+                // Advance the clock to this arrival (and, under a pacing
+                // real clock, sleep out the inter-arrival gap) — shed
+                // events included: the alert arrived either way.
+                stream::pace(clock.as_ref(), events[i].at);
                 if plan.dispositions[i] == Disposition::Shed || fast_fail[i] {
                     continue;
                 }
@@ -743,6 +891,13 @@ impl ServeEngine {
             }
             drop(tx);
         });
+        let wall = match clock.mode() {
+            ClockMode::Virtual => None,
+            ClockMode::Real => Some(WallStats::from_latencies(
+                std::mem::take(&mut *lock_recovered(&wall_latencies, &counters)),
+                clock.wall_nanos().saturating_sub(run_start),
+            )),
+        };
 
         // Surface durable-sink degradation in the run's fault counters
         // (before tearing down the commit state, whose borrow shares the
@@ -757,7 +912,19 @@ impl ServeEngine {
                 "quarantined": journal.quarantined().len(),
                 "dropped_records": journal.dropped_records(),
                 "torn_tail": journal.had_torn_tail(),
+                "fsync_nanos": journal.fsync_nanos(),
             }));
+            if let Some(registry) = self.config.metrics.as_deref() {
+                registry.describe(
+                    "rca_wal_fsync_nanos_total",
+                    "Wall nanoseconds spent in WAL durability barriers (fsync)",
+                );
+                registry.inc_counter_by(
+                    "rca_wal_fsync_nanos_total",
+                    &[("tenant", &self.config.tenant.0.to_string())],
+                    journal.fsync_nanos(),
+                );
+            }
             counters
                 .sink_failures
                 .fetch_add(journal.sink_failures(), Ordering::Relaxed);
@@ -813,6 +980,7 @@ impl ServeEngine {
             &counters,
             peak_queue.into_inner(),
             durability,
+            wall,
         )
     }
 
@@ -828,7 +996,14 @@ impl ServeEngine {
                 Err(_) => {
                     FaultCounters::bump(&counters.worker_panics);
                     FaultCounters::bump(&counters.worker_respawns);
-                    if let Some(i) = in_flight.take() {
+                    let lost = in_flight.take();
+                    #[cfg(feature = "tracing")]
+                    tracing::warn!(
+                        tenant = self.config.tenant.0,
+                        lost_event = lost.map_or(-1i64, |i| i as i64),
+                        "worker died; respawning"
+                    );
+                    if let Some(i) = lost {
                         match env.ledger.record_kill(i) {
                             Verdict::Retry => env.retry.push(i, counters),
                             Verdict::Quarantine { kills, attempts } => {
@@ -836,9 +1011,12 @@ impl ServeEngine {
                             }
                         }
                     }
-                    // Loop: respawn the worker. The respawned iteration
-                    // drains the retry queue before blocking, so a retry
-                    // pushed here is never orphaned.
+                    // Loop: respawn the worker (after the clock's backoff
+                    // — free in virtual mode, a real pause on a wall
+                    // clock). The respawned iteration drains the retry
+                    // queue before blocking, so a retry pushed here is
+                    // never orphaned.
+                    respawn_backoff(env.ctx.clock);
                 }
             }
         }
@@ -875,8 +1053,17 @@ impl ServeEngine {
                 WorkerFault::Panic { stage } => {
                     panic!("injected worker panic in {stage} (seq {seq}, attempt {attempt})");
                 }
-                WorkerFault::Stall { .. } => {
+                WorkerFault::Stall { stage } => {
                     FaultCounters::bump(&counters.injected_stalls);
+                    // A stall burns the stalled stage's modeled time
+                    // before the attempt is declared lost: free on the
+                    // virtual clock (stalls are attributed, not
+                    // simulated, in DES), an actual sleep holding this
+                    // worker on a wall clock.
+                    let degraded = env.ctx.plan.dispositions[i] == Disposition::Degraded;
+                    env.ctx.clock.sleep(SimDuration::from_secs(
+                        env.ctx.costs[i].stage_secs(stage.name(), degraded),
+                    ));
                     in_flight.take();
                     self.attempt_lost(env, i);
                 }
@@ -886,8 +1073,13 @@ impl ServeEngine {
                     self.attempt_lost(env, i);
                 }
                 WorkerFault::None => {
+                    let t0 = env.ctx.clock.wall_nanos();
                     let slot = self.process_event(env.ctx, i);
                     commit(env, i, slot);
+                    if env.ctx.clock.mode() == ClockMode::Real {
+                        let latency = env.ctx.clock.wall_nanos().saturating_sub(t0);
+                        lock_recovered(env.ctx.wall_latencies, counters).push(latency);
+                    }
                     in_flight.take();
                 }
             }
@@ -966,7 +1158,36 @@ impl ServeEngine {
         let ev = ctx.events[i];
         let inc = &ctx.incidents[ev.incident_idx];
         let degraded = ctx.plan.dispositions[i] == Disposition::Degraded;
+        #[cfg(feature = "tracing")]
+        let _span = tracing::info_span!(
+            "serve_event",
+            seq = ev.seq,
+            tenant = self.config.tenant.0,
+            backend = match ctx.clock.mode() {
+                ClockMode::Virtual => "virtual",
+                ClockMode::Real => "real",
+            },
+            degraded = degraded
+        )
+        .entered();
+        // Install the stage hook only when someone is listening: a real
+        // clock needs the modeled sleeps, a registry wants the wall
+        // histograms. The bare DES path takes no clock readings at all.
+        let hook;
         let executor = PlanExecutor::new(&self.copilot, &self.stage, ctx.inference, ctx.caches);
+        let executor = if ctx.clock.mode() == ClockMode::Real || ctx.metrics.is_some() {
+            hook = RealtimeStageHook {
+                clock: ctx.clock,
+                costs: &ctx.costs[i],
+                degraded,
+                metrics: ctx.metrics,
+                seq: ev.seq,
+                tenant: self.config.tenant,
+            };
+            executor.with_hook(&hook)
+        } else {
+            executor
+        };
         let mode = if degraded {
             SummarizeMode::TruncatedDegraded
         } else {
@@ -1038,6 +1259,7 @@ impl ServeEngine {
         counters: &FaultCounters,
         peak_queue: usize,
         durability: Option<Value>,
+        wall: Option<WallStats>,
     ) -> ServeOutcome {
         let mut stage_hists = [
             VirtualHistogram::new(), // collect
@@ -1085,7 +1307,61 @@ impl ServeEngine {
         counters
             .poison_recoveries
             .fetch_add(caches.poison_recoveries(), Ordering::Relaxed);
+        // Export into the observability registry, when one is installed:
+        // per-stage *virtual* histograms, per-tenant outcome counters,
+        // admission dispositions, and the fault counters. (Per-stage
+        // *wall* histograms were recorded live by the stage hook.)
+        if let Some(registry) = self.config.metrics.as_deref() {
+            let tenant = self.config.tenant.0.to_string();
+            registry.register_buckets(
+                "rca_stage_virtual_seconds",
+                crate::metrics::VIRTUAL_SECS_BUCKETS,
+            );
+            registry.describe(
+                "rca_stage_virtual_seconds",
+                "Modeled per-stage virtual cost, seconds.",
+            );
+            for (stage, hist) in ["collect", "summarize", "embed", "retrieve", "predict"]
+                .iter()
+                .zip(&stage_hists)
+            {
+                for &sample in hist.samples() {
+                    registry.observe(
+                        "rca_stage_virtual_seconds",
+                        &[("stage", stage), ("tenant", &tenant)],
+                        sample as f64,
+                    );
+                }
+            }
+            registry.describe("rca_events_total", "Stream events by tenant and outcome.");
+            for record in &records {
+                let outcome = match &record.outcome {
+                    EventOutcome::Shed { .. } => "shed",
+                    EventOutcome::Predicted { degraded: true, .. } => "degraded",
+                    EventOutcome::Predicted { .. } => "predicted",
+                    EventOutcome::Failed { .. } => "failed",
+                };
+                registry.inc_counter(
+                    "rca_events_total",
+                    &[("tenant", &tenant), ("outcome", outcome)],
+                );
+            }
+            registry.describe("rca_admission_total", "Admission dispositions by tenant.");
+            for (disposition, count) in [
+                ("shed", plan.shed as u64),
+                ("degraded", plan.degraded as u64),
+                ("full", plan.admitted().saturating_sub(plan.degraded) as u64),
+            ] {
+                registry.inc_counter_by(
+                    "rca_admission_total",
+                    &[("tenant", &tenant), ("disposition", disposition)],
+                    count,
+                );
+            }
+            counters.export_to(registry, &tenant);
+        }
         let report = json!({
+            "schema_version": REPORT_SCHEMA_VERSION,
             "engine": {
                 "workers": self.config.workers,
                 "queue_capacity": self.config.queue_capacity,
@@ -1128,6 +1404,11 @@ impl ServeEngine {
             "online_index_len": online.map(ShardedHistoricalIndex::len),
             "online_index_stats": online
                 .map(|o| crate::vmetrics::index_stats_json(&o.index_stats())),
+            "clock": match self.config.clock.mode() {
+                ClockMode::Virtual => "virtual",
+                ClockMode::Real => "real",
+            },
+            "wall": wall.map(|w| w.to_json()),
         });
         ServeOutcome {
             records,
@@ -1135,6 +1416,7 @@ impl ServeEngine {
             planned,
             exec,
             report,
+            wall,
         }
     }
 }
@@ -1223,6 +1505,7 @@ fn advance(st: &mut CommitState, sink: &CommitSink<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::RealClockConfig;
     use crate::stream::ArrivalModel;
     use rcacopilot_core::eval::PreparedDataset;
     use rcacopilot_core::pipeline::RcaCopilotConfig;
@@ -1453,6 +1736,81 @@ mod tests {
         // Fast-failed events are never dispatched: fewer pool jobs than
         // the no-breaker run would execute.
         assert!(out1.exec.completed < n1);
+    }
+
+    #[test]
+    fn real_clock_smoke_reproduces_the_virtual_log_and_measures_wall() {
+        let stream = StreamConfig::replay();
+        let (virtual_engine, test_v) = trained_engine(EngineConfig {
+            workers: 2,
+            admission: AdmissionConfig::unbounded(),
+            ..EngineConfig::default()
+        });
+        let out_v = virtual_engine.run(&test_v, &stream);
+        assert!(out_v.wall.is_none(), "DES runs report no wall stats");
+        let (real_engine, test_r) = trained_engine(EngineConfig {
+            workers: 2,
+            admission: AdmissionConfig::unbounded(),
+            clock: ClockConfig::Real(RealClockConfig {
+                nanos_per_virtual_sec: 1_000,
+                pace_arrivals: false,
+            }),
+            ..EngineConfig::default()
+        });
+        let out_r = real_engine.run(&test_r, &stream);
+        assert_eq!(
+            out_v.log, out_r.log,
+            "the prediction log is byte-identical across clock backends"
+        );
+        let wall = out_r.wall.expect("real runs measure wall time");
+        assert_eq!(wall.completed, test_r.len());
+        assert!(wall.wall_nanos > 0);
+        assert!(wall.throughput_per_sec > 0.0);
+        assert!(wall.p99_ms >= wall.p50_ms);
+        assert_eq!(
+            field(&out_r.report, &["clock"]),
+            &Value::Str("real".to_string()),
+            "the report names its clock backend"
+        );
+        assert!(as_u64(field(&out_r.report, &["wall", "wall_nanos"])) > 0);
+    }
+
+    #[test]
+    fn report_carries_schema_version_and_round_trips() {
+        let stream = StreamConfig::replay();
+        let registry = crate::metrics::MetricsRegistry::shared();
+        let (engine, test) = trained_engine(EngineConfig {
+            workers: 1,
+            admission: AdmissionConfig::unbounded(),
+            metrics: Some(Arc::clone(&registry)),
+            ..EngineConfig::default()
+        });
+        let out = engine.run(&test, &stream);
+        assert_eq!(
+            as_u64(field(&out.report, &["schema_version"])),
+            u64::from(crate::vmetrics::REPORT_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            field(&out.report, &["clock"]),
+            &Value::Str("virtual".to_string())
+        );
+        // The report must survive a serialize/parse round trip with its
+        // version intact — the drift guard for downstream consumers.
+        let text = serde_json::to_string(&out.report).expect("serializable");
+        let back: Value = serde_json::from_str(&text).expect("parseable");
+        assert_eq!(
+            as_u64(field(&back, &["schema_version"])),
+            u64::from(crate::vmetrics::REPORT_SCHEMA_VERSION)
+        );
+        // A metrics registry on a virtual run absorbs the run's
+        // counters; the tenant label rides on every series.
+        let predicted = registry.counter(
+            "rca_events_total",
+            &[("outcome", "predicted"), ("tenant", "0")],
+        );
+        assert_eq!(predicted, test.len() as u64);
+        crate::metrics::validate_prometheus(&registry.render_prometheus())
+            .expect("well-formed Prometheus text");
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! Because every retry re-rolls with a fresh attempt number, the full
 //! per-event attempt history (and therefore the engine's prediction log)
 //! is byte-identical for every worker count.
+//!
+//! **Stall semantics per clock mode** (PR 9): fault *decisions* are
+//! always drawn on the virtual plane, so fates are identical across
+//! [`crate::clock::Clock`] backends. What changes is what a
+//! [`WorkerFault::Stall`] *costs*: under the DES backend the stalled
+//! stage's virtual duration is pure bookkeeping, while under
+//! [`crate::clock::RealClock`] the worker actually sleeps the scaled
+//! stage cost — a stall occupies a real thread for real wall time,
+//! which is exactly the head-of-line blocking the real-mode bench
+//! measures.
 
 use rcacopilot_core::retrieval::fnv1a;
 use std::fmt;

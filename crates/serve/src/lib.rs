@@ -82,14 +82,33 @@
 //! whose logs are byte-identical to solo baselines — one tenant's
 //! flapping-monitor fault storm cannot perturb another tenant's
 //! predictions, watermarks, or cache keys.
+//!
+//! Finally, the engine is a **dual-mode runtime** ([`clock`]): every
+//! time read, sleep and deadline decision goes through one [`Clock`]
+//! trait with two backends. The default [`clock::VirtualClock`] is the
+//! deterministic DES above — byte-identical outputs, no real waits.
+//! [`clock::RealClock`] runs the same workers as real blocking threads:
+//! stage costs (which model remote LLM/service latency) become actual
+//! scaled sleeps, injected stalls burn wall time, and respawn backoff
+//! pauses the thread — so wall-clock throughput scales with worker
+//! count and `BENCH_serve_realtime.json` carries hardware-grounded
+//! numbers next to the virtual ones. An observability plane rides on
+//! the same boundary: structured `tracing` spans per event/stage/tenant
+//! (behind the off-by-default `tracing` feature) and a [`metrics`]
+//! registry of labeled counters and fixed-bucket histograms, rendered
+//! as Prometheus text or versioned JSON and served from a tiny blocking
+//! HTTP endpoint ([`metrics::MetricsServer`]) in real mode or dumped to
+//! a file in DES mode.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod clock;
 pub mod cost;
 pub mod engine;
 pub mod fault;
+pub mod metrics;
 pub mod storage;
 pub mod stream;
 pub mod supervisor;
@@ -98,12 +117,14 @@ pub mod vmetrics;
 pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionPlan, Disposition};
+pub use clock::{Clock, ClockConfig, ClockMode, RealClock, RealClockConfig, VirtualClock};
 pub use cost::StageCosts;
 pub use engine::{
     BreakerConfig, EngineConfig, EventOutcome, EventRecord, IndexMode, OceFeedback, ServeEngine,
     ServeOutcome,
 };
 pub use fault::{AttemptFate, PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
+pub use metrics::{MetricsRegistry, MetricsServer};
 pub use rcacopilot_core::memo::MemoCache;
 pub use storage::{crc32c, CrashImage, CrashPoint, DurableFile, SimDisk, SimDiskConfig, WalSink};
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};

@@ -1,0 +1,582 @@
+//! The observability plane's metrics registry and exporters.
+//!
+//! [`MetricsRegistry`] is a process-shareable registry of labeled
+//! counters and fixed-bucket histograms — the structured successor to
+//! the ad-hoc [`crate::vmetrics`] counters, which the engine bridges in
+//! at report time ([`crate::vmetrics::FaultCounters::export_to`]). Two
+//! exporters render the same registry:
+//!
+//! - [`MetricsRegistry::render_prometheus`] — Prometheus text exposition
+//!   format (`# TYPE` headers, `_bucket{le=…}`/`_sum`/`_count` series),
+//!   served by the tiny blocking [`MetricsServer`] in real mode;
+//! - [`MetricsRegistry::render_json`] — a versioned JSON document
+//!   ([`METRICS_SCHEMA_VERSION`]), dumped to a file in DES mode via
+//!   [`MetricsRegistry::dump_json`].
+//!
+//! Output ordering is stable (sorted by series name, then label set), so
+//! two renders of the same registry state are byte-identical. Label
+//! values are escaped per the exposition format. The registry itself is
+//! a single mutex over two `BTreeMap`s: metric cardinality here is tiny
+//! (stages × tenants × outcomes), so contention is not a concern and
+//! determinism of the rendered order is.
+
+use crate::supervisor::lock_recovered_plain;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Schema version of [`MetricsRegistry::render_json`]; bumped whenever a
+/// field changes meaning, so downstream consumers can pin parsing. The
+/// legacy engine report carries its own independent version
+/// ([`crate::vmetrics::REPORT_SCHEMA_VERSION`]).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Default histogram bucket upper bounds, in seconds — wall-clock
+/// oriented (0.5 ms … 10 s), suitable for the real-mode stage timings.
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// Bucket bounds for *virtual*-seconds histograms (stage costs run
+/// 1–300 virtual seconds).
+pub const VIRTUAL_SECS_BUCKETS: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 500.0, 1000.0,
+];
+
+/// A label set: `(name, value)` pairs. Order is immaterial — keys are
+/// normalized (sorted by label name) before use, so two call sites
+/// naming the same labels in different orders hit the same series.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+fn label_key(labels: Labels<'_>) -> String {
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out
+}
+
+/// Escapes a label value per the Prometheus exposition format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One fixed-bucket histogram: cumulative counts per upper bound, plus
+/// sum and count for mean derivation.
+#[derive(Debug, Clone)]
+pub struct FixedHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl FixedHistogram {
+    fn new(bounds: &[f64]) -> Self {
+        FixedHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1], // +1 for +Inf
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Cumulative count at each bound (the Prometheus `le` semantics),
+    /// ending with the `+Inf` bucket (== total count).
+    pub fn cumulative(&self) -> Vec<(String, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            let le = match self.bounds.get(i) {
+                Some(b) => format_f64(*b),
+                None => "+Inf".to_string(),
+            };
+            out.push((le, acc));
+        }
+        out
+    }
+}
+
+/// Renders an `f64` the way Prometheus expects (no trailing `.0` loss,
+/// no exponent for the magnitudes used here).
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `(metric name, rendered label set) → value`.
+    counters: BTreeMap<(String, String), u64>,
+    /// `(metric name, rendered label set) → histogram`.
+    histograms: BTreeMap<(String, String), FixedHistogram>,
+    /// Per-metric bucket bounds registered ahead of observation.
+    bounds: BTreeMap<String, Vec<f64>>,
+    /// Per-metric help strings.
+    help: BTreeMap<String, String>,
+}
+
+/// A registry of labeled counters and fixed-bucket histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// An empty registry behind an [`Arc`], ready to share with an
+    /// engine config and a [`MetricsServer`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Sets the `# HELP` string for a metric.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = lock_recovered_plain(&self.inner);
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Registers custom bucket bounds for a histogram metric; must be
+    /// called before the first `observe` of that metric to take effect.
+    pub fn register_buckets(&self, name: &str, bounds: &[f64]) {
+        let mut inner = lock_recovered_plain(&self.inner);
+        inner.bounds.insert(name.to_string(), bounds.to_vec());
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn inc_counter_by(&self, name: &str, labels: Labels<'_>, delta: u64) {
+        let mut inner = lock_recovered_plain(&self.inner);
+        *inner
+            .counters
+            .entry((name.to_string(), label_key(labels)))
+            .or_insert(0) += delta;
+    }
+
+    /// Increments the counter `name{labels}` by one.
+    pub fn inc_counter(&self, name: &str, labels: Labels<'_>) {
+        self.inc_counter_by(name, labels, 1);
+    }
+
+    /// Records `value` (seconds) into the histogram `name{labels}`,
+    /// using the metric's registered bounds or [`DEFAULT_BUCKETS`].
+    pub fn observe(&self, name: &str, labels: Labels<'_>, value: f64) {
+        let mut inner = lock_recovered_plain(&self.inner);
+        let bounds = inner
+            .bounds
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_BUCKETS.to_vec());
+        inner
+            .histograms
+            .entry((name.to_string(), label_key(labels)))
+            .or_insert_with(|| FixedHistogram::new(&bounds))
+            .observe(value);
+    }
+
+    /// Reads a counter back (0 when never incremented) — for tests and
+    /// report assembly.
+    pub fn counter(&self, name: &str, labels: Labels<'_>) -> u64 {
+        let inner = lock_recovered_plain(&self.inner);
+        inner
+            .counters
+            .get(&(name.to_string(), label_key(labels)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total observation count of a histogram (0 when absent).
+    pub fn histogram_count(&self, name: &str, labels: Labels<'_>) -> u64 {
+        let inner = lock_recovered_plain(&self.inner);
+        inner
+            .histograms
+            .get(&(name.to_string(), label_key(labels)))
+            .map_or(0, FixedHistogram::count)
+    }
+
+    /// Renders the registry in Prometheus text exposition format, with
+    /// stable ordering (sorted by series name, then label set).
+    pub fn render_prometheus(&self) -> String {
+        let inner = lock_recovered_plain(&self.inner);
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), value) in &inner.counters {
+            if last_name != Some(name.as_str()) {
+                if let Some(help) = inner.help.get(name) {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                }
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_name = Some(name.as_str());
+            }
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name} {value}");
+            } else {
+                let _ = writeln!(out, "{name}{{{labels}}} {value}");
+            }
+        }
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), hist) in &inner.histograms {
+            if last_name != Some(name.as_str()) {
+                if let Some(help) = inner.help.get(name) {
+                    let _ = writeln!(out, "# HELP {name} {help}");
+                }
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                last_name = Some(name.as_str());
+            }
+            let sep = if labels.is_empty() { "" } else { "," };
+            for (le, cum) in hist.cumulative() {
+                let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}");
+            }
+            if labels.is_empty() {
+                let _ = writeln!(out, "{name}_sum {}", format_f64(hist.sum()));
+                let _ = writeln!(out, "{name}_count {}", hist.count());
+            } else {
+                let _ = writeln!(out, "{name}_sum{{{labels}}} {}", format_f64(hist.sum()));
+                let _ = writeln!(out, "{name}_count{{{labels}}} {}", hist.count());
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a versioned JSON document.
+    pub fn render_json(&self) -> Value {
+        let inner = lock_recovered_plain(&self.inner);
+        let counters: Vec<Value> = inner
+            .counters
+            .iter()
+            .map(|((name, labels), value)| {
+                json!({ "name": name, "labels": labels, "value": *value })
+            })
+            .collect();
+        let histograms: Vec<Value> = inner
+            .histograms
+            .iter()
+            .map(|((name, labels), hist)| {
+                let buckets: Vec<Value> = hist
+                    .cumulative()
+                    .into_iter()
+                    .map(|(le, cum)| json!({ "le": le, "count": cum }))
+                    .collect();
+                json!({
+                    "name": name,
+                    "labels": labels,
+                    "count": hist.count(),
+                    "sum": hist.sum(),
+                    "buckets": buckets,
+                })
+            })
+            .collect();
+        json!({
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "counters": counters,
+            "histograms": histograms,
+        })
+    }
+
+    /// Writes the JSON export to `path` — the DES-mode exporter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn dump_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(&self.render_json())
+            .expect("registry JSON is serializable");
+        std::fs::write(path, text)
+    }
+}
+
+/// Checks that `text` is non-empty, well-formed Prometheus exposition
+/// output; returns the number of sample lines.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value separator: {line:?}"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("bad sample value {value:?}: {line:?}"));
+        }
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err(format!("bad metric name {name:?}: {line:?}"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("unterminated label set: {line:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no sample lines".to_string());
+    }
+    Ok(samples)
+}
+
+/// A tiny blocking HTTP endpoint serving the registry — the real-mode
+/// exporter. Routes: `/metrics` (Prometheus text) and `/metrics.json`.
+/// One accept loop on one thread; good for a scrape every few seconds,
+/// which is all a bench or CI check needs.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `registry` until [`MetricsServer::shutdown`] or drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn(registry: Arc<MetricsRegistry>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(mut conn) = conn else { continue };
+                let _ = serve_one(&mut conn, &registry);
+            }
+        });
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Answers one HTTP exchange on `conn`.
+fn serve_one(conn: &mut TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let n = conn.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            registry.render_prometheus(),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            serde_json::to_string_pretty(&registry.render_json())
+                .expect("registry JSON is serializable"),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    conn.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter(
+            "rca_events_total",
+            &[("tenant", "0"), ("outcome", "predicted")],
+        );
+        reg.inc_counter(
+            "rca_events_total",
+            &[("tenant", "0"), ("outcome", "predicted")],
+        );
+        reg.inc_counter("rca_events_total", &[("tenant", "1"), ("outcome", "shed")]);
+        assert_eq!(
+            reg.counter(
+                "rca_events_total",
+                &[("tenant", "0"), ("outcome", "predicted")]
+            ),
+            2
+        );
+        assert_eq!(
+            reg.counter("rca_events_total", &[("tenant", "1"), ("outcome", "shed")]),
+            1
+        );
+        assert_eq!(reg.counter("rca_events_total", &[("tenant", "9")]), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let reg = MetricsRegistry::new();
+        reg.register_buckets("h", &[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 100.0] {
+            reg.observe("h", &[("stage", "embed")], v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE h histogram"));
+        assert!(text.contains("h_bucket{stage=\"embed\",le=\"1.0\"} 2"));
+        assert!(text.contains("h_bucket{stage=\"embed\",le=\"10.0\"} 3"));
+        assert!(text.contains("h_bucket{stage=\"embed\",le=\"+Inf\"} 4"));
+        assert!(text.contains("h_count{stage=\"embed\"} 4"));
+        assert_eq!(reg.histogram_count("h", &[("stage", "embed")]), 4);
+    }
+
+    #[test]
+    fn prometheus_render_is_stable_and_validates() {
+        let reg = MetricsRegistry::new();
+        reg.describe("rca_faults_total", "Fault counters by kind.");
+        reg.inc_counter_by("rca_faults_total", &[("kind", "worker_panics")], 3);
+        reg.inc_counter("rca_stage_started_total", &[("stage", "collect")]);
+        reg.observe("rca_stage_seconds", &[("stage", "collect")], 0.003);
+        let a = reg.render_prometheus();
+        let b = reg.render_prometheus();
+        assert_eq!(a, b, "renders of the same state are byte-identical");
+        assert!(a.contains("# HELP rca_faults_total Fault counters by kind."));
+        let samples = validate_prometheus(&a).expect("well-formed");
+        // 2 counters + (14 default buckets + Inf) + sum + count.
+        assert_eq!(samples, 2 + DEFAULT_BUCKETS.len() + 1 + 2);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("# only comments\n").is_err());
+        assert!(validate_prometheus("metric_no_value\n").is_err());
+        assert!(validate_prometheus("1bad_name 3\n").is_err());
+        assert!(validate_prometheus("metric{unterminated 3\n").is_err());
+        assert!(validate_prometheus("ok_metric 3\nok_metric{a=\"b\"} 4.5\n").is_ok());
+    }
+
+    #[test]
+    fn json_export_round_trips_with_schema_version() {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("c_total", &[("tenant", "7")]);
+        reg.observe("h_seconds", &[], 0.25);
+        let text = serde_json::to_string(&reg.render_json()).expect("serializable");
+        let back: Value = serde_json::from_str(&text).expect("parses back");
+        let map = back.as_map().expect("top-level map");
+        let version = map
+            .iter()
+            .find(|(k, _)| k == "schema_version")
+            .map(|(_, v)| v)
+            .expect("schema_version present");
+        assert_eq!(*version, Value::U64(u64::from(METRICS_SCHEMA_VERSION)));
+        let counters = map
+            .iter()
+            .find(|(k, _)| k == "counters")
+            .and_then(|(_, v)| v.as_seq())
+            .expect("counters list");
+        assert_eq!(counters.len(), 1);
+    }
+
+    #[test]
+    fn http_endpoint_serves_both_formats() {
+        let reg = MetricsRegistry::shared();
+        reg.inc_counter("rca_events_total", &[("tenant", "0")]);
+        let server = MetricsServer::spawn(Arc::clone(&reg), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let fetch = |path: &str| {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .expect("write");
+            let mut body = String::new();
+            conn.read_to_string(&mut body).expect("read");
+            body
+        };
+        let prom = fetch("/metrics");
+        assert!(prom.starts_with("HTTP/1.1 200 OK"));
+        let payload = prom.split("\r\n\r\n").nth(1).expect("body");
+        validate_prometheus(payload).expect("prometheus body validates");
+        let json_body = fetch("/metrics.json");
+        assert!(json_body.contains("schema_version"));
+        assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+}

@@ -118,6 +118,15 @@ pub trait WalSink: std::fmt::Debug + Send {
     /// The sink's current contents (the page-cache view, not the
     /// crash-surviving view).
     fn contents(&mut self) -> std::io::Result<Vec<u8>>;
+
+    /// Cumulative wall-clock nanoseconds this sink has spent inside
+    /// durability barriers (`fsync` and the synced half of rewrites).
+    /// Virtual backends report 0 — only [`DurableFile`] burns real time
+    /// — which is what lets the engine surface fsync stalls in real
+    /// mode without perturbing the DES timeline.
+    fn sync_nanos(&self) -> u64 {
+        0
+    }
 }
 
 /// The real durable backend: an append-only file with `fsync` barriers
@@ -126,6 +135,8 @@ pub trait WalSink: std::fmt::Debug + Send {
 pub struct DurableFile {
     file: File,
     path: PathBuf,
+    /// Wall nanos spent in `sync_data` calls (appends and rewrites).
+    sync_nanos: u64,
 }
 
 impl DurableFile {
@@ -146,7 +157,11 @@ impl DurableFile {
         let _ = std::fs::remove_file(path.with_extension("tmp"));
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         file.sync_data()?;
-        Ok(DurableFile { file, path })
+        Ok(DurableFile {
+            file,
+            path,
+            sync_nanos: 0,
+        })
     }
 
     /// The journal file's path.
@@ -161,7 +176,12 @@ impl WalSink for DurableFile {
     }
 
     fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        let t0 = std::time::Instant::now();
+        let result = self.file.sync_data();
+        self.sync_nanos = self
+            .sync_nanos
+            .saturating_add(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        result
     }
 
     fn rewrite(&mut self, contents: &[u8]) -> std::io::Result<()> {
@@ -169,7 +189,12 @@ impl WalSink for DurableFile {
         {
             let mut f = File::create(&tmp)?;
             f.write_all(contents)?;
-            f.sync_data()?;
+            let t0 = std::time::Instant::now();
+            let result = f.sync_data();
+            self.sync_nanos = self
+                .sync_nanos
+                .saturating_add(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            result?;
         }
         if let Err(e) = std::fs::rename(&tmp, &self.path) {
             // Don't leave the orphaned temp file beside the journal.
@@ -190,6 +215,10 @@ impl WalSink for DurableFile {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(buf),
             Err(e) => Err(e),
         }
+    }
+
+    fn sync_nanos(&self) -> u64 {
+        self.sync_nanos
     }
 }
 

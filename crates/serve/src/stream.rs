@@ -10,7 +10,24 @@
 //! admission control. A `reraise_prob` lets monitors flap: a recently
 //! streamed incident is re-raised as a duplicate alert, which is what
 //! makes the engine's content-hash memoization caches earn their keep.
+//!
+//! The schedule itself is mode-independent: arrival instants are always
+//! computed up front on the virtual timeline, and the engine's
+//! [`crate::clock::Clock`] decides what an instant *means* —
+//! under the DES backend the dispatcher just advances its cursor, under
+//! a real clock [`pace`] can turn the same schedule into actual
+//! inter-arrival sleeps. Planning on virtual time either way is what
+//! keeps the prediction log byte-identical across modes.
+//!
+//! Unwrap/lock audit (PR 9, DESIGN.md audit table): this module holds no
+//! `unwrap`/`expect`/lock sites. The two panic-adjacent spots are
+//! indexing in the private `maybe_reraise` helper (guarded: `window ≥ 1`
+//! because the event list is non-empty, and `len - 1 - r` with
+//! `r < window ≤ len`) and the float casts in the private `exp_gap`
+//! helper (clamped by `gen_range(1e-9..1.0)`
+//! and `.max(1)`). Keep it that way.
 
+use crate::clock::Clock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rcacopilot_simcloud::Incident;
@@ -155,6 +172,15 @@ pub fn schedule(incidents: &[Incident], config: &StreamConfig) -> Vec<StreamEven
         .collect()
 }
 
+/// Paces the dispatcher to an event's scheduled arrival: advances the
+/// clock's planning cursor to `at` and, under a pacing real clock,
+/// sleeps out the scaled remainder of the inter-arrival gap. Free under
+/// the DES backend — the dispatch loop calls this unconditionally.
+pub fn pace(clock: &dyn Clock, at: SimTime) {
+    clock.advance_to(at);
+    clock.sleep_until(at);
+}
+
 /// With `reraise_prob`, injects a duplicate alert for one of the last
 /// eight streamed incidents shortly after `t`.
 fn maybe_reraise(
@@ -225,6 +251,18 @@ mod tests {
         assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
         let other = schedule(&incs, &StreamConfig { seed: 10, ..cfg });
         assert_ne!(a, other, "different seeds shuffle the timeline");
+    }
+
+    #[test]
+    fn pace_advances_the_virtual_cursor_for_free() {
+        let clock = crate::clock::VirtualClock::new();
+        let t0 = std::time::Instant::now();
+        pace(&clock, SimTime::from_secs(1 << 30));
+        assert!(
+            t0.elapsed().as_millis() < 100,
+            "virtual pacing never sleeps"
+        );
+        assert_eq!(clock.now(), SimTime::from_secs(1 << 30));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //! [`quarantine_kills`]: crate::engine::EngineConfig::quarantine_kills
 //! [`max_attempts`]: crate::engine::EngineConfig::max_attempts
 
+use crate::clock::Clock;
 use crate::vmetrics::FaultCounters;
+use rcacopilot_telemetry::SimDuration;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -43,6 +45,31 @@ pub fn lock_recovered<'a, T>(mutex: &'a Mutex<T>, counters: &FaultCounters) -> M
         FaultCounters::bump(&counters.poison_recoveries);
         poisoned.into_inner()
     })
+}
+
+/// Like [`lock_recovered`], for structures that live outside the
+/// engine's fault plane (e.g. the metrics registry) and therefore have
+/// no [`FaultCounters`] to report into. Recovery is still sound: every
+/// write under these locks is a monotone accumulation, so a poisoned
+/// guard holds at worst a partially-updated aggregate, never a broken
+/// invariant.
+pub fn lock_recovered_plain<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Virtual seconds a supervisor waits before respawning a dead worker
+/// incarnation.
+pub const RESPAWN_BACKOFF_SECS: u64 = 1;
+
+/// Pause between a worker death and its respawn, through the engine's
+/// [`Clock`]: free on the DES timeline (respawn cost is not modeled
+/// there — byte-identity with the pre-clock engine), a real scaled
+/// sleep under a wall clock, where thrashing respawns would otherwise
+/// burn a core.
+pub fn respawn_backoff(clock: &dyn Clock) {
+    clock.sleep(SimDuration::from_secs(RESPAWN_BACKOFF_SECS));
 }
 
 /// [`Condvar::wait`] with the same poison recovery as [`lock_recovered`].

@@ -210,6 +210,12 @@ impl MultiTenantEngine {
     /// between the two. `caches` is the shared physical memo pool
     /// (`None` for an isolated solo run — namespacing makes the results
     /// identical either way).
+    ///
+    /// The struct-update tail also inherits the base's
+    /// [`EngineConfig::clock`] and [`EngineConfig::metrics`]: every
+    /// tenant runs under the same clock mode, and a shared
+    /// [`crate::metrics::MetricsRegistry`] `Arc` distinguishes tenants
+    /// purely by the `tenant` label on each series.
     pub fn tenant_engine_config(
         base: &EngineConfig,
         spec: &TenantSpec,

@@ -7,10 +7,22 @@
 //! single-core CI box, where wall-clock thread scaling is impossible to
 //! observe).
 
+use crate::metrics::MetricsRegistry;
 use serde_json::{json, Value};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema version of the engine's JSON report ([`ServeOutcome::report`]).
+///
+/// The report predates the structured [`crate::metrics`] exporter and
+/// keeps evolving with the engine; this explicit version lets the two
+/// formats drift independently without silently breaking consumers.
+/// History: 1 = implicit pre-PR-9 shape; 2 = adds `schema_version`,
+/// `clock`, and the real-mode `wall` section.
+///
+/// [`ServeOutcome::report`]: crate::engine::ServeOutcome::report
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Robustness counters for one engine run.
 ///
@@ -105,6 +117,50 @@ impl FaultCounters {
             "wal_dropped": Self::get(&self.wal_dropped),
         })
     }
+
+    /// Every counter as a `(kind, value)` row, in report order.
+    pub fn rows(&self) -> [(&'static str, u64); 17] {
+        [
+            ("worker_panics", Self::get(&self.worker_panics)),
+            ("worker_respawns", Self::get(&self.worker_respawns)),
+            ("injected_stalls", Self::get(&self.injected_stalls)),
+            ("injected_errors", Self::get(&self.injected_errors)),
+            ("redispatches", Self::get(&self.redispatches)),
+            ("quarantined", Self::get(&self.quarantined)),
+            ("collection_failures", Self::get(&self.collection_failures)),
+            ("poison_recoveries", Self::get(&self.poison_recoveries)),
+            ("dispatch_failures", Self::get(&self.dispatch_failures)),
+            ("sink_failures", Self::get(&self.sink_failures)),
+            ("breaker_fast_fails", Self::get(&self.breaker_fast_fails)),
+            ("fsync_failures", Self::get(&self.fsync_failures)),
+            ("sink_retries", Self::get(&self.sink_retries)),
+            ("enospc_events", Self::get(&self.enospc_events)),
+            (
+                "durability_paused_spans",
+                Self::get(&self.durability_paused_spans),
+            ),
+            ("wal_quarantined", Self::get(&self.wal_quarantined)),
+            ("wal_dropped", Self::get(&self.wal_dropped)),
+        ]
+    }
+
+    /// Bridges these ad-hoc counters into the structured metrics
+    /// registry as `rca_faults_total{tenant, kind}` — the absorption
+    /// seam between the legacy report and the Prometheus/JSON exporters.
+    /// Zero-valued counters are skipped (idiomatic for counters: absent
+    /// means zero).
+    pub fn export_to(&self, registry: &MetricsRegistry, tenant: &str) {
+        registry.describe("rca_faults_total", "Fault-plane counters by kind.");
+        for (kind, value) in self.rows() {
+            if value > 0 {
+                registry.inc_counter_by(
+                    "rca_faults_total",
+                    &[("tenant", tenant), ("kind", kind)],
+                    value,
+                );
+            }
+        }
+    }
 }
 
 /// JSON summary of a retrieval candidate-structure footprint
@@ -142,6 +198,12 @@ impl VirtualHistogram {
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The raw samples, in record order — for re-binning into the
+    /// fixed-bucket registry histograms.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
     }
 
     /// True when no samples were recorded.

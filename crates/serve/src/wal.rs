@@ -523,6 +523,15 @@ impl WriteAheadLog {
         self.fsync_failures
     }
 
+    /// Cumulative wall nanoseconds the sink has spent inside durability
+    /// barriers ([`WalSink::sync_nanos`]). 0 without a sink, and 0 for
+    /// virtual backends — real time only accrues under a
+    /// [`DurableFile`], which is how fsync stalls become visible in the
+    /// engine's real-clock observability plane.
+    pub fn fsync_nanos(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.sync_nanos())
+    }
+
     /// Transient sink errors retried in place.
     pub fn sink_retries(&self) -> u64 {
         self.sink_retries

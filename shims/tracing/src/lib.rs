@@ -1,0 +1,517 @@
+//! Vendored offline stand-in for the `tracing` crate.
+//!
+//! The build environment has no registry access, so the real `tracing`
+//! cannot be fetched. This shim reimplements exactly the API slice the
+//! workspace uses: leveled events (`info!`, `warn!`, …) and spans
+//! (`info_span!`, …) carrying `key = value` fields, dispatched to a
+//! process-global [`Subscriber`]. When no subscriber is installed every
+//! macro collapses to a relaxed atomic load — instrumented hot paths stay
+//! effectively free, which is what lets the serving engine keep its
+//! spans compiled in under the `tracing` cargo feature without perturbing
+//! the virtual-time benchmarks.
+//!
+//! Differences from the real crate are deliberate simplifications: field
+//! values are rendered eagerly to strings at the call site (only when a
+//! subscriber is installed), the span context is a per-thread stack
+//! rather than a registry, and there is no per-callsite filtering — the
+//! subscriber's `max_level` is the only filter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Event/span severity, ordered from most to least verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Finest-grained detail.
+    Trace,
+    /// Debug-level detail.
+    Debug,
+    /// Informational.
+    Info,
+    /// Something degraded but handled.
+    Warn,
+    /// Something failed.
+    Error,
+}
+
+impl Level {
+    /// Upper-case display name, padded as the real crate renders it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Trace => "TRACE",
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+/// A value renderable as a span/event field. Implemented for the scalar
+/// and string types the workspace records; everything renders via
+/// `Display` (no quoting), matching how `tracing` records primitives.
+pub trait FieldValue {
+    /// Renders the value for the subscriber.
+    fn render(&self) -> String;
+}
+
+macro_rules! impl_field_display {
+    ($($ty:ty),* $(,)?) => {
+        $(impl FieldValue for $ty {
+            fn render(&self) -> String {
+                self.to_string()
+            }
+        })*
+    };
+}
+
+impl_field_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl FieldValue for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl FieldValue for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl<T: FieldValue> FieldValue for &T {
+    fn render(&self) -> String {
+        (**self).render()
+    }
+}
+
+/// One rendered `key = value` field.
+pub type Field = (&'static str, String);
+
+/// A structured diagnostic record handed to the [`Subscriber`]: the
+/// shared payload of events and span lifecycle notifications.
+#[derive(Debug, Clone)]
+pub struct Record<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Event message or span name.
+    pub message: &'a str,
+    /// Rendered fields, in call-site order.
+    pub fields: &'a [Field],
+    /// Rendered headers (`name{k=v …}`) of the enclosing span stack on
+    /// this thread, outermost first.
+    pub spans: &'a [String],
+}
+
+/// Receives events and span lifecycle notifications.
+pub trait Subscriber: Send + Sync {
+    /// Most verbose level this subscriber wants; records below it are
+    /// dropped at the dispatch site.
+    fn max_level(&self) -> Level {
+        Level::Trace
+    }
+
+    /// A leveled event fired.
+    fn on_event(&self, record: &Record<'_>);
+
+    /// A span was entered (the record's message is the span name).
+    fn on_enter(&self, record: &Record<'_>) {
+        let _ = record;
+    }
+
+    /// A span was exited.
+    fn on_exit(&self, record: &Record<'_>) {
+        let _ = record;
+    }
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Installs the process-global subscriber. Returns `Err` (with the
+/// rejected subscriber) if one is already installed.
+pub fn set_global_default(subscriber: Box<dyn Subscriber>) -> Result<(), Box<dyn Subscriber>> {
+    match SUBSCRIBER.set(subscriber) {
+        Ok(()) => {
+            ENABLED.store(true, Ordering::Release);
+            Ok(())
+        }
+        Err(rejected) => Err(rejected),
+    }
+}
+
+/// True when a subscriber is installed and wants records at `level`.
+/// This is the fast path every macro checks first.
+pub fn enabled(level: Level) -> bool {
+    ENABLED.load(Ordering::Relaxed) && SUBSCRIBER.get().is_some_and(|s| level >= s.max_level())
+}
+
+/// Dispatches an event to the global subscriber (no-op when none).
+/// Called by the event macros; not intended for direct use.
+pub fn dispatch_event(level: Level, message: &str, fields: &[Field]) {
+    if let Some(sub) = SUBSCRIBER.get() {
+        if level < sub.max_level() {
+            return;
+        }
+        SPAN_STACK.with(|stack| {
+            let stack = stack.borrow();
+            sub.on_event(&Record {
+                level,
+                message,
+                fields,
+                spans: &stack,
+            });
+        });
+    }
+}
+
+/// A live span handle. Dropping it is a no-op; entering it pushes the
+/// span onto this thread's stack until the guard drops.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` for a disabled span (no subscriber / filtered out).
+    header: Option<String>,
+    level: Level,
+    name: &'static str,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn none() -> Self {
+        Span {
+            header: None,
+            level: Level::Trace,
+            name: "",
+        }
+    }
+
+    /// Builds a span; disabled (and field rendering skipped) when no
+    /// subscriber wants `level`. Called by the span macros.
+    pub fn build(level: Level, name: &'static str, fields: &[Field]) -> Self {
+        if !enabled(level) {
+            return Span::none();
+        }
+        let mut header = String::from(name);
+        if !fields.is_empty() {
+            header.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    header.push(' ');
+                }
+                let _ = write!(header, "{k}={v}");
+            }
+            header.push('}');
+        }
+        Span {
+            header: Some(header),
+            level,
+            name,
+        }
+    }
+
+    /// True when this span will notify the subscriber.
+    pub fn is_enabled(&self) -> bool {
+        self.header.is_some()
+    }
+
+    /// Enters the span: pushes it onto the thread's span stack and
+    /// notifies the subscriber until the returned guard drops.
+    pub fn enter(&self) -> Entered<'_> {
+        self.push_notify();
+        Entered { span: self }
+    }
+
+    /// Enters an owned span (`info_span!(…).entered()`): same as
+    /// [`Span::enter`], but the guard owns the span, so the whole
+    /// expression can bind to one local — the function-scope idiom.
+    pub fn entered(self) -> EnteredSpan {
+        self.push_notify();
+        EnteredSpan { span: self }
+    }
+
+    /// Runs `f` inside the span.
+    pub fn in_scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.enter();
+        f()
+    }
+
+    fn push_notify(&self) {
+        if let Some(header) = &self.header {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(header.clone()));
+            if let Some(sub) = SUBSCRIBER.get() {
+                SPAN_STACK.with(|stack| {
+                    let stack = stack.borrow();
+                    sub.on_enter(&Record {
+                        level: self.level,
+                        message: self.name,
+                        fields: &[],
+                        spans: &stack,
+                    });
+                });
+            }
+        }
+    }
+
+    fn pop_notify(&self) {
+        if self.header.is_some() {
+            if let Some(sub) = SUBSCRIBER.get() {
+                SPAN_STACK.with(|stack| {
+                    let stack = stack.borrow();
+                    sub.on_exit(&Record {
+                        level: self.level,
+                        message: self.name,
+                        fields: &[],
+                        spans: &stack,
+                    });
+                });
+            }
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// RAII guard returned by [`Span::enter`].
+#[derive(Debug)]
+pub struct Entered<'a> {
+    span: &'a Span,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        self.span.pop_notify();
+    }
+}
+
+/// RAII guard returned by [`Span::entered`]; owns its span.
+#[derive(Debug)]
+pub struct EnteredSpan {
+    span: Span,
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        self.span.pop_notify();
+    }
+}
+
+/// Renders `key = value` pairs into a field vector. Shared tail of the
+/// event/span macros; not intended for direct use.
+#[macro_export]
+macro_rules! __fields {
+    ($(,)?) => { Vec::<$crate::Field>::new() };
+    ($($key:ident = $val:expr),+ $(,)?) => {
+        vec![$((stringify!($key), $crate::FieldValue::render(&$val))),+]
+    };
+}
+
+/// Fires a leveled event: `event!(Level::Info, key = v, "message")`.
+/// The message must be a string literal (it disambiguates the field
+/// list), matching how the real crate's events are normally written.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $($key:ident = $val:expr),+ , $msg:literal $(,)?) => {
+        if $crate::enabled($level) {
+            let fields = $crate::__fields!($($key = $val),+);
+            $crate::dispatch_event($level, &$msg, &fields);
+        }
+    };
+    ($level:expr, $msg:expr $(,)?) => {
+        if $crate::enabled($level) {
+            $crate::dispatch_event($level, &$msg, &[]);
+        }
+    };
+}
+
+/// `event!` at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Trace, $($tt)*) };
+}
+
+/// `event!` at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Debug, $($tt)*) };
+}
+
+/// `event!` at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Info, $($tt)*) };
+}
+
+/// `event!` at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Warn, $($tt)*) };
+}
+
+/// `event!` at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Error, $($tt)*) };
+}
+
+/// Builds a span: `span!(Level::Info, "name", key = v, …)`.
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr, $($key:ident = $val:expr),+ $(,)?) => {{
+        let fields = if $crate::enabled($level) {
+            $crate::__fields!($($key = $val),+)
+        } else {
+            Vec::new()
+        };
+        $crate::Span::build($level, $name, &fields)
+    }};
+    ($level:expr, $name:expr $(,)?) => {
+        $crate::Span::build($level, $name, &[])
+    };
+}
+
+/// `span!` at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::Debug, $($tt)*) };
+}
+
+/// `span!` at [`Level::Info`].
+#[macro_export]
+macro_rules! info_span {
+    ($($tt:tt)*) => { $crate::span!($crate::Level::Info, $($tt)*) };
+}
+
+/// A line-oriented subscriber writing
+/// `LEVEL span{k=v}:inner{…}: message k=v …` lines to stderr — the
+/// `tracing_subscriber::fmt` stand-in used by the real-mode example.
+#[derive(Debug, Default)]
+pub struct StderrSubscriber {
+    min_level: Option<Level>,
+    /// Lines written, for tests and smoke checks.
+    lines: AtomicUsize,
+}
+
+impl StderrSubscriber {
+    /// Subscriber at the given minimum level.
+    pub fn with_level(level: Level) -> Self {
+        StderrSubscriber {
+            min_level: Some(level),
+            lines: AtomicUsize::new(0),
+        }
+    }
+
+    fn render(record: &Record<'_>) -> String {
+        let mut line = String::new();
+        let _ = write!(line, "{:>5}", record.level.name());
+        if !record.spans.is_empty() {
+            line.push(' ');
+            line.push_str(&record.spans.join(":"));
+            line.push(':');
+        }
+        let _ = write!(line, " {}", record.message);
+        for (k, v) in record.fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        line
+    }
+}
+
+impl Subscriber for StderrSubscriber {
+    fn max_level(&self) -> Level {
+        self.min_level.unwrap_or(Level::Info)
+    }
+
+    fn on_event(&self, record: &Record<'_>) {
+        self.lines.fetch_add(1, Ordering::Relaxed);
+        eprintln!("{}", Self::render(record));
+    }
+}
+
+/// Installs a [`StderrSubscriber`] at `level` as the global default.
+/// Idempotent: a second call (or a prior custom subscriber) wins and
+/// this becomes a no-op, matching `try_init` semantics.
+pub fn init_stderr(level: Level) {
+    let _ = set_global_default(Box::new(StderrSubscriber::with_level(level)));
+}
+
+/// A subscriber that buffers rendered lines in memory — used by tests
+/// that assert on span/event structure.
+#[derive(Debug, Default)]
+pub struct MemorySubscriber {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySubscriber {
+    /// Snapshot of the captured lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_event(&self, record: &Record<'_>) {
+        self.lines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(StderrSubscriber::render(record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_macros_are_no_ops_and_spans_are_none() {
+        // No subscriber installed in this test binary unless another test
+        // ran first; either way the macros must not panic and `none()`
+        // spans must nest cleanly.
+        let span = Span::none();
+        let _g = span.enter();
+        info!(seq = 1usize, "event without a subscriber");
+        assert!(!span.is_enabled());
+    }
+
+    #[test]
+    fn field_rendering_uses_display() {
+        assert_eq!(FieldValue::render(&42u64), "42");
+        assert_eq!(FieldValue::render(&true), "true");
+        assert_eq!(FieldValue::render(&"abc"), "abc");
+        assert_eq!(FieldValue::render(&1.5f64), "1.5");
+    }
+
+    #[test]
+    fn record_renders_span_stack_and_fields() {
+        let record = Record {
+            level: Level::Info,
+            message: "stage complete",
+            fields: &[("seq", "3".into()), ("stage", "embed".into())],
+            spans: &["serve_event{seq=3}".into()],
+        };
+        let line = StderrSubscriber::render(&record);
+        assert_eq!(
+            line,
+            " INFO serve_event{seq=3}: stage complete seq=3 stage=embed"
+        );
+    }
+
+    #[test]
+    fn levels_order_from_trace_to_error() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+}

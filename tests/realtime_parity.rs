@@ -1,0 +1,129 @@
+//! Property test for the dual-mode runtime: a frozen-replay serving run
+//! under [`RealClock`](rcacopilot::serve::RealClock) — real worker
+//! threads, real (scaled) stage sleeps, wall-clock measurement — must
+//! produce a prediction log byte-identical to the deterministic
+//! virtual-time run of the same incidents, for any worker count. This is
+//! the contract that makes the DES results trustworthy as predictions of
+//! real deployments: the clock backend changes *when* work happens in
+//! wall time, never *what* the engine decides.
+//!
+//! Faults stay disabled here on purpose: fault *fates* are planned on
+//! virtual time and mode-independent by the same construction, but
+//! panic-driven respawns add real-sleep backoff noise that makes the
+//! test slower without strengthening the property (engine unit tests
+//! cover faulted real runs).
+
+use proptest::prelude::*;
+use rcacopilot::core::eval::PreparedDataset;
+use rcacopilot::core::pipeline::{RcaCopilot, RcaCopilotConfig};
+use rcacopilot::core::ContextSpec;
+use rcacopilot::embed::{FastTextConfig, FeatureExtractor};
+use rcacopilot::serve::{
+    AdmissionConfig, ClockConfig, EngineConfig, IndexMode, RealClockConfig, ServeEngine,
+    StreamConfig,
+};
+use rcacopilot::simcloud::noise::NoiseProfile;
+use rcacopilot::simcloud::{generate_dataset, CampaignConfig, Incident, Topology};
+use std::sync::OnceLock;
+
+/// Shared fixture: one trained copilot plus its held-out incidents.
+/// Training is the expensive part; every proptest case replays subsets.
+fn fixture() -> &'static (RcaCopilot, Vec<Incident>) {
+    static FIXTURE: OnceLock<(RcaCopilot, Vec<Incident>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = generate_dataset(&CampaignConfig {
+            seed: 29,
+            topology: Topology::new(2, 4, 2, 2),
+            noise: NoiseProfile::default(),
+        });
+        let split = dataset.split(7, 0.6);
+        let prepared = PreparedDataset::prepare(&dataset, &split);
+        let copilot = RcaCopilot::train(
+            &prepared.train_examples(&ContextSpec::default()),
+            RcaCopilotConfig {
+                embedding: FastTextConfig {
+                    dim: 16,
+                    epochs: 4,
+                    lr: 0.4,
+                    features: FeatureExtractor {
+                        buckets: 1 << 10,
+                        ..FeatureExtractor::default()
+                    },
+                    ..FastTextConfig::default()
+                },
+                ..RcaCopilotConfig::default()
+            },
+        );
+        let test: Vec<Incident> = split
+            .test
+            .iter()
+            .map(|&i| dataset.incidents()[i].clone())
+            .collect();
+        (copilot, test)
+    })
+}
+
+/// Runs a frozen-replay engine over `incidents` under the given clock.
+fn run(
+    incidents: &[Incident],
+    workers: usize,
+    clock: ClockConfig,
+) -> rcacopilot::serve::ServeOutcome {
+    let (copilot, _) = fixture();
+    let engine = ServeEngine::new(
+        copilot.clone(),
+        EngineConfig {
+            workers,
+            index_mode: IndexMode::Frozen,
+            admission: AdmissionConfig::unbounded(),
+            clock,
+            ..EngineConfig::default()
+        },
+    );
+    engine.run(incidents, &StreamConfig::replay())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// RealClock frozen replay ≡ DES frozen replay, byte for byte,
+    /// across worker counts.
+    #[test]
+    fn real_clock_replay_matches_the_des_log(
+        picks in proptest::collection::vec(0usize..100, 1..8),
+        real_workers in 1usize..5,
+    ) {
+        let (_, test) = fixture();
+        let incidents: Vec<Incident> = picks
+            .iter()
+            .map(|&p| test[p % test.len()].clone())
+            .collect();
+
+        let des = run(&incidents, 1, ClockConfig::Virtual);
+        prop_assert!(des.wall.is_none(), "DES runs carry no wall stats");
+
+        // 1 µs per virtual second keeps each case's real sleeps in the
+        // low milliseconds while still exercising the sleep paths.
+        let real = run(
+            &incidents,
+            real_workers,
+            ClockConfig::Real(RealClockConfig {
+                nanos_per_virtual_sec: 1_000,
+                pace_arrivals: false,
+            }),
+        );
+        let wall = real.wall;
+        prop_assert_eq!(
+            &real.log,
+            &des.log,
+            "real-clock log diverged from DES (workers {})",
+            real_workers
+        );
+        let wall = match wall {
+            Some(w) => w,
+            None => return Err(TestCaseError::fail("real runs must measure wall time")),
+        };
+        prop_assert_eq!(wall.completed, incidents.len());
+        prop_assert!(wall.wall_nanos > 0, "real runs burn real time");
+    }
+}
