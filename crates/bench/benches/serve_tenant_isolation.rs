@@ -125,8 +125,9 @@ fn main() {
         },
         ..MultiTenantConfig::default()
     };
-    let plane = MultiTenantEngine::from_plans(copilot.clone(), config.clone(), &plans);
-    let out = plane.run(&parts);
+    let plane = MultiTenantEngine::from_plans(copilot.clone(), config.clone(), &plans)
+        .expect("well-formed plans");
+    let out = plane.run(&parts).expect("one slice per tenant");
 
     // Rebuild the pool's job list exactly as the plane scores it, so the
     // same jobs can replay through the counterfactual pool (storm

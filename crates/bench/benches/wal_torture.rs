@@ -393,7 +393,8 @@ fn sweep_multitenant(copilot: &RcaCopilot, incidents: &[Incident], smoke: bool) 
         },
         ..MultiTenantConfig::default()
     };
-    let plane = MultiTenantEngine::from_plans(copilot.clone(), config, &plans);
+    let plane =
+        MultiTenantEngine::from_plans(copilot.clone(), config, &plans).expect("well-formed plans");
     let disk = SimDisk::new(SimDiskConfig::default());
     let mut wal = WriteAheadLog::with_sink(Box::new(disk.clone())).expect("fresh disk");
     let out = plane.run_with_wal(&parts, &mut wal).expect("clean journal");

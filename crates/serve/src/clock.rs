@@ -200,14 +200,36 @@ impl Clock for RealClock {
 /// [`EngineConfig`](crate::engine::EngineConfig). The default is
 /// [`ClockConfig::Virtual`], under which every output is byte-identical
 /// to the pre-clock engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum ClockConfig {
     /// Deterministic DES (the default).
     #[default]
     Virtual,
     /// Real threads, real sleeps, wall-clock measurements.
     Real(RealClockConfig),
+    /// Deterministic DES on a cursor *shared* with other engines — the
+    /// tenant-sharded runtime's shard-aware virtual-time merge. Every
+    /// tenant engine advances the same plane-wide cursor; because
+    /// [`VirtualClock::advance_to`] is a `fetch_max`, the merged horizon
+    /// is the maximum over all shards' planning cursors regardless of
+    /// how shard threads interleave, so sharing the clock changes no
+    /// engine output (virtual-mode planning never *reads* `now`).
+    SharedVirtual(Arc<VirtualClock>),
 }
+
+impl PartialEq for ClockConfig {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ClockConfig::Virtual, ClockConfig::Virtual) => true,
+            (ClockConfig::Real(a), ClockConfig::Real(b)) => a == b,
+            // Shared clocks are equal only when they are the *same* cursor.
+            (ClockConfig::SharedVirtual(a), ClockConfig::SharedVirtual(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ClockConfig {}
 
 impl ClockConfig {
     /// Instantiates the configured backend.
@@ -215,13 +237,14 @@ impl ClockConfig {
         match self {
             ClockConfig::Virtual => Arc::new(VirtualClock::new()),
             ClockConfig::Real(config) => Arc::new(RealClock::new(*config)),
+            ClockConfig::SharedVirtual(clock) => Arc::clone(clock) as Arc<dyn Clock>,
         }
     }
 
     /// The mode the built clock will report.
     pub fn mode(&self) -> ClockMode {
         match self {
-            ClockConfig::Virtual => ClockMode::Virtual,
+            ClockConfig::Virtual | ClockConfig::SharedVirtual(_) => ClockMode::Virtual,
             ClockConfig::Real(_) => ClockMode::Real,
         }
     }
@@ -281,5 +304,27 @@ mod tests {
         let real = ClockConfig::Real(RealClockConfig::default());
         assert_eq!(real.build().mode(), ClockMode::Real);
         assert_eq!(real.mode(), ClockMode::Real);
+    }
+
+    #[test]
+    fn shared_virtual_clock_merges_cursors_across_handles() {
+        let plane = Arc::new(VirtualClock::new());
+        let config = ClockConfig::SharedVirtual(Arc::clone(&plane));
+        assert_eq!(config.mode(), ClockMode::Virtual);
+        assert_eq!(config, config.clone(), "same cursor compares equal");
+        assert_ne!(
+            config,
+            ClockConfig::SharedVirtual(Arc::new(VirtualClock::new())),
+            "distinct cursors are distinct configs"
+        );
+        // Two engine-side handles advance one plane-wide horizon; the
+        // merge is a fetch_max, so interleaving order cannot matter.
+        let a = config.build();
+        let b = config.build();
+        a.advance_to(SimTime::from_secs(40));
+        b.advance_to(SimTime::from_secs(90));
+        a.advance_to(SimTime::from_secs(60));
+        assert_eq!(plane.now(), SimTime::from_secs(90));
+        assert_eq!(a.wall_nanos(), 0, "shared virtual stays DES");
     }
 }

@@ -81,7 +81,14 @@
 //! [`tenant::MultiTenantEngine`] run composes per-tenant engine runs
 //! whose logs are byte-identical to solo baselines — one tenant's
 //! flapping-monitor fault storm cannot perturb another tenant's
-//! predictions, watermarks, or cache keys.
+//! predictions, watermarks, or cache keys. The composition itself is a
+//! **tenant-sharded parallel runtime**: tenants deal round-robin over
+//! [`tenant::MultiTenantConfig::shards`] shard workers sharing one
+//! `Arc`'d pipeline ([`engine::ServeEngine::shared`]), one plane-wide
+//! virtual clock ([`clock::ClockConfig::SharedVirtual`]), the namespaced
+//! memo pool, and pre-split per-tenant WAL streams
+//! ([`wal::WriteAheadLog::adopt_tenants`]) — scaling to thousands of
+//! streams with every output byte-identical at any shard count.
 //!
 //! Finally, the engine is a **dual-mode runtime** ([`clock`]): every
 //! time read, sleep and deadline decision goes through one [`Clock`]
@@ -124,11 +131,16 @@ pub use engine::{
     ServeOutcome,
 };
 pub use fault::{AttemptFate, PipelineStage, WorkerFault, WorkerFaultConfig, WorkerFaultPlan};
-pub use metrics::{MetricsRegistry, MetricsServer};
+pub use metrics::{MetricsRegistry, MetricsServer, OVERFLOW_LABEL_VALUE};
 pub use rcacopilot_core::memo::MemoCache;
 pub use storage::{crc32c, CrashImage, CrashPoint, DurableFile, SimDisk, SimDiskConfig, WalSink};
 pub use stream::{ArrivalModel, StreamConfig, StreamEvent};
 pub use supervisor::{AttemptLedger, RetryQueue, Verdict};
-pub use tenant::{MultiTenantConfig, MultiTenantEngine, MultiTenantOutcome, TenantRun, TenantSpec};
-pub use vmetrics::{simulate_drr, DrrJob, DrrStats, ExecStats, FaultCounters, VirtualHistogram};
+pub use tenant::{
+    MultiTenantConfig, MultiTenantEngine, MultiTenantOutcome, TenantError, TenantRun, TenantSpec,
+};
+pub use vmetrics::{
+    simulate_drr, simulate_tenant_shards, DrrJob, DrrStats, ExecStats, FaultCounters,
+    ShardScaleStats, VirtualHistogram,
+};
 pub use wal::{QuarantinedRecord, Recovery, WalError, WalRecord, WriteAheadLog};

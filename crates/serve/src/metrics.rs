@@ -15,14 +15,25 @@
 //!
 //! Output ordering is stable (sorted by series name, then label set), so
 //! two renders of the same registry state are byte-identical. Label
-//! values are escaped per the exposition format. The registry itself is
-//! a single mutex over two `BTreeMap`s: metric cardinality here is tiny
-//! (stages × tenants × outcomes), so contention is not a concern and
-//! determinism of the rendered order is.
+//! values are escaped per the exposition format.
+//!
+//! Storage is **striped by metric name**: a metric's series all live in
+//! one of [`STRIPES`] independently locked shards, picked by FNV-1a of
+//! the name, so a thousand tenant engines exporting disjoint metrics (or
+//! the same metric family, which serializes only that family) never
+//! convoy on one registry-wide mutex. Renders merge the stripes into one
+//! sorted view, so the striping is invisible in every export.
+//!
+//! For label dimensions whose value space scales with the fleet — the
+//! `tenant` label on a thousand-tenant plane — a **cardinality guard**
+//! ([`MetricsRegistry::limit_label_values`]) caps the number of distinct
+//! values a label may take; excess values fold into the single
+//! [`OVERFLOW_LABEL_VALUE`] series, keeping render size and memory
+//! bounded no matter how many tenants report.
 
 use crate::supervisor::lock_recovered_plain;
 use serde_json::{json, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -141,6 +152,25 @@ fn format_f64(v: f64) -> String {
     }
 }
 
+/// Number of independently locked storage shards in a
+/// [`MetricsRegistry`]. A metric name maps to exactly one stripe, so
+/// per-family ordering needs no cross-stripe coordination.
+pub const STRIPES: usize = 16;
+
+/// The label value excess values fold into once a label's
+/// [cardinality cap](MetricsRegistry::limit_label_values) is reached.
+pub const OVERFLOW_LABEL_VALUE: &str = "overflow";
+
+/// 64-bit FNV-1a; the stripe selector.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     /// `(metric name, rendered label set) → value`.
@@ -153,10 +183,50 @@ struct Inner {
     help: BTreeMap<String, String>,
 }
 
+/// Cardinality state of one guarded label: the cap and the distinct
+/// values admitted so far.
+#[derive(Debug)]
+struct LabelGuard {
+    cap: usize,
+    seen: BTreeSet<String>,
+}
+
+impl LabelGuard {
+    /// Maps `value` under the cap: `None` keeps it as-is, `Some` is the
+    /// replacement. A value once admitted stays admitted (stable series
+    /// identity); `admit` distinguishes write paths (which may consume a
+    /// cap slot) from read paths (which must not).
+    fn map(&mut self, value: &str, admit: bool) -> Option<String> {
+        if self.seen.contains(value) {
+            return None;
+        }
+        if self.seen.len() < self.cap {
+            if admit {
+                self.seen.insert(value.to_string());
+            }
+            return None;
+        }
+        Some(OVERFLOW_LABEL_VALUE.to_string())
+    }
+}
+
 /// A registry of labeled counters and fixed-bucket histograms.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    inner: Mutex<Inner>,
+    stripes: Vec<Mutex<Inner>>,
+    guards: Mutex<BTreeMap<String, LabelGuard>>,
+    /// Fast path: skip the guard lock entirely until a cap is installed.
+    guarded: AtomicBool,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            stripes: (0..STRIPES).map(|_| Mutex::new(Inner::default())).collect(),
+            guards: Mutex::new(BTreeMap::new()),
+            guarded: AtomicBool::new(false),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -171,26 +241,85 @@ impl MetricsRegistry {
         Arc::new(MetricsRegistry::new())
     }
 
+    /// The stripe holding every series of metric `name`.
+    fn stripe(&self, name: &str) -> &Mutex<Inner> {
+        &self.stripes[(fnv1a(name.as_bytes()) % STRIPES as u64) as usize]
+    }
+
+    /// Caps the label `label` at `cap` distinct values registry-wide;
+    /// values beyond the cap fold into [`OVERFLOW_LABEL_VALUE`]. Values
+    /// can be pre-admitted deterministically with
+    /// [`MetricsRegistry::admit_label_value`] — otherwise first-write
+    /// wins. Installing a cap of 0 folds every value. Re-installing
+    /// replaces the cap but keeps already-admitted values.
+    pub fn limit_label_values(&self, label: &str, cap: usize) {
+        let mut guards = lock_recovered_plain(&self.guards);
+        guards
+            .entry(label.to_string())
+            .and_modify(|g| g.cap = cap)
+            .or_insert_with(|| LabelGuard {
+                cap,
+                seen: BTreeSet::new(),
+            });
+        self.guarded.store(true, Ordering::Release);
+    }
+
+    /// Pre-admits `value` for a guarded `label`, consuming one cap slot;
+    /// returns whether the value was (or already is) admitted. A
+    /// multi-tenant plane admits its tenant ids in slot order before
+    /// shard workers race, so which tenants keep dedicated series is
+    /// deterministic under any interleaving. No-op (`true`) when the
+    /// label has no guard.
+    pub fn admit_label_value(&self, label: &str, value: &str) -> bool {
+        if !self.guarded.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut guards = lock_recovered_plain(&self.guards);
+        match guards.get_mut(label) {
+            Some(guard) => guard.map(value, true).is_none(),
+            None => true,
+        }
+    }
+
+    /// Renders the series key for `labels`, folding guarded label values
+    /// past their cap into [`OVERFLOW_LABEL_VALUE`].
+    fn series_key(&self, labels: Labels<'_>, admit: bool) -> String {
+        if !self.guarded.load(Ordering::Acquire) {
+            return label_key(labels);
+        }
+        let mut guards = lock_recovered_plain(&self.guards);
+        let mapped: Vec<(&str, String)> = labels
+            .iter()
+            .map(|&(k, v)| {
+                let value = guards
+                    .get_mut(k)
+                    .and_then(|g| g.map(v, admit))
+                    .unwrap_or_else(|| v.to_string());
+                (k, value)
+            })
+            .collect();
+        let pairs: Vec<(&str, &str)> = mapped.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        label_key(&pairs)
+    }
+
     /// Sets the `# HELP` string for a metric.
     pub fn describe(&self, name: &str, help: &str) {
-        let mut inner = lock_recovered_plain(&self.inner);
+        let mut inner = lock_recovered_plain(self.stripe(name));
         inner.help.insert(name.to_string(), help.to_string());
     }
 
     /// Registers custom bucket bounds for a histogram metric; must be
     /// called before the first `observe` of that metric to take effect.
     pub fn register_buckets(&self, name: &str, bounds: &[f64]) {
-        let mut inner = lock_recovered_plain(&self.inner);
+        let mut inner = lock_recovered_plain(self.stripe(name));
         inner.bounds.insert(name.to_string(), bounds.to_vec());
     }
 
     /// Adds `delta` to the counter `name{labels}`.
     pub fn inc_counter_by(&self, name: &str, labels: Labels<'_>, delta: u64) {
-        let mut inner = lock_recovered_plain(&self.inner);
-        *inner
-            .counters
-            .entry((name.to_string(), label_key(labels)))
-            .or_insert(0) += delta;
+        let key = self.series_key(labels, true);
+        let mut inner = lock_recovered_plain(self.stripe(name));
+        *inner.counters.entry((name.to_string(), key)).or_insert(0) += delta;
     }
 
     /// Increments the counter `name{labels}` by one.
@@ -201,7 +330,8 @@ impl MetricsRegistry {
     /// Records `value` (seconds) into the histogram `name{labels}`,
     /// using the metric's registered bounds or [`DEFAULT_BUCKETS`].
     pub fn observe(&self, name: &str, labels: Labels<'_>, value: f64) {
-        let mut inner = lock_recovered_plain(&self.inner);
+        let key = self.series_key(labels, true);
+        let mut inner = lock_recovered_plain(self.stripe(name));
         let bounds = inner
             .bounds
             .get(name)
@@ -209,7 +339,7 @@ impl MetricsRegistry {
             .unwrap_or_else(|| DEFAULT_BUCKETS.to_vec());
         inner
             .histograms
-            .entry((name.to_string(), label_key(labels)))
+            .entry((name.to_string(), key))
             .or_insert_with(|| FixedHistogram::new(&bounds))
             .observe(value);
     }
@@ -217,27 +347,45 @@ impl MetricsRegistry {
     /// Reads a counter back (0 when never incremented) — for tests and
     /// report assembly.
     pub fn counter(&self, name: &str, labels: Labels<'_>) -> u64 {
-        let inner = lock_recovered_plain(&self.inner);
+        let key = self.series_key(labels, false);
+        let inner = lock_recovered_plain(self.stripe(name));
         inner
             .counters
-            .get(&(name.to_string(), label_key(labels)))
+            .get(&(name.to_string(), key))
             .copied()
             .unwrap_or(0)
     }
 
     /// Total observation count of a histogram (0 when absent).
     pub fn histogram_count(&self, name: &str, labels: Labels<'_>) -> u64 {
-        let inner = lock_recovered_plain(&self.inner);
+        let key = self.series_key(labels, false);
+        let inner = lock_recovered_plain(self.stripe(name));
         inner
             .histograms
-            .get(&(name.to_string(), label_key(labels)))
+            .get(&(name.to_string(), key))
             .map_or(0, FixedHistogram::count)
+    }
+
+    /// One sorted view over all stripes — renders see the registry as if
+    /// it were a single map, so striping never changes export bytes.
+    fn merged(&self) -> Inner {
+        let mut all = Inner::default();
+        for stripe in &self.stripes {
+            let inner = lock_recovered_plain(stripe);
+            all.counters
+                .extend(inner.counters.iter().map(|(k, v)| (k.clone(), *v)));
+            all.histograms
+                .extend(inner.histograms.iter().map(|(k, v)| (k.clone(), v.clone())));
+            all.help
+                .extend(inner.help.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        all
     }
 
     /// Renders the registry in Prometheus text exposition format, with
     /// stable ordering (sorted by series name, then label set).
     pub fn render_prometheus(&self) -> String {
-        let inner = lock_recovered_plain(&self.inner);
+        let inner = self.merged();
         let mut out = String::new();
         let mut last_name: Option<&str> = None;
         for ((name, labels), value) in &inner.counters {
@@ -280,7 +428,7 @@ impl MetricsRegistry {
 
     /// Renders the registry as a versioned JSON document.
     pub fn render_json(&self) -> Value {
-        let inner = lock_recovered_plain(&self.inner);
+        let inner = self.merged();
         let counters: Vec<Value> = inner
             .counters
             .iter()
@@ -554,6 +702,77 @@ mod tests {
             .and_then(|(_, v)| v.as_seq())
             .expect("counters list");
         assert_eq!(counters.len(), 1);
+    }
+
+    #[test]
+    fn striped_storage_renders_identically_to_a_flat_map() {
+        // Metric names chosen to land on several stripes; the render must
+        // still be globally sorted by (name, label set).
+        let reg = MetricsRegistry::new();
+        for name in ["z_total", "a_total", "m_total", "rca_events_total"] {
+            reg.inc_counter(name, &[("tenant", "3")]);
+            reg.inc_counter(name, &[("tenant", "1")]);
+        }
+        let text = reg.render_prometheus();
+        let names: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split('{').next().unwrap_or(""))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "merged render is name-sorted");
+        validate_prometheus(&text).expect("well-formed");
+        assert_eq!(reg.counter("a_total", &[("tenant", "1")]), 1);
+    }
+
+    #[test]
+    fn cardinality_guard_folds_excess_label_values_into_overflow() {
+        let reg = MetricsRegistry::new();
+        reg.limit_label_values("tenant", 2);
+        for tenant in ["1", "2", "3", "4"] {
+            reg.inc_counter("rca_events_total", &[("tenant", tenant)]);
+            reg.observe("rca_stage_seconds", &[("tenant", tenant)], 0.01);
+        }
+        // First two distinct values keep their series; the rest fold.
+        assert_eq!(reg.counter("rca_events_total", &[("tenant", "1")]), 1);
+        assert_eq!(reg.counter("rca_events_total", &[("tenant", "2")]), 1);
+        assert_eq!(
+            reg.counter("rca_events_total", &[("tenant", OVERFLOW_LABEL_VALUE)]),
+            2
+        );
+        // Reading a folded value routes to the overflow series too.
+        assert_eq!(reg.counter("rca_events_total", &[("tenant", "3")]), 2);
+        assert_eq!(
+            reg.histogram_count("rca_stage_seconds", &[("tenant", OVERFLOW_LABEL_VALUE)]),
+            2
+        );
+        // Unguarded labels are untouched.
+        reg.inc_counter("other_total", &[("kind", "x")]);
+        assert_eq!(reg.counter("other_total", &[("kind", "x")]), 1);
+    }
+
+    #[test]
+    fn pre_admitted_label_values_win_cap_slots_deterministically() {
+        let reg = MetricsRegistry::new();
+        reg.limit_label_values("tenant", 2);
+        assert!(reg.admit_label_value("tenant", "7"));
+        assert!(reg.admit_label_value("tenant", "9"));
+        assert!(!reg.admit_label_value("tenant", "11"), "cap exhausted");
+        assert!(reg.admit_label_value("tenant", "7"), "re-admit is stable");
+        // A write from a late tenant folds even though it arrived first.
+        reg.inc_counter("rca_events_total", &[("tenant", "11")]);
+        reg.inc_counter("rca_events_total", &[("tenant", "7")]);
+        assert_eq!(
+            reg.counter("rca_events_total", &[("tenant", OVERFLOW_LABEL_VALUE)]),
+            1
+        );
+        assert_eq!(reg.counter("rca_events_total", &[("tenant", "7")]), 1);
+        // Reads never consume cap slots.
+        let fresh = MetricsRegistry::new();
+        fresh.limit_label_values("tenant", 1);
+        assert_eq!(fresh.counter("c_total", &[("tenant", "5")]), 0);
+        assert!(fresh.admit_label_value("tenant", "6"), "read took no slot");
     }
 
     #[test]

@@ -540,19 +540,112 @@ pub fn simulate_drr(
         }
     }
     // Per-tenant and merged stats, each in dispatch order of arrival.
-    let mut per_tenant = Vec::with_capacity(n);
-    for slot in 0..n {
-        let rows: Vec<(u64, u64, u64)> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, job)| job.tenant_slot == slot)
-            .map(|(j, _)| schedule[j])
-            .collect();
-        per_tenant.push(stats_from_schedule(&rows));
+    // Bucketed in one pass over the schedule: a thousand-tenant plane
+    // would otherwise rescan the full job list once per tenant.
+    let mut tenant_rows: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); n];
+    for (j, job) in jobs.iter().enumerate() {
+        tenant_rows[job.tenant_slot].push(schedule[j]);
     }
+    let per_tenant = tenant_rows
+        .iter()
+        .map(|rows| stats_from_schedule(rows))
+        .collect();
     DrrStats {
         merged: stats_from_schedule(&schedule[..]),
         per_tenant,
+    }
+}
+
+/// Result of [`simulate_tenant_shards`]: the merged view of a
+/// tenant-sharded run plus each shard's own [`ExecStats`].
+#[derive(Debug, Clone)]
+pub struct ShardScaleStats {
+    /// Shard count the jobs were dealt over.
+    pub shards: usize,
+    /// One FCFS pool result per shard, in shard order.
+    pub per_shard: Vec<ExecStats>,
+    /// Virtual makespan of the whole run: the latest shard finish minus
+    /// the earliest arrival overall (0 when no jobs).
+    pub merged_makespan_secs: u64,
+    /// Total jobs across all shards.
+    pub completed: usize,
+}
+
+impl ShardScaleStats {
+    /// Completed jobs per virtual hour across the merged run.
+    pub fn throughput_per_hour(&self) -> f64 {
+        if self.merged_makespan_secs == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 3_600.0 / self.merged_makespan_secs as f64
+    }
+
+    /// JSON summary: merged makespan/throughput plus per-shard load.
+    pub fn to_json(&self) -> Value {
+        let per_shard: Vec<Value> = self
+            .per_shard
+            .iter()
+            .map(|s| {
+                json!({
+                    "completed": s.completed,
+                    "makespan_secs": s.makespan_secs,
+                    "p99_latency_secs": s.latencies.percentile(0.99),
+                })
+            })
+            .collect();
+        json!({
+            "shards": self.shards,
+            "completed": self.completed,
+            "merged_makespan_secs": self.merged_makespan_secs,
+            "throughput_per_hour": self.throughput_per_hour(),
+            "per_shard": per_shard,
+        })
+    }
+}
+
+/// Models the tenant-sharded runtime: tenants are dealt round-robin to
+/// `shards` shard workers (`tenant_slot % shards` — exactly the
+/// scheduler's assignment), and each shard is one FCFS server executing
+/// its tenants' admitted events in arrival order. This is the
+/// virtual-time composition the `serve_tenant_scale` bench asserts
+/// monotone over shard counts: adding shards splits the heavy-tailed
+/// tenant load, so the merged makespan (latest shard finish − earliest
+/// arrival) cannot grow as long as no single tenant dominates the total
+/// service demand.
+///
+/// `jobs` must be sorted by arrival (ties keep slice order), the same
+/// contract as [`simulate_drr`].
+pub fn simulate_tenant_shards(jobs: &[DrrJob], shards: usize) -> ShardScaleStats {
+    let k = shards.max(1);
+    let mut buckets: Vec<Vec<VirtualJob>> = vec![Vec::new(); k];
+    let mut first_arrival = u64::MAX;
+    for job in jobs {
+        first_arrival = first_arrival.min(job.arrival_secs);
+        buckets[job.tenant_slot % k].push(VirtualJob {
+            arrival_secs: job.arrival_secs,
+            service_secs: job.service_secs,
+        });
+    }
+    let per_shard: Vec<ExecStats> = buckets.iter().map(|b| simulate_pool(b, 1)).collect();
+    // A shard's last finish is its first arrival plus its makespan.
+    let last_finish = buckets
+        .iter()
+        .zip(&per_shard)
+        .filter_map(|(bucket, stats)| {
+            bucket
+                .first()
+                .map(|job| job.arrival_secs + stats.makespan_secs)
+        })
+        .max();
+    let merged_makespan_secs = match last_finish {
+        Some(finish) => finish.saturating_sub(first_arrival),
+        None => 0,
+    };
+    ShardScaleStats {
+        shards: k,
+        per_shard,
+        merged_makespan_secs,
+        completed: jobs.len(),
     }
 }
 
@@ -696,6 +789,60 @@ mod tests {
         let shard_stats = simulate_shard_locks(&[], 4, 4);
         assert_eq!(shard_stats.completed, 0);
         assert_eq!(shard_stats.throughput_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn tenant_shards_with_one_shard_match_the_single_pool() {
+        let jobs: Vec<DrrJob> = (0..60)
+            .map(|i| DrrJob {
+                tenant_slot: i % 5,
+                arrival_secs: (i as u64 / 3) * 45,
+                service_secs: 100 + (i as u64 % 4) * 50,
+            })
+            .collect();
+        let pool_jobs: Vec<VirtualJob> = jobs
+            .iter()
+            .map(|j| VirtualJob {
+                arrival_secs: j.arrival_secs,
+                service_secs: j.service_secs,
+            })
+            .collect();
+        let one = simulate_tenant_shards(&jobs, 1);
+        let pool = simulate_pool(&pool_jobs, 1);
+        assert_eq!(one.merged_makespan_secs, pool.makespan_secs);
+        assert_eq!(one.completed, pool.completed);
+        assert_eq!(one.per_shard.len(), 1);
+        let empty = simulate_tenant_shards(&[], 4);
+        assert_eq!(empty.completed, 0);
+        assert_eq!(empty.throughput_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn tenant_shards_scale_monotonically_on_a_spread_fleet() {
+        // 64 tenants of comparable volume, arrivals bunched early so the
+        // pool is backlogged — the regime the scale bench asserts in.
+        let mut jobs: Vec<DrrJob> = Vec::new();
+        for slot in 0..64usize {
+            for e in 0..8u64 {
+                jobs.push(DrrJob {
+                    tenant_slot: slot,
+                    arrival_secs: e * 20 + (slot as u64 % 7),
+                    service_secs: 150 + (slot as u64 % 5) * 30,
+                });
+            }
+        }
+        jobs.sort_by_key(|j| j.arrival_secs);
+        let mut last = f64::NEG_INFINITY;
+        for shards in [1usize, 2, 4, 8] {
+            let stats = simulate_tenant_shards(&jobs, shards);
+            assert_eq!(stats.completed, jobs.len());
+            assert!(
+                stats.throughput_per_hour() >= last,
+                "{shards} shards regressed: {} < {last}",
+                stats.throughput_per_hour()
+            );
+            last = stats.throughput_per_hour();
+        }
     }
 
     #[test]

@@ -892,6 +892,30 @@ impl WriteAheadLog {
         self.checkpointed = other.checkpointed;
         self.rewrite_sink();
     }
+
+    /// Folds per-tenant journal parts back into this journal — the
+    /// single adoption point of the tenant-sharded runtime. Shard
+    /// workers journal each tenant into its own in-memory
+    /// [`WriteAheadLog`] part (no contention on the durable sink while
+    /// they run); after the shards join, this call interleaves the parts
+    /// with [`WriteAheadLog::merge_tenants`] and rewrites the durable
+    /// backend once through this journal's [`WalSink`], so the sink sees
+    /// exactly one writer regardless of how many shards produced the
+    /// streams. Because the merge key is `(virtual anchor, tenant,
+    /// stream position)`, the adopted journal is byte-identical for any
+    /// shard count — including a later recovery into a *different* one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WriteAheadLog::records`] errors from the parts.
+    pub fn adopt_tenants(
+        &mut self,
+        parts: &BTreeMap<TenantId, WriteAheadLog>,
+    ) -> Result<(), WalError> {
+        let merged = WriteAheadLog::merge_tenants(parts)?;
+        self.adopt(merged);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -56,5 +56,8 @@ pub use generator::{generate_dataset, CampaignConfig};
 pub use incident::Incident;
 pub use scale::{corpus_stats, scaled_corpus, ScaleConfig, ScaleStats, ScaledIncident};
 pub use teams::{simulate_teams, TeamReport};
-pub use tenancy::{partition_tenants, TenantStormPlan};
+pub use tenancy::{
+    partition_tenants, replicate_partition, zipf_fleet, zipf_volumes, TenantFleetConfig,
+    TenantStormPlan,
+};
 pub use topology::Topology;

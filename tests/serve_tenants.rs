@@ -115,8 +115,9 @@ proptest! {
             base: base_config(merged_workers, 1 << merged_shards_pow),
             ..MultiTenantConfig::default()
         };
-        let plane = MultiTenantEngine::from_plans(copilot.clone(), merged_cfg, &plans);
-        let out = plane.run(&parts);
+        let plane = MultiTenantEngine::from_plans(copilot.clone(), merged_cfg, &plans)
+            .expect("generated plans are distinct and non-empty");
+        let out = plane.run(&parts).expect("one slice per tenant");
 
         let solo_base = base_config(solo_workers, 1 << solo_shards_pow);
         for (i, run) in out.tenants.iter().enumerate() {
@@ -160,6 +161,86 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tenant-sharded runtime is a pure re-scheduling: over arbitrary
+    /// (tenant count × shard count × per-tenant worker count) geometries,
+    /// the parallel sharded composition reproduces the sequential one
+    /// byte for byte — merged transcript, every per-tenant log, and the
+    /// shared virtual horizon. Journaling through a WAL under one shard
+    /// count and *recovering under a different one* also converges to the
+    /// same transcript: shard geometry is invisible to the journal.
+    #[test]
+    fn sharded_runtime_reproduces_the_sequential_composition(
+        picks in proptest::collection::vec(0usize..100, 8..16),
+        quiet_tenants in 2usize..6,
+        shards_pow in 1u32..4,
+        resume_shards_pow in 0u32..4,
+        tenant_workers in 1usize..3,
+        seed in 60u64..80,
+    ) {
+        let (copilot, test) = fixture();
+        let incidents: Vec<Incident> = picks
+            .iter()
+            .map(|&p| test[p % test.len()].clone())
+            .collect();
+        let mut plans: Vec<TenantStormPlan> = (0..quiet_tenants)
+            .map(|i| TenantStormPlan::quiet(TenantId(1 + i as u64), seed + i as u64))
+            .collect();
+        let storm_slot = (seed as usize) % (plans.len() + 1);
+        plans.insert(
+            storm_slot,
+            TenantStormPlan::flapping_storm(TenantId(100), seed + 23),
+        );
+        let parts = partition_tenants(&incidents, &plans);
+        let config = |shards: usize| MultiTenantConfig {
+            base: base_config(2, 2),
+            shards,
+            tenant_workers: Some(tenant_workers),
+            ..MultiTenantConfig::default()
+        };
+        let plane = |shards: usize| {
+            MultiTenantEngine::from_plans(copilot.clone(), config(shards), &plans)
+                .expect("generated plans are distinct and non-empty")
+        };
+
+        let sequential = plane(1).run(&parts).expect("one slice per tenant");
+        let shards = 1usize << shards_pow;
+        let sharded = plane(shards).run(&parts).expect("one slice per tenant");
+        prop_assert_eq!(
+            &sharded.log,
+            &sequential.log,
+            "{} shards diverged from the sequential composition",
+            shards
+        );
+        for (a, b) in sharded.tenants.iter().zip(&sequential.tenants) {
+            prop_assert_eq!(&a.outcome.log, &b.outcome.log, "tenant {:?}", a.tenant);
+        }
+        prop_assert_eq!(sharded.horizon_secs, sequential.horizon_secs);
+
+        // Journal under the sharded geometry, then recover the journal
+        // under a different shard count: same transcript, no re-execution
+        // drift — the WAL stream merge is shard-agnostic.
+        let mut wal = WriteAheadLog::new();
+        let journaled = plane(shards)
+            .run_with_wal(&parts, &mut wal)
+            .expect("clean in-memory journal");
+        prop_assert_eq!(&journaled.log, &sequential.log);
+        let resume_shards = 1usize << resume_shards_pow;
+        let resumed = plane(resume_shards)
+            .run_with_wal(&parts, &mut wal.clone())
+            .expect("clean in-memory journal");
+        prop_assert_eq!(
+            &resumed.log,
+            &sequential.log,
+            "recovery into {} shards diverged from the {}-shard journal",
+            resume_shards,
+            shards
+        );
+    }
+}
+
 /// Satellite: a *durable* journal holding interleaved multi-tenant
 /// records survives a torn-tail reopen with per-tenant watermarks — the
 /// tenant owning the torn line loses exactly that commit; every other
@@ -180,7 +261,8 @@ fn durable_interleaved_wal_reopen_rolls_back_only_the_torn_tenant() {
         },
         ..MultiTenantConfig::default()
     };
-    let plane = MultiTenantEngine::from_plans(copilot.clone(), config, &plans);
+    let plane =
+        MultiTenantEngine::from_plans(copilot.clone(), config, &plans).expect("well-formed plans");
 
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/wal-tests");
     std::fs::create_dir_all(&dir).expect("scratch dir");
@@ -266,7 +348,8 @@ fn mid_log_corruption_in_one_tenant_leaves_neighbor_watermarks_intact() {
         },
         ..MultiTenantConfig::default()
     };
-    let plane = MultiTenantEngine::from_plans(copilot.clone(), config, &plans);
+    let plane =
+        MultiTenantEngine::from_plans(copilot.clone(), config, &plans).expect("well-formed plans");
 
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/wal-tests");
     std::fs::create_dir_all(&dir).expect("scratch dir");
